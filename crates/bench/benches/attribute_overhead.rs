@@ -1,0 +1,59 @@
+//! Wall-clock cost of executing each mobility-attribute protocol in the
+//! simulator — one bench per Table 3 row, plus the GREV/CLE models the
+//! paper adds (Figures 2 and 3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mage_core::attribute::{Cle, Grev, Rpc};
+use mage_core::workload_support::test_object_class;
+use mage_core::{Runtime, Visibility};
+use mage_rmi::CostModel;
+
+fn runtime() -> Runtime {
+    let mut rt = Runtime::builder()
+        .nodes(["host1", "host2"])
+        .class(test_object_class())
+        .build();
+    rt.deploy_class("TestObject", "host1").unwrap();
+    rt.create_object("TestObject", "obj", "host1", &(), Visibility::Public)
+        .unwrap();
+    rt
+}
+
+fn bench_attributes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("attribute");
+    group.bench_function("rpc_invoke", |b| {
+        let mut rt = runtime();
+        let attr = Rpc::new("TestObject", "obj", "host1");
+        // Bind from the remote namespace: RPC applied locally is the
+        // coercion matrix's "Exception thrown" cell.
+        let stub = rt.bind("host2", &attr).unwrap();
+        b.iter(|| {
+            let v: i64 = rt.call(&stub, "inc", &()).unwrap();
+            v
+        })
+    });
+    group.bench_function("cle_bind_invoke", |b| {
+        let mut rt = runtime();
+        let attr = Cle::new("TestObject", "obj");
+        b.iter(|| {
+            let (_s, r): (_, Option<i64>) = rt.bind_invoke("host2", &attr, "inc", &()).unwrap();
+            r
+        })
+    });
+    group.bench_function("grev_migrate_roundtrip", |b| {
+        let mut rt = runtime();
+        let to2 = Grev::new("TestObject", "obj", "host2");
+        let to1 = Grev::new("TestObject", "obj", "host1");
+        b.iter(|| {
+            rt.bind("host1", &to2).unwrap();
+            rt.bind("host1", &to1).unwrap();
+        })
+    });
+    group.bench_function("table3_full_harness", |b| {
+        b.iter(|| mage_bench::overhead::run_table3(CostModel::jdk_1_2_2(), 10))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_attributes);
+criterion_main!(benches);

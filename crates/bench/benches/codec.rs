@@ -1,0 +1,44 @@
+//! Wall-clock cost of the marshalling substrate (`mage-codec`), the layer
+//! whose simulated cost dominates every row of Table 3.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use serde::{Deserialize, Serialize};
+
+#[derive(Serialize, Deserialize, Clone)]
+struct CallFrame {
+    call_id: u64,
+    object: String,
+    method: String,
+    args: Vec<u8>,
+}
+
+fn frame(args_len: usize) -> CallFrame {
+    CallFrame {
+        call_id: 42,
+        object: "geoData".into(),
+        method: "filterData".into(),
+        args: vec![7u8; args_len],
+    }
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("codec");
+    for size in [16usize, 1024, 65_536] {
+        let value = frame(size);
+        let encoded = mage_codec::to_bytes(&value).unwrap();
+        group.bench_function(format!("encode_{size}B"), |b| {
+            b.iter(|| mage_codec::to_bytes(std::hint::black_box(&value)).unwrap())
+        });
+        group.bench_function(format!("decode_{size}B"), |b| {
+            b.iter_batched(
+                || encoded.clone(),
+                |bytes| mage_codec::from_bytes::<CallFrame>(std::hint::black_box(&bytes)).unwrap(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Wall-clock cost of the stay/move lock table (Figure 8's mechanism),
+//! including the unfair-vs-fair granting policies.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mage_core::lock::LockTable;
+use mage_sim::NodeId;
+
+fn bench_locking(c: &mut Criterion) {
+    let here = NodeId::from_raw(0);
+    let away = NodeId::from_raw(1);
+    let mut group = c.benchmark_group("locking");
+    group.bench_function("uncontended_stay_cycle", |b| {
+        let mut table: LockTable<u32> = LockTable::new();
+        b.iter(|| {
+            table.request("o", NodeId::from_raw(9), here, here, 0);
+            table.release("o", NodeId::from_raw(9), here)
+        })
+    });
+    for (name, fair) in [("unfair", false), ("fair", true)] {
+        group.bench_function(format!("contended_drain_{name}"), |b| {
+            b.iter(|| {
+                let mut table: LockTable<u32> =
+                    if fair { LockTable::fair() } else { LockTable::new() };
+                table.request("o", NodeId::from_raw(100), away, here, 0);
+                for i in 0..64u32 {
+                    let target = if i % 2 == 0 { here } else { away };
+                    table.request("o", NodeId::from_raw(i), target, here, i);
+                }
+                let mut grants = table.release("o", NodeId::from_raw(100), here);
+                let mut released: Vec<NodeId> = grants.iter().map(|g| g.client).collect();
+                while let Some(client) = released.pop() {
+                    grants = table.release("o", client, here);
+                    released.extend(grants.iter().map(|g| g.client));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_locking);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Wall-clock cost of simulating one plain RMI round trip — the harness
+//! overhead behind Table 3's *Java's RMI* baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mage_rmi::{client_endpoint, drive_call, encode_args, server_endpoint, Config, Fault};
+use mage_sim::{LinkSpec, World};
+
+fn build() -> (World, mage_sim::NodeId, mage_sim::NodeId) {
+    let mut world = World::new(1);
+    let cfg = Config::default();
+    let client = world.add_node("c", client_endpoint(cfg));
+    let server = world.add_node(
+        "s",
+        server_endpoint(
+            cfg,
+            "svc",
+            Box::new(|_m: &str, args: &[u8], _e: &mut mage_rmi::ObjectEnv<'_>| {
+                let n: u64 = mage_rmi::decode_result(args).map_err(|e| Fault::App(e.to_string()))?;
+                Ok(encode_args(&(n + 1)).expect("encodes"))
+            }),
+        ),
+    );
+    world.set_link_bidi(client, server, LinkSpec::ethernet_10mbps());
+    (world, client, server)
+}
+
+fn bench_rmi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rmi");
+    group.bench_function("warm_call_roundtrip", |b| {
+        let (mut world, client, server) = build();
+        // Prime the connection outside the measurement.
+        drive_call(&mut world, client, server, "svc", "m", encode_args(&1u64).unwrap())
+            .unwrap()
+            .unwrap();
+        b.iter(|| {
+            drive_call(&mut world, client, server, "svc", "m", encode_args(&1u64).unwrap())
+                .unwrap()
+                .unwrap()
+        })
+    });
+    group.bench_function("world_setup", |b| b.iter(build));
+    group.finish();
+}
+
+criterion_group!(benches, bench_rmi);
+criterion_main!(benches);

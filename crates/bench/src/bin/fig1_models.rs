@@ -1,0 +1,62 @@
+//! Regenerates Figure 1: message diagrams for the four classical
+//! distributed programming models (RPC, COD, REV, MA), produced from live
+//! protocol traces rather than drawn by hand.
+
+use mage_core::attribute::{Cod, MobileAgent, Rev, Rpc};
+use mage_core::workload_support::test_object_class;
+use mage_core::{Runtime, Visibility};
+
+fn fresh() -> Runtime {
+    Runtime::builder()
+        .fast()
+        .nodes(["A", "B"])
+        .class(test_object_class())
+        .trace(true)
+        .build()
+}
+
+fn main() {
+    mage_bench::banner("Figure 1(a) — Remote Procedure Call");
+    {
+        let mut rt = fresh();
+        rt.deploy_class("TestObject", "B").unwrap();
+        rt.create_object("TestObject", "C", "B", &(), Visibility::Private).unwrap();
+        rt.world_mut().trace_mut().clear();
+        let attr = Rpc::new("TestObject", "C", "B");
+        let (_s, _r): (_, Option<i64>) = rt.bind_invoke("A", &attr, "inc", &()).unwrap();
+        print!("{}", rt.trace_rendered());
+        println!("(C stays on B; P on A invokes through a stub)");
+    }
+    mage_bench::banner("Figure 1(b) — Code on Demand");
+    {
+        let mut rt = fresh();
+        rt.deploy_class("TestObject", "B").unwrap();
+        rt.world_mut().trace_mut().clear();
+        let attr = Cod::factory("TestObject", "C");
+        let (_s, _r): (_, Option<i64>) = rt.bind_invoke("A", &attr, "inc", &()).unwrap();
+        print!("{}", rt.trace_rendered());
+        println!("(C's class is downloaded to A; execution is local)");
+    }
+    mage_bench::banner("Figure 1(c) — Remote Evaluation");
+    {
+        let mut rt = fresh();
+        rt.deploy_class("TestObject", "A").unwrap();
+        rt.world_mut().trace_mut().clear();
+        let attr = Rev::factory("TestObject", "C", "B");
+        let (_s, _r): (_, Option<i64>) = rt.bind_invoke("A", &attr, "inc", &()).unwrap();
+        print!("{}", rt.trace_rendered());
+        println!("(P moves C to B, computes there, receives the result)");
+    }
+    mage_bench::banner("Figure 1(d) — Mobile Agent");
+    {
+        let mut rt = fresh();
+        rt.deploy_class("TestObject", "A").unwrap();
+        rt.create_object("TestObject", "C", "A", &(), Visibility::Public).unwrap();
+        rt.world_mut().trace_mut().clear();
+        let attr = MobileAgent::new("TestObject", "C", "B");
+        let (_s, _r): (_, Option<i64>) = rt.bind_invoke("A", &attr, "inc", &()).unwrap();
+        rt.run_until_idle().unwrap();
+        print!("{}", rt.trace_rendered());
+        println!("(C moves itself to B and keeps executing; no result returns)");
+    }
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 2: generalized remote evaluation — P (on `P`)
+//! requests component C move from its current namespace D to the
+//! computation target B.
+
+use mage_core::attribute::Grev;
+use mage_core::workload_support::test_object_class;
+use mage_core::{Runtime, Visibility};
+
+fn main() {
+    mage_bench::banner("Figure 2 — Generalized Remote Evaluation");
+    let mut rt = Runtime::builder()
+        .fast()
+        .nodes(["P", "D", "B"])
+        .class(test_object_class())
+        .trace(true)
+        .build();
+    rt.deploy_class("TestObject", "D").unwrap();
+    rt.create_object("TestObject", "C", "D", &(), Visibility::Public).unwrap();
+    rt.world_mut().trace_mut().clear();
+    let attr = Grev::new("TestObject", "C", "B");
+    let (_s, result): (_, Option<i64>) = rt.bind_invoke("P", &attr, "inc", &()).unwrap();
+    print!("{}", rt.trace_rendered());
+    println!("(result delivered to P: {result:?})");
+}

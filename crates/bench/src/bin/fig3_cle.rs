@@ -1,0 +1,29 @@
+//! Regenerates Figure 3: current-location evaluation — P finds C to make
+//! its invocation request, wherever the job controller last put it.
+
+use mage_core::attribute::{Cle, Grev};
+use mage_core::workload_support::test_object_class;
+use mage_core::{Runtime, Visibility};
+
+fn main() {
+    mage_bench::banner("Figure 3 — Current Location Evaluation");
+    let mut rt = Runtime::builder()
+        .fast()
+        .nodes(["P", "X", "Y"])
+        .class(test_object_class())
+        .trace(true)
+        .build();
+    rt.deploy_class("TestObject", "X").unwrap();
+    rt.create_object("TestObject", "C", "X", &(), Visibility::Public).unwrap();
+    // The controller moves C while P is not looking.
+    let relocate = Grev::new("TestObject", "C", "Y");
+    rt.bind("P", &relocate).unwrap();
+    rt.world_mut().trace_mut().clear();
+    let attr = Cle::new("TestObject", "C");
+    let (stub, _): (_, Option<i64>) = rt.bind_invoke("P", &attr, "inc", &()).unwrap();
+    print!("{}", rt.trace_rendered());
+    println!(
+        "(P found C at {} and invoked it there; no target was specified)",
+        rt.node_name(stub.location()).unwrap()
+    );
+}

@@ -1,0 +1,32 @@
+//! Regenerates Figure 5: the mobility-attribute class hierarchy.
+
+use mage_core::attribute::catalog;
+
+fn main() {
+    mage_bench::banner("Figure 5 — The Mobility Attribute Class Hierarchy");
+    let entries = catalog();
+    for entry in &entries {
+        if entry.parent.is_empty() {
+            println!("{} (abstract)", entry.name);
+            continue;
+        }
+        let depth = {
+            // Walk up the parent chain to indent subclasses (GREV under REV).
+            let mut depth = 1;
+            let mut parent = entry.parent;
+            while let Some(up) = entries.iter().find(|e| e.name == parent) {
+                if up.parent.is_empty() {
+                    break;
+                }
+                parent = up.parent;
+                depth += 1;
+            }
+            depth
+        };
+        let triple = entry
+            .model
+            .map(|m| format!("  {}", m.design_triple()))
+            .unwrap_or_default();
+        println!("{}└── {}{}", "    ".repeat(depth), entry.name, triple);
+    }
+}

@@ -1,0 +1,26 @@
+//! The move-computation-vs-move-data crossover (§1's motivation,
+//! quantified): total cost of `calls` invocations when each touches a
+//! block of remote data, comparing repeated RPC (ship the data) against a
+//! one-time REV migration (ship the code).
+
+use mage_bench::sweep::run_sweep;
+
+fn main() {
+    mage_bench::banner("Sweep — move the computation vs move the data");
+    let sizes = [256usize, 4_096, 16_384, 65_536, 262_144, 1_048_576];
+    let calls = 10;
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "block (B)", "RPC total(ms)", "REV total(ms)", "winner"
+    );
+    for point in run_sweep(&sizes, calls) {
+        let winner = if point.rev_ms < point.rpc_ms { "REV" } else { "RPC" };
+        println!(
+            "{:>12} {:>14.1} {:>14.1} {:>10}",
+            point.block_bytes, point.rpc_ms, point.rev_ms, winner
+        );
+    }
+    println!("\n({calls} invocations per point; RPC ships the block every call,");
+    println!(" REV pays one 12 KiB code migration then runs data-local — the");
+    println!(" colocating-components-and-resources argument of §1)");
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 1: distributed programming models parameterized as
+//! `<Location, Target, Moves>` triples.
+
+fn main() {
+    mage_bench::banner("Table 1 — Distributed Programming Models Parameterized");
+    print!("{}", mage_bench::tables::render_table1());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 2: component location and programming model
+//! behaviour under mobility coercion.
+
+fn main() {
+    mage_bench::banner("Table 2 — Component Location and Programming Model Behavior");
+    print!("{}", mage_bench::tables::render_table2());
+}

@@ -1,0 +1,36 @@
+//! Regenerates Table 3: MAGE overhead measurements on the simulated
+//! 2×450 MHz / 10 Mb/s testbed, alongside the paper's published numbers.
+
+use mage_bench::overhead::{run_table3, PAPER_TABLE_3};
+use mage_rmi::CostModel;
+
+fn main() {
+    mage_bench::banner("Table 3 — MAGE Overhead Measurements");
+    println!(
+        "{:<26} {:>14} {:>16}   {:>14} {:>16}",
+        "Distributed", "Single", "Amortized (10)", "paper", "paper"
+    );
+    println!(
+        "{:<26} {:>14} {:>16}   {:>14} {:>16}",
+        "Programming Model", "Invocation(ms)", "Invocation(ms)", "single", "amortized"
+    );
+    let rows = run_table3(CostModel::jdk_1_2_2(), 10);
+    for (row, (pname, psingle, pamort)) in rows.iter().zip(PAPER_TABLE_3) {
+        assert_eq!(row.name, pname);
+        println!(
+            "{:<26} {:>14.0} {:>16.0}   {:>14.0} {:>16.0}",
+            row.name, row.single_ms, row.amortized_ms, psingle, pamort
+        );
+    }
+    let rmi = rows[0].amortized_ms;
+    println!("\nAmortized multiples of Java's RMI (paper in parentheses):");
+    let paper_rmi = PAPER_TABLE_3[0].2;
+    for (row, (_, _, pamort)) in rows.iter().zip(PAPER_TABLE_3) {
+        println!(
+            "  {:<26} {:>5.2}x  ({:>4.2}x)",
+            row.name,
+            row.amortized_ms / rmi,
+            pamort / paper_rmi
+        );
+    }
+}

@@ -1,0 +1,38 @@
+//! Benchmark harness regenerating every table and figure of the MAGE
+//! paper's evaluation (§5) plus the ablations DESIGN.md calls out.
+//!
+//! Each `src/bin/*.rs` binary prints one artifact:
+//!
+//! | binary | paper artifact |
+//! |---|---|
+//! | `table1` | Table 1 — models as `<Location, Target, Moves>` triples |
+//! | `table2` | Table 2 — mobility-coercion behaviour matrix |
+//! | `table3` | Table 3 — overhead measurements (single / amortized-10) |
+//! | `fig1_models` | Figure 1 — RPC/COD/REV/MA message diagrams |
+//! | `fig2_grev` | Figure 2 — generalized remote evaluation |
+//! | `fig3_cle` | Figure 3 — current-location evaluation |
+//! | `fig5_hierarchy` | Figure 5 — mobility-attribute class hierarchy |
+//! | `fig6_system` | Figure 6 — the MAGE system snapshot |
+//! | `fig7_grev_protocol` | Figure 7 — the GREV move protocol |
+//! | `fig8_locking` | Figure 8 — mobile-object locking |
+//! | `ablation_fastpath` | §5's predicted direct-TCP migration transport |
+//! | `ablation_locks` | §4.4's unfair stay preference vs fair queuing |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod overhead;
+pub mod sweep;
+pub mod tables;
+
+use mage_sim::SimDuration;
+
+/// Formats a duration as the paper prints milliseconds.
+pub fn ms(d: SimDuration) -> f64 {
+    d.as_millis_f64()
+}
+
+/// Prints a boxed section header for harness output.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,270 @@
+//! The Table 3 measurement harness: overhead of each distributed
+//! programming model implemented with mobility attributes.
+//!
+//! The paper's methodology (§5): two hosts on 10 Mb/s Ethernet; the test
+//! object is "a minimal extension of UnicastRemote" with a single integer
+//! attribute it increments; each row reports the first (cold) invocation
+//! and the average over 10. The *Java's RMI* baseline bypasses MAGE
+//! entirely; every other row runs the real attribute protocols.
+//!
+//! Where the paper's loop re-ships the component every iteration (TREV's
+//! class-and-instantiate, MA's agent launch), the harness resets placement
+//! between iterations *outside* the timed region so each sample measures
+//! the same operation.
+
+use mage_core::attribute::{Cod, Grev, MobileAgent, Rev, Rpc};
+use mage_core::workload_support::test_object_class;
+use mage_core::{Runtime, Visibility};
+use mage_rmi::{client_endpoint, drive_call, server_endpoint, Config as RmiConfig, CostModel};
+use mage_sim::{LinkSpec, World};
+
+/// Result of one Table 3 row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Row label as printed in the paper.
+    pub name: &'static str,
+    /// Single (cold) invocation time in ms.
+    pub single_ms: f64,
+    /// Amortized (average of 10) invocation time in ms.
+    pub amortized_ms: f64,
+}
+
+/// The paper's published Table 3, for shape comparison in EXPERIMENTS.md.
+pub const PAPER_TABLE_3: [(&str, f64, f64); 5] = [
+    ("Java's RMI", 33.0, 20.0),
+    ("Mage's RMI", 34.0, 23.0),
+    ("Traditional COD (TCOD)", 66.0, 22.0),
+    ("Traditional REV (TREV)", 130.0, 82.0),
+    ("MA", 110.0, 63.0),
+];
+
+fn rmi_config(cost: CostModel) -> RmiConfig {
+    RmiConfig { cost, ..RmiConfig::default() }
+}
+
+fn mage_runtime(cost: CostModel, seed: u64) -> Runtime {
+    Runtime::builder()
+        .seed(seed)
+        .nodes(["host1", "host2"])
+        .class(test_object_class())
+        .rmi_config(rmi_config(cost))
+        .link(LinkSpec::ethernet_10mbps())
+        .build()
+}
+
+fn summarize(name: &'static str, times: &[f64]) -> Row {
+    Row {
+        name,
+        single_ms: times[0],
+        amortized_ms: times.iter().sum::<f64>() / times.len() as f64,
+    }
+}
+
+/// Row 1 — plain RMI, no MAGE: `drive_call` against a bound object.
+pub fn java_rmi(cost: CostModel, iterations: usize) -> Row {
+    let mut world = World::new(2001);
+    let cfg = rmi_config(cost);
+    let client = world.add_node("host1", client_endpoint(cfg));
+    let server = world.add_node(
+        "host2",
+        server_endpoint(cfg, "test", {
+            let mut value = 0i64;
+            Box::new(
+                move |method: &str, _args: &[u8], _env: &mut mage_rmi::ObjectEnv<'_>| {
+                    if method == "inc" {
+                        value += 1;
+                        Ok(mage_rmi::encode_args(&value).expect("encodes"))
+                    } else {
+                        Err(mage_rmi::Fault::NoSuchMethod {
+                            object: "test".into(),
+                            method: method.into(),
+                        })
+                    }
+                },
+            )
+        }),
+    );
+    world.set_link_bidi(client, server, LinkSpec::ethernet_10mbps());
+    let mut times = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let start = world.now();
+        drive_call(&mut world, client, server, "test", "inc", vec![])
+            .expect("world healthy")
+            .expect("call succeeds");
+        times.push((world.now() - start).as_millis_f64());
+    }
+    summarize("Java's RMI", &times)
+}
+
+/// Row 2 — Mage's RMI: the RPC mobility attribute, "a very thin wrapper of
+/// a standard RMI call" (§4.2), on a private object.
+pub fn mage_rmi(cost: CostModel, iterations: usize) -> Row {
+    let mut rt = mage_runtime(cost, 2002);
+    rt.deploy_class("TestObject", "host2").unwrap();
+    rt.create_object("TestObject", "test", "host2", &(), Visibility::Private)
+        .unwrap();
+    let attr = Rpc::new("TestObject", "test", "host2");
+    let stub = rt.bind("host1", &attr).unwrap();
+    let mut times = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let start = rt.now();
+        let _: i64 = rt.call(&stub, "inc", &()).unwrap();
+        times.push((rt.now() - start).as_millis_f64());
+    }
+    summarize("Mage's RMI", &times)
+}
+
+/// Row 3 — traditional COD: "the test object's class file is migrated to
+/// the local host, the local host instantiates a test object and invokes
+/// the appropriate method" (§5). The class is fetched once (cold); later
+/// binds instantiate from the cache and invoke through the local stub.
+pub fn tcod(cost: CostModel, iterations: usize) -> Row {
+    let mut rt = mage_runtime(cost, 2003);
+    rt.deploy_class("TestObject", "host2").unwrap();
+    let attr = Cod::factory("TestObject", "test");
+    let mut times = Vec::with_capacity(iterations);
+    for _ in 0..iterations {
+        let start = rt.now();
+        let (_stub, _r): (_, Option<i64>) =
+            rt.bind_invoke("host1", &attr, "inc", &()).unwrap();
+        times.push((rt.now() - start).as_millis_f64());
+    }
+    summarize("Traditional COD (TCOD)", &times)
+}
+
+/// Row 4 — traditional REV: the class file is local, the computation runs
+/// on the remote host, the result returns. Guarded (the §4.4 bracket), so
+/// each warm iteration is the paper's four RMI calls: lock, move,
+/// invoke, unlock. Placement is reset between iterations off the clock.
+pub fn trev(cost: CostModel, iterations: usize) -> Row {
+    let mut rt = mage_runtime(cost, 2004);
+    rt.deploy_class("TestObject", "host1").unwrap();
+    rt.create_object("TestObject", "test", "host1", &(), Visibility::Public)
+        .unwrap();
+    let attr = Rev::new("TestObject", "test", "host2").guarded();
+    let reset = Grev::new("TestObject", "test", "host1");
+    let mut times = Vec::with_capacity(iterations);
+    for i in 0..iterations {
+        let start = rt.now();
+        let (_stub, _r): (_, Option<i64>) =
+            rt.bind_invoke("host1", &attr, "inc", &()).unwrap();
+        times.push((rt.now() - start).as_millis_f64());
+        if i + 1 < iterations {
+            rt.bind("host1", &reset).unwrap(); // unmeasured reset
+        }
+    }
+    summarize("Traditional REV (TREV)", &times)
+}
+
+/// Row 5 — MA: "similar to TREV except that the result stays at the remote
+/// host" (§5): the agent moves and is invoked one-way.
+pub fn mobile_agent(cost: CostModel, iterations: usize) -> Row {
+    let mut rt = mage_runtime(cost, 2005);
+    rt.deploy_class("TestObject", "host1").unwrap();
+    rt.create_object("TestObject", "test", "host1", &(), Visibility::Public)
+        .unwrap();
+    let attr = MobileAgent::new("TestObject", "test", "host2").guarded();
+    let reset = Grev::new("TestObject", "test", "host1");
+    let mut times = Vec::with_capacity(iterations);
+    for i in 0..iterations {
+        let start = rt.now();
+        let (_stub, _r): (_, Option<i64>) =
+            rt.bind_invoke("host1", &attr, "inc", &()).unwrap();
+        times.push((rt.now() - start).as_millis_f64());
+        rt.run_until_idle().unwrap(); // drain the one-way invoke
+        if i + 1 < iterations {
+            rt.bind("host1", &reset).unwrap();
+        }
+    }
+    summarize("MA", &times)
+}
+
+/// Runs all five rows of Table 3 under a cost model.
+pub fn run_table3(cost: CostModel, iterations: usize) -> Vec<Row> {
+    vec![
+        java_rmi(cost, iterations),
+        mage_rmi(cost, iterations),
+        tcod(cost, iterations),
+        trev(cost, iterations),
+        mobile_agent(cost, iterations),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        run_table3(CostModel::jdk_1_2_2(), 10)
+    }
+
+    #[test]
+    fn orderings_match_the_paper() {
+        let rows = rows();
+        let by_name = |n: &str| rows.iter().find(|r| r.name.contains(n)).unwrap().clone();
+        let rmi = by_name("Java");
+        let mage = by_name("Mage");
+        let tcod = by_name("TCOD");
+        let trev = by_name("TREV");
+        let ma = by_name("MA");
+        // Singles: RMI < Mage RMI < TCOD < MA < TREV (paper: 33,34,66,110,130).
+        assert!(rmi.single_ms < mage.single_ms);
+        assert!(mage.single_ms < tcod.single_ms);
+        assert!(tcod.single_ms < ma.single_ms);
+        assert!(ma.single_ms < trev.single_ms);
+        // Amortized: RMI < TCOD ≈ Mage RMI < MA < TREV (paper: 20,22,23,63,82).
+        assert!(rmi.amortized_ms < mage.amortized_ms);
+        assert!(rmi.amortized_ms < tcod.amortized_ms);
+        assert!(tcod.amortized_ms < ma.amortized_ms);
+        assert!(ma.amortized_ms < trev.amortized_ms);
+    }
+
+    #[test]
+    fn factors_are_in_the_paper_ballpark() {
+        let rows = rows();
+        let rmi = rows[0].clone();
+        let trev = rows.iter().find(|r| r.name.contains("TREV")).unwrap();
+        let ma = rows.iter().find(|r| r.name.contains("MA")).unwrap();
+        // Paper: TREV ≈ 4.1× RMI amortized; MA ≈ 3.2×. Accept 2.5–6×.
+        let trev_factor = trev.amortized_ms / rmi.amortized_ms;
+        let ma_factor = ma.amortized_ms / rmi.amortized_ms;
+        assert!((2.5..6.0).contains(&trev_factor), "TREV factor {trev_factor:.2}");
+        assert!((2.0..5.0).contains(&ma_factor), "MA factor {ma_factor:.2}");
+        assert!(ma_factor < trev_factor, "MA cheaper than TREV");
+    }
+
+    #[test]
+    fn cold_exceeds_warm_for_every_row() {
+        for row in rows() {
+            assert!(
+                row.single_ms > row.amortized_ms,
+                "{}: cold {:.1} !> amortized {:.1}",
+                row.name,
+                row.single_ms,
+                row.amortized_ms
+            );
+        }
+    }
+
+    #[test]
+    fn rows_are_deterministic() {
+        let a = rows();
+        let b = rows();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fastpath_beats_rmi_everywhere() {
+        let rmi_rows = run_table3(CostModel::jdk_1_2_2(), 10);
+        let fast_rows = run_table3(CostModel::direct_tcp(), 10);
+        for (rmi, fast) in rmi_rows.iter().zip(&fast_rows) {
+            assert!(
+                fast.amortized_ms < rmi.amortized_ms,
+                "{}: fastpath {:.1} !< rmi {:.1}",
+                rmi.name,
+                fast.amortized_ms,
+                rmi.amortized_ms
+            );
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! The move-computation-vs-move-data sweep.
+//!
+//! The paper's motivation (§1, §3.6): when a component repeatedly touches a
+//! large remote dataset, moving the *computation* to the data (REV) beats
+//! shipping the *data* to the computation (repeated RPC) — and the
+//! crossover point depends on how much data each invocation touches. This
+//! sweep quantifies that crossover on the simulated testbed, filling the
+//! quantitative gap the paper leaves between its motivation and Table 3.
+
+use mage_core::attribute::{Rev, Rpc};
+use mage_core::object::{args_as, result_from, MobileEnv, MobileObject};
+use mage_core::{ClassDef, Runtime, Visibility};
+use mage_rmi::Fault;
+use mage_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// A component that "analyses" a block of sensor data per invocation.
+///
+/// Under RPC the caller ships the block with every request; under REV the
+/// component sits next to the data and requests are tiny.
+#[derive(Debug, Default, Serialize, Deserialize)]
+struct Analyzer {
+    processed: u64,
+}
+
+impl MobileObject for Analyzer {
+    fn class_name(&self) -> &str {
+        "Analyzer"
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>, Fault> {
+        result_from(self)
+    }
+
+    fn invoke(
+        &mut self,
+        method: &str,
+        args: &[u8],
+        env: &mut MobileEnv<'_>,
+    ) -> Result<Vec<u8>, Fault> {
+        match method {
+            "analyze" => {
+                let block: Vec<u8> = args_as(args)?;
+                env.consume(SimDuration::from_micros(50 * (1 + block.len() as u64 / 4096)));
+                self.processed += block.len() as u64;
+                result_from(&self.processed)
+            }
+            "analyze_local" => {
+                // The data is co-located: only a block size travels.
+                let block_len: u64 = args_as(args)?;
+                env.consume(SimDuration::from_micros(50 * (1 + block_len / 4096)));
+                self.processed += block_len;
+                result_from(&self.processed)
+            }
+            other => Err(Fault::NoSuchMethod {
+                object: "analyzer".into(),
+                method: other.into(),
+            }),
+        }
+    }
+}
+
+/// Class definition for the analyzer (a mid-sized application class).
+pub fn analyzer_class() -> ClassDef {
+    ClassDef::new("Analyzer", 12_288, |state| {
+        let obj: Analyzer = if state.is_empty() {
+            Analyzer::default()
+        } else {
+            args_as(state)?
+        };
+        Ok(Box::new(obj))
+    })
+}
+
+/// One sweep point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Bytes of data each invocation touches.
+    pub block_bytes: usize,
+    /// Total virtual ms for the RPC strategy (data ships every call).
+    pub rpc_ms: f64,
+    /// Total virtual ms for the REV strategy (one migration, local data).
+    pub rev_ms: f64,
+}
+
+/// Runs both strategies for `calls` invocations over each block size.
+///
+/// The data lives on `sensor`; the application starts on `lab`.
+pub fn run_sweep(block_sizes: &[usize], calls: usize) -> Vec<SweepPoint> {
+    block_sizes
+        .iter()
+        .map(|&block_bytes| {
+            // Strategy A: RPC — the analyzer stays at the lab; every call
+            // ships a block from the sensor side (modelled as the lab
+            // pulling then invoking locally is equivalent; we place the
+            // analyzer remote and ship blocks in the request).
+            let rpc_ms = {
+                let mut rt = base_runtime();
+                rt.deploy_class("Analyzer", "lab").unwrap();
+                rt.create_object("Analyzer", "an", "lab", &(), Visibility::Private)
+                    .unwrap();
+                // The data is at the sensor: a client there invokes the
+                // remote analyzer, shipping one block per call.
+                let attr = Rpc::new("Analyzer", "an", "lab");
+                let stub = rt.bind("sensor", &attr).unwrap();
+                let block = vec![0u8; block_bytes];
+                let start = rt.now();
+                for _ in 0..calls {
+                    let _: u64 = rt.call(&stub, "analyze", &block).unwrap();
+                }
+                (rt.now() - start).as_millis_f64()
+            };
+            // Strategy B: REV — move the analyzer (code + state) to the
+            // sensor once; every call is data-local.
+            let rev_ms = {
+                let mut rt = base_runtime();
+                rt.deploy_class("Analyzer", "lab").unwrap();
+                rt.create_object("Analyzer", "an", "lab", &(), Visibility::Private)
+                    .unwrap();
+                let start = rt.now();
+                let attr = Rev::new("Analyzer", "an", "sensor");
+                let stub = rt.bind("lab", &attr).unwrap();
+                for _ in 0..calls {
+                    let _: u64 = rt
+                        .call(&stub, "analyze_local", &(block_bytes as u64))
+                        .unwrap();
+                }
+                (rt.now() - start).as_millis_f64()
+            };
+            SweepPoint { block_bytes, rpc_ms, rev_ms }
+        })
+        .collect()
+}
+
+fn base_runtime() -> Runtime {
+    // Megabyte transfers take seconds of virtual time on 10 Mb/s; use a
+    // blocking-client timeout so retransmission never kicks in mid-transfer
+    // (JDK RMI clients block indefinitely by default).
+    let rmi = mage_rmi::Config {
+        call_timeout: SimDuration::from_secs(60),
+        ..mage_rmi::Config::default()
+    };
+    Runtime::builder()
+        .nodes(["lab", "sensor"])
+        .class(analyzer_class())
+        .rmi_config(rmi)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossover_exists_and_favors_rev_for_big_blocks() {
+        let points = run_sweep(&[64, 65_536, 1_048_576], 10);
+        // Tiny blocks: migrating 12 KiB of code + state for nothing is not
+        // worth it — RPC wins or ties.
+        let tiny = &points[0];
+        assert!(
+            tiny.rpc_ms <= tiny.rev_ms * 1.5,
+            "tiny blocks should not favour REV strongly: rpc={:.1} rev={:.1}",
+            tiny.rpc_ms,
+            tiny.rev_ms
+        );
+        // Large blocks: shipping a megabyte per call over 10 Mb/s dwarfs
+        // one migration — REV must win by a wide margin.
+        let big = &points[2];
+        assert!(
+            big.rev_ms * 3.0 < big.rpc_ms,
+            "1 MiB blocks must favour REV: rpc={:.1} rev={:.1}",
+            big.rpc_ms,
+            big.rev_ms
+        );
+    }
+
+    #[test]
+    fn rpc_cost_grows_with_block_size_rev_stays_flat() {
+        let points = run_sweep(&[1_024, 262_144], 5);
+        assert!(points[1].rpc_ms > points[0].rpc_ms * 2.0);
+        let rev_growth = points[1].rev_ms / points[0].rev_ms;
+        assert!(rev_growth < 1.5, "REV cost nearly independent of block size");
+    }
+}

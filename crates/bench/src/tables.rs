@@ -1,0 +1,73 @@
+//! Textual renderings of the paper's Tables 1 and 2 from the live
+//! implementation (not hard-coded strings: the cells are computed by the
+//! same code the runtime executes).
+
+use std::fmt::Write as _;
+
+use mage_core::coercion::{cell_text, TABLE_2_MODELS, TABLE_2_SITUATIONS};
+use mage_core::ModelKind;
+
+/// Renders Table 1: distributed programming models parameterized.
+pub fn render_table1() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6} {:<15} {:<15} {:<10}",
+        "", "Current Location", "Target", "Moves Component"
+    );
+    for model in ModelKind::TABLE_1 {
+        let t = model.design_triple();
+        let _ = writeln!(
+            out,
+            "{:<6} {:<15}  {:<15} {:<10}",
+            model.to_string(),
+            t.location.to_string(),
+            t.target.to_string(),
+            if t.moves { "yes" } else { "no" },
+        );
+    }
+    out
+}
+
+/// Renders Table 2: component location and programming model behaviour.
+pub fn render_table2() -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<6} {:<20} {:<25} {:<25}",
+        "", "Local", "Remote, At Target", "Remote, Not At Target"
+    );
+    for model in TABLE_2_MODELS {
+        let _ = write!(out, "{:<6} ", model.to_string());
+        for situation in TABLE_2_SITUATIONS {
+            let _ = write!(out, "{:<25} ", cell_text(model, situation));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_contains_every_model_row() {
+        let text = render_table1();
+        for name in ["MA", "REV", "RPC", "CLE", "COD", "LPC"] {
+            assert!(text.contains(name), "missing {name}:\n{text}");
+        }
+        assert!(text.contains("not specified"));
+    }
+
+    #[test]
+    fn table2_reproduces_paper_cells() {
+        let text = render_table2();
+        assert!(text.contains("Exception thrown"));
+        assert!(text.contains("n/a"));
+        assert!(text.contains("Default Behavior"));
+        // COD row coerces to LPC locally.
+        let cod_line = text.lines().find(|l| l.starts_with("COD")).unwrap();
+        assert!(cod_line.contains("LPC"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Error types for encoding and decoding.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while serializing a value into the MAGE wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum EncodeError {
+    /// A sequence or map was serialized without a known length.
+    ///
+    /// The wire format is length-prefixed, so producers must know how many
+    /// elements they will emit up front.
+    UnknownLength,
+    /// Custom message raised by a `Serialize` implementation.
+    Message(String),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::UnknownLength => {
+                write!(f, "sequence length must be known up front")
+            }
+            EncodeError::Message(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+impl serde::ser::Error for EncodeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        EncodeError::Message(msg.to_string())
+    }
+}
+
+/// Error produced while deserializing a value from the MAGE wire format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// Input ended before the value was complete.
+    UnexpectedEof,
+    /// A varint did not fit in 64 bits.
+    VarintOverflow,
+    /// A decoded integer did not fit the requested width.
+    IntegerOutOfRange,
+    /// A boolean byte was neither 0 nor 1.
+    InvalidBool(u8),
+    /// An `Option` tag byte was neither 0 nor 1.
+    InvalidOptionTag(u8),
+    /// A decoded code point was not a valid `char`.
+    InvalidChar(u32),
+    /// String bytes were not valid UTF-8.
+    InvalidUtf8,
+    /// Bytes remained after the value was fully decoded.
+    TrailingBytes(usize),
+    /// The format is not self-describing, so `deserialize_any` is rejected.
+    NotSelfDescribing,
+    /// Custom message raised by a `Deserialize` implementation.
+    Message(String),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::VarintOverflow => write!(f, "varint does not fit in 64 bits"),
+            DecodeError::IntegerOutOfRange => {
+                write!(f, "integer does not fit the requested width")
+            }
+            DecodeError::InvalidBool(b) => write!(f, "invalid bool byte {b:#04x}"),
+            DecodeError::InvalidOptionTag(b) => {
+                write!(f, "invalid option tag byte {b:#04x}")
+            }
+            DecodeError::InvalidChar(c) => write!(f, "invalid char code point {c:#x}"),
+            DecodeError::InvalidUtf8 => write!(f, "string bytes were not valid utf-8"),
+            DecodeError::TrailingBytes(n) => {
+                write!(f, "{n} trailing bytes after decoded value")
+            }
+            DecodeError::NotSelfDescribing => {
+                write!(f, "format is not self-describing; concrete type required")
+            }
+            DecodeError::Message(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+impl serde::de::Error for DecodeError {
+    fn custom<T: fmt::Display>(msg: T) -> Self {
+        DecodeError::Message(msg.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_trailing_punctuation() {
+        let msgs = [
+            EncodeError::UnknownLength.to_string(),
+            DecodeError::UnexpectedEof.to_string(),
+            DecodeError::InvalidBool(7).to_string(),
+            DecodeError::TrailingBytes(3).to_string(),
+        ];
+        for msg in msgs {
+            assert!(!msg.is_empty());
+            assert!(!msg.ends_with('.'), "no trailing period: {msg}");
+            assert!(!msg.chars().next().unwrap().is_uppercase(), "{msg}");
+        }
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<EncodeError>();
+        assert_send_sync::<DecodeError>();
+    }
+
+    #[test]
+    fn custom_messages_roundtrip() {
+        let e = <EncodeError as serde::ser::Error>::custom("boom");
+        assert_eq!(e, EncodeError::Message("boom".to_owned()));
+        let d = <DecodeError as serde::de::Error>::custom("bam");
+        assert_eq!(d, DecodeError::Message("bam".to_owned()));
+    }
+}

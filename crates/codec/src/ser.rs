@@ -1,0 +1,410 @@
+//! Serializer from Rust values into the MAGE wire format.
+
+use serde::ser::{self, Serialize};
+
+use crate::error::EncodeError;
+use crate::varint;
+
+/// Serializes `value` into a freshly allocated byte buffer.
+///
+/// # Errors
+///
+/// Returns [`EncodeError::UnknownLength`] when serializing an iterator-like
+/// sequence whose length is not known up front, or any custom error raised by
+/// the type's `Serialize` implementation.
+///
+/// # Examples
+///
+/// ```
+/// let bytes = mage_codec::to_bytes(&(1u32, "geoData")).unwrap();
+/// let back: (u32, String) = mage_codec::from_bytes(&bytes).unwrap();
+/// assert_eq!(back, (1, "geoData".to_owned()));
+/// ```
+pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::with_capacity(64);
+    value.serialize(&mut Serializer { out: &mut out })?;
+    Ok(out)
+}
+
+/// Serializes `value`, appending to an existing buffer.
+///
+/// Useful when framing several values into one network payload without
+/// intermediate allocations.
+///
+/// # Errors
+///
+/// Same as [`to_bytes`].
+pub fn to_bytes_in<T: Serialize + ?Sized>(
+    value: &T,
+    out: &mut Vec<u8>,
+) -> Result<(), EncodeError> {
+    value.serialize(&mut Serializer { out })
+}
+
+struct Serializer<'a> {
+    out: &'a mut Vec<u8>,
+}
+
+impl<'a> Serializer<'a> {
+    fn put_u64(&mut self, v: u64) {
+        varint::encode_u64(v, self.out);
+    }
+
+    fn put_i64(&mut self, v: i64) {
+        varint::encode_i64(v, self.out);
+    }
+
+    fn put_len(&mut self, len: usize) {
+        varint::encode_u64(len as u64, self.out);
+    }
+}
+
+impl<'a, 'b> ser::Serializer for &'b mut Serializer<'a> {
+    type Ok = ();
+    type Error = EncodeError;
+    type SerializeSeq = Compound<'a, 'b>;
+    type SerializeTuple = Compound<'a, 'b>;
+    type SerializeTupleStruct = Compound<'a, 'b>;
+    type SerializeTupleVariant = Compound<'a, 'b>;
+    type SerializeMap = Compound<'a, 'b>;
+    type SerializeStruct = Compound<'a, 'b>;
+    type SerializeStructVariant = Compound<'a, 'b>;
+
+    fn serialize_bool(self, v: bool) -> Result<(), EncodeError> {
+        self.out.push(u8::from(v));
+        Ok(())
+    }
+
+    fn serialize_i8(self, v: i8) -> Result<(), EncodeError> {
+        self.put_i64(i64::from(v));
+        Ok(())
+    }
+
+    fn serialize_i16(self, v: i16) -> Result<(), EncodeError> {
+        self.put_i64(i64::from(v));
+        Ok(())
+    }
+
+    fn serialize_i32(self, v: i32) -> Result<(), EncodeError> {
+        self.put_i64(i64::from(v));
+        Ok(())
+    }
+
+    fn serialize_i64(self, v: i64) -> Result<(), EncodeError> {
+        self.put_i64(v);
+        Ok(())
+    }
+
+    fn serialize_i128(self, v: i128) -> Result<(), EncodeError> {
+        // Split into sign-extended high and low halves, each a varint.
+        self.put_i64((v >> 64) as i64);
+        self.put_u64(v as u64);
+        Ok(())
+    }
+
+    fn serialize_u8(self, v: u8) -> Result<(), EncodeError> {
+        self.put_u64(u64::from(v));
+        Ok(())
+    }
+
+    fn serialize_u16(self, v: u16) -> Result<(), EncodeError> {
+        self.put_u64(u64::from(v));
+        Ok(())
+    }
+
+    fn serialize_u32(self, v: u32) -> Result<(), EncodeError> {
+        self.put_u64(u64::from(v));
+        Ok(())
+    }
+
+    fn serialize_u64(self, v: u64) -> Result<(), EncodeError> {
+        self.put_u64(v);
+        Ok(())
+    }
+
+    fn serialize_u128(self, v: u128) -> Result<(), EncodeError> {
+        self.put_u64((v >> 64) as u64);
+        self.put_u64(v as u64);
+        Ok(())
+    }
+
+    fn serialize_f32(self, v: f32) -> Result<(), EncodeError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_f64(self, v: f64) -> Result<(), EncodeError> {
+        self.out.extend_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    fn serialize_char(self, v: char) -> Result<(), EncodeError> {
+        self.put_u64(u64::from(u32::from(v)));
+        Ok(())
+    }
+
+    fn serialize_str(self, v: &str) -> Result<(), EncodeError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v.as_bytes());
+        Ok(())
+    }
+
+    fn serialize_bytes(self, v: &[u8]) -> Result<(), EncodeError> {
+        self.put_len(v.len());
+        self.out.extend_from_slice(v);
+        Ok(())
+    }
+
+    fn serialize_none(self) -> Result<(), EncodeError> {
+        self.out.push(0);
+        Ok(())
+    }
+
+    fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), EncodeError> {
+        self.out.push(1);
+        value.serialize(self)
+    }
+
+    fn serialize_unit(self) -> Result<(), EncodeError> {
+        Ok(())
+    }
+
+    fn serialize_unit_struct(self, _name: &'static str) -> Result<(), EncodeError> {
+        Ok(())
+    }
+
+    fn serialize_unit_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+    ) -> Result<(), EncodeError> {
+        self.put_u64(u64::from(variant_index));
+        Ok(())
+    }
+
+    fn serialize_newtype_struct<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        value: &T,
+    ) -> Result<(), EncodeError> {
+        value.serialize(self)
+    }
+
+    fn serialize_newtype_variant<T: Serialize + ?Sized>(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        value: &T,
+    ) -> Result<(), EncodeError> {
+        self.put_u64(u64::from(variant_index));
+        value.serialize(self)
+    }
+
+    fn serialize_seq(self, len: Option<usize>) -> Result<Compound<'a, 'b>, EncodeError> {
+        let len = len.ok_or(EncodeError::UnknownLength)?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple(self, _len: usize) -> Result<Compound<'a, 'b>, EncodeError> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a, 'b>, EncodeError> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_tuple_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a, 'b>, EncodeError> {
+        self.put_u64(u64::from(variant_index));
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_map(self, len: Option<usize>) -> Result<Compound<'a, 'b>, EncodeError> {
+        let len = len.ok_or(EncodeError::UnknownLength)?;
+        self.put_len(len);
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct(
+        self,
+        _name: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a, 'b>, EncodeError> {
+        Ok(Compound { ser: self })
+    }
+
+    fn serialize_struct_variant(
+        self,
+        _name: &'static str,
+        variant_index: u32,
+        _variant: &'static str,
+        _len: usize,
+    ) -> Result<Compound<'a, 'b>, EncodeError> {
+        self.put_u64(u64::from(variant_index));
+        Ok(Compound { ser: self })
+    }
+
+    fn is_human_readable(&self) -> bool {
+        false
+    }
+}
+
+/// Serializer state for compound values (sequences, tuples, maps, structs).
+pub struct Compound<'a, 'b> {
+    ser: &'b mut Serializer<'a>,
+}
+
+impl ser::SerializeSeq for Compound<'_, '_> {
+    type Ok = ();
+    type Error = EncodeError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), EncodeError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), EncodeError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTuple for Compound<'_, '_> {
+    type Ok = ();
+    type Error = EncodeError;
+
+    fn serialize_element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), EncodeError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), EncodeError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleStruct for Compound<'_, '_> {
+    type Ok = ();
+    type Error = EncodeError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), EncodeError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), EncodeError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeTupleVariant for Compound<'_, '_> {
+    type Ok = ();
+    type Error = EncodeError;
+
+    fn serialize_field<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), EncodeError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), EncodeError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeMap for Compound<'_, '_> {
+    type Ok = ();
+    type Error = EncodeError;
+
+    fn serialize_key<T: Serialize + ?Sized>(&mut self, key: &T) -> Result<(), EncodeError> {
+        key.serialize(&mut *self.ser)
+    }
+
+    fn serialize_value<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), EncodeError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), EncodeError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStruct for Compound<'_, '_> {
+    type Ok = ();
+    type Error = EncodeError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), EncodeError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), EncodeError> {
+        Ok(())
+    }
+}
+
+impl ser::SerializeStructVariant for Compound<'_, '_> {
+    type Ok = ();
+    type Error = EncodeError;
+
+    fn serialize_field<T: Serialize + ?Sized>(
+        &mut self,
+        _key: &'static str,
+        value: &T,
+    ) -> Result<(), EncodeError> {
+        value.serialize(&mut *self.ser)
+    }
+
+    fn end(self) -> Result<(), EncodeError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_encodes_to_nothing() {
+        assert!(to_bytes(&()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn bool_encodes_one_byte() {
+        assert_eq!(to_bytes(&true).unwrap(), vec![1]);
+        assert_eq!(to_bytes(&false).unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn str_is_length_prefixed() {
+        assert_eq!(to_bytes("ab").unwrap(), vec![2, b'a', b'b']);
+    }
+
+    #[test]
+    fn option_is_tagged() {
+        assert_eq!(to_bytes(&Option::<u8>::None).unwrap(), vec![0]);
+        assert_eq!(to_bytes(&Some(3u8)).unwrap(), vec![1, 3]);
+    }
+
+    #[test]
+    fn small_ints_are_compact() {
+        assert_eq!(to_bytes(&5u64).unwrap().len(), 1);
+        assert_eq!(to_bytes(&-3i64).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn to_bytes_in_appends() {
+        let mut buf = vec![0xFF];
+        to_bytes_in(&1u8, &mut buf).unwrap();
+        assert_eq!(buf, vec![0xFF, 1]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Resource-allocation quotas (§7 future work, implemented here).
+//!
+//! Alongside access control, the paper plans "resource allocation models"
+//! for MAGE. Each namespace can cap how many objects it hosts and how many
+//! classes it caches; migrations and instantiations that would exceed the
+//! caps are refused, and the refusal propagates to the mobility attribute
+//! as a denial.
+
+/// Per-namespace admission limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Quotas {
+    /// Maximum hosted objects (`None` = unlimited).
+    pub max_objects: Option<u64>,
+    /// Maximum cached classes (`None` = unlimited).
+    pub max_classes: Option<u64>,
+}
+
+impl Quotas {
+    /// Unlimited quotas (the paper's current MAGE).
+    pub const fn unlimited() -> Self {
+        Quotas { max_objects: None, max_classes: None }
+    }
+
+    /// Whether one more hosted object fits.
+    pub fn admits_object(&self, current: usize) -> bool {
+        match self.max_objects {
+            Some(max) => (current as u64) < max,
+            None => true,
+        }
+    }
+
+    /// Whether one more cached class fits.
+    pub fn admits_class(&self, current: usize) -> bool {
+        match self.max_classes {
+            Some(max) => (current as u64) < max,
+            None => true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_admits_everything() {
+        let q = Quotas::unlimited();
+        assert!(q.admits_object(usize::MAX / 2));
+        assert!(q.admits_class(usize::MAX / 2));
+    }
+
+    #[test]
+    fn caps_are_enforced_at_the_boundary() {
+        let q = Quotas { max_objects: Some(2), max_classes: Some(1) };
+        assert!(q.admits_object(0));
+        assert!(q.admits_object(1));
+        assert!(!q.admits_object(2));
+        assert!(q.admits_class(0));
+        assert!(!q.admits_class(1));
+    }
+
+    #[test]
+    fn zero_quota_refuses_all() {
+        let q = Quotas { max_objects: Some(0), max_classes: Some(0) };
+        assert!(!q.admits_object(0));
+        assert!(!q.admits_class(0));
+    }
+}

@@ -1,0 +1,675 @@
+//! Client-side protocol engines and server-side continuations.
+//!
+//! A mobility attribute's `bind` is "a complex wrapper for RMI's
+//! `Naming.lookup`" (§4.2): it finds the component, optionally locks it,
+//! moves or instantiates it, invokes it and unlocks — each step an RMI call
+//! whose reply drives the next. This module holds those state machines:
+//!
+//! * [`ExecTask`] — the bind/invoke engine run on the client's node
+//! * [`MoveOutTask`] — the hosting node's half of the move protocol
+//!   (Figure 7's messages 4/5), shared by `moveTo` requests, client-local
+//!   moves and autonomous mobile-agent hops
+//! * forwarded finds — the registry's chain-walking with path compression
+
+use mage_rmi::{Env, Fault, ReplyHandle, RmiError};
+use mage_sim::{NodeId, OpId};
+
+use crate::error::MageError;
+use crate::lock::LockKind;
+use crate::node::MageNode;
+use crate::proto::{self, methods, Outcome};
+
+/// A continuation awaiting an RMI reply (keyed by its call token).
+pub(crate) enum Task {
+    /// A driver-initiated find.
+    ClientFind { op: OpId, name: String },
+    /// A driver-initiated lock acquisition.
+    ClientLock(ClientLockTask),
+    /// A driver-initiated unlock.
+    ClientUnlock(ClientUnlockTask),
+    /// A bind/invoke engine.
+    Exec(Box<ExecTask>),
+    /// A find being forwarded along the chain on behalf of a caller.
+    FwdFind { reply: ReplyHandle, name: String },
+    /// An object transfer out of this namespace.
+    MoveOut(MoveOutTask),
+}
+
+pub(crate) struct ClientLockTask {
+    pub op: OpId,
+    pub name: String,
+    pub target: NodeId,
+    pub home_hint: Option<NodeId>,
+    pub phase: LocatePhase,
+    pub retries: u8,
+}
+
+pub(crate) struct ClientUnlockTask {
+    pub op: OpId,
+    pub name: String,
+    pub home_hint: Option<NodeId>,
+    pub phase: LocatePhase,
+}
+
+/// Whether a locate-then-call task is waiting on the find or the call.
+pub(crate) enum LocatePhase {
+    Finding,
+    Calling,
+}
+
+/// Why a move was started; decides who hears about the outcome.
+pub(crate) enum MoveOrigin {
+    /// A remote `moveTo` caller awaiting a reply.
+    Reply(ReplyHandle),
+    /// A local [`ExecTask`] (stored under this task id) awaiting resumption.
+    Exec(u64),
+    /// An autonomous mobile-agent hop; outcome is only traced.
+    Autonomous,
+}
+
+pub(crate) enum MovePhase {
+    SentReceive { retried_class: bool },
+    SentClass,
+}
+
+pub(crate) struct MoveOutTask {
+    pub name: String,
+    pub dest: NodeId,
+    pub origin: MoveOrigin,
+    pub phase: MovePhase,
+    pub receive_args: proto::ReceiveArgs,
+    /// Waiters removed from the lock queue at pack time. Bounced after the
+    /// move commits (so their re-find sees the forwarding address) or
+    /// re-queued if the move aborts.
+    pub parked_waiters: Vec<crate::lock::QueuedWaiter<ReplyHandle>>,
+}
+
+/// Where the exec engine resumes after a find completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Resume {
+    Guard,
+    Action,
+    Invoke,
+}
+
+#[allow(clippy::enum_variant_names)] // every phase awaits a reply; the prefix is the point
+pub(crate) enum ExecPhase {
+    AwaitFind { resume: Resume },
+    AwaitLock { at: NodeId },
+    AwaitMove,
+    AwaitFetchClass { dest: NodeId },
+    AwaitPushClass { dest: NodeId },
+    AwaitInstantiate { dest: NodeId, retried_class: bool },
+    AwaitInvoke,
+    AwaitUnlock,
+}
+
+pub(crate) struct ExecTask {
+    pub op: OpId,
+    pub spec: proto::ExecSpec,
+    pub phase: ExecPhase,
+    pub cloc: Option<NodeId>,
+    pub locked_at: Option<NodeId>,
+    pub lock_kind: Option<LockKind>,
+    pub invoke_at: Option<NodeId>,
+    pub result: Option<Vec<u8>>,
+    pub retries: u8,
+    pub failure: Option<MageError>,
+}
+
+fn rmi_error_to_mage(err: &RmiError) -> MageError {
+    match err {
+        RmiError::Fault(fault) => proto::fault_to_error(fault),
+        other => MageError::Rmi(other.to_string()),
+    }
+}
+
+fn error_to_fault(err: &MageError) -> Fault {
+    match err {
+        MageError::NotFound(name) => Fault::NotBound(name.clone()),
+        MageError::ClassUnavailable(class) => Fault::ClassMissing(class.clone()),
+        MageError::Denied(why) => Fault::AccessDenied(why.clone()),
+        other => Fault::App(other.to_string()),
+    }
+}
+
+fn decode<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T, MageError> {
+    mage_codec::from_bytes(bytes).map_err(MageError::from)
+}
+
+impl MageNode {
+    /// Routes an RMI reply to the task that issued the call.
+    ///
+    /// Unknown tokens are ignored: they belong to fire-and-forget calls
+    /// (one-way mobile-agent invocations) or to calls whose task already
+    /// timed out.
+    pub(crate) fn step_task(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        token: u64,
+        result: Result<Vec<u8>, RmiError>,
+    ) {
+        let Some(task) = self.tasks.remove(&token) else {
+            return;
+        };
+        match task {
+            Task::FwdFind { reply, name } => {
+                match result {
+                    Ok(bytes) => match decode::<u32>(&bytes) {
+                        Ok(loc) => {
+                            // Path compression: remember the final location,
+                            // collapsing the forwarding chain (§4.1).
+                            self.registry.update(name, NodeId::from_raw(loc));
+                            env.reply(reply, Ok(bytes));
+                        }
+                        Err(e) => env.reply(reply, Err(Fault::App(e.to_string()))),
+                    },
+                    Err(RmiError::Fault(fault)) => env.reply(reply, Err(fault)),
+                    Err(other) => env.reply(reply, Err(Fault::App(other.to_string()))),
+                }
+            }
+            Task::ClientFind { op, name } => match result {
+                Ok(bytes) => match decode::<u32>(&bytes) {
+                    Ok(loc) => {
+                        self.registry.update(name, NodeId::from_raw(loc));
+                        self.complete(
+                            env,
+                            op,
+                            Ok(Outcome { location: loc, ..Outcome::default() }),
+                        );
+                    }
+                    Err(e) => self.complete(env, op, Err(e)),
+                },
+                Err(e) => self.complete(env, op, Err(rmi_error_to_mage(&e))),
+            },
+            Task::ClientLock(t) => self.step_client_lock(env, token, t, result),
+            Task::ClientUnlock(t) => self.step_client_unlock(env, token, t, result),
+            Task::Exec(t) => self.step_exec_reply(env, token, *t, result),
+            Task::MoveOut(t) => self.step_move(env, token, t, result),
+        }
+    }
+
+    // ---- locate helper ----
+
+    /// Tries to determine where `name` is without a network call.
+    ///
+    /// Returns `Ok(Some(loc))` when known (possibly this node), `Ok(None)`
+    /// after issuing a find with `token` (the caller parks its task), or an
+    /// error when the component cannot be located at all.
+    fn locate_step(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        name: &str,
+        location_hint: Option<NodeId>,
+        home_hint: Option<NodeId>,
+        token: u64,
+    ) -> Result<Option<NodeId>, MageError> {
+        let me = env.node();
+        if self.has_component(name) {
+            return Ok(Some(me));
+        }
+        if let Some(loc) = self.registry.lookup(name) {
+            if loc != me {
+                return Ok(Some(loc));
+            }
+        }
+        if let Some(hint) = location_hint {
+            if hint != me {
+                return Ok(Some(hint));
+            }
+        }
+        let start = home_hint.filter(|h| *h != me);
+        match start {
+            Some(start) => {
+                let args = proto::FindArgs {
+                    name: name.to_owned(),
+                    visited: vec![me.as_raw()],
+                };
+                env.call(
+                    start,
+                    proto::SERVICE,
+                    methods::FIND,
+                    mage_codec::to_bytes(&args).expect("find args encode"),
+                    token,
+                );
+                Ok(None)
+            }
+            None => Err(MageError::NotFound(name.to_owned())),
+        }
+    }
+
+    // ---- driver find ----
+
+    pub(crate) fn start_client_find(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        op: OpId,
+        name: String,
+        home_hint: Option<u32>,
+    ) {
+        env.charge(self.config.bind_overhead);
+        let me = env.node();
+        if self.has_component(&name) {
+            self.complete(
+                env,
+                op,
+                Ok(Outcome { location: me.as_raw(), ..Outcome::default() }),
+            );
+            return;
+        }
+        // The local registry entry is the *start* of the forwarding chain,
+        // not the answer: shared objects move behind our back, so a find
+        // must walk the chain to the hosting server and verify (§4.1).
+        let start = self
+            .registry
+            .lookup(&name)
+            .filter(|n| *n != me)
+            .or_else(|| home_hint.map(NodeId::from_raw).filter(|h| *h != me));
+        match start {
+            Some(start) => {
+                let token = self.next_task;
+                self.next_task += 1;
+                let args = proto::FindArgs { name: name.clone(), visited: vec![me.as_raw()] };
+                env.call(
+                    start,
+                    proto::SERVICE,
+                    methods::FIND,
+                    mage_codec::to_bytes(&args).expect("find args encode"),
+                    token,
+                );
+                self.tasks.insert(token, Task::ClientFind { op, name });
+            }
+            None => self.complete(env, op, Err(MageError::NotFound(name))),
+        }
+    }
+
+    // ---- driver lock / unlock ----
+
+    pub(crate) fn start_client_lock(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        op: OpId,
+        name: String,
+        target: u32,
+        home_hint: Option<u32>,
+    ) {
+        env.charge(self.config.bind_overhead);
+        let token = self.next_task;
+        self.next_task += 1;
+        let mut task = ClientLockTask {
+            op,
+            name,
+            target: NodeId::from_raw(target),
+            home_hint: home_hint.map(NodeId::from_raw),
+            phase: LocatePhase::Finding,
+            retries: self.config.race_retries,
+        };
+        match self.locate_step(env, &task.name.clone(), None, task.home_hint, token) {
+            Ok(Some(loc)) => {
+                self.issue_lock_call(env, &task.name, task.target, loc, token);
+                task.phase = LocatePhase::Calling;
+                self.tasks.insert(token, Task::ClientLock(task));
+            }
+            Ok(None) => {
+                self.tasks.insert(token, Task::ClientLock(task));
+            }
+            Err(e) => self.complete(env, op, Err(e)),
+        }
+    }
+
+    fn issue_lock_call(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        name: &str,
+        target: NodeId,
+        at: NodeId,
+        token: u64,
+    ) {
+        let args = proto::LockArgs {
+            name: name.to_owned(),
+            client: env.node().as_raw(),
+            target: target.as_raw(),
+        };
+        env.call(
+            at,
+            proto::SERVICE,
+            methods::LOCK,
+            mage_codec::to_bytes(&args).expect("lock args encode"),
+            token,
+        );
+    }
+
+    fn step_client_lock(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        token: u64,
+        mut task: ClientLockTask,
+        result: Result<Vec<u8>, RmiError>,
+    ) {
+        match task.phase {
+            LocatePhase::Finding => match result {
+                Ok(bytes) => match decode::<u32>(&bytes) {
+                    Ok(loc) => {
+                        let loc = NodeId::from_raw(loc);
+                        self.registry.update(task.name.clone(), loc);
+                        self.issue_lock_call(env, &task.name, task.target, loc, token);
+                        task.phase = LocatePhase::Calling;
+                        self.tasks.insert(token, Task::ClientLock(task));
+                    }
+                    Err(e) => self.complete(env, task.op, Err(e)),
+                },
+                Err(e) => self.complete(env, task.op, Err(rmi_error_to_mage(&e))),
+            },
+            LocatePhase::Calling => match result {
+                Ok(bytes) => match decode::<LockKind>(&bytes) {
+                    Ok(kind) => self.complete(
+                        env,
+                        task.op,
+                        Ok(Outcome {
+                            location: task.target.as_raw(),
+                            result: None,
+                            lock_kind: Some(kind),
+                        }),
+                    ),
+                    Err(e) => self.complete(env, task.op, Err(e)),
+                },
+                Err(RmiError::Fault(Fault::NotBound(_))) if task.retries > 0 => {
+                    // The object moved between find and lock; chase it.
+                    task.retries -= 1;
+                    task.phase = LocatePhase::Finding;
+                    self.registry.remove(&task.name);
+                    match self.locate_step(env, &task.name.clone(), None, task.home_hint, token)
+                    {
+                        Ok(Some(loc)) => {
+                            self.issue_lock_call(env, &task.name, task.target, loc, token);
+                            task.phase = LocatePhase::Calling;
+                            self.tasks.insert(token, Task::ClientLock(task));
+                        }
+                        Ok(None) => {
+                            self.tasks.insert(token, Task::ClientLock(task));
+                        }
+                        Err(e) => self.complete(env, task.op, Err(e)),
+                    }
+                }
+                Err(e) => self.complete(env, task.op, Err(rmi_error_to_mage(&e))),
+            },
+        }
+    }
+
+    pub(crate) fn start_client_unlock(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        op: OpId,
+        name: String,
+        home_hint: Option<u32>,
+    ) {
+        env.charge(self.config.bind_overhead);
+        let token = self.next_task;
+        self.next_task += 1;
+        let mut task = ClientUnlockTask {
+            op,
+            name,
+            home_hint: home_hint.map(NodeId::from_raw),
+            phase: LocatePhase::Finding,
+        };
+        match self.locate_step(env, &task.name.clone(), None, task.home_hint, token) {
+            Ok(Some(loc)) => {
+                self.issue_unlock_call(env, &task.name, loc, token);
+                task.phase = LocatePhase::Calling;
+                self.tasks.insert(token, Task::ClientUnlock(task));
+            }
+            Ok(None) => {
+                self.tasks.insert(token, Task::ClientUnlock(task));
+            }
+            Err(e) => self.complete(env, op, Err(e)),
+        }
+    }
+
+    fn issue_unlock_call(&mut self, env: &mut Env<'_, '_>, name: &str, at: NodeId, token: u64) {
+        let args = proto::UnlockArgs {
+            name: name.to_owned(),
+            client: env.node().as_raw(),
+        };
+        env.call(
+            at,
+            proto::SERVICE,
+            methods::UNLOCK,
+            mage_codec::to_bytes(&args).expect("unlock args encode"),
+            token,
+        );
+    }
+
+    fn step_client_unlock(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        token: u64,
+        mut task: ClientUnlockTask,
+        result: Result<Vec<u8>, RmiError>,
+    ) {
+        match task.phase {
+            LocatePhase::Finding => match result {
+                Ok(bytes) => match decode::<u32>(&bytes) {
+                    Ok(loc) => {
+                        let loc = NodeId::from_raw(loc);
+                        self.registry.update(task.name.clone(), loc);
+                        self.issue_unlock_call(env, &task.name, loc, token);
+                        task.phase = LocatePhase::Calling;
+                        self.tasks.insert(token, Task::ClientUnlock(task));
+                    }
+                    Err(e) => self.complete(env, task.op, Err(e)),
+                },
+                Err(e) => self.complete(env, task.op, Err(rmi_error_to_mage(&e))),
+            },
+            LocatePhase::Calling => match result {
+                Ok(_) => {
+                    let me = env.node().as_raw();
+                    self.complete(
+                        env,
+                        task.op,
+                        Ok(Outcome { location: me, ..Outcome::default() }),
+                    );
+                }
+                Err(e) => self.complete(env, task.op, Err(rmi_error_to_mage(&e))),
+            },
+        }
+    }
+
+    // ---- the move-out protocol (Figure 7, messages 4/5) ----
+
+    pub(crate) fn begin_move_out(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        name: String,
+        dest: NodeId,
+        origin: MoveOrigin,
+    ) {
+        let me = env.node();
+        let Some(hosted) = self.objects.get_mut(&name) else {
+            self.finish_move_failed(env, origin, MageError::NotFound(name));
+            return;
+        };
+        if hosted.in_transit {
+            self.finish_move_failed(
+                env,
+                origin,
+                MageError::BadPlan(format!("{name} is already in transit")),
+            );
+            return;
+        }
+        let state = match hosted.object.snapshot() {
+            Ok(state) => state,
+            Err(fault) => {
+                self.finish_move_failed(env, origin, proto::fault_to_error(&fault));
+                return;
+            }
+        };
+        hosted.in_transit = true;
+        let class = hosted.class.clone();
+        let home = hosted.home;
+        let visibility = hosted.visibility;
+        let version = hosted.version + 1;
+        let (holders, parked_waiters) = self.locks.extract(&name);
+        let receive_args = proto::ReceiveArgs {
+            name: name.clone(),
+            class,
+            state,
+            home: home.as_raw(),
+            visibility,
+            version,
+            locks: holders,
+        };
+        let token = self.next_task;
+        self.next_task += 1;
+        env.call(
+            dest,
+            proto::SERVICE,
+            methods::RECEIVE,
+            mage_codec::to_bytes(&receive_args).expect("receive args encode"),
+            token,
+        );
+        let _ = me;
+        self.tasks.insert(
+            token,
+            Task::MoveOut(MoveOutTask {
+                name,
+                dest,
+                origin,
+                phase: MovePhase::SentReceive { retried_class: false },
+                receive_args,
+                parked_waiters,
+            }),
+        );
+    }
+
+    fn step_move(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        token: u64,
+        mut task: MoveOutTask,
+        result: Result<Vec<u8>, RmiError>,
+    ) {
+        match task.phase {
+            MovePhase::SentReceive { retried_class } => match result {
+                Ok(_) => {
+                    // Transfer acknowledged: drop the local copy and leave a
+                    // forwarding address (§4.1).
+                    self.objects.remove(&task.name);
+                    self.registry.update(task.name.clone(), task.dest);
+                    self.finish_move_ok(env, task);
+                }
+                Err(RmiError::Fault(Fault::ClassMissing(_))) if !retried_class => {
+                    let Some(def) = self.lib.get(&task.receive_args.class) else {
+                        self.abort_move(
+                            env,
+                            task,
+                            MageError::ClassUnavailable("unknown class".into()),
+                        );
+                        return;
+                    };
+                    let class_args = proto::ReceiveClassArgs {
+                        class: def.name().to_owned(),
+                        code: vec![0u8; def.code_size() as usize],
+                        has_static_fields: def.has_static_fields(),
+                    };
+                    env.call(
+                        task.dest,
+                        proto::SERVICE,
+                        methods::RECEIVE_CLASS,
+                        mage_codec::to_bytes(&class_args).expect("class args encode"),
+                        token,
+                    );
+                    task.phase = MovePhase::SentClass;
+                    self.tasks.insert(token, Task::MoveOut(task));
+                }
+                Err(e) => {
+                    let err = rmi_error_to_mage(&e);
+                    self.abort_move(env, task, err);
+                }
+            },
+            MovePhase::SentClass => match result {
+                Ok(_) => {
+                    env.call(
+                        task.dest,
+                        proto::SERVICE,
+                        methods::RECEIVE,
+                        mage_codec::to_bytes(&task.receive_args).expect("receive args encode"),
+                        token,
+                    );
+                    task.phase = MovePhase::SentReceive { retried_class: true };
+                    self.tasks.insert(token, Task::MoveOut(task));
+                }
+                Err(e) => {
+                    let err = rmi_error_to_mage(&e);
+                    self.abort_move(env, task, err);
+                }
+            },
+        }
+    }
+
+    fn abort_move(&mut self, env: &mut Env<'_, '_>, task: MoveOutTask, err: MageError) {
+        // Restore the object to service at this namespace.
+        if let Some(hosted) = self.objects.get_mut(&task.name) {
+            hosted.in_transit = false;
+        }
+        self.locks.install(&task.name, task.receive_args.locks.clone());
+        // Re-queue the waiters we parked; immediate grants are answered
+        // directly (reply handles are Copy).
+        let me = env.node();
+        for waiter in task.parked_waiters {
+            let handle = waiter.payload;
+            match self.locks.request(&task.name, waiter.client, waiter.target, me, waiter.payload)
+            {
+                crate::lock::Request::Granted(kind) => {
+                    let payload = mage_codec::to_bytes(&kind).expect("lock kind encodes");
+                    env.reply(handle, Ok(payload));
+                }
+                crate::lock::Request::Queued => {}
+            }
+        }
+        env.note(format!(
+            "move of {} to {} failed: {err}",
+            task.name, task.dest
+        ));
+        self.finish_move_failed(env, task.origin, err);
+    }
+
+    fn finish_move_ok(&mut self, env: &mut Env<'_, '_>, task: MoveOutTask) {
+        // Only now that the forwarding address is in place do we bounce the
+        // queued waiters: their retry re-finds the object at its new host.
+        for waiter in task.parked_waiters {
+            env.reply(
+                waiter.payload,
+                Err(Fault::NotBound(format!("{} moved", task.name))),
+            );
+        }
+        match task.origin {
+            MoveOrigin::Reply(handle) => {
+                let payload =
+                    mage_codec::to_bytes(&task.dest.as_raw()).expect("node id encodes");
+                env.reply(handle, Ok(payload));
+            }
+            MoveOrigin::Exec(exec_id) => {
+                if let Some(Task::Exec(t)) = self.tasks.remove(&exec_id) {
+                    self.exec_move_done(env, exec_id, *t, Ok(task.dest));
+                }
+            }
+            MoveOrigin::Autonomous => {
+                env.note(format!("agent {} hopped to {}", task.name, task.dest));
+            }
+        }
+    }
+
+    fn finish_move_failed(&mut self, env: &mut Env<'_, '_>, origin: MoveOrigin, err: MageError) {
+        match origin {
+            MoveOrigin::Reply(handle) => env.reply(handle, Err(error_to_fault(&err))),
+            MoveOrigin::Exec(exec_id) => {
+                if let Some(Task::Exec(t)) = self.tasks.remove(&exec_id) {
+                    self.exec_move_done(env, exec_id, *t, Err(err));
+                }
+            }
+            MoveOrigin::Autonomous => {
+                env.note(format!("autonomous hop failed: {err}"));
+            }
+        }
+    }
+}

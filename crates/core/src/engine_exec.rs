@@ -1,0 +1,684 @@
+//! The bind/invoke execution ladder.
+//!
+//! An [`ExecTask`] runs on the client's node and realises one mobility-
+//! attribute application: `[lock] → place component → [invoke] → [unlock]`.
+//! Placement is whatever the (already coercion-checked) plan says: nothing
+//! (RPC/CLE), a migration (REV on objects, GREV, MA, COD), or an
+//! instantiation from the class (traditional REV/COD factories), with class
+//! transfer slipped in on demand.
+
+use mage_rmi::{Env, Fault, RmiError};
+use mage_sim::{NodeId, OpId};
+
+use crate::engine::{ExecPhase, ExecTask, MoveOrigin, Resume, Task};
+use crate::error::MageError;
+use crate::lock::LockKind;
+use crate::node::MageNode;
+use crate::proto::{self, methods, ActionSpec, Outcome};
+use crate::registry::class_key;
+
+fn rmi_error_to_mage(err: &RmiError) -> MageError {
+    match err {
+        RmiError::Fault(fault) => proto::fault_to_error(fault),
+        other => MageError::Rmi(other.to_string()),
+    }
+}
+
+fn decode<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T, MageError> {
+    mage_codec::from_bytes(bytes).map_err(MageError::from)
+}
+
+impl ExecTask {
+    /// The computation target this plan locks against (the `T` carried by a
+    /// lock request in Figure 8).
+    fn lock_target(&self, me: NodeId) -> NodeId {
+        match &self.spec.action {
+            ActionSpec::InvokeAt { node } => NodeId::from_raw(*node),
+            ActionSpec::InvokeAtCurrent => self.cloc.unwrap_or(me),
+            ActionSpec::Local => me,
+            ActionSpec::MoveTo { node } => NodeId::from_raw(*node),
+            ActionSpec::Instantiate { node, .. } => NodeId::from_raw(*node),
+        }
+    }
+
+    fn object_name(&self) -> Option<&str> {
+        self.spec.object.as_deref()
+    }
+}
+
+impl MageNode {
+    pub(crate) fn exec_start(&mut self, env: &mut Env<'_, '_>, op: OpId, spec: proto::ExecSpec) {
+        let id = self.next_task;
+        self.next_task += 1;
+        let task = ExecTask {
+            op,
+            spec,
+            phase: ExecPhase::AwaitFind { resume: Resume::Guard },
+            cloc: None,
+            locked_at: None,
+            lock_kind: None,
+            invoke_at: None,
+            result: None,
+            retries: self.config.race_retries,
+            failure: None,
+        };
+        self.exec_begin_guard(env, id, task);
+    }
+
+    // ---- ladder stages ----
+
+    fn exec_begin_guard(&mut self, env: &mut Env<'_, '_>, id: u64, mut task: ExecTask) {
+        let needs_guard = task.spec.guard
+            && task.object_name().is_some()
+            && !matches!(task.spec.action, ActionSpec::Instantiate { .. });
+        if !needs_guard {
+            self.exec_begin_action(env, id, task);
+            return;
+        }
+        match self.exec_resolve_location(env, id, &mut task) {
+            Ok(Some(loc)) => {
+                task.cloc = Some(loc);
+                self.exec_issue_lock(env, id, task, loc);
+            }
+            Ok(None) => {
+                task.phase = ExecPhase::AwaitFind { resume: Resume::Guard };
+                self.tasks.insert(id, Task::Exec(Box::new(task)));
+            }
+            Err(e) => self.exec_fail(env, id, task, e),
+        }
+    }
+
+    fn exec_issue_lock(&mut self, env: &mut Env<'_, '_>, id: u64, mut task: ExecTask, at: NodeId) {
+        let me = env.node();
+        let target = task.lock_target(me);
+        let name = task.object_name().expect("guard requires an object").to_owned();
+        let args = proto::LockArgs {
+            name,
+            client: me.as_raw(),
+            target: target.as_raw(),
+        };
+        env.call(
+            at,
+            proto::SERVICE,
+            methods::LOCK,
+            mage_codec::to_bytes(&args).expect("lock args encode"),
+            id,
+        );
+        task.phase = ExecPhase::AwaitLock { at };
+        self.tasks.insert(id, Task::Exec(Box::new(task)));
+    }
+
+    fn exec_begin_action(&mut self, env: &mut Env<'_, '_>, id: u64, mut task: ExecTask) {
+        let me = env.node();
+        match task.spec.action.clone() {
+            ActionSpec::Local => {
+                let name = match task.object_name() {
+                    Some(name) => name.to_owned(),
+                    None => {
+                        self.exec_fail(
+                            env,
+                            id,
+                            task,
+                            MageError::BadPlan("local action requires an object".into()),
+                        );
+                        return;
+                    }
+                };
+                task.invoke_at = Some(me);
+                if let Some(invoke) = task.spec.invoke.clone() {
+                    match self.invoke_local(env, &name, &invoke.method, &invoke.args) {
+                        Ok(bytes) => {
+                            task.result = Some(bytes);
+                            self.exec_begin_unlock(env, id, task);
+                        }
+                        Err(fault) => {
+                            let err = proto::fault_to_error(&fault);
+                            self.exec_fail(env, id, task, err);
+                        }
+                    }
+                } else if self.has_component(&name) {
+                    self.exec_begin_unlock(env, id, task);
+                } else {
+                    self.exec_fail(env, id, task, MageError::NotFound(name));
+                }
+            }
+            ActionSpec::InvokeAt { node } => {
+                task.invoke_at = Some(NodeId::from_raw(node));
+                self.exec_begin_invoke(env, id, task);
+            }
+            ActionSpec::InvokeAtCurrent => match task.cloc {
+                Some(loc) => {
+                    task.invoke_at = Some(loc);
+                    self.exec_begin_invoke(env, id, task);
+                }
+                None => match self.exec_resolve_location(env, id, &mut task) {
+                    Ok(Some(loc)) => {
+                        task.cloc = Some(loc);
+                        task.invoke_at = Some(loc);
+                        self.exec_begin_invoke(env, id, task);
+                    }
+                    Ok(None) => {
+                        task.phase = ExecPhase::AwaitFind { resume: Resume::Action };
+                        self.tasks.insert(id, Task::Exec(Box::new(task)));
+                    }
+                    Err(e) => self.exec_fail(env, id, task, e),
+                },
+            },
+            ActionSpec::MoveTo { node } => {
+                let dest = NodeId::from_raw(node);
+                let cloc = match task.cloc {
+                    Some(loc) => Some(loc),
+                    None => match self.exec_resolve_location(env, id, &mut task) {
+                        Ok(Some(loc)) => Some(loc),
+                        Ok(None) => {
+                            task.phase = ExecPhase::AwaitFind { resume: Resume::Action };
+                            self.tasks.insert(id, Task::Exec(Box::new(task)));
+                            return;
+                        }
+                        Err(e) => {
+                            self.exec_fail(env, id, task, e);
+                            return;
+                        }
+                    },
+                };
+                let cloc = cloc.expect("resolved above");
+                task.cloc = Some(cloc);
+                if cloc == dest {
+                    // Already at the target: the engine-level mirror of
+                    // coercion to RPC.
+                    task.invoke_at = Some(dest);
+                    self.exec_begin_invoke(env, id, task);
+                } else if cloc == me {
+                    // We host the object: run the transfer ourselves
+                    // (Figure 7 without the moveTo hop).
+                    let name = task
+                        .object_name()
+                        .expect("move requires an object")
+                        .to_owned();
+                    task.phase = ExecPhase::AwaitMove;
+                    self.tasks.insert(id, Task::Exec(Box::new(task)));
+                    self.begin_move_out(env, name, dest, MoveOrigin::Exec(id));
+                } else {
+                    // Ask the hosting namespace to transfer the object
+                    // (Figure 7, message 3).
+                    let name = task
+                        .object_name()
+                        .expect("move requires an object")
+                        .to_owned();
+                    let args = proto::MoveToArgs { name, dest: dest.as_raw() };
+                    env.call(
+                        cloc,
+                        proto::SERVICE,
+                        methods::MOVE_TO,
+                        mage_codec::to_bytes(&args).expect("move args encode"),
+                        id,
+                    );
+                    task.phase = ExecPhase::AwaitMove;
+                    self.tasks.insert(id, Task::Exec(Box::new(task)));
+                }
+            }
+            ActionSpec::Instantiate { node, state, visibility } => {
+                let dest = NodeId::from_raw(node);
+                let object_name = match task.object_name() {
+                    Some(name) => name.to_owned(),
+                    None => {
+                        self.exec_fail(
+                            env,
+                            id,
+                            task,
+                            MageError::BadPlan("instantiate requires an object name".into()),
+                        );
+                        return;
+                    }
+                };
+                if dest == me {
+                    if self.classes.contains(&task.spec.class) {
+                        let created = self.create_local_object(
+                            env,
+                            &task.spec.class.clone(),
+                            &object_name,
+                            &state,
+                            visibility,
+                            true,
+                        );
+                        match created {
+                            Ok(_) => {
+                                task.invoke_at = Some(me);
+                                self.exec_begin_invoke(env, id, task);
+                            }
+                            Err(e) => self.exec_fail(env, id, task, e),
+                        }
+                    } else {
+                        self.exec_fetch_class(env, id, task, me);
+                    }
+                } else {
+                    let args = proto::InstantiateArgs {
+                        class: task.spec.class.clone(),
+                        name: object_name,
+                        state,
+                        visibility,
+                    };
+                    env.call(
+                        dest,
+                        proto::SERVICE,
+                        methods::INSTANTIATE,
+                        mage_codec::to_bytes(&args).expect("instantiate args encode"),
+                        id,
+                    );
+                    task.phase = ExecPhase::AwaitInstantiate { dest, retried_class: false };
+                    self.tasks.insert(id, Task::Exec(Box::new(task)));
+                }
+            }
+        }
+    }
+
+    /// Starts class logistics for an instantiation at `dest`: fetch the
+    /// class from wherever the registry (or the home hint) says it lives.
+    fn exec_fetch_class(&mut self, env: &mut Env<'_, '_>, id: u64, mut task: ExecTask, dest: NodeId) {
+        let me = env.node();
+        let key = class_key(&task.spec.class);
+        let source = self
+            .registry
+            .lookup(&key)
+            .filter(|n| *n != me)
+            .or_else(|| {
+                task.spec
+                    .home_hint
+                    .map(NodeId::from_raw)
+                    .filter(|n| *n != me)
+            });
+        match source {
+            Some(src) => {
+                let args = proto::FetchClassArgs { class: task.spec.class.clone() };
+                env.call(
+                    src,
+                    proto::SERVICE,
+                    methods::FETCH_CLASS,
+                    mage_codec::to_bytes(&args).expect("fetch args encode"),
+                    id,
+                );
+                task.phase = ExecPhase::AwaitFetchClass { dest };
+                self.tasks.insert(id, Task::Exec(Box::new(task)));
+            }
+            None => {
+                let class = task.spec.class.clone();
+                self.exec_fail(env, id, task, MageError::ClassUnavailable(class));
+            }
+        }
+    }
+
+    fn exec_begin_invoke(&mut self, env: &mut Env<'_, '_>, id: u64, mut task: ExecTask) {
+        let Some(invoke) = task.spec.invoke.clone() else {
+            self.exec_begin_unlock(env, id, task);
+            return;
+        };
+        let at = task.invoke_at.expect("invoke target resolved");
+        let name = match task.object_name() {
+            Some(name) => name.to_owned(),
+            None => {
+                self.exec_fail(
+                    env,
+                    id,
+                    task,
+                    MageError::BadPlan("invocation requires an object name".into()),
+                );
+                return;
+            }
+        };
+        let args = proto::InvokeArgs {
+            name,
+            method: invoke.method.clone(),
+            args: invoke.args.clone(),
+        };
+        let payload = mage_codec::to_bytes(&args).expect("invoke args encode");
+        if invoke.one_way {
+            // Fire and forget: route the eventual reply to a token nobody
+            // owns. The result "stays at the remote host" (§5).
+            let noop = self.next_task;
+            self.next_task += 1;
+            env.call(at, proto::SERVICE, methods::INVOKE, payload, noop);
+            self.exec_begin_unlock(env, id, task);
+        } else {
+            env.call(at, proto::SERVICE, methods::INVOKE, payload, id);
+            task.phase = ExecPhase::AwaitInvoke;
+            self.tasks.insert(id, Task::Exec(Box::new(task)));
+        }
+    }
+
+    fn exec_begin_unlock(&mut self, env: &mut Env<'_, '_>, id: u64, mut task: ExecTask) {
+        let Some(_) = task.locked_at else {
+            self.exec_finish(env, task);
+            return;
+        };
+        // The lock travelled with the object if it moved; release it where
+        // the object now lives.
+        let at = task.invoke_at.or(task.cloc).or(task.locked_at).expect("somewhere");
+        let name = task.object_name().expect("guarded ops have objects").to_owned();
+        let args = proto::UnlockArgs { name, client: env.node().as_raw() };
+        env.call(
+            at,
+            proto::SERVICE,
+            methods::UNLOCK,
+            mage_codec::to_bytes(&args).expect("unlock args encode"),
+            id,
+        );
+        task.phase = ExecPhase::AwaitUnlock;
+        self.tasks.insert(id, Task::Exec(Box::new(task)));
+    }
+
+    fn exec_finish(&mut self, env: &mut Env<'_, '_>, task: ExecTask) {
+        if let Some(err) = task.failure {
+            self.complete(env, task.op, Err(err));
+            return;
+        }
+        let me = env.node();
+        let location = task.invoke_at.or(task.cloc).unwrap_or(me).as_raw();
+        self.complete(
+            env,
+            task.op,
+            Ok(Outcome {
+                location,
+                result: task.result,
+                lock_kind: task.lock_kind,
+            }),
+        );
+    }
+
+    fn exec_fail(&mut self, env: &mut Env<'_, '_>, id: u64, mut task: ExecTask, err: MageError) {
+        if task.locked_at.is_some() {
+            // Release the lock before reporting the failure.
+            task.failure = Some(err);
+            self.exec_begin_unlock(env, id, task);
+        } else {
+            self.complete(env, task.op, Err(err));
+        }
+    }
+
+    /// Resolves the component's location from local knowledge or issues a
+    /// find (in which case the caller parks the task).
+    fn exec_resolve_location(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        id: u64,
+        task: &mut ExecTask,
+    ) -> Result<Option<NodeId>, MageError> {
+        let me = env.node();
+        let Some(name) = task.object_name().map(str::to_owned) else {
+            return Err(MageError::BadPlan("action requires an object".into()));
+        };
+        if self.has_component(&name) {
+            return Ok(Some(me));
+        }
+        if let Some(loc) = self.registry.lookup(&name) {
+            if loc != me {
+                return Ok(Some(loc));
+            }
+        }
+        if let Some(hint) = task.spec.location_hint.map(NodeId::from_raw) {
+            if hint != me {
+                return Ok(Some(hint));
+            }
+        }
+        let start = task.spec.home_hint.map(NodeId::from_raw).filter(|h| *h != me);
+        match start {
+            Some(start) => {
+                let args = proto::FindArgs { name, visited: vec![me.as_raw()] };
+                env.call(
+                    start,
+                    proto::SERVICE,
+                    methods::FIND,
+                    mage_codec::to_bytes(&args).expect("find args encode"),
+                    id,
+                );
+                Ok(None)
+            }
+            None => Err(MageError::NotFound(name)),
+        }
+    }
+
+    // ---- reply dispatch ----
+
+    pub(crate) fn step_exec_reply(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        id: u64,
+        mut task: ExecTask,
+        result: Result<Vec<u8>, RmiError>,
+    ) {
+        match task.phase {
+            ExecPhase::AwaitFind { resume } => match result {
+                Ok(bytes) => match decode::<u32>(&bytes) {
+                    Ok(loc) => {
+                        let loc = NodeId::from_raw(loc);
+                        if let Some(name) = task.object_name() {
+                            self.registry.update(name.to_owned(), loc);
+                        }
+                        task.cloc = Some(loc);
+                        match resume {
+                            Resume::Guard => self.exec_issue_lock(env, id, task, loc),
+                            Resume::Action => self.exec_begin_action(env, id, task),
+                            Resume::Invoke => {
+                                task.invoke_at = Some(loc);
+                                self.exec_begin_invoke(env, id, task);
+                            }
+                        }
+                    }
+                    Err(e) => self.exec_fail(env, id, task, e),
+                },
+                Err(e) => {
+                    let err = rmi_error_to_mage(&e);
+                    self.exec_fail(env, id, task, err);
+                }
+            },
+            ExecPhase::AwaitLock { at } => match result {
+                Ok(bytes) => match decode::<LockKind>(&bytes) {
+                    Ok(kind) => {
+                        task.locked_at = Some(at);
+                        task.lock_kind = Some(kind);
+                        self.exec_begin_action(env, id, task);
+                    }
+                    Err(e) => self.exec_fail(env, id, task, e),
+                },
+                Err(RmiError::Fault(Fault::NotBound(_))) if task.retries > 0 => {
+                    // Raced a migration: chase the object and lock again.
+                    task.retries -= 1;
+                    task.cloc = None;
+                    if let Some(name) = task.object_name() {
+                        self.registry.remove(name);
+                    }
+                    self.exec_begin_guard(env, id, task);
+                }
+                Err(e) => {
+                    let err = rmi_error_to_mage(&e);
+                    self.exec_fail(env, id, task, err);
+                }
+            },
+            ExecPhase::AwaitMove => match result {
+                Ok(bytes) => match decode::<u32>(&bytes) {
+                    Ok(dest) => {
+                        let dest = NodeId::from_raw(dest);
+                        if let Some(name) = task.object_name() {
+                            self.registry.update(name.to_owned(), dest);
+                        }
+                        task.cloc = Some(dest);
+                        task.invoke_at = Some(dest);
+                        self.exec_begin_invoke(env, id, task);
+                    }
+                    Err(e) => self.exec_fail(env, id, task, e),
+                },
+                Err(RmiError::Fault(Fault::NotBound(_))) if task.retries > 0 => {
+                    task.retries -= 1;
+                    task.cloc = None;
+                    if let Some(name) = task.object_name() {
+                        self.registry.remove(name);
+                    }
+                    self.exec_begin_action(env, id, task);
+                }
+                Err(e) => {
+                    let err = rmi_error_to_mage(&e);
+                    self.exec_fail(env, id, task, err);
+                }
+            },
+            ExecPhase::AwaitFetchClass { dest } => match result {
+                Ok(bytes) => match decode::<proto::ReceiveClassArgs>(&bytes) {
+                    Ok(class_args) => {
+                        // Define the class locally (MAGE clones classes,
+                        // §4.2), then instantiate or push onward.
+                        let me = env.node();
+                        env.charge(env.cost().class_load(class_args.code.len() as u64));
+                        self.classes.insert(class_args.class.clone());
+                        self.registry.update(class_key(&class_args.class), me);
+                        if dest == me {
+                            self.exec_begin_action(env, id, task);
+                        } else {
+                            env.call(
+                                dest,
+                                proto::SERVICE,
+                                methods::RECEIVE_CLASS,
+                                mage_codec::to_bytes(&class_args).expect("class args encode"),
+                                id,
+                            );
+                            task.phase = ExecPhase::AwaitPushClass { dest };
+                            self.tasks.insert(id, Task::Exec(Box::new(task)));
+                        }
+                    }
+                    Err(e) => self.exec_fail(env, id, task, e),
+                },
+                Err(e) => {
+                    let err = rmi_error_to_mage(&e);
+                    self.exec_fail(env, id, task, err);
+                }
+            },
+            ExecPhase::AwaitPushClass { dest } => match result {
+                Ok(_) => {
+                    // Class is in place; retry the instantiation.
+                    let (state, visibility) = match &task.spec.action {
+                        ActionSpec::Instantiate { state, visibility, .. } => {
+                            (state.clone(), *visibility)
+                        }
+                        _ => (Vec::new(), crate::component::Visibility::Public),
+                    };
+                    let args = proto::InstantiateArgs {
+                        class: task.spec.class.clone(),
+                        name: task
+                            .object_name()
+                            .expect("instantiate has an object name")
+                            .to_owned(),
+                        state,
+                        visibility,
+                    };
+                    env.call(
+                        dest,
+                        proto::SERVICE,
+                        methods::INSTANTIATE,
+                        mage_codec::to_bytes(&args).expect("instantiate args encode"),
+                        id,
+                    );
+                    task.phase = ExecPhase::AwaitInstantiate { dest, retried_class: true };
+                    self.tasks.insert(id, Task::Exec(Box::new(task)));
+                }
+                Err(e) => {
+                    let err = rmi_error_to_mage(&e);
+                    self.exec_fail(env, id, task, err);
+                }
+            },
+            ExecPhase::AwaitInstantiate { dest, retried_class } => match result {
+                Ok(_) => {
+                    if let Some(name) = task.object_name() {
+                        self.registry.update(name.to_owned(), dest);
+                    }
+                    task.cloc = Some(dest);
+                    task.invoke_at = Some(dest);
+                    self.exec_begin_invoke(env, id, task);
+                }
+                Err(RmiError::Fault(Fault::ClassMissing(_))) if !retried_class => {
+                    if self.classes.contains(&task.spec.class) {
+                        // We have the class: push it to the target
+                        // (traditional REV ships local code to the server).
+                        let def = self.lib.get(&task.spec.class).expect("cached class defined");
+                        let class_args = proto::ReceiveClassArgs {
+                            class: def.name().to_owned(),
+                            code: vec![0u8; def.code_size() as usize],
+                            has_static_fields: def.has_static_fields(),
+                        };
+                        env.call(
+                            dest,
+                            proto::SERVICE,
+                            methods::RECEIVE_CLASS,
+                            mage_codec::to_bytes(&class_args).expect("class args encode"),
+                            id,
+                        );
+                        task.phase = ExecPhase::AwaitPushClass { dest };
+                        self.tasks.insert(id, Task::Exec(Box::new(task)));
+                    } else {
+                        // Neither we nor the target have it: pull it first
+                        // (GREV-style third-party placement).
+                        self.exec_fetch_class(env, id, task, dest);
+                    }
+                }
+                Err(e) => {
+                    let err = rmi_error_to_mage(&e);
+                    self.exec_fail(env, id, task, err);
+                }
+            },
+            ExecPhase::AwaitInvoke => match result {
+                Ok(bytes) => {
+                    task.result = Some(bytes);
+                    self.exec_begin_unlock(env, id, task);
+                }
+                Err(RmiError::Fault(Fault::NotBound(_))) if task.retries > 0 => {
+                    // The object moved under us; find it again (public
+                    // objects "must be found before the current thread
+                    // invokes", §3.5).
+                    task.retries -= 1;
+                    task.cloc = None;
+                    if let Some(name) = task.object_name() {
+                        self.registry.remove(name);
+                    }
+                    match self.exec_resolve_location(env, id, &mut task) {
+                        Ok(Some(loc)) => {
+                            task.cloc = Some(loc);
+                            task.invoke_at = Some(loc);
+                            self.exec_begin_invoke(env, id, task);
+                        }
+                        Ok(None) => {
+                            task.phase = ExecPhase::AwaitFind { resume: Resume::Invoke };
+                            self.tasks.insert(id, Task::Exec(Box::new(task)));
+                        }
+                        Err(e) => self.exec_fail(env, id, task, e),
+                    }
+                }
+                Err(e) => {
+                    let err = rmi_error_to_mage(&e);
+                    self.exec_fail(env, id, task, err);
+                }
+            },
+            ExecPhase::AwaitUnlock => {
+                if let Err(e) = result {
+                    env.note(format!("unlock after bind failed: {e}"));
+                }
+                task.locked_at = None;
+                self.exec_finish(env, task);
+            }
+        }
+    }
+
+    /// Resumption point for a client-local move-out (the object we moved
+    /// was hosted on this node).
+    pub(crate) fn exec_move_done(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        id: u64,
+        mut task: ExecTask,
+        outcome: Result<NodeId, MageError>,
+    ) {
+        match outcome {
+            Ok(dest) => {
+                task.cloc = Some(dest);
+                task.invoke_at = Some(dest);
+                self.exec_begin_invoke(env, id, task);
+            }
+            Err(e) => self.exec_fail(env, id, task, e),
+        }
+    }
+}

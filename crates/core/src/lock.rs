@@ -1,0 +1,445 @@
+//! Mobile-object locking (§4.4, Figure 8).
+//!
+//! Two nearly simultaneous invocations can apply *different* mobility
+//! attributes to the same object and pick different targets; since object
+//! movement is not atomic, MAGE serialises them with per-object lock
+//! queues. A lock request carries its attribute's computation target: if
+//! the object already resides there the requester gets a **stay** lock
+//! (shared, a read lock in disguise), otherwise a **move** lock (exclusive,
+//! a write lock). Because migration is expensive, the default policy
+//! *unfairly favours stay requests*: they are granted ahead of queued move
+//! requests, at the cost of possible move starvation. A fair variant is
+//! provided for the ablation bench.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+use mage_sim::NodeId;
+
+/// The kind of lock granted (§4.4: "stay and move locks are simply read
+/// and write locks under another guise").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LockKind {
+    /// The object already resides in the requester's target namespace;
+    /// shared with other stay holders.
+    Stay,
+    /// The requester intends to move the object; exclusive.
+    Move,
+}
+
+/// A lock grant handed back when a queued request becomes runnable.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Grant<T> {
+    /// The waiter's payload (e.g. a reply handle).
+    pub waiter: T,
+    /// The requesting client.
+    pub client: NodeId,
+    /// The kind of lock granted.
+    pub kind: LockKind,
+}
+
+#[derive(Debug)]
+struct Waiter<T> {
+    client: NodeId,
+    target: NodeId,
+    payload: T,
+}
+
+#[derive(Debug, Default)]
+struct LockState<T> {
+    stay_holders: Vec<NodeId>,
+    move_holder: Option<NodeId>,
+    queue: VecDeque<Waiter<T>>,
+}
+
+impl<T> LockState<T> {
+    fn new() -> Self {
+        LockState { stay_holders: Vec::new(), move_holder: None, queue: VecDeque::new() }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.stay_holders.is_empty() && self.move_holder.is_none() && self.queue.is_empty()
+    }
+}
+
+/// Holders carried along when an object migrates (queued waiters are not
+/// transferable — their reply paths are node-local — and are bounced).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub struct HolderTransfer {
+    /// Raw node ids of stay-lock holders.
+    pub stay_holders: Vec<u32>,
+    /// Raw node id of the move-lock holder, if any.
+    pub move_holder: Option<u32>,
+}
+
+/// A waiter removed from a queue by [`LockTable::extract`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct QueuedWaiter<T> {
+    /// The waiter's payload (e.g. a reply handle).
+    pub payload: T,
+    /// The requesting client.
+    pub client: NodeId,
+    /// The target the request carried.
+    pub target: NodeId,
+}
+
+/// The outcome of a lock request.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Granted immediately.
+    Granted(LockKind),
+    /// Queued; a later [`LockTable::release`] will produce a [`Grant`].
+    Queued,
+}
+
+/// Per-object lock queues for all mobile objects hosted on one node.
+///
+/// Generic over the waiter payload `T` so the protocol layer can park reply
+/// handles while the data structure stays independently testable.
+#[derive(Debug)]
+pub struct LockTable<T> {
+    locks: BTreeMap<String, LockState<T>>,
+    fair: bool,
+}
+
+impl<T> LockTable<T> {
+    /// Creates a table with the paper's unfair stay-favouring policy.
+    pub fn new() -> Self {
+        LockTable { locks: BTreeMap::new(), fair: false }
+    }
+
+    /// Creates a table that grants strictly in arrival order instead
+    /// (the fairness ablation).
+    pub fn fair() -> Self {
+        LockTable { locks: BTreeMap::new(), fair: true }
+    }
+
+    /// Whether this table uses the fair policy.
+    pub fn is_fair(&self) -> bool {
+        self.fair
+    }
+
+    /// Requests a lock on `name` for `client`, whose attribute's
+    /// computation target is `target`; `here` is the hosting node.
+    ///
+    /// If the request cannot be granted immediately, `payload` is queued
+    /// and later returned by [`LockTable::release`].
+    pub fn request(
+        &mut self,
+        name: &str,
+        client: NodeId,
+        target: NodeId,
+        here: NodeId,
+        payload: T,
+    ) -> Request {
+        let state = self.locks.entry(name.to_owned()).or_insert_with(LockState::new);
+        let kind = if target == here { LockKind::Stay } else { LockKind::Move };
+        if state.move_holder.is_some() {
+            state.queue.push_back(Waiter { client, target, payload });
+            return Request::Queued;
+        }
+        match kind {
+            LockKind::Stay => {
+                // Unfair default: stay requests jump any queued move
+                // requests. Fair mode: queue behind earlier arrivals.
+                if self.fair && !state.queue.is_empty() {
+                    state.queue.push_back(Waiter { client, target, payload });
+                    Request::Queued
+                } else {
+                    state.stay_holders.push(client);
+                    Request::Granted(LockKind::Stay)
+                }
+            }
+            LockKind::Move => {
+                if state.stay_holders.is_empty() && state.queue.is_empty() {
+                    state.move_holder = Some(client);
+                    Request::Granted(LockKind::Move)
+                } else {
+                    state.queue.push_back(Waiter { client, target, payload });
+                    Request::Queued
+                }
+            }
+        }
+    }
+
+    /// Releases `client`'s lock on `name` and returns the grants that
+    /// become runnable.
+    ///
+    /// Under the unfair policy, *all* queued stay requests (for the current
+    /// host `here`) are granted before any move request; under the fair
+    /// policy the queue drains strictly in order until a move request takes
+    /// exclusivity.
+    pub fn release(&mut self, name: &str, client: NodeId, here: NodeId) -> Vec<Grant<T>> {
+        let Some(state) = self.locks.get_mut(name) else {
+            return Vec::new();
+        };
+        if let Some(pos) = state.stay_holders.iter().position(|c| *c == client) {
+            state.stay_holders.swap_remove(pos);
+        } else if state.move_holder == Some(client) {
+            state.move_holder = None;
+        }
+        let grants = Self::drain(state, here, self.fair);
+        if state.is_idle() {
+            self.locks.remove(name);
+        }
+        grants
+    }
+
+    fn drain(state: &mut LockState<T>, here: NodeId, fair: bool) -> Vec<Grant<T>> {
+        let mut grants = Vec::new();
+        if state.move_holder.is_some() {
+            return grants;
+        }
+        if fair {
+            // Strict arrival order: grant from the front while compatible.
+            while let Some(front) = state.queue.front() {
+                let kind = if front.target == here { LockKind::Stay } else { LockKind::Move };
+                match kind {
+                    LockKind::Stay => {
+                        let w = state.queue.pop_front().expect("front exists");
+                        state.stay_holders.push(w.client);
+                        grants.push(Grant { waiter: w.payload, client: w.client, kind });
+                    }
+                    LockKind::Move => {
+                        if state.stay_holders.is_empty() {
+                            let w = state.queue.pop_front().expect("front exists");
+                            state.move_holder = Some(w.client);
+                            grants.push(Grant { waiter: w.payload, client: w.client, kind });
+                        }
+                        break;
+                    }
+                }
+            }
+            return grants;
+        }
+        // Unfair: sweep every stay request out of the queue first…
+        let mut rest = VecDeque::new();
+        while let Some(w) = state.queue.pop_front() {
+            if w.target == here {
+                state.stay_holders.push(w.client);
+                grants.push(Grant { waiter: w.payload, client: w.client, kind: LockKind::Stay });
+            } else {
+                rest.push_back(w);
+            }
+        }
+        state.queue = rest;
+        // …then, only if no readers remain, admit one move request.
+        if state.stay_holders.is_empty() {
+            if let Some(w) = state.queue.pop_front() {
+                state.move_holder = Some(w.client);
+                grants.push(Grant { waiter: w.payload, client: w.client, kind: LockKind::Move });
+            }
+        }
+        grants
+    }
+
+    /// Removes all lock state for `name` (the object is migrating away).
+    ///
+    /// Returns the holders (to travel with the object) and the queued
+    /// waiters. If the move commits, waiters are bounced back to their
+    /// clients (who re-find the object at its new host and retry); if it
+    /// aborts, they can be re-queued via [`LockTable::request`].
+    pub fn extract(&mut self, name: &str) -> (HolderTransfer, Vec<QueuedWaiter<T>>) {
+        let Some(state) = self.locks.remove(name) else {
+            return (HolderTransfer::default(), Vec::new());
+        };
+        let holders = HolderTransfer {
+            stay_holders: state.stay_holders.iter().map(|n| n.as_raw()).collect(),
+            move_holder: state.move_holder.map(|n| n.as_raw()),
+        };
+        let waiters = state
+            .queue
+            .into_iter()
+            .map(|w| QueuedWaiter { payload: w.payload, client: w.client, target: w.target })
+            .collect();
+        (holders, waiters)
+    }
+
+    /// Installs holders that arrived with a migrating object.
+    pub fn install(&mut self, name: &str, holders: HolderTransfer) {
+        if holders.stay_holders.is_empty() && holders.move_holder.is_none() {
+            return;
+        }
+        let state = self.locks.entry(name.to_owned()).or_insert_with(LockState::new);
+        state
+            .stay_holders
+            .extend(holders.stay_holders.iter().map(|r| NodeId::from_raw(*r)));
+        state.move_holder = holders.move_holder.map(NodeId::from_raw);
+    }
+
+    /// Whether `client` currently holds a lock on `name`.
+    pub fn holds(&self, name: &str, client: NodeId) -> Option<LockKind> {
+        let state = self.locks.get(name)?;
+        if state.stay_holders.contains(&client) {
+            Some(LockKind::Stay)
+        } else if state.move_holder == Some(client) {
+            Some(LockKind::Move)
+        } else {
+            None
+        }
+    }
+
+    /// Number of queued waiters for `name`.
+    pub fn queue_len(&self, name: &str) -> usize {
+        self.locks.get(name).map_or(0, |s| s.queue.len())
+    }
+}
+
+impl<T> Default for LockTable<T> {
+    fn default() -> Self {
+        LockTable::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const HERE: NodeId = NodeId::from_raw(0);
+    const ELSEWHERE: NodeId = NodeId::from_raw(9);
+
+    fn client(i: u32) -> NodeId {
+        NodeId::from_raw(100 + i)
+    }
+
+    #[test]
+    fn stay_when_target_is_here_move_otherwise() {
+        let mut t: LockTable<u32> = LockTable::new();
+        assert_eq!(
+            t.request("o", client(1), HERE, HERE, 1),
+            Request::Granted(LockKind::Stay)
+        );
+        t.release("o", client(1), HERE);
+        assert_eq!(
+            t.request("o", client(2), ELSEWHERE, HERE, 2),
+            Request::Granted(LockKind::Move)
+        );
+    }
+
+    #[test]
+    fn stay_locks_are_shared() {
+        let mut t: LockTable<u32> = LockTable::new();
+        assert_eq!(t.request("o", client(1), HERE, HERE, 1), Request::Granted(LockKind::Stay));
+        assert_eq!(t.request("o", client(2), HERE, HERE, 2), Request::Granted(LockKind::Stay));
+        assert_eq!(t.holds("o", client(1)), Some(LockKind::Stay));
+        assert_eq!(t.holds("o", client(2)), Some(LockKind::Stay));
+    }
+
+    #[test]
+    fn move_lock_is_exclusive() {
+        let mut t: LockTable<u32> = LockTable::new();
+        assert_eq!(
+            t.request("o", client(1), ELSEWHERE, HERE, 1),
+            Request::Granted(LockKind::Move)
+        );
+        assert_eq!(t.request("o", client(2), HERE, HERE, 2), Request::Queued);
+        assert_eq!(t.request("o", client(3), ELSEWHERE, HERE, 3), Request::Queued);
+        let grants = t.release("o", client(1), HERE);
+        // Unfair policy: the stay waiter (client 2) is granted first even
+        // though the move waiter may have arrived earlier elsewhere in the
+        // queue; then no move grant because a reader now holds the lock.
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].client, client(2));
+        assert_eq!(grants[0].kind, LockKind::Stay);
+        assert_eq!(t.queue_len("o"), 1);
+    }
+
+    #[test]
+    fn unfair_policy_grants_all_stays_before_any_move() {
+        let mut t: LockTable<u32> = LockTable::new();
+        t.request("o", client(1), ELSEWHERE, HERE, 1); // move, granted
+        t.request("o", client(2), ELSEWHERE, HERE, 2); // move, queued
+        t.request("o", client(3), HERE, HERE, 3); // stay, queued (behind move)
+        t.request("o", client(4), HERE, HERE, 4); // stay, queued
+        let grants = t.release("o", client(1), HERE);
+        let kinds: Vec<_> = grants.iter().map(|g| g.kind).collect();
+        assert_eq!(kinds, vec![LockKind::Stay, LockKind::Stay]);
+        let clients: Vec<_> = grants.iter().map(|g| g.client).collect();
+        assert_eq!(clients, vec![client(3), client(4)]);
+    }
+
+    #[test]
+    fn fair_policy_respects_arrival_order() {
+        let mut t: LockTable<u32> = LockTable::fair();
+        t.request("o", client(1), ELSEWHERE, HERE, 1); // move, granted
+        t.request("o", client(2), ELSEWHERE, HERE, 2); // move, queued
+        t.request("o", client(3), HERE, HERE, 3); // stay, queued behind it
+        let grants = t.release("o", client(1), HERE);
+        // Fair: the earlier move request wins; the stay waits.
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].client, client(2));
+        assert_eq!(grants[0].kind, LockKind::Move);
+        let grants = t.release("o", client(2), HERE);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].kind, LockKind::Stay);
+    }
+
+    #[test]
+    fn fair_mode_arriving_stay_queues_behind_pending_move() {
+        let mut t: LockTable<u32> = LockTable::fair();
+        t.request("o", client(1), HERE, HERE, 1); // stay granted
+        t.request("o", client(2), ELSEWHERE, HERE, 2); // move queued (stay holder)
+        assert_eq!(t.request("o", client(3), HERE, HERE, 3), Request::Queued);
+        let grants = t.release("o", client(1), HERE);
+        assert_eq!(grants[0].kind, LockKind::Move);
+    }
+
+    #[test]
+    fn unfair_mode_arriving_stay_jumps_pending_move() {
+        let mut t: LockTable<u32> = LockTable::new();
+        t.request("o", client(1), HERE, HERE, 1); // stay granted
+        t.request("o", client(2), ELSEWHERE, HERE, 2); // move queued
+        // The paper's unfairness: a new stay request overtakes the queued
+        // move because the object is already where it wants it.
+        assert_eq!(
+            t.request("o", client(3), HERE, HERE, 3),
+            Request::Granted(LockKind::Stay)
+        );
+    }
+
+    #[test]
+    fn move_granted_once_all_stays_released() {
+        let mut t: LockTable<u32> = LockTable::new();
+        t.request("o", client(1), HERE, HERE, 1);
+        t.request("o", client(2), HERE, HERE, 2);
+        t.request("o", client(3), ELSEWHERE, HERE, 3);
+        assert!(t.release("o", client(1), HERE).is_empty());
+        let grants = t.release("o", client(2), HERE);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].kind, LockKind::Move);
+        assert_eq!(grants[0].client, client(3));
+    }
+
+    #[test]
+    fn extract_and_install_carry_holders() {
+        let mut t: LockTable<u32> = LockTable::new();
+        t.request("o", client(1), HERE, HERE, 1);
+        t.request("o", client(2), ELSEWHERE, HERE, 2); // queued waiter
+        let (holders, waiters) = t.extract("o");
+        assert_eq!(holders.stay_holders, vec![client(1).as_raw()]);
+        assert_eq!(waiters.len(), 1);
+        assert_eq!(waiters[0].payload, 2);
+        assert_eq!(waiters[0].client, client(2));
+        assert_eq!(waiters[0].target, ELSEWHERE);
+        assert_eq!(t.holds("o", client(1)), None);
+
+        let mut t2: LockTable<u32> = LockTable::new();
+        t2.install("o", holders);
+        assert_eq!(t2.holds("o", client(1)), Some(LockKind::Stay));
+    }
+
+    #[test]
+    fn release_of_unheld_lock_is_harmless() {
+        let mut t: LockTable<u32> = LockTable::new();
+        assert!(t.release("o", client(1), HERE).is_empty());
+    }
+
+    #[test]
+    fn idle_entries_are_garbage_collected() {
+        let mut t: LockTable<u32> = LockTable::new();
+        t.request("o", client(1), HERE, HERE, 1);
+        t.release("o", client(1), HERE);
+        assert!(t.locks.is_empty(), "no residual state");
+    }
+}

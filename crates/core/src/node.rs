@@ -1,0 +1,658 @@
+//! The MAGE node: one per namespace, combining the paper's `MageServer`,
+//! `MageExternalServer` and MAGE registry roles (§4.1, Figure 6).
+//!
+//! A `MageNode` plugs into the RMI substrate as an [`App`]: its system
+//! services (find, lock, invoke, move, receive, class transfer) are methods
+//! of the well-known [`proto::SERVICE`] object, and mobility-attribute
+//! binds are client-side protocol engines (see [`crate::engine`]) driven by
+//! RMI replies — exactly the paper's "mobility attributes boil down to RMI
+//! calls".
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use mage_rmi::{App, CallOutcome, Env, Fault, InboundCall, ReplyHandle};
+use mage_sim::{NodeId, OpId, SimDuration};
+
+use crate::class::ClassLibrary;
+use crate::component::Visibility;
+use crate::engine::{MoveOrigin, Task};
+use crate::lock::LockTable;
+use crate::object::{MobileEnv, MobileObject};
+use crate::proto::{self, methods, Outcome};
+use crate::registry::{class_key, Registry, CLASS_PREFIX};
+use crate::security::TrustPolicy;
+use crate::admission::Quotas;
+
+/// Tuning knobs for one namespace's MAGE runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeConfig {
+    /// Maximum forwarding-chain length a find will follow.
+    pub find_hop_limit: u32,
+    /// Use fair (arrival-order) lock granting instead of the paper's
+    /// unfair stay-favouring policy.
+    pub fair_locks: bool,
+    /// Client-side CPU charged per mobility-attribute operation (the
+    /// attribute wrapper + local registry consultation).
+    pub bind_overhead: SimDuration,
+    /// Server-side CPU charged per object invocation (object table lookup).
+    pub invoke_overhead: SimDuration,
+    /// CPU charged to reconstruct an object from its migration snapshot.
+    pub reify_cost: SimDuration,
+    /// Whether classes with static fields may be replicated here (§4.2).
+    pub allow_static_classes: bool,
+    /// Retries when an invocation races a migration (object moved between
+    /// find and invoke).
+    pub race_retries: u8,
+}
+
+impl Default for NodeConfig {
+    fn default() -> Self {
+        NodeConfig {
+            find_hop_limit: 16,
+            fair_locks: false,
+            bind_overhead: SimDuration::from_micros(1_200),
+            invoke_overhead: SimDuration::from_micros(500),
+            reify_cost: SimDuration::from_micros(1_000),
+            allow_static_classes: false,
+            race_retries: 3,
+        }
+    }
+}
+
+/// An object hosted in this namespace.
+pub(crate) struct Hosted {
+    pub object: Box<dyn MobileObject>,
+    pub class: String,
+    pub visibility: Visibility,
+    pub home: NodeId,
+    pub version: u64,
+    /// Set while a migration is in flight; the object is unusable and a
+    /// second move is refused (movement is not atomic, §4.4).
+    pub in_transit: bool,
+}
+
+/// The MAGE runtime for one namespace.
+pub struct MageNode {
+    pub(crate) name: String,
+    pub(crate) lib: Arc<ClassLibrary>,
+    pub(crate) config: NodeConfig,
+    pub(crate) peers: BTreeMap<String, NodeId>,
+    pub(crate) classes: BTreeSet<String>,
+    pub(crate) objects: BTreeMap<String, Hosted>,
+    pub(crate) registry: Registry,
+    pub(crate) locks: LockTable<ReplyHandle>,
+    pub(crate) tasks: HashMap<u64, Task>,
+    pub(crate) next_task: u64,
+    pub(crate) trust: TrustPolicy,
+    pub(crate) quotas: Quotas,
+}
+
+impl MageNode {
+    /// Creates a node named `name` over the world-wide class library.
+    ///
+    /// `peers` maps namespace display names to node ids (used to resolve
+    /// mobile-agent itinerary hops).
+    pub fn new(
+        name: impl Into<String>,
+        lib: Arc<ClassLibrary>,
+        peers: BTreeMap<String, NodeId>,
+        config: NodeConfig,
+    ) -> Self {
+        let config_locks = if config.fair_locks {
+            LockTable::fair()
+        } else {
+            LockTable::new()
+        };
+        MageNode {
+            name: name.into(),
+            lib,
+            config,
+            peers,
+            classes: BTreeSet::new(),
+            objects: BTreeMap::new(),
+            registry: Registry::new(),
+            locks: config_locks,
+            tasks: HashMap::new(),
+            next_task: 0,
+            trust: TrustPolicy::default(),
+            quotas: Quotas::unlimited(),
+        }
+    }
+
+    /// Whether this namespace currently holds the named component (an
+    /// object not in transit, or a cached class under the `class:` prefix).
+    pub(crate) fn has_component(&self, name: &str) -> bool {
+        if let Some(class) = name.strip_prefix(CLASS_PREFIX) {
+            self.classes.contains(class)
+        } else {
+            self.objects
+                .get(name)
+                .is_some_and(|hosted| !hosted.in_transit)
+        }
+    }
+
+    pub(crate) fn spawn_task(&mut self, task: Task) -> u64 {
+        let id = self.next_task;
+        self.next_task += 1;
+        self.tasks.insert(id, task);
+        id
+    }
+
+    pub(crate) fn complete(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        op: OpId,
+        result: Result<Outcome, crate::error::MageError>,
+    ) {
+        env.complete_op(op, Bytes::from(proto::encode_completion(&result)));
+    }
+
+    // ---- server-side handlers (MageServer / MageExternalServer) ----
+
+    fn handle_find(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        call: InboundCall,
+    ) -> CallOutcome {
+        let args: proto::FindArgs = match mage_codec::from_bytes(call.args()) {
+            Ok(args) => args,
+            Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
+        };
+        let me = env.node();
+        if self.has_component(&args.name) {
+            return reply_ok(&me.as_raw());
+        }
+        let Some(next) = self.registry.lookup(&args.name) else {
+            return CallOutcome::Reply(Err(Fault::NotBound(args.name)));
+        };
+        if next == me
+            || args.visited.contains(&next.as_raw())
+            || args.visited.len() as u32 >= self.config.find_hop_limit
+        {
+            // Stale self-pointing entry, a cycle, or an over-long chain:
+            // the component is unreachable from here.
+            return CallOutcome::Reply(Err(Fault::NotBound(args.name)));
+        }
+        let mut visited = args.visited;
+        visited.push(me.as_raw());
+        let token = self.spawn_task(Task::FwdFind {
+            reply: call.handle(),
+            name: args.name.clone(),
+        });
+        env.call(
+            next,
+            proto::SERVICE,
+            methods::FIND,
+            mage_codec::to_bytes(&proto::FindArgs { name: args.name, visited })
+                .expect("find args encode"),
+            token,
+        );
+        CallOutcome::Deferred
+    }
+
+    fn handle_lock(&mut self, env: &mut Env<'_, '_>, call: InboundCall) -> CallOutcome {
+        let args: proto::LockArgs = match mage_codec::from_bytes(call.args()) {
+            Ok(args) => args,
+            Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
+        };
+        if !self.has_component(&args.name) {
+            return CallOutcome::Reply(Err(Fault::NotBound(args.name)));
+        }
+        let me = env.node();
+        let client = NodeId::from_raw(args.client);
+        let target = NodeId::from_raw(args.target);
+        match self
+            .locks
+            .request(&args.name, client, target, me, call.handle())
+        {
+            crate::lock::Request::Granted(kind) => reply_ok(&kind),
+            crate::lock::Request::Queued => CallOutcome::Deferred,
+        }
+    }
+
+    fn handle_unlock(&mut self, env: &mut Env<'_, '_>, call: InboundCall) -> CallOutcome {
+        let args: proto::UnlockArgs = match mage_codec::from_bytes(call.args()) {
+            Ok(args) => args,
+            Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
+        };
+        let me = env.node();
+        let grants = self
+            .locks
+            .release(&args.name, NodeId::from_raw(args.client), me);
+        for grant in grants {
+            let payload = mage_codec::to_bytes(&grant.kind).expect("lock kind encodes");
+            env.reply(grant.waiter, Ok(payload));
+        }
+        reply_ok(&())
+    }
+
+    fn handle_invoke(&mut self, env: &mut Env<'_, '_>, call: InboundCall) -> CallOutcome {
+        let args: proto::InvokeArgs = match mage_codec::from_bytes(call.args()) {
+            Ok(args) => args,
+            Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
+        };
+        env.charge(self.config.invoke_overhead);
+        let result = self.invoke_local(env, &args.name, &args.method, &args.args);
+        CallOutcome::Reply(result)
+    }
+
+    /// Invokes a method on a locally hosted object, handling mobile-agent
+    /// hop requests.
+    pub(crate) fn invoke_local(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        name: &str,
+        method: &str,
+        args: &[u8],
+    ) -> Result<Vec<u8>, Fault> {
+        let Some(hosted) = self.objects.get(name) else {
+            return Err(Fault::NotBound(name.to_owned()));
+        };
+        if hosted.in_transit {
+            return Err(Fault::NotBound(name.to_owned()));
+        }
+        let mut hosted = self.objects.remove(name).expect("checked above");
+        let node_name = self.name.clone();
+        let (result, consumed, hop) = {
+            let mut menv = MobileEnv::new(env.node(), &node_name, env.now(), env.rng());
+            let result = hosted.object.invoke(method, args, &mut menv);
+            let consumed = menv.consumed();
+            let hop = menv.take_hop_request();
+            (result, consumed, hop)
+        };
+        env.charge(consumed);
+        self.objects.insert(name.to_owned(), hosted);
+        if let Some(dest_name) = hop {
+            match self.peers.get(&dest_name).copied() {
+                Some(dest) if dest != env.node() => {
+                    self.start_move(env, name.to_owned(), dest, MoveOrigin::Autonomous);
+                }
+                Some(_) => {} // hop to self: nothing to do
+                None => env.note(format!(
+                    "agent {name} requested hop to unknown namespace {dest_name:?}"
+                )),
+            }
+        }
+        result
+    }
+
+    fn handle_move_to(&mut self, env: &mut Env<'_, '_>, call: InboundCall) -> CallOutcome {
+        let args: proto::MoveToArgs = match mage_codec::from_bytes(call.args()) {
+            Ok(args) => args,
+            Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
+        };
+        let dest = NodeId::from_raw(args.dest);
+        if dest == env.node() {
+            if self.has_component(&args.name) {
+                return reply_ok(&args.dest);
+            }
+            return CallOutcome::Reply(Err(Fault::NotBound(args.name)));
+        }
+        match self.objects.get(&args.name) {
+            None => CallOutcome::Reply(Err(Fault::NotBound(args.name))),
+            Some(hosted) if hosted.in_transit => {
+                CallOutcome::Reply(Err(Fault::App(format!("{} is in transit", args.name))))
+            }
+            Some(_) => {
+                self.start_move(env, args.name, dest, MoveOrigin::Reply(call.handle()));
+                CallOutcome::Deferred
+            }
+        }
+    }
+
+    fn handle_receive(&mut self, env: &mut Env<'_, '_>, from: NodeId, call: InboundCall) -> CallOutcome {
+        let args: proto::ReceiveArgs = match mage_codec::from_bytes(call.args()) {
+            Ok(args) => args,
+            Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
+        };
+        if !self.trust.admits(from) {
+            return CallOutcome::Reply(Err(Fault::AccessDenied(format!(
+                "namespace {} does not accept objects from {from}",
+                self.name
+            ))));
+        }
+        if !self.quotas.admits_object(self.objects.len()) {
+            return CallOutcome::Reply(Err(Fault::AccessDenied(format!(
+                "object quota exceeded in namespace {}",
+                self.name
+            ))));
+        }
+        if !self.classes.contains(&args.class) {
+            return CallOutcome::Reply(Err(Fault::ClassMissing(args.class)));
+        }
+        let def = match self.lib.get(&args.class) {
+            Some(def) => def,
+            None => return CallOutcome::Reply(Err(Fault::ClassMissing(args.class))),
+        };
+        let object = match def.instantiate(&args.state) {
+            Ok(object) => object,
+            Err(fault) => return CallOutcome::Reply(Err(fault)),
+        };
+        env.charge(self.config.reify_cost);
+        self.objects.insert(
+            args.name.clone(),
+            Hosted {
+                object,
+                class: args.class,
+                visibility: args.visibility,
+                home: NodeId::from_raw(args.home),
+                version: args.version,
+                in_transit: false,
+            },
+        );
+        self.locks.install(&args.name, args.locks);
+        let me = env.node();
+        self.registry.update(args.name, me);
+        reply_ok(&())
+    }
+
+    fn handle_receive_class(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        from: NodeId,
+        call: InboundCall,
+    ) -> CallOutcome {
+        let args: proto::ReceiveClassArgs = match mage_codec::from_bytes(call.args()) {
+            Ok(args) => args,
+            Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
+        };
+        if !self.trust.admits(from) {
+            return CallOutcome::Reply(Err(Fault::AccessDenied(format!(
+                "namespace {} does not accept classes from {from}",
+                self.name
+            ))));
+        }
+        if args.has_static_fields && !self.config.allow_static_classes {
+            return CallOutcome::Reply(Err(Fault::AccessDenied(format!(
+                "class {} has static fields; replication would fork static state",
+                args.class
+            ))));
+        }
+        if self.classes.contains(&args.class) {
+            return reply_ok(&()); // idempotent re-delivery
+        }
+        if !self.quotas.admits_class(self.classes.len()) {
+            return CallOutcome::Reply(Err(Fault::AccessDenied(format!(
+                "class quota exceeded in namespace {}",
+                self.name
+            ))));
+        }
+        if !self.lib.contains(&args.class) {
+            return CallOutcome::Reply(Err(Fault::ClassMissing(args.class)));
+        }
+        env.charge(env.cost().class_load(args.code.len() as u64));
+        self.classes.insert(args.class.clone());
+        let me = env.node();
+        self.registry.update(class_key(&args.class), me);
+        reply_ok(&())
+    }
+
+    fn handle_fetch_class(&mut self, call: InboundCall) -> CallOutcome {
+        let args: proto::FetchClassArgs = match mage_codec::from_bytes(call.args()) {
+            Ok(args) => args,
+            Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
+        };
+        if !self.classes.contains(&args.class) {
+            return CallOutcome::Reply(Err(Fault::ClassMissing(args.class)));
+        }
+        let Some(def) = self.lib.get(&args.class) else {
+            return CallOutcome::Reply(Err(Fault::ClassMissing(args.class)));
+        };
+        reply_ok(&proto::ReceiveClassArgs {
+            class: def.name().to_owned(),
+            code: vec![0u8; def.code_size() as usize],
+            has_static_fields: def.has_static_fields(),
+        })
+    }
+
+    fn handle_instantiate(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        from: NodeId,
+        call: InboundCall,
+    ) -> CallOutcome {
+        let args: proto::InstantiateArgs = match mage_codec::from_bytes(call.args()) {
+            Ok(args) => args,
+            Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
+        };
+        if !self.trust.admits(from) {
+            return CallOutcome::Reply(Err(Fault::AccessDenied(format!(
+                "namespace {} does not accept instantiation from {from}",
+                self.name
+            ))));
+        }
+        if !self.quotas.admits_object(self.objects.len()) {
+            return CallOutcome::Reply(Err(Fault::AccessDenied(format!(
+                "object quota exceeded in namespace {}",
+                self.name
+            ))));
+        }
+        if !self.classes.contains(&args.class) {
+            return CallOutcome::Reply(Err(Fault::ClassMissing(args.class)));
+        }
+        // Factory rebind semantics: a fresh instance replaces any previous
+        // object registered under this name (like an RMI registry rebind) —
+        // unless that object is mid-migration.
+        if self.objects.get(&args.name).is_some_and(|h| h.in_transit) {
+            return CallOutcome::Reply(Err(Fault::App(format!(
+                "object {} is in transit",
+                args.name
+            ))));
+        }
+        let def = match self.lib.get(&args.class) {
+            Some(def) => def,
+            None => return CallOutcome::Reply(Err(Fault::ClassMissing(args.class))),
+        };
+        let object = match def.instantiate(&args.state) {
+            Ok(object) => object,
+            Err(fault) => return CallOutcome::Reply(Err(fault)),
+        };
+        env.charge(self.config.reify_cost);
+        let me = env.node();
+        self.objects.insert(
+            args.name.clone(),
+            Hosted {
+                object,
+                class: args.class,
+                visibility: args.visibility,
+                home: me,
+                version: 0,
+                in_transit: false,
+            },
+        );
+        self.registry.update(args.name, me);
+        reply_ok(&())
+    }
+
+    // ---- driver commands ----
+
+    fn handle_command(&mut self, env: &mut Env<'_, '_>, cmd: proto::Command) {
+        match cmd {
+            proto::Command::DeployClass { op, class } => {
+                let op = OpId::from_raw(op);
+                if !self.lib.contains(&class) {
+                    let err = crate::error::MageError::ClassUnavailable(class);
+                    self.complete(env, op, Err(err));
+                    return;
+                }
+                self.classes.insert(class.clone());
+                let me = env.node();
+                self.registry.update(class_key(&class), me);
+                self.complete(
+                    env,
+                    op,
+                    Ok(Outcome { location: me.as_raw(), ..Outcome::default() }),
+                );
+            }
+            proto::Command::CreateObject { op, class, name, state, visibility } => {
+                let op = OpId::from_raw(op);
+                let result =
+                    self.create_local_object(env, &class, &name, &state, visibility, false);
+                self.complete(env, op, result);
+            }
+            proto::Command::Find { op, name, home_hint } => {
+                self.start_client_find(env, OpId::from_raw(op), name, home_hint);
+            }
+            proto::Command::Lock { op, name, target, home_hint } => {
+                self.start_client_lock(env, OpId::from_raw(op), name, target, home_hint);
+            }
+            proto::Command::Unlock { op, name, home_hint } => {
+                self.start_client_unlock(env, OpId::from_raw(op), name, home_hint);
+            }
+            proto::Command::Execute { op, spec } => {
+                env.charge(self.config.bind_overhead);
+                self.start_exec(env, OpId::from_raw(op), spec);
+            }
+            proto::Command::SetTrust { op, allow } => {
+                self.trust = match allow {
+                    None => TrustPolicy::TrustAll,
+                    Some(ids) => TrustPolicy::allow_raw(ids),
+                };
+                let me = env.node().as_raw();
+                self.complete(
+                    env,
+                    OpId::from_raw(op),
+                    Ok(Outcome { location: me, ..Outcome::default() }),
+                );
+            }
+            proto::Command::SetQuota { op, max_objects, max_classes } => {
+                self.quotas = Quotas { max_objects, max_classes };
+                let me = env.node().as_raw();
+                self.complete(
+                    env,
+                    OpId::from_raw(op),
+                    Ok(Outcome { location: me, ..Outcome::default() }),
+                );
+            }
+            proto::Command::AllowStaticClasses { op, allow } => {
+                self.config.allow_static_classes = allow;
+                let me = env.node().as_raw();
+                self.complete(
+                    env,
+                    OpId::from_raw(op),
+                    Ok(Outcome { location: me, ..Outcome::default() }),
+                );
+            }
+        }
+    }
+
+    pub(crate) fn create_local_object(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        class: &str,
+        name: &str,
+        state: &[u8],
+        visibility: Visibility,
+        replace: bool,
+    ) -> Result<Outcome, crate::error::MageError> {
+        if !self.classes.contains(class) {
+            return Err(crate::error::MageError::ClassUnavailable(class.to_owned()));
+        }
+        let def = self
+            .lib
+            .get(class)
+            .ok_or_else(|| crate::error::MageError::ClassUnavailable(class.to_owned()))?;
+        if let Some(existing) = self.objects.get(name) {
+            if !replace {
+                return Err(crate::error::MageError::BadPlan(format!(
+                    "object {name} already exists here"
+                )));
+            }
+            if existing.in_transit {
+                return Err(crate::error::MageError::BadPlan(format!(
+                    "object {name} is in transit"
+                )));
+            }
+        }
+        let object = def
+            .instantiate(state)
+            .map_err(|f| crate::error::MageError::Rmi(f.to_string()))?;
+        let me = env.node();
+        self.objects.insert(
+            name.to_owned(),
+            Hosted {
+                object,
+                class: class.to_owned(),
+                visibility,
+                home: me,
+                version: 0,
+                in_transit: false,
+            },
+        );
+        self.registry.update(name.to_owned(), me);
+        Ok(Outcome { location: me.as_raw(), ..Outcome::default() })
+    }
+}
+
+pub(crate) fn reply_ok<T: serde::Serialize>(value: &T) -> CallOutcome {
+    CallOutcome::Reply(Ok(mage_codec::to_bytes(value).expect("reply encodes")))
+}
+
+impl App for MageNode {
+    fn on_driver(&mut self, env: &mut Env<'_, '_>, payload: Bytes) {
+        match mage_codec::from_bytes::<proto::Command>(&payload) {
+            Ok(cmd) => self.handle_command(env, cmd),
+            Err(e) => env.note(format!("bad driver command: {e}")),
+        }
+    }
+
+    fn on_call(&mut self, env: &mut Env<'_, '_>, from: NodeId, call: InboundCall) -> CallOutcome {
+        if call.object() != proto::SERVICE {
+            return CallOutcome::Unhandled;
+        }
+        match call.method() {
+            methods::FIND => self.handle_find(env, call),
+            methods::LOCK => self.handle_lock(env, call),
+            methods::UNLOCK => self.handle_unlock(env, call),
+            methods::INVOKE => self.handle_invoke(env, call),
+            methods::MOVE_TO => self.handle_move_to(env, call),
+            methods::RECEIVE => self.handle_receive(env, from, call),
+            methods::RECEIVE_CLASS => self.handle_receive_class(env, from, call),
+            methods::FETCH_CLASS => self.handle_fetch_class(call),
+            methods::INSTANTIATE => self.handle_instantiate(env, from, call),
+            other => CallOutcome::Reply(Err(Fault::NoSuchMethod {
+                object: proto::SERVICE.to_owned(),
+                method: other.to_owned(),
+            })),
+        }
+    }
+
+    fn on_reply(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        token: u64,
+        result: Result<Vec<u8>, mage_rmi::RmiError>,
+    ) {
+        self.step_task(env, token, result);
+    }
+}
+
+impl std::fmt::Debug for MageNode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MageNode")
+            .field("name", &self.name)
+            .field("objects", &self.objects.len())
+            .field("classes", &self.classes.len())
+            .field("registry_entries", &self.registry.len())
+            .field("tasks_in_flight", &self.tasks.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl MageNode {
+    pub(crate) fn start_move(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        name: String,
+        dest: NodeId,
+        origin: MoveOrigin,
+    ) {
+        self.begin_move_out(env, name, dest, origin);
+    }
+
+    fn start_exec(&mut self, env: &mut Env<'_, '_>, op: OpId, spec: proto::ExecSpec) {
+        self.exec_start(env, op, spec);
+    }
+}

@@ -1,0 +1,231 @@
+//! Mobile objects: state-carrying components that migrate between
+//! namespaces by weak migration (§3.5).
+//!
+//! The standard JVM does not export execution state, so MAGE moves heap
+//! state only. The Rust analogue: a [`MobileObject`] can [`snapshot`] its
+//! state to bytes and be rebuilt from them by its class's factory
+//! ([`crate::class::ClassDef`]). Threads never travel; a mobile agent that
+//! wants to keep computing after a hop asks its environment for an onward
+//! migration and re-enters through an ordinary method invocation.
+//!
+//! [`snapshot`]: MobileObject::snapshot
+
+use mage_rmi::Fault;
+use mage_sim::{NodeId, SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+/// Environment available to a mobile object during an invocation.
+pub struct MobileEnv<'a> {
+    node: NodeId,
+    node_name: &'a str,
+    now: SimTime,
+    consumed: SimDuration,
+    hop_request: Option<String>,
+    rng: &'a mut StdRng,
+}
+
+impl<'a> MobileEnv<'a> {
+    pub(crate) fn new(
+        node: NodeId,
+        node_name: &'a str,
+        now: SimTime,
+        rng: &'a mut StdRng,
+    ) -> Self {
+        MobileEnv {
+            node,
+            node_name,
+            now,
+            consumed: SimDuration::ZERO,
+            hop_request: None,
+            rng,
+        }
+    }
+
+    /// The namespace currently hosting the object.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Display name of the hosting namespace (e.g. `"sensor1"`).
+    pub fn node_name(&self) -> &str {
+        self.node_name
+    }
+
+    /// Virtual time at the start of the invocation.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Charges `d` of compute time to this invocation (models service time;
+    /// it delays the response and any onward migration).
+    pub fn consume(&mut self, d: SimDuration) {
+        self.consumed += d;
+    }
+
+    /// Total compute time charged so far.
+    pub(crate) fn consumed(&self) -> SimDuration {
+        self.consumed
+    }
+
+    /// Requests that, after this invocation returns, the hosting runtime
+    /// migrate the object to the namespace named `dest` (mobile-agent
+    /// multi-hop itineraries, §3.5 — MA is "multi-hop and asynchronous").
+    ///
+    /// The hop happens asynchronously; the current invocation's result is
+    /// unaffected. A later request in the same invocation overrides an
+    /// earlier one.
+    pub fn request_hop(&mut self, dest: impl Into<String>) {
+        self.hop_request = Some(dest.into());
+    }
+
+    pub(crate) fn take_hop_request(&mut self) -> Option<String> {
+        self.hop_request.take()
+    }
+
+    /// Deterministic random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// A component instance that can live in, and move between, namespaces.
+///
+/// Implementations must be reconstructible from their snapshot by their
+/// class factory: `factory(snapshot(obj))` must observably equal `obj`
+/// (weak migration round-trip). The `mage-core` test suite property-checks
+/// this for the built-in workload objects.
+pub trait MobileObject {
+    /// The class this object instantiates (must match a
+    /// [`crate::class::ClassDef`] name).
+    fn class_name(&self) -> &str;
+
+    /// Serializes the object's heap state for migration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] if the state cannot be marshalled.
+    fn snapshot(&self) -> Result<Vec<u8>, Fault>;
+
+    /// Handles one method invocation.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Fault`] for unknown methods, malformed arguments or
+    /// application failures.
+    fn invoke(
+        &mut self,
+        method: &str,
+        args: &[u8],
+        env: &mut MobileEnv<'_>,
+    ) -> Result<Vec<u8>, Fault>;
+}
+
+/// Convenience: decode typed arguments inside a [`MobileObject::invoke`]
+/// implementation, mapping codec errors to an application fault.
+///
+/// # Errors
+///
+/// Returns [`Fault::App`] when the bytes do not decode as `T`.
+pub fn args_as<T: serde::de::DeserializeOwned>(args: &[u8]) -> Result<T, Fault> {
+    mage_codec::from_bytes(args).map_err(|e| Fault::App(format!("bad arguments: {e}")))
+}
+
+/// Convenience: encode a typed result inside a [`MobileObject::invoke`]
+/// implementation.
+///
+/// # Errors
+///
+/// Returns [`Fault::App`] when the value does not encode.
+pub fn result_from<T: serde::Serialize>(value: &T) -> Result<Vec<u8>, Fault> {
+    mage_codec::to_bytes(value).map_err(|e| Fault::App(format!("bad result: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Probe {
+        count: u32,
+    }
+
+    impl MobileObject for Probe {
+        fn class_name(&self) -> &str {
+            "Probe"
+        }
+
+        fn snapshot(&self) -> Result<Vec<u8>, Fault> {
+            result_from(self)
+        }
+
+        fn invoke(
+            &mut self,
+            method: &str,
+            args: &[u8],
+            env: &mut MobileEnv<'_>,
+        ) -> Result<Vec<u8>, Fault> {
+            match method {
+                "bump" => {
+                    let by: u32 = args_as(args)?;
+                    self.count += by;
+                    env.consume(SimDuration::from_millis(1));
+                    result_from(&self.count)
+                }
+                "wander" => {
+                    env.request_hop("sensor2");
+                    result_from(&())
+                }
+                other => Err(Fault::NoSuchMethod {
+                    object: "probe".into(),
+                    method: other.into(),
+                }),
+            }
+        }
+    }
+
+    fn env(rng: &mut StdRng) -> MobileEnv<'_> {
+        MobileEnv::new(NodeId::from_raw(0), "lab", SimTime::ZERO, rng)
+    }
+
+    #[test]
+    fn invoke_decodes_args_and_encodes_results() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut e = env(&mut rng);
+        let mut probe = Probe { count: 1 };
+        let out = probe
+            .invoke("bump", &mage_codec::to_bytes(&4u32).unwrap(), &mut e)
+            .unwrap();
+        let count: u32 = mage_codec::from_bytes(&out).unwrap();
+        assert_eq!(count, 5);
+        assert_eq!(e.consumed(), SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn snapshot_roundtrips_state() {
+        let probe = Probe { count: 9 };
+        let state = probe.snapshot().unwrap();
+        let back: Probe = mage_codec::from_bytes(&state).unwrap();
+        assert_eq!(back, probe);
+    }
+
+    #[test]
+    fn hop_requests_are_collected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut e = env(&mut rng);
+        let mut probe = Probe { count: 0 };
+        probe.invoke("wander", &[], &mut e).unwrap();
+        assert_eq!(e.take_hop_request().as_deref(), Some("sensor2"));
+        assert_eq!(e.take_hop_request(), None, "request is consumed");
+    }
+
+    #[test]
+    fn bad_args_become_app_faults() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut e = env(&mut rng);
+        let mut probe = Probe { count: 0 };
+        let err = probe.invoke("bump", &[0xFF; 9], &mut e).unwrap_err();
+        assert!(matches!(err, Fault::App(_)));
+    }
+}

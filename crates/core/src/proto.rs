@@ -1,0 +1,397 @@
+//! MAGE system-service wire protocol.
+//!
+//! The paper's `MageServer`, `MageExternalServer` and registry interfaces
+//! are RMI remote objects; here they are methods of one well-known service
+//! object, [`SERVICE`], reachable on every node. Mobility attributes
+//! "boil down to RMI calls" (§4.2) against these methods.
+
+use serde::{Deserialize, Serialize};
+
+use crate::component::Visibility;
+use crate::error::MageError;
+use crate::lock::{HolderTransfer, LockKind};
+
+/// The name every MAGE node binds its system service under.
+pub const SERVICE: &str = "mage";
+
+/// Method names of the system service.
+pub mod methods {
+    /// Locate a component by following forwarding addresses (registry).
+    pub const FIND: &str = "find";
+    /// Acquire a stay/move lock on a hosted object (MageServer).
+    pub const LOCK: &str = "lock";
+    /// Release a lock (MageServer).
+    pub const UNLOCK: &str = "unlock";
+    /// Invoke a method on a hosted object (MageServer).
+    pub const INVOKE: &str = "invoke";
+    /// Ask the hosting node to transfer an object (MageExternalServer).
+    pub const MOVE_TO: &str = "moveTo";
+    /// Deliver a migrating object (MageExternalServer).
+    pub const RECEIVE: &str = "receive";
+    /// Deliver a class definition (MageExternalServer).
+    pub const RECEIVE_CLASS: &str = "receiveClass";
+    /// Pull a class definition (MageExternalServer).
+    pub const FETCH_CLASS: &str = "fetchClass";
+    /// Instantiate an object from a locally cached class (MageExternalServer).
+    pub const INSTANTIATE: &str = "instantiate";
+}
+
+/// Arguments of [`methods::FIND`]. Reply: `u32` (raw node id).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FindArgs {
+    /// Component name (`class:`-prefixed for classes).
+    pub name: String,
+    /// Nodes already consulted, for cycle detection.
+    pub visited: Vec<u32>,
+}
+
+/// Arguments of [`methods::LOCK`]. Reply: [`LockKind`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LockArgs {
+    /// Object to lock.
+    pub name: String,
+    /// Raw id of the requesting client's namespace.
+    pub client: u32,
+    /// Raw id of the attribute's computation target (decides stay vs move).
+    pub target: u32,
+}
+
+/// Arguments of [`methods::UNLOCK`]. Reply: `()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnlockArgs {
+    /// Object to unlock.
+    pub name: String,
+    /// Raw id of the releasing client's namespace.
+    pub client: u32,
+}
+
+/// Arguments of [`methods::INVOKE`]. Reply: `Vec<u8>` (marshalled result).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvokeArgs {
+    /// Target object.
+    pub name: String,
+    /// Method to invoke.
+    pub method: String,
+    /// Marshalled arguments.
+    pub args: Vec<u8>,
+}
+
+/// Arguments of [`methods::MOVE_TO`]. Reply: `u32` (destination raw id).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MoveToArgs {
+    /// Object to migrate.
+    pub name: String,
+    /// Raw id of the destination namespace.
+    pub dest: u32,
+}
+
+/// Arguments of [`methods::RECEIVE`]. Reply: `()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReceiveArgs {
+    /// Object name.
+    pub name: String,
+    /// Its class (must already be cached at the receiver, else the receiver
+    /// faults `ClassMissing` and the sender pushes the class first).
+    pub class: String,
+    /// Weak-migration snapshot of the object's heap state.
+    pub state: Vec<u8>,
+    /// Raw id of the object's origin server.
+    pub home: u32,
+    /// Public/private visibility.
+    pub visibility: Visibility,
+    /// Monotonic move counter (debugging aid; also detects stale receives).
+    pub version: u64,
+    /// Lock holders travelling with the object.
+    pub locks: HolderTransfer,
+}
+
+/// Arguments of [`methods::RECEIVE_CLASS`]. Reply: `()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReceiveClassArgs {
+    /// Class name.
+    pub class: String,
+    /// Simulated class file bytes (size drives transfer and load cost).
+    pub code: Vec<u8>,
+    /// Whether the class declares static fields (receivers refuse these by
+    /// default, §4.2).
+    pub has_static_fields: bool,
+}
+
+/// Arguments of [`methods::FETCH_CLASS`]. Reply: [`ReceiveClassArgs`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FetchClassArgs {
+    /// Class to pull.
+    pub class: String,
+}
+
+/// Arguments of [`methods::INSTANTIATE`]. Reply: `()`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstantiateArgs {
+    /// Class to instantiate (must be cached at the receiver).
+    pub class: String,
+    /// Name to register the new object under.
+    pub name: String,
+    /// Constructor state passed to the class factory.
+    pub state: Vec<u8>,
+    /// Visibility of the new object.
+    pub visibility: Visibility,
+}
+
+/// How an `Execute` command acts on the component before any invocation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ActionSpec {
+    /// Invoke at a known namespace without moving anything (RPC; also the
+    /// coerced forms of REV/MA when the object is already at the target).
+    InvokeAt {
+        /// Raw id of the namespace to invoke at.
+        node: u32,
+    },
+    /// Find the component and invoke wherever it currently is (CLE).
+    InvokeAtCurrent,
+    /// Invoke on the locally hosted object (LPC / COD coerced to LPC).
+    Local,
+    /// Move the object to a namespace, then invoke there (REV on objects,
+    /// GREV, MA, COD with a local target).
+    MoveTo {
+        /// Raw id of the destination namespace.
+        node: u32,
+    },
+    /// Instantiate a fresh object from the class at a namespace
+    /// (traditional REV/COD factory semantics), then invoke it there.
+    Instantiate {
+        /// Raw id of the namespace to instantiate at.
+        node: u32,
+        /// Constructor state.
+        state: Vec<u8>,
+        /// Visibility of the new object.
+        visibility: Visibility,
+    },
+}
+
+/// What to invoke once the action has placed the component.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InvokeSpec {
+    /// Method name.
+    pub method: String,
+    /// Marshalled arguments.
+    pub args: Vec<u8>,
+    /// Fire-and-forget (mobile agents: "the result stays at the remote
+    /// host", §5).
+    pub one_way: bool,
+}
+
+/// A fully resolved bind/invoke plan executed by the client node's engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecSpec {
+    /// Component class name.
+    pub class: String,
+    /// Object name (`None` only for pure factory instantiation).
+    pub object: Option<String>,
+    /// Where the runtime believes the object currently is (from the find
+    /// step); lets the engine skip a second lookup.
+    pub location_hint: Option<u32>,
+    /// Origin server hint for finds (clients "share the name of the mobile
+    /// object's origin server", §7).
+    pub home_hint: Option<u32>,
+    /// The placement action.
+    pub action: ActionSpec,
+    /// Optional invocation after placement.
+    pub invoke: Option<InvokeSpec>,
+    /// Bracket the operation with a stay/move lock (§4.4).
+    pub guard: bool,
+}
+
+/// Commands injected by the experiment driver into a MAGE node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Command {
+    /// Make a class available in this namespace (out-of-band deployment).
+    DeployClass {
+        /// Raw op id to complete.
+        op: u64,
+        /// Class name (must exist in the world's class library).
+        class: String,
+    },
+    /// Create and host an object in this namespace.
+    CreateObject {
+        /// Raw op id to complete.
+        op: u64,
+        /// Class name.
+        class: String,
+        /// Object name to register.
+        name: String,
+        /// Constructor state.
+        state: Vec<u8>,
+        /// Object visibility.
+        visibility: Visibility,
+    },
+    /// Locate a component.
+    Find {
+        /// Raw op id to complete.
+        op: u64,
+        /// Component name.
+        name: String,
+        /// Origin-server hint.
+        home_hint: Option<u32>,
+    },
+    /// Acquire a lock on an object (finding it first if necessary).
+    Lock {
+        /// Raw op id to complete.
+        op: u64,
+        /// Object name.
+        name: String,
+        /// Raw id of the computation target.
+        target: u32,
+        /// Origin-server hint.
+        home_hint: Option<u32>,
+    },
+    /// Release a lock.
+    Unlock {
+        /// Raw op id to complete.
+        op: u64,
+        /// Object name.
+        name: String,
+        /// Origin-server hint.
+        home_hint: Option<u32>,
+    },
+    /// Run a bind/invoke plan.
+    Execute {
+        /// Raw op id to complete.
+        op: u64,
+        /// The plan.
+        spec: ExecSpec,
+    },
+    /// Restrict which peers may push objects/classes into this namespace
+    /// (`None` = trust all, the paper's default: "MAGE trusts its
+    /// constituent servers", §7).
+    SetTrust {
+        /// Raw op id to complete.
+        op: u64,
+        /// Allowed peer raw ids, or `None` to trust everyone.
+        allow: Option<Vec<u32>>,
+    },
+    /// Set admission quotas for this namespace.
+    SetQuota {
+        /// Raw op id to complete.
+        op: u64,
+        /// Maximum hosted objects (`None` = unlimited).
+        max_objects: Option<u64>,
+        /// Maximum cached classes (`None` = unlimited).
+        max_classes: Option<u64>,
+    },
+    /// Permit or refuse replication of classes with static fields (§4.2).
+    AllowStaticClasses {
+        /// Raw op id to complete.
+        op: u64,
+        /// Whether to allow them.
+        allow: bool,
+    },
+}
+
+/// Successful completion payload for driver operations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Outcome {
+    /// Raw id of the namespace where the component ended up (or was
+    /// invoked).
+    pub location: u32,
+    /// Invocation result, if the operation invoked something and waited.
+    pub result: Option<Vec<u8>>,
+    /// Lock kind, for lock operations.
+    pub lock_kind: Option<LockKind>,
+}
+
+/// Encodes a driver completion payload.
+pub fn encode_completion(result: &Result<Outcome, MageError>) -> Vec<u8> {
+    mage_codec::to_bytes(result).expect("completion payload encodes")
+}
+
+/// Decodes a driver completion payload.
+///
+/// # Errors
+///
+/// Returns a [`MageError::Codec`] if the payload is malformed.
+pub fn decode_completion(bytes: &[u8]) -> Result<Result<Outcome, MageError>, MageError> {
+    mage_codec::from_bytes(bytes).map_err(MageError::from)
+}
+
+/// Maps a server-side fault into the corresponding [`MageError`].
+pub fn fault_to_error(fault: &mage_rmi::Fault) -> MageError {
+    match fault {
+        mage_rmi::Fault::NotBound(name) => MageError::NotFound(name.clone()),
+        mage_rmi::Fault::ClassMissing(class) => MageError::ClassUnavailable(class.clone()),
+        mage_rmi::Fault::AccessDenied(why) => MageError::Denied(why.clone()),
+        other => MageError::Rmi(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_spec_roundtrips() {
+        let spec = ExecSpec {
+            class: "GeoDataFilterImpl".into(),
+            object: Some("geoData".into()),
+            location_hint: Some(1),
+            home_hint: Some(0),
+            action: ActionSpec::MoveTo { node: 2 },
+            invoke: Some(InvokeSpec {
+                method: "filterData".into(),
+                args: vec![1, 2],
+                one_way: false,
+            }),
+            guard: true,
+        };
+        let cmd = Command::Execute { op: 7, spec };
+        let bytes = mage_codec::to_bytes(&cmd).unwrap();
+        assert_eq!(mage_codec::from_bytes::<Command>(&bytes).unwrap(), cmd);
+    }
+
+    #[test]
+    fn completion_roundtrips_both_arms() {
+        let ok: Result<Outcome, MageError> = Ok(Outcome {
+            location: 3,
+            result: Some(vec![9]),
+            lock_kind: Some(LockKind::Stay),
+        });
+        assert_eq!(decode_completion(&encode_completion(&ok)).unwrap(), ok);
+        let err: Result<Outcome, MageError> = Err(MageError::NotFound("x".into()));
+        assert_eq!(decode_completion(&encode_completion(&err)).unwrap(), err);
+    }
+
+    #[test]
+    fn fault_mapping() {
+        use mage_rmi::Fault;
+        assert_eq!(
+            fault_to_error(&Fault::NotBound("o".into())),
+            MageError::NotFound("o".into())
+        );
+        assert_eq!(
+            fault_to_error(&Fault::ClassMissing("C".into())),
+            MageError::ClassUnavailable("C".into())
+        );
+        assert_eq!(
+            fault_to_error(&Fault::AccessDenied("no".into())),
+            MageError::Denied("no".into())
+        );
+        assert!(matches!(
+            fault_to_error(&Fault::App("x".into())),
+            MageError::Rmi(_)
+        ));
+    }
+
+    #[test]
+    fn receive_args_roundtrip_with_locks() {
+        let args = ReceiveArgs {
+            name: "geoData".into(),
+            class: "GeoDataFilterImpl".into(),
+            state: vec![1, 2, 3],
+            home: 0,
+            visibility: Visibility::Public,
+            version: 4,
+            locks: HolderTransfer { stay_holders: vec![5], move_holder: None },
+        };
+        let bytes = mage_codec::to_bytes(&args).unwrap();
+        assert_eq!(mage_codec::from_bytes::<ReceiveArgs>(&bytes).unwrap(), args);
+    }
+}

@@ -1,0 +1,117 @@
+//! The per-node MAGE registry (§4.1).
+//!
+//! Each namespace tracks the *last known location* of every mobile
+//! component that has ever passed through it. Finding a component follows
+//! the chain of forwarding addresses; as the answer returns, each server on
+//! the chain updates its entry to the final location, collapsing the path.
+//! Together the per-node registries form "a global, system-wide namespace
+//! for both mobile objects and classes".
+//!
+//! This module is the pure data structure; the chain-walking protocol lives
+//! in the node (`crate::node`). Class locations share the namespace under a
+//! `class:` prefix.
+
+use std::collections::BTreeMap;
+
+use mage_sim::NodeId;
+
+/// Prefix distinguishing class entries from object entries in the shared
+/// namespace.
+pub const CLASS_PREFIX: &str = "class:";
+
+/// Builds the registry key for a class name.
+pub fn class_key(class: &str) -> String {
+    format!("{CLASS_PREFIX}{class}")
+}
+
+/// Last-known-location table for mobile components.
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    entries: BTreeMap<String, NodeId>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Records that `name` was last seen at `location`, returning the
+    /// previous entry if any.
+    pub fn update(&mut self, name: impl Into<String>, location: NodeId) -> Option<NodeId> {
+        self.entries.insert(name.into(), location)
+    }
+
+    /// The last known location of `name`.
+    pub fn lookup(&self, name: &str) -> Option<NodeId> {
+        self.entries.get(name).copied()
+    }
+
+    /// Removes the entry for `name`.
+    pub fn remove(&mut self, name: &str) -> Option<NodeId> {
+        self.entries.remove(name)
+    }
+
+    /// Number of tracked components.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry tracks nothing.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(name, location)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, NodeId)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    #[test]
+    fn update_and_lookup() {
+        let mut reg = Registry::new();
+        assert_eq!(reg.lookup("geoData"), None);
+        assert_eq!(reg.update("geoData", n(2)), None);
+        assert_eq!(reg.lookup("geoData"), Some(n(2)));
+        // Forwarding address overwritten when the object moves on.
+        assert_eq!(reg.update("geoData", n(3)), Some(n(2)));
+        assert_eq!(reg.lookup("geoData"), Some(n(3)));
+    }
+
+    #[test]
+    fn class_keys_share_the_namespace_without_collision() {
+        let mut reg = Registry::new();
+        reg.update("Filter", n(1));
+        reg.update(class_key("Filter"), n(2));
+        assert_eq!(reg.lookup("Filter"), Some(n(1)));
+        assert_eq!(reg.lookup(&class_key("Filter")), Some(n(2)));
+        assert_eq!(reg.len(), 2);
+    }
+
+    #[test]
+    fn remove_forgets() {
+        let mut reg = Registry::new();
+        reg.update("x", n(1));
+        assert_eq!(reg.remove("x"), Some(n(1)));
+        assert_eq!(reg.remove("x"), None);
+        assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut reg = Registry::new();
+        reg.update("b", n(1));
+        reg.update("a", n(2));
+        let names: Vec<_> = reg.iter().map(|(k, _)| k.to_owned()).collect();
+        assert_eq!(names, vec!["a".to_owned(), "b".to_owned()]);
+    }
+}

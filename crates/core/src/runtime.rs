@@ -1,0 +1,819 @@
+//! The synchronous experiment facade over a simulated MAGE deployment.
+//!
+//! [`Runtime`] owns a [`World`] of MAGE nodes and exposes the paper's
+//! programming model as blocking calls: deploy classes, create objects,
+//! bind mobility attributes, invoke through the returned stubs, and bracket
+//! operations with stay/move locks. Every operation advances virtual time
+//! deterministically, so `rt.now()` deltas are the measurements the
+//! benchmark harness reports.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+use mage_rmi::{Config as RmiConfig, Endpoint};
+use mage_sim::{LinkSpec, Network, NodeId, OpId, SimDuration, SimTime, World};
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::attribute::{BindView, Mode, MobilityAttribute, Target};
+use crate::class::{ClassDef, ClassLibrary};
+use crate::coercion::{coerce, Coerced, Situation};
+use crate::component::Visibility;
+use crate::error::MageError;
+use crate::lock::LockKind;
+use crate::node::{MageNode, NodeConfig};
+use crate::proto::{self, ActionSpec, Command, ExecSpec, InvokeSpec, Outcome};
+use crate::registry::class_key;
+
+/// A client-side reference to a bound component: which namespace bound it,
+/// and where the object was last known to live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stub {
+    client: NodeId,
+    at: NodeId,
+    object: String,
+    class: String,
+    home: Option<NodeId>,
+}
+
+impl Stub {
+    /// The namespace that performed the bind (invocations originate here).
+    pub fn client(&self) -> NodeId {
+        self.client
+    }
+
+    /// Last known location of the object.
+    pub fn location(&self) -> NodeId {
+        self.at
+    }
+
+    /// The object's registered name.
+    pub fn object(&self) -> &str {
+        &self.object
+    }
+
+    /// The object's class.
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+}
+
+/// Everything a bind produced: the stub plus how coercion resolved it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BindReceipt {
+    /// The stub for subsequent invocations.
+    pub stub: Stub,
+    /// How the coercion matrix resolved this bind (Table 2).
+    pub coerced: Coerced,
+    /// Lock kind acquired, when the plan was guarded.
+    pub lock_kind: Option<LockKind>,
+    /// Invocation result, when the bind included one.
+    pub result: Option<Vec<u8>>,
+}
+
+/// An asynchronous driver operation (used to create concurrent contention
+/// in tests and the locking figure).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pending(OpId);
+
+/// Builder for a [`Runtime`].
+pub struct RuntimeBuilder {
+    seed: u64,
+    link: LinkSpec,
+    rmi: RmiConfig,
+    node: NodeConfig,
+    nodes: Vec<String>,
+    lib: ClassLibrary,
+    trace: bool,
+}
+
+impl RuntimeBuilder {
+    /// Sets the deterministic seed (default `2001`).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the default link between every pair of namespaces
+    /// (default: the paper's 10 Mb/s Ethernet).
+    #[must_use]
+    pub fn link(mut self, link: LinkSpec) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Sets the RMI endpoint configuration (cost model, timeouts).
+    #[must_use]
+    pub fn rmi_config(mut self, cfg: RmiConfig) -> Self {
+        self.rmi = cfg;
+        self
+    }
+
+    /// Sets per-node MAGE configuration.
+    #[must_use]
+    pub fn node_config(mut self, cfg: NodeConfig) -> Self {
+        self.node = cfg;
+        self
+    }
+
+    /// Zero-cost, zero-latency preset for semantics-focused tests.
+    #[must_use]
+    pub fn fast(mut self) -> Self {
+        self.link = LinkSpec::ideal();
+        self.rmi = RmiConfig::zero_cost();
+        self.node.bind_overhead = SimDuration::ZERO;
+        self.node.invoke_overhead = SimDuration::ZERO;
+        self.node.reify_cost = SimDuration::ZERO;
+        self
+    }
+
+    /// Adds namespaces by display name, in id order.
+    #[must_use]
+    pub fn nodes<I>(mut self, names: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<String>,
+    {
+        self.nodes.extend(names.into_iter().map(Into::into));
+        self
+    }
+
+    /// Adds one namespace.
+    #[must_use]
+    pub fn node(mut self, name: impl Into<String>) -> Self {
+        self.nodes.push(name.into());
+        self
+    }
+
+    /// Registers a class in the world-wide library (deployment to a
+    /// namespace is separate; see [`Runtime::deploy_class`]).
+    #[must_use]
+    pub fn class(mut self, def: ClassDef) -> Self {
+        self.lib.define(def);
+        self
+    }
+
+    /// Enables protocol tracing from the start.
+    #[must_use]
+    pub fn trace(mut self, enabled: bool) -> Self {
+        self.trace = enabled;
+        self
+    }
+
+    /// Builds the runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no namespaces were added or if two share a name.
+    pub fn build(self) -> Runtime {
+        assert!(!self.nodes.is_empty(), "a runtime needs at least one namespace");
+        let lib = Arc::new(self.lib);
+        let mut world = World::with_network(self.seed, Network::new(self.link));
+        if self.trace {
+            world.trace_mut().enable();
+        }
+        let mut ids = BTreeMap::new();
+        for (i, name) in self.nodes.iter().enumerate() {
+            assert!(
+                ids.insert(name.clone(), NodeId::from_raw(i as u32)).is_none(),
+                "duplicate namespace name {name:?}"
+            );
+        }
+        for name in &self.nodes {
+            let node = MageNode::new(name.clone(), Arc::clone(&lib), ids.clone(), self.node);
+            let id = world.add_node(name.clone(), Endpoint::new(node, self.rmi));
+            debug_assert_eq!(Some(id), ids.get(name).copied());
+        }
+        Runtime {
+            world,
+            lib,
+            ids,
+            homes: BTreeMap::new(),
+            cached_loc: BTreeMap::new(),
+            visibility: BTreeMap::new(),
+            loads: BTreeMap::new(),
+        }
+    }
+}
+
+/// A running MAGE deployment.
+pub struct Runtime {
+    world: World,
+    lib: Arc<ClassLibrary>,
+    ids: BTreeMap<String, NodeId>,
+    homes: BTreeMap<String, NodeId>,
+    cached_loc: BTreeMap<String, NodeId>,
+    visibility: BTreeMap<String, Visibility>,
+    loads: BTreeMap<NodeId, f64>,
+}
+
+impl Runtime {
+    /// Starts building a runtime.
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder {
+            seed: 2001,
+            link: LinkSpec::ethernet_10mbps(),
+            rmi: RmiConfig::default(),
+            node: NodeConfig::default(),
+            nodes: Vec::new(),
+            lib: ClassLibrary::new(),
+            trace: false,
+        }
+    }
+
+    /// Resolves a namespace display name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MageError::BadPlan`] for unknown names.
+    pub fn node_id(&self, name: &str) -> Result<NodeId, MageError> {
+        self.ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| MageError::BadPlan(format!("unknown namespace {name:?}")))
+    }
+
+    /// The display name of a node.
+    pub fn node_name(&self, id: NodeId) -> Option<&str> {
+        self.ids
+            .iter()
+            .find(|(_, v)| **v == id)
+            .map(|(k, _)| k.as_str())
+    }
+
+    /// The world-wide class library.
+    pub fn library(&self) -> &ClassLibrary {
+        &self.lib
+    }
+
+    // ---- deployment ----
+
+    /// Makes `class` available in namespace `node` (out-of-band, like
+    /// installing a jar on a host).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the namespace or class is unknown.
+    pub fn deploy_class(&mut self, class: &str, node: &str) -> Result<(), MageError> {
+        let id = self.node_id(node)?;
+        let class_owned = class.to_owned();
+        self.command(id, |op| Command::DeployClass { op, class: class_owned })?;
+        self.homes.insert(class_key(class), id);
+        Ok(())
+    }
+
+    /// Creates an object of `class` named `name` in namespace `node`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the class is not deployed there or the name is taken.
+    pub fn create_object<T: Serialize>(
+        &mut self,
+        class: &str,
+        name: &str,
+        node: &str,
+        state: &T,
+        visibility: Visibility,
+    ) -> Result<Stub, MageError> {
+        let id = self.node_id(node)?;
+        let state = mage_codec::to_bytes(state)?;
+        let (class_owned, name_owned) = (class.to_owned(), name.to_owned());
+        self.command(id, move |op| Command::CreateObject {
+            op,
+            class: class_owned,
+            name: name_owned,
+            state,
+            visibility,
+        })?;
+        self.homes.insert(name.to_owned(), id);
+        self.cached_loc.insert(name.to_owned(), id);
+        self.visibility.insert(name.to_owned(), visibility);
+        Ok(Stub {
+            client: id,
+            at: id,
+            object: name.to_owned(),
+            class: class.to_owned(),
+            home: Some(id),
+        })
+    }
+
+    // ---- core operations ----
+
+    /// Locates a component from `client`'s point of view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MageError::NotFound`] when no forwarding chain reaches it.
+    pub fn find(&mut self, client: &str, name: &str) -> Result<NodeId, MageError> {
+        let client = self.node_id(client)?;
+        self.find_from(client, name)
+    }
+
+    fn find_from(&mut self, client: NodeId, name: &str) -> Result<NodeId, MageError> {
+        let home_hint = self.homes.get(name).map(|n| n.as_raw());
+        let name_owned = name.to_owned();
+        let outcome =
+            self.command(client, move |op| Command::Find { op, name: name_owned, home_hint })?;
+        let loc = NodeId::from_raw(outcome.location);
+        self.cached_loc.insert(name.to_owned(), loc);
+        Ok(loc)
+    }
+
+    /// Binds a mobility attribute from `client`, returning a stub.
+    ///
+    /// This is the paper's `o = ma.bind()` (§3.1): find the component,
+    /// consult the attribute's plan, apply mobility coercion, and run the
+    /// resulting placement protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coercion errors (Table 2's exception cells), lookup
+    /// failures and protocol denials.
+    pub fn bind(&mut self, client: &str, attr: &dyn MobilityAttribute) -> Result<Stub, MageError> {
+        self.bind_full(client, attr).map(|receipt| receipt.stub)
+    }
+
+    /// Binds and returns the full receipt (coercion outcome, lock kind).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::bind`].
+    pub fn bind_full(
+        &mut self,
+        client: &str,
+        attr: &dyn MobilityAttribute,
+    ) -> Result<BindReceipt, MageError> {
+        self.bind_impl(client, attr, None)
+    }
+
+    /// Binds and invokes in a single bracketed engine operation (the §4.4
+    /// `lock → bind → invoke → unlock` pattern when the plan is guarded).
+    ///
+    /// Returns the stub and the decoded result (`None` for one-way
+    /// attributes such as mobile agents).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Runtime::bind`], plus marshalling failures.
+    pub fn bind_invoke<T: Serialize, R: DeserializeOwned>(
+        &mut self,
+        client: &str,
+        attr: &dyn MobilityAttribute,
+        method: &str,
+        args: &T,
+    ) -> Result<(Stub, Option<R>), MageError> {
+        let invoke = InvokeSpec {
+            method: method.to_owned(),
+            args: mage_codec::to_bytes(args)?,
+            one_way: attr.one_way(),
+        };
+        let receipt = self.bind_impl(client, attr, Some(invoke))?;
+        let result = match receipt.result {
+            Some(bytes) => Some(mage_codec::from_bytes(&bytes)?),
+            None => None,
+        };
+        Ok((receipt.stub, result))
+    }
+
+    fn bind_impl(
+        &mut self,
+        client: &str,
+        attr: &dyn MobilityAttribute,
+        invoke: Option<InvokeSpec>,
+    ) -> Result<BindReceipt, MageError> {
+        let client_id = self.node_id(client)?;
+        let component = attr.component().clone();
+        let base_name = component
+            .object_name()
+            .ok_or_else(|| MageError::BadPlan("attribute has no object name".into()))?
+            .to_owned();
+        let class = component.class_name().to_owned();
+
+        // Preliminary plan using cached knowledge (private objects'
+        // cached location is authoritative, §3.5).
+        let cached = self.cached_loc.get(&base_name).copied();
+        let prelim_view =
+            BindView::new(client_id, cached, &self.ids, &self.loads, self.world.now());
+        let mut plan = attr.plan(&prelim_view)?;
+
+        let is_factory = matches!(plan.mode, Mode::Factory { .. });
+        let location = if is_factory {
+            None // a fresh instance is about to be created
+        } else {
+            let public = self
+                .visibility
+                .get(&base_name)
+                .copied()
+                .unwrap_or(Visibility::Public)
+                == Visibility::Public;
+            let known = if public || cached.is_none() {
+                // Shared objects may have been moved by another thread and
+                // must be found before use (§3.5).
+                match self.find_from(client_id, &base_name) {
+                    Ok(loc) => Some(loc),
+                    Err(MageError::NotFound(_)) => None,
+                    Err(e) => return Err(e),
+                }
+            } else {
+                cached
+            };
+            if known != cached {
+                let view =
+                    BindView::new(client_id, known, &self.ids, &self.loads, self.world.now());
+                plan = attr.plan(&view)?;
+            }
+            known
+        };
+
+        // Resolve the plan's target to a node.
+        let target = match &plan.target {
+            Target::Client => Some(client_id),
+            Target::Node(name) => Some(self.node_id(name)?),
+            Target::Current => location,
+        };
+        let classify_target = match &plan.target {
+            Target::Current => None,
+            _ => target,
+        };
+        let situation = Situation::classify(client_id, classify_target, location);
+        let coerced = coerce(attr.model(), situation)?;
+
+        // Factory binds register the fresh instance under the component's
+        // object name, replacing any previous instance (RMI-style rebind);
+        // that is how the paper's REV factory creates `geoData` on
+        // `sensor1` for later attributes to bind to (§3.6).
+        let object_name = base_name.clone();
+
+        let action = match coerced {
+            Coerced::AsLpc => ActionSpec::Local,
+            Coerced::AsRpc => ActionSpec::InvokeAt {
+                node: location.expect("coerced to RPC implies a located component").as_raw(),
+            },
+            Coerced::Proceed => match plan.mode.clone() {
+                Mode::Stationary => match &plan.target {
+                    Target::Client => ActionSpec::Local,
+                    Target::Node(_) => ActionSpec::InvokeAt {
+                        node: target.expect("named target resolved").as_raw(),
+                    },
+                    Target::Current => match location {
+                        Some(loc) => ActionSpec::InvokeAt { node: loc.as_raw() },
+                        None => return Err(MageError::NotFound(base_name)),
+                    },
+                },
+                Mode::Move => {
+                    let dest = target
+                        .ok_or_else(|| MageError::BadPlan("move needs a target".into()))?;
+                    if location.is_none() {
+                        return Err(MageError::NotFound(base_name));
+                    }
+                    ActionSpec::MoveTo { node: dest.as_raw() }
+                }
+                Mode::Factory { state, visibility } => {
+                    self.visibility.insert(object_name.clone(), visibility);
+                    ActionSpec::Instantiate {
+                        node: target.unwrap_or(client_id).as_raw(),
+                        state,
+                        visibility,
+                    }
+                }
+            },
+        };
+
+        let spec = ExecSpec {
+            class: class.clone(),
+            object: Some(object_name.clone()),
+            location_hint: location.map(|n| n.as_raw()),
+            home_hint: self
+                .homes
+                .get(&object_name)
+                .or_else(|| self.homes.get(&base_name))
+                .or_else(|| self.homes.get(&class_key(&class)))
+                .map(|n| n.as_raw()),
+            action,
+            invoke,
+            guard: plan.guard,
+        };
+        let outcome = self.command(client_id, move |op| Command::Execute { op, spec })?;
+        let at = NodeId::from_raw(outcome.location);
+        self.cached_loc.insert(object_name.clone(), at);
+        if is_factory {
+            self.homes.insert(object_name.clone(), at);
+        }
+        Ok(BindReceipt {
+            stub: Stub {
+                client: client_id,
+                at,
+                object: object_name,
+                class,
+                home: self.homes.get(&base_name).copied(),
+            },
+            coerced,
+            lock_kind: outcome.lock_kind,
+            result: outcome.result,
+        })
+    }
+
+    /// Invokes `method` through a stub and decodes the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invocation faults and marshalling failures.
+    pub fn call<T: Serialize, R: DeserializeOwned>(
+        &mut self,
+        stub: &Stub,
+        method: &str,
+        args: &T,
+    ) -> Result<R, MageError> {
+        let bytes = self.call_raw(stub, method, mage_codec::to_bytes(args)?)?;
+        mage_codec::from_bytes(&bytes).map_err(MageError::from)
+    }
+
+    /// Invokes `method` through a stub with pre-marshalled arguments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invocation faults.
+    pub fn call_raw(
+        &mut self,
+        stub: &Stub,
+        method: &str,
+        args: Vec<u8>,
+    ) -> Result<Vec<u8>, MageError> {
+        let at = self
+            .cached_loc
+            .get(&stub.object)
+            .copied()
+            .unwrap_or(stub.at);
+        let spec = ExecSpec {
+            class: stub.class.clone(),
+            object: Some(stub.object.clone()),
+            location_hint: Some(at.as_raw()),
+            home_hint: stub.home.map(|n| n.as_raw()),
+            action: ActionSpec::InvokeAt { node: at.as_raw() },
+            invoke: Some(InvokeSpec { method: method.to_owned(), args, one_way: false }),
+            guard: false,
+        };
+        let outcome = self.command(stub.client, move |op| Command::Execute { op, spec })?;
+        self.cached_loc
+            .insert(stub.object.clone(), NodeId::from_raw(outcome.location));
+        outcome
+            .result
+            .ok_or_else(|| MageError::Rmi("invocation returned no result".into()))
+    }
+
+    /// Fire-and-forget invocation through a stub.
+    ///
+    /// # Errors
+    ///
+    /// Propagates marshalling failures and placement errors; delivery of
+    /// the invocation itself is not awaited.
+    pub fn send<T: Serialize>(
+        &mut self,
+        stub: &Stub,
+        method: &str,
+        args: &T,
+    ) -> Result<(), MageError> {
+        let at = self
+            .cached_loc
+            .get(&stub.object)
+            .copied()
+            .unwrap_or(stub.at);
+        let spec = ExecSpec {
+            class: stub.class.clone(),
+            object: Some(stub.object.clone()),
+            location_hint: Some(at.as_raw()),
+            home_hint: stub.home.map(|n| n.as_raw()),
+            action: ActionSpec::InvokeAt { node: at.as_raw() },
+            invoke: Some(InvokeSpec {
+                method: method.to_owned(),
+                args: mage_codec::to_bytes(args)?,
+                one_way: true,
+            }),
+            guard: false,
+        };
+        self.command(stub.client, move |op| Command::Execute { op, spec })?;
+        Ok(())
+    }
+
+    // ---- locking (§4.4) ----
+
+    /// Acquires a stay/move lock on `name` from `client`; the kind depends
+    /// on whether the object already resides at `target`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object cannot be located.
+    pub fn lock(&mut self, client: &str, name: &str, target: &str) -> Result<LockKind, MageError> {
+        let pending = self.lock_async(client, name, target)?;
+        let outcome = self.wait(pending)?;
+        outcome
+            .lock_kind
+            .ok_or_else(|| MageError::Rmi("lock reply carried no kind".into()))
+    }
+
+    /// Starts a lock acquisition without blocking (for contention tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown namespace names.
+    pub fn lock_async(
+        &mut self,
+        client: &str,
+        name: &str,
+        target: &str,
+    ) -> Result<Pending, MageError> {
+        let client = self.node_id(client)?;
+        let target = self.node_id(target)?;
+        let home_hint = self.homes.get(name).map(|n| n.as_raw());
+        let op = self.world.begin_op();
+        let cmd = Command::Lock {
+            op: op.as_raw(),
+            name: name.to_owned(),
+            target: target.as_raw(),
+            home_hint,
+        };
+        self.inject(client, cmd);
+        Ok(Pending(op))
+    }
+
+    /// Releases `client`'s lock on `name`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object cannot be located.
+    pub fn unlock(&mut self, client: &str, name: &str) -> Result<(), MageError> {
+        let pending = self.unlock_async(client, name)?;
+        self.wait(pending)?;
+        Ok(())
+    }
+
+    /// Starts an unlock without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown namespace names.
+    pub fn unlock_async(&mut self, client: &str, name: &str) -> Result<Pending, MageError> {
+        let client = self.node_id(client)?;
+        let home_hint = self.homes.get(name).map(|n| n.as_raw());
+        let op = self.world.begin_op();
+        let cmd = Command::Unlock { op: op.as_raw(), name: name.to_owned(), home_hint };
+        self.inject(client, cmd);
+        Ok(Pending(op))
+    }
+
+    /// Blocks until a pending operation completes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the operation's failure or a simulation stall.
+    pub fn wait(&mut self, pending: Pending) -> Result<Outcome, MageError> {
+        let bytes = self.world.block_on(pending.0)?;
+        proto::decode_completion(&bytes)?
+    }
+
+    /// Whether a pending operation has completed (without running the
+    /// world further).
+    pub fn is_done(&self, pending: Pending) -> bool {
+        self.world.op_result(pending.0).is_some()
+    }
+
+    // ---- policies (§7 extensions) ----
+
+    /// Publishes a synthetic load figure for a namespace (read by custom
+    /// attributes through [`BindView::load`]).
+    pub fn set_load(&mut self, node: &str, load: f64) -> Result<(), MageError> {
+        let id = self.node_id(node)?;
+        self.loads.insert(id, load);
+        Ok(())
+    }
+
+    /// Restricts which peers may push components into `node`
+    /// (`None` restores trust-all).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown namespace names.
+    pub fn set_trust(&mut self, node: &str, allow: Option<&[&str]>) -> Result<(), MageError> {
+        let id = self.node_id(node)?;
+        let allow = match allow {
+            None => None,
+            Some(names) => {
+                let mut ids = Vec::with_capacity(names.len());
+                for name in names {
+                    ids.push(self.node_id(name)?.as_raw());
+                }
+                Some(ids)
+            }
+        };
+        self.command(id, move |op| Command::SetTrust { op, allow })?;
+        Ok(())
+    }
+
+    /// Sets admission quotas for `node`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown namespace names.
+    pub fn set_quota(
+        &mut self,
+        node: &str,
+        max_objects: Option<u64>,
+        max_classes: Option<u64>,
+    ) -> Result<(), MageError> {
+        let id = self.node_id(node)?;
+        self.command(id, move |op| Command::SetQuota { op, max_objects, max_classes })?;
+        Ok(())
+    }
+
+    /// Permits or refuses replication of classes with static fields at
+    /// `node` (§4.2).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown namespace names.
+    pub fn allow_static_classes(&mut self, node: &str, allow: bool) -> Result<(), MageError> {
+        let id = self.node_id(node)?;
+        self.command(id, move |op| Command::AllowStaticClasses { op, allow })?;
+        Ok(())
+    }
+
+    // ---- world access ----
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.world.now()
+    }
+
+    /// Advances virtual time, letting autonomous activity (agent hops,
+    /// queued lock grants) run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn advance(&mut self, d: SimDuration) -> Result<(), MageError> {
+        self.world.advance(d).map_err(MageError::from)
+    }
+
+    /// Runs until no events remain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation failures.
+    pub fn run_until_idle(&mut self) -> Result<(), MageError> {
+        self.world.run_until_idle().map_err(MageError::from)
+    }
+
+    /// The underlying world (metrics, trace, network control).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Mutable access to the underlying world.
+    pub fn world_mut(&mut self) -> &mut World {
+        &mut self.world
+    }
+
+    /// Renders the recorded protocol trace as a numbered message sequence.
+    pub fn trace_rendered(&self) -> String {
+        mage_sim::render_message_sequence(self.world.trace(), &self.world.node_names())
+    }
+
+    /// The driver's view of where every known object lives (for system
+    /// snapshots like the paper's Figure 6).
+    pub fn directory(&self) -> Vec<(String, NodeId)> {
+        self.cached_loc
+            .iter()
+            .map(|(name, loc)| (name.clone(), *loc))
+            .collect()
+    }
+
+    // ---- internals ----
+
+    fn inject(&mut self, node: NodeId, cmd: Command) {
+        let payload = Bytes::from(mage_codec::to_bytes(&cmd).expect("commands encode"));
+        self.world.inject(node, "mage-cmd", payload);
+    }
+
+    fn command(
+        &mut self,
+        node: NodeId,
+        build: impl FnOnce(u64) -> Command,
+    ) -> Result<Outcome, MageError> {
+        let op = self.world.begin_op();
+        let cmd = build(op.as_raw());
+        self.inject(node, cmd);
+        let bytes = self.world.block_on(op)?;
+        proto::decode_completion(&bytes)?
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("namespaces", &self.ids.len())
+            .field("now", &self.world.now())
+            .finish_non_exhaustive()
+    }
+}

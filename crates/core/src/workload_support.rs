@@ -1,0 +1,269 @@
+//! Ready-made mobile-object classes used by doctests, tests and the
+//! evaluation workloads.
+//!
+//! These play the role of the paper's application classes: the
+//! `GeoDataFilterImpl` from the oil-exploration example (§3.6), the minimal
+//! test object of §5 ("a single integer attribute, which it increments"),
+//! and a handful of generic components the workloads build on.
+
+use mage_rmi::Fault;
+use mage_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+use crate::class::ClassDef;
+use crate::object::{args_as, result_from, MobileEnv, MobileObject};
+
+/// The §5 minimal test object: one integer it increments.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct TestObject {
+    value: i64,
+}
+
+impl MobileObject for TestObject {
+    fn class_name(&self) -> &str {
+        "TestObject"
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>, Fault> {
+        result_from(self)
+    }
+
+    fn invoke(
+        &mut self,
+        method: &str,
+        _args: &[u8],
+        _env: &mut MobileEnv<'_>,
+    ) -> Result<Vec<u8>, Fault> {
+        match method {
+            "inc" => {
+                self.value += 1;
+                result_from(&self.value)
+            }
+            "get" => result_from(&self.value),
+            other => Err(Fault::NoSuchMethod {
+                object: "test".into(),
+                method: other.into(),
+            }),
+        }
+    }
+}
+
+/// Class definition for [`TestObject`] ("a minimal extension of
+/// UnicastRemote" — about 2 KiB of class file).
+pub fn test_object_class() -> ClassDef {
+    ClassDef::new("TestObject", 2_048, |state| {
+        let obj: TestObject = if state.is_empty() {
+            TestObject::default()
+        } else {
+            args_as(state)?
+        };
+        Ok(Box::new(obj))
+    })
+}
+
+/// The oil-exploration filter (§3.6): gathers and filters geologic data at
+/// a sensor, accumulating results it can later deliver at the lab.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct GeoDataFilter {
+    /// Total samples accepted by the filter so far.
+    pub filtered_total: u64,
+    /// Number of `filterData` runs performed.
+    pub runs: u32,
+}
+
+impl MobileObject for GeoDataFilter {
+    fn class_name(&self) -> &str {
+        "GeoDataFilterImpl"
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>, Fault> {
+        result_from(self)
+    }
+
+    fn invoke(
+        &mut self,
+        method: &str,
+        _args: &[u8],
+        env: &mut MobileEnv<'_>,
+    ) -> Result<Vec<u8>, Fault> {
+        match method {
+            // Filtering an enormous sensor feed in place: CPU-heavy.
+            "filterData" => {
+                env.consume(SimDuration::from_millis(5));
+                // Deterministic per-site yield, derived from the hosting
+                // namespace so different sensors filter different volumes.
+                let yield_here = 100 + 10 * u64::from(env.node().as_raw());
+                self.filtered_total += yield_here;
+                self.runs += 1;
+                result_from(&yield_here)
+            }
+            "processData" => {
+                env.consume(SimDuration::from_millis(2));
+                result_from(&self.filtered_total)
+            }
+            "runs" => result_from(&self.runs),
+            other => Err(Fault::NoSuchMethod {
+                object: "geoData".into(),
+                method: other.into(),
+            }),
+        }
+    }
+}
+
+/// Class definition for [`GeoDataFilter`] (a heavier application class,
+/// ~8 KiB of code).
+pub fn geo_data_filter_class() -> ClassDef {
+    ClassDef::new("GeoDataFilterImpl", 8_192, |state| {
+        let obj: GeoDataFilter = if state.is_empty() {
+            GeoDataFilter::default()
+        } else {
+            args_as(state)?
+        };
+        Ok(Box::new(obj))
+    })
+}
+
+/// A roaming agent that visits namespaces on a fixed itinerary, doing a
+/// unit of work at each stop (exercises MA multi-hop weak migration).
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct ItineraryAgent {
+    /// Remaining stops, in visit order.
+    pub itinerary: Vec<String>,
+    /// Names of namespaces already visited.
+    pub visited: Vec<String>,
+}
+
+impl MobileObject for ItineraryAgent {
+    fn class_name(&self) -> &str {
+        "ItineraryAgent"
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>, Fault> {
+        result_from(self)
+    }
+
+    fn invoke(
+        &mut self,
+        method: &str,
+        _args: &[u8],
+        env: &mut MobileEnv<'_>,
+    ) -> Result<Vec<u8>, Fault> {
+        match method {
+            // Work here, then ask the runtime to carry us onward.
+            "step" => {
+                env.consume(SimDuration::from_millis(1));
+                self.visited.push(env.node_name().to_owned());
+                if let Some(next) = self.itinerary.first().cloned() {
+                    self.itinerary.remove(0);
+                    env.request_hop(next);
+                }
+                result_from(&self.visited.len())
+            }
+            "visited" => result_from(&self.visited),
+            other => Err(Fault::NoSuchMethod {
+                object: "agent".into(),
+                method: other.into(),
+            }),
+        }
+    }
+}
+
+/// Class definition for [`ItineraryAgent`].
+pub fn itinerary_agent_class() -> ClassDef {
+    ClassDef::new("ItineraryAgent", 4_096, |state| {
+        let obj: ItineraryAgent = if state.is_empty() {
+            ItineraryAgent::default()
+        } else {
+            args_as(state)?
+        };
+        Ok(Box::new(obj))
+    })
+}
+
+/// Constructor state for [`ItineraryAgent`]: the stops to visit.
+pub fn itinerary_state(stops: &[&str]) -> Vec<u8> {
+    let agent = ItineraryAgent {
+        itinerary: stops.iter().map(|s| (*s).to_owned()).collect(),
+        visited: Vec::new(),
+    };
+    mage_codec::to_bytes(&agent).expect("agent state encodes")
+}
+
+/// A class flagged as having static fields, for §4.2's replication-refusal
+/// behaviour.
+pub fn static_field_class() -> ClassDef {
+    ClassDef::new("StaticHolder", 1_024, |state| {
+        let obj: TestObject = if state.is_empty() {
+            TestObject::default()
+        } else {
+            args_as(state)?
+        };
+        Ok(Box::new(obj))
+    })
+    .with_static_fields()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mage_sim::{NodeId, SimTime};
+    use rand::SeedableRng;
+
+    fn run<T: MobileObject>(obj: &mut T, method: &str) -> Vec<u8> {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut env = MobileEnv::new(NodeId::from_raw(2), "sensor1", SimTime::ZERO, &mut rng);
+        obj.invoke(method, &[], &mut env).expect("invoke succeeds")
+    }
+
+    #[test]
+    fn test_object_counts() {
+        let mut obj = TestObject::default();
+        run(&mut obj, "inc");
+        run(&mut obj, "inc");
+        let v: i64 = mage_codec::from_bytes(&run(&mut obj, "get")).unwrap();
+        assert_eq!(v, 2);
+    }
+
+    #[test]
+    fn geo_filter_yield_depends_on_site() {
+        let mut obj = GeoDataFilter::default();
+        let y: u64 = mage_codec::from_bytes(&run(&mut obj, "filterData")).unwrap();
+        assert_eq!(y, 120, "node 2 yields 100 + 10*2");
+        let total: u64 = mage_codec::from_bytes(&run(&mut obj, "processData")).unwrap();
+        assert_eq!(total, 120);
+    }
+
+    #[test]
+    fn snapshot_factory_roundtrip_preserves_state() {
+        let cases: Vec<(ClassDef, Box<dyn MobileObject>)> = vec![
+            (test_object_class(), Box::new(TestObject::default())),
+            (geo_data_filter_class(), Box::new(GeoDataFilter::default())),
+        ];
+        for (class, mut obj) in cases {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+            let mut env =
+                MobileEnv::new(NodeId::from_raw(0), "lab", SimTime::ZERO, &mut rng);
+            let _ = obj.invoke("inc", &[], &mut env);
+            let _ = obj.invoke("filterData", &[], &mut env);
+            let state = obj.snapshot().unwrap();
+            let restored = class.instantiate(&state).unwrap();
+            assert_eq!(restored.snapshot().unwrap(), state, "weak migration roundtrip");
+        }
+    }
+
+    #[test]
+    fn itinerary_agent_requests_hops_in_order() {
+        let state = itinerary_state(&["sensor2", "lab"]);
+        let class = itinerary_agent_class();
+        let mut agent = class.instantiate(&state).unwrap();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let mut env = MobileEnv::new(NodeId::from_raw(1), "sensor1", SimTime::ZERO, &mut rng);
+        agent.invoke("step", &[], &mut env).unwrap();
+        assert_eq!(env.take_hop_request().as_deref(), Some("sensor2"));
+    }
+
+    #[test]
+    fn static_class_is_flagged() {
+        assert!(static_field_class().has_static_fields());
+    }
+}

@@ -1,0 +1,186 @@
+//! Property-based tests of the stay/move lock table (§4.4): arbitrary
+//! request/release interleavings never violate the locking invariants.
+
+use mage_core::lock::{LockKind, LockTable, Request};
+use mage_sim::NodeId;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+const HERE: NodeId = NodeId::from_raw(0);
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Request a lock from client `c` with target here (stay) or away.
+    Request { client: u32, stay: bool },
+    /// Release whatever lock client `c` holds.
+    Release { client: u32 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (1u32..12, any::<bool>()).prop_map(|(client, stay)| Op::Request { client, stay }),
+        (1u32..12).prop_map(|client| Op::Release { client }),
+    ]
+}
+
+/// Shadow state: which clients currently hold which kind.
+#[derive(Default)]
+struct Shadow {
+    stays: BTreeSet<u32>,
+    mover: Option<u32>,
+    /// Clients with an outstanding (queued or granted) request; a client
+    /// only issues one request at a time in this model.
+    outstanding: BTreeSet<u32>,
+}
+
+fn run_ops(fair: bool, ops: &[Op]) -> Result<(), TestCaseError> {
+    let mut table: LockTable<u32> = if fair { LockTable::fair() } else { LockTable::new() };
+    let mut shadow = Shadow::default();
+    for op in ops {
+        match *op {
+            Op::Request { client, stay } => {
+                if shadow.outstanding.contains(&client) {
+                    continue; // one outstanding request per client
+                }
+                let target = if stay { HERE } else { NodeId::from_raw(99) };
+                let c = NodeId::from_raw(client);
+                match table.request("o", c, target, HERE, client) {
+                    Request::Granted(kind) => {
+                        shadow.outstanding.insert(client);
+                        match kind {
+                            LockKind::Stay => {
+                                prop_assert!(stay, "stay grant only for stay requests");
+                                prop_assert!(
+                                    shadow.mover.is_none(),
+                                    "stay granted while a move lock is held"
+                                );
+                                shadow.stays.insert(client);
+                            }
+                            LockKind::Move => {
+                                prop_assert!(!stay);
+                                prop_assert!(
+                                    shadow.stays.is_empty() && shadow.mover.is_none(),
+                                    "move lock must be exclusive"
+                                );
+                                shadow.mover = Some(client);
+                            }
+                        }
+                    }
+                    Request::Queued => {
+                        shadow.outstanding.insert(client);
+                    }
+                }
+            }
+            Op::Release { client } => {
+                if !shadow.outstanding.contains(&client) {
+                    // Releasing an unheld lock must be harmless.
+                    prop_assert!(table.release("o", NodeId::from_raw(client), HERE).is_empty());
+                    continue;
+                }
+                // Only release if actually holding (queued waiters keep
+                // waiting; we release them when granted).
+                if !shadow.stays.contains(&client) && shadow.mover != Some(client) {
+                    continue;
+                }
+                shadow.stays.remove(&client);
+                if shadow.mover == Some(client) {
+                    shadow.mover = None;
+                }
+                shadow.outstanding.remove(&client);
+                let grants = table.release("o", NodeId::from_raw(client), HERE);
+                for grant in grants {
+                    let c = grant.client.as_raw();
+                    match grant.kind {
+                        LockKind::Stay => {
+                            prop_assert!(
+                                shadow.mover.is_none(),
+                                "grant produced a reader alongside a writer"
+                            );
+                            shadow.stays.insert(c);
+                        }
+                        LockKind::Move => {
+                            prop_assert!(
+                                shadow.stays.is_empty() && shadow.mover.is_none(),
+                                "grant produced a second writer"
+                            );
+                            shadow.mover = Some(c);
+                        }
+                    }
+                }
+            }
+        }
+        // Global invariant after every operation.
+        if shadow.mover.is_some() {
+            prop_assert!(
+                shadow.stays.is_empty(),
+                "move lock coexists with stay locks"
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn unfair_table_never_violates_exclusivity(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        run_ops(false, &ops)?;
+    }
+
+    #[test]
+    fn fair_table_never_violates_exclusivity(
+        ops in proptest::collection::vec(op_strategy(), 1..80)
+    ) {
+        run_ops(true, &ops)?;
+    }
+
+    /// Extracting and reinstalling lock state (what a migration does) is
+    /// lossless for holders.
+    #[test]
+    fn extract_install_roundtrip(stays in proptest::collection::btree_set(1u32..20, 0..5)) {
+        let mut table: LockTable<u32> = LockTable::new();
+        for &c in &stays {
+            let got = table.request("o", NodeId::from_raw(c), HERE, HERE, c);
+            prop_assert_eq!(got, Request::Granted(LockKind::Stay));
+        }
+        let (holders, waiters) = table.extract("o");
+        prop_assert!(waiters.is_empty());
+        let mut other: LockTable<u32> = LockTable::new();
+        other.install("o", holders);
+        for &c in &stays {
+            prop_assert_eq!(other.holds("o", NodeId::from_raw(c)), Some(LockKind::Stay));
+        }
+    }
+}
+
+/// Coercion is total over the whole model × situation space: it always
+/// returns a verdict, never panics.
+#[test]
+fn coercion_is_total() {
+    use mage_core::coercion::{coerce, Situation};
+    use mage_core::ModelKind;
+    let models = [
+        ModelKind::Lpc,
+        ModelKind::Rpc,
+        ModelKind::Cod,
+        ModelKind::Rev,
+        ModelKind::Grev,
+        ModelKind::MobileAgent,
+        ModelKind::Cle,
+        ModelKind::Custom,
+    ];
+    let situations = [
+        Situation::Local,
+        Situation::RemoteAtTarget,
+        Situation::RemoteNotAtTarget,
+        Situation::Unlocated,
+    ];
+    for model in models {
+        for situation in situations {
+            let _ = coerce(model, situation); // must not panic
+        }
+    }
+}

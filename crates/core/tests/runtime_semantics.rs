@@ -1,0 +1,438 @@
+//! End-to-end semantics of the MAGE runtime: every programming model,
+//! mobility coercion, registry forwarding chains, locking and the §7
+//! policy extensions.
+
+use mage_core::attribute::{
+    BindPlan, Cle, Cod, Grev, Lpc, MobileAgent, PolicyAttribute, Rev, Rpc,
+};
+use mage_core::coercion::Coerced;
+use mage_core::workload_support::{
+    geo_data_filter_class, itinerary_agent_class, itinerary_state, static_field_class,
+    test_object_class,
+};
+use mage_core::{LockKind, MageError, Runtime, Visibility};
+use mage_sim::SimDuration;
+
+fn fast_runtime(nodes: &[&str]) -> Runtime {
+    Runtime::builder()
+        .fast()
+        .nodes(nodes.iter().copied())
+        .class(test_object_class())
+        .class(geo_data_filter_class())
+        .class(itinerary_agent_class())
+        .class(static_field_class())
+        .build()
+}
+
+/// Create a TestObject named `name` at `node` (deploying the class there).
+fn with_object(rt: &mut Runtime, node: &str, name: &str) {
+    rt.deploy_class("TestObject", node).unwrap();
+    rt.create_object("TestObject", name, node, &(), Visibility::Public)
+        .unwrap();
+}
+
+#[test]
+fn lpc_invokes_in_place() {
+    let mut rt = fast_runtime(&["a", "b"]);
+    with_object(&mut rt, "a", "counter");
+    let attr = Lpc::new("TestObject", "counter");
+    let (stub, result): (_, Option<i64>) =
+        rt.bind_invoke("a", &attr, "inc", &()).unwrap();
+    assert_eq!(result, Some(1));
+    assert_eq!(stub.location(), rt.node_id("a").unwrap());
+}
+
+#[test]
+fn lpc_on_remote_component_is_an_error() {
+    let mut rt = fast_runtime(&["a", "b"]);
+    with_object(&mut rt, "b", "counter");
+    let attr = Lpc::new("TestObject", "counter");
+    let err = rt.bind("a", &attr).unwrap_err();
+    assert!(matches!(err, MageError::Coercion { .. }), "{err:?}");
+}
+
+#[test]
+fn rpc_invokes_remotely_without_moving() {
+    let mut rt = fast_runtime(&["client", "server"]);
+    with_object(&mut rt, "server", "svc");
+    let attr = Rpc::new("TestObject", "svc", "server");
+    let receipt = rt.bind_full("client", &attr).unwrap();
+    assert_eq!(receipt.coerced, Coerced::Proceed);
+    let v: i64 = rt.call(&receipt.stub, "inc", &()).unwrap();
+    assert_eq!(v, 1);
+    // Object must still be on the server.
+    assert_eq!(
+        rt.find("client", "svc").unwrap(),
+        rt.node_id("server").unwrap()
+    );
+}
+
+#[test]
+fn rpc_throws_when_object_not_at_target() {
+    // "MAGE RPC throws an exception if it does not find its object on its
+    // target" (§4.2).
+    let mut rt = fast_runtime(&["client", "server", "elsewhere"]);
+    with_object(&mut rt, "elsewhere", "svc");
+    let attr = Rpc::new("TestObject", "svc", "server");
+    let err = rt.bind("client", &attr).unwrap_err();
+    assert!(matches!(err, MageError::Coercion { .. }), "{err:?}");
+}
+
+#[test]
+fn rev_object_move_relocates_and_invokes() {
+    let mut rt = fast_runtime(&["lab", "sensor1"]);
+    with_object(&mut rt, "lab", "geo");
+    let attr = Rev::new("TestObject", "geo", "sensor1");
+    let (stub, result): (_, Option<i64>) =
+        rt.bind_invoke("lab", &attr, "inc", &()).unwrap();
+    assert_eq!(result, Some(1));
+    assert_eq!(stub.location(), rt.node_id("sensor1").unwrap());
+    assert_eq!(
+        rt.find("lab", "geo").unwrap(),
+        rt.node_id("sensor1").unwrap()
+    );
+}
+
+#[test]
+fn rev_coerces_to_rpc_when_already_at_target() {
+    let mut rt = fast_runtime(&["lab", "sensor1"]);
+    with_object(&mut rt, "sensor1", "geo");
+    let attr = Rev::new("TestObject", "geo", "sensor1");
+    let receipt = rt.bind_full("lab", &attr).unwrap();
+    assert_eq!(receipt.coerced, Coerced::AsRpc);
+    let v: i64 = rt.call(&receipt.stub, "inc", &()).unwrap();
+    assert_eq!(v, 1);
+}
+
+#[test]
+fn rev_factory_instantiates_at_target_with_class_push() {
+    let mut rt = fast_runtime(&["lab", "sensor1"]);
+    rt.deploy_class("GeoDataFilterImpl", "lab").unwrap();
+    let attr = Rev::factory("GeoDataFilterImpl", "geoData", "sensor1");
+    let (stub, yielded): (_, Option<u64>) =
+        rt.bind_invoke("lab", &attr, "filterData", &()).unwrap();
+    // sensor1 is node id 1 → yield 110 per the workload class.
+    assert_eq!(yielded, Some(110));
+    assert_eq!(stub.location(), rt.node_id("sensor1").unwrap());
+}
+
+#[test]
+fn cod_moves_object_to_client() {
+    let mut rt = fast_runtime(&["lab", "sensor1"]);
+    with_object(&mut rt, "sensor1", "geo");
+    let attr = Cod::new("TestObject", "geo");
+    let stub = rt.bind("lab", &attr).unwrap();
+    assert_eq!(stub.location(), rt.node_id("lab").unwrap());
+    assert_eq!(rt.find("lab", "geo").unwrap(), rt.node_id("lab").unwrap());
+}
+
+#[test]
+fn cod_on_local_component_coerces_to_lpc() {
+    let mut rt = fast_runtime(&["lab"]);
+    with_object(&mut rt, "lab", "geo");
+    let attr = Cod::new("TestObject", "geo");
+    let receipt = rt.bind_full("lab", &attr).unwrap();
+    assert_eq!(receipt.coerced, Coerced::AsLpc);
+}
+
+#[test]
+fn cod_factory_pulls_class_and_instantiates_locally() {
+    let mut rt = fast_runtime(&["lab", "server"]);
+    rt.deploy_class("GeoDataFilterImpl", "server").unwrap();
+    let attr = Cod::factory("GeoDataFilterImpl", "geoData");
+    let (stub, yielded): (_, Option<u64>) =
+        rt.bind_invoke("lab", &attr, "filterData", &()).unwrap();
+    assert_eq!(yielded, Some(100), "lab is node 0 → yield 100");
+    assert_eq!(stub.location(), rt.node_id("lab").unwrap());
+}
+
+#[test]
+fn grev_moves_between_two_remote_namespaces() {
+    // GREV "applies to a wider array of component distributions": P on
+    // `lab` moves C from namespace D to target B (Figure 2).
+    let mut rt = fast_runtime(&["lab", "d", "b"]);
+    with_object(&mut rt, "d", "c");
+    let attr = Grev::new("TestObject", "c", "b");
+    let (stub, result): (_, Option<i64>) = rt.bind_invoke("lab", &attr, "inc", &()).unwrap();
+    assert_eq!(result, Some(1));
+    assert_eq!(stub.location(), rt.node_id("b").unwrap());
+}
+
+#[test]
+fn cle_invokes_wherever_the_component_is() {
+    let mut rt = fast_runtime(&["lab", "p1", "p2"]);
+    with_object(&mut rt, "p1", "printer");
+    let attr = Cle::new("TestObject", "printer");
+    let (stub, _): (_, Option<i64>) = rt.bind_invoke("lab", &attr, "inc", &()).unwrap();
+    assert_eq!(stub.location(), rt.node_id("p1").unwrap());
+
+    // The job controller moves the printer object; CLE follows it without
+    // the client changing anything (Figure 3).
+    let mover = Grev::new("TestObject", "printer", "p2");
+    rt.bind("lab", &mover).unwrap();
+    let (stub, _): (_, Option<i64>) = rt.bind_invoke("lab", &attr, "inc", &()).unwrap();
+    assert_eq!(stub.location(), rt.node_id("p2").unwrap());
+}
+
+#[test]
+fn mobile_agent_is_asynchronous_and_result_stays() {
+    let mut rt = fast_runtime(&["lab", "sensor2"]);
+    with_object(&mut rt, "lab", "agent");
+    let attr = MobileAgent::new("TestObject", "agent", "sensor2");
+    let (stub, result): (_, Option<i64>) =
+        rt.bind_invoke("lab", &attr, "inc", &()).unwrap();
+    assert_eq!(result, None, "one-way invocation returns no result");
+    assert_eq!(stub.location(), rt.node_id("sensor2").unwrap());
+    // Let the in-flight invocation drain, then check the work happened.
+    rt.run_until_idle().unwrap();
+    let v: i64 = rt.call(&stub, "get", &()).unwrap();
+    assert_eq!(v, 1);
+}
+
+#[test]
+fn agent_itinerary_hops_autonomously() {
+    let mut rt = fast_runtime(&["lab", "s1", "s2", "s3"]);
+    rt.deploy_class("ItineraryAgent", "lab").unwrap();
+    let state = itinerary_state(&["s2", "s3"]);
+    let spec_attr = Rev::factory("ItineraryAgent", "walker", "s1").with_init_state(state);
+    let (stub, _): (_, Option<usize>) = rt.bind_invoke("lab", &spec_attr, "step", &()).unwrap();
+    // The step on s1 requested a hop to s2; the hop is autonomous. Each
+    // subsequent step triggers the next leg.
+    rt.run_until_idle().unwrap();
+    assert_eq!(rt.find("lab", "walker").unwrap(), rt.node_id("s2").unwrap());
+    let _: usize = rt.call(&stub, "step", &()).unwrap();
+    rt.run_until_idle().unwrap();
+    assert_eq!(rt.find("lab", "walker").unwrap(), rt.node_id("s3").unwrap());
+    let visited: Vec<String> = rt.call(&stub, "visited", &()).unwrap();
+    assert_eq!(visited, vec!["s1".to_owned(), "s2".to_owned()]);
+}
+
+#[test]
+fn forwarding_chain_resolves_and_compresses() {
+    // Build a chain: object created at n0, moved n0→n1→n2→n3 by clients
+    // that always talk to the previous host. A find from n4 (which only
+    // knows the home) walks the chain; afterwards the home points straight
+    // at n3 (path compression).
+    let mut rt = fast_runtime(&["n0", "n1", "n2", "n3", "n4"]);
+    with_object(&mut rt, "n0", "nomad");
+    for (from, to) in [("n0", "n1"), ("n1", "n2"), ("n2", "n3")] {
+        let attr = Grev::new("TestObject", "nomad", to);
+        rt.bind(from, &attr).unwrap();
+    }
+    let loc = rt.find("n4", "nomad").unwrap();
+    assert_eq!(loc, rt.node_id("n3").unwrap());
+    // A second find must take no additional chain hops: the compressed
+    // entry points straight at the hosting node, so the verification is a
+    // single request/response pair.
+    rt.world_mut().reset_metrics();
+    let loc2 = rt.find("n4", "nomad").unwrap();
+    assert_eq!(loc2, rt.node_id("n3").unwrap());
+    assert_eq!(rt.world().metrics().net.sent, 2, "one hop after compression");
+}
+
+#[test]
+fn invoke_follows_object_that_moved_underneath_the_stub() {
+    let mut rt = fast_runtime(&["a", "b", "c"]);
+    with_object(&mut rt, "b", "obj");
+    let attr = Rpc::new("TestObject", "obj", "b");
+    let stub = rt.bind("a", &attr).unwrap();
+    let _: i64 = rt.call(&stub, "inc", &()).unwrap();
+    // Someone else moves the object to c.
+    let mover = Grev::new("TestObject", "obj", "c");
+    rt.bind("a", &mover).unwrap();
+    // The stale stub still works: NotBound → re-find → retry.
+    let v: i64 = rt.call(&stub, "inc", &()).unwrap();
+    assert_eq!(v, 2);
+}
+
+#[test]
+fn guarded_bind_takes_and_releases_locks() {
+    let mut rt = fast_runtime(&["lab", "sensor1"]);
+    with_object(&mut rt, "lab", "geo");
+    let attr = Rev::new("TestObject", "geo", "sensor1").guarded();
+    let receipt = rt.bind_full("lab", &attr).unwrap();
+    assert_eq!(receipt.lock_kind, Some(LockKind::Move));
+    // Lock was released: an immediate explicit lock succeeds.
+    let kind = rt.lock("lab", "geo", "sensor1").unwrap();
+    assert_eq!(kind, LockKind::Stay, "object now resides at the target");
+    rt.unlock("lab", "geo").unwrap();
+}
+
+#[test]
+fn explicit_lock_bracket_matches_paper_example() {
+    // lock("geoData", cod.getTarget()); bind; invoke; unlock (§4.4).
+    let mut rt = fast_runtime(&["lab", "sensor1"]);
+    with_object(&mut rt, "sensor1", "geoData");
+    let kind = rt.lock("lab", "geoData", "lab").unwrap();
+    assert_eq!(kind, LockKind::Move, "object is not at the lab yet");
+    let cod = Cod::new("TestObject", "geoData");
+    let stub = rt.bind("lab", &cod).unwrap();
+    let _: i64 = rt.call(&stub, "inc", &()).unwrap();
+    rt.unlock("lab", "geoData").unwrap();
+}
+
+#[test]
+fn contending_movers_serialize_on_the_lock_queue() {
+    let mut rt = fast_runtime(&["host", "c1", "c2"]);
+    with_object(&mut rt, "host", "shared");
+    // c1 takes a move lock, then c2's move-lock request queues.
+    let l1 = rt.lock_async("c1", "shared", "c1").unwrap();
+    let k1 = rt.wait(l1).unwrap().lock_kind.unwrap();
+    assert_eq!(k1, LockKind::Move);
+    let l2 = rt.lock_async("c2", "shared", "c2").unwrap();
+    rt.advance(SimDuration::from_millis(50)).unwrap();
+    assert!(!rt.is_done(l2), "second mover waits in the queue");
+    rt.unlock("c1", "shared").unwrap();
+    let k2 = rt.wait(l2).unwrap().lock_kind.unwrap();
+    assert_eq!(k2, LockKind::Move);
+    rt.unlock("c2", "shared").unwrap();
+}
+
+#[test]
+fn unfair_policy_grants_stay_over_queued_move() {
+    let mut rt = fast_runtime(&["host", "reader", "mover"]);
+    with_object(&mut rt, "host", "shared");
+    // Reader holds a stay lock (target == host).
+    let kind = rt.lock("reader", "shared", "host").unwrap();
+    assert_eq!(kind, LockKind::Stay);
+    // Mover queues.
+    let mv = rt.lock_async("mover", "shared", "mover").unwrap();
+    rt.advance(SimDuration::from_millis(20)).unwrap();
+    assert!(!rt.is_done(mv));
+    // A second reader jumps the queued mover (the paper's unfairness).
+    let kind = rt.lock("host", "shared", "host").unwrap();
+    assert_eq!(kind, LockKind::Stay);
+    // Release both readers; only then the mover gets its lock.
+    rt.unlock("reader", "shared").unwrap();
+    rt.advance(SimDuration::from_millis(20)).unwrap();
+    assert!(!rt.is_done(mv), "mover still blocked by second reader");
+    rt.unlock("host", "shared").unwrap();
+    let k = rt.wait(mv).unwrap().lock_kind.unwrap();
+    assert_eq!(k, LockKind::Move);
+}
+
+#[test]
+fn lock_waiters_bounce_and_retry_when_object_migrates() {
+    let mut rt = fast_runtime(&["host", "mover", "late"]);
+    with_object(&mut rt, "host", "shared");
+    let k = rt.lock("mover", "shared", "mover").unwrap();
+    assert_eq!(k, LockKind::Move);
+    // A waiter queues behind the move lock.
+    let waiting = rt.lock_async("late", "shared", "host").unwrap();
+    rt.advance(SimDuration::from_millis(10)).unwrap();
+    assert!(!rt.is_done(waiting));
+    // The mover moves the object (still holding its lock) and unlocks at
+    // the new host; the bounced waiter re-finds and re-locks there.
+    let attr = Grev::new("TestObject", "shared", "mover");
+    rt.bind("mover", &attr).unwrap();
+    rt.unlock("mover", "shared").unwrap();
+    let outcome = rt.wait(waiting).unwrap();
+    assert!(outcome.lock_kind.is_some(), "waiter eventually acquires");
+    rt.unlock("late", "shared").unwrap();
+}
+
+#[test]
+fn trust_policy_blocks_migration_into_namespace() {
+    let mut rt = fast_runtime(&["lab", "fortress"]);
+    with_object(&mut rt, "lab", "spy");
+    rt.set_trust("fortress", Some(&[])).unwrap();
+    let attr = Rev::new("TestObject", "spy", "fortress");
+    let err = rt.bind("lab", &attr).unwrap_err();
+    assert!(matches!(err, MageError::Denied(_)), "{err:?}");
+    // Object must still be usable at the lab after the refused move.
+    let lpc = Lpc::new("TestObject", "spy");
+    let (_, v): (_, Option<i64>) = rt.bind_invoke("lab", &lpc, "inc", &()).unwrap();
+    assert_eq!(v, Some(1));
+}
+
+#[test]
+fn quota_refuses_excess_objects() {
+    let mut rt = fast_runtime(&["lab", "tiny"]);
+    rt.deploy_class("TestObject", "lab").unwrap();
+    rt.set_quota("tiny", Some(1), None).unwrap();
+    rt.create_object("TestObject", "a", "lab", &(), Visibility::Public)
+        .unwrap();
+    rt.create_object("TestObject", "b", "lab", &(), Visibility::Public)
+        .unwrap();
+    let ok = Rev::new("TestObject", "a", "tiny");
+    rt.bind("lab", &ok).unwrap();
+    let too_many = Rev::new("TestObject", "b", "tiny");
+    let err = rt.bind("lab", &too_many).unwrap_err();
+    assert!(matches!(err, MageError::Denied(_)), "{err:?}");
+}
+
+#[test]
+fn static_field_classes_are_refused_until_allowed() {
+    let mut rt = fast_runtime(&["lab", "remote"]);
+    rt.deploy_class("StaticHolder", "lab").unwrap();
+    let attr = Rev::factory("StaticHolder", "holder", "remote");
+    let err = rt.bind("lab", &attr).unwrap_err();
+    assert!(matches!(err, MageError::Denied(_)), "{err:?}");
+    rt.allow_static_classes("remote", true).unwrap();
+    let stub = rt.bind("lab", &attr).unwrap();
+    assert_eq!(stub.location(), rt.node_id("remote").unwrap());
+}
+
+#[test]
+fn custom_policy_attribute_moves_off_loaded_hosts() {
+    let mut rt = fast_runtime(&["hot", "cool"]);
+    with_object(&mut rt, "hot", "worker");
+    rt.set_load("hot", 0.95).unwrap();
+    rt.set_load("cool", 0.05).unwrap();
+    let attr = PolicyAttribute::new("LoadBalancer", "TestObject", "worker", |view| {
+        let here = view.location().ok_or(MageError::NotFound("worker".into()))?;
+        if view.load(here) > 0.8 {
+            let (coolest, _) = view
+                .namespaces()
+                .map(|(n, id)| (n.to_owned(), view.load(id)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("namespaces exist");
+            Ok(BindPlan::move_to(coolest))
+        } else {
+            Ok(BindPlan::stay())
+        }
+    });
+    let stub = rt.bind("hot", &attr).unwrap();
+    assert_eq!(stub.location(), rt.node_id("cool").unwrap());
+    // With the load gone, a re-bind leaves it in place.
+    rt.set_load("hot", 0.1).unwrap();
+    let stub = rt.bind("hot", &attr).unwrap();
+    assert_eq!(stub.location(), rt.node_id("cool").unwrap());
+}
+
+#[test]
+fn weak_migration_preserves_heap_state_across_moves() {
+    let mut rt = fast_runtime(&["a", "b", "c"]);
+    with_object(&mut rt, "a", "acc");
+    let lpc = Lpc::new("TestObject", "acc");
+    let (stub, _): (_, Option<i64>) = rt.bind_invoke("a", &lpc, "inc", &()).unwrap();
+    for dest in ["b", "c", "a"] {
+        let attr = Grev::new("TestObject", "acc", dest);
+        rt.bind("a", &attr).unwrap();
+        let v: i64 = rt.call(&stub, "inc", &()).unwrap();
+        let _ = v;
+    }
+    let v: i64 = rt.call(&stub, "get", &()).unwrap();
+    assert_eq!(v, 4, "state accumulated across three migrations");
+}
+
+#[test]
+fn find_fails_for_unknown_components() {
+    let mut rt = fast_runtime(&["a", "b"]);
+    let err = rt.find("a", "ghost").unwrap_err();
+    assert!(matches!(err, MageError::NotFound(_)), "{err:?}");
+}
+
+#[test]
+fn deterministic_replay_across_identical_runs() {
+    let run = || {
+        let mut rt = fast_runtime(&["a", "b", "c"]);
+        with_object(&mut rt, "a", "obj");
+        for dest in ["b", "c", "a", "c"] {
+            let attr = Grev::new("TestObject", "obj", dest);
+            rt.bind("a", &attr).unwrap();
+        }
+        (rt.now(), rt.world().metrics().net.sent)
+    };
+    assert_eq!(run(), run());
+}

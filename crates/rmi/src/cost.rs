@@ -1,0 +1,160 @@
+//! Per-call CPU cost model.
+//!
+//! The paper's Table 3 numbers are dominated by JDK 1.2.2 RMI costs:
+//! serialization, stub dispatch and connection setup on 450 MHz hosts. The
+//! simulator charges those costs as node-local compute time before a message
+//! reaches the wire. [`CostModel::jdk_1_2_2`] is calibrated so that a plain
+//! RMI call on the paper's testbed costs ≈20 ms warm and ≈33 ms cold,
+//! matching the paper's *Java's RMI* row; every other Table 3 row is then
+//! produced by the real MAGE protocols, not by further tuning.
+
+use mage_sim::SimDuration;
+
+/// CPU costs charged by an endpoint for marshalling, dispatch and
+/// connection management.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Client-side cost to marshal a request and traverse the stub.
+    pub marshal_fixed: SimDuration,
+    /// Additional client-side cost per KiB of marshalled arguments.
+    pub marshal_per_kib: SimDuration,
+    /// Server-side cost to unmarshal, locate the skeleton and dispatch.
+    pub dispatch_fixed: SimDuration,
+    /// Additional server-side cost per KiB of payload.
+    pub dispatch_per_kib: SimDuration,
+    /// One-time cost charged on a client's first call to a given server
+    /// (socket setup, stub class resolution — the "cache warming" the paper
+    /// attributes single-invocation overhead to).
+    pub connect: SimDuration,
+    /// Cost to define (load) a class into a namespace after transfer.
+    pub class_load_fixed: SimDuration,
+    /// Additional class-load cost per KiB of code.
+    pub class_load_per_kib: SimDuration,
+}
+
+impl CostModel {
+    /// A free cost model; useful for unit tests that assert on message
+    /// counts rather than timing.
+    pub const fn zero() -> Self {
+        CostModel {
+            marshal_fixed: SimDuration::ZERO,
+            marshal_per_kib: SimDuration::ZERO,
+            dispatch_fixed: SimDuration::ZERO,
+            dispatch_per_kib: SimDuration::ZERO,
+            connect: SimDuration::ZERO,
+            class_load_fixed: SimDuration::ZERO,
+            class_load_per_kib: SimDuration::ZERO,
+        }
+    }
+
+    /// Costs calibrated to the paper's testbed (Sun JDK 1.2.2 RMI on a
+    /// 450 MHz Pentium III).
+    ///
+    /// `marshal_fixed` is charged once per call on the client (request
+    /// marshalling plus response unmarshalling) and `dispatch_fixed` once on
+    /// the server (request unmarshalling, skeleton dispatch, response
+    /// marshalling): ≈19 ms of CPU per warm call plus ~1 ms of wire time.
+    /// A cold call adds `connect` ≈ 13 ms, landing at the paper's 33 ms
+    /// single / 20 ms amortized for *Java's RMI*.
+    pub const fn jdk_1_2_2() -> Self {
+        CostModel {
+            marshal_fixed: SimDuration::from_micros(11_000),
+            marshal_per_kib: SimDuration::from_micros(700),
+            dispatch_fixed: SimDuration::from_micros(8_000),
+            dispatch_per_kib: SimDuration::from_micros(700),
+            connect: SimDuration::from_micros(13_000),
+            class_load_fixed: SimDuration::from_micros(6_000),
+            class_load_per_kib: SimDuration::from_micros(250),
+        }
+    }
+
+    /// The §5 "be even more ambitious" variant: a hand-rolled TCP/IP
+    /// migration protocol that skips RMI's generic marshalling layer.
+    ///
+    /// Fixed costs drop sharply; per-byte costs stay (the data still has to
+    /// be copied). Used by the fastpath ablation bench.
+    pub const fn direct_tcp() -> Self {
+        CostModel {
+            marshal_fixed: SimDuration::from_micros(900),
+            marshal_per_kib: SimDuration::from_micros(150),
+            dispatch_fixed: SimDuration::from_micros(700),
+            dispatch_per_kib: SimDuration::from_micros(150),
+            connect: SimDuration::from_micros(2_500),
+            class_load_fixed: SimDuration::from_micros(6_000),
+            class_load_per_kib: SimDuration::from_micros(250),
+        }
+    }
+
+    /// Client-side marshal cost for a payload of `bytes`.
+    pub fn marshal(&self, bytes: u64) -> SimDuration {
+        per_size(self.marshal_fixed, self.marshal_per_kib, bytes)
+    }
+
+    /// Server-side dispatch cost for a payload of `bytes`.
+    pub fn dispatch(&self, bytes: u64) -> SimDuration {
+        per_size(self.dispatch_fixed, self.dispatch_per_kib, bytes)
+    }
+
+    /// Class definition cost for `bytes` of code.
+    pub fn class_load(&self, bytes: u64) -> SimDuration {
+        per_size(self.class_load_fixed, self.class_load_per_kib, bytes)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::jdk_1_2_2()
+    }
+}
+
+fn per_size(fixed: SimDuration, per_kib: SimDuration, bytes: u64) -> SimDuration {
+    let kib = bytes.div_ceil(1024);
+    fixed + per_kib.saturating_mul(kib)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_model_charges_nothing() {
+        let model = CostModel::zero();
+        assert_eq!(model.marshal(1_000_000), SimDuration::ZERO);
+        assert_eq!(model.dispatch(1_000_000), SimDuration::ZERO);
+        assert_eq!(model.class_load(1_000_000), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn costs_scale_with_size() {
+        let model = CostModel::jdk_1_2_2();
+        assert!(model.marshal(100_000) > model.marshal(100));
+        assert!(model.dispatch(100_000) > model.dispatch(100));
+        assert!(model.class_load(100_000) > model.class_load(100));
+    }
+
+    #[test]
+    fn warm_rmi_call_cpu_close_to_paper() {
+        // Warm call CPU: one client marshal charge + one server dispatch
+        // charge ≈ 19-20 ms; the remaining ~1 ms in the paper's 20 ms comes
+        // from wire time.
+        let model = CostModel::jdk_1_2_2();
+        let cpu = model.marshal(64) + model.dispatch(64);
+        let ms = cpu.as_millis_f64();
+        assert!((17.0..21.0).contains(&ms), "warm CPU cost {ms} ms");
+    }
+
+    #[test]
+    fn direct_tcp_is_much_cheaper_per_call() {
+        let rmi = CostModel::jdk_1_2_2();
+        let fast = CostModel::direct_tcp();
+        assert!(fast.marshal(64).as_micros() * 4 < rmi.marshal(64).as_micros());
+        assert!(fast.connect < rmi.connect);
+    }
+
+    #[test]
+    fn partial_kib_rounds_up() {
+        let model = CostModel::jdk_1_2_2();
+        assert_eq!(model.marshal(1), model.marshal(1024));
+        assert!(model.marshal(1025) > model.marshal(1024));
+    }
+}

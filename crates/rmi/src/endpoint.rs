@@ -1,0 +1,522 @@
+//! The RMI endpoint: one per namespace, acting as both client and server.
+//!
+//! Responsibilities mirrored from Java RMI:
+//!
+//! * a per-node name registry of [`RemoteObject`]s (skeleton dispatch)
+//! * outgoing calls with correlation ids, retransmission on loss and an
+//!   at-most-once server-side dedup cache
+//! * connection priming: a client's first call to a given server pays a
+//!   one-time [`CostModel::connect`] charge (the paper's "warming the
+//!   caches" single-invocation overhead)
+//! * CPU cost accounting for marshalling and dispatch, charged as node-local
+//!   compute delay before messages reach the wire
+//!
+//! Higher layers (the MAGE runtime) plug in as an [`App`]: a protocol state
+//! machine that can originate calls, answer calls not handled by the local
+//! object registry, and defer replies while it performs nested calls.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use bytes::Bytes;
+use mage_sim::{Actor, Context, NodeId, OpId, SimDuration, SimTime, TimerId};
+use rand::rngs::StdRng;
+
+use crate::cost::CostModel;
+use crate::error::{Fault, RmiError};
+use crate::object::{ObjectEnv, RemoteObject};
+use crate::wire::Message;
+
+/// Timer tags with this bit set are endpoint-internal (retransmission).
+const RETX_FLAG: u64 = 1 << 63;
+
+/// Endpoint configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Config {
+    /// CPU cost model for marshalling/dispatch/connection setup.
+    pub cost: CostModel,
+    /// Time to wait for a response before retransmitting.
+    pub call_timeout: SimDuration,
+    /// Retransmissions attempted after the first send.
+    pub max_retries: u32,
+    /// Bound on the at-most-once response cache.
+    pub response_cache_size: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            cost: CostModel::jdk_1_2_2(),
+            call_timeout: SimDuration::from_millis(200),
+            max_retries: 3,
+            response_cache_size: 1024,
+        }
+    }
+}
+
+impl Config {
+    /// A configuration with zero CPU costs, for tests that assert on
+    /// message counts and semantics rather than timing.
+    pub fn zero_cost() -> Self {
+        Config { cost: CostModel::zero(), ..Config::default() }
+    }
+}
+
+/// An inbound call offered to the [`App`] (no local object matched).
+#[derive(Debug)]
+pub struct InboundCall {
+    object: String,
+    method: String,
+    args: Vec<u8>,
+    handle: ReplyHandle,
+}
+
+impl InboundCall {
+    /// Name the call was addressed to.
+    pub fn object(&self) -> &str {
+        &self.object
+    }
+
+    /// Requested method.
+    pub fn method(&self) -> &str {
+        &self.method
+    }
+
+    /// Marshalled arguments.
+    pub fn args(&self) -> &[u8] {
+        &self.args
+    }
+
+    /// The handle used to answer this call later (for deferred replies).
+    pub fn handle(&self) -> ReplyHandle {
+        self.handle
+    }
+
+    /// Consumes the call, returning its argument buffer without copying.
+    pub fn into_args(self) -> Vec<u8> {
+        self.args
+    }
+}
+
+/// Identifies a deferred inbound call so the app can answer it later.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReplyHandle {
+    caller: NodeId,
+    call_id: u64,
+}
+
+/// The app's verdict on an inbound call it was offered.
+pub enum CallOutcome {
+    /// Answer immediately with this result.
+    Reply(Result<Vec<u8>, Fault>),
+    /// The app took the [`ReplyHandle`] and will answer via [`Env::reply`].
+    Deferred,
+    /// The app does not recognise the target; the endpoint answers with
+    /// [`Fault::NotBound`].
+    Unhandled,
+}
+
+/// Protocol logic layered over an endpoint (e.g. the MAGE runtime).
+///
+/// All methods receive an [`Env`] through which the app can originate
+/// calls, bind objects, set timers and complete driver operations.
+pub trait App {
+    /// Called once when the node starts.
+    fn on_start(&mut self, _env: &mut Env<'_, '_>) {}
+
+    /// Called for payloads injected by the experiment driver.
+    fn on_driver(&mut self, _env: &mut Env<'_, '_>, _payload: Bytes) {}
+
+    /// Called for inbound calls that no locally bound object handles.
+    fn on_call(&mut self, _env: &mut Env<'_, '_>, _from: NodeId, call: InboundCall) -> CallOutcome {
+        let _ = call;
+        CallOutcome::Unhandled
+    }
+
+    /// Called when an outgoing call completes (successfully or not).
+    ///
+    /// `token` is the correlation value passed to [`Env::call`].
+    fn on_reply(&mut self, _env: &mut Env<'_, '_>, _token: u64, _result: Result<Vec<u8>, RmiError>) {
+    }
+
+    /// Called when an app timer set via [`Env::set_timer`] fires.
+    fn on_timer(&mut self, _env: &mut Env<'_, '_>, _tag: u64) {}
+}
+
+/// A no-op app for endpoints that only serve bound objects.
+#[derive(Debug, Default)]
+pub struct ServerOnly;
+
+impl App for ServerOnly {}
+
+struct PendingCall {
+    to: NodeId,
+    token: u64,
+    message: Message,
+    attempts: u32,
+    max_retries: u32,
+    timeout: SimDuration,
+}
+
+/// Shared endpoint state (everything except the app itself).
+pub struct EndpointState {
+    cfg: Config,
+    objects: BTreeMap<String, Box<dyn RemoteObject>>,
+    next_call: u64,
+    pending: HashMap<u64, PendingCall>,
+    primed: BTreeSet<NodeId>,
+    deferred: BTreeSet<(NodeId, u64)>,
+    response_cache: HashMap<(NodeId, u64), Result<Vec<u8>, Fault>>,
+    cache_order: VecDeque<(NodeId, u64)>,
+}
+
+impl EndpointState {
+    fn new(cfg: Config) -> Self {
+        EndpointState {
+            cfg,
+            objects: BTreeMap::new(),
+            next_call: 0,
+            pending: HashMap::new(),
+            primed: BTreeSet::new(),
+            deferred: BTreeSet::new(),
+            response_cache: HashMap::new(),
+            cache_order: VecDeque::new(),
+        }
+    }
+
+    fn cache_response(&mut self, key: (NodeId, u64), result: Result<Vec<u8>, Fault>) {
+        if self.response_cache.len() >= self.cfg.response_cache_size {
+            if let Some(evicted) = self.cache_order.pop_front() {
+                self.response_cache.remove(&evicted);
+            }
+        }
+        self.response_cache.insert(key, result);
+        self.cache_order.push_back(key);
+    }
+}
+
+/// The per-dispatch environment handed to [`App`] methods.
+pub struct Env<'a, 'c> {
+    ctx: &'a mut Context<'c>,
+    state: &'a mut EndpointState,
+    surcharge: SimDuration,
+}
+
+impl<'a, 'c> Env<'a, 'c> {
+    fn new(ctx: &'a mut Context<'c>, state: &'a mut EndpointState, surcharge: SimDuration) -> Self {
+        Env { ctx, state, surcharge }
+    }
+
+    /// This endpoint's node id.
+    pub fn node(&self) -> NodeId {
+        self.ctx.node()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.ctx.now()
+    }
+
+    /// The endpoint's cost model.
+    pub fn cost(&self) -> &CostModel {
+        &self.state.cfg.cost
+    }
+
+    /// Deterministic random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.ctx.rng()
+    }
+
+    /// Adds `d` of node-local compute time before any message sent in the
+    /// remainder of this dispatch reaches the wire.
+    ///
+    /// Higher layers use this to charge protocol-specific CPU work such as
+    /// class loading or object reconstruction.
+    pub fn charge(&mut self, d: SimDuration) {
+        self.surcharge += d;
+    }
+
+    /// Binds `object` under `name` in this endpoint's registry, returning
+    /// the previous binding if any.
+    pub fn bind(
+        &mut self,
+        name: impl Into<String>,
+        object: Box<dyn RemoteObject>,
+    ) -> Option<Box<dyn RemoteObject>> {
+        self.state.objects.insert(name.into(), object)
+    }
+
+    /// Removes the binding for `name`, returning the object if it existed.
+    pub fn unbind(&mut self, name: &str) -> Option<Box<dyn RemoteObject>> {
+        self.state.objects.remove(name)
+    }
+
+    /// Whether `name` is bound locally.
+    pub fn is_bound(&self, name: &str) -> bool {
+        self.state.objects.contains_key(name)
+    }
+
+    /// Originates a call with the endpoint's default timeout and retries.
+    ///
+    /// `token` correlates the eventual [`App::on_reply`].
+    pub fn call(
+        &mut self,
+        to: NodeId,
+        object: impl Into<String>,
+        method: impl Into<String>,
+        args: Vec<u8>,
+        token: u64,
+    ) {
+        let (timeout, retries) = (self.state.cfg.call_timeout, self.state.cfg.max_retries);
+        self.call_with(to, object, method, args, token, timeout, retries);
+    }
+
+    /// Originates a call with explicit timeout and retry budget.
+    #[allow(clippy::too_many_arguments)]
+    pub fn call_with(
+        &mut self,
+        to: NodeId,
+        object: impl Into<String>,
+        method: impl Into<String>,
+        args: Vec<u8>,
+        token: u64,
+        timeout: SimDuration,
+        max_retries: u32,
+    ) {
+        let call_id = self.state.next_call;
+        self.state.next_call += 1;
+        let args_len = args.len() as u64;
+        let message = Message::CallReq {
+            call_id,
+            object: object.into(),
+            method: method.into(),
+            args,
+        };
+        let mut delay = self.surcharge + self.state.cfg.cost.marshal(args_len);
+        if self.state.primed.insert(to) {
+            delay += self.state.cfg.cost.connect;
+        }
+        self.ctx
+            .send_after(delay, to, message.trace_label(), message.encode());
+        self.state.pending.insert(
+            call_id,
+            PendingCall { to, token, message, attempts: 1, max_retries, timeout },
+        );
+        self.ctx.set_timer(delay + timeout, RETX_FLAG | call_id);
+    }
+
+    /// Answers a deferred inbound call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `handle` does not correspond to a deferred call (answering
+    /// twice, or fabricating a handle, is a protocol bug).
+    pub fn reply(&mut self, handle: ReplyHandle, result: Result<Vec<u8>, Fault>) {
+        let key = (handle.caller, handle.call_id);
+        assert!(
+            self.state.deferred.remove(&key),
+            "reply to unknown or already-answered call {key:?}"
+        );
+        self.state.cache_response(key, result.clone());
+        let rsp = Message::CallRsp { call_id: handle.call_id, result };
+        let delay = self.surcharge;
+        self.ctx
+            .send_after(delay, handle.caller, rsp.trace_label(), rsp.encode());
+    }
+
+    /// Sets an application timer. `tag` must not use the top bit, which is
+    /// reserved for the endpoint's retransmission timers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tag` has the reserved bit set.
+    pub fn set_timer(&mut self, after: SimDuration, tag: u64) -> TimerId {
+        assert_eq!(tag & RETX_FLAG, 0, "app timer tags must not use the top bit");
+        self.ctx.set_timer(after, tag)
+    }
+
+    /// Cancels an application timer.
+    pub fn cancel_timer(&mut self, id: TimerId) {
+        self.ctx.cancel_timer(id);
+    }
+
+    /// Completes a driver operation with a payload.
+    pub fn complete_op(&mut self, op: OpId, payload: Bytes) {
+        self.ctx.complete(op, payload);
+    }
+
+    /// Completes a driver operation with a failure.
+    pub fn fail_op(&mut self, op: OpId, message: impl Into<String>) {
+        self.ctx.fail(op, message);
+    }
+
+    /// Emits a trace annotation from this node.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.ctx.note(text);
+    }
+}
+
+/// An RMI endpoint actor parameterised by its [`App`].
+pub struct Endpoint<A> {
+    app: A,
+    state: EndpointState,
+}
+
+impl<A: App> Endpoint<A> {
+    /// Creates an endpoint with the given app and configuration.
+    pub fn new(app: A, cfg: Config) -> Self {
+        Endpoint { app, state: EndpointState::new(cfg) }
+    }
+
+    /// Creates an endpoint with default (JDK 1.2.2) configuration.
+    pub fn with_defaults(app: A) -> Self {
+        Endpoint::new(app, Config::default())
+    }
+
+    /// Binds `object` under `name` before the world starts.
+    pub fn bind(&mut self, name: impl Into<String>, object: Box<dyn RemoteObject>) {
+        self.state.objects.insert(name.into(), object);
+    }
+
+    /// Shared access to the app (for post-run inspection in tests).
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    fn handle_call_req(
+        &mut self,
+        ctx: &mut Context<'_>,
+        from: NodeId,
+        call_id: u64,
+        object: String,
+        method: String,
+        args: Vec<u8>,
+    ) {
+        let key = (from, call_id);
+        // At-most-once: duplicate of an answered call re-sends the cached
+        // response without re-executing.
+        if let Some(cached) = self.state.response_cache.get(&key) {
+            let rsp = Message::CallRsp { call_id, result: cached.clone() };
+            ctx.send(from, rsp.trace_label(), rsp.encode());
+            return;
+        }
+        // Duplicate of a call still being processed (deferred): drop it;
+        // the eventual reply satisfies the client's retransmission.
+        if self.state.deferred.contains(&key) {
+            return;
+        }
+        let req_bytes = (args.len() + object.len() + method.len()) as u64;
+        let dispatch_cost = self.state.cfg.cost.dispatch(req_bytes);
+        // Local registry first (plain RMI skeletons)...
+        if let Some(mut obj) = self.state.objects.remove(&object) {
+            let mut oenv = ObjectEnv::new(ctx.node(), ctx.now(), ctx.rng());
+            let result = obj.invoke(&method, &args, &mut oenv);
+            let service = oenv.consumed();
+            self.state.objects.insert(object, obj);
+            self.state.cache_response(key, result.clone());
+            let rsp = Message::CallRsp { call_id, result };
+            ctx.send_after(dispatch_cost + service, from, rsp.trace_label(), rsp.encode());
+            return;
+        }
+        // ...then the app layer (e.g. MAGE system services).
+        self.state.deferred.insert(key);
+        let call = InboundCall {
+            object,
+            method,
+            args,
+            handle: ReplyHandle { caller: from, call_id },
+        };
+        let mut env = Env::new(ctx, &mut self.state, dispatch_cost);
+        match self.app.on_call(&mut env, from, call) {
+            CallOutcome::Reply(result) => {
+                let handle = ReplyHandle { caller: from, call_id };
+                env.reply(handle, result);
+            }
+            CallOutcome::Deferred => {}
+            CallOutcome::Unhandled => {
+                let handle = ReplyHandle { caller: from, call_id };
+                env.reply(handle, Err(Fault::NotBound("<unhandled>".into())));
+            }
+        }
+    }
+
+    fn handle_call_rsp(
+        &mut self,
+        ctx: &mut Context<'_>,
+        call_id: u64,
+        result: Result<Vec<u8>, Fault>,
+    ) {
+        let Some(pending) = self.state.pending.remove(&call_id) else {
+            return; // late duplicate after a retransmitted call already completed
+        };
+        let outcome = result.map_err(RmiError::Fault);
+        let mut env = Env::new(ctx, &mut self.state, SimDuration::ZERO);
+        self.app.on_reply(&mut env, pending.token, outcome);
+    }
+
+    fn handle_retx(&mut self, ctx: &mut Context<'_>, call_id: u64) {
+        let Some(pending) = self.state.pending.get_mut(&call_id) else {
+            return; // answered already
+        };
+        if pending.attempts <= pending.max_retries {
+            pending.attempts += 1;
+            let to = pending.to;
+            let timeout = pending.timeout;
+            let encoded = pending.message.encode();
+            let label = pending.message.trace_label();
+            ctx.send(to, label, encoded);
+            ctx.set_timer(timeout, RETX_FLAG | call_id);
+        } else {
+            let pending = self.state.pending.remove(&call_id).expect("checked above");
+            let mut env = Env::new(ctx, &mut self.state, SimDuration::ZERO);
+            self.app.on_reply(
+                &mut env,
+                pending.token,
+                Err(RmiError::Timeout { attempts: pending.attempts }),
+            );
+        }
+    }
+}
+
+impl<A: App> Actor for Endpoint<A> {
+    fn on_start(&mut self, ctx: &mut Context<'_>) {
+        let mut env = Env::new(ctx, &mut self.state, SimDuration::ZERO);
+        self.app.on_start(&mut env);
+    }
+
+    fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: Bytes) {
+        if from.is_driver() {
+            let mut env = Env::new(ctx, &mut self.state, SimDuration::ZERO);
+            self.app.on_driver(&mut env, payload);
+            return;
+        }
+        match Message::decode(&payload) {
+            Ok(Message::CallReq { call_id, object, method, args }) => {
+                self.handle_call_req(ctx, from, call_id, object, method, args);
+            }
+            Ok(Message::CallRsp { call_id, result }) => {
+                self.handle_call_rsp(ctx, call_id, result);
+            }
+            Err(err) => {
+                ctx.note(format!("dropping malformed message: {err}"));
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        if tag & RETX_FLAG != 0 {
+            self.handle_retx(ctx, tag & !RETX_FLAG);
+        } else {
+            let mut env = Env::new(ctx, &mut self.state, SimDuration::ZERO);
+            self.app.on_timer(&mut env, tag);
+        }
+    }
+}
+
+impl<A> std::fmt::Debug for Endpoint<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Endpoint")
+            .field("bound_objects", &self.state.objects.len())
+            .field("pending_calls", &self.state.pending.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -1,0 +1,118 @@
+//! Error types for the RMI substrate.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A failure raised on the *server* side of a call and marshalled back to
+/// the client (the analogue of a Java `RemoteException` cause).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Fault {
+    /// No object is bound under the requested name.
+    NotBound(String),
+    /// The object exists but does not implement the requested method.
+    NoSuchMethod {
+        /// Bound object name.
+        object: String,
+        /// Requested method.
+        method: String,
+    },
+    /// The requested class is not available in the target namespace.
+    ClassMissing(String),
+    /// The server's policy refused the request.
+    AccessDenied(String),
+    /// Application-level failure raised by the object implementation.
+    App(String),
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fault::NotBound(name) => write!(f, "no object bound under {name:?}"),
+            Fault::NoSuchMethod { object, method } => {
+                write!(f, "object {object:?} has no method {method:?}")
+            }
+            Fault::ClassMissing(name) => write!(f, "class {name:?} not present"),
+            Fault::AccessDenied(why) => write!(f, "access denied: {why}"),
+            Fault::App(msg) => write!(f, "application fault: {msg}"),
+        }
+    }
+}
+
+impl Error for Fault {}
+
+/// A failure observed on the *client* side of a call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RmiError {
+    /// The server answered with a fault.
+    Fault(Fault),
+    /// No response arrived within the retry budget.
+    Timeout {
+        /// Number of transmissions attempted (1 + retries).
+        attempts: u32,
+    },
+    /// The response payload failed to decode.
+    Decode(String),
+    /// The request arguments failed to encode.
+    Encode(String),
+}
+
+impl fmt::Display for RmiError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RmiError::Fault(fault) => write!(f, "remote fault: {fault}"),
+            RmiError::Timeout { attempts } => {
+                write!(f, "call timed out after {attempts} attempts")
+            }
+            RmiError::Decode(msg) => write!(f, "response decode failed: {msg}"),
+            RmiError::Encode(msg) => write!(f, "argument encode failed: {msg}"),
+        }
+    }
+}
+
+impl Error for RmiError {}
+
+impl From<Fault> for RmiError {
+    fn from(fault: Fault) -> Self {
+        RmiError::Fault(fault)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn faults_roundtrip_through_codec() {
+        let faults = [
+            Fault::NotBound("geoData".into()),
+            Fault::NoSuchMethod { object: "o".into(), method: "m".into() },
+            Fault::ClassMissing("C".into()),
+            Fault::AccessDenied("untrusted".into()),
+            Fault::App("boom".into()),
+        ];
+        for fault in faults {
+            let bytes = mage_codec::to_bytes(&fault).unwrap();
+            let back: Fault = mage_codec::from_bytes(&bytes).unwrap();
+            assert_eq!(back, fault);
+        }
+    }
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(Fault::NotBound("x".into()).to_string().contains("x"));
+        assert!(RmiError::Timeout { attempts: 3 }.to_string().contains('3'));
+        let err: RmiError = Fault::App("bad".into()).into();
+        assert!(err.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn errors_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Fault>();
+        assert_send_sync::<RmiError>();
+    }
+}

@@ -1,0 +1,116 @@
+//! Server-side remote objects (the analogue of RMI skeletons).
+
+use mage_sim::{NodeId, SimDuration, SimTime};
+use rand::rngs::StdRng;
+
+use crate::error::Fault;
+
+/// Environment available to a remote object during an invocation.
+///
+/// Objects can model service time with [`ObjectEnv::consume`]; the consumed
+/// time delays the response (and any message the endpoint sends on the
+/// object's behalf in this dispatch).
+pub struct ObjectEnv<'a> {
+    node: NodeId,
+    now: SimTime,
+    consumed: SimDuration,
+    rng: &'a mut StdRng,
+}
+
+impl<'a> ObjectEnv<'a> {
+    pub(crate) fn new(node: NodeId, now: SimTime, rng: &'a mut StdRng) -> Self {
+        ObjectEnv { node, now, consumed: SimDuration::ZERO, rng }
+    }
+
+    /// The namespace hosting the object.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Virtual time at the start of the invocation.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Charges `d` of compute time to this invocation.
+    pub fn consume(&mut self, d: SimDuration) {
+        self.consumed += d;
+    }
+
+    /// Total compute time charged so far.
+    pub fn consumed(&self) -> SimDuration {
+        self.consumed
+    }
+
+    /// Deterministic random number generator (for stochastic service times).
+    pub fn rng(&mut self) -> &mut StdRng {
+        self.rng
+    }
+}
+
+/// A server-side object invocable over the wire.
+///
+/// This is the plain-RMI object model: immobile, bound under a name in one
+/// endpoint's registry. MAGE's *mobile* objects live a layer up in
+/// `mage-core`, where migration, locking and mobility attributes apply.
+pub trait RemoteObject {
+    /// Handles one invocation.
+    ///
+    /// # Errors
+    ///
+    /// Implementations return a [`Fault`] for unknown methods, bad arguments
+    /// or application failures; the endpoint marshals it back to the caller.
+    fn invoke(
+        &mut self,
+        method: &str,
+        args: &[u8],
+        env: &mut ObjectEnv<'_>,
+    ) -> Result<Vec<u8>, Fault>;
+}
+
+impl<F> RemoteObject for F
+where
+    F: FnMut(&str, &[u8], &mut ObjectEnv<'_>) -> Result<Vec<u8>, Fault>,
+{
+    fn invoke(
+        &mut self,
+        method: &str,
+        args: &[u8],
+        env: &mut ObjectEnv<'_>,
+    ) -> Result<Vec<u8>, Fault> {
+        self(method, args, env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn closures_are_remote_objects() {
+        let mut obj = |method: &str, args: &[u8], _env: &mut ObjectEnv<'_>| {
+            if method == "len" {
+                Ok(vec![args.len() as u8])
+            } else {
+                Err(Fault::NoSuchMethod { object: "o".into(), method: method.into() })
+            }
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut env = ObjectEnv::new(NodeId::from_raw(0), SimTime::ZERO, &mut rng);
+        assert_eq!(obj.invoke("len", &[1, 2], &mut env), Ok(vec![2]));
+        assert!(matches!(
+            obj.invoke("nope", &[], &mut env),
+            Err(Fault::NoSuchMethod { .. })
+        ));
+    }
+
+    #[test]
+    fn consumed_time_accumulates() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut env = ObjectEnv::new(NodeId::from_raw(0), SimTime::ZERO, &mut rng);
+        env.consume(SimDuration::from_millis(2));
+        env.consume(SimDuration::from_millis(3));
+        assert_eq!(env.consumed(), SimDuration::from_millis(5));
+    }
+}

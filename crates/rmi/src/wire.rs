@@ -1,0 +1,123 @@
+//! Wire messages exchanged by RMI endpoints.
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::error::Fault;
+
+/// Every datagram between two endpoints is one encoded [`Message`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// A method invocation request.
+    CallReq {
+        /// Client-unique call id (also the dedup key on the server).
+        call_id: u64,
+        /// Name the target object is bound under.
+        object: String,
+        /// Method to invoke.
+        method: String,
+        /// Marshalled arguments.
+        args: Vec<u8>,
+    },
+    /// The response to a [`Message::CallReq`].
+    CallRsp {
+        /// Echoed call id.
+        call_id: u64,
+        /// Marshalled result or server-side fault.
+        result: Result<Vec<u8>, Fault>,
+    },
+}
+
+impl Message {
+    /// Encodes this message for the fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics only if the codec rejects the message, which cannot happen for
+    /// well-formed [`Message`] values (all fields have known lengths).
+    pub fn encode(&self) -> Bytes {
+        Bytes::from(mage_codec::to_bytes(self).expect("wire messages always encode"))
+    }
+
+    /// Decodes a message received from the fabric.
+    ///
+    /// # Errors
+    ///
+    /// Returns the codec error when the payload is malformed.
+    pub fn decode(bytes: &[u8]) -> Result<Self, mage_codec::DecodeError> {
+        mage_codec::from_bytes(bytes)
+    }
+
+    /// The call id carried by this message.
+    pub fn call_id(&self) -> u64 {
+        match self {
+            Message::CallReq { call_id, .. } | Message::CallRsp { call_id, .. } => *call_id,
+        }
+    }
+
+    /// A short label for traces: `"call:<method>"` or `"rsp"`.
+    pub fn trace_label(&self) -> String {
+        match self {
+            Message::CallReq { object, method, .. } => format!("call:{object}.{method}"),
+            Message::CallRsp { result: Ok(_), .. } => "rsp:ok".to_owned(),
+            Message::CallRsp { result: Err(_), .. } => "rsp:fault".to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_req_roundtrips() {
+        let msg = Message::CallReq {
+            call_id: 9,
+            object: "geoData".into(),
+            method: "filterData".into(),
+            args: vec![1, 2, 3],
+        };
+        let bytes = msg.encode();
+        assert_eq!(Message::decode(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn call_rsp_roundtrips_both_arms() {
+        let ok = Message::CallRsp { call_id: 1, result: Ok(vec![7]) };
+        let err = Message::CallRsp {
+            call_id: 2,
+            result: Err(Fault::NotBound("x".into())),
+        };
+        assert_eq!(Message::decode(&ok.encode()).unwrap(), ok);
+        assert_eq!(Message::decode(&err.encode()).unwrap(), err);
+    }
+
+    #[test]
+    fn call_id_accessor() {
+        let msg = Message::CallRsp { call_id: 5, result: Ok(vec![]) };
+        assert_eq!(msg.call_id(), 5);
+    }
+
+    #[test]
+    fn trace_labels() {
+        let req = Message::CallReq {
+            call_id: 0,
+            object: "o".into(),
+            method: "m".into(),
+            args: vec![],
+        };
+        assert_eq!(req.trace_label(), "call:o.m");
+        let rsp = Message::CallRsp { call_id: 0, result: Ok(vec![]) };
+        assert_eq!(rsp.trace_label(), "rsp:ok");
+        let fault = Message::CallRsp {
+            call_id: 0,
+            result: Err(Fault::App("e".into())),
+        };
+        assert_eq!(fault.trace_label(), "rsp:fault");
+    }
+
+    #[test]
+    fn malformed_bytes_are_rejected() {
+        assert!(Message::decode(&[0xFF, 0xFF, 0xFF]).is_err());
+    }
+}

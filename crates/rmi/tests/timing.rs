@@ -1,0 +1,119 @@
+//! Timing behaviour of the RMI substrate on the paper's testbed
+//! configuration. These tests pre-validate the *Java's RMI* row of Table 3:
+//! ≈33 ms for a cold (single) invocation, ≈20 ms amortized over 10.
+
+use mage_rmi::{client_endpoint, drive_call, encode_args, server_endpoint, Config, Fault};
+use mage_sim::{LinkSpec, NodeId, SimTime, World};
+
+/// The minimal test object from §5: one integer attribute it increments.
+fn minimal_object() -> Box<dyn mage_rmi::RemoteObject> {
+    let mut value: i64 = 0;
+    Box::new(
+        move |method: &str, _args: &[u8], _env: &mut mage_rmi::ObjectEnv<'_>| {
+            if method == "inc" {
+                value += 1;
+                Ok(encode_args(&value).expect("encodes"))
+            } else {
+                Err(Fault::NoSuchMethod { object: "test".into(), method: method.into() })
+            }
+        },
+    )
+}
+
+fn testbed() -> (World, NodeId, NodeId) {
+    let mut world = World::new(2001);
+    let cfg = Config::default(); // JDK 1.2.2 cost model
+    let client = world.add_node("host1", client_endpoint(cfg));
+    let server = world.add_node("host2", server_endpoint(cfg, "test", minimal_object()));
+    world.set_link_bidi(client, server, LinkSpec::ethernet_10mbps());
+    (world, client, server)
+}
+
+fn call_ms(world: &mut World, client: NodeId, server: NodeId) -> f64 {
+    let start = world.now();
+    drive_call(world, client, server, "test", "inc", vec![])
+        .unwrap()
+        .unwrap();
+    (world.now() - start).as_millis_f64()
+}
+
+#[test]
+fn cold_call_near_paper_single_invocation() {
+    let (mut world, client, server) = testbed();
+    let ms = call_ms(&mut world, client, server);
+    assert!(
+        (28.0..38.0).contains(&ms),
+        "cold RMI call should be ≈33 ms, got {ms:.2} ms"
+    );
+}
+
+#[test]
+fn warm_calls_near_paper_amortized_time() {
+    let (mut world, client, server) = testbed();
+    let mut total = 0.0;
+    for _ in 0..10 {
+        total += call_ms(&mut world, client, server);
+    }
+    let amortized = total / 10.0;
+    assert!(
+        (17.0..24.0).contains(&amortized),
+        "amortized RMI call should be ≈20 ms, got {amortized:.2} ms"
+    );
+}
+
+#[test]
+fn warm_calls_are_cheaper_than_cold() {
+    let (mut world, client, server) = testbed();
+    let cold = call_ms(&mut world, client, server);
+    let warm = call_ms(&mut world, client, server);
+    assert!(warm < cold, "warm {warm:.2} ms !< cold {cold:.2} ms");
+}
+
+#[test]
+fn large_payloads_pay_bandwidth() {
+    let (mut world, client, server) = testbed();
+    // Warm up first.
+    call_ms(&mut world, client, server);
+    let start = world.now();
+    let _ = drive_call(
+        &mut world,
+        client,
+        server,
+        "test",
+        "inc",
+        vec![0u8; 125_000], // 1 Mb on a 10 Mb/s link ⇒ ≥100 ms of wire time
+    )
+    .unwrap();
+    let ms = (world.now() - start).as_millis_f64();
+    assert!(ms > 100.0, "1 Mb payload should take >100 ms, got {ms:.2}");
+}
+
+#[test]
+fn zero_cost_config_measures_pure_wire_time() {
+    let mut world = World::new(7);
+    let cfg = Config::zero_cost();
+    let client = world.add_node("c", client_endpoint(cfg));
+    let server = world.add_node("s", server_endpoint(cfg, "test", minimal_object()));
+    world.set_link_bidi(
+        client,
+        server,
+        LinkSpec::ideal().with_latency(mage_sim::SimDuration::from_millis(5)),
+    );
+    let start = world.now();
+    drive_call(&mut world, client, server, "test", "inc", vec![])
+        .unwrap()
+        .unwrap();
+    assert_eq!(world.now() - start, mage_sim::SimDuration::from_millis(10));
+}
+
+#[test]
+fn clock_starts_at_zero_and_advances_monotonically() {
+    let (mut world, client, server) = testbed();
+    assert_eq!(world.now(), SimTime::ZERO);
+    let mut last = world.now();
+    for _ in 0..3 {
+        call_ms(&mut world, client, server);
+        assert!(world.now() > last);
+        last = world.now();
+    }
+}

@@ -1,0 +1,205 @@
+//! Lightweight counters and sample collections for experiments.
+
+use std::collections::BTreeMap;
+
+/// Monotonic counters describing network activity in a world.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct NetCounters {
+    /// Messages handed to the fabric (including later drops).
+    pub sent: u64,
+    /// Messages delivered to their destination actor.
+    pub delivered: u64,
+    /// Messages dropped by loss or partitions.
+    pub dropped: u64,
+    /// Total payload bytes handed to the fabric.
+    pub bytes_sent: u64,
+}
+
+/// Aggregated experiment metrics: global counters plus per-label message
+/// counts (labels are the protocol-level message names, e.g. `"invoke-req"`).
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Network-level counters.
+    pub net: NetCounters,
+    per_label: BTreeMap<String, u64>,
+}
+
+impl Metrics {
+    /// Creates an empty metrics collection.
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one send of a message labelled `label`.
+    pub fn record_send(&mut self, label: &str, bytes: u64) {
+        self.net.sent += 1;
+        self.net.bytes_sent += bytes;
+        *self.per_label.entry(label.to_owned()).or_insert(0) += 1;
+    }
+
+    /// Records one delivery.
+    pub fn record_delivery(&mut self) {
+        self.net.delivered += 1;
+    }
+
+    /// Records one drop.
+    pub fn record_drop(&mut self) {
+        self.net.dropped += 1;
+    }
+
+    /// Number of sends recorded for `label`.
+    pub fn sends_for(&self, label: &str) -> u64 {
+        self.per_label.get(label).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(label, send count)` pairs in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.per_label.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Resets all counters to zero.
+    pub fn reset(&mut self) {
+        *self = Metrics::default();
+    }
+}
+
+/// A collection of numeric samples with simple summary statistics.
+///
+/// Used by the benchmark harness for invocation-time distributions.
+#[derive(Debug, Default, Clone)]
+pub struct Samples {
+    values: Vec<f64>,
+}
+
+impl Samples {
+    /// Creates an empty sample set.
+    pub fn new() -> Self {
+        Samples::default()
+    }
+
+    /// Adds one sample.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            return None;
+        }
+        Some(self.values.iter().sum::<f64>() / self.values.len() as f64)
+    }
+
+    /// Minimum sample, or `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Maximum sample, or `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// The `p`-th percentile (0–100) using nearest-rank on a sorted copy,
+    /// or `None` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile(&self, p: f64) -> Option<f64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.values.is_empty() {
+            return None;
+        }
+        let mut sorted = self.values.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+        let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+        Some(sorted[rank])
+    }
+
+    /// All raw samples in insertion order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+impl Extend<f64> for Samples {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+impl FromIterator<f64> for Samples {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Samples { values: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = Metrics::new();
+        m.record_send("invoke-req", 100);
+        m.record_send("invoke-req", 50);
+        m.record_send("find-req", 10);
+        m.record_delivery();
+        m.record_drop();
+        assert_eq!(m.net.sent, 3);
+        assert_eq!(m.net.bytes_sent, 160);
+        assert_eq!(m.net.delivered, 1);
+        assert_eq!(m.net.dropped, 1);
+        assert_eq!(m.sends_for("invoke-req"), 2);
+        assert_eq!(m.sends_for("missing"), 0);
+        assert_eq!(m.iter().count(), 2);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = Metrics::new();
+        m.record_send("x", 1);
+        m.reset();
+        assert_eq!(m.net.sent, 0);
+        assert_eq!(m.sends_for("x"), 0);
+    }
+
+    #[test]
+    fn sample_statistics() {
+        let s: Samples = [4.0, 1.0, 3.0, 2.0].into_iter().collect();
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.mean(), Some(2.5));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.max(), Some(4.0));
+        assert_eq!(s.percentile(0.0), Some(1.0));
+        assert_eq!(s.percentile(100.0), Some(4.0));
+        assert_eq!(s.percentile(50.0), Some(3.0));
+    }
+
+    #[test]
+    fn empty_samples_yield_none() {
+        let s = Samples::new();
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.min(), None);
+        assert_eq!(s.percentile(50.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn percentile_validates_range() {
+        let s: Samples = [1.0].into_iter().collect();
+        let _ = s.percentile(101.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! The simulated network: per-pair link specs, partitions and loss.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::Rng;
+
+use crate::time::{transfer_time, SimDuration};
+use crate::topology::{LinkSpec, NodeId};
+
+/// Why a message never arrived.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DropReason {
+    /// The link's random loss model discarded the message.
+    RandomLoss,
+    /// The sender and receiver are in different partitions.
+    Partitioned,
+}
+
+/// The network fabric connecting all namespaces in a world.
+///
+/// Delivery order is deterministic: delay depends only on the link spec, the
+/// message size and the seeded RNG stream.
+#[derive(Debug)]
+pub struct Network {
+    default_link: LinkSpec,
+    overrides: BTreeMap<(NodeId, NodeId), LinkSpec>,
+    blocked: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl Network {
+    /// Creates a network where every pair of nodes uses `default_link`.
+    pub fn new(default_link: LinkSpec) -> Self {
+        Network {
+            default_link,
+            overrides: BTreeMap::new(),
+            blocked: BTreeSet::new(),
+        }
+    }
+
+    /// The link spec in effect from `from` to `to`.
+    pub fn link(&self, from: NodeId, to: NodeId) -> LinkSpec {
+        self.overrides
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// Overrides the directed link `from → to`.
+    pub fn set_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) {
+        self.overrides.insert((from, to), spec);
+    }
+
+    /// Overrides the link in both directions.
+    pub fn set_link_bidi(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.set_link(a, b, spec);
+        self.set_link(b, a, spec);
+    }
+
+    /// Severs communication in both directions between `a` and `b`.
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.blocked.insert((a, b));
+        self.blocked.insert((b, a));
+    }
+
+    /// Restores communication in both directions between `a` and `b`.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.blocked.remove(&(a, b));
+        self.blocked.remove(&(b, a));
+    }
+
+    /// Whether messages from `from` can currently reach `to`.
+    pub fn is_reachable(&self, from: NodeId, to: NodeId) -> bool {
+        !self.blocked.contains(&(from, to))
+    }
+
+    /// Computes the delivery delay for a message of `bytes` from `from` to
+    /// `to`, or the reason it will never arrive.
+    ///
+    /// Messages a node sends to itself and messages injected by the driver
+    /// bypass the fabric entirely (zero delay, never lost): they model
+    /// in-process calls, not network traffic.
+    pub fn delivery_delay<R: Rng>(
+        &self,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+        rng: &mut R,
+    ) -> Result<SimDuration, DropReason> {
+        if from == to || from.is_driver() {
+            return Ok(SimDuration::ZERO);
+        }
+        if !self.is_reachable(from, to) {
+            return Err(DropReason::Partitioned);
+        }
+        let link = self.link(from, to);
+        if link.loss > 0.0 && rng.gen::<f64>() < link.loss {
+            return Err(DropReason::RandomLoss);
+        }
+        let mut delay = link.latency;
+        if link.jitter > SimDuration::ZERO {
+            let bound = link.jitter.as_micros();
+            delay += SimDuration::from_micros(rng.gen_range(0..=bound));
+        }
+        if let Some(bps) = link.bandwidth_bps {
+            delay += transfer_time(bytes, bps);
+        }
+        Ok(delay)
+    }
+}
+
+impl Default for Network {
+    fn default() -> Self {
+        Network::new(LinkSpec::ideal())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::from_raw(i)
+    }
+
+    #[test]
+    fn ideal_link_delivers_instantly() {
+        let net = Network::default();
+        let d = net.delivery_delay(n(0), n(1), 10_000, &mut rng()).unwrap();
+        assert_eq!(d, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_scales_with_size() {
+        let net = Network::new(LinkSpec::ethernet_10mbps());
+        let small = net.delivery_delay(n(0), n(1), 100, &mut rng()).unwrap();
+        let large = net.delivery_delay(n(0), n(1), 100_000, &mut rng()).unwrap();
+        assert!(large > small, "{large} should exceed {small}");
+    }
+
+    #[test]
+    fn self_messages_bypass_fabric() {
+        let mut net = Network::new(LinkSpec::ethernet_10mbps().with_loss(1.0));
+        net.partition(n(0), n(1));
+        let d = net.delivery_delay(n(0), n(0), 1_000_000, &mut rng()).unwrap();
+        assert_eq!(d, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn driver_injection_bypasses_fabric() {
+        let net = Network::new(LinkSpec::ethernet_10mbps().with_loss(1.0));
+        let d = net
+            .delivery_delay(NodeId::DRIVER, n(0), 1_000, &mut rng())
+            .unwrap();
+        assert_eq!(d, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn partition_blocks_both_directions() {
+        let mut net = Network::default();
+        net.partition(n(0), n(1));
+        assert_eq!(
+            net.delivery_delay(n(0), n(1), 1, &mut rng()),
+            Err(DropReason::Partitioned)
+        );
+        assert_eq!(
+            net.delivery_delay(n(1), n(0), 1, &mut rng()),
+            Err(DropReason::Partitioned)
+        );
+        net.heal(n(0), n(1));
+        assert!(net.delivery_delay(n(0), n(1), 1, &mut rng()).is_ok());
+    }
+
+    #[test]
+    fn total_loss_drops_everything() {
+        let net = Network::new(LinkSpec::ideal().with_loss(1.0));
+        assert_eq!(
+            net.delivery_delay(n(0), n(1), 1, &mut rng()),
+            Err(DropReason::RandomLoss)
+        );
+    }
+
+    #[test]
+    fn per_pair_override_beats_default() {
+        let mut net = Network::new(LinkSpec::ideal());
+        net.set_link(
+            n(0),
+            n(1),
+            LinkSpec::ideal().with_latency(SimDuration::from_millis(5)),
+        );
+        let forward = net.delivery_delay(n(0), n(1), 1, &mut rng()).unwrap();
+        let reverse = net.delivery_delay(n(1), n(0), 1, &mut rng()).unwrap();
+        assert_eq!(forward, SimDuration::from_millis(5));
+        assert_eq!(reverse, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn bidi_override_sets_both_directions() {
+        let mut net = Network::new(LinkSpec::ideal());
+        net.set_link_bidi(
+            n(0),
+            n(1),
+            LinkSpec::ideal().with_latency(SimDuration::from_millis(3)),
+        );
+        assert_eq!(
+            net.link(n(0), n(1)).latency,
+            SimDuration::from_millis(3)
+        );
+        assert_eq!(
+            net.link(n(1), n(0)).latency,
+            SimDuration::from_millis(3)
+        );
+    }
+
+    #[test]
+    fn jitter_stays_within_bound() {
+        let spec = LinkSpec::ideal()
+            .with_latency(SimDuration::from_millis(1))
+            .with_jitter(SimDuration::from_micros(200));
+        let net = Network::new(spec);
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = net.delivery_delay(n(0), n(1), 1, &mut r).unwrap();
+            assert!(d >= SimDuration::from_millis(1));
+            assert!(d <= SimDuration::from_micros(1_200));
+        }
+    }
+}

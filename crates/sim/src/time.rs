@@ -1,0 +1,209 @@
+//! Virtual time for the simulator.
+//!
+//! All experiment clocks in this repository are *simulated*: a
+//! [`SimTime`] is a microsecond count since the start of the run, advanced
+//! only by the event loop. This is what makes every run deterministic and
+//! lets the benchmark harness report paper-style milliseconds regardless of
+//! the host machine.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An instant in simulated time, in microseconds since the world started.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The instant at which every world starts.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant from raw microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Raw microseconds since the start of the run.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds since the start of the run.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Duration elapsed since `earlier`, saturating to zero if `earlier` is
+    /// in the future.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// A span of simulated time, in microseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Raw microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000.0
+    }
+
+    /// Saturating sum of two durations.
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Duration scaled by an integer factor, saturating on overflow.
+    pub fn saturating_mul(self, factor: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(factor))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// Computes the serialized transfer time of `bytes` over a link of
+/// `bits_per_sec`, rounding up to the next microsecond.
+pub fn transfer_time(bytes: u64, bits_per_sec: u64) -> SimDuration {
+    if bits_per_sec == 0 {
+        return SimDuration::ZERO;
+    }
+    let bits = bytes.saturating_mul(8);
+    let micros = bits
+        .saturating_mul(1_000_000)
+        .div_ceil(bits_per_sec);
+    SimDuration(micros)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_micros(1_000);
+        let t2 = t + SimDuration::from_millis(2);
+        assert_eq!(t2.as_micros(), 3_000);
+        assert_eq!((t2 - t).as_micros(), 2_000);
+        assert_eq!((t - t2), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
+        assert_eq!(
+            SimDuration::from_millis(1),
+            SimDuration::from_micros(1_000)
+        );
+    }
+
+    #[test]
+    fn display_formats_in_millis() {
+        assert_eq!(SimTime::from_micros(1_500).to_string(), "t=1.500ms");
+        assert_eq!(SimDuration::from_micros(250).to_string(), "0.250ms");
+    }
+
+    #[test]
+    fn transfer_time_ten_megabit() {
+        // 10 Mb/s is the paper's Ethernet. 1250 bytes = 10_000 bits = 1 ms.
+        let d = transfer_time(1_250, 10_000_000);
+        assert_eq!(d, SimDuration::from_millis(1));
+    }
+
+    #[test]
+    fn transfer_time_rounds_up() {
+        let d = transfer_time(1, 10_000_000);
+        assert_eq!(d.as_micros(), 1);
+    }
+
+    #[test]
+    fn transfer_time_zero_bandwidth_is_free() {
+        assert_eq!(transfer_time(1_000_000, 0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn saturating_ops_do_not_overflow() {
+        let max = SimDuration::from_micros(u64::MAX);
+        assert_eq!(max + SimDuration::from_micros(1), max);
+        assert_eq!(max.saturating_mul(2), max);
+        let t = SimTime::from_micros(u64::MAX);
+        assert_eq!(t + SimDuration::from_micros(5), t);
+    }
+}

@@ -1,0 +1,171 @@
+//! Node identity and link characteristics.
+
+use std::fmt;
+
+use crate::time::SimDuration;
+
+/// Identifies a namespace (a simulated host / virtual machine) in a world.
+///
+/// In the paper each namespace is a JVM running the MAGE runtime. Node ids
+/// are dense indices assigned by [`World::add_node`](crate::World::add_node).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Sentinel sender for messages injected by the experiment driver rather
+    /// than by another node (the "application thread" outside the network).
+    pub const DRIVER: NodeId = NodeId(u32::MAX);
+
+    /// Creates a node id from a raw index.
+    pub const fn from_raw(raw: u32) -> Self {
+        NodeId(raw)
+    }
+
+    /// The raw index of this node.
+    pub const fn as_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the driver sentinel.
+    pub const fn is_driver(self) -> bool {
+        self.0 == u32::MAX
+    }
+
+    /// The dense index of this node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on [`NodeId::DRIVER`], which has no slot.
+    pub fn index(self) -> usize {
+        assert!(!self.is_driver(), "driver sentinel has no node slot");
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_driver() {
+            write!(f, "driver")
+        } else {
+            write!(f, "n{}", self.0)
+        }
+    }
+}
+
+/// Transmission characteristics of a directed link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Propagation delay added to every message.
+    pub latency: SimDuration,
+    /// Upper bound of uniform random jitter added on top of `latency`.
+    pub jitter: SimDuration,
+    /// Link bandwidth in bits per second; `None` means infinitely fast.
+    pub bandwidth_bps: Option<u64>,
+    /// Probability in `[0, 1]` that a message is silently dropped.
+    pub loss: f64,
+}
+
+impl LinkSpec {
+    /// A perfect link: no latency, no loss, infinite bandwidth.
+    ///
+    /// Useful for unit tests where network effects are irrelevant.
+    pub const fn ideal() -> Self {
+        LinkSpec {
+            latency: SimDuration::ZERO,
+            jitter: SimDuration::ZERO,
+            bandwidth_bps: None,
+            loss: 0.0,
+        }
+    }
+
+    /// The paper's testbed link: 10 Mb/s shared Ethernet between two hosts
+    /// on a LAN, with a propagation+switching delay of roughly half a
+    /// millisecond and no loss.
+    pub const fn ethernet_10mbps() -> Self {
+        LinkSpec {
+            latency: SimDuration::from_micros(500),
+            jitter: SimDuration::ZERO,
+            bandwidth_bps: Some(10_000_000),
+            loss: 0.0,
+        }
+    }
+
+    /// Returns a copy with the given latency.
+    pub fn with_latency(mut self, latency: SimDuration) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Returns a copy with the given loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss` is not within `[0, 1]`.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "loss must be in [0, 1]");
+        self.loss = loss;
+        self
+    }
+
+    /// Returns a copy with the given bandwidth in bits per second.
+    pub fn with_bandwidth_bps(mut self, bps: u64) -> Self {
+        self.bandwidth_bps = Some(bps);
+        self
+    }
+
+    /// Returns a copy with the given jitter bound.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::ideal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn driver_sentinel_displays() {
+        assert_eq!(NodeId::DRIVER.to_string(), "driver");
+        assert!(NodeId::DRIVER.is_driver());
+        assert_eq!(NodeId::from_raw(3).to_string(), "n3");
+    }
+
+    #[test]
+    #[should_panic(expected = "driver sentinel")]
+    fn driver_has_no_index() {
+        let _ = NodeId::DRIVER.index();
+    }
+
+    #[test]
+    fn link_builders_chain() {
+        let link = LinkSpec::ideal()
+            .with_latency(SimDuration::from_millis(2))
+            .with_bandwidth_bps(1_000_000)
+            .with_jitter(SimDuration::from_micros(100))
+            .with_loss(0.25);
+        assert_eq!(link.latency, SimDuration::from_millis(2));
+        assert_eq!(link.bandwidth_bps, Some(1_000_000));
+        assert_eq!(link.jitter, SimDuration::from_micros(100));
+        assert!((link.loss - 0.25).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be in [0, 1]")]
+    fn loss_out_of_range_panics() {
+        let _ = LinkSpec::ideal().with_loss(1.5);
+    }
+
+    #[test]
+    fn ethernet_matches_paper_testbed() {
+        let link = LinkSpec::ethernet_10mbps();
+        assert_eq!(link.bandwidth_bps, Some(10_000_000));
+        assert!(link.loss == 0.0);
+    }
+}

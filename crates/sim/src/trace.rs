@@ -1,0 +1,290 @@
+//! Event tracing and sequence-diagram rendering.
+//!
+//! Every message send, delivery, drop and annotation is recorded with its
+//! virtual timestamp. The benchmark harness renders these logs as numbered
+//! message sequences to regenerate the paper's protocol figures (Figures 1,
+//! 2, 3 and 7).
+
+use std::fmt::Write as _;
+
+use crate::network::DropReason;
+use crate::time::SimTime;
+use crate::topology::NodeId;
+
+/// One recorded simulator event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A message left `from` heading to `to`.
+    Send {
+        /// Virtual time of the send.
+        at: SimTime,
+        /// Sending node (possibly [`NodeId::DRIVER`]).
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Human-readable message label (e.g. `"find-req"`).
+        label: String,
+        /// Serialized payload size.
+        bytes: u64,
+        /// Unique id pairing this send with its delivery.
+        msg_id: u64,
+    },
+    /// A message arrived at its destination.
+    Deliver {
+        /// Virtual time of the delivery.
+        at: SimTime,
+        /// Original sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+        /// Label copied from the send.
+        label: String,
+        /// Id pairing with the send event.
+        msg_id: u64,
+    },
+    /// A message was dropped by the fabric.
+    Drop {
+        /// Virtual time of the (non-)delivery decision.
+        at: SimTime,
+        /// Original sender.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Label copied from the send.
+        label: String,
+        /// Why the fabric dropped it.
+        reason: DropReason,
+        /// Id pairing with the send event.
+        msg_id: u64,
+    },
+    /// A timer fired on a node.
+    Timer {
+        /// Virtual time the timer fired.
+        at: SimTime,
+        /// Node whose timer fired.
+        node: NodeId,
+        /// Application-chosen tag.
+        tag: u64,
+    },
+    /// Free-form annotation emitted by an actor or the driver.
+    Note {
+        /// Virtual time of the annotation.
+        at: SimTime,
+        /// Node that emitted it.
+        node: NodeId,
+        /// Annotation text.
+        text: String,
+    },
+}
+
+impl TraceEvent {
+    /// Virtual time at which the event occurred.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Send { at, .. }
+            | TraceEvent::Deliver { at, .. }
+            | TraceEvent::Drop { at, .. }
+            | TraceEvent::Timer { at, .. }
+            | TraceEvent::Note { at, .. } => *at,
+        }
+    }
+
+    /// Message label, if this is a message event.
+    pub fn label(&self) -> Option<&str> {
+        match self {
+            TraceEvent::Send { label, .. }
+            | TraceEvent::Deliver { label, .. }
+            | TraceEvent::Drop { label, .. } => Some(label),
+            _ => None,
+        }
+    }
+}
+
+/// Append-only log of [`TraceEvent`]s for one world.
+#[derive(Debug, Default)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+    enabled: bool,
+}
+
+impl TraceLog {
+    /// Creates a log; recording is off until [`TraceLog::enable`] is called.
+    pub fn new() -> Self {
+        TraceLog { events: Vec::new(), enabled: false }
+    }
+
+    /// Starts recording events.
+    pub fn enable(&mut self) {
+        self.enabled = true;
+    }
+
+    /// Stops recording events (already recorded events are kept).
+    pub fn disable(&mut self) {
+        self.enabled = false;
+    }
+
+    /// Whether events are currently recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records `event` if recording is enabled.
+    pub fn push(&mut self, event: TraceEvent) {
+        if self.enabled {
+            self.events.push(event);
+        }
+    }
+
+    /// All recorded events in chronological order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Discards all recorded events.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Deliveries whose label satisfies `pred`, in order.
+    pub fn deliveries_matching<'a>(
+        &'a self,
+        mut pred: impl FnMut(&str) -> bool + 'a,
+    ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| {
+            matches!(e, TraceEvent::Deliver { label, .. } if pred(label))
+        })
+    }
+
+    /// Number of send events with the given label.
+    pub fn sends_with_label(&self, label: &str) -> usize {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Send { label: l, .. } if l == label))
+            .count()
+    }
+}
+
+/// Renders a trace as a numbered message sequence, the textual analogue of
+/// the paper's protocol figures.
+///
+/// `names` maps node indices to display names; driver events show as
+/// `driver`. Only `Send` events are numbered (matching how the paper numbers
+/// protocol messages); notes are interleaved unnumbered.
+pub fn render_message_sequence(log: &TraceLog, names: &[String]) -> String {
+    let name_of = |id: NodeId| -> String {
+        if id.is_driver() {
+            "driver".to_owned()
+        } else {
+            names
+                .get(id.index())
+                .cloned()
+                .unwrap_or_else(|| id.to_string())
+        }
+    };
+    let mut out = String::new();
+    let mut msg_no = 0usize;
+    // Sends scheduled after local compute delays carry future timestamps, so
+    // order by time (stable) before rendering.
+    let mut ordered: Vec<&TraceEvent> = log.events().iter().collect();
+    ordered.sort_by_key(|e| e.at());
+    for event in ordered {
+        match event {
+            TraceEvent::Send { at, from, to, label, bytes, .. } => {
+                msg_no += 1;
+                let _ = writeln!(
+                    out,
+                    "{msg_no:>3}. [{at}] {:<12} -> {:<12} {label} ({bytes} B)",
+                    name_of(*from),
+                    name_of(*to),
+                );
+            }
+            TraceEvent::Drop { at, from, to, label, reason, .. } => {
+                let _ = writeln!(
+                    out,
+                    "  x. [{at}] {:<12} -> {:<12} {label} DROPPED ({reason:?})",
+                    name_of(*from),
+                    name_of(*to),
+                );
+            }
+            TraceEvent::Note { at, node, text } => {
+                let _ = writeln!(out, "   . [{at}] {:<12} note: {text}", name_of(*node));
+            }
+            TraceEvent::Deliver { .. } | TraceEvent::Timer { .. } => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn send(ms: u64, from: u32, to: u32, label: &str, id: u64) -> TraceEvent {
+        TraceEvent::Send {
+            at: SimTime::from_micros(ms * 1_000),
+            from: NodeId::from_raw(from),
+            to: NodeId::from_raw(to),
+            label: label.to_owned(),
+            bytes: 64,
+            msg_id: id,
+        }
+    }
+
+    #[test]
+    fn disabled_log_records_nothing() {
+        let mut log = TraceLog::new();
+        log.push(send(1, 0, 1, "x", 1));
+        assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn enabled_log_records_in_order() {
+        let mut log = TraceLog::new();
+        log.enable();
+        log.push(send(1, 0, 1, "a", 1));
+        log.push(send(2, 1, 0, "b", 2));
+        assert_eq!(log.events().len(), 2);
+        assert_eq!(log.events()[0].label(), Some("a"));
+    }
+
+    #[test]
+    fn sequence_rendering_numbers_sends() {
+        let mut log = TraceLog::new();
+        log.enable();
+        log.push(send(1, 0, 1, "find-req", 1));
+        log.push(send(2, 1, 0, "find-rsp", 2));
+        let names = vec!["P".to_owned(), "registry".to_owned()];
+        let text = render_message_sequence(&log, &names);
+        assert!(text.contains("  1. "), "{text}");
+        assert!(text.contains("  2. "), "{text}");
+        assert!(text.contains("P"), "{text}");
+        assert!(text.contains("registry"), "{text}");
+        assert!(text.contains("find-req"), "{text}");
+    }
+
+    #[test]
+    fn label_filters_work() {
+        let mut log = TraceLog::new();
+        log.enable();
+        log.push(send(1, 0, 1, "invoke", 1));
+        log.push(TraceEvent::Deliver {
+            at: SimTime::from_micros(2_000),
+            from: NodeId::from_raw(0),
+            to: NodeId::from_raw(1),
+            label: "invoke".to_owned(),
+            msg_id: 1,
+        });
+        assert_eq!(log.sends_with_label("invoke"), 1);
+        assert_eq!(log.deliveries_matching(|l| l == "invoke").count(), 1);
+        assert_eq!(log.deliveries_matching(|l| l == "other").count(), 0);
+    }
+
+    #[test]
+    fn clear_empties_log() {
+        let mut log = TraceLog::new();
+        log.enable();
+        log.push(send(1, 0, 1, "x", 1));
+        log.clear();
+        assert!(log.events().is_empty());
+    }
+}

@@ -1,0 +1,694 @@
+//! The world: a deterministic discrete-event scheduler over actors and the
+//! network fabric.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, BTreeSet, HashMap};
+use std::error::Error;
+use std::fmt;
+
+use bytes::Bytes;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::actor::{Actor, Context, Effect, OpId, TimerId};
+use crate::metrics::Metrics;
+use crate::network::Network;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{LinkSpec, NodeId};
+use crate::trace::{TraceEvent, TraceLog};
+
+/// Safety cap on events processed by a single blocking call, to turn
+/// accidental protocol livelock into a reported error instead of a hang.
+const DEFAULT_EVENT_BUDGET: u64 = 50_000_000;
+
+/// Error produced by [`World::block_on`] and friends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The event queue drained before the operation completed — the protocol
+    /// stalled (e.g. a request was lost and nobody retried).
+    Stalled,
+    /// The event budget was exhausted; the protocol is probably livelocked.
+    BudgetExhausted,
+    /// The operation completed with an application-level failure.
+    Op(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Stalled => write!(f, "simulation stalled before the operation completed"),
+            SimError::BudgetExhausted => write!(f, "event budget exhausted (livelock?)"),
+            SimError::Op(msg) => write!(f, "operation failed: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[derive(Debug)]
+enum EventKind {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        label: String,
+        payload: Bytes,
+        msg_id: u64,
+    },
+    Timer {
+        node: NodeId,
+        id: TimerId,
+        tag: u64,
+    },
+}
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Scheduled {}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+struct NodeSlot {
+    name: String,
+    actor: Option<Box<dyn Actor>>,
+}
+
+enum OpSlot {
+    Pending,
+    Done(Result<Bytes, String>),
+}
+
+/// A deterministic simulated distributed system: a set of named nodes (the
+/// paper's *namespaces*), a network fabric, and a virtual clock.
+///
+/// # Examples
+///
+/// ```
+/// use bytes::Bytes;
+/// use mage_sim::{Actor, Context, NodeId, World};
+///
+/// struct Echo;
+/// impl Actor for Echo {
+///     fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: Bytes) {
+///         if !from.is_driver() {
+///             ctx.send(from, "echo-rsp", payload);
+///         }
+///     }
+/// }
+///
+/// let mut world = World::new(42);
+/// let a = world.add_node("a", Echo);
+/// let _b = world.add_node("b", Echo);
+/// world.inject(a, "start", Bytes::new());
+/// world.run_until_idle().unwrap();
+/// ```
+pub struct World {
+    clock: SimTime,
+    seq: u64,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    nodes: Vec<NodeSlot>,
+    net: Network,
+    rng: StdRng,
+    trace: TraceLog,
+    metrics: Metrics,
+    cancelled: BTreeSet<TimerId>,
+    ops: HashMap<OpId, OpSlot>,
+    next_op: u64,
+    next_timer: u64,
+    next_msg: u64,
+    event_budget: u64,
+}
+
+impl World {
+    /// Creates an empty world with an ideal network and the given RNG seed.
+    ///
+    /// The same seed, node set and injected commands always replay the exact
+    /// same event sequence.
+    pub fn new(seed: u64) -> Self {
+        World::with_network(seed, Network::default())
+    }
+
+    /// Creates an empty world over a pre-configured network fabric.
+    pub fn with_network(seed: u64, net: Network) -> Self {
+        World {
+            clock: SimTime::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            net,
+            rng: StdRng::seed_from_u64(seed),
+            trace: TraceLog::new(),
+            metrics: Metrics::new(),
+            cancelled: BTreeSet::new(),
+            ops: HashMap::new(),
+            next_op: 0,
+            next_timer: 0,
+            next_msg: 0,
+            event_budget: DEFAULT_EVENT_BUDGET,
+        }
+    }
+
+    /// Adds a node running `actor` and returns its id.
+    ///
+    /// The actor's [`Actor::on_start`] runs immediately.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX - 1` nodes are added.
+    pub fn add_node(&mut self, name: impl Into<String>, actor: impl Actor + 'static) -> NodeId {
+        let idx = u32::try_from(self.nodes.len()).expect("node count fits u32");
+        assert!(idx < u32::MAX - 1, "too many nodes");
+        let id = NodeId::from_raw(idx);
+        self.nodes.push(NodeSlot {
+            name: name.into(),
+            actor: Some(Box::new(actor)),
+        });
+        self.with_actor(id, |actor, ctx| actor.on_start(ctx));
+        id
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock
+    }
+
+    /// Number of nodes in the world.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Display names of all nodes, indexed by node id.
+    pub fn node_names(&self) -> Vec<String> {
+        self.nodes.iter().map(|slot| slot.name.clone()).collect()
+    }
+
+    /// Looks up a node id by its display name.
+    pub fn node_id(&self, name: &str) -> Option<NodeId> {
+        self.nodes
+            .iter()
+            .position(|slot| slot.name == name)
+            .map(|i| NodeId::from_raw(i as u32))
+    }
+
+    /// Mutable access to the network fabric (links, partitions).
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// Shared access to the network fabric.
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// The trace log (enable it to record protocol figures).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Mutable access to the trace log.
+    pub fn trace_mut(&mut self) -> &mut TraceLog {
+        &mut self.trace
+    }
+
+    /// Experiment metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Resets accumulated metrics (the clock and trace are unaffected).
+    pub fn reset_metrics(&mut self) {
+        self.metrics.reset();
+    }
+
+    /// Replaces the per-call event budget used by the blocking runners.
+    pub fn set_event_budget(&mut self, budget: u64) {
+        self.event_budget = budget;
+    }
+
+    /// Registers a new driver operation in the pending state.
+    pub fn begin_op(&mut self) -> OpId {
+        let id = OpId(self.next_op);
+        self.next_op += 1;
+        self.ops.insert(id, OpSlot::Pending);
+        id
+    }
+
+    /// The result of `op` if it has completed.
+    pub fn op_result(&self, op: OpId) -> Option<&Result<Bytes, String>> {
+        match self.ops.get(&op) {
+            Some(OpSlot::Done(result)) => Some(result),
+            _ => None,
+        }
+    }
+
+    /// Injects a driver payload for delivery to `to` at the current instant.
+    ///
+    /// The receiving actor observes `from == NodeId::DRIVER`.
+    pub fn inject(&mut self, to: NodeId, label: impl Into<String>, payload: Bytes) {
+        let msg_id = self.next_msg;
+        self.next_msg += 1;
+        let label = label.into();
+        self.trace.push(TraceEvent::Send {
+            at: self.clock,
+            from: NodeId::DRIVER,
+            to,
+            label: label.clone(),
+            bytes: payload.len() as u64,
+            msg_id,
+        });
+        self.push_event(
+            self.clock,
+            EventKind::Deliver { from: NodeId::DRIVER, to, label, payload, msg_id },
+        );
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    pub fn step(&mut self) -> bool {
+        let Some(Reverse(event)) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(event.at >= self.clock, "time must not run backwards");
+        self.clock = event.at;
+        match event.kind {
+            EventKind::Deliver { from, to, label, payload, msg_id } => {
+                self.metrics.record_delivery();
+                self.trace.push(TraceEvent::Deliver {
+                    at: self.clock,
+                    from,
+                    to,
+                    label,
+                    msg_id,
+                });
+                self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, payload));
+            }
+            EventKind::Timer { node, id, tag } => {
+                if self.cancelled.remove(&id) {
+                    return true;
+                }
+                self.trace.push(TraceEvent::Timer { at: self.clock, node, tag });
+                self.with_actor(node, |actor, ctx| actor.on_timer(ctx, tag));
+            }
+        }
+        true
+    }
+
+    /// Runs until no events remain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BudgetExhausted`] if the event budget is used up
+    /// before the queue drains.
+    pub fn run_until_idle(&mut self) -> Result<(), SimError> {
+        let mut budget = self.event_budget;
+        while self.step() {
+            budget -= 1;
+            if budget == 0 {
+                return Err(SimError::BudgetExhausted);
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs until virtual time reaches `deadline` or the queue drains.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BudgetExhausted`] if the event budget is used up
+    /// first.
+    pub fn run_until(&mut self, deadline: SimTime) -> Result<(), SimError> {
+        let mut budget = self.event_budget;
+        while let Some(Reverse(head)) = self.queue.peek() {
+            if head.at > deadline {
+                break;
+            }
+            self.step();
+            budget -= 1;
+            if budget == 0 {
+                return Err(SimError::BudgetExhausted);
+            }
+        }
+        if self.clock < deadline {
+            self.clock = deadline;
+        }
+        Ok(())
+    }
+
+    /// Runs until `op` completes and returns its payload.
+    ///
+    /// # Errors
+    ///
+    /// * [`SimError::Stalled`] — the queue drained first.
+    /// * [`SimError::BudgetExhausted`] — the event budget ran out.
+    /// * [`SimError::Op`] — the operation completed with a failure.
+    pub fn block_on(&mut self, op: OpId) -> Result<Bytes, SimError> {
+        let mut budget = self.event_budget;
+        loop {
+            if let Some(OpSlot::Done(result)) = self.ops.get(&op) {
+                let result = result.clone();
+                self.ops.remove(&op);
+                return result.map_err(SimError::Op);
+            }
+            if !self.step() {
+                return Err(SimError::Stalled);
+            }
+            budget -= 1;
+            if budget == 0 {
+                return Err(SimError::BudgetExhausted);
+            }
+        }
+    }
+
+    fn push_event(&mut self, at: SimTime, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Reverse(Scheduled { at, seq, kind }));
+    }
+
+    fn with_actor(
+        &mut self,
+        node: NodeId,
+        run: impl FnOnce(&mut dyn Actor, &mut Context<'_>),
+    ) {
+        let idx = node.index();
+        let mut actor = self.nodes[idx]
+            .actor
+            .take()
+            .unwrap_or_else(|| panic!("actor for {node} is re-entered"));
+        let mut ctx = Context::new(node, self.clock, &mut self.rng, &mut self.next_timer);
+        run(actor.as_mut(), &mut ctx);
+        let effects = std::mem::take(&mut ctx.effects);
+        self.nodes[idx].actor = Some(actor);
+        self.apply_effects(node, effects);
+    }
+
+    fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect>) {
+        for effect in effects {
+            match effect {
+                Effect::Send { to, label, payload, local_delay } => {
+                    let depart = self.clock + local_delay;
+                    let msg_id = self.next_msg;
+                    self.next_msg += 1;
+                    let bytes = payload.len() as u64;
+                    self.metrics.record_send(&label, bytes);
+                    self.trace.push(TraceEvent::Send {
+                        at: depart,
+                        from: node,
+                        to,
+                        label: label.clone(),
+                        bytes,
+                        msg_id,
+                    });
+                    match self.net.delivery_delay(node, to, bytes, &mut self.rng) {
+                        Ok(net_delay) => {
+                            self.push_event(
+                                depart + net_delay,
+                                EventKind::Deliver { from: node, to, label, payload, msg_id },
+                            );
+                        }
+                        Err(reason) => {
+                            self.metrics.record_drop();
+                            self.trace.push(TraceEvent::Drop {
+                                at: depart,
+                                from: node,
+                                to,
+                                label,
+                                reason,
+                                msg_id,
+                            });
+                        }
+                    }
+                }
+                Effect::SetTimer { id, after, tag } => {
+                    self.push_event(self.clock + after, EventKind::Timer { node, id, tag });
+                }
+                Effect::CancelTimer(id) => {
+                    self.cancelled.insert(id);
+                }
+                Effect::CompleteOp { op, result } => {
+                    self.ops.insert(op, OpSlot::Done(result));
+                }
+                Effect::Note(text) => {
+                    self.trace.push(TraceEvent::Note { at: self.clock, node, text });
+                }
+            }
+        }
+    }
+}
+
+impl fmt::Debug for World {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("World")
+            .field("now", &self.clock)
+            .field("nodes", &self.nodes.len())
+            .field("queued_events", &self.queue.len())
+            .finish_non_exhaustive()
+    }
+}
+
+/// Convenience: add a link spec between two named nodes.
+impl World {
+    /// Sets the link between two nodes in both directions.
+    pub fn set_link_bidi(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) {
+        self.net.set_link_bidi(a, b, spec);
+    }
+
+    /// Partitions two nodes (both directions).
+    pub fn partition(&mut self, a: NodeId, b: NodeId) {
+        self.net.partition(a, b);
+    }
+
+    /// Heals a partition (both directions).
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.net.heal(a, b);
+    }
+
+    /// Advances virtual time by `d`, processing any events that fall due.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BudgetExhausted`] if the event budget runs out.
+    pub fn advance(&mut self, d: SimDuration) -> Result<(), SimError> {
+        let deadline = self.clock + d;
+        self.run_until(deadline)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Replies to `ping` with `pong`; completes op embedded in driver cmd.
+    struct Ponger;
+
+    impl Actor for Ponger {
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: Bytes) {
+            if from.is_driver() {
+                // payload = op id (8 LE bytes) followed by target node.
+                let op = OpId::from_raw(u64::from_le_bytes(
+                    payload[..8].try_into().unwrap(),
+                ));
+                let target = NodeId::from_raw(u32::from_le_bytes(
+                    payload[8..12].try_into().unwrap(),
+                ));
+                let mut fwd = Vec::from(&payload[..8]);
+                fwd.push(b'!');
+                ctx.send(target, "ping", Bytes::from(fwd));
+                // Remember op by stashing it in the payload we sent; the
+                // pong comes back with the same 8 bytes.
+                let _ = op;
+            } else if payload.last() == Some(&b'!') {
+                let mut rsp = Vec::from(&payload[..8]);
+                rsp.push(b'?');
+                ctx.send(from, "pong", Bytes::from(rsp));
+            } else {
+                let op = OpId::from_raw(u64::from_le_bytes(
+                    payload[..8].try_into().unwrap(),
+                ));
+                ctx.complete(op, Bytes::from_static(b"done"));
+            }
+        }
+    }
+
+    fn driver_payload(op: OpId, target: NodeId) -> Bytes {
+        let mut v = op.as_raw().to_le_bytes().to_vec();
+        v.extend_from_slice(&target.as_raw().to_le_bytes());
+        Bytes::from(v)
+    }
+
+    #[test]
+    fn ping_pong_completes_op() {
+        let mut world = World::new(1);
+        let a = world.add_node("a", Ponger);
+        let b = world.add_node("b", Ponger);
+        let op = world.begin_op();
+        world.inject(a, "cmd", driver_payload(op, b));
+        let out = world.block_on(op).unwrap();
+        assert_eq!(&out[..], b"done");
+    }
+
+    #[test]
+    fn latency_advances_virtual_time() {
+        let mut world = World::new(1);
+        let a = world.add_node("a", Ponger);
+        let b = world.add_node("b", Ponger);
+        world.set_link_bidi(
+            a,
+            b,
+            LinkSpec::ideal().with_latency(SimDuration::from_millis(10)),
+        );
+        let op = world.begin_op();
+        world.inject(a, "cmd", driver_payload(op, b));
+        world.block_on(op).unwrap();
+        // One round trip = 20 ms.
+        assert_eq!(world.now(), SimTime::from_micros(20_000));
+    }
+
+    #[test]
+    fn identical_seeds_replay_identically() {
+        let run = |seed: u64| -> (SimTime, u64) {
+            let mut world = World::new(seed);
+            let a = world.add_node("a", Ponger);
+            let b = world.add_node("b", Ponger);
+            world.set_link_bidi(
+                a,
+                b,
+                LinkSpec::ideal()
+                    .with_latency(SimDuration::from_millis(1))
+                    .with_jitter(SimDuration::from_micros(500)),
+            );
+            let op = world.begin_op();
+            world.inject(a, "cmd", driver_payload(op, b));
+            world.block_on(op).unwrap();
+            (world.now(), world.metrics().net.sent)
+        };
+        assert_eq!(run(99), run(99));
+    }
+
+    #[test]
+    fn partition_stalls_operation() {
+        let mut world = World::new(1);
+        let a = world.add_node("a", Ponger);
+        let b = world.add_node("b", Ponger);
+        world.partition(a, b);
+        let op = world.begin_op();
+        world.inject(a, "cmd", driver_payload(op, b));
+        assert_eq!(world.block_on(op), Err(SimError::Stalled));
+        assert_eq!(world.metrics().net.dropped, 1);
+    }
+
+    #[test]
+    fn run_until_respects_deadline() {
+        let mut world = World::new(1);
+        let a = world.add_node("a", Ponger);
+        let b = world.add_node("b", Ponger);
+        world.set_link_bidi(
+            a,
+            b,
+            LinkSpec::ideal().with_latency(SimDuration::from_millis(10)),
+        );
+        let op = world.begin_op();
+        world.inject(a, "cmd", driver_payload(op, b));
+        world.run_until(SimTime::from_micros(5_000)).unwrap();
+        // Ping still in flight; op unresolved and clock exactly at deadline.
+        assert!(world.op_result(op).is_none());
+        assert_eq!(world.now(), SimTime::from_micros(5_000));
+        world.run_until_idle().unwrap();
+        assert!(world.op_result(op).is_some());
+    }
+
+    #[test]
+    fn node_lookup_by_name() {
+        let mut world = World::new(1);
+        let a = world.add_node("alpha", Ponger);
+        assert_eq!(world.node_id("alpha"), Some(a));
+        assert_eq!(world.node_id("missing"), None);
+        assert_eq!(world.node_names(), vec!["alpha".to_owned()]);
+    }
+
+    #[test]
+    fn advance_moves_clock_when_idle() {
+        let mut world = World::new(1);
+        world.advance(SimDuration::from_millis(5)).unwrap();
+        assert_eq!(world.now(), SimTime::from_micros(5_000));
+    }
+
+    struct TimerActor {
+        fired: Vec<u64>,
+    }
+
+    impl Actor for TimerActor {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_millis(1), 1);
+            let t2 = ctx.set_timer(SimDuration::from_millis(2), 2);
+            ctx.cancel_timer(t2);
+            ctx.set_timer(SimDuration::from_millis(3), 3);
+        }
+
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _payload: Bytes) {}
+
+        fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+            self.fired.push(tag);
+            ctx.note(format!("timer {tag}"));
+        }
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        let mut world = World::new(1);
+        world.trace_mut().enable();
+        world.add_node("t", TimerActor { fired: vec![] });
+        world.run_until_idle().unwrap();
+        let notes: Vec<_> = world
+            .trace()
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Note { text, .. } => Some(text.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(notes, vec!["timer 1".to_owned(), "timer 3".to_owned()]);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        struct Looper;
+        impl Actor for Looper {
+            fn on_message(&mut self, ctx: &mut Context<'_>, _from: NodeId, payload: Bytes) {
+                let me = ctx.node();
+                ctx.send(me, "loop", payload);
+            }
+        }
+        let mut world = World::new(1);
+        let a = world.add_node("a", Looper);
+        world.set_event_budget(100);
+        world.inject(a, "loop", Bytes::new());
+        assert_eq!(world.run_until_idle(), Err(SimError::BudgetExhausted));
+    }
+
+    #[test]
+    fn sim_error_display() {
+        assert!(SimError::Stalled.to_string().contains("stalled"));
+        assert!(SimError::Op("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,16 @@
+//! Application workloads for the MAGE evaluation.
+//!
+//! The paper motivates mobility attributes with concrete applications: an
+//! oil-exploration company filtering sensor data in place (§3.6), a printer
+//! management program using current-location evaluation (§3.3), and a
+//! load-triggered migration policy (§3.1). Each module here builds the
+//! corresponding scenario on the [`mage_core::Runtime`] so examples, tests
+//! and benches can run them with one call.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod loadbal;
+pub mod oil;
+pub mod printer;
+pub mod synth;

@@ -1,0 +1,201 @@
+//! The load-triggered migration policy (§3.1).
+//!
+//! The paper's first mobility-attribute sketch moves a component off its
+//! host whenever load exceeds a threshold:
+//!
+//! ```java
+//! public Remote bind() {
+//!     if ( cloc.getLoad() > 100 ) { target = selectNewHost(); ... }
+//! }
+//! ```
+//!
+//! This module drives a worker object through a seeded synthetic load
+//! trace; a [`PolicyAttribute`] re-evaluates placement before every batch
+//! of invocations.
+
+use mage_core::attribute::{BindPlan, PolicyAttribute};
+use mage_core::workload_support::test_object_class;
+use mage_core::{MageError, Runtime, Visibility};
+use mage_sim::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for the load-balancing scenario.
+#[derive(Debug, Clone)]
+pub struct LoadBalConfig {
+    /// Number of hosts the worker may occupy.
+    pub hosts: usize,
+    /// Placement epochs (load changes between epochs).
+    pub epochs: usize,
+    /// Invocations per epoch.
+    pub calls_per_epoch: usize,
+    /// Load threshold above which the worker flees (the paper's `100` on a
+    /// 0–1 scale).
+    pub threshold: f64,
+    /// Deterministic seed for the load trace.
+    pub seed: u64,
+    /// Zero-cost fabric for tests.
+    pub fast: bool,
+}
+
+impl Default for LoadBalConfig {
+    fn default() -> Self {
+        LoadBalConfig {
+            hosts: 4,
+            epochs: 12,
+            calls_per_epoch: 5,
+            threshold: 0.8,
+            seed: 2001,
+            fast: false,
+        }
+    }
+}
+
+/// What the scenario produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadBalReport {
+    /// Host occupied during each epoch.
+    pub placements: Vec<String>,
+    /// Number of migrations performed.
+    pub migrations: usize,
+    /// Epochs during which the worker sat on a host whose load exceeded
+    /// the threshold (lower is better).
+    pub hot_epochs: usize,
+    /// Total completed invocations.
+    pub calls: u64,
+    /// Virtual elapsed time.
+    pub elapsed: SimDuration,
+}
+
+/// The load-threshold attribute from §3.1, generalised to pick the least
+/// loaded host when fleeing.
+pub fn load_threshold_attribute(threshold: f64) -> PolicyAttribute {
+    PolicyAttribute::new("LoadThreshold", "TestObject", "worker", move |view| {
+        let here = view
+            .location()
+            .ok_or_else(|| MageError::NotFound("worker".into()))?;
+        if view.load(here) > threshold {
+            let (coolest, _) = view
+                .namespaces()
+                .map(|(name, id)| (name.to_owned(), view.load(id)))
+                .min_by(|a, b| a.1.total_cmp(&b.1))
+                .expect("at least one namespace");
+            Ok(BindPlan::move_to(coolest))
+        } else {
+            Ok(BindPlan::stay())
+        }
+    })
+}
+
+/// Runs the scenario and reports placements.
+///
+/// # Errors
+///
+/// Propagates runtime failures.
+pub fn run(config: &LoadBalConfig) -> Result<LoadBalReport, MageError> {
+    assert!(config.hosts >= 2, "load balancing needs at least two hosts");
+    let hosts: Vec<String> = (0..config.hosts).map(|i| format!("host{i}")).collect();
+    let mut builder = Runtime::builder()
+        .seed(config.seed)
+        .nodes(hosts.iter().cloned())
+        .class(test_object_class());
+    if config.fast {
+        builder = builder.fast();
+    }
+    let mut rt = builder.build();
+    rt.deploy_class("TestObject", "host0")?;
+    rt.create_object("TestObject", "worker", "host0", &(), Visibility::Public)?;
+
+    let attr = load_threshold_attribute(config.threshold);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let start = rt.now();
+    let mut placements = Vec::with_capacity(config.epochs);
+    let mut migrations = 0usize;
+    let mut hot_epochs = 0usize;
+    let mut calls = 0u64;
+    let mut where_now = "host0".to_owned();
+
+    let mut current_loads: std::collections::BTreeMap<String, f64> = Default::default();
+    for _ in 0..config.epochs {
+        // New load figures arrive (the dynamic environment of §1).
+        for host in &hosts {
+            let load: f64 = rng.gen();
+            rt.set_load(host, load)?;
+            current_loads.insert(host.clone(), load);
+        }
+        // The client re-binds: the attribute decides stay vs flee.
+        let stub = rt.bind(&where_now.clone(), &attr)?;
+        let placed = rt
+            .node_name(stub.location())
+            .expect("worker lives somewhere")
+            .to_owned();
+        if placed != where_now {
+            migrations += 1;
+            where_now = placed.clone();
+        }
+        // Work for this epoch happens wherever the worker sits.
+        for _ in 0..config.calls_per_epoch {
+            let _: i64 = rt.call(&stub, "inc", &())?;
+            calls += 1;
+        }
+        placements.push(where_now.clone());
+        let load_here = current_loads.get(&where_now).copied().unwrap_or(0.0);
+        hot_epochs += usize::from(load_here > config.threshold);
+    }
+
+    Ok(LoadBalReport {
+        placements,
+        migrations,
+        hot_epochs,
+        calls,
+        elapsed: rt.now() - start,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_flees_hot_hosts() {
+        let report = run(&LoadBalConfig {
+            hosts: 4,
+            epochs: 16,
+            calls_per_epoch: 2,
+            threshold: 0.5,
+            seed: 42,
+            fast: true,
+        })
+        .unwrap();
+        assert_eq!(report.placements.len(), 16);
+        assert!(report.migrations > 0, "random loads must trigger at least one flight");
+        assert_eq!(report.calls, 32);
+    }
+
+    #[test]
+    fn high_threshold_means_fewer_migrations() {
+        let lazy = run(&LoadBalConfig {
+            threshold: 0.99,
+            seed: 42,
+            fast: true,
+            ..LoadBalConfig::default()
+        })
+        .unwrap();
+        let eager = run(&LoadBalConfig {
+            threshold: 0.10,
+            seed: 42,
+            fast: true,
+            ..LoadBalConfig::default()
+        })
+        .unwrap();
+        assert!(eager.migrations >= lazy.migrations);
+    }
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let config = LoadBalConfig { seed: 9, fast: true, ..LoadBalConfig::default() };
+        let a = run(&config).unwrap();
+        let b = run(&config).unwrap();
+        assert_eq!(a, b);
+    }
+}

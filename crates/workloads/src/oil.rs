@@ -1,0 +1,168 @@
+//! The oil-exploration scenario (§3.6).
+//!
+//! Sensors generate "an enormous amount of data, which we would like to
+//! filter in place, at the sensor". A `GeoDataFilterImpl` component hops
+//! from sensor to sensor under a single combined mobility attribute —
+//! the paper's `CombinedMA` — then returns to the research lab where its
+//! accumulated results are processed locally.
+
+use mage_core::attribute::{BindPlan, Mode, PolicyAttribute, Target};
+use mage_core::workload_support::geo_data_filter_class;
+use mage_core::{MageError, Runtime, Visibility};
+use mage_sim::SimDuration;
+
+/// Configuration for the scenario.
+#[derive(Debug, Clone)]
+pub struct OilConfig {
+    /// Number of sensor namespaces (plus one lab).
+    pub sensors: usize,
+    /// Deterministic seed for the runtime.
+    pub seed: u64,
+    /// Use the fast zero-cost fabric (for tests) instead of the paper's
+    /// 10 Mb/s testbed.
+    pub fast: bool,
+}
+
+impl Default for OilConfig {
+    fn default() -> Self {
+        OilConfig { sensors: 3, seed: 2001, fast: false }
+    }
+}
+
+/// What the campaign produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OilReport {
+    /// Sensor namespaces visited, in order.
+    pub visited: Vec<String>,
+    /// Samples filtered per visited sensor.
+    pub per_sensor_yield: Vec<u64>,
+    /// Total samples delivered at the lab.
+    pub total: u64,
+    /// Virtual time the whole campaign took.
+    pub elapsed: SimDuration,
+    /// Number of object migrations the campaign performed.
+    pub migrations: usize,
+}
+
+/// Builds the paper's `CombinedMA`: one attribute whose `bind` sends the
+/// filter to the next exhausted-free sensor, or home to the lab when every
+/// sensor has been visited (§3.6's "fine-grained migration policy").
+pub fn combined_ma(sensors: Vec<String>) -> PolicyAttribute {
+    let mut remaining = sensors;
+    remaining.reverse(); // pop from the back = visit in order
+    let remaining = std::cell::RefCell::new(remaining);
+    PolicyAttribute::new(
+        "CombinedMA",
+        "GeoDataFilterImpl",
+        "geoData",
+        move |view| {
+            let next = remaining.borrow_mut().pop();
+            match next {
+                Some(sensor) => {
+                    // First hop instantiates at the sensor (REV semantics);
+                    // later hops move the existing filter (MA semantics).
+                    if view.location().is_none() {
+                        Ok(BindPlan {
+                            target: Target::Node(sensor),
+                            mode: Mode::Factory {
+                                state: Vec::new(),
+                                visibility: Visibility::Public,
+                            },
+                            guard: false,
+                        })
+                    } else {
+                        Ok(BindPlan::move_to(sensor))
+                    }
+                }
+                // All sensors done: bring the results home (COD semantics).
+                None => Ok(BindPlan::move_to("lab")),
+            }
+        },
+    )
+}
+
+/// Runs the full campaign and reports what happened.
+///
+/// # Errors
+///
+/// Propagates any runtime failure (all are bugs in a correctly configured
+/// scenario).
+pub fn run(config: &OilConfig) -> Result<OilReport, MageError> {
+    let sensor_names: Vec<String> = (1..=config.sensors).map(|i| format!("sensor{i}")).collect();
+    let mut builder = Runtime::builder()
+        .seed(config.seed)
+        .node("lab")
+        .nodes(sensor_names.iter().cloned())
+        .class(geo_data_filter_class());
+    if config.fast {
+        builder = builder.fast();
+    }
+    let mut rt = builder.build();
+    rt.deploy_class("GeoDataFilterImpl", "lab")?;
+
+    let attr = combined_ma(sensor_names.clone());
+    let start = rt.now();
+    let mut per_sensor_yield = Vec::with_capacity(config.sensors);
+    let mut visited = Vec::with_capacity(config.sensors);
+    let mut migrations = 0usize;
+
+    // while (iterator.moreSensors()) { bind; filterData; } (§3.6)
+    for expected in &sensor_names {
+        let (stub, yielded): (_, Option<u64>) =
+            rt.bind_invoke("lab", &attr, "filterData", &())?;
+        per_sensor_yield.push(yielded.unwrap_or(0));
+        let at = rt
+            .node_name(stub.location())
+            .unwrap_or("<unknown>")
+            .to_owned();
+        debug_assert_eq!(&at, expected, "filter visits sensors in order");
+        visited.push(at);
+        migrations += 1;
+    }
+    // Final bind brings geoData home; process the results at the lab.
+    let (stub, total): (_, Option<u64>) = rt.bind_invoke("lab", &attr, "processData", &())?;
+    migrations += 1;
+    debug_assert_eq!(rt.node_name(stub.location()), Some("lab"));
+
+    Ok(OilReport {
+        visited,
+        per_sensor_yield,
+        total: total.unwrap_or(0),
+        elapsed: rt.now() - start,
+        migrations,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_visits_every_sensor_and_returns_home() {
+        let report = run(&OilConfig { sensors: 3, seed: 1, fast: true }).unwrap();
+        assert_eq!(
+            report.visited,
+            vec!["sensor1".to_owned(), "sensor2".to_owned(), "sensor3".to_owned()]
+        );
+        assert_eq!(report.per_sensor_yield.len(), 3);
+        // Yields are 110, 120, 130 (node ids 1..3) per the workload class.
+        assert_eq!(report.per_sensor_yield, vec![110, 120, 130]);
+        assert_eq!(report.total, 360);
+        assert_eq!(report.migrations, 4);
+    }
+
+    #[test]
+    fn campaign_runs_on_the_paper_testbed_fabric() {
+        let report = run(&OilConfig { sensors: 2, seed: 7, fast: false }).unwrap();
+        assert_eq!(report.total, 110 + 120);
+        assert!(report.elapsed > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn scaling_sensors_scales_yield() {
+        let small = run(&OilConfig { sensors: 2, seed: 3, fast: true }).unwrap();
+        let large = run(&OilConfig { sensors: 5, seed: 3, fast: true }).unwrap();
+        assert!(large.total > small.total);
+        assert_eq!(large.visited.len(), 5);
+    }
+}

@@ -1,0 +1,186 @@
+//! The printer-management scenario (§3.3, Figure 3).
+//!
+//! "Clients could fruitfully use CLE to invoke a print server component
+//! while the job controller moved the print server components around the
+//! network in response to printer availability." Clients never know which
+//! print room hosts the spooler; CLE finds it wherever it is. Unlike Jini,
+//! the *same component* (with its queue state) survives every move.
+
+use mage_core::attribute::{Cle, Grev};
+use mage_core::object::{args_as, result_from, MobileEnv, MobileObject};
+use mage_core::{ClassDef, MageError, Runtime, Visibility};
+use mage_rmi::Fault;
+use mage_sim::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// The mobile print-server component: accepts jobs wherever it resides.
+#[derive(Debug, Default, Serialize, Deserialize)]
+pub struct PrintServer {
+    /// `(job name, print room)` pairs in submission order.
+    pub completed: Vec<(String, String)>,
+}
+
+impl MobileObject for PrintServer {
+    fn class_name(&self) -> &str {
+        "PrintServerImpl"
+    }
+
+    fn snapshot(&self) -> Result<Vec<u8>, Fault> {
+        result_from(self)
+    }
+
+    fn invoke(
+        &mut self,
+        method: &str,
+        args: &[u8],
+        env: &mut MobileEnv<'_>,
+    ) -> Result<Vec<u8>, Fault> {
+        match method {
+            "print" => {
+                let job: String = args_as(args)?;
+                env.consume(SimDuration::from_millis(3));
+                self.completed.push((job, env.node_name().to_owned()));
+                result_from(&self.completed.len())
+            }
+            "log" => result_from(&self.completed),
+            other => Err(Fault::NoSuchMethod {
+                object: "printServer".into(),
+                method: other.into(),
+            }),
+        }
+    }
+}
+
+/// Class definition for [`PrintServer`].
+pub fn print_server_class() -> ClassDef {
+    ClassDef::new("PrintServerImpl", 6_144, |state| {
+        let obj: PrintServer = if state.is_empty() {
+            PrintServer::default()
+        } else {
+            args_as(state)?
+        };
+        Ok(Box::new(obj))
+    })
+}
+
+/// Configuration for the scenario.
+#[derive(Debug, Clone)]
+pub struct PrinterConfig {
+    /// Number of print rooms the spooler roams across.
+    pub printers: usize,
+    /// Jobs submitted per placement epoch.
+    pub jobs_per_epoch: usize,
+    /// Deterministic seed.
+    pub seed: u64,
+    /// Zero-cost fabric for tests.
+    pub fast: bool,
+}
+
+impl Default for PrinterConfig {
+    fn default() -> Self {
+        PrinterConfig { printers: 3, jobs_per_epoch: 4, seed: 2001, fast: false }
+    }
+}
+
+/// What the scenario produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrinterReport {
+    /// `(job, print room)` in completion order.
+    pub jobs: Vec<(String, String)>,
+    /// Jobs completed in each print room, indexed like the rooms.
+    pub per_room: Vec<usize>,
+    /// Virtual elapsed time.
+    pub elapsed: SimDuration,
+}
+
+/// Runs the scenario: each epoch the job controller relocates the spooler
+/// to the next available print room; clients keep submitting through the
+/// same CLE attribute without ever learning where it went.
+///
+/// # Errors
+///
+/// Propagates runtime failures.
+pub fn run(config: &PrinterConfig) -> Result<PrinterReport, MageError> {
+    let rooms: Vec<String> = (1..=config.printers).map(|i| format!("printroom{i}")).collect();
+    let mut builder = Runtime::builder()
+        .seed(config.seed)
+        .node("client")
+        .node("controller")
+        .nodes(rooms.iter().cloned())
+        .class(print_server_class());
+    if config.fast {
+        builder = builder.fast();
+    }
+    let mut rt = builder.build();
+    rt.deploy_class("PrintServerImpl", "controller")?;
+    rt.create_object(
+        "PrintServerImpl",
+        "spooler",
+        "controller",
+        &PrintServer::default(),
+        Visibility::Public,
+    )?;
+
+    let start = rt.now();
+    let cle = Cle::new("PrintServerImpl", "spooler");
+    let mut job_no = 0usize;
+    for room in &rooms {
+        // The job controller responds to "printer availability" by moving
+        // the spooler into the newly available room.
+        let relocate = Grev::new("PrintServerImpl", "spooler", room.clone());
+        rt.bind("controller", &relocate)?;
+        // Clients submit jobs with CLE: they find the spooler wherever the
+        // controller put it.
+        for _ in 0..config.jobs_per_epoch {
+            job_no += 1;
+            let job = format!("job-{job_no}");
+            let (_stub, _count): (_, Option<usize>) =
+                rt.bind_invoke("client", &cle, "print", &job)?;
+        }
+    }
+
+    // Read the consolidated log through the same CLE attribute.
+    let (stub, _): (_, Option<usize>) = rt.bind_invoke("client", &cle, "print", &"final")?;
+    let jobs: Vec<(String, String)> = rt.call(&stub, "log", &())?;
+    let per_room = rooms
+        .iter()
+        .map(|room| jobs.iter().filter(|(_, r)| r == room).count())
+        .collect();
+    Ok(PrinterReport { jobs, per_room, elapsed: rt.now() - start })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_follow_the_roaming_spooler() {
+        let report = run(&PrinterConfig {
+            printers: 3,
+            jobs_per_epoch: 2,
+            seed: 1,
+            fast: true,
+        })
+        .unwrap();
+        // 3 epochs × 2 jobs + the final probe job = 7, all accounted for.
+        assert_eq!(report.jobs.len(), 7);
+        // Every epoch's jobs printed in that epoch's room.
+        assert_eq!(report.per_room, vec![2, 2, 3]);
+        // The queue state survived every migration (same component, §3.3's
+        // contrast with Jini).
+        assert_eq!(report.jobs[0].0, "job-1");
+        assert_eq!(report.jobs[0].1, "printroom1");
+    }
+
+    #[test]
+    fn single_room_degenerates_to_stationary_service() {
+        let report = run(&PrinterConfig {
+            printers: 1,
+            jobs_per_epoch: 3,
+            seed: 2,
+            fast: true,
+        })
+        .unwrap();
+        assert_eq!(report.per_room, vec![4]);
+    }
+}

@@ -1,0 +1,50 @@
+//! The §7 extensions in action: administrative domains with trust policies
+//! and admission quotas — "large, heterogenous networks, fragmented into
+//! competing and disjoint administrative domains".
+//!
+//! Run with `cargo run --example untrusted_domains`.
+
+use mage::attribute::Rev;
+use mage::workload_support::test_object_class;
+use mage::{MageError, Runtime, Visibility};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rt = Runtime::builder()
+        .nodes(["campus", "partner", "rival"])
+        .class(test_object_class())
+        .build();
+    rt.deploy_class("TestObject", "campus")?;
+    rt.create_object("TestObject", "analysis", "campus", &(), Visibility::Public)?;
+
+    // The rival domain accepts code only from its own infrastructure.
+    rt.set_trust("rival", Some(&[]))?;
+    // The partner domain accepts from the campus, but hosts at most one
+    // foreign object.
+    rt.set_trust("partner", Some(&["campus"]))?;
+    rt.set_quota("partner", Some(1), None)?;
+
+    let to_rival = Rev::new("TestObject", "analysis", "rival");
+    match rt.bind("campus", &to_rival) {
+        Err(MageError::Denied(why)) => println!("rival refused the migration: {why}"),
+        other => panic!("expected denial, got {other:?}"),
+    }
+
+    let to_partner = Rev::new("TestObject", "analysis", "partner");
+    let stub = rt.bind("campus", &to_partner)?;
+    println!(
+        "partner accepted the analysis object (now at {})",
+        rt.node_name(stub.location()).unwrap()
+    );
+
+    rt.create_object("TestObject", "second", "campus", &(), Visibility::Public)?;
+    let second = Rev::new("TestObject", "second", "partner");
+    match rt.bind("campus", &second) {
+        Err(MageError::Denied(why)) => println!("partner's quota held: {why}"),
+        other => panic!("expected quota denial, got {other:?}"),
+    }
+
+    // The object that did migrate still works — and can come home.
+    let v: i64 = rt.call(&stub, "inc", &())?;
+    println!("analysis object keeps serving across the domain boundary: {v}");
+    Ok(())
+}

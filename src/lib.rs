@@ -1,0 +1,55 @@
+//! # MAGE — Mobility Attributes Guide Execution
+//!
+//! A Rust reproduction of *“MAGE: A Distributed Programming Model”*
+//! (Barr, Pandey, Haungs — ICDCS 2001): **mobility attributes**, first-class
+//! objects that bind to program components and decide whether and where
+//! those components move before they execute.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`codec`] — compact binary marshalling (the Java-serialization stand-in)
+//! * [`sim`] — the deterministic discrete-event network testbed
+//! * [`rmi`] — the RMI-like remote invocation substrate
+//! * the MAGE runtime itself (re-exported at the root): [`Runtime`],
+//!   [`attribute`], [`coercion`], [`lock`], …
+//! * [`workloads`] — the paper's application scenarios
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mage::attribute::Rev;
+//! use mage::workload_support::test_object_class;
+//! use mage::{Runtime, Visibility};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // Two namespaces joined by the paper's 10 Mb/s Ethernet.
+//! let mut rt = Runtime::builder()
+//!     .nodes(["lab", "sensor1"])
+//!     .class(test_object_class())
+//!     .build();
+//! rt.deploy_class("TestObject", "lab")?;
+//! rt.create_object("TestObject", "counter", "lab", &(), Visibility::Public)?;
+//!
+//! // Bind a REV mobility attribute: move the counter to sensor1, run there.
+//! let rev = Rev::new("TestObject", "counter", "sensor1");
+//! let (stub, n): (_, Option<i64>) = rt.bind_invoke("lab", &rev, "inc", &())?;
+//! assert_eq!(n, Some(1));
+//! assert_eq!(rt.node_name(stub.location()), Some("sensor1"));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mage_codec as codec;
+pub use mage_rmi as rmi;
+pub use mage_sim as sim;
+pub use mage_workloads as workloads;
+
+pub use mage_core::{
+    admission, attribute, class, coercion, component, error, lock, object, proto, registry,
+    security, workload_support, BindReceipt, ClassDef, ClassLibrary, Component, DesignTriple,
+    LockKind, MageError, MageNode, MobileEnv, MobileObject, ModelKind, NodeConfig, Placement,
+    Runtime, RuntimeBuilder, Visibility,
+};

@@ -1,0 +1,83 @@
+//! Workspace-level end-to-end tests: the paper's scenarios running over
+//! the full stack (codec → sim → rmi → core → workloads).
+
+use mage::workloads::{loadbal, oil, printer};
+
+#[test]
+fn oil_campaign_matches_expected_totals_on_testbed_fabric() {
+    let report = oil::run(&oil::OilConfig { sensors: 3, seed: 2001, fast: false }).unwrap();
+    assert_eq!(report.visited.len(), 3);
+    assert_eq!(report.total, 110 + 120 + 130);
+    assert_eq!(report.migrations, 4);
+    // On the 10 Mb/s testbed a 4-migration campaign takes real virtual time.
+    assert!(report.elapsed.as_millis_f64() > 100.0);
+}
+
+#[test]
+fn oil_campaign_is_deterministic() {
+    let a = oil::run(&oil::OilConfig { sensors: 4, seed: 5, fast: false }).unwrap();
+    let b = oil::run(&oil::OilConfig { sensors: 4, seed: 5, fast: false }).unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn printer_jobs_never_lost_across_migrations() {
+    for printers in 1..=4 {
+        let report = printer::run(&printer::PrinterConfig {
+            printers,
+            jobs_per_epoch: 3,
+            seed: 11,
+            fast: true,
+        })
+        .unwrap();
+        let expected = printers * 3 + 1; // +1 final probe job
+        assert_eq!(report.jobs.len(), expected, "{printers} printers");
+        assert_eq!(report.per_room.iter().sum::<usize>(), expected);
+    }
+}
+
+#[test]
+fn load_balancer_reduces_hot_epochs_versus_never_moving() {
+    // With a threshold of 1.0 the worker never moves; compare hot epochs.
+    let pinned = loadbal::run(&loadbal::LoadBalConfig {
+        threshold: 1.01,
+        seed: 33,
+        fast: true,
+        ..loadbal::LoadBalConfig::default()
+    })
+    .unwrap();
+    let adaptive = loadbal::run(&loadbal::LoadBalConfig {
+        threshold: 0.6,
+        seed: 33,
+        fast: true,
+        ..loadbal::LoadBalConfig::default()
+    })
+    .unwrap();
+    assert_eq!(pinned.migrations, 0);
+    assert!(adaptive.migrations > 0);
+    // Moving off hot hosts cannot be worse than staying pinned under the
+    // same load trace.
+    assert!(adaptive.hot_epochs <= pinned.hot_epochs);
+}
+
+#[test]
+fn facade_reexports_compose() {
+    // Exercise the facade's re-exported layers together in one program.
+    use mage::attribute::Grev;
+    use mage::workload_support::test_object_class;
+    use mage::{Runtime, Visibility};
+
+    let mut rt = Runtime::builder()
+        .fast()
+        .nodes(["a", "b"])
+        .class(test_object_class())
+        .build();
+    rt.deploy_class("TestObject", "a").unwrap();
+    rt.create_object("TestObject", "x", "a", &(), Visibility::Public).unwrap();
+    let attr = Grev::new("TestObject", "x", "b");
+    let stub = rt.bind("a", &attr).unwrap();
+    let wire = mage::codec::to_bytes(&42u32).unwrap();
+    let back: u32 = mage::codec::from_bytes(&wire).unwrap();
+    assert_eq!(back, 42);
+    assert_eq!(stub.location(), rt.node_id("b").unwrap());
+}

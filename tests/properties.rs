@@ -1,0 +1,36 @@
+//! Property-based tests over the full stack: arbitrary interleavings of
+//! mobility-attribute applications preserve the system's invariants.
+
+use mage::workloads::synth::{replay, schedule};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Exactly-once invocation: however components are shuffled around,
+    /// the shared counter equals the number of successful steps.
+    #[test]
+    fn random_schedules_count_exactly_once(
+        seed in any::<u64>(),
+        hosts in 2usize..6,
+        len in 1usize..40,
+    ) {
+        let steps = schedule(seed, hosts, len);
+        let report = replay(seed, hosts, &steps).unwrap();
+        prop_assert_eq!(report.completed + report.coercion_errors, len);
+        prop_assert_eq!(report.final_count, report.completed as i64);
+    }
+
+    /// Replaying the same schedule twice gives bit-identical reports.
+    #[test]
+    fn schedules_replay_deterministically(
+        seed in any::<u64>(),
+        hosts in 2usize..5,
+        len in 1usize..25,
+    ) {
+        let steps = schedule(seed, hosts, len);
+        let a = replay(seed, hosts, &steps).unwrap();
+        let b = replay(seed, hosts, &steps).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}
