@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mage_core::attribute::{Cle, Grev, Rpc};
-use mage_core::workload_support::test_object_class;
+use mage_core::workload_support::{methods, test_object_class};
 use mage_core::{Runtime, Visibility};
 use mage_rmi::CostModel;
 
@@ -14,7 +14,9 @@ fn runtime() -> Runtime {
         .class(test_object_class())
         .build();
     rt.deploy_class("TestObject", "host1").unwrap();
-    rt.create_object("TestObject", "obj", "host1", &(), Visibility::Public)
+    rt.session("host1")
+        .unwrap()
+        .create_object("TestObject", "obj", &(), Visibility::Public)
         .unwrap();
     rt
 }
@@ -22,31 +24,31 @@ fn runtime() -> Runtime {
 fn bench_attributes(c: &mut Criterion) {
     let mut group = c.benchmark_group("attribute");
     group.bench_function("rpc_invoke", |b| {
-        let mut rt = runtime();
+        let rt = runtime();
+        let host2 = rt.session("host2").unwrap();
         let attr = Rpc::new("TestObject", "obj", "host1");
         // Bind from the remote namespace: RPC applied locally is the
         // coercion matrix's "Exception thrown" cell.
-        let stub = rt.bind("host2", &attr).unwrap();
-        b.iter(|| {
-            let v: i64 = rt.call(&stub, "inc", &()).unwrap();
-            v
-        })
+        let stub = host2.bind(&attr).unwrap();
+        b.iter(|| host2.call(&stub, methods::INC, &()).unwrap())
     });
     group.bench_function("cle_bind_invoke", |b| {
-        let mut rt = runtime();
+        let rt = runtime();
+        let host2 = rt.session("host2").unwrap();
         let attr = Cle::new("TestObject", "obj");
         b.iter(|| {
-            let (_s, r): (_, Option<i64>) = rt.bind_invoke("host2", &attr, "inc", &()).unwrap();
+            let (_s, r) = host2.bind_invoke(&attr, methods::INC, &()).unwrap();
             r
         })
     });
     group.bench_function("grev_migrate_roundtrip", |b| {
-        let mut rt = runtime();
+        let rt = runtime();
+        let host1 = rt.session("host1").unwrap();
         let to2 = Grev::new("TestObject", "obj", "host2");
         let to1 = Grev::new("TestObject", "obj", "host1");
         b.iter(|| {
-            rt.bind("host1", &to2).unwrap();
-            rt.bind("host1", &to1).unwrap();
+            host1.bind(&to2).unwrap();
+            host1.bind(&to1).unwrap();
         })
     });
     group.bench_function("table3_full_harness", |b| {

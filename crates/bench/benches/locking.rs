@@ -19,8 +19,11 @@ fn bench_locking(c: &mut Criterion) {
     for (name, fair) in [("unfair", false), ("fair", true)] {
         group.bench_function(format!("contended_drain_{name}"), |b| {
             b.iter(|| {
-                let mut table: LockTable<u32> =
-                    if fair { LockTable::fair() } else { LockTable::new() };
+                let mut table: LockTable<u32> = if fair {
+                    LockTable::fair()
+                } else {
+                    LockTable::new()
+                };
                 table.request("o", NodeId::from_raw(100), away, here, 0);
                 for i in 0..64u32 {
                     let target = if i % 2 == 0 { here } else { away };

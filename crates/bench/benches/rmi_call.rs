@@ -15,7 +15,8 @@ fn build() -> (World, mage_sim::NodeId, mage_sim::NodeId) {
             cfg,
             "svc",
             Box::new(|_m: &str, args: &[u8], _e: &mut mage_rmi::ObjectEnv<'_>| {
-                let n: u64 = mage_rmi::decode_result(args).map_err(|e| Fault::App(e.to_string()))?;
+                let n: u64 =
+                    mage_rmi::decode_result(args).map_err(|e| Fault::App(e.to_string()))?;
                 Ok(encode_args(&(n + 1)).expect("encodes"))
             }),
         ),
@@ -29,13 +30,27 @@ fn bench_rmi(c: &mut Criterion) {
     group.bench_function("warm_call_roundtrip", |b| {
         let (mut world, client, server) = build();
         // Prime the connection outside the measurement.
-        drive_call(&mut world, client, server, "svc", "m", encode_args(&1u64).unwrap())
-            .unwrap()
-            .unwrap();
+        drive_call(
+            &mut world,
+            client,
+            server,
+            "svc",
+            "m",
+            encode_args(&1u64).unwrap(),
+        )
+        .unwrap()
+        .unwrap();
         b.iter(|| {
-            drive_call(&mut world, client, server, "svc", "m", encode_args(&1u64).unwrap())
-                .unwrap()
-                .unwrap()
+            drive_call(
+                &mut world,
+                client,
+                server,
+                "svc",
+                "m",
+                encode_args(&1u64).unwrap(),
+            )
+            .unwrap()
+            .unwrap()
         })
     });
     group.bench_function("world_setup", |b| b.iter(build));

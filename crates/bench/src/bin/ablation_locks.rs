@@ -17,7 +17,10 @@ struct Outcome {
 }
 
 fn scenario(fair: bool) -> Outcome {
-    let node_cfg = NodeConfig { fair_locks: fair, ..NodeConfig::default() };
+    let node_cfg = NodeConfig {
+        fair_locks: fair,
+        ..NodeConfig::default()
+    };
     let readers: Vec<String> = (0..5).map(|i| format!("reader{i}")).collect();
     let mut rt = Runtime::builder()
         .fast()
@@ -27,36 +30,44 @@ fn scenario(fair: bool) -> Outcome {
         .class(test_object_class())
         .build();
     rt.deploy_class("TestObject", "host").unwrap();
-    rt.create_object("TestObject", "C", "host", &(), Visibility::Public).unwrap();
+    rt.session("host")
+        .unwrap()
+        .create_object("TestObject", "C", &(), Visibility::Public)
+        .unwrap();
 
-    let first = rt.lock_async("holder", "C", "host").unwrap();
-    rt.wait(first).unwrap();
+    let holder = rt.session("holder").unwrap();
+    let mover = rt.session("mover").unwrap();
+    holder.lock_async("C", "host").unwrap().wait().unwrap();
     let t0 = rt.now();
-    let mv = rt.lock_async("mover", "C", "mover").unwrap();
+    let mv = mover.lock_async("C", "mover").unwrap();
     rt.advance(SimDuration::from_millis(5)).unwrap();
 
     let mut stays_jumped = 0;
     let mut still_queued = Vec::new();
     for reader in &readers {
-        let req = rt.lock_async(reader, "C", "host").unwrap();
+        let session = rt.session(reader).unwrap();
+        let req = session.lock_async("C", "host").unwrap();
         rt.advance(SimDuration::from_millis(5)).unwrap();
-        if rt.is_done(req) {
+        if req.is_done() {
             stays_jumped += 1; // granted past the queued move
-            rt.wait(req).unwrap();
-            rt.unlock(reader, "C").unwrap();
+            req.wait().unwrap();
+            session.unlock("C").unwrap();
         } else {
-            still_queued.push((reader.clone(), req));
+            still_queued.push((session, req));
         }
     }
-    rt.unlock("holder", "C").unwrap();
-    rt.wait(mv).unwrap();
+    holder.unlock("C").unwrap();
+    mv.wait().unwrap();
     let move_wait_ms = (rt.now() - t0).as_millis_f64();
-    rt.unlock("mover", "C").unwrap();
-    for (reader, req) in still_queued {
-        rt.wait(req).unwrap();
-        rt.unlock(&reader, "C").unwrap();
+    mover.unlock("C").unwrap();
+    for (session, req) in still_queued {
+        req.wait().unwrap();
+        session.unlock("C").unwrap();
     }
-    Outcome { stays_jumped, move_wait_ms }
+    Outcome {
+        stays_jumped,
+        move_wait_ms,
+    }
 }
 
 fn main() {

@@ -3,7 +3,7 @@
 //! protocol traces rather than drawn by hand.
 
 use mage_core::attribute::{Cod, MobileAgent, Rev, Rpc};
-use mage_core::workload_support::test_object_class;
+use mage_core::workload_support::{methods, test_object_class};
 use mage_core::{Runtime, Visibility};
 
 fn fresh() -> Runtime {
@@ -20,10 +20,14 @@ fn main() {
     {
         let mut rt = fresh();
         rt.deploy_class("TestObject", "B").unwrap();
-        rt.create_object("TestObject", "C", "B", &(), Visibility::Private).unwrap();
-        rt.world_mut().trace_mut().clear();
+        rt.session("B")
+            .unwrap()
+            .create_object("TestObject", "C", &(), Visibility::Private)
+            .unwrap();
+        let a = rt.session("A").unwrap();
         let attr = Rpc::new("TestObject", "C", "B");
-        let (_s, _r): (_, Option<i64>) = rt.bind_invoke("A", &attr, "inc", &()).unwrap();
+        rt.world_mut().trace_mut().clear();
+        let (_s, _r) = a.bind_invoke(&attr, methods::INC, &()).unwrap();
         print!("{}", rt.trace_rendered());
         println!("(C stays on B; P on A invokes through a stub)");
     }
@@ -33,7 +37,11 @@ fn main() {
         rt.deploy_class("TestObject", "B").unwrap();
         rt.world_mut().trace_mut().clear();
         let attr = Cod::factory("TestObject", "C");
-        let (_s, _r): (_, Option<i64>) = rt.bind_invoke("A", &attr, "inc", &()).unwrap();
+        let (_s, _r) = rt
+            .session("A")
+            .unwrap()
+            .bind_invoke(&attr, methods::INC, &())
+            .unwrap();
         print!("{}", rt.trace_rendered());
         println!("(C's class is downloaded to A; execution is local)");
     }
@@ -43,7 +51,11 @@ fn main() {
         rt.deploy_class("TestObject", "A").unwrap();
         rt.world_mut().trace_mut().clear();
         let attr = Rev::factory("TestObject", "C", "B");
-        let (_s, _r): (_, Option<i64>) = rt.bind_invoke("A", &attr, "inc", &()).unwrap();
+        let (_s, _r) = rt
+            .session("A")
+            .unwrap()
+            .bind_invoke(&attr, methods::INC, &())
+            .unwrap();
         print!("{}", rt.trace_rendered());
         println!("(P moves C to B, computes there, receives the result)");
     }
@@ -51,10 +63,12 @@ fn main() {
     {
         let mut rt = fresh();
         rt.deploy_class("TestObject", "A").unwrap();
-        rt.create_object("TestObject", "C", "A", &(), Visibility::Public).unwrap();
+        let a = rt.session("A").unwrap();
+        a.create_object("TestObject", "C", &(), Visibility::Public)
+            .unwrap();
         rt.world_mut().trace_mut().clear();
         let attr = MobileAgent::new("TestObject", "C", "B");
-        let (_s, _r): (_, Option<i64>) = rt.bind_invoke("A", &attr, "inc", &()).unwrap();
+        let (_s, _r) = a.bind_invoke(&attr, methods::INC, &()).unwrap();
         rt.run_until_idle().unwrap();
         print!("{}", rt.trace_rendered());
         println!("(C moves itself to B and keeps executing; no result returns)");

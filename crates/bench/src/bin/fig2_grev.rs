@@ -3,7 +3,7 @@
 //! computation target B.
 
 use mage_core::attribute::Grev;
-use mage_core::workload_support::test_object_class;
+use mage_core::workload_support::{methods, test_object_class};
 use mage_core::{Runtime, Visibility};
 
 fn main() {
@@ -15,10 +15,17 @@ fn main() {
         .trace(true)
         .build();
     rt.deploy_class("TestObject", "D").unwrap();
-    rt.create_object("TestObject", "C", "D", &(), Visibility::Public).unwrap();
+    rt.session("D")
+        .unwrap()
+        .create_object("TestObject", "C", &(), Visibility::Public)
+        .unwrap();
     rt.world_mut().trace_mut().clear();
     let attr = Grev::new("TestObject", "C", "B");
-    let (_s, result): (_, Option<i64>) = rt.bind_invoke("P", &attr, "inc", &()).unwrap();
+    let (_s, result) = rt
+        .session("P")
+        .unwrap()
+        .bind_invoke(&attr, methods::INC, &())
+        .unwrap();
     print!("{}", rt.trace_rendered());
     println!("(result delivered to P: {result:?})");
 }

@@ -2,7 +2,7 @@
 //! its invocation request, wherever the job controller last put it.
 
 use mage_core::attribute::{Cle, Grev};
-use mage_core::workload_support::test_object_class;
+use mage_core::workload_support::{methods, test_object_class};
 use mage_core::{Runtime, Visibility};
 
 fn main() {
@@ -14,13 +14,17 @@ fn main() {
         .trace(true)
         .build();
     rt.deploy_class("TestObject", "X").unwrap();
-    rt.create_object("TestObject", "C", "X", &(), Visibility::Public).unwrap();
+    rt.session("X")
+        .unwrap()
+        .create_object("TestObject", "C", &(), Visibility::Public)
+        .unwrap();
+    let p = rt.session("P").unwrap();
     // The controller moves C while P is not looking.
     let relocate = Grev::new("TestObject", "C", "Y");
-    rt.bind("P", &relocate).unwrap();
+    p.bind(&relocate).unwrap();
     rt.world_mut().trace_mut().clear();
     let attr = Cle::new("TestObject", "C");
-    let (stub, _): (_, Option<i64>) = rt.bind_invoke("P", &attr, "inc", &()).unwrap();
+    let (stub, _) = p.bind_invoke(&attr, methods::INC, &()).unwrap();
     print!("{}", rt.trace_rendered());
     println!(
         "(P found C at {} and invoked it there; no target was specified)",

@@ -16,26 +16,32 @@ fn main() {
         .build();
     rt.deploy_class("TestObject", "jvm1").unwrap();
     rt.deploy_class("GeoDataFilterImpl", "jvm1").unwrap();
-    rt.create_object("TestObject", "a", "jvm1", &(), Visibility::Public).unwrap();
-    rt.create_object("TestObject", "b", "jvm1", &(), Visibility::Public).unwrap();
+    let jvm1 = rt.session("jvm1").unwrap();
+    jvm1.create_object("TestObject", "a", &(), Visibility::Public)
+        .unwrap();
+    jvm1.create_object("TestObject", "b", &(), Visibility::Public)
+        .unwrap();
     // Scatter objects with attributes, as in the figure.
     let rev = Rev::new("TestObject", "a", "jvm2");
-    rt.bind("jvm1", &rev).unwrap();
+    jvm1.bind(&rev).unwrap();
     let rev2 = Rev::factory("GeoDataFilterImpl", "g", "jvm3");
-    rt.bind("jvm1", &rev2).unwrap();
+    jvm1.bind(&rev2).unwrap();
     let cle = Cle::new("TestObject", "b");
-    rt.bind("jvm1", &cle).unwrap();
+    jvm1.bind(&cle).unwrap();
 
     for ns in ["jvm1", "jvm2", "jvm3"] {
         let id = rt.node_id(ns).unwrap();
         println!("\n[{ns}]  (JVM + MAGE RTS: MageServer, MageExternalServer, Registry)");
-        for (obj, loc) in rt.directory() {
+        for (obj, loc) in jvm1.directory() {
             if loc == id {
                 println!("   ({obj})  <- object hosted here");
             }
         }
     }
-    println!("\nMessages exchanged so far: {}", rt.world().metrics().net.sent);
+    println!(
+        "\nMessages exchanged so far: {}",
+        rt.world().metrics().net.sent
+    );
     println!("(hexagons in the paper = mobility attributes: REV bound to 'a',");
     println!(" REV factory bound to 'g', CLE bound to 'b')");
 }

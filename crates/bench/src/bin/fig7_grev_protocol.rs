@@ -6,7 +6,7 @@
 //! appear as a note; 4 carries the object state and is acknowledged.
 
 use mage_core::attribute::Grev;
-use mage_core::workload_support::test_object_class;
+use mage_core::workload_support::{methods, test_object_class};
 use mage_core::{Runtime, Visibility};
 
 fn main() {
@@ -18,10 +18,17 @@ fn main() {
         .trace(true)
         .build();
     rt.deploy_class("TestObject", "Y").unwrap();
-    rt.create_object("TestObject", "C", "Y", &(), Visibility::Public).unwrap();
+    rt.session("Y")
+        .unwrap()
+        .create_object("TestObject", "C", &(), Visibility::Public)
+        .unwrap();
     rt.world_mut().trace_mut().clear();
     let attr = Grev::new("TestObject", "C", "Z");
-    let (_s, result): (_, Option<i64>) = rt.bind_invoke("GREV", &attr, "inc", &()).unwrap();
+    let (_s, result) = rt
+        .session("GREV")
+        .unwrap()
+        .bind_invoke(&attr, methods::INC, &())
+        .unwrap();
     print!("{}", rt.trace_rendered());
     println!("(paper numbering: 1/2 = the find request/response pair locating C,");
     println!(" 3 = moveTo, 4 = receive/transfer, 5 = moveTo ack, 6 = invoke,");

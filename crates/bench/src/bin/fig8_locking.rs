@@ -15,35 +15,47 @@ fn main() {
         .class(test_object_class())
         .build();
     rt.deploy_class("TestObject", "host").unwrap();
-    rt.create_object("TestObject", "C", "host", &(), Visibility::Public).unwrap();
+    rt.session("host")
+        .unwrap()
+        .create_object("TestObject", "C", &(), Visibility::Public)
+        .unwrap();
+    let a = rt.session("A").unwrap();
+    let b = rt.session("B").unwrap();
 
     // A.f wants to move C to A; B.g wants C to stay at host.
     println!("lock queue for C (hosted at `host`):");
-    let mover = rt.lock_async("A", "C", "A").unwrap();
-    let kind = rt.wait(mover).unwrap().lock_kind.unwrap();
+    let kind = a.lock_async("C", "A").unwrap().wait().unwrap();
     println!("  A requests lock with T=A     -> granted {kind:?} (exclusive)");
-    let stayer = rt.lock_async("B", "C", "host").unwrap();
+    let stayer = b.lock_async("C", "host").unwrap();
     rt.advance(SimDuration::from_millis(5)).unwrap();
     println!(
         "  B requests lock with T=host  -> {}",
-        if rt.is_done(stayer) { "granted" } else { "queued behind the move lock" }
+        if stayer.is_done() {
+            "granted"
+        } else {
+            "queued behind the move lock"
+        }
     );
-    let late_mover = rt.lock_async("B", "C", "B").unwrap();
+    let late_mover = b.lock_async("C", "B").unwrap();
     rt.advance(SimDuration::from_millis(5)).unwrap();
     println!(
         "  B requests lock with T=B     -> {}",
-        if rt.is_done(late_mover) { "granted" } else { "queued" }
+        if late_mover.is_done() {
+            "granted"
+        } else {
+            "queued"
+        }
     );
     println!("  A unlocks C");
-    rt.unlock("A", "C").unwrap();
-    let k1 = rt.wait(stayer).unwrap().lock_kind.unwrap();
+    a.unlock("C").unwrap();
+    let k1 = stayer.wait().unwrap();
     assert_eq!(k1, LockKind::Stay);
     println!("    -> B's stay request granted first ({k1:?}), jumping the queued move");
     rt.advance(SimDuration::from_millis(5)).unwrap();
-    assert!(!rt.is_done(late_mover), "move waits for the reader");
+    assert!(!late_mover.is_done(), "move waits for the reader");
     println!("    -> B's move request still waits (stay locks are shared, move is exclusive)");
-    rt.unlock("B", "C").unwrap();
-    let k2 = rt.wait(late_mover).unwrap().lock_kind.unwrap();
+    b.unlock("C").unwrap();
+    let k2 = late_mover.wait().unwrap();
     println!("  B unlocks C -> queued move finally granted ({k2:?})");
     println!("\n(\"MAGE's current locking implementation unfairly favors");
     println!("  invocations that stay lock their object\" — §4.4)");

@@ -14,7 +14,11 @@ fn main() {
         "block (B)", "RPC total(ms)", "REV total(ms)", "winner"
     );
     for point in run_sweep(&sizes, calls) {
-        let winner = if point.rev_ms < point.rpc_ms { "REV" } else { "RPC" };
+        let winner = if point.rev_ms < point.rpc_ms {
+            "REV"
+        } else {
+            "RPC"
+        };
         println!(
             "{:>12} {:>14.1} {:>14.1} {:>10}",
             point.block_bytes, point.rpc_ms, point.rev_ms, winner

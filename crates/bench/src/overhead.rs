@@ -13,7 +13,7 @@
 //! the same operation.
 
 use mage_core::attribute::{Cod, Grev, MobileAgent, Rev, Rpc};
-use mage_core::workload_support::test_object_class;
+use mage_core::workload_support::{methods, test_object_class};
 use mage_core::{Runtime, Visibility};
 use mage_rmi::{client_endpoint, drive_call, server_endpoint, Config as RmiConfig, CostModel};
 use mage_sim::{LinkSpec, World};
@@ -39,7 +39,10 @@ pub const PAPER_TABLE_3: [(&str, f64, f64); 5] = [
 ];
 
 fn rmi_config(cost: CostModel) -> RmiConfig {
-    RmiConfig { cost, ..RmiConfig::default() }
+    RmiConfig {
+        cost,
+        ..RmiConfig::default()
+    }
 }
 
 fn mage_runtime(cost: CostModel, seed: u64) -> Runtime {
@@ -101,14 +104,17 @@ pub fn java_rmi(cost: CostModel, iterations: usize) -> Row {
 pub fn mage_rmi(cost: CostModel, iterations: usize) -> Row {
     let mut rt = mage_runtime(cost, 2002);
     rt.deploy_class("TestObject", "host2").unwrap();
-    rt.create_object("TestObject", "test", "host2", &(), Visibility::Private)
+    rt.session("host2")
+        .unwrap()
+        .create_object("TestObject", "test", &(), Visibility::Private)
         .unwrap();
+    let client = rt.session("host1").unwrap();
     let attr = Rpc::new("TestObject", "test", "host2");
-    let stub = rt.bind("host1", &attr).unwrap();
+    let stub = client.bind(&attr).unwrap();
     let mut times = Vec::with_capacity(iterations);
     for _ in 0..iterations {
         let start = rt.now();
-        let _: i64 = rt.call(&stub, "inc", &()).unwrap();
+        let _ = client.call(&stub, methods::INC, &()).unwrap();
         times.push((rt.now() - start).as_millis_f64());
     }
     summarize("Mage's RMI", &times)
@@ -121,12 +127,12 @@ pub fn mage_rmi(cost: CostModel, iterations: usize) -> Row {
 pub fn tcod(cost: CostModel, iterations: usize) -> Row {
     let mut rt = mage_runtime(cost, 2003);
     rt.deploy_class("TestObject", "host2").unwrap();
+    let client = rt.session("host1").unwrap();
     let attr = Cod::factory("TestObject", "test");
     let mut times = Vec::with_capacity(iterations);
     for _ in 0..iterations {
         let start = rt.now();
-        let (_stub, _r): (_, Option<i64>) =
-            rt.bind_invoke("host1", &attr, "inc", &()).unwrap();
+        let (_stub, _r) = client.bind_invoke(&attr, methods::INC, &()).unwrap();
         times.push((rt.now() - start).as_millis_f64());
     }
     summarize("Traditional COD (TCOD)", &times)
@@ -139,18 +145,19 @@ pub fn tcod(cost: CostModel, iterations: usize) -> Row {
 pub fn trev(cost: CostModel, iterations: usize) -> Row {
     let mut rt = mage_runtime(cost, 2004);
     rt.deploy_class("TestObject", "host1").unwrap();
-    rt.create_object("TestObject", "test", "host1", &(), Visibility::Public)
+    let client = rt.session("host1").unwrap();
+    client
+        .create_object("TestObject", "test", &(), Visibility::Public)
         .unwrap();
     let attr = Rev::new("TestObject", "test", "host2").guarded();
     let reset = Grev::new("TestObject", "test", "host1");
     let mut times = Vec::with_capacity(iterations);
     for i in 0..iterations {
         let start = rt.now();
-        let (_stub, _r): (_, Option<i64>) =
-            rt.bind_invoke("host1", &attr, "inc", &()).unwrap();
+        let (_stub, _r) = client.bind_invoke(&attr, methods::INC, &()).unwrap();
         times.push((rt.now() - start).as_millis_f64());
         if i + 1 < iterations {
-            rt.bind("host1", &reset).unwrap(); // unmeasured reset
+            client.bind(&reset).unwrap(); // unmeasured reset
         }
     }
     summarize("Traditional REV (TREV)", &times)
@@ -161,19 +168,20 @@ pub fn trev(cost: CostModel, iterations: usize) -> Row {
 pub fn mobile_agent(cost: CostModel, iterations: usize) -> Row {
     let mut rt = mage_runtime(cost, 2005);
     rt.deploy_class("TestObject", "host1").unwrap();
-    rt.create_object("TestObject", "test", "host1", &(), Visibility::Public)
+    let client = rt.session("host1").unwrap();
+    client
+        .create_object("TestObject", "test", &(), Visibility::Public)
         .unwrap();
     let attr = MobileAgent::new("TestObject", "test", "host2").guarded();
     let reset = Grev::new("TestObject", "test", "host1");
     let mut times = Vec::with_capacity(iterations);
     for i in 0..iterations {
         let start = rt.now();
-        let (_stub, _r): (_, Option<i64>) =
-            rt.bind_invoke("host1", &attr, "inc", &()).unwrap();
+        let (_stub, _r) = client.bind_invoke(&attr, methods::INC, &()).unwrap();
         times.push((rt.now() - start).as_millis_f64());
         rt.run_until_idle().unwrap(); // drain the one-way invoke
         if i + 1 < iterations {
-            rt.bind("host1", &reset).unwrap();
+            client.bind(&reset).unwrap();
         }
     }
     summarize("MA", &times)
@@ -228,7 +236,10 @@ mod tests {
         // Paper: TREV ≈ 4.1× RMI amortized; MA ≈ 3.2×. Accept 2.5–6×.
         let trev_factor = trev.amortized_ms / rmi.amortized_ms;
         let ma_factor = ma.amortized_ms / rmi.amortized_ms;
-        assert!((2.5..6.0).contains(&trev_factor), "TREV factor {trev_factor:.2}");
+        assert!(
+            (2.5..6.0).contains(&trev_factor),
+            "TREV factor {trev_factor:.2}"
+        );
         assert!((2.0..5.0).contains(&ma_factor), "MA factor {ma_factor:.2}");
         assert!(ma_factor < trev_factor, "MA cheaper than TREV");
     }

@@ -9,7 +9,7 @@
 
 use mage_core::attribute::{Rev, Rpc};
 use mage_core::object::{args_as, result_from, MobileEnv, MobileObject};
-use mage_core::{ClassDef, Runtime, Visibility};
+use mage_core::{ClassDef, Method, Runtime, Visibility};
 use mage_rmi::Fault;
 use mage_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -41,7 +41,9 @@ impl MobileObject for Analyzer {
         match method {
             "analyze" => {
                 let block: Vec<u8> = args_as(args)?;
-                env.consume(SimDuration::from_micros(50 * (1 + block.len() as u64 / 4096)));
+                env.consume(SimDuration::from_micros(
+                    50 * (1 + block.len() as u64 / 4096),
+                ));
                 self.processed += block.len() as u64;
                 result_from(&self.processed)
             }
@@ -59,6 +61,11 @@ impl MobileObject for Analyzer {
         }
     }
 }
+
+/// Typed descriptor: analyze a shipped block of sensor data.
+pub const ANALYZE: Method<Vec<u8>, u64> = Method::new("analyze");
+/// Typed descriptor: analyze a co-located block (only its size travels).
+pub const ANALYZE_LOCAL: Method<u64, u64> = Method::new("analyze_local");
 
 /// Class definition for the analyzer (a mid-sized application class).
 pub fn analyzer_class() -> ClassDef {
@@ -97,16 +104,19 @@ pub fn run_sweep(block_sizes: &[usize], calls: usize) -> Vec<SweepPoint> {
             let rpc_ms = {
                 let mut rt = base_runtime();
                 rt.deploy_class("Analyzer", "lab").unwrap();
-                rt.create_object("Analyzer", "an", "lab", &(), Visibility::Private)
+                rt.session("lab")
+                    .unwrap()
+                    .create_object("Analyzer", "an", &(), Visibility::Private)
                     .unwrap();
                 // The data is at the sensor: a client there invokes the
                 // remote analyzer, shipping one block per call.
+                let sensor = rt.session("sensor").unwrap();
                 let attr = Rpc::new("Analyzer", "an", "lab");
-                let stub = rt.bind("sensor", &attr).unwrap();
+                let stub = sensor.bind(&attr).unwrap();
                 let block = vec![0u8; block_bytes];
                 let start = rt.now();
                 for _ in 0..calls {
-                    let _: u64 = rt.call(&stub, "analyze", &block).unwrap();
+                    let _ = sensor.call(&stub, ANALYZE, &block).unwrap();
                 }
                 (rt.now() - start).as_millis_f64()
             };
@@ -115,19 +125,24 @@ pub fn run_sweep(block_sizes: &[usize], calls: usize) -> Vec<SweepPoint> {
             let rev_ms = {
                 let mut rt = base_runtime();
                 rt.deploy_class("Analyzer", "lab").unwrap();
-                rt.create_object("Analyzer", "an", "lab", &(), Visibility::Private)
+                let lab = rt.session("lab").unwrap();
+                lab.create_object("Analyzer", "an", &(), Visibility::Private)
                     .unwrap();
                 let start = rt.now();
                 let attr = Rev::new("Analyzer", "an", "sensor");
-                let stub = rt.bind("lab", &attr).unwrap();
+                let stub = lab.bind(&attr).unwrap();
                 for _ in 0..calls {
-                    let _: u64 = rt
-                        .call(&stub, "analyze_local", &(block_bytes as u64))
+                    let _ = lab
+                        .call(&stub, ANALYZE_LOCAL, &(block_bytes as u64))
                         .unwrap();
                 }
                 (rt.now() - start).as_millis_f64()
             };
-            SweepPoint { block_bytes, rpc_ms, rev_ms }
+            SweepPoint {
+                block_bytes,
+                rpc_ms,
+                rev_ms,
+            }
         })
         .collect()
 }
@@ -179,6 +194,9 @@ mod tests {
         let points = run_sweep(&[1_024, 262_144], 5);
         assert!(points[1].rpc_ms > points[0].rpc_ms * 2.0);
         let rev_growth = points[1].rev_ms / points[0].rev_ms;
-        assert!(rev_growth < 1.5, "REV cost nearly independent of block size");
+        assert!(
+            rev_growth < 1.5,
+            "REV cost nearly independent of block size"
+        );
     }
 }

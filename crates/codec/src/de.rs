@@ -1,7 +1,7 @@
 //! Deserializer from the MAGE wire format back into Rust values.
 
 use serde::de::{
-    self, DeserializeSeed, Deserialize, EnumAccess, IntoDeserializer, MapAccess, SeqAccess,
+    self, Deserialize, DeserializeSeed, EnumAccess, IntoDeserializer, MapAccess, SeqAccess,
     VariantAccess, Visitor,
 };
 
@@ -108,8 +108,7 @@ macro_rules! deserialize_unsigned {
     ($method:ident, $visit:ident, $ty:ty) => {
         fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, DecodeError> {
             let raw = self.take_u64()?;
-            let narrowed =
-                <$ty>::try_from(raw).map_err(|_| DecodeError::IntegerOutOfRange)?;
+            let narrowed = <$ty>::try_from(raw).map_err(|_| DecodeError::IntegerOutOfRange)?;
             visitor.$visit(narrowed)
         }
     };
@@ -119,8 +118,7 @@ macro_rules! deserialize_signed {
     ($method:ident, $visit:ident, $ty:ty) => {
         fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, DecodeError> {
             let raw = self.take_i64()?;
-            let narrowed =
-                <$ty>::try_from(raw).map_err(|_| DecodeError::IntegerOutOfRange)?;
+            let narrowed = <$ty>::try_from(raw).map_err(|_| DecodeError::IntegerOutOfRange)?;
             visitor.$visit(narrowed)
         }
     };
@@ -234,7 +232,10 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
 
     fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, DecodeError> {
         let len = self.take_len()?;
-        visitor.visit_seq(CountedAccess { de: self, left: len })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple<V: Visitor<'de>>(
@@ -242,7 +243,10 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, DecodeError> {
-        visitor.visit_seq(CountedAccess { de: self, left: len })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_tuple_struct<V: Visitor<'de>>(
@@ -256,7 +260,10 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
 
     fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, DecodeError> {
         let len = self.take_len()?;
-        visitor.visit_map(CountedAccess { de: self, left: len })
+        visitor.visit_map(CountedAccess {
+            de: self,
+            left: len,
+        })
     }
 
     fn deserialize_struct<V: Visitor<'de>>(
@@ -265,7 +272,10 @@ impl<'de> de::Deserializer<'de> for &mut Deserializer<'de> {
         fields: &'static [&'static str],
         visitor: V,
     ) -> Result<V::Value, DecodeError> {
-        visitor.visit_seq(CountedAccess { de: self, left: fields.len() })
+        visitor.visit_seq(CountedAccess {
+            de: self,
+            left: fields.len(),
+        })
     }
 
     fn deserialize_enum<V: Visitor<'de>>(
@@ -381,7 +391,10 @@ impl<'de> VariantAccess<'de> for Enum<'_, 'de> {
         len: usize,
         visitor: V,
     ) -> Result<V::Value, DecodeError> {
-        visitor.visit_seq(CountedAccess { de: self.de, left: len })
+        visitor.visit_seq(CountedAccess {
+            de: self.de,
+            left: len,
+        })
     }
 
     fn struct_variant<V: Visitor<'de>>(
@@ -389,7 +402,10 @@ impl<'de> VariantAccess<'de> for Enum<'_, 'de> {
         fields: &'static [&'static str],
         visitor: V,
     ) -> Result<V::Value, DecodeError> {
-        visitor.visit_seq(CountedAccess { de: self.de, left: fields.len() })
+        visitor.visit_seq(CountedAccess {
+            de: self.de,
+            left: fields.len(),
+        })
     }
 }
 

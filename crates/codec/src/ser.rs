@@ -34,10 +34,7 @@ pub fn to_bytes<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>, EncodeError
 /// # Errors
 ///
 /// Same as [`to_bytes`].
-pub fn to_bytes_in<T: Serialize + ?Sized>(
-    value: &T,
-    out: &mut Vec<u8>,
-) -> Result<(), EncodeError> {
+pub fn to_bytes_in<T: Serialize + ?Sized>(value: &T, out: &mut Vec<u8>) -> Result<(), EncodeError> {
     value.serialize(&mut Serializer { out })
 }
 

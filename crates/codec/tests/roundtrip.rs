@@ -36,7 +36,10 @@ fn struct_with_nested_enum_roundtrips() {
     let env = Envelope {
         id: 42,
         source: Some("nodeA".into()),
-        body: Message::Find { name: "geoData".into(), hops: 3 },
+        body: Message::Find {
+            name: "geoData".into(),
+            hops: 3,
+        },
         tags: BTreeMap::from([("zone".into(), -7), ("prio".into(), 2)]),
         route: vec![(1, 2), (2, 5)],
     };
@@ -105,7 +108,13 @@ fn char_boundaries_roundtrip() {
 
 #[test]
 fn float_specials_roundtrip() {
-    for v in [0.0f64, -0.0, f64::INFINITY, f64::NEG_INFINITY, f64::MIN_POSITIVE] {
+    for v in [
+        0.0f64,
+        -0.0,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        f64::MIN_POSITIVE,
+    ] {
         assert_eq!(roundtrip(&v).to_bits(), v.to_bits());
     }
     let nan = roundtrip(&f64::NAN);

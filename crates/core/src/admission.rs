@@ -18,7 +18,10 @@ pub struct Quotas {
 impl Quotas {
     /// Unlimited quotas (the paper's current MAGE).
     pub const fn unlimited() -> Self {
-        Quotas { max_objects: None, max_classes: None }
+        Quotas {
+            max_objects: None,
+            max_classes: None,
+        }
     }
 
     /// Whether one more hosted object fits.
@@ -51,7 +54,10 @@ mod tests {
 
     #[test]
     fn caps_are_enforced_at_the_boundary() {
-        let q = Quotas { max_objects: Some(2), max_classes: Some(1) };
+        let q = Quotas {
+            max_objects: Some(2),
+            max_classes: Some(1),
+        };
         assert!(q.admits_object(0));
         assert!(q.admits_object(1));
         assert!(!q.admits_object(2));
@@ -61,7 +67,10 @@ mod tests {
 
     #[test]
     fn zero_quota_refuses_all() {
-        let q = Quotas { max_objects: Some(0), max_classes: Some(0) };
+        let q = Quotas {
+            max_objects: Some(0),
+            max_classes: Some(0),
+        };
         assert!(!q.admits_object(0));
         assert!(!q.admits_class(0));
     }

@@ -2,7 +2,7 @@
 
 use std::cell::Cell;
 
-use crate::attribute::{BindPlan, BindView, Mode, MobilityAttribute, Target};
+use crate::attribute::{BindPlan, BindView, MobilityAttribute, Mode, Target};
 use crate::component::{Component, ModelKind, Visibility};
 use crate::error::MageError;
 
@@ -41,11 +41,17 @@ impl Placement {
     }
 
     fn factory() -> Self {
-        Placement { factory: FactoryMode::Traditional, ..Placement::object_move() }
+        Placement {
+            factory: FactoryMode::Traditional,
+            ..Placement::object_move()
+        }
     }
 
     fn single_use() -> Self {
-        Placement { factory: FactoryMode::SingleUse, ..Placement::object_move() }
+        Placement {
+            factory: FactoryMode::SingleUse,
+            ..Placement::object_move()
+        }
     }
 
     fn mode(&self, view: &BindView<'_>) -> Mode {
@@ -110,7 +116,9 @@ pub struct Lpc {
 impl Lpc {
     /// Binds LPC to an existing object.
     pub fn new(class: impl Into<String>, object: impl Into<String>) -> Self {
-        Lpc { component: Component::object(class, object) }
+        Lpc {
+            component: Component::object(class, object),
+        }
     }
 }
 
@@ -128,7 +136,11 @@ impl MobilityAttribute for Lpc {
     }
 
     fn plan(&self, _view: &BindView<'_>) -> Result<BindPlan, MageError> {
-        Ok(BindPlan { target: Target::Client, mode: Mode::Stationary, guard: false })
+        Ok(BindPlan {
+            target: Target::Client,
+            mode: Mode::Stationary,
+            guard: false,
+        })
     }
 }
 
@@ -437,7 +449,10 @@ pub struct Cle {
 impl Cle {
     /// Binds CLE to an existing object.
     pub fn new(class: impl Into<String>, object: impl Into<String>) -> Self {
-        Cle { component: Component::object(class, object), guard: Cell::new(false) }
+        Cle {
+            component: Component::object(class, object),
+            guard: Cell::new(false),
+        }
     }
 
     /// Brackets binds with a stay lock.
@@ -462,7 +477,11 @@ impl MobilityAttribute for Cle {
     }
 
     fn plan(&self, _view: &BindView<'_>) -> Result<BindPlan, MageError> {
-        Ok(BindPlan { target: Target::Current, mode: Mode::Stationary, guard: self.guard.get() })
+        Ok(BindPlan {
+            target: Target::Current,
+            mode: Mode::Stationary,
+            guard: self.guard.get(),
+        })
     }
 }
 
@@ -593,7 +612,10 @@ mod tests {
         assert_eq!(Cod::new("C", "o").model(), ModelKind::Cod);
         assert_eq!(Rev::new("C", "o", "t").model(), ModelKind::Rev);
         assert_eq!(Grev::new("C", "o", "t").model(), ModelKind::Grev);
-        assert_eq!(MobileAgent::new("C", "o", "t").model(), ModelKind::MobileAgent);
+        assert_eq!(
+            MobileAgent::new("C", "o", "t").model(),
+            ModelKind::MobileAgent
+        );
         assert_eq!(Cle::new("C", "o").model(), ModelKind::Cle);
     }
 

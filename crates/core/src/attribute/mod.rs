@@ -67,12 +67,20 @@ pub struct BindPlan {
 impl BindPlan {
     /// A plan that moves the object to a named namespace.
     pub fn move_to(node: impl Into<String>) -> Self {
-        BindPlan { target: Target::Node(node.into()), mode: Mode::Move, guard: false }
+        BindPlan {
+            target: Target::Node(node.into()),
+            mode: Mode::Move,
+            guard: false,
+        }
     }
 
     /// A plan that invokes wherever the object currently is.
     pub fn stay() -> Self {
-        BindPlan { target: Target::Current, mode: Mode::Stationary, guard: false }
+        BindPlan {
+            target: Target::Current,
+            mode: Mode::Stationary,
+            guard: false,
+        }
     }
 
     /// Returns the plan with locking enabled.
@@ -103,7 +111,13 @@ impl<'a> BindView<'a> {
         loads: &'a BTreeMap<NodeId, f64>,
         now: SimTime,
     ) -> Self {
-        BindView { client, location, names, loads, now }
+        BindView {
+            client,
+            location,
+            names,
+            loads,
+            now,
+        }
     }
 
     /// The invoking namespace.
@@ -203,19 +217,51 @@ pub struct CatalogEntry {
 /// The mobility-attribute class hierarchy of Figure 5.
 pub fn catalog() -> Vec<CatalogEntry> {
     vec![
-        CatalogEntry { name: "MobilityAttribute", parent: "", model: None },
-        CatalogEntry { name: "LPC", parent: "MobilityAttribute", model: Some(ModelKind::Lpc) },
-        CatalogEntry { name: "RPC", parent: "MobilityAttribute", model: Some(ModelKind::Rpc) },
-        CatalogEntry { name: "COD", parent: "MobilityAttribute", model: Some(ModelKind::Cod) },
-        CatalogEntry { name: "REV", parent: "MobilityAttribute", model: Some(ModelKind::Rev) },
-        CatalogEntry { name: "GREV", parent: "REV", model: Some(ModelKind::Grev) },
+        CatalogEntry {
+            name: "MobilityAttribute",
+            parent: "",
+            model: None,
+        },
+        CatalogEntry {
+            name: "LPC",
+            parent: "MobilityAttribute",
+            model: Some(ModelKind::Lpc),
+        },
+        CatalogEntry {
+            name: "RPC",
+            parent: "MobilityAttribute",
+            model: Some(ModelKind::Rpc),
+        },
+        CatalogEntry {
+            name: "COD",
+            parent: "MobilityAttribute",
+            model: Some(ModelKind::Cod),
+        },
+        CatalogEntry {
+            name: "REV",
+            parent: "MobilityAttribute",
+            model: Some(ModelKind::Rev),
+        },
+        CatalogEntry {
+            name: "GREV",
+            parent: "REV",
+            model: Some(ModelKind::Grev),
+        },
         CatalogEntry {
             name: "MAgent",
             parent: "MobilityAttribute",
             model: Some(ModelKind::MobileAgent),
         },
-        CatalogEntry { name: "CLE", parent: "MobilityAttribute", model: Some(ModelKind::Cle) },
-        CatalogEntry { name: "<user-defined>", parent: "MobilityAttribute", model: Some(ModelKind::Custom) },
+        CatalogEntry {
+            name: "CLE",
+            parent: "MobilityAttribute",
+            model: Some(ModelKind::Cle),
+        },
+        CatalogEntry {
+            name: "<user-defined>",
+            parent: "MobilityAttribute",
+            model: Some(ModelKind::Custom),
+        },
     ]
 }
 

@@ -22,16 +22,75 @@
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::marker::PhantomData;
 use std::sync::Arc;
 
 use mage_rmi::Fault;
 
 use crate::object::MobileObject;
 
+/// A typed method descriptor: the method's wire name plus its argument and
+/// result types, checked at compile time.
+///
+/// Classes expose their methods as `Method` constants (e.g.
+/// [`workload_support::methods::INC`](crate::workload_support::methods::INC)),
+/// so `session.call(&stub, INC, &())` infers and checks both sides of the
+/// wire instead of the old stringly-typed
+/// `call::<_, i64>(&stub, "inc", &())`. The descriptor is a zero-sized
+/// phantom over the name — it costs nothing at runtime.
+///
+/// Mismatched argument types are rejected at compile time:
+///
+/// ```compile_fail
+/// use mage_core::workload_support::{methods, test_object_class};
+/// use mage_core::{Runtime, Visibility};
+///
+/// let mut rt = Runtime::builder().nodes(["a"]).class(test_object_class()).build();
+/// rt.deploy_class("TestObject", "a").unwrap();
+/// let a = rt.session("a").unwrap();
+/// let stub = a.create_object("TestObject", "x", &(), Visibility::Public).unwrap();
+/// // `methods::INC` takes no arguments: passing a String must not compile.
+/// let _ = a.call(&stub, methods::INC, &"wrong".to_owned());
+/// ```
+pub struct Method<Args, Ret> {
+    name: &'static str,
+    // `fn(&Args) -> Ret` keeps the marker covariant and `Send + Sync`
+    // without implying ownership of either type.
+    _types: PhantomData<fn(&Args) -> Ret>,
+}
+
+impl<Args, Ret> Method<Args, Ret> {
+    /// Declares a method descriptor (usable in `const` position).
+    pub const fn new(name: &'static str) -> Self {
+        Method {
+            name,
+            _types: PhantomData,
+        }
+    }
+
+    /// The method's wire name.
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl<Args, Ret> Clone for Method<Args, Ret> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<Args, Ret> Copy for Method<Args, Ret> {}
+
+impl<Args, Ret> fmt::Debug for Method<Args, Ret> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Method").field("name", &self.name).finish()
+    }
+}
+
 /// Factory signature: rebuilds an object from snapshot state, or creates a
 /// fresh instance when given the constructor state passed at deployment.
-pub type Factory =
-    Arc<dyn Fn(&[u8]) -> Result<Box<dyn MobileObject>, Fault> + Send + Sync>;
+pub type Factory = Arc<dyn Fn(&[u8]) -> Result<Box<dyn MobileObject>, Fault> + Send + Sync>;
 
 /// A class definition: name, simulated code, instantiation behaviour.
 #[derive(Clone)]
@@ -196,11 +255,7 @@ mod tests {
 
     fn tiny_class() -> ClassDef {
         ClassDef::new("Tiny", 1_500, |state| {
-            let n: i64 = if state.is_empty() {
-                0
-            } else {
-                args_as(state)?
-            };
+            let n: i64 = if state.is_empty() { 0 } else { args_as(state)? };
             Ok(Box::new(Tiny { n }))
         })
     }
@@ -210,7 +265,10 @@ mod tests {
         let def = tiny_class();
         let fresh = def.instantiate(&[]).unwrap();
         assert_eq!(fresh.class_name(), "Tiny");
-        assert_eq!(fresh.snapshot().unwrap(), mage_codec::to_bytes(&0i64).unwrap());
+        assert_eq!(
+            fresh.snapshot().unwrap(),
+            mage_codec::to_bytes(&0i64).unwrap()
+        );
 
         let state = mage_codec::to_bytes(&41i64).unwrap();
         let restored = def.instantiate(&state).unwrap();

@@ -128,9 +128,7 @@ pub fn coerce(model: ModelKind, situation: Situation) -> Result<Coerced, MageErr
 
         // LPC: the component must already be local.
         (Lpc, Local) => Ok(Proceed),
-        (Lpc, RemoteAtTarget | RemoteNotAtTarget) => {
-            Err(MageError::Coercion { model, situation })
-        }
+        (Lpc, RemoteAtTarget | RemoteNotAtTarget) => Err(MageError::Coercion { model, situation }),
 
         // Custom attributes supply their own semantics; the runtime trusts
         // their plan and only executes what is mechanically possible.
@@ -175,11 +173,23 @@ mod tests {
     fn matches_paper_matrix() {
         // Table 2 verbatim.
         let expected: [(ModelKind, [&str; 3]); 5] = [
-            (ModelKind::MobileAgent, ["Default Behavior", "RPC", "Default Behavior"]),
-            (ModelKind::Rev, ["Default Behavior", "RPC", "Default Behavior"]),
+            (
+                ModelKind::MobileAgent,
+                ["Default Behavior", "RPC", "Default Behavior"],
+            ),
+            (
+                ModelKind::Rev,
+                ["Default Behavior", "RPC", "Default Behavior"],
+            ),
             (ModelKind::Cod, ["LPC", "n/a", "Default Behavior"]),
-            (ModelKind::Rpc, ["Exception thrown", "Default Behavior", "Exception thrown"]),
-            (ModelKind::Cle, ["Default Behavior", "Default Behavior", "Default Behavior"]),
+            (
+                ModelKind::Rpc,
+                ["Exception thrown", "Default Behavior", "Exception thrown"],
+            ),
+            (
+                ModelKind::Cle,
+                ["Default Behavior", "Default Behavior", "Default Behavior"],
+            ),
         ];
         for (model, cells) in expected {
             for (situation, want) in TABLE_2_SITUATIONS.iter().zip(cells) {
@@ -237,12 +247,18 @@ mod tests {
             coerce(ModelKind::Grev, Situation::RemoteNotAtTarget),
             Ok(Coerced::Proceed)
         );
-        assert_eq!(coerce(ModelKind::Grev, Situation::Local), Ok(Coerced::Proceed));
+        assert_eq!(
+            coerce(ModelKind::Grev, Situation::Local),
+            Ok(Coerced::Proceed)
+        );
     }
 
     #[test]
     fn lpc_requires_local_component() {
-        assert_eq!(coerce(ModelKind::Lpc, Situation::Local), Ok(Coerced::Proceed));
+        assert_eq!(
+            coerce(ModelKind::Lpc, Situation::Local),
+            Ok(Coerced::Proceed)
+        );
         assert!(coerce(ModelKind::Lpc, Situation::RemoteNotAtTarget).is_err());
     }
 

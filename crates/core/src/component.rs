@@ -46,7 +46,11 @@ pub struct DesignTriple {
 impl DesignTriple {
     /// Builds a triple.
     pub const fn new(location: Placement, target: Placement, moves: bool) -> Self {
-        DesignTriple { location, target, moves }
+        DesignTriple {
+            location,
+            target,
+            moves,
+        }
     }
 }
 
@@ -90,9 +94,7 @@ impl ModelKind {
     /// follows §3.3's definition, Custom is fully unconstrained).
     pub const fn design_triple(self) -> DesignTriple {
         match self {
-            ModelKind::MobileAgent => {
-                DesignTriple::new(Placement::Remote, Placement::Remote, true)
-            }
+            ModelKind::MobileAgent => DesignTriple::new(Placement::Remote, Placement::Remote, true),
             ModelKind::Rev => DesignTriple::new(Placement::Local, Placement::Remote, true),
             ModelKind::Rpc => DesignTriple::new(Placement::Remote, Placement::Remote, false),
             ModelKind::Cle => {
@@ -157,13 +159,19 @@ pub struct Component {
 impl Component {
     /// A component naming both a class and an object instance.
     pub fn object(class: impl Into<String>, object: impl Into<String>) -> Self {
-        Component { class: class.into(), object: Some(object.into()) }
+        Component {
+            class: class.into(),
+            object: Some(object.into()),
+        }
     }
 
     /// A class-only component (an object factory in REV/COD's traditional
     /// semantics).
     pub fn class(class: impl Into<String>) -> Self {
-        Component { class: class.into(), object: None }
+        Component {
+            class: class.into(),
+            object: None,
+        }
     }
 
     /// The class name.

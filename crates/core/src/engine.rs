@@ -16,7 +16,7 @@ use mage_sim::{NodeId, OpId};
 
 use crate::error::MageError;
 use crate::lock::LockKind;
-use crate::node::MageNode;
+use crate::node::{MageNode, TransitFindWaiter};
 use crate::proto::{self, methods, Outcome};
 
 /// A continuation awaiting an RMI reply (keyed by its call token).
@@ -175,7 +175,10 @@ impl MageNode {
                         self.complete(
                             env,
                             op,
-                            Ok(Outcome { location: loc, ..Outcome::default() }),
+                            Ok(Outcome {
+                                location: loc,
+                                ..Outcome::default()
+                            }),
                         );
                     }
                     Err(e) => self.complete(env, op, Err(e)),
@@ -253,8 +256,24 @@ impl MageNode {
             self.complete(
                 env,
                 op,
-                Ok(Outcome { location: me.as_raw(), ..Outcome::default() }),
+                Ok(Outcome {
+                    location: me.as_raw(),
+                    ..Outcome::default()
+                }),
             );
+            return;
+        }
+        if self
+            .objects
+            .get(&name)
+            .is_some_and(|hosted| hosted.in_transit)
+        {
+            // Our own object is mid-move: park like a remote find and
+            // answer when the transfer settles.
+            self.transit_finds
+                .entry(name)
+                .or_default()
+                .push(TransitFindWaiter::Op(op));
             return;
         }
         // The local registry entry is the *start* of the forwarding chain,
@@ -269,7 +288,10 @@ impl MageNode {
             Some(start) => {
                 let token = self.next_task;
                 self.next_task += 1;
-                let args = proto::FindArgs { name: name.clone(), visited: vec![me.as_raw()] };
+                let args = proto::FindArgs {
+                    name: name.clone(),
+                    visited: vec![me.as_raw()],
+                };
                 env.call(
                     start,
                     proto::SERVICE,
@@ -378,8 +400,7 @@ impl MageNode {
                     task.retries -= 1;
                     task.phase = LocatePhase::Finding;
                     self.registry.remove(&task.name);
-                    match self.locate_step(env, &task.name.clone(), None, task.home_hint, token)
-                    {
+                    match self.locate_step(env, &task.name.clone(), None, task.home_hint, token) {
                         Ok(Some(loc)) => {
                             self.issue_lock_call(env, &task.name, task.target, loc, token);
                             task.phase = LocatePhase::Calling;
@@ -466,7 +487,10 @@ impl MageNode {
                     self.complete(
                         env,
                         task.op,
-                        Ok(Outcome { location: me, ..Outcome::default() }),
+                        Ok(Outcome {
+                            location: me,
+                            ..Outcome::default()
+                        }),
                     );
                 }
                 Err(e) => self.complete(env, task.op, Err(rmi_error_to_mage(&e))),
@@ -534,7 +558,9 @@ impl MageNode {
                 name,
                 dest,
                 origin,
-                phase: MovePhase::SentReceive { retried_class: false },
+                phase: MovePhase::SentReceive {
+                    retried_class: false,
+                },
                 receive_args,
                 parked_waiters,
             }),
@@ -595,7 +621,9 @@ impl MageNode {
                         mage_codec::to_bytes(&task.receive_args).expect("receive args encode"),
                         token,
                     );
-                    task.phase = MovePhase::SentReceive { retried_class: true };
+                    task.phase = MovePhase::SentReceive {
+                        retried_class: true,
+                    };
                     self.tasks.insert(token, Task::MoveOut(task));
                 }
                 Err(e) => {
@@ -606,18 +634,48 @@ impl MageNode {
         }
     }
 
+    /// Answers every find parked on `name` during its transit: remote
+    /// calls get an RMI reply, driver ops complete locally, both with
+    /// `location` (the destination on commit, this node on abort).
+    fn flush_transit_finds(&mut self, env: &mut Env<'_, '_>, name: &str, location: NodeId) {
+        for waiter in self.transit_finds.remove(name).unwrap_or_default() {
+            match waiter {
+                TransitFindWaiter::Reply(handle) => {
+                    let payload =
+                        mage_codec::to_bytes(&location.as_raw()).expect("node id encodes");
+                    env.reply(handle, Ok(payload));
+                }
+                TransitFindWaiter::Op(op) => {
+                    self.complete(
+                        env,
+                        op,
+                        Ok(Outcome {
+                            location: location.as_raw(),
+                            ..Outcome::default()
+                        }),
+                    );
+                }
+            }
+        }
+    }
+
     fn abort_move(&mut self, env: &mut Env<'_, '_>, task: MoveOutTask, err: MageError) {
         // Restore the object to service at this namespace.
         if let Some(hosted) = self.objects.get_mut(&task.name) {
             hosted.in_transit = false;
         }
-        self.locks.install(&task.name, task.receive_args.locks.clone());
+        // Finds that arrived mid-move resolve right back here.
+        let me = env.node();
+        self.flush_transit_finds(env, &task.name, me);
+        self.locks
+            .install(&task.name, task.receive_args.locks.clone());
         // Re-queue the waiters we parked; immediate grants are answered
         // directly (reply handles are Copy).
-        let me = env.node();
         for waiter in task.parked_waiters {
             let handle = waiter.payload;
-            match self.locks.request(&task.name, waiter.client, waiter.target, me, waiter.payload)
+            match self
+                .locks
+                .request(&task.name, waiter.client, waiter.target, me, waiter.payload)
             {
                 crate::lock::Request::Granted(kind) => {
                     let payload = mage_codec::to_bytes(&kind).expect("lock kind encodes");
@@ -642,10 +700,11 @@ impl MageNode {
                 Err(Fault::NotBound(format!("{} moved", task.name))),
             );
         }
+        // Finds that arrived mid-move resolve to the destination.
+        self.flush_transit_finds(env, &task.name, task.dest);
         match task.origin {
             MoveOrigin::Reply(handle) => {
-                let payload =
-                    mage_codec::to_bytes(&task.dest.as_raw()).expect("node id encodes");
+                let payload = mage_codec::to_bytes(&task.dest.as_raw()).expect("node id encodes");
                 env.reply(handle, Ok(payload));
             }
             MoveOrigin::Exec(exec_id) => {

@@ -53,7 +53,9 @@ impl MageNode {
         let task = ExecTask {
             op,
             spec,
-            phase: ExecPhase::AwaitFind { resume: Resume::Guard },
+            phase: ExecPhase::AwaitFind {
+                resume: Resume::Guard,
+            },
             cloc: None,
             locked_at: None,
             lock_kind: None,
@@ -81,7 +83,9 @@ impl MageNode {
                 self.exec_issue_lock(env, id, task, loc);
             }
             Ok(None) => {
-                task.phase = ExecPhase::AwaitFind { resume: Resume::Guard };
+                task.phase = ExecPhase::AwaitFind {
+                    resume: Resume::Guard,
+                };
                 self.tasks.insert(id, Task::Exec(Box::new(task)));
             }
             Err(e) => self.exec_fail(env, id, task, e),
@@ -91,7 +95,10 @@ impl MageNode {
     fn exec_issue_lock(&mut self, env: &mut Env<'_, '_>, id: u64, mut task: ExecTask, at: NodeId) {
         let me = env.node();
         let target = task.lock_target(me);
-        let name = task.object_name().expect("guard requires an object").to_owned();
+        let name = task
+            .object_name()
+            .expect("guard requires an object")
+            .to_owned();
         let args = proto::LockArgs {
             name,
             client: me.as_raw(),
@@ -158,7 +165,9 @@ impl MageNode {
                         self.exec_begin_invoke(env, id, task);
                     }
                     Ok(None) => {
-                        task.phase = ExecPhase::AwaitFind { resume: Resume::Action };
+                        task.phase = ExecPhase::AwaitFind {
+                            resume: Resume::Action,
+                        };
                         self.tasks.insert(id, Task::Exec(Box::new(task)));
                     }
                     Err(e) => self.exec_fail(env, id, task, e),
@@ -171,7 +180,9 @@ impl MageNode {
                     None => match self.exec_resolve_location(env, id, &mut task) {
                         Ok(Some(loc)) => Some(loc),
                         Ok(None) => {
-                            task.phase = ExecPhase::AwaitFind { resume: Resume::Action };
+                            task.phase = ExecPhase::AwaitFind {
+                                resume: Resume::Action,
+                            };
                             self.tasks.insert(id, Task::Exec(Box::new(task)));
                             return;
                         }
@@ -205,7 +216,10 @@ impl MageNode {
                         .object_name()
                         .expect("move requires an object")
                         .to_owned();
-                    let args = proto::MoveToArgs { name, dest: dest.as_raw() };
+                    let args = proto::MoveToArgs {
+                        name,
+                        dest: dest.as_raw(),
+                    };
                     env.call(
                         cloc,
                         proto::SERVICE,
@@ -217,7 +231,11 @@ impl MageNode {
                     self.tasks.insert(id, Task::Exec(Box::new(task)));
                 }
             }
-            ActionSpec::Instantiate { node, state, visibility } => {
+            ActionSpec::Instantiate {
+                node,
+                state,
+                visibility,
+            } => {
                 let dest = NodeId::from_raw(node);
                 let object_name = match task.object_name() {
                     Some(name) => name.to_owned(),
@@ -265,7 +283,10 @@ impl MageNode {
                         mage_codec::to_bytes(&args).expect("instantiate args encode"),
                         id,
                     );
-                    task.phase = ExecPhase::AwaitInstantiate { dest, retried_class: false };
+                    task.phase = ExecPhase::AwaitInstantiate {
+                        dest,
+                        retried_class: false,
+                    };
                     self.tasks.insert(id, Task::Exec(Box::new(task)));
                 }
             }
@@ -274,22 +295,26 @@ impl MageNode {
 
     /// Starts class logistics for an instantiation at `dest`: fetch the
     /// class from wherever the registry (or the home hint) says it lives.
-    fn exec_fetch_class(&mut self, env: &mut Env<'_, '_>, id: u64, mut task: ExecTask, dest: NodeId) {
+    fn exec_fetch_class(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        id: u64,
+        mut task: ExecTask,
+        dest: NodeId,
+    ) {
         let me = env.node();
         let key = class_key(&task.spec.class);
-        let source = self
-            .registry
-            .lookup(&key)
-            .filter(|n| *n != me)
-            .or_else(|| {
-                task.spec
-                    .home_hint
-                    .map(NodeId::from_raw)
-                    .filter(|n| *n != me)
-            });
+        let source = self.registry.lookup(&key).filter(|n| *n != me).or_else(|| {
+            task.spec
+                .home_hint
+                .map(NodeId::from_raw)
+                .filter(|n| *n != me)
+        });
         match source {
             Some(src) => {
-                let args = proto::FetchClassArgs { class: task.spec.class.clone() };
+                let args = proto::FetchClassArgs {
+                    class: task.spec.class.clone(),
+                };
                 env.call(
                     src,
                     proto::SERVICE,
@@ -352,9 +377,19 @@ impl MageNode {
         };
         // The lock travelled with the object if it moved; release it where
         // the object now lives.
-        let at = task.invoke_at.or(task.cloc).or(task.locked_at).expect("somewhere");
-        let name = task.object_name().expect("guarded ops have objects").to_owned();
-        let args = proto::UnlockArgs { name, client: env.node().as_raw() };
+        let at = task
+            .invoke_at
+            .or(task.cloc)
+            .or(task.locked_at)
+            .expect("somewhere");
+        let name = task
+            .object_name()
+            .expect("guarded ops have objects")
+            .to_owned();
+        let args = proto::UnlockArgs {
+            name,
+            client: env.node().as_raw(),
+        };
         env.call(
             at,
             proto::SERVICE,
@@ -419,10 +454,17 @@ impl MageNode {
                 return Ok(Some(hint));
             }
         }
-        let start = task.spec.home_hint.map(NodeId::from_raw).filter(|h| *h != me);
+        let start = task
+            .spec
+            .home_hint
+            .map(NodeId::from_raw)
+            .filter(|h| *h != me);
         match start {
             Some(start) => {
-                let args = proto::FindArgs { name, visited: vec![me.as_raw()] };
+                let args = proto::FindArgs {
+                    name,
+                    visited: vec![me.as_raw()],
+                };
                 env.call(
                     start,
                     proto::SERVICE,
@@ -481,8 +523,11 @@ impl MageNode {
                 },
                 Err(RmiError::Fault(Fault::NotBound(_))) if task.retries > 0 => {
                     // Raced a migration: chase the object and lock again.
+                    // The driver's location hint is stale by definition
+                    // here; drop it so the retry re-finds from the home.
                     task.retries -= 1;
                     task.cloc = None;
+                    task.spec.location_hint = None;
                     if let Some(name) = task.object_name() {
                         self.registry.remove(name);
                     }
@@ -509,6 +554,7 @@ impl MageNode {
                 Err(RmiError::Fault(Fault::NotBound(_))) if task.retries > 0 => {
                     task.retries -= 1;
                     task.cloc = None;
+                    task.spec.location_hint = None;
                     if let Some(name) = task.object_name() {
                         self.registry.remove(name);
                     }
@@ -553,9 +599,9 @@ impl MageNode {
                 Ok(_) => {
                     // Class is in place; retry the instantiation.
                     let (state, visibility) = match &task.spec.action {
-                        ActionSpec::Instantiate { state, visibility, .. } => {
-                            (state.clone(), *visibility)
-                        }
+                        ActionSpec::Instantiate {
+                            state, visibility, ..
+                        } => (state.clone(), *visibility),
                         _ => (Vec::new(), crate::component::Visibility::Public),
                     };
                     let args = proto::InstantiateArgs {
@@ -574,7 +620,10 @@ impl MageNode {
                         mage_codec::to_bytes(&args).expect("instantiate args encode"),
                         id,
                     );
-                    task.phase = ExecPhase::AwaitInstantiate { dest, retried_class: true };
+                    task.phase = ExecPhase::AwaitInstantiate {
+                        dest,
+                        retried_class: true,
+                    };
                     self.tasks.insert(id, Task::Exec(Box::new(task)));
                 }
                 Err(e) => {
@@ -582,7 +631,10 @@ impl MageNode {
                     self.exec_fail(env, id, task, err);
                 }
             },
-            ExecPhase::AwaitInstantiate { dest, retried_class } => match result {
+            ExecPhase::AwaitInstantiate {
+                dest,
+                retried_class,
+            } => match result {
                 Ok(_) => {
                     if let Some(name) = task.object_name() {
                         self.registry.update(name.to_owned(), dest);
@@ -595,7 +647,10 @@ impl MageNode {
                     if self.classes.contains(&task.spec.class) {
                         // We have the class: push it to the target
                         // (traditional REV ships local code to the server).
-                        let def = self.lib.get(&task.spec.class).expect("cached class defined");
+                        let def = self
+                            .lib
+                            .get(&task.spec.class)
+                            .expect("cached class defined");
                         let class_args = proto::ReceiveClassArgs {
                             class: def.name().to_owned(),
                             code: vec![0u8; def.code_size() as usize],
@@ -632,6 +687,7 @@ impl MageNode {
                     // invokes", §3.5).
                     task.retries -= 1;
                     task.cloc = None;
+                    task.spec.location_hint = None;
                     if let Some(name) = task.object_name() {
                         self.registry.remove(name);
                     }
@@ -642,7 +698,9 @@ impl MageNode {
                             self.exec_begin_invoke(env, id, task);
                         }
                         Ok(None) => {
-                            task.phase = ExecPhase::AwaitFind { resume: Resume::Invoke };
+                            task.phase = ExecPhase::AwaitFind {
+                                resume: Resume::Invoke,
+                            };
                             self.tasks.insert(id, Task::Exec(Box::new(task)));
                         }
                         Err(e) => self.exec_fail(env, id, task, e),

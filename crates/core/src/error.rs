@@ -110,7 +110,9 @@ mod tests {
         assert!(MageError::NotFound("geoData".into())
             .to_string()
             .contains("geoData"));
-        assert!(MageError::Denied("quota".into()).to_string().contains("quota"));
+        assert!(MageError::Denied("quota".into())
+            .to_string()
+            .contains("quota"));
     }
 
     #[test]

@@ -16,17 +16,20 @@
 //! * [`MageNode`] — the per-namespace runtime: registry with forwarding
 //!   chains and path compression, Mage server, external server (§4.1)
 //! * [`lock`] — per-object stay/move lock queues (§4.4)
-//! * [`Runtime`] — the synchronous facade experiments and examples use
+//! * [`Runtime`] — owns the world; hands out per-namespace [`Session`]
+//!   client handles
+//! * [`Session`] / [`Pending`] — typed, pipelined client operations
 //!
 //! # Examples
 //!
 //! The oil-exploration example from §3.6 — instantiate a filter on a
-//! sensor with REV, migrate it with MA, pull results home with COD:
+//! sensor with REV, migrate it with MA, pull results home with COD — via
+//! a session and typed method descriptors:
 //!
 //! ```
 //! use mage_core::attribute::{Cod, MobileAgent, Rev};
+//! use mage_core::workload_support::{methods, geo_data_filter_class};
 //! use mage_core::{Runtime, Visibility};
-//! use mage_core::workload_support::geo_data_filter_class;
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut rt = Runtime::builder()
@@ -34,18 +37,19 @@
 //!     .class(geo_data_filter_class())
 //!     .build();
 //! rt.deploy_class("GeoDataFilterImpl", "lab")?;
+//! let lab = rt.session("lab")?;
 //!
 //! let rev = Rev::factory("GeoDataFilterImpl", "geoData", "sensor1");
-//! let stub = rt.bind("lab", &rev)?;
-//! rt.call::<_, u64>(&stub, "filterData", &())?;
+//! let stub = lab.bind(&rev)?;
+//! lab.call(&stub, methods::FILTER_DATA, &())?;
 //!
 //! let magent = MobileAgent::new("GeoDataFilterImpl", "geoData", "sensor2");
-//! let stub = rt.bind("lab", &magent)?;
-//! rt.call::<_, u64>(&stub, "filterData", &())?;
+//! let stub = lab.bind(&magent)?;
+//! lab.call(&stub, methods::FILTER_DATA, &())?;
 //!
 //! let cod = Cod::new("GeoDataFilterImpl", "geoData"); // target is local
-//! let stub = rt.bind("lab", &cod)?;
-//! let total: u64 = rt.call(&stub, "processData", &())?;
+//! let stub = lab.bind(&cod)?;
+//! let total = lab.call(&stub, methods::PROCESS_DATA, &())?;
 //! assert!(total > 0);
 //! # Ok(())
 //! # }
@@ -65,16 +69,20 @@ pub mod error;
 pub mod lock;
 mod node;
 pub mod object;
+mod pending;
 pub mod proto;
 pub mod registry;
 mod runtime;
 pub mod security;
+mod session;
 pub mod workload_support;
 
-pub use class::{ClassDef, ClassLibrary};
+pub use class::{ClassDef, ClassLibrary, Method};
 pub use component::{Component, DesignTriple, ModelKind, Placement, Visibility};
 pub use error::MageError;
 pub use lock::LockKind;
 pub use node::{MageNode, NodeConfig};
 pub use object::{MobileEnv, MobileObject};
-pub use runtime::{BindReceipt, Runtime, RuntimeBuilder};
+pub use pending::Pending;
+pub use runtime::{Runtime, RuntimeBuilder};
+pub use session::{BindReceipt, Session, Stub};

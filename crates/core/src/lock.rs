@@ -55,7 +55,11 @@ struct LockState<T> {
 
 impl<T> LockState<T> {
     fn new() -> Self {
-        LockState { stay_holders: Vec::new(), move_holder: None, queue: VecDeque::new() }
+        LockState {
+            stay_holders: Vec::new(),
+            move_holder: None,
+            queue: VecDeque::new(),
+        }
     }
 
     fn is_idle(&self) -> bool {
@@ -106,13 +110,19 @@ pub struct LockTable<T> {
 impl<T> LockTable<T> {
     /// Creates a table with the paper's unfair stay-favouring policy.
     pub fn new() -> Self {
-        LockTable { locks: BTreeMap::new(), fair: false }
+        LockTable {
+            locks: BTreeMap::new(),
+            fair: false,
+        }
     }
 
     /// Creates a table that grants strictly in arrival order instead
     /// (the fairness ablation).
     pub fn fair() -> Self {
-        LockTable { locks: BTreeMap::new(), fair: true }
+        LockTable {
+            locks: BTreeMap::new(),
+            fair: true,
+        }
     }
 
     /// Whether this table uses the fair policy.
@@ -133,10 +143,21 @@ impl<T> LockTable<T> {
         here: NodeId,
         payload: T,
     ) -> Request {
-        let state = self.locks.entry(name.to_owned()).or_insert_with(LockState::new);
-        let kind = if target == here { LockKind::Stay } else { LockKind::Move };
+        let state = self
+            .locks
+            .entry(name.to_owned())
+            .or_insert_with(LockState::new);
+        let kind = if target == here {
+            LockKind::Stay
+        } else {
+            LockKind::Move
+        };
         if state.move_holder.is_some() {
-            state.queue.push_back(Waiter { client, target, payload });
+            state.queue.push_back(Waiter {
+                client,
+                target,
+                payload,
+            });
             return Request::Queued;
         }
         match kind {
@@ -144,7 +165,11 @@ impl<T> LockTable<T> {
                 // Unfair default: stay requests jump any queued move
                 // requests. Fair mode: queue behind earlier arrivals.
                 if self.fair && !state.queue.is_empty() {
-                    state.queue.push_back(Waiter { client, target, payload });
+                    state.queue.push_back(Waiter {
+                        client,
+                        target,
+                        payload,
+                    });
                     Request::Queued
                 } else {
                     state.stay_holders.push(client);
@@ -156,7 +181,11 @@ impl<T> LockTable<T> {
                     state.move_holder = Some(client);
                     Request::Granted(LockKind::Move)
                 } else {
-                    state.queue.push_back(Waiter { client, target, payload });
+                    state.queue.push_back(Waiter {
+                        client,
+                        target,
+                        payload,
+                    });
                     Request::Queued
                 }
             }
@@ -194,18 +223,30 @@ impl<T> LockTable<T> {
         if fair {
             // Strict arrival order: grant from the front while compatible.
             while let Some(front) = state.queue.front() {
-                let kind = if front.target == here { LockKind::Stay } else { LockKind::Move };
+                let kind = if front.target == here {
+                    LockKind::Stay
+                } else {
+                    LockKind::Move
+                };
                 match kind {
                     LockKind::Stay => {
                         let w = state.queue.pop_front().expect("front exists");
                         state.stay_holders.push(w.client);
-                        grants.push(Grant { waiter: w.payload, client: w.client, kind });
+                        grants.push(Grant {
+                            waiter: w.payload,
+                            client: w.client,
+                            kind,
+                        });
                     }
                     LockKind::Move => {
                         if state.stay_holders.is_empty() {
                             let w = state.queue.pop_front().expect("front exists");
                             state.move_holder = Some(w.client);
-                            grants.push(Grant { waiter: w.payload, client: w.client, kind });
+                            grants.push(Grant {
+                                waiter: w.payload,
+                                client: w.client,
+                                kind,
+                            });
                         }
                         break;
                     }
@@ -218,7 +259,11 @@ impl<T> LockTable<T> {
         while let Some(w) = state.queue.pop_front() {
             if w.target == here {
                 state.stay_holders.push(w.client);
-                grants.push(Grant { waiter: w.payload, client: w.client, kind: LockKind::Stay });
+                grants.push(Grant {
+                    waiter: w.payload,
+                    client: w.client,
+                    kind: LockKind::Stay,
+                });
             } else {
                 rest.push_back(w);
             }
@@ -228,7 +273,11 @@ impl<T> LockTable<T> {
         if state.stay_holders.is_empty() {
             if let Some(w) = state.queue.pop_front() {
                 state.move_holder = Some(w.client);
-                grants.push(Grant { waiter: w.payload, client: w.client, kind: LockKind::Move });
+                grants.push(Grant {
+                    waiter: w.payload,
+                    client: w.client,
+                    kind: LockKind::Move,
+                });
             }
         }
         grants
@@ -251,7 +300,11 @@ impl<T> LockTable<T> {
         let waiters = state
             .queue
             .into_iter()
-            .map(|w| QueuedWaiter { payload: w.payload, client: w.client, target: w.target })
+            .map(|w| QueuedWaiter {
+                payload: w.payload,
+                client: w.client,
+                target: w.target,
+            })
             .collect();
         (holders, waiters)
     }
@@ -261,7 +314,10 @@ impl<T> LockTable<T> {
         if holders.stay_holders.is_empty() && holders.move_holder.is_none() {
             return;
         }
-        let state = self.locks.entry(name.to_owned()).or_insert_with(LockState::new);
+        let state = self
+            .locks
+            .entry(name.to_owned())
+            .or_insert_with(LockState::new);
         state
             .stay_holders
             .extend(holders.stay_holders.iter().map(|r| NodeId::from_raw(*r)));
@@ -320,8 +376,14 @@ mod tests {
     #[test]
     fn stay_locks_are_shared() {
         let mut t: LockTable<u32> = LockTable::new();
-        assert_eq!(t.request("o", client(1), HERE, HERE, 1), Request::Granted(LockKind::Stay));
-        assert_eq!(t.request("o", client(2), HERE, HERE, 2), Request::Granted(LockKind::Stay));
+        assert_eq!(
+            t.request("o", client(1), HERE, HERE, 1),
+            Request::Granted(LockKind::Stay)
+        );
+        assert_eq!(
+            t.request("o", client(2), HERE, HERE, 2),
+            Request::Granted(LockKind::Stay)
+        );
         assert_eq!(t.holds("o", client(1)), Some(LockKind::Stay));
         assert_eq!(t.holds("o", client(2)), Some(LockKind::Stay));
     }
@@ -334,7 +396,10 @@ mod tests {
             Request::Granted(LockKind::Move)
         );
         assert_eq!(t.request("o", client(2), HERE, HERE, 2), Request::Queued);
-        assert_eq!(t.request("o", client(3), ELSEWHERE, HERE, 3), Request::Queued);
+        assert_eq!(
+            t.request("o", client(3), ELSEWHERE, HERE, 3),
+            Request::Queued
+        );
         let grants = t.release("o", client(1), HERE);
         // Unfair policy: the stay waiter (client 2) is granted first even
         // though the move waiter may have arrived earlier elsewhere in the
@@ -390,8 +455,8 @@ mod tests {
         let mut t: LockTable<u32> = LockTable::new();
         t.request("o", client(1), HERE, HERE, 1); // stay granted
         t.request("o", client(2), ELSEWHERE, HERE, 2); // move queued
-        // The paper's unfairness: a new stay request overtakes the queued
-        // move because the object is already where it wants it.
+                                                       // The paper's unfairness: a new stay request overtakes the queued
+                                                       // move because the object is already where it wants it.
         assert_eq!(
             t.request("o", client(3), HERE, HERE, 3),
             Request::Granted(LockKind::Stay)

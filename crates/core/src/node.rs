@@ -15,6 +15,7 @@ use bytes::Bytes;
 use mage_rmi::{App, CallOutcome, Env, Fault, InboundCall, ReplyHandle};
 use mage_sim::{NodeId, OpId, SimDuration};
 
+use crate::admission::Quotas;
 use crate::class::ClassLibrary;
 use crate::component::Visibility;
 use crate::engine::{MoveOrigin, Task};
@@ -23,7 +24,6 @@ use crate::object::{MobileEnv, MobileObject};
 use crate::proto::{self, methods, Outcome};
 use crate::registry::{class_key, Registry, CLASS_PREFIX};
 use crate::security::TrustPolicy;
-use crate::admission::Quotas;
 
 /// Tuning knobs for one namespace's MAGE runtime.
 #[derive(Debug, Clone, Copy)]
@@ -87,6 +87,20 @@ pub struct MageNode {
     pub(crate) next_task: u64,
     pub(crate) trust: TrustPolicy,
     pub(crate) quotas: Quotas,
+    /// Find requests for objects currently in transit, answered when the
+    /// move settles (with the destination) or aborts (with this node).
+    /// Concurrent clients may legitimately look an object up mid-move —
+    /// the pipelined session API makes that interleaving routine.
+    pub(crate) transit_finds: BTreeMap<String, Vec<TransitFindWaiter>>,
+}
+
+/// A find parked while its object is in transit: either a remote call to
+/// answer over RMI, or a local driver operation to complete.
+pub(crate) enum TransitFindWaiter {
+    /// Remote `mage.find` call awaiting a reply.
+    Reply(ReplyHandle),
+    /// Driver-originated find issued at this node.
+    Op(OpId),
 }
 
 impl MageNode {
@@ -118,6 +132,7 @@ impl MageNode {
             next_task: 0,
             trust: TrustPolicy::default(),
             quotas: Quotas::unlimited(),
+            transit_finds: BTreeMap::new(),
         }
     }
 
@@ -151,11 +166,7 @@ impl MageNode {
 
     // ---- server-side handlers (MageServer / MageExternalServer) ----
 
-    fn handle_find(
-        &mut self,
-        env: &mut Env<'_, '_>,
-        call: InboundCall,
-    ) -> CallOutcome {
+    fn handle_find(&mut self, env: &mut Env<'_, '_>, call: InboundCall) -> CallOutcome {
         let args: proto::FindArgs = match mage_codec::from_bytes(call.args()) {
             Ok(args) => args,
             Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
@@ -163,6 +174,19 @@ impl MageNode {
         let me = env.node();
         if self.has_component(&args.name) {
             return reply_ok(&me.as_raw());
+        }
+        if self
+            .objects
+            .get(&args.name)
+            .is_some_and(|hosted| hosted.in_transit)
+        {
+            // Mid-move: park the find and answer once the transfer settles
+            // (forwarding address is only valid after the receive ack).
+            self.transit_finds
+                .entry(args.name)
+                .or_default()
+                .push(TransitFindWaiter::Reply(call.handle()));
+            return CallOutcome::Deferred;
         }
         let Some(next) = self.registry.lookup(&args.name) else {
             return CallOutcome::Reply(Err(Fault::NotBound(args.name)));
@@ -185,8 +209,11 @@ impl MageNode {
             next,
             proto::SERVICE,
             methods::FIND,
-            mage_codec::to_bytes(&proto::FindArgs { name: args.name, visited })
-                .expect("find args encode"),
+            mage_codec::to_bytes(&proto::FindArgs {
+                name: args.name,
+                visited,
+            })
+            .expect("find args encode"),
             token,
         );
         CallOutcome::Deferred
@@ -302,7 +329,12 @@ impl MageNode {
         }
     }
 
-    fn handle_receive(&mut self, env: &mut Env<'_, '_>, from: NodeId, call: InboundCall) -> CallOutcome {
+    fn handle_receive(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        from: NodeId,
+        call: InboundCall,
+    ) -> CallOutcome {
         let args: proto::ReceiveArgs = match mage_codec::from_bytes(call.args()) {
             Ok(args) => args,
             Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
@@ -483,22 +515,44 @@ impl MageNode {
                 self.complete(
                     env,
                     op,
-                    Ok(Outcome { location: me.as_raw(), ..Outcome::default() }),
+                    Ok(Outcome {
+                        location: me.as_raw(),
+                        ..Outcome::default()
+                    }),
                 );
             }
-            proto::Command::CreateObject { op, class, name, state, visibility } => {
+            proto::Command::CreateObject {
+                op,
+                class,
+                name,
+                state,
+                visibility,
+            } => {
                 let op = OpId::from_raw(op);
                 let result =
                     self.create_local_object(env, &class, &name, &state, visibility, false);
                 self.complete(env, op, result);
             }
-            proto::Command::Find { op, name, home_hint } => {
+            proto::Command::Find {
+                op,
+                name,
+                home_hint,
+            } => {
                 self.start_client_find(env, OpId::from_raw(op), name, home_hint);
             }
-            proto::Command::Lock { op, name, target, home_hint } => {
+            proto::Command::Lock {
+                op,
+                name,
+                target,
+                home_hint,
+            } => {
                 self.start_client_lock(env, OpId::from_raw(op), name, target, home_hint);
             }
-            proto::Command::Unlock { op, name, home_hint } => {
+            proto::Command::Unlock {
+                op,
+                name,
+                home_hint,
+            } => {
                 self.start_client_unlock(env, OpId::from_raw(op), name, home_hint);
             }
             proto::Command::Execute { op, spec } => {
@@ -514,16 +568,29 @@ impl MageNode {
                 self.complete(
                     env,
                     OpId::from_raw(op),
-                    Ok(Outcome { location: me, ..Outcome::default() }),
+                    Ok(Outcome {
+                        location: me,
+                        ..Outcome::default()
+                    }),
                 );
             }
-            proto::Command::SetQuota { op, max_objects, max_classes } => {
-                self.quotas = Quotas { max_objects, max_classes };
+            proto::Command::SetQuota {
+                op,
+                max_objects,
+                max_classes,
+            } => {
+                self.quotas = Quotas {
+                    max_objects,
+                    max_classes,
+                };
                 let me = env.node().as_raw();
                 self.complete(
                     env,
                     OpId::from_raw(op),
-                    Ok(Outcome { location: me, ..Outcome::default() }),
+                    Ok(Outcome {
+                        location: me,
+                        ..Outcome::default()
+                    }),
                 );
             }
             proto::Command::AllowStaticClasses { op, allow } => {
@@ -532,7 +599,10 @@ impl MageNode {
                 self.complete(
                     env,
                     OpId::from_raw(op),
-                    Ok(Outcome { location: me, ..Outcome::default() }),
+                    Ok(Outcome {
+                        location: me,
+                        ..Outcome::default()
+                    }),
                 );
             }
         }
@@ -582,7 +652,10 @@ impl MageNode {
             },
         );
         self.registry.update(name.to_owned(), me);
-        Ok(Outcome { location: me.as_raw(), ..Outcome::default() })
+        Ok(Outcome {
+            location: me.as_raw(),
+            ..Outcome::default()
+        })
     }
 }
 

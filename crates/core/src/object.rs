@@ -25,12 +25,7 @@ pub struct MobileEnv<'a> {
 }
 
 impl<'a> MobileEnv<'a> {
-    pub(crate) fn new(
-        node: NodeId,
-        node_name: &'a str,
-        now: SimTime,
-        rng: &'a mut StdRng,
-    ) -> Self {
+    pub(crate) fn new(node: NodeId, node_name: &'a str, now: SimTime, rng: &'a mut StdRng) -> Self {
         MobileEnv {
             node,
             node_name,

@@ -1,0 +1,108 @@
+//! Typed in-flight operations.
+//!
+//! Every [`Session`](crate::Session) operation has an `_async` form that
+//! injects its command into the simulated world and immediately returns a
+//! [`Pending<T>`] — a typed handle to the eventual result. Decoding is
+//! deferred to [`Pending::wait`], so a driver can issue a whole batch of
+//! operations (across several sessions), pump the world with
+//! [`Runtime::step`](crate::Runtime::step) or
+//! [`Runtime::run_until_idle`](crate::Runtime::run_until_idle), and only
+//! then collect results. This is what makes the paper's §4.4 concurrent
+//! locking and Figure 8 contention scenarios first-class instead of
+//! bolted on.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use mage_sim::OpId;
+
+use crate::error::MageError;
+use crate::proto::{self, Outcome};
+use crate::runtime::{Directory, Inner};
+use crate::session::SessionState;
+
+/// Decodes a completed [`Outcome`] into the operation's typed result,
+/// applying any cache updates (object locations, factory homes) as a side
+/// effect.
+pub(crate) type DecodeFn<T> =
+    Box<dyn FnOnce(Outcome, &mut Directory, &mut SessionState) -> Result<T, MageError>>;
+
+/// A typed, in-flight driver operation.
+///
+/// Obtained from the `_async` methods on [`Session`](crate::Session).
+/// Dropping a `Pending` abandons the result (the operation itself still
+/// runs to completion inside the world).
+#[must_use = "a Pending does nothing until waited on"]
+pub struct Pending<T> {
+    op: OpId,
+    inner: Rc<RefCell<Inner>>,
+    state: Rc<RefCell<SessionState>>,
+    /// `Some` until [`wait`](Pending::wait) consumes it (an `Option` so
+    /// the `Drop` impl can coexist with the by-value `wait`).
+    decode: Option<DecodeFn<T>>,
+}
+
+impl<T> Pending<T> {
+    pub(crate) fn new(
+        op: OpId,
+        inner: Rc<RefCell<Inner>>,
+        state: Rc<RefCell<SessionState>>,
+        decode: DecodeFn<T>,
+    ) -> Self {
+        Pending {
+            op,
+            inner,
+            state,
+            decode: Some(decode),
+        }
+    }
+
+    /// The underlying simulator operation id.
+    pub fn op_id(&self) -> OpId {
+        self.op
+    }
+
+    /// Whether the operation has completed, without running the world any
+    /// further.
+    ///
+    /// `is_done` and [`wait`](Pending::wait) agree: once `is_done` returns
+    /// `true`, `wait` returns without advancing virtual time.
+    pub fn is_done(&self) -> bool {
+        self.inner.borrow().world.op_result(self.op).is_some()
+    }
+
+    /// Runs the world until the operation completes, then decodes its
+    /// typed result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the operation's failure, a simulation stall, or a decode
+    /// failure.
+    pub fn wait(mut self) -> Result<T, MageError> {
+        let decode = self.decode.take().expect("wait consumes the handle once");
+        let bytes = self.inner.borrow_mut().world.block_on(self.op)?;
+        let outcome = proto::decode_completion(&bytes)??;
+        let mut inner = self.inner.borrow_mut();
+        let mut state = self.state.borrow_mut();
+        decode(outcome, &mut inner.dir, &mut state)
+    }
+}
+
+impl<T> Drop for Pending<T> {
+    fn drop(&mut self) {
+        // An un-waited handle abandons its result: tell the world not to
+        // retain the completion payload (the operation itself still runs).
+        if self.decode.is_some() {
+            self.inner.borrow_mut().world.forget_op(self.op);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for Pending<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pending")
+            .field("op", &self.op)
+            .field("done", &self.is_done())
+            .finish_non_exhaustive()
+    }
+}

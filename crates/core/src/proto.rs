@@ -389,7 +389,10 @@ mod tests {
             home: 0,
             visibility: Visibility::Public,
             version: 4,
-            locks: HolderTransfer { stay_holders: vec![5], move_holder: None },
+            locks: HolderTransfer {
+                stay_holders: vec![5],
+                move_holder: None,
+            },
         };
         let bytes = mage_codec::to_bytes(&args).unwrap();
         assert_eq!(mage_codec::from_bytes::<ReceiveArgs>(&bytes).unwrap(), args);

@@ -1,81 +1,108 @@
-//! The synchronous experiment facade over a simulated MAGE deployment.
+//! The experiment facade over a simulated MAGE deployment.
 //!
-//! [`Runtime`] owns a [`World`] of MAGE nodes and exposes the paper's
-//! programming model as blocking calls: deploy classes, create objects,
-//! bind mobility attributes, invoke through the returned stubs, and bracket
-//! operations with stay/move locks. Every operation advances virtual time
-//! deterministically, so `rt.now()` deltas are the measurements the
-//! benchmark harness reports.
+//! [`Runtime`] owns a [`World`] of MAGE nodes plus the world-wide
+//! deployment directory, and hands out per-namespace [`Session`] handles.
+//! A session carries client identity and the per-client caches; the
+//! runtime keeps only what is genuinely shared — the class library, the
+//! namespace directory, origin-server knowledge ("clients share the name
+//! of the mobile object's origin server", §7) and admin controls. Every
+//! operation advances virtual time deterministically, so `rt.now()`
+//! deltas are the measurements the benchmark harness reports.
+//!
+//! ```
+//! use mage_core::attribute::Rev;
+//! use mage_core::workload_support::{methods, test_object_class};
+//! use mage_core::{Runtime, Visibility};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rt = Runtime::builder()
+//!     .nodes(["lab", "sensor1"])
+//!     .class(test_object_class())
+//!     .build();
+//! rt.deploy_class("TestObject", "lab")?;
+//!
+//! // Two independent sessions interleave against one world.
+//! let lab = rt.session("lab")?;
+//! let sensor = rt.session("sensor1")?;
+//! lab.create_object("TestObject", "counter", &(), Visibility::Public)?;
+//!
+//! let a = lab.bind_async(&Rev::new("TestObject", "counter", "sensor1"))?;
+//! let stub = a.wait()?;
+//! let n = sensor.call(&stub, methods::GET, &());
+//! # let _ = n;
+//! # Ok(())
+//! # }
+//! ```
 
+use std::cell::{Ref, RefCell, RefMut};
 use std::collections::BTreeMap;
+use std::rc::Rc;
 use std::sync::Arc;
 
 use bytes::Bytes;
 use mage_rmi::{Config as RmiConfig, Endpoint};
-use mage_sim::{LinkSpec, Network, NodeId, OpId, SimDuration, SimTime, World};
+use mage_sim::{LinkSpec, Network, NodeId, SimDuration, SimTime, World};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
 
-use crate::attribute::{BindView, Mode, MobilityAttribute, Target};
+use crate::attribute::MobilityAttribute;
 use crate::class::{ClassDef, ClassLibrary};
-use crate::coercion::{coerce, Coerced, Situation};
 use crate::component::Visibility;
 use crate::error::MageError;
 use crate::lock::LockKind;
 use crate::node::{MageNode, NodeConfig};
-use crate::proto::{self, ActionSpec, Command, ExecSpec, InvokeSpec, Outcome};
+use crate::pending::Pending;
+use crate::proto::{self, Command, Outcome};
 use crate::registry::class_key;
+use crate::session::{BindReceipt, Session, Stub};
 
-/// A client-side reference to a bound component: which namespace bound it,
-/// and where the object was last known to live.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct Stub {
-    client: NodeId,
-    at: NodeId,
-    object: String,
-    class: String,
-    home: Option<NodeId>,
+/// World-wide deployment knowledge shared by every session: where classes
+/// and objects originate, their visibility, and published load figures.
+#[derive(Debug, Default)]
+pub(crate) struct Directory {
+    /// Origin server of each object / `class:`-keyed class.
+    pub homes: BTreeMap<String, NodeId>,
+    /// Declared visibility of each object.
+    pub visibility: BTreeMap<String, Visibility>,
+    /// Synthetic per-node load figures (read by custom attributes).
+    pub loads: BTreeMap<NodeId, f64>,
 }
 
-impl Stub {
-    /// The namespace that performed the bind (invocations originate here).
-    pub fn client(&self) -> NodeId {
-        self.client
-    }
-
-    /// Last known location of the object.
-    pub fn location(&self) -> NodeId {
-        self.at
-    }
-
-    /// The object's registered name.
-    pub fn object(&self) -> &str {
-        &self.object
-    }
-
-    /// The object's class.
-    pub fn class(&self) -> &str {
-        &self.class
-    }
+/// The mutable heart of a deployment, shared between the runtime and its
+/// sessions through `Rc<RefCell<_>>` (the simulation is single-threaded
+/// and deterministic; interleaving is decided by who pumps the world).
+pub(crate) struct Inner {
+    pub world: World,
+    pub ids: Arc<BTreeMap<String, NodeId>>,
+    pub dir: Directory,
 }
 
-/// Everything a bind produced: the stub plus how coercion resolved it.
-#[derive(Debug, Clone, PartialEq)]
-pub struct BindReceipt {
-    /// The stub for subsequent invocations.
-    pub stub: Stub,
-    /// How the coercion matrix resolved this bind (Table 2).
-    pub coerced: Coerced,
-    /// Lock kind acquired, when the plan was guarded.
-    pub lock_kind: Option<LockKind>,
-    /// Invocation result, when the bind included one.
-    pub result: Option<Vec<u8>>,
-}
+impl Inner {
+    pub fn node_id(&self, name: &str) -> Result<NodeId, MageError> {
+        self.ids
+            .get(name)
+            .copied()
+            .ok_or_else(|| MageError::BadPlan(format!("unknown namespace {name:?}")))
+    }
 
-/// An asynchronous driver operation (used to create concurrent contention
-/// in tests and the locking figure).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Pending(OpId);
+    pub fn inject(&mut self, node: NodeId, cmd: Command) {
+        let payload = Bytes::from(mage_codec::to_bytes(&cmd).expect("commands encode"));
+        self.world.inject(node, "mage-cmd", payload);
+    }
+
+    /// Injects a command and blocks until its completion decodes.
+    pub fn command_sync(
+        &mut self,
+        node: NodeId,
+        build: impl FnOnce(u64) -> Command,
+    ) -> Result<Outcome, MageError> {
+        let op = self.world.begin_op();
+        let cmd = build(op.as_raw());
+        self.inject(node, cmd);
+        let bytes = self.world.block_on(op)?;
+        proto::decode_completion(&bytes)?
+    }
+}
 
 /// Builder for a [`Runtime`].
 pub struct RuntimeBuilder {
@@ -168,7 +195,10 @@ impl RuntimeBuilder {
     ///
     /// Panics if no namespaces were added or if two share a name.
     pub fn build(self) -> Runtime {
-        assert!(!self.nodes.is_empty(), "a runtime needs at least one namespace");
+        assert!(
+            !self.nodes.is_empty(),
+            "a runtime needs at least one namespace"
+        );
         let lib = Arc::new(self.lib);
         let mut world = World::with_network(self.seed, Network::new(self.link));
         if self.trace {
@@ -177,7 +207,8 @@ impl RuntimeBuilder {
         let mut ids = BTreeMap::new();
         for (i, name) in self.nodes.iter().enumerate() {
             assert!(
-                ids.insert(name.clone(), NodeId::from_raw(i as u32)).is_none(),
+                ids.insert(name.clone(), NodeId::from_raw(i as u32))
+                    .is_none(),
                 "duplicate namespace name {name:?}"
             );
         }
@@ -186,27 +217,37 @@ impl RuntimeBuilder {
             let id = world.add_node(name.clone(), Endpoint::new(node, self.rmi));
             debug_assert_eq!(Some(id), ids.get(name).copied());
         }
+        let ids = Arc::new(ids);
+        // Reverse index for O(1) `node_name`; node ids are dense and
+        // assigned in insertion order.
+        let names = Arc::new(self.nodes);
         Runtime {
-            world,
-            lib,
+            inner: Rc::new(RefCell::new(Inner {
+                world,
+                ids: Arc::clone(&ids),
+                dir: Directory::default(),
+            })),
             ids,
-            homes: BTreeMap::new(),
-            cached_loc: BTreeMap::new(),
-            visibility: BTreeMap::new(),
-            loads: BTreeMap::new(),
+            names,
+            lib,
+            legacy_sessions: BTreeMap::new(),
         }
     }
 }
 
 /// A running MAGE deployment.
+///
+/// Client operations live on [`Session`] handles obtained from
+/// [`Runtime::session`]; the runtime itself exposes the shared world:
+/// deployment, time, trace, network control and admin policies.
 pub struct Runtime {
-    world: World,
+    inner: Rc<RefCell<Inner>>,
+    ids: Arc<BTreeMap<String, NodeId>>,
+    names: Arc<Vec<String>>,
     lib: Arc<ClassLibrary>,
-    ids: BTreeMap<String, NodeId>,
-    homes: BTreeMap<String, NodeId>,
-    cached_loc: BTreeMap<String, NodeId>,
-    visibility: BTreeMap<String, Visibility>,
-    loads: BTreeMap<NodeId, f64>,
+    /// Sessions backing the deprecated string-keyed facade, one per
+    /// client name, created on first use.
+    legacy_sessions: BTreeMap<String, Session>,
 }
 
 impl Runtime {
@@ -223,6 +264,24 @@ impl Runtime {
         }
     }
 
+    /// Opens a client session bound to namespace `name`.
+    ///
+    /// Sessions are cheap; each carries its own §3.5 location cache, so
+    /// two sessions interleave operations against one world without
+    /// sharing client state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MageError::BadPlan`] for unknown names.
+    pub fn session(&self, name: &str) -> Result<Session, MageError> {
+        let client = self.node_id(name)?;
+        Ok(Session::new(
+            name.to_owned(),
+            client,
+            Rc::clone(&self.inner),
+        ))
+    }
+
     /// Resolves a namespace display name.
     ///
     /// # Errors
@@ -235,12 +294,9 @@ impl Runtime {
             .ok_or_else(|| MageError::BadPlan(format!("unknown namespace {name:?}")))
     }
 
-    /// The display name of a node.
+    /// The display name of a node (O(1) via the reverse index).
     pub fn node_name(&self, id: NodeId) -> Option<&str> {
-        self.ids
-            .iter()
-            .find(|(_, v)| **v == id)
-            .map(|(k, _)| k.as_str())
+        self.names.get(id.as_raw() as usize).map(String::as_str)
     }
 
     /// The world-wide class library.
@@ -248,7 +304,7 @@ impl Runtime {
         &self.lib
     }
 
-    // ---- deployment ----
+    // ---- deployment (out-of-band admin) ----
 
     /// Makes `class` available in namespace `node` (out-of-band, like
     /// installing a jar on a host).
@@ -259,433 +315,27 @@ impl Runtime {
     pub fn deploy_class(&mut self, class: &str, node: &str) -> Result<(), MageError> {
         let id = self.node_id(node)?;
         let class_owned = class.to_owned();
-        self.command(id, |op| Command::DeployClass { op, class: class_owned })?;
-        self.homes.insert(class_key(class), id);
-        Ok(())
-    }
-
-    /// Creates an object of `class` named `name` in namespace `node`.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the class is not deployed there or the name is taken.
-    pub fn create_object<T: Serialize>(
-        &mut self,
-        class: &str,
-        name: &str,
-        node: &str,
-        state: &T,
-        visibility: Visibility,
-    ) -> Result<Stub, MageError> {
-        let id = self.node_id(node)?;
-        let state = mage_codec::to_bytes(state)?;
-        let (class_owned, name_owned) = (class.to_owned(), name.to_owned());
-        self.command(id, move |op| Command::CreateObject {
+        let mut inner = self.inner.borrow_mut();
+        inner.command_sync(id, |op| Command::DeployClass {
             op,
             class: class_owned,
-            name: name_owned,
-            state,
-            visibility,
         })?;
-        self.homes.insert(name.to_owned(), id);
-        self.cached_loc.insert(name.to_owned(), id);
-        self.visibility.insert(name.to_owned(), visibility);
-        Ok(Stub {
-            client: id,
-            at: id,
-            object: name.to_owned(),
-            class: class.to_owned(),
-            home: Some(id),
-        })
-    }
-
-    // ---- core operations ----
-
-    /// Locates a component from `client`'s point of view.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MageError::NotFound`] when no forwarding chain reaches it.
-    pub fn find(&mut self, client: &str, name: &str) -> Result<NodeId, MageError> {
-        let client = self.node_id(client)?;
-        self.find_from(client, name)
-    }
-
-    fn find_from(&mut self, client: NodeId, name: &str) -> Result<NodeId, MageError> {
-        let home_hint = self.homes.get(name).map(|n| n.as_raw());
-        let name_owned = name.to_owned();
-        let outcome =
-            self.command(client, move |op| Command::Find { op, name: name_owned, home_hint })?;
-        let loc = NodeId::from_raw(outcome.location);
-        self.cached_loc.insert(name.to_owned(), loc);
-        Ok(loc)
-    }
-
-    /// Binds a mobility attribute from `client`, returning a stub.
-    ///
-    /// This is the paper's `o = ma.bind()` (§3.1): find the component,
-    /// consult the attribute's plan, apply mobility coercion, and run the
-    /// resulting placement protocol.
-    ///
-    /// # Errors
-    ///
-    /// Propagates coercion errors (Table 2's exception cells), lookup
-    /// failures and protocol denials.
-    pub fn bind(&mut self, client: &str, attr: &dyn MobilityAttribute) -> Result<Stub, MageError> {
-        self.bind_full(client, attr).map(|receipt| receipt.stub)
-    }
-
-    /// Binds and returns the full receipt (coercion outcome, lock kind).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Runtime::bind`].
-    pub fn bind_full(
-        &mut self,
-        client: &str,
-        attr: &dyn MobilityAttribute,
-    ) -> Result<BindReceipt, MageError> {
-        self.bind_impl(client, attr, None)
-    }
-
-    /// Binds and invokes in a single bracketed engine operation (the §4.4
-    /// `lock → bind → invoke → unlock` pattern when the plan is guarded).
-    ///
-    /// Returns the stub and the decoded result (`None` for one-way
-    /// attributes such as mobile agents).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Runtime::bind`], plus marshalling failures.
-    pub fn bind_invoke<T: Serialize, R: DeserializeOwned>(
-        &mut self,
-        client: &str,
-        attr: &dyn MobilityAttribute,
-        method: &str,
-        args: &T,
-    ) -> Result<(Stub, Option<R>), MageError> {
-        let invoke = InvokeSpec {
-            method: method.to_owned(),
-            args: mage_codec::to_bytes(args)?,
-            one_way: attr.one_way(),
-        };
-        let receipt = self.bind_impl(client, attr, Some(invoke))?;
-        let result = match receipt.result {
-            Some(bytes) => Some(mage_codec::from_bytes(&bytes)?),
-            None => None,
-        };
-        Ok((receipt.stub, result))
-    }
-
-    fn bind_impl(
-        &mut self,
-        client: &str,
-        attr: &dyn MobilityAttribute,
-        invoke: Option<InvokeSpec>,
-    ) -> Result<BindReceipt, MageError> {
-        let client_id = self.node_id(client)?;
-        let component = attr.component().clone();
-        let base_name = component
-            .object_name()
-            .ok_or_else(|| MageError::BadPlan("attribute has no object name".into()))?
-            .to_owned();
-        let class = component.class_name().to_owned();
-
-        // Preliminary plan using cached knowledge (private objects'
-        // cached location is authoritative, §3.5).
-        let cached = self.cached_loc.get(&base_name).copied();
-        let prelim_view =
-            BindView::new(client_id, cached, &self.ids, &self.loads, self.world.now());
-        let mut plan = attr.plan(&prelim_view)?;
-
-        let is_factory = matches!(plan.mode, Mode::Factory { .. });
-        let location = if is_factory {
-            None // a fresh instance is about to be created
-        } else {
-            let public = self
-                .visibility
-                .get(&base_name)
-                .copied()
-                .unwrap_or(Visibility::Public)
-                == Visibility::Public;
-            let known = if public || cached.is_none() {
-                // Shared objects may have been moved by another thread and
-                // must be found before use (§3.5).
-                match self.find_from(client_id, &base_name) {
-                    Ok(loc) => Some(loc),
-                    Err(MageError::NotFound(_)) => None,
-                    Err(e) => return Err(e),
-                }
-            } else {
-                cached
-            };
-            if known != cached {
-                let view =
-                    BindView::new(client_id, known, &self.ids, &self.loads, self.world.now());
-                plan = attr.plan(&view)?;
-            }
-            known
-        };
-
-        // Resolve the plan's target to a node.
-        let target = match &plan.target {
-            Target::Client => Some(client_id),
-            Target::Node(name) => Some(self.node_id(name)?),
-            Target::Current => location,
-        };
-        let classify_target = match &plan.target {
-            Target::Current => None,
-            _ => target,
-        };
-        let situation = Situation::classify(client_id, classify_target, location);
-        let coerced = coerce(attr.model(), situation)?;
-
-        // Factory binds register the fresh instance under the component's
-        // object name, replacing any previous instance (RMI-style rebind);
-        // that is how the paper's REV factory creates `geoData` on
-        // `sensor1` for later attributes to bind to (§3.6).
-        let object_name = base_name.clone();
-
-        let action = match coerced {
-            Coerced::AsLpc => ActionSpec::Local,
-            Coerced::AsRpc => ActionSpec::InvokeAt {
-                node: location.expect("coerced to RPC implies a located component").as_raw(),
-            },
-            Coerced::Proceed => match plan.mode.clone() {
-                Mode::Stationary => match &plan.target {
-                    Target::Client => ActionSpec::Local,
-                    Target::Node(_) => ActionSpec::InvokeAt {
-                        node: target.expect("named target resolved").as_raw(),
-                    },
-                    Target::Current => match location {
-                        Some(loc) => ActionSpec::InvokeAt { node: loc.as_raw() },
-                        None => return Err(MageError::NotFound(base_name)),
-                    },
-                },
-                Mode::Move => {
-                    let dest = target
-                        .ok_or_else(|| MageError::BadPlan("move needs a target".into()))?;
-                    if location.is_none() {
-                        return Err(MageError::NotFound(base_name));
-                    }
-                    ActionSpec::MoveTo { node: dest.as_raw() }
-                }
-                Mode::Factory { state, visibility } => {
-                    self.visibility.insert(object_name.clone(), visibility);
-                    ActionSpec::Instantiate {
-                        node: target.unwrap_or(client_id).as_raw(),
-                        state,
-                        visibility,
-                    }
-                }
-            },
-        };
-
-        let spec = ExecSpec {
-            class: class.clone(),
-            object: Some(object_name.clone()),
-            location_hint: location.map(|n| n.as_raw()),
-            home_hint: self
-                .homes
-                .get(&object_name)
-                .or_else(|| self.homes.get(&base_name))
-                .or_else(|| self.homes.get(&class_key(&class)))
-                .map(|n| n.as_raw()),
-            action,
-            invoke,
-            guard: plan.guard,
-        };
-        let outcome = self.command(client_id, move |op| Command::Execute { op, spec })?;
-        let at = NodeId::from_raw(outcome.location);
-        self.cached_loc.insert(object_name.clone(), at);
-        if is_factory {
-            self.homes.insert(object_name.clone(), at);
-        }
-        Ok(BindReceipt {
-            stub: Stub {
-                client: client_id,
-                at,
-                object: object_name,
-                class,
-                home: self.homes.get(&base_name).copied(),
-            },
-            coerced,
-            lock_kind: outcome.lock_kind,
-            result: outcome.result,
-        })
-    }
-
-    /// Invokes `method` through a stub and decodes the result.
-    ///
-    /// # Errors
-    ///
-    /// Propagates invocation faults and marshalling failures.
-    pub fn call<T: Serialize, R: DeserializeOwned>(
-        &mut self,
-        stub: &Stub,
-        method: &str,
-        args: &T,
-    ) -> Result<R, MageError> {
-        let bytes = self.call_raw(stub, method, mage_codec::to_bytes(args)?)?;
-        mage_codec::from_bytes(&bytes).map_err(MageError::from)
-    }
-
-    /// Invokes `method` through a stub with pre-marshalled arguments.
-    ///
-    /// # Errors
-    ///
-    /// Propagates invocation faults.
-    pub fn call_raw(
-        &mut self,
-        stub: &Stub,
-        method: &str,
-        args: Vec<u8>,
-    ) -> Result<Vec<u8>, MageError> {
-        let at = self
-            .cached_loc
-            .get(&stub.object)
-            .copied()
-            .unwrap_or(stub.at);
-        let spec = ExecSpec {
-            class: stub.class.clone(),
-            object: Some(stub.object.clone()),
-            location_hint: Some(at.as_raw()),
-            home_hint: stub.home.map(|n| n.as_raw()),
-            action: ActionSpec::InvokeAt { node: at.as_raw() },
-            invoke: Some(InvokeSpec { method: method.to_owned(), args, one_way: false }),
-            guard: false,
-        };
-        let outcome = self.command(stub.client, move |op| Command::Execute { op, spec })?;
-        self.cached_loc
-            .insert(stub.object.clone(), NodeId::from_raw(outcome.location));
-        outcome
-            .result
-            .ok_or_else(|| MageError::Rmi("invocation returned no result".into()))
-    }
-
-    /// Fire-and-forget invocation through a stub.
-    ///
-    /// # Errors
-    ///
-    /// Propagates marshalling failures and placement errors; delivery of
-    /// the invocation itself is not awaited.
-    pub fn send<T: Serialize>(
-        &mut self,
-        stub: &Stub,
-        method: &str,
-        args: &T,
-    ) -> Result<(), MageError> {
-        let at = self
-            .cached_loc
-            .get(&stub.object)
-            .copied()
-            .unwrap_or(stub.at);
-        let spec = ExecSpec {
-            class: stub.class.clone(),
-            object: Some(stub.object.clone()),
-            location_hint: Some(at.as_raw()),
-            home_hint: stub.home.map(|n| n.as_raw()),
-            action: ActionSpec::InvokeAt { node: at.as_raw() },
-            invoke: Some(InvokeSpec {
-                method: method.to_owned(),
-                args: mage_codec::to_bytes(args)?,
-                one_way: true,
-            }),
-            guard: false,
-        };
-        self.command(stub.client, move |op| Command::Execute { op, spec })?;
+        inner.dir.homes.insert(class_key(class), id);
         Ok(())
-    }
-
-    // ---- locking (§4.4) ----
-
-    /// Acquires a stay/move lock on `name` from `client`; the kind depends
-    /// on whether the object already resides at `target`.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the object cannot be located.
-    pub fn lock(&mut self, client: &str, name: &str, target: &str) -> Result<LockKind, MageError> {
-        let pending = self.lock_async(client, name, target)?;
-        let outcome = self.wait(pending)?;
-        outcome
-            .lock_kind
-            .ok_or_else(|| MageError::Rmi("lock reply carried no kind".into()))
-    }
-
-    /// Starts a lock acquisition without blocking (for contention tests).
-    ///
-    /// # Errors
-    ///
-    /// Fails on unknown namespace names.
-    pub fn lock_async(
-        &mut self,
-        client: &str,
-        name: &str,
-        target: &str,
-    ) -> Result<Pending, MageError> {
-        let client = self.node_id(client)?;
-        let target = self.node_id(target)?;
-        let home_hint = self.homes.get(name).map(|n| n.as_raw());
-        let op = self.world.begin_op();
-        let cmd = Command::Lock {
-            op: op.as_raw(),
-            name: name.to_owned(),
-            target: target.as_raw(),
-            home_hint,
-        };
-        self.inject(client, cmd);
-        Ok(Pending(op))
-    }
-
-    /// Releases `client`'s lock on `name`.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the object cannot be located.
-    pub fn unlock(&mut self, client: &str, name: &str) -> Result<(), MageError> {
-        let pending = self.unlock_async(client, name)?;
-        self.wait(pending)?;
-        Ok(())
-    }
-
-    /// Starts an unlock without blocking.
-    ///
-    /// # Errors
-    ///
-    /// Fails on unknown namespace names.
-    pub fn unlock_async(&mut self, client: &str, name: &str) -> Result<Pending, MageError> {
-        let client = self.node_id(client)?;
-        let home_hint = self.homes.get(name).map(|n| n.as_raw());
-        let op = self.world.begin_op();
-        let cmd = Command::Unlock { op: op.as_raw(), name: name.to_owned(), home_hint };
-        self.inject(client, cmd);
-        Ok(Pending(op))
-    }
-
-    /// Blocks until a pending operation completes.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the operation's failure or a simulation stall.
-    pub fn wait(&mut self, pending: Pending) -> Result<Outcome, MageError> {
-        let bytes = self.world.block_on(pending.0)?;
-        proto::decode_completion(&bytes)?
-    }
-
-    /// Whether a pending operation has completed (without running the
-    /// world further).
-    pub fn is_done(&self, pending: Pending) -> bool {
-        self.world.op_result(pending.0).is_some()
     }
 
     // ---- policies (§7 extensions) ----
 
     /// Publishes a synthetic load figure for a namespace (read by custom
-    /// attributes through [`BindView::load`]).
+    /// attributes through
+    /// [`BindView::load`](crate::attribute::BindView::load)).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown namespace names.
     pub fn set_load(&mut self, node: &str, load: f64) -> Result<(), MageError> {
         let id = self.node_id(node)?;
-        self.loads.insert(id, load);
+        self.inner.borrow_mut().dir.loads.insert(id, load);
         Ok(())
     }
 
@@ -707,7 +357,9 @@ impl Runtime {
                 Some(ids)
             }
         };
-        self.command(id, move |op| Command::SetTrust { op, allow })?;
+        self.inner
+            .borrow_mut()
+            .command_sync(id, move |op| Command::SetTrust { op, allow })?;
         Ok(())
     }
 
@@ -723,7 +375,13 @@ impl Runtime {
         max_classes: Option<u64>,
     ) -> Result<(), MageError> {
         let id = self.node_id(node)?;
-        self.command(id, move |op| Command::SetQuota { op, max_objects, max_classes })?;
+        self.inner
+            .borrow_mut()
+            .command_sync(id, move |op| Command::SetQuota {
+                op,
+                max_objects,
+                max_classes,
+            })?;
         Ok(())
     }
 
@@ -735,7 +393,9 @@ impl Runtime {
     /// Fails on unknown namespace names.
     pub fn allow_static_classes(&mut self, node: &str, allow: bool) -> Result<(), MageError> {
         let id = self.node_id(node)?;
-        self.command(id, move |op| Command::AllowStaticClasses { op, allow })?;
+        self.inner
+            .borrow_mut()
+            .command_sync(id, move |op| Command::AllowStaticClasses { op, allow })?;
         Ok(())
     }
 
@@ -743,7 +403,16 @@ impl Runtime {
 
     /// Current virtual time.
     pub fn now(&self) -> SimTime {
-        self.world.now()
+        self.inner.borrow().world.now()
+    }
+
+    /// Processes a single simulation event, if any is due.
+    ///
+    /// Returns `false` when the world is idle. This is the finest-grained
+    /// way to drive a batch of in-flight [`Pending`] operations and
+    /// observe their interleaving.
+    pub fn step(&mut self) -> bool {
+        self.inner.borrow_mut().world.step()
     }
 
     /// Advances virtual time, letting autonomous activity (agent hops,
@@ -753,59 +422,276 @@ impl Runtime {
     ///
     /// Propagates simulation failures.
     pub fn advance(&mut self, d: SimDuration) -> Result<(), MageError> {
-        self.world.advance(d).map_err(MageError::from)
+        self.inner
+            .borrow_mut()
+            .world
+            .advance(d)
+            .map_err(MageError::from)
     }
 
-    /// Runs until no events remain.
+    /// Runs until no events remain (all in-flight operations complete).
     ///
     /// # Errors
     ///
     /// Propagates simulation failures.
     pub fn run_until_idle(&mut self) -> Result<(), MageError> {
-        self.world.run_until_idle().map_err(MageError::from)
+        self.inner
+            .borrow_mut()
+            .world
+            .run_until_idle()
+            .map_err(MageError::from)
     }
 
     /// The underlying world (metrics, trace, network control).
-    pub fn world(&self) -> &World {
-        &self.world
+    ///
+    /// Returns a guard; hold it in a binding before borrowing through it
+    /// (`let world = rt.world(); world.trace().events()`).
+    pub fn world(&self) -> Ref<'_, World> {
+        Ref::map(self.inner.borrow(), |inner| &inner.world)
     }
 
     /// Mutable access to the underlying world.
-    pub fn world_mut(&mut self) -> &mut World {
-        &mut self.world
+    pub fn world_mut(&mut self) -> RefMut<'_, World> {
+        RefMut::map(self.inner.borrow_mut(), |inner| &mut inner.world)
     }
 
     /// Renders the recorded protocol trace as a numbered message sequence.
     pub fn trace_rendered(&self) -> String {
-        mage_sim::render_message_sequence(self.world.trace(), &self.world.node_names())
+        let inner = self.inner.borrow();
+        mage_sim::render_message_sequence(inner.world.trace(), &inner.world.node_names())
     }
 
-    /// The driver's view of where every known object lives (for system
-    /// snapshots like the paper's Figure 6).
-    pub fn directory(&self) -> Vec<(String, NodeId)> {
-        self.cached_loc
-            .iter()
-            .map(|(name, loc)| (name.clone(), *loc))
-            .collect()
+    // ---- deprecated string-keyed facade (one release of grace) ----
+
+    /// Returns the implicit session backing the deprecated facade for
+    /// `client`, creating it on first use.
+    fn legacy_session(&mut self, client: &str) -> Result<Session, MageError> {
+        if let Some(session) = self.legacy_sessions.get(client) {
+            return Ok(session.clone());
+        }
+        let session = self.session(client)?;
+        self.legacy_sessions
+            .insert(client.to_owned(), session.clone());
+        Ok(session)
     }
 
-    // ---- internals ----
-
-    fn inject(&mut self, node: NodeId, cmd: Command) {
-        let payload = Bytes::from(mage_codec::to_bytes(&cmd).expect("commands encode"));
-        self.world.inject(node, "mage-cmd", payload);
-    }
-
-    fn command(
+    /// Creates an object of `class` named `name` in namespace `node`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the class is not deployed there or the name is taken.
+    #[deprecated(since = "0.2.0", note = "use `rt.session(node)?.create_object(...)`")]
+    pub fn create_object<T: Serialize>(
         &mut self,
-        node: NodeId,
-        build: impl FnOnce(u64) -> Command,
-    ) -> Result<Outcome, MageError> {
-        let op = self.world.begin_op();
-        let cmd = build(op.as_raw());
-        self.inject(node, cmd);
-        let bytes = self.world.block_on(op)?;
-        proto::decode_completion(&bytes)?
+        class: &str,
+        name: &str,
+        node: &str,
+        state: &T,
+        visibility: Visibility,
+    ) -> Result<Stub, MageError> {
+        self.legacy_session(node)?
+            .create_object(class, name, state, visibility)
+    }
+
+    /// Locates a component from `client`'s point of view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MageError::NotFound`] when no forwarding chain reaches it.
+    #[deprecated(since = "0.2.0", note = "use `rt.session(client)?.find(name)`")]
+    pub fn find(&mut self, client: &str, name: &str) -> Result<NodeId, MageError> {
+        self.legacy_session(client)?.find(name)
+    }
+
+    /// Binds a mobility attribute from `client`, returning a stub.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::bind`].
+    #[deprecated(since = "0.2.0", note = "use `rt.session(client)?.bind(attr)`")]
+    pub fn bind(&mut self, client: &str, attr: &dyn MobilityAttribute) -> Result<Stub, MageError> {
+        self.legacy_session(client)?.bind(attr)
+    }
+
+    /// Binds and returns the full receipt (coercion outcome, lock kind).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::bind_full`].
+    #[deprecated(since = "0.2.0", note = "use `rt.session(client)?.bind_full(attr)`")]
+    pub fn bind_full(
+        &mut self,
+        client: &str,
+        attr: &dyn MobilityAttribute,
+    ) -> Result<BindReceipt, MageError> {
+        self.legacy_session(client)?.bind_full(attr)
+    }
+
+    /// Binds and invokes in a single bracketed engine operation.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::bind_invoke`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `rt.session(client)?.bind_invoke(attr, METHOD, args)` with a typed descriptor"
+    )]
+    pub fn bind_invoke<T: Serialize, R: DeserializeOwned>(
+        &mut self,
+        client: &str,
+        attr: &dyn MobilityAttribute,
+        method: &str,
+        args: &T,
+    ) -> Result<(Stub, Option<R>), MageError> {
+        let session = self.legacy_session(client)?;
+        let (stub, bytes) = session.bind_invoke_raw(attr, method, mage_codec::to_bytes(args)?)?;
+        let result = match bytes {
+            Some(bytes) => Some(mage_codec::from_bytes(&bytes)?),
+            None => None,
+        };
+        Ok((stub, result))
+    }
+
+    /// Invokes `method` through a stub and decodes the result.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::call`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `rt.session(...)?.call(stub, METHOD, args)` with a typed descriptor"
+    )]
+    pub fn call<T: Serialize, R: DeserializeOwned>(
+        &mut self,
+        stub: &Stub,
+        method: &str,
+        args: &T,
+    ) -> Result<R, MageError> {
+        let client = self.client_name_of(stub)?;
+        let bytes =
+            self.legacy_session(&client)?
+                .call_raw(stub, method, mage_codec::to_bytes(args)?)?;
+        mage_codec::from_bytes(&bytes).map_err(MageError::from)
+    }
+
+    /// Invokes `method` through a stub with pre-marshalled arguments.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::call_raw`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `rt.session(...)?.call_raw(stub, method, args)`"
+    )]
+    pub fn call_raw(
+        &mut self,
+        stub: &Stub,
+        method: &str,
+        args: Vec<u8>,
+    ) -> Result<Vec<u8>, MageError> {
+        let client = self.client_name_of(stub)?;
+        self.legacy_session(&client)?.call_raw(stub, method, args)
+    }
+
+    /// Fire-and-forget invocation through a stub.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::send`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `rt.session(...)?.send(stub, METHOD, args)` with a typed descriptor"
+    )]
+    pub fn send<T: Serialize>(
+        &mut self,
+        stub: &Stub,
+        method: &str,
+        args: &T,
+    ) -> Result<(), MageError> {
+        let client = self.client_name_of(stub)?;
+        self.legacy_session(&client)?
+            .send_raw(stub, method, mage_codec::to_bytes(args)?)
+    }
+
+    /// Acquires a stay/move lock on `name` from `client`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::lock`].
+    #[deprecated(since = "0.2.0", note = "use `rt.session(client)?.lock(name, target)`")]
+    pub fn lock(&mut self, client: &str, name: &str, target: &str) -> Result<LockKind, MageError> {
+        self.legacy_session(client)?.lock(name, target)
+    }
+
+    /// Starts a lock acquisition without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::lock_async`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `rt.session(client)?.lock_async(name, target)`"
+    )]
+    pub fn lock_async(
+        &mut self,
+        client: &str,
+        name: &str,
+        target: &str,
+    ) -> Result<Pending<LockKind>, MageError> {
+        self.legacy_session(client)?.lock_async(name, target)
+    }
+
+    /// Releases `client`'s lock on `name`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::unlock`].
+    #[deprecated(since = "0.2.0", note = "use `rt.session(client)?.unlock(name)`")]
+    pub fn unlock(&mut self, client: &str, name: &str) -> Result<(), MageError> {
+        self.legacy_session(client)?.unlock(name)
+    }
+
+    /// Starts an unlock without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::unlock_async`].
+    #[deprecated(since = "0.2.0", note = "use `rt.session(client)?.unlock_async(name)`")]
+    pub fn unlock_async(&mut self, client: &str, name: &str) -> Result<Pending<()>, MageError> {
+        self.legacy_session(client)?.unlock_async(name)
+    }
+
+    /// Blocks until a pending operation completes.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Pending::wait`].
+    #[deprecated(since = "0.2.0", note = "use `pending.wait()`")]
+    pub fn wait<T>(&mut self, pending: Pending<T>) -> Result<T, MageError> {
+        pending.wait()
+    }
+
+    /// Whether a pending operation has completed (without running the
+    /// world further).
+    #[deprecated(since = "0.2.0", note = "use `pending.is_done()`")]
+    pub fn is_done<T>(&self, pending: &Pending<T>) -> bool {
+        pending.is_done()
+    }
+
+    /// The deprecated facade's merged view of where known objects live.
+    #[deprecated(since = "0.2.0", note = "use `session.directory()`")]
+    pub fn directory(&self) -> Vec<(String, NodeId)> {
+        let mut merged = BTreeMap::new();
+        for session in self.legacy_sessions.values() {
+            merged.extend(session.directory());
+        }
+        merged.into_iter().collect()
+    }
+
+    fn client_name_of(&self, stub: &Stub) -> Result<String, MageError> {
+        self.node_name(stub.client())
+            .map(str::to_owned)
+            .ok_or_else(|| MageError::BadPlan("stub's client namespace is unknown".into()))
     }
 }
 
@@ -813,7 +699,7 @@ impl std::fmt::Debug for Runtime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Runtime")
             .field("namespaces", &self.ids.len())
-            .field("now", &self.world.now())
+            .field("now", &self.now())
             .finish_non_exhaustive()
     }
 }

@@ -1,0 +1,837 @@
+//! Per-namespace client sessions.
+//!
+//! A [`Session`] is the client-side handle to one namespace of a running
+//! [`Runtime`](crate::Runtime): it owns the client identity every
+//! operation originates from, plus the per-client location cache of §3.5
+//! ("private objects' cached location is authoritative; shared objects
+//! must be found before use"). Two sessions obtained from the same
+//! runtime interleave freely against one world — each `_async` operation
+//! returns a typed [`Pending`] handle, and the driver decides when to pump
+//! the world and collect results.
+//!
+//! ```
+//! use mage_core::attribute::Rev;
+//! use mage_core::workload_support::{methods, test_object_class};
+//! use mage_core::{Runtime, Visibility};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rt = Runtime::builder()
+//!     .fast()
+//!     .nodes(["lab", "sensor1"])
+//!     .class(test_object_class())
+//!     .build();
+//! rt.deploy_class("TestObject", "lab")?;
+//!
+//! let lab = rt.session("lab")?;
+//! lab.create_object("TestObject", "counter", &(), Visibility::Public)?;
+//!
+//! // Typed descriptor: argument and result types check at compile time.
+//! let rev = Rev::new("TestObject", "counter", "sensor1");
+//! let stub = lab.bind(&rev)?;
+//! let n = lab.call(&stub, methods::INC, &())?;
+//! assert_eq!(n, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::rc::Rc;
+
+use mage_sim::NodeId;
+use serde::de::DeserializeOwned;
+use serde::Serialize;
+
+use crate::attribute::{BindView, MobilityAttribute, Mode, Target};
+use crate::class::Method;
+use crate::coercion::{coerce, Coerced, Situation};
+use crate::component::Visibility;
+use crate::error::MageError;
+use crate::lock::LockKind;
+use crate::pending::{DecodeFn, Pending};
+use crate::proto::{ActionSpec, Command, ExecSpec, InvokeSpec, Outcome};
+use crate::registry::class_key;
+use crate::runtime::{Directory, Inner};
+
+/// A client-side reference to a bound component: which namespace bound it,
+/// and where the object was last known to live.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Stub {
+    pub(crate) client: NodeId,
+    pub(crate) at: NodeId,
+    pub(crate) object: String,
+    pub(crate) class: String,
+    pub(crate) home: Option<NodeId>,
+}
+
+impl Stub {
+    /// The namespace that performed the bind (invocations originate here).
+    pub fn client(&self) -> NodeId {
+        self.client
+    }
+
+    /// Last known location of the object.
+    pub fn location(&self) -> NodeId {
+        self.at
+    }
+
+    /// The object's registered name.
+    pub fn object(&self) -> &str {
+        &self.object
+    }
+
+    /// The object's class.
+    pub fn class(&self) -> &str {
+        &self.class
+    }
+}
+
+/// Everything a bind produced: the stub plus how coercion resolved it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BindReceipt {
+    /// The stub for subsequent invocations.
+    pub stub: Stub,
+    /// How the coercion matrix resolved this bind (Table 2).
+    pub coerced: Coerced,
+    /// Lock kind acquired, when the plan was guarded.
+    pub lock_kind: Option<LockKind>,
+    /// Invocation result, when the bind included one.
+    pub result: Option<Vec<u8>>,
+}
+
+/// The per-client cache a session owns (§3.5).
+#[derive(Debug, Default)]
+pub(crate) struct SessionState {
+    /// Where this client last saw each object.
+    pub cached_loc: BTreeMap<String, NodeId>,
+}
+
+/// Everything a bind plan resolved before execution; carried into the
+/// deferred decode so the receipt can be assembled when the op completes.
+struct BindContext {
+    client: NodeId,
+    object: String,
+    class: String,
+    coerced: Coerced,
+    is_factory: bool,
+}
+
+fn receipt_from(
+    ctx: BindContext,
+    outcome: &Outcome,
+    dir: &mut Directory,
+    state: &mut SessionState,
+) -> BindReceipt {
+    let at = NodeId::from_raw(outcome.location);
+    state.cached_loc.insert(ctx.object.clone(), at);
+    if ctx.is_factory {
+        dir.homes.insert(ctx.object.clone(), at);
+    }
+    BindReceipt {
+        stub: Stub {
+            client: ctx.client,
+            at,
+            object: ctx.object.clone(),
+            class: ctx.class,
+            home: dir.homes.get(&ctx.object).copied(),
+        },
+        coerced: ctx.coerced,
+        lock_kind: outcome.lock_kind,
+        result: outcome.result.clone(),
+    }
+}
+
+/// A client handle bound to one namespace of a running deployment.
+///
+/// Obtained from [`Runtime::session`](crate::Runtime::session). Cloning a
+/// session shares its cache; sessions for different namespaces are fully
+/// independent views over the same world.
+#[derive(Clone)]
+pub struct Session {
+    name: String,
+    client: NodeId,
+    inner: Rc<RefCell<Inner>>,
+    state: Rc<RefCell<SessionState>>,
+}
+
+impl Session {
+    pub(crate) fn new(name: String, client: NodeId, inner: Rc<RefCell<Inner>>) -> Self {
+        Session {
+            name,
+            client,
+            inner,
+            state: Rc::new(RefCell::new(SessionState::default())),
+        }
+    }
+
+    /// The namespace this session operates from.
+    pub fn client(&self) -> NodeId {
+        self.client
+    }
+
+    /// The namespace's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// This client's view of where every known object lives (for system
+    /// snapshots like the paper's Figure 6).
+    pub fn directory(&self) -> Vec<(String, NodeId)> {
+        self.state
+            .borrow()
+            .cached_loc
+            .iter()
+            .map(|(name, loc)| (name.clone(), *loc))
+            .collect()
+    }
+
+    // ---- internals ----
+
+    fn node_id(&self, name: &str) -> Result<NodeId, MageError> {
+        self.inner.borrow().node_id(name)
+    }
+
+    /// Injects a command and blocks until its outcome arrives.
+    fn command(&self, build: impl FnOnce(u64) -> Command) -> Result<Outcome, MageError> {
+        self.inner.borrow_mut().command_sync(self.client, build)
+    }
+
+    /// Injects a command and returns a typed handle to its outcome.
+    fn issue<T>(&self, build: impl FnOnce(u64) -> Command, decode: DecodeFn<T>) -> Pending<T> {
+        let op = {
+            let mut inner = self.inner.borrow_mut();
+            let op = inner.world.begin_op();
+            let cmd = build(op.as_raw());
+            inner.inject(self.client, cmd);
+            op
+        };
+        Pending::new(op, Rc::clone(&self.inner), Rc::clone(&self.state), decode)
+    }
+
+    // ---- object creation ----
+
+    /// Creates an object of `class` named `name` in this namespace.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the class is not deployed here or the name is taken.
+    pub fn create_object<T: Serialize>(
+        &self,
+        class: &str,
+        name: &str,
+        state: &T,
+        visibility: Visibility,
+    ) -> Result<Stub, MageError> {
+        let encoded = mage_codec::to_bytes(state)?;
+        let (class_owned, name_owned) = (class.to_owned(), name.to_owned());
+        self.command(move |op| Command::CreateObject {
+            op,
+            class: class_owned,
+            name: name_owned,
+            state: encoded,
+            visibility,
+        })?;
+        let mut inner = self.inner.borrow_mut();
+        inner.dir.homes.insert(name.to_owned(), self.client);
+        inner.dir.visibility.insert(name.to_owned(), visibility);
+        drop(inner);
+        self.state
+            .borrow_mut()
+            .cached_loc
+            .insert(name.to_owned(), self.client);
+        Ok(Stub {
+            client: self.client,
+            at: self.client,
+            object: name.to_owned(),
+            class: class.to_owned(),
+            home: Some(self.client),
+        })
+    }
+
+    // ---- find ----
+
+    /// Locates a component from this session's point of view.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MageError::NotFound`] when no forwarding chain reaches it.
+    pub fn find(&self, name: &str) -> Result<NodeId, MageError> {
+        self.find_async(name)?.wait()
+    }
+
+    /// Starts a find without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Never fails at issue time today; kept fallible for symmetry with
+    /// the other `_async` forms.
+    pub fn find_async(&self, name: &str) -> Result<Pending<NodeId>, MageError> {
+        let home_hint = self.inner.borrow().dir.homes.get(name).map(|n| n.as_raw());
+        let name_owned = name.to_owned();
+        let cache_key = name.to_owned();
+        Ok(self.issue(
+            move |op| Command::Find {
+                op,
+                name: name_owned,
+                home_hint,
+            },
+            Box::new(move |outcome, _dir, state| {
+                let loc = NodeId::from_raw(outcome.location);
+                state.cached_loc.insert(cache_key, loc);
+                Ok(loc)
+            }),
+        ))
+    }
+
+    // ---- bind ----
+
+    /// Binds a mobility attribute, returning a stub.
+    ///
+    /// This is the paper's `o = ma.bind()` (§3.1): find the component,
+    /// consult the attribute's plan, apply mobility coercion, and run the
+    /// resulting placement protocol.
+    ///
+    /// # Errors
+    ///
+    /// Propagates coercion errors (Table 2's exception cells), lookup
+    /// failures and protocol denials.
+    pub fn bind(&self, attr: &dyn MobilityAttribute) -> Result<Stub, MageError> {
+        self.bind_full(attr).map(|receipt| receipt.stub)
+    }
+
+    /// Binds and returns the full receipt (coercion outcome, lock kind).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::bind`].
+    pub fn bind_full(&self, attr: &dyn MobilityAttribute) -> Result<BindReceipt, MageError> {
+        self.bind_full_async(attr)?.wait()
+    }
+
+    /// Starts a bind without blocking on the placement protocol.
+    ///
+    /// The bind *plan* (locating the component, consulting the attribute,
+    /// applying coercion) resolves eagerly — it may cost one synchronous
+    /// find round-trip — but the placement protocol itself runs
+    /// asynchronously, so many binds can be in flight at once.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::bind`] for planning-stage failures.
+    pub fn bind_async(&self, attr: &dyn MobilityAttribute) -> Result<Pending<Stub>, MageError> {
+        let (spec, ctx) = self.plan_exec(attr, None)?;
+        Ok(self.issue(
+            move |op| Command::Execute { op, spec },
+            Box::new(move |outcome, dir, state| Ok(receipt_from(ctx, &outcome, dir, state).stub)),
+        ))
+    }
+
+    /// Starts a bind without blocking, resolving to the full receipt.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::bind_async`].
+    pub fn bind_full_async(
+        &self,
+        attr: &dyn MobilityAttribute,
+    ) -> Result<Pending<BindReceipt>, MageError> {
+        let (spec, ctx) = self.plan_exec(attr, None)?;
+        Ok(self.issue(
+            move |op| Command::Execute { op, spec },
+            Box::new(move |outcome, dir, state| Ok(receipt_from(ctx, &outcome, dir, state))),
+        ))
+    }
+
+    /// Binds and invokes in a single bracketed engine operation (the §4.4
+    /// `lock → bind → invoke → unlock` pattern when the plan is guarded).
+    ///
+    /// Returns the stub and the decoded result (`None` for one-way
+    /// attributes such as mobile agents).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::bind`], plus marshalling failures.
+    pub fn bind_invoke<A, R>(
+        &self,
+        attr: &dyn MobilityAttribute,
+        method: Method<A, R>,
+        args: &A,
+    ) -> Result<(Stub, Option<R>), MageError>
+    where
+        A: Serialize,
+        R: DeserializeOwned,
+    {
+        self.bind_invoke_async(attr, method, args)?.wait()
+    }
+
+    /// Starts a bind-and-invoke without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::bind_invoke`] for planning-stage failures.
+    pub fn bind_invoke_async<A, R>(
+        &self,
+        attr: &dyn MobilityAttribute,
+        method: Method<A, R>,
+        args: &A,
+    ) -> Result<Pending<(Stub, Option<R>)>, MageError>
+    where
+        A: Serialize,
+        R: DeserializeOwned,
+    {
+        let invoke = InvokeSpec {
+            method: method.name().to_owned(),
+            args: mage_codec::to_bytes(args)?,
+            one_way: attr.one_way(),
+        };
+        let (spec, ctx) = self.plan_exec(attr, Some(invoke))?;
+        Ok(self.issue(
+            move |op| Command::Execute { op, spec },
+            Box::new(move |outcome, dir, state| {
+                let receipt = receipt_from(ctx, &outcome, dir, state);
+                let result = match receipt.result {
+                    Some(bytes) => Some(mage_codec::from_bytes(&bytes)?),
+                    None => None,
+                };
+                Ok((receipt.stub, result))
+            }),
+        ))
+    }
+
+    /// Binds and invokes with a dynamic method name and pre-marshalled
+    /// arguments (the untyped escape hatch; prefer
+    /// [`bind_invoke`](Session::bind_invoke)).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Session::bind_invoke`].
+    pub fn bind_invoke_raw(
+        &self,
+        attr: &dyn MobilityAttribute,
+        method: &str,
+        args: Vec<u8>,
+    ) -> Result<(Stub, Option<Vec<u8>>), MageError> {
+        let invoke = InvokeSpec {
+            method: method.to_owned(),
+            args,
+            one_way: attr.one_way(),
+        };
+        let (spec, ctx) = self.plan_exec(attr, Some(invoke))?;
+        let outcome = self.command(move |op| Command::Execute { op, spec })?;
+        let mut inner = self.inner.borrow_mut();
+        let mut state = self.state.borrow_mut();
+        let receipt = receipt_from(ctx, &outcome, &mut inner.dir, &mut state);
+        Ok((receipt.stub, receipt.result))
+    }
+
+    /// Consults the attribute's plan against a view of the system with the
+    /// given location knowledge.
+    fn plan_with(
+        &self,
+        attr: &dyn MobilityAttribute,
+        location: Option<NodeId>,
+    ) -> Result<crate::attribute::BindPlan, MageError> {
+        let inner = self.inner.borrow();
+        let view = BindView::new(
+            self.client,
+            location,
+            &inner.ids,
+            &inner.dir.loads,
+            inner.world.now(),
+        );
+        attr.plan(&view)
+    }
+
+    /// Resolves an attribute's plan into an executable spec, using this
+    /// session's cached knowledge (the client half of the old monolithic
+    /// bind).
+    fn plan_exec(
+        &self,
+        attr: &dyn MobilityAttribute,
+        invoke: Option<InvokeSpec>,
+    ) -> Result<(ExecSpec, BindContext), MageError> {
+        let client_id = self.client;
+        let component = attr.component().clone();
+        let base_name = component
+            .object_name()
+            .ok_or_else(|| MageError::BadPlan("attribute has no object name".into()))?
+            .to_owned();
+        let class = component.class_name().to_owned();
+
+        // Preliminary plan using cached knowledge (private objects'
+        // cached location is authoritative, §3.5). A fresh session falls
+        // back to the shared directory's origin-server knowledge for
+        // private objects ("clients share the name of the mobile object's
+        // origin server", §7); if the attribute's plan still needs a
+        // location, locate it and plan again.
+        let cached = self
+            .state
+            .borrow()
+            .cached_loc
+            .get(&base_name)
+            .copied()
+            .or_else(|| {
+                let inner = self.inner.borrow();
+                match inner.dir.visibility.get(&base_name) {
+                    Some(Visibility::Private) => inner.dir.homes.get(&base_name).copied(),
+                    _ => None,
+                }
+            });
+        let mut did_find = false;
+        let mut plan = match self.plan_with(attr, cached) {
+            Ok(plan) => plan,
+            // Only a location-shaped failure justifies finding and
+            // re-planning; other plan errors (and any error once a
+            // location was already known) surface untouched, without
+            // consulting a stateful planner a second time.
+            Err(MageError::NotFound(missing)) if cached.is_none() => {
+                let Ok(loc) = self.find(&base_name) else {
+                    return Err(MageError::NotFound(missing));
+                };
+                did_find = true;
+                self.plan_with(attr, Some(loc))?
+            }
+            Err(err) => return Err(err),
+        };
+        let located = if did_find {
+            self.state.borrow().cached_loc.get(&base_name).copied()
+        } else {
+            cached
+        };
+
+        let is_factory = matches!(plan.mode, Mode::Factory { .. });
+        let location = if is_factory {
+            None // a fresh instance is about to be created
+        } else {
+            let public = self
+                .inner
+                .borrow()
+                .dir
+                .visibility
+                .get(&base_name)
+                .copied()
+                .unwrap_or(Visibility::Public)
+                == Visibility::Public;
+            let known = if did_find {
+                located // just found; don't pay a second lookup
+            } else if public || located.is_none() {
+                // Shared objects may have been moved by another session and
+                // must be found before use (§3.5).
+                match self.find(&base_name) {
+                    Ok(loc) => Some(loc),
+                    Err(MageError::NotFound(_)) => None,
+                    Err(e) => return Err(e),
+                }
+            } else {
+                located
+            };
+            if !did_find && known != cached {
+                plan = self.plan_with(attr, known)?;
+            }
+            known
+        };
+
+        // Resolve the plan's target to a node.
+        let target = match &plan.target {
+            Target::Client => Some(client_id),
+            Target::Node(name) => Some(self.node_id(name)?),
+            Target::Current => location,
+        };
+        let classify_target = match &plan.target {
+            Target::Current => None,
+            _ => target,
+        };
+        let situation = Situation::classify(client_id, classify_target, location);
+        let coerced = coerce(attr.model(), situation)?;
+
+        // Factory binds register the fresh instance under the component's
+        // object name, replacing any previous instance (RMI-style rebind);
+        // that is how the paper's REV factory creates `geoData` on
+        // `sensor1` for later attributes to bind to (§3.6).
+        let object_name = base_name.clone();
+
+        let action = match coerced {
+            Coerced::AsLpc => ActionSpec::Local,
+            Coerced::AsRpc => ActionSpec::InvokeAt {
+                node: location
+                    .expect("coerced to RPC implies a located component")
+                    .as_raw(),
+            },
+            Coerced::Proceed => match plan.mode.clone() {
+                Mode::Stationary => match &plan.target {
+                    Target::Client => ActionSpec::Local,
+                    Target::Node(_) => ActionSpec::InvokeAt {
+                        node: target.expect("named target resolved").as_raw(),
+                    },
+                    Target::Current => match location {
+                        Some(loc) => ActionSpec::InvokeAt { node: loc.as_raw() },
+                        None => return Err(MageError::NotFound(base_name)),
+                    },
+                },
+                Mode::Move => {
+                    let dest =
+                        target.ok_or_else(|| MageError::BadPlan("move needs a target".into()))?;
+                    if location.is_none() {
+                        return Err(MageError::NotFound(base_name));
+                    }
+                    ActionSpec::MoveTo {
+                        node: dest.as_raw(),
+                    }
+                }
+                Mode::Factory { state, visibility } => {
+                    self.inner
+                        .borrow_mut()
+                        .dir
+                        .visibility
+                        .insert(object_name.clone(), visibility);
+                    ActionSpec::Instantiate {
+                        node: target.unwrap_or(client_id).as_raw(),
+                        state,
+                        visibility,
+                    }
+                }
+            },
+        };
+
+        let inner = self.inner.borrow();
+        let spec = ExecSpec {
+            class: class.clone(),
+            object: Some(object_name.clone()),
+            location_hint: location.map(|n| n.as_raw()),
+            home_hint: inner
+                .dir
+                .homes
+                .get(&object_name)
+                .or_else(|| inner.dir.homes.get(&class_key(&class)))
+                .map(|n| n.as_raw()),
+            action,
+            invoke,
+            guard: plan.guard,
+        };
+        Ok((
+            spec,
+            BindContext {
+                client: client_id,
+                object: object_name,
+                class,
+                coerced,
+                is_factory,
+            },
+        ))
+    }
+
+    // ---- invocation ----
+
+    /// Builds the spec for a plain invocation through a stub.
+    fn invoke_spec(&self, stub: &Stub, method: &str, args: Vec<u8>, one_way: bool) -> ExecSpec {
+        let at = self
+            .state
+            .borrow()
+            .cached_loc
+            .get(&stub.object)
+            .copied()
+            .unwrap_or(stub.at);
+        ExecSpec {
+            class: stub.class.clone(),
+            object: Some(stub.object.clone()),
+            location_hint: Some(at.as_raw()),
+            home_hint: stub.home.map(|n| n.as_raw()),
+            action: ActionSpec::InvokeAt { node: at.as_raw() },
+            invoke: Some(InvokeSpec {
+                method: method.to_owned(),
+                args,
+                one_way,
+            }),
+            guard: false,
+        }
+    }
+
+    /// Invokes a typed method through a stub and decodes the result.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invocation faults and marshalling failures.
+    pub fn call<A, R>(&self, stub: &Stub, method: Method<A, R>, args: &A) -> Result<R, MageError>
+    where
+        A: Serialize,
+        R: DeserializeOwned,
+    {
+        let bytes = self.call_raw(stub, method.name(), mage_codec::to_bytes(args)?)?;
+        mage_codec::from_bytes(&bytes).map_err(MageError::from)
+    }
+
+    /// Starts a typed invocation without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates marshalling failures at issue time.
+    pub fn call_async<A, R>(
+        &self,
+        stub: &Stub,
+        method: Method<A, R>,
+        args: &A,
+    ) -> Result<Pending<R>, MageError>
+    where
+        A: Serialize,
+        R: DeserializeOwned,
+    {
+        let spec = self.invoke_spec(stub, method.name(), mage_codec::to_bytes(args)?, false);
+        let object = stub.object.clone();
+        Ok(self.issue(
+            move |op| Command::Execute { op, spec },
+            Box::new(move |outcome, _dir, state| {
+                state
+                    .cached_loc
+                    .insert(object, NodeId::from_raw(outcome.location));
+                let bytes = outcome
+                    .result
+                    .ok_or_else(|| MageError::Rmi("invocation returned no result".into()))?;
+                mage_codec::from_bytes(&bytes).map_err(MageError::from)
+            }),
+        ))
+    }
+
+    /// Invokes `method` through a stub with pre-marshalled arguments.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invocation faults.
+    pub fn call_raw(&self, stub: &Stub, method: &str, args: Vec<u8>) -> Result<Vec<u8>, MageError> {
+        let spec = self.invoke_spec(stub, method, args, false);
+        let outcome = self.command(move |op| Command::Execute { op, spec })?;
+        self.state
+            .borrow_mut()
+            .cached_loc
+            .insert(stub.object.clone(), NodeId::from_raw(outcome.location));
+        outcome
+            .result
+            .ok_or_else(|| MageError::Rmi("invocation returned no result".into()))
+    }
+
+    /// Fire-and-forget invocation through a stub.
+    ///
+    /// # Errors
+    ///
+    /// Propagates marshalling failures and placement errors; delivery of
+    /// the invocation itself is not awaited.
+    pub fn send<A, R>(&self, stub: &Stub, method: Method<A, R>, args: &A) -> Result<(), MageError>
+    where
+        A: Serialize,
+    {
+        self.send_async(stub, method, args)?.wait()
+    }
+
+    /// Starts a fire-and-forget invocation without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates marshalling failures at issue time.
+    pub fn send_async<A, R>(
+        &self,
+        stub: &Stub,
+        method: Method<A, R>,
+        args: &A,
+    ) -> Result<Pending<()>, MageError>
+    where
+        A: Serialize,
+    {
+        self.send_raw_async(stub, method.name(), mage_codec::to_bytes(args)?)
+    }
+
+    /// Fire-and-forget with a dynamic method name and pre-marshalled
+    /// arguments (the untyped escape hatch; prefer [`send`](Session::send)).
+    ///
+    /// # Errors
+    ///
+    /// Propagates placement errors.
+    pub fn send_raw(&self, stub: &Stub, method: &str, args: Vec<u8>) -> Result<(), MageError> {
+        self.send_raw_async(stub, method, args)?.wait()
+    }
+
+    fn send_raw_async(
+        &self,
+        stub: &Stub,
+        method: &str,
+        args: Vec<u8>,
+    ) -> Result<Pending<()>, MageError> {
+        let spec = self.invoke_spec(stub, method, args, true);
+        Ok(self.issue(
+            move |op| Command::Execute { op, spec },
+            Box::new(|_outcome, _dir, _state| Ok(())),
+        ))
+    }
+
+    // ---- locking (§4.4) ----
+
+    /// Acquires a stay/move lock on `name`; the kind depends on whether
+    /// the object already resides at `target`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object cannot be located.
+    pub fn lock(&self, name: &str, target: &str) -> Result<LockKind, MageError> {
+        self.lock_async(name, target)?.wait()
+    }
+
+    /// Starts a lock acquisition without blocking (the §4.4 contention
+    /// scenarios issue several of these before pumping the world).
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown namespace names.
+    pub fn lock_async(&self, name: &str, target: &str) -> Result<Pending<LockKind>, MageError> {
+        let target = self.node_id(target)?;
+        let home_hint = self.inner.borrow().dir.homes.get(name).map(|n| n.as_raw());
+        let name_owned = name.to_owned();
+        Ok(self.issue(
+            move |op| Command::Lock {
+                op,
+                name: name_owned,
+                target: target.as_raw(),
+                home_hint,
+            },
+            Box::new(|outcome, _dir, _state| {
+                outcome
+                    .lock_kind
+                    .ok_or_else(|| MageError::Rmi("lock reply carried no kind".into()))
+            }),
+        ))
+    }
+
+    /// Releases this client's lock on `name`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object cannot be located.
+    pub fn unlock(&self, name: &str) -> Result<(), MageError> {
+        self.unlock_async(name)?.wait()
+    }
+
+    /// Starts an unlock without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Never fails at issue time today; kept fallible for symmetry.
+    pub fn unlock_async(&self, name: &str) -> Result<Pending<()>, MageError> {
+        let home_hint = self.inner.borrow().dir.homes.get(name).map(|n| n.as_raw());
+        let name_owned = name.to_owned();
+        Ok(self.issue(
+            move |op| Command::Unlock {
+                op,
+                name: name_owned,
+                home_hint,
+            },
+            Box::new(|_outcome, _dir, _state| Ok(())),
+        ))
+    }
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("name", &self.name)
+            .field("client", &self.client)
+            .field("cached_objects", &self.state.borrow().cached_loc.len())
+            .finish_non_exhaustive()
+    }
+}

@@ -13,6 +13,36 @@ use serde::{Deserialize, Serialize};
 use crate::class::ClassDef;
 use crate::object::{args_as, result_from, MobileEnv, MobileObject};
 
+pub mod methods {
+    //! Typed method descriptors for the ready-made classes.
+    //!
+    //! Each constant pins a method's wire name to its argument and result
+    //! types, so `session.call(&stub, INC, &())` type-checks both sides at
+    //! compile time instead of relying on a turbofish at every call site.
+
+    use crate::class::Method;
+
+    /// [`TestObject`](super::TestObject): increment, returning the new value.
+    pub const INC: Method<(), i64> = Method::new("inc");
+    /// [`TestObject`](super::TestObject): read the current value.
+    pub const GET: Method<(), i64> = Method::new("get");
+
+    /// [`GeoDataFilter`](super::GeoDataFilter): filter the local sensor
+    /// feed, returning this run's yield.
+    pub const FILTER_DATA: Method<(), u64> = Method::new("filterData");
+    /// [`GeoDataFilter`](super::GeoDataFilter): total samples accepted so
+    /// far.
+    pub const PROCESS_DATA: Method<(), u64> = Method::new("processData");
+    /// [`GeoDataFilter`](super::GeoDataFilter): number of filter runs.
+    pub const RUNS: Method<(), u32> = Method::new("runs");
+
+    /// [`ItineraryAgent`](super::ItineraryAgent): work here, then hop to
+    /// the next stop; returns how many namespaces have been visited.
+    pub const STEP: Method<(), usize> = Method::new("step");
+    /// [`ItineraryAgent`](super::ItineraryAgent): the visit log.
+    pub const VISITED: Method<(), Vec<String>> = Method::new("visited");
+}
+
 /// The §5 minimal test object: one integer it increments.
 #[derive(Debug, Default, Serialize, Deserialize)]
 pub struct TestObject {
@@ -241,13 +271,16 @@ mod tests {
         ];
         for (class, mut obj) in cases {
             let mut rng = rand::rngs::StdRng::seed_from_u64(0);
-            let mut env =
-                MobileEnv::new(NodeId::from_raw(0), "lab", SimTime::ZERO, &mut rng);
+            let mut env = MobileEnv::new(NodeId::from_raw(0), "lab", SimTime::ZERO, &mut rng);
             let _ = obj.invoke("inc", &[], &mut env);
             let _ = obj.invoke("filterData", &[], &mut env);
             let state = obj.snapshot().unwrap();
             let restored = class.instantiate(&state).unwrap();
-            assert_eq!(restored.snapshot().unwrap(), state, "weak migration roundtrip");
+            assert_eq!(
+                restored.snapshot().unwrap(),
+                state,
+                "weak migration roundtrip"
+            );
         }
     }
 

@@ -1,8 +1,9 @@
 //! Concurrency and race-condition coverage: simultaneous movers, stale
-//! stubs, in-transit objects, and the visibility rules of §3.5/§4.2.
+//! stubs, in-transit objects, and the visibility rules of §3.5/§4.2 —
+//! driven through interleaving sessions.
 
 use mage_core::attribute::{Cle, Cod, Grev, Rev, Rpc};
-use mage_core::workload_support::{geo_data_filter_class, test_object_class};
+use mage_core::workload_support::{geo_data_filter_class, methods, test_object_class};
 use mage_core::{LockKind, Runtime, Visibility};
 use mage_sim::{SimDuration, TraceEvent};
 
@@ -23,20 +24,23 @@ fn two_guarded_movers_racing_both_eventually_succeed() {
     // targets and its state reflects both invocations.
     let mut rt = runtime(&["host", "c1", "c2"]);
     rt.deploy_class("TestObject", "host").unwrap();
-    rt.create_object("TestObject", "shared", "host", &(), Visibility::Public)
+    let host = rt.session("host").unwrap();
+    host.create_object("TestObject", "shared", &(), Visibility::Public)
         .unwrap();
 
+    let c1 = rt.session("c1").unwrap();
+    let c2 = rt.session("c2").unwrap();
     let a1 = Grev::new("TestObject", "shared", "c1").guarded();
     let a2 = Grev::new("TestObject", "shared", "c2").guarded();
-    let (s1, r1): (_, Option<i64>) = rt.bind_invoke("c1", &a1, "inc", &()).unwrap();
-    let (s2, r2): (_, Option<i64>) = rt.bind_invoke("c2", &a2, "inc", &()).unwrap();
+    let (s1, r1) = c1.bind_invoke(&a1, methods::INC, &()).unwrap();
+    let (s2, r2) = c2.bind_invoke(&a2, methods::INC, &()).unwrap();
     assert_eq!(r1, Some(1));
     assert_eq!(r2, Some(2));
     assert_eq!(rt.node_name(s2.location()), Some("c2"));
     let _ = s1;
     // Exactly one copy exists: a CLE read sees both increments.
     let cle = Cle::new("TestObject", "shared");
-    let (_s, v): (_, Option<i64>) = rt.bind_invoke("host", &cle, "get", &()).unwrap();
+    let (_s, v) = host.bind_invoke(&cle, methods::GET, &()).unwrap();
     assert_eq!(v, Some(2));
 }
 
@@ -44,23 +48,27 @@ fn two_guarded_movers_racing_both_eventually_succeed() {
 fn queued_mover_waits_for_migration_triggered_by_lock_holder() {
     let mut rt = runtime(&["host", "m1", "m2"]);
     rt.deploy_class("TestObject", "host").unwrap();
-    rt.create_object("TestObject", "obj", "host", &(), Visibility::Public)
+    rt.session("host")
+        .unwrap()
+        .create_object("TestObject", "obj", &(), Visibility::Public)
         .unwrap();
+    let m1 = rt.session("m1").unwrap();
+    let m2 = rt.session("m2").unwrap();
     // m1 locks (move kind) and starts a guarded migration to itself.
-    let k = rt.lock("m1", "obj", "m1").unwrap();
+    let k = m1.lock("obj", "m1").unwrap();
     assert_eq!(k, LockKind::Move);
     // m2 queues a conflicting lock request.
-    let pending = rt.lock_async("m2", "obj", "m2").unwrap();
+    let pending = m2.lock_async("obj", "m2").unwrap();
     rt.advance(SimDuration::from_millis(10)).unwrap();
-    assert!(!rt.is_done(pending));
+    assert!(!pending.is_done());
     // m1 moves the object and releases at the new host.
     let mv = Grev::new("TestObject", "obj", "m1");
-    rt.bind("m1", &mv).unwrap();
-    rt.unlock("m1", "obj").unwrap();
+    m1.bind(&mv).unwrap();
+    m1.unlock("obj").unwrap();
     // m2's bounced request re-finds the object at m1 and locks there.
-    let outcome = rt.wait(pending).unwrap();
-    assert_eq!(outcome.lock_kind, Some(LockKind::Move));
-    rt.unlock("m2", "obj").unwrap();
+    let kind = pending.wait().unwrap();
+    assert_eq!(kind, LockKind::Move);
+    m2.unlock("obj").unwrap();
 }
 
 #[test]
@@ -72,15 +80,21 @@ fn private_objects_skip_the_find_on_every_bind() {
         .trace(true)
         .build();
     rt.deploy_class("TestObject", "server").unwrap();
-    rt.create_object("TestObject", "priv", "server", &(), Visibility::Private)
+    rt.session("server")
+        .unwrap()
+        .create_object("TestObject", "priv", &(), Visibility::Private)
         .unwrap();
-    rt.world_mut().trace_mut().clear();
+    let client = rt.session("client").unwrap();
     let attr = Rpc::new("TestObject", "priv", "server");
+    rt.world_mut().trace_mut().clear();
     for _ in 0..5 {
-        let (_s, _v): (_, Option<i64>) = rt.bind_invoke("client", &attr, "inc", &()).unwrap();
+        let (_s, _v) = client.bind_invoke(&attr, methods::INC, &()).unwrap();
     }
     let finds = rt.world().trace().sends_with_label("call:mage.find");
-    assert_eq!(finds, 0, "private objects' cached location is authoritative (§3.5)");
+    assert_eq!(
+        finds, 0,
+        "private objects' cached location is authoritative (§3.5)"
+    );
 }
 
 #[test]
@@ -92,44 +106,57 @@ fn public_objects_are_found_before_each_bind() {
         .trace(true)
         .build();
     rt.deploy_class("TestObject", "server").unwrap();
-    rt.create_object("TestObject", "pub", "server", &(), Visibility::Public)
+    rt.session("server")
+        .unwrap()
+        .create_object("TestObject", "pub", &(), Visibility::Public)
         .unwrap();
+    let client = rt.session("client").unwrap();
     rt.world_mut().trace_mut().clear();
     let attr = Rpc::new("TestObject", "pub", "server");
     for _ in 0..3 {
-        let (_s, _v): (_, Option<i64>) = rt.bind_invoke("client", &attr, "inc", &()).unwrap();
+        let (_s, _v) = client.bind_invoke(&attr, methods::INC, &()).unwrap();
     }
     let finds = rt.world().trace().sends_with_label("call:mage.find");
-    assert_eq!(finds, 3, "shared objects must be found before each use (§3.5)");
+    assert_eq!(
+        finds, 3,
+        "shared objects must be found before each use (§3.5)"
+    );
 }
 
 #[test]
 fn single_use_cod_instantiates_once_then_moves_the_instance() {
     let mut rt = runtime(&["lab", "server"]);
     rt.deploy_class("GeoDataFilterImpl", "server").unwrap();
+    let lab = rt.session("lab").unwrap();
     let attr = Cod::single_use("GeoDataFilterImpl", "filter");
     // First bind: class pulled, fresh instance at the lab.
-    let (_s, y1): (_, Option<u64>) = rt.bind_invoke("lab", &attr, "filterData", &()).unwrap();
+    let (_s, y1) = lab.bind_invoke(&attr, methods::FILTER_DATA, &()).unwrap();
     assert_eq!(y1, Some(100));
     // Push it away, then re-bind: the SAME instance must come back (state
     // intact), not a fresh one.
     let away = Grev::new("GeoDataFilterImpl", "filter", "server");
-    rt.bind("lab", &away).unwrap();
-    let (_s, y2): (_, Option<u64>) = rt.bind_invoke("lab", &attr, "filterData", &()).unwrap();
+    lab.bind(&away).unwrap();
+    let (_s, y2) = lab.bind_invoke(&attr, methods::FILTER_DATA, &()).unwrap();
     assert_eq!(y2, Some(100), "second yield also at the lab");
     let cle = Cle::new("GeoDataFilterImpl", "filter");
-    let (_s, total): (_, Option<u64>) = rt.bind_invoke("lab", &cle, "processData", &()).unwrap();
-    assert_eq!(total, Some(200), "accumulated across both binds — same object");
+    let (_s, total) = lab.bind_invoke(&cle, methods::PROCESS_DATA, &()).unwrap();
+    assert_eq!(
+        total,
+        Some(200),
+        "accumulated across both binds — same object"
+    );
 }
 
 #[test]
 fn guarded_cle_takes_a_stay_lock() {
     let mut rt = runtime(&["client", "host"]);
     rt.deploy_class("TestObject", "host").unwrap();
-    rt.create_object("TestObject", "obj", "host", &(), Visibility::Public)
+    rt.session("host")
+        .unwrap()
+        .create_object("TestObject", "obj", &(), Visibility::Public)
         .unwrap();
     let attr = Cle::new("TestObject", "obj").guarded();
-    let receipt = rt.bind_full("client", &attr).unwrap();
+    let receipt = rt.session("client").unwrap().bind_full(&attr).unwrap();
     assert_eq!(receipt.lock_kind, Some(LockKind::Stay));
 }
 
@@ -137,12 +164,17 @@ fn guarded_cle_takes_a_stay_lock() {
 fn factory_rebind_replaces_the_previous_instance() {
     let mut rt = runtime(&["lab", "target"]);
     rt.deploy_class("TestObject", "lab").unwrap();
+    let lab = rt.session("lab").unwrap();
     let attr = Rev::factory("TestObject", "worker", "target");
-    let (s1, v1): (_, Option<i64>) = rt.bind_invoke("lab", &attr, "inc", &()).unwrap();
+    let (s1, v1) = lab.bind_invoke(&attr, methods::INC, &()).unwrap();
     assert_eq!(v1, Some(1));
-    let (s2, v2): (_, Option<i64>) = rt.bind_invoke("lab", &attr, "inc", &()).unwrap();
+    let (s2, v2) = lab.bind_invoke(&attr, methods::INC, &()).unwrap();
     // A fresh instance: the counter restarts.
-    assert_eq!(v2, Some(1), "traditional factories create new objects per bind");
+    assert_eq!(
+        v2,
+        Some(1),
+        "traditional factories create new objects per bind"
+    );
     assert_eq!(s1.location(), s2.location());
 }
 
@@ -152,18 +184,19 @@ fn rebinding_attributes_dynamically_switches_distribution_pattern() {
     // modify their distribution characteristics."
     let mut rt = runtime(&["edge", "core1", "core2"]);
     rt.deploy_class("TestObject", "edge").unwrap();
-    rt.create_object("TestObject", "svc", "edge", &(), Visibility::Public)
+    let edge = rt.session("edge").unwrap();
+    edge.create_object("TestObject", "svc", &(), Visibility::Public)
         .unwrap();
     // Phase 1: REV to core1 while it is preferred.
     let phase1 = Rev::new("TestObject", "svc", "core1");
-    let (_s, _v): (_, Option<i64>) = rt.bind_invoke("edge", &phase1, "inc", &()).unwrap();
+    let (_s, _v) = edge.bind_invoke(&phase1, methods::INC, &()).unwrap();
     // Phase 2: conditions change; the application swaps in a different
     // attribute for the same component.
     let phase2 = Grev::new("TestObject", "svc", "core2");
-    let (_s, _v): (_, Option<i64>) = rt.bind_invoke("edge", &phase2, "inc", &()).unwrap();
+    let (_s, _v) = edge.bind_invoke(&phase2, methods::INC, &()).unwrap();
     // Phase 3: consume locally via COD.
     let phase3 = Cod::new("TestObject", "svc");
-    let (stub, v): (_, Option<i64>) = rt.bind_invoke("edge", &phase3, "inc", &()).unwrap();
+    let (stub, v) = edge.bind_invoke(&phase3, methods::INC, &()).unwrap();
     assert_eq!(v, Some(3));
     assert_eq!(rt.node_name(stub.location()), Some("edge"));
 }
@@ -177,16 +210,18 @@ fn trace_send_and_deliver_pair_for_every_wire_message() {
         .trace(true)
         .build();
     rt.deploy_class("TestObject", "a").unwrap();
-    rt.create_object("TestObject", "x", "a", &(), Visibility::Public)
+    let a = rt.session("a").unwrap();
+    a.create_object("TestObject", "x", &(), Visibility::Public)
         .unwrap();
     let attr = Grev::new("TestObject", "x", "b");
-    rt.bind("a", &attr).unwrap();
-    let events = rt.world().trace().events();
+    a.bind(&attr).unwrap();
+    let world = rt.world();
+    let events = world.trace().events();
     for event in events {
         if let TraceEvent::Send { msg_id, .. } = event {
-            let delivered = events.iter().any(
-                |e| matches!(e, TraceEvent::Deliver { msg_id: d, .. } if d == msg_id),
-            );
+            let delivered = events
+                .iter()
+                .any(|e| matches!(e, TraceEvent::Deliver { msg_id: d, .. } if d == msg_id));
             assert!(delivered, "no loss configured, every send must deliver");
         }
     }

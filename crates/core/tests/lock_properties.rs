@@ -34,7 +34,11 @@ struct Shadow {
 }
 
 fn run_ops(fair: bool, ops: &[Op]) -> Result<(), TestCaseError> {
-    let mut table: LockTable<u32> = if fair { LockTable::fair() } else { LockTable::new() };
+    let mut table: LockTable<u32> = if fair {
+        LockTable::fair()
+    } else {
+        LockTable::new()
+    };
     let mut shadow = Shadow::default();
     for op in ops {
         match *op {
@@ -74,7 +78,9 @@ fn run_ops(fair: bool, ops: &[Op]) -> Result<(), TestCaseError> {
             Op::Release { client } => {
                 if !shadow.outstanding.contains(&client) {
                     // Releasing an unheld lock must be harmless.
-                    prop_assert!(table.release("o", NodeId::from_raw(client), HERE).is_empty());
+                    prop_assert!(table
+                        .release("o", NodeId::from_raw(client), HERE)
+                        .is_empty());
                     continue;
                 }
                 // Only release if actually holding (queued waiters keep

@@ -1,13 +1,11 @@
 //! End-to-end semantics of the MAGE runtime: every programming model,
 //! mobility coercion, registry forwarding chains, locking and the §7
-//! policy extensions.
+//! policy extensions, all through the session-oriented client API.
 
-use mage_core::attribute::{
-    BindPlan, Cle, Cod, Grev, Lpc, MobileAgent, PolicyAttribute, Rev, Rpc,
-};
+use mage_core::attribute::{BindPlan, Cle, Cod, Grev, Lpc, MobileAgent, PolicyAttribute, Rev, Rpc};
 use mage_core::coercion::Coerced;
 use mage_core::workload_support::{
-    geo_data_filter_class, itinerary_agent_class, itinerary_state, static_field_class,
+    geo_data_filter_class, itinerary_agent_class, itinerary_state, methods, static_field_class,
     test_object_class,
 };
 use mage_core::{LockKind, MageError, Runtime, Visibility};
@@ -27,7 +25,9 @@ fn fast_runtime(nodes: &[&str]) -> Runtime {
 /// Create a TestObject named `name` at `node` (deploying the class there).
 fn with_object(rt: &mut Runtime, node: &str, name: &str) {
     rt.deploy_class("TestObject", node).unwrap();
-    rt.create_object("TestObject", name, node, &(), Visibility::Public)
+    rt.session(node)
+        .unwrap()
+        .create_object("TestObject", name, &(), Visibility::Public)
         .unwrap();
 }
 
@@ -35,9 +35,9 @@ fn with_object(rt: &mut Runtime, node: &str, name: &str) {
 fn lpc_invokes_in_place() {
     let mut rt = fast_runtime(&["a", "b"]);
     with_object(&mut rt, "a", "counter");
+    let a = rt.session("a").unwrap();
     let attr = Lpc::new("TestObject", "counter");
-    let (stub, result): (_, Option<i64>) =
-        rt.bind_invoke("a", &attr, "inc", &()).unwrap();
+    let (stub, result) = a.bind_invoke(&attr, methods::INC, &()).unwrap();
     assert_eq!(result, Some(1));
     assert_eq!(stub.location(), rt.node_id("a").unwrap());
 }
@@ -47,7 +47,7 @@ fn lpc_on_remote_component_is_an_error() {
     let mut rt = fast_runtime(&["a", "b"]);
     with_object(&mut rt, "b", "counter");
     let attr = Lpc::new("TestObject", "counter");
-    let err = rt.bind("a", &attr).unwrap_err();
+    let err = rt.session("a").unwrap().bind(&attr).unwrap_err();
     assert!(matches!(err, MageError::Coercion { .. }), "{err:?}");
 }
 
@@ -55,16 +55,14 @@ fn lpc_on_remote_component_is_an_error() {
 fn rpc_invokes_remotely_without_moving() {
     let mut rt = fast_runtime(&["client", "server"]);
     with_object(&mut rt, "server", "svc");
+    let client = rt.session("client").unwrap();
     let attr = Rpc::new("TestObject", "svc", "server");
-    let receipt = rt.bind_full("client", &attr).unwrap();
+    let receipt = client.bind_full(&attr).unwrap();
     assert_eq!(receipt.coerced, Coerced::Proceed);
-    let v: i64 = rt.call(&receipt.stub, "inc", &()).unwrap();
+    let v = client.call(&receipt.stub, methods::INC, &()).unwrap();
     assert_eq!(v, 1);
     // Object must still be on the server.
-    assert_eq!(
-        rt.find("client", "svc").unwrap(),
-        rt.node_id("server").unwrap()
-    );
+    assert_eq!(client.find("svc").unwrap(), rt.node_id("server").unwrap());
 }
 
 #[test]
@@ -74,7 +72,7 @@ fn rpc_throws_when_object_not_at_target() {
     let mut rt = fast_runtime(&["client", "server", "elsewhere"]);
     with_object(&mut rt, "elsewhere", "svc");
     let attr = Rpc::new("TestObject", "svc", "server");
-    let err = rt.bind("client", &attr).unwrap_err();
+    let err = rt.session("client").unwrap().bind(&attr).unwrap_err();
     assert!(matches!(err, MageError::Coercion { .. }), "{err:?}");
 }
 
@@ -82,25 +80,23 @@ fn rpc_throws_when_object_not_at_target() {
 fn rev_object_move_relocates_and_invokes() {
     let mut rt = fast_runtime(&["lab", "sensor1"]);
     with_object(&mut rt, "lab", "geo");
+    let lab = rt.session("lab").unwrap();
     let attr = Rev::new("TestObject", "geo", "sensor1");
-    let (stub, result): (_, Option<i64>) =
-        rt.bind_invoke("lab", &attr, "inc", &()).unwrap();
+    let (stub, result) = lab.bind_invoke(&attr, methods::INC, &()).unwrap();
     assert_eq!(result, Some(1));
     assert_eq!(stub.location(), rt.node_id("sensor1").unwrap());
-    assert_eq!(
-        rt.find("lab", "geo").unwrap(),
-        rt.node_id("sensor1").unwrap()
-    );
+    assert_eq!(lab.find("geo").unwrap(), rt.node_id("sensor1").unwrap());
 }
 
 #[test]
 fn rev_coerces_to_rpc_when_already_at_target() {
     let mut rt = fast_runtime(&["lab", "sensor1"]);
     with_object(&mut rt, "sensor1", "geo");
+    let lab = rt.session("lab").unwrap();
     let attr = Rev::new("TestObject", "geo", "sensor1");
-    let receipt = rt.bind_full("lab", &attr).unwrap();
+    let receipt = lab.bind_full(&attr).unwrap();
     assert_eq!(receipt.coerced, Coerced::AsRpc);
-    let v: i64 = rt.call(&receipt.stub, "inc", &()).unwrap();
+    let v = lab.call(&receipt.stub, methods::INC, &()).unwrap();
     assert_eq!(v, 1);
 }
 
@@ -108,9 +104,9 @@ fn rev_coerces_to_rpc_when_already_at_target() {
 fn rev_factory_instantiates_at_target_with_class_push() {
     let mut rt = fast_runtime(&["lab", "sensor1"]);
     rt.deploy_class("GeoDataFilterImpl", "lab").unwrap();
+    let lab = rt.session("lab").unwrap();
     let attr = Rev::factory("GeoDataFilterImpl", "geoData", "sensor1");
-    let (stub, yielded): (_, Option<u64>) =
-        rt.bind_invoke("lab", &attr, "filterData", &()).unwrap();
+    let (stub, yielded) = lab.bind_invoke(&attr, methods::FILTER_DATA, &()).unwrap();
     // sensor1 is node id 1 → yield 110 per the workload class.
     assert_eq!(yielded, Some(110));
     assert_eq!(stub.location(), rt.node_id("sensor1").unwrap());
@@ -120,10 +116,11 @@ fn rev_factory_instantiates_at_target_with_class_push() {
 fn cod_moves_object_to_client() {
     let mut rt = fast_runtime(&["lab", "sensor1"]);
     with_object(&mut rt, "sensor1", "geo");
+    let lab = rt.session("lab").unwrap();
     let attr = Cod::new("TestObject", "geo");
-    let stub = rt.bind("lab", &attr).unwrap();
+    let stub = lab.bind(&attr).unwrap();
     assert_eq!(stub.location(), rt.node_id("lab").unwrap());
-    assert_eq!(rt.find("lab", "geo").unwrap(), rt.node_id("lab").unwrap());
+    assert_eq!(lab.find("geo").unwrap(), rt.node_id("lab").unwrap());
 }
 
 #[test]
@@ -131,7 +128,7 @@ fn cod_on_local_component_coerces_to_lpc() {
     let mut rt = fast_runtime(&["lab"]);
     with_object(&mut rt, "lab", "geo");
     let attr = Cod::new("TestObject", "geo");
-    let receipt = rt.bind_full("lab", &attr).unwrap();
+    let receipt = rt.session("lab").unwrap().bind_full(&attr).unwrap();
     assert_eq!(receipt.coerced, Coerced::AsLpc);
 }
 
@@ -139,9 +136,9 @@ fn cod_on_local_component_coerces_to_lpc() {
 fn cod_factory_pulls_class_and_instantiates_locally() {
     let mut rt = fast_runtime(&["lab", "server"]);
     rt.deploy_class("GeoDataFilterImpl", "server").unwrap();
+    let lab = rt.session("lab").unwrap();
     let attr = Cod::factory("GeoDataFilterImpl", "geoData");
-    let (stub, yielded): (_, Option<u64>) =
-        rt.bind_invoke("lab", &attr, "filterData", &()).unwrap();
+    let (stub, yielded) = lab.bind_invoke(&attr, methods::FILTER_DATA, &()).unwrap();
     assert_eq!(yielded, Some(100), "lab is node 0 → yield 100");
     assert_eq!(stub.location(), rt.node_id("lab").unwrap());
 }
@@ -152,8 +149,9 @@ fn grev_moves_between_two_remote_namespaces() {
     // `lab` moves C from namespace D to target B (Figure 2).
     let mut rt = fast_runtime(&["lab", "d", "b"]);
     with_object(&mut rt, "d", "c");
+    let lab = rt.session("lab").unwrap();
     let attr = Grev::new("TestObject", "c", "b");
-    let (stub, result): (_, Option<i64>) = rt.bind_invoke("lab", &attr, "inc", &()).unwrap();
+    let (stub, result) = lab.bind_invoke(&attr, methods::INC, &()).unwrap();
     assert_eq!(result, Some(1));
     assert_eq!(stub.location(), rt.node_id("b").unwrap());
 }
@@ -162,15 +160,16 @@ fn grev_moves_between_two_remote_namespaces() {
 fn cle_invokes_wherever_the_component_is() {
     let mut rt = fast_runtime(&["lab", "p1", "p2"]);
     with_object(&mut rt, "p1", "printer");
+    let lab = rt.session("lab").unwrap();
     let attr = Cle::new("TestObject", "printer");
-    let (stub, _): (_, Option<i64>) = rt.bind_invoke("lab", &attr, "inc", &()).unwrap();
+    let (stub, _) = lab.bind_invoke(&attr, methods::INC, &()).unwrap();
     assert_eq!(stub.location(), rt.node_id("p1").unwrap());
 
     // The job controller moves the printer object; CLE follows it without
     // the client changing anything (Figure 3).
     let mover = Grev::new("TestObject", "printer", "p2");
-    rt.bind("lab", &mover).unwrap();
-    let (stub, _): (_, Option<i64>) = rt.bind_invoke("lab", &attr, "inc", &()).unwrap();
+    lab.bind(&mover).unwrap();
+    let (stub, _) = lab.bind_invoke(&attr, methods::INC, &()).unwrap();
     assert_eq!(stub.location(), rt.node_id("p2").unwrap());
 }
 
@@ -178,14 +177,14 @@ fn cle_invokes_wherever_the_component_is() {
 fn mobile_agent_is_asynchronous_and_result_stays() {
     let mut rt = fast_runtime(&["lab", "sensor2"]);
     with_object(&mut rt, "lab", "agent");
+    let lab = rt.session("lab").unwrap();
     let attr = MobileAgent::new("TestObject", "agent", "sensor2");
-    let (stub, result): (_, Option<i64>) =
-        rt.bind_invoke("lab", &attr, "inc", &()).unwrap();
+    let (stub, result) = lab.bind_invoke(&attr, methods::INC, &()).unwrap();
     assert_eq!(result, None, "one-way invocation returns no result");
     assert_eq!(stub.location(), rt.node_id("sensor2").unwrap());
     // Let the in-flight invocation drain, then check the work happened.
     rt.run_until_idle().unwrap();
-    let v: i64 = rt.call(&stub, "get", &()).unwrap();
+    let v = lab.call(&stub, methods::GET, &()).unwrap();
     assert_eq!(v, 1);
 }
 
@@ -193,17 +192,18 @@ fn mobile_agent_is_asynchronous_and_result_stays() {
 fn agent_itinerary_hops_autonomously() {
     let mut rt = fast_runtime(&["lab", "s1", "s2", "s3"]);
     rt.deploy_class("ItineraryAgent", "lab").unwrap();
+    let lab = rt.session("lab").unwrap();
     let state = itinerary_state(&["s2", "s3"]);
     let spec_attr = Rev::factory("ItineraryAgent", "walker", "s1").with_init_state(state);
-    let (stub, _): (_, Option<usize>) = rt.bind_invoke("lab", &spec_attr, "step", &()).unwrap();
+    let (stub, _) = lab.bind_invoke(&spec_attr, methods::STEP, &()).unwrap();
     // The step on s1 requested a hop to s2; the hop is autonomous. Each
     // subsequent step triggers the next leg.
     rt.run_until_idle().unwrap();
-    assert_eq!(rt.find("lab", "walker").unwrap(), rt.node_id("s2").unwrap());
-    let _: usize = rt.call(&stub, "step", &()).unwrap();
+    assert_eq!(lab.find("walker").unwrap(), rt.node_id("s2").unwrap());
+    let _ = lab.call(&stub, methods::STEP, &()).unwrap();
     rt.run_until_idle().unwrap();
-    assert_eq!(rt.find("lab", "walker").unwrap(), rt.node_id("s3").unwrap());
-    let visited: Vec<String> = rt.call(&stub, "visited", &()).unwrap();
+    assert_eq!(lab.find("walker").unwrap(), rt.node_id("s3").unwrap());
+    let visited = lab.call(&stub, methods::VISITED, &()).unwrap();
     assert_eq!(visited, vec!["s1".to_owned(), "s2".to_owned()]);
 }
 
@@ -217,31 +217,37 @@ fn forwarding_chain_resolves_and_compresses() {
     with_object(&mut rt, "n0", "nomad");
     for (from, to) in [("n0", "n1"), ("n1", "n2"), ("n2", "n3")] {
         let attr = Grev::new("TestObject", "nomad", to);
-        rt.bind(from, &attr).unwrap();
+        rt.session(from).unwrap().bind(&attr).unwrap();
     }
-    let loc = rt.find("n4", "nomad").unwrap();
+    let n4 = rt.session("n4").unwrap();
+    let loc = n4.find("nomad").unwrap();
     assert_eq!(loc, rt.node_id("n3").unwrap());
     // A second find must take no additional chain hops: the compressed
     // entry points straight at the hosting node, so the verification is a
     // single request/response pair.
     rt.world_mut().reset_metrics();
-    let loc2 = rt.find("n4", "nomad").unwrap();
+    let loc2 = n4.find("nomad").unwrap();
     assert_eq!(loc2, rt.node_id("n3").unwrap());
-    assert_eq!(rt.world().metrics().net.sent, 2, "one hop after compression");
+    assert_eq!(
+        rt.world().metrics().net.sent,
+        2,
+        "one hop after compression"
+    );
 }
 
 #[test]
 fn invoke_follows_object_that_moved_underneath_the_stub() {
     let mut rt = fast_runtime(&["a", "b", "c"]);
     with_object(&mut rt, "b", "obj");
+    let a = rt.session("a").unwrap();
     let attr = Rpc::new("TestObject", "obj", "b");
-    let stub = rt.bind("a", &attr).unwrap();
-    let _: i64 = rt.call(&stub, "inc", &()).unwrap();
+    let stub = a.bind(&attr).unwrap();
+    let _ = a.call(&stub, methods::INC, &()).unwrap();
     // Someone else moves the object to c.
     let mover = Grev::new("TestObject", "obj", "c");
-    rt.bind("a", &mover).unwrap();
+    a.bind(&mover).unwrap();
     // The stale stub still works: NotBound → re-find → retry.
-    let v: i64 = rt.call(&stub, "inc", &()).unwrap();
+    let v = a.call(&stub, methods::INC, &()).unwrap();
     assert_eq!(v, 2);
 }
 
@@ -249,13 +255,14 @@ fn invoke_follows_object_that_moved_underneath_the_stub() {
 fn guarded_bind_takes_and_releases_locks() {
     let mut rt = fast_runtime(&["lab", "sensor1"]);
     with_object(&mut rt, "lab", "geo");
+    let lab = rt.session("lab").unwrap();
     let attr = Rev::new("TestObject", "geo", "sensor1").guarded();
-    let receipt = rt.bind_full("lab", &attr).unwrap();
+    let receipt = lab.bind_full(&attr).unwrap();
     assert_eq!(receipt.lock_kind, Some(LockKind::Move));
     // Lock was released: an immediate explicit lock succeeds.
-    let kind = rt.lock("lab", "geo", "sensor1").unwrap();
+    let kind = lab.lock("geo", "sensor1").unwrap();
     assert_eq!(kind, LockKind::Stay, "object now resides at the target");
-    rt.unlock("lab", "geo").unwrap();
+    lab.unlock("geo").unwrap();
 }
 
 #[test]
@@ -263,51 +270,56 @@ fn explicit_lock_bracket_matches_paper_example() {
     // lock("geoData", cod.getTarget()); bind; invoke; unlock (§4.4).
     let mut rt = fast_runtime(&["lab", "sensor1"]);
     with_object(&mut rt, "sensor1", "geoData");
-    let kind = rt.lock("lab", "geoData", "lab").unwrap();
+    let lab = rt.session("lab").unwrap();
+    let kind = lab.lock("geoData", "lab").unwrap();
     assert_eq!(kind, LockKind::Move, "object is not at the lab yet");
     let cod = Cod::new("TestObject", "geoData");
-    let stub = rt.bind("lab", &cod).unwrap();
-    let _: i64 = rt.call(&stub, "inc", &()).unwrap();
-    rt.unlock("lab", "geoData").unwrap();
+    let stub = lab.bind(&cod).unwrap();
+    let _ = lab.call(&stub, methods::INC, &()).unwrap();
+    lab.unlock("geoData").unwrap();
 }
 
 #[test]
 fn contending_movers_serialize_on_the_lock_queue() {
     let mut rt = fast_runtime(&["host", "c1", "c2"]);
     with_object(&mut rt, "host", "shared");
+    let c1 = rt.session("c1").unwrap();
+    let c2 = rt.session("c2").unwrap();
     // c1 takes a move lock, then c2's move-lock request queues.
-    let l1 = rt.lock_async("c1", "shared", "c1").unwrap();
-    let k1 = rt.wait(l1).unwrap().lock_kind.unwrap();
+    let k1 = c1.lock_async("shared", "c1").unwrap().wait().unwrap();
     assert_eq!(k1, LockKind::Move);
-    let l2 = rt.lock_async("c2", "shared", "c2").unwrap();
+    let l2 = c2.lock_async("shared", "c2").unwrap();
     rt.advance(SimDuration::from_millis(50)).unwrap();
-    assert!(!rt.is_done(l2), "second mover waits in the queue");
-    rt.unlock("c1", "shared").unwrap();
-    let k2 = rt.wait(l2).unwrap().lock_kind.unwrap();
+    assert!(!l2.is_done(), "second mover waits in the queue");
+    c1.unlock("shared").unwrap();
+    let k2 = l2.wait().unwrap();
     assert_eq!(k2, LockKind::Move);
-    rt.unlock("c2", "shared").unwrap();
+    c2.unlock("shared").unwrap();
 }
 
 #[test]
 fn unfair_policy_grants_stay_over_queued_move() {
     let mut rt = fast_runtime(&["host", "reader", "mover"]);
     with_object(&mut rt, "host", "shared");
+    let host = rt.session("host").unwrap();
+    let reader = rt.session("reader").unwrap();
+    let mover = rt.session("mover").unwrap();
     // Reader holds a stay lock (target == host).
-    let kind = rt.lock("reader", "shared", "host").unwrap();
+    let kind = reader.lock("shared", "host").unwrap();
     assert_eq!(kind, LockKind::Stay);
     // Mover queues.
-    let mv = rt.lock_async("mover", "shared", "mover").unwrap();
+    let mv = mover.lock_async("shared", "mover").unwrap();
     rt.advance(SimDuration::from_millis(20)).unwrap();
-    assert!(!rt.is_done(mv));
+    assert!(!mv.is_done());
     // A second reader jumps the queued mover (the paper's unfairness).
-    let kind = rt.lock("host", "shared", "host").unwrap();
+    let kind = host.lock("shared", "host").unwrap();
     assert_eq!(kind, LockKind::Stay);
     // Release both readers; only then the mover gets its lock.
-    rt.unlock("reader", "shared").unwrap();
+    reader.unlock("shared").unwrap();
     rt.advance(SimDuration::from_millis(20)).unwrap();
-    assert!(!rt.is_done(mv), "mover still blocked by second reader");
-    rt.unlock("host", "shared").unwrap();
-    let k = rt.wait(mv).unwrap().lock_kind.unwrap();
+    assert!(!mv.is_done(), "mover still blocked by second reader");
+    host.unlock("shared").unwrap();
+    let k = mv.wait().unwrap();
     assert_eq!(k, LockKind::Move);
 }
 
@@ -315,20 +327,21 @@ fn unfair_policy_grants_stay_over_queued_move() {
 fn lock_waiters_bounce_and_retry_when_object_migrates() {
     let mut rt = fast_runtime(&["host", "mover", "late"]);
     with_object(&mut rt, "host", "shared");
-    let k = rt.lock("mover", "shared", "mover").unwrap();
+    let mover = rt.session("mover").unwrap();
+    let late = rt.session("late").unwrap();
+    let k = mover.lock("shared", "mover").unwrap();
     assert_eq!(k, LockKind::Move);
     // A waiter queues behind the move lock.
-    let waiting = rt.lock_async("late", "shared", "host").unwrap();
+    let waiting = late.lock_async("shared", "host").unwrap();
     rt.advance(SimDuration::from_millis(10)).unwrap();
-    assert!(!rt.is_done(waiting));
+    assert!(!waiting.is_done());
     // The mover moves the object (still holding its lock) and unlocks at
     // the new host; the bounced waiter re-finds and re-locks there.
     let attr = Grev::new("TestObject", "shared", "mover");
-    rt.bind("mover", &attr).unwrap();
-    rt.unlock("mover", "shared").unwrap();
-    let outcome = rt.wait(waiting).unwrap();
-    assert!(outcome.lock_kind.is_some(), "waiter eventually acquires");
-    rt.unlock("late", "shared").unwrap();
+    mover.bind(&attr).unwrap();
+    mover.unlock("shared").unwrap();
+    assert!(waiting.wait().is_ok(), "waiter eventually acquires");
+    late.unlock("shared").unwrap();
 }
 
 #[test]
@@ -336,12 +349,13 @@ fn trust_policy_blocks_migration_into_namespace() {
     let mut rt = fast_runtime(&["lab", "fortress"]);
     with_object(&mut rt, "lab", "spy");
     rt.set_trust("fortress", Some(&[])).unwrap();
+    let lab = rt.session("lab").unwrap();
     let attr = Rev::new("TestObject", "spy", "fortress");
-    let err = rt.bind("lab", &attr).unwrap_err();
+    let err = lab.bind(&attr).unwrap_err();
     assert!(matches!(err, MageError::Denied(_)), "{err:?}");
     // Object must still be usable at the lab after the refused move.
     let lpc = Lpc::new("TestObject", "spy");
-    let (_, v): (_, Option<i64>) = rt.bind_invoke("lab", &lpc, "inc", &()).unwrap();
+    let (_, v) = lab.bind_invoke(&lpc, methods::INC, &()).unwrap();
     assert_eq!(v, Some(1));
 }
 
@@ -350,14 +364,15 @@ fn quota_refuses_excess_objects() {
     let mut rt = fast_runtime(&["lab", "tiny"]);
     rt.deploy_class("TestObject", "lab").unwrap();
     rt.set_quota("tiny", Some(1), None).unwrap();
-    rt.create_object("TestObject", "a", "lab", &(), Visibility::Public)
+    let lab = rt.session("lab").unwrap();
+    lab.create_object("TestObject", "a", &(), Visibility::Public)
         .unwrap();
-    rt.create_object("TestObject", "b", "lab", &(), Visibility::Public)
+    lab.create_object("TestObject", "b", &(), Visibility::Public)
         .unwrap();
     let ok = Rev::new("TestObject", "a", "tiny");
-    rt.bind("lab", &ok).unwrap();
+    lab.bind(&ok).unwrap();
     let too_many = Rev::new("TestObject", "b", "tiny");
-    let err = rt.bind("lab", &too_many).unwrap_err();
+    let err = lab.bind(&too_many).unwrap_err();
     assert!(matches!(err, MageError::Denied(_)), "{err:?}");
 }
 
@@ -365,11 +380,12 @@ fn quota_refuses_excess_objects() {
 fn static_field_classes_are_refused_until_allowed() {
     let mut rt = fast_runtime(&["lab", "remote"]);
     rt.deploy_class("StaticHolder", "lab").unwrap();
+    let lab = rt.session("lab").unwrap();
     let attr = Rev::factory("StaticHolder", "holder", "remote");
-    let err = rt.bind("lab", &attr).unwrap_err();
+    let err = lab.bind(&attr).unwrap_err();
     assert!(matches!(err, MageError::Denied(_)), "{err:?}");
     rt.allow_static_classes("remote", true).unwrap();
-    let stub = rt.bind("lab", &attr).unwrap();
+    let stub = lab.bind(&attr).unwrap();
     assert_eq!(stub.location(), rt.node_id("remote").unwrap());
 }
 
@@ -379,8 +395,11 @@ fn custom_policy_attribute_moves_off_loaded_hosts() {
     with_object(&mut rt, "hot", "worker");
     rt.set_load("hot", 0.95).unwrap();
     rt.set_load("cool", 0.05).unwrap();
+    let hot = rt.session("hot").unwrap();
     let attr = PolicyAttribute::new("LoadBalancer", "TestObject", "worker", |view| {
-        let here = view.location().ok_or(MageError::NotFound("worker".into()))?;
+        let here = view
+            .location()
+            .ok_or(MageError::NotFound("worker".into()))?;
         if view.load(here) > 0.8 {
             let (coolest, _) = view
                 .namespaces()
@@ -392,11 +411,11 @@ fn custom_policy_attribute_moves_off_loaded_hosts() {
             Ok(BindPlan::stay())
         }
     });
-    let stub = rt.bind("hot", &attr).unwrap();
+    let stub = hot.bind(&attr).unwrap();
     assert_eq!(stub.location(), rt.node_id("cool").unwrap());
     // With the load gone, a re-bind leaves it in place.
     rt.set_load("hot", 0.1).unwrap();
-    let stub = rt.bind("hot", &attr).unwrap();
+    let stub = hot.bind(&attr).unwrap();
     assert_eq!(stub.location(), rt.node_id("cool").unwrap());
 }
 
@@ -404,22 +423,22 @@ fn custom_policy_attribute_moves_off_loaded_hosts() {
 fn weak_migration_preserves_heap_state_across_moves() {
     let mut rt = fast_runtime(&["a", "b", "c"]);
     with_object(&mut rt, "a", "acc");
+    let a = rt.session("a").unwrap();
     let lpc = Lpc::new("TestObject", "acc");
-    let (stub, _): (_, Option<i64>) = rt.bind_invoke("a", &lpc, "inc", &()).unwrap();
+    let (stub, _) = a.bind_invoke(&lpc, methods::INC, &()).unwrap();
     for dest in ["b", "c", "a"] {
         let attr = Grev::new("TestObject", "acc", dest);
-        rt.bind("a", &attr).unwrap();
-        let v: i64 = rt.call(&stub, "inc", &()).unwrap();
-        let _ = v;
+        a.bind(&attr).unwrap();
+        let _ = a.call(&stub, methods::INC, &()).unwrap();
     }
-    let v: i64 = rt.call(&stub, "get", &()).unwrap();
+    let v = a.call(&stub, methods::GET, &()).unwrap();
     assert_eq!(v, 4, "state accumulated across three migrations");
 }
 
 #[test]
 fn find_fails_for_unknown_components() {
-    let mut rt = fast_runtime(&["a", "b"]);
-    let err = rt.find("a", "ghost").unwrap_err();
+    let rt = fast_runtime(&["a", "b"]);
+    let err = rt.session("a").unwrap().find("ghost").unwrap_err();
     assert!(matches!(err, MageError::NotFound(_)), "{err:?}");
 }
 
@@ -428,11 +447,13 @@ fn deterministic_replay_across_identical_runs() {
     let run = || {
         let mut rt = fast_runtime(&["a", "b", "c"]);
         with_object(&mut rt, "a", "obj");
+        let a = rt.session("a").unwrap();
         for dest in ["b", "c", "a", "c"] {
             let attr = Grev::new("TestObject", "obj", dest);
-            rt.bind("a", &attr).unwrap();
+            a.bind(&attr).unwrap();
         }
-        (rt.now(), rt.world().metrics().net.sent)
+        let sent = rt.world().metrics().net.sent;
+        (rt.now(), sent)
     };
     assert_eq!(run(), run());
 }

@@ -57,7 +57,10 @@ impl Config {
     /// A configuration with zero CPU costs, for tests that assert on
     /// message counts and semantics rather than timing.
     pub fn zero_cost() -> Self {
-        Config { cost: CostModel::zero(), ..Config::default() }
+        Config {
+            cost: CostModel::zero(),
+            ..Config::default()
+        }
     }
 }
 
@@ -135,7 +138,12 @@ pub trait App {
     /// Called when an outgoing call completes (successfully or not).
     ///
     /// `token` is the correlation value passed to [`Env::call`].
-    fn on_reply(&mut self, _env: &mut Env<'_, '_>, _token: u64, _result: Result<Vec<u8>, RmiError>) {
+    fn on_reply(
+        &mut self,
+        _env: &mut Env<'_, '_>,
+        _token: u64,
+        _result: Result<Vec<u8>, RmiError>,
+    ) {
     }
 
     /// Called when an app timer set via [`Env::set_timer`] fires.
@@ -203,7 +211,11 @@ pub struct Env<'a, 'c> {
 
 impl<'a, 'c> Env<'a, 'c> {
     fn new(ctx: &'a mut Context<'c>, state: &'a mut EndpointState, surcharge: SimDuration) -> Self {
-        Env { ctx, state, surcharge }
+        Env {
+            ctx,
+            state,
+            surcharge,
+        }
     }
 
     /// This endpoint's node id.
@@ -299,7 +311,14 @@ impl<'a, 'c> Env<'a, 'c> {
             .send_after(delay, to, message.trace_label(), message.encode());
         self.state.pending.insert(
             call_id,
-            PendingCall { to, token, message, attempts: 1, max_retries, timeout },
+            PendingCall {
+                to,
+                token,
+                message,
+                attempts: 1,
+                max_retries,
+                timeout,
+            },
         );
         self.ctx.set_timer(delay + timeout, RETX_FLAG | call_id);
     }
@@ -317,7 +336,10 @@ impl<'a, 'c> Env<'a, 'c> {
             "reply to unknown or already-answered call {key:?}"
         );
         self.state.cache_response(key, result.clone());
-        let rsp = Message::CallRsp { call_id: handle.call_id, result };
+        let rsp = Message::CallRsp {
+            call_id: handle.call_id,
+            result,
+        };
         let delay = self.surcharge;
         self.ctx
             .send_after(delay, handle.caller, rsp.trace_label(), rsp.encode());
@@ -330,7 +352,11 @@ impl<'a, 'c> Env<'a, 'c> {
     ///
     /// Panics if `tag` has the reserved bit set.
     pub fn set_timer(&mut self, after: SimDuration, tag: u64) -> TimerId {
-        assert_eq!(tag & RETX_FLAG, 0, "app timer tags must not use the top bit");
+        assert_eq!(
+            tag & RETX_FLAG,
+            0,
+            "app timer tags must not use the top bit"
+        );
         self.ctx.set_timer(after, tag)
     }
 
@@ -364,7 +390,10 @@ pub struct Endpoint<A> {
 impl<A: App> Endpoint<A> {
     /// Creates an endpoint with the given app and configuration.
     pub fn new(app: A, cfg: Config) -> Self {
-        Endpoint { app, state: EndpointState::new(cfg) }
+        Endpoint {
+            app,
+            state: EndpointState::new(cfg),
+        }
     }
 
     /// Creates an endpoint with default (JDK 1.2.2) configuration.
@@ -395,7 +424,10 @@ impl<A: App> Endpoint<A> {
         // At-most-once: duplicate of an answered call re-sends the cached
         // response without re-executing.
         if let Some(cached) = self.state.response_cache.get(&key) {
-            let rsp = Message::CallRsp { call_id, result: cached.clone() };
+            let rsp = Message::CallRsp {
+                call_id,
+                result: cached.clone(),
+            };
             ctx.send(from, rsp.trace_label(), rsp.encode());
             return;
         }
@@ -414,7 +446,12 @@ impl<A: App> Endpoint<A> {
             self.state.objects.insert(object, obj);
             self.state.cache_response(key, result.clone());
             let rsp = Message::CallRsp { call_id, result };
-            ctx.send_after(dispatch_cost + service, from, rsp.trace_label(), rsp.encode());
+            ctx.send_after(
+                dispatch_cost + service,
+                from,
+                rsp.trace_label(),
+                rsp.encode(),
+            );
             return;
         }
         // ...then the app layer (e.g. MAGE system services).
@@ -423,17 +460,26 @@ impl<A: App> Endpoint<A> {
             object,
             method,
             args,
-            handle: ReplyHandle { caller: from, call_id },
+            handle: ReplyHandle {
+                caller: from,
+                call_id,
+            },
         };
         let mut env = Env::new(ctx, &mut self.state, dispatch_cost);
         match self.app.on_call(&mut env, from, call) {
             CallOutcome::Reply(result) => {
-                let handle = ReplyHandle { caller: from, call_id };
+                let handle = ReplyHandle {
+                    caller: from,
+                    call_id,
+                };
                 env.reply(handle, result);
             }
             CallOutcome::Deferred => {}
             CallOutcome::Unhandled => {
-                let handle = ReplyHandle { caller: from, call_id };
+                let handle = ReplyHandle {
+                    caller: from,
+                    call_id,
+                };
                 env.reply(handle, Err(Fault::NotBound("<unhandled>".into())));
             }
         }
@@ -471,7 +517,9 @@ impl<A: App> Endpoint<A> {
             self.app.on_reply(
                 &mut env,
                 pending.token,
-                Err(RmiError::Timeout { attempts: pending.attempts }),
+                Err(RmiError::Timeout {
+                    attempts: pending.attempts,
+                }),
             );
         }
     }
@@ -490,7 +538,12 @@ impl<A: App> Actor for Endpoint<A> {
             return;
         }
         match Message::decode(&payload) {
-            Ok(Message::CallReq { call_id, object, method, args }) => {
+            Ok(Message::CallReq {
+                call_id,
+                object,
+                method,
+                args,
+            }) => {
                 self.handle_call_req(ctx, from, call_id, object, method, args);
             }
             Ok(Message::CallRsp { call_id, result }) => {

@@ -89,7 +89,10 @@ mod tests {
     fn faults_roundtrip_through_codec() {
         let faults = [
             Fault::NotBound("geoData".into()),
-            Fault::NoSuchMethod { object: "o".into(), method: "m".into() },
+            Fault::NoSuchMethod {
+                object: "o".into(),
+                method: "m".into(),
+            },
             Fault::ClassMissing("C".into()),
             Fault::AccessDenied("untrusted".into()),
             Fault::App("boom".into()),

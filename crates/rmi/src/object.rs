@@ -19,7 +19,12 @@ pub struct ObjectEnv<'a> {
 
 impl<'a> ObjectEnv<'a> {
     pub(crate) fn new(node: NodeId, now: SimTime, rng: &'a mut StdRng) -> Self {
-        ObjectEnv { node, now, consumed: SimDuration::ZERO, rng }
+        ObjectEnv {
+            node,
+            now,
+            consumed: SimDuration::ZERO,
+            rng,
+        }
     }
 
     /// The namespace hosting the object.
@@ -93,7 +98,10 @@ mod tests {
             if method == "len" {
                 Ok(vec![args.len() as u8])
             } else {
-                Err(Fault::NoSuchMethod { object: "o".into(), method: method.into() })
+                Err(Fault::NoSuchMethod {
+                    object: "o".into(),
+                    method: method.into(),
+                })
             }
         };
         let mut rng = StdRng::seed_from_u64(0);

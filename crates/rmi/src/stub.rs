@@ -19,7 +19,10 @@ pub struct RemoteRef {
 impl RemoteRef {
     /// Creates a reference to `name` hosted at `node`.
     pub fn new(node: NodeId, name: impl Into<String>) -> Self {
-        RemoteRef { node: node.as_raw(), name: name.into() }
+        RemoteRef {
+            node: node.as_raw(),
+            name: name.into(),
+        }
     }
 
     /// The node currently believed to host the object.
@@ -34,7 +37,10 @@ impl RemoteRef {
 
     /// Returns a copy pointing at a different node (after a migration).
     pub fn moved_to(&self, node: NodeId) -> RemoteRef {
-        RemoteRef { node: node.as_raw(), name: self.name.clone() }
+        RemoteRef {
+            node: node.as_raw(),
+            name: self.name.clone(),
+        }
     }
 }
 

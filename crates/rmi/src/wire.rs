@@ -83,7 +83,10 @@ mod tests {
 
     #[test]
     fn call_rsp_roundtrips_both_arms() {
-        let ok = Message::CallRsp { call_id: 1, result: Ok(vec![7]) };
+        let ok = Message::CallRsp {
+            call_id: 1,
+            result: Ok(vec![7]),
+        };
         let err = Message::CallRsp {
             call_id: 2,
             result: Err(Fault::NotBound("x".into())),
@@ -94,7 +97,10 @@ mod tests {
 
     #[test]
     fn call_id_accessor() {
-        let msg = Message::CallRsp { call_id: 5, result: Ok(vec![]) };
+        let msg = Message::CallRsp {
+            call_id: 5,
+            result: Ok(vec![]),
+        };
         assert_eq!(msg.call_id(), 5);
     }
 
@@ -107,7 +113,10 @@ mod tests {
             args: vec![],
         };
         assert_eq!(req.trace_label(), "call:o.m");
-        let rsp = Message::CallRsp { call_id: 0, result: Ok(vec![]) };
+        let rsp = Message::CallRsp {
+            call_id: 0,
+            result: Ok(vec![]),
+        };
         assert_eq!(rsp.trace_label(), "rsp:ok");
         let fault = Message::CallRsp {
             call_id: 0,

@@ -8,7 +8,7 @@ use bytes::Bytes;
 use mage_rmi::{
     client_endpoint, drive_call, Config, Endpoint, Fault, ObjectEnv, RemoteObject, ServerOnly,
 };
-use mage_sim::{LinkSpec, SimDuration, World};
+use mage_sim::{SimDuration, World};
 
 struct Counter {
     hits: Rc<Cell<u64>>,
@@ -28,7 +28,10 @@ impl RemoteObject for Counter {
                 self.hits.set(self.hits.get() + 1);
                 Ok(mage_rmi::encode_args(&self.hits.get()).expect("encodes"))
             }
-            other => Err(Fault::NoSuchMethod { object: "counter".into(), method: other.into() }),
+            other => Err(Fault::NoSuchMethod {
+                object: "counter".into(),
+                method: other.into(),
+            }),
         }
     }
 }
@@ -42,7 +45,10 @@ fn server_only_endpoints_serve_bound_objects() {
     let mut server_ep: Endpoint<ServerOnly> = Endpoint::new(ServerOnly, cfg);
     server_ep.bind(
         "counter",
-        Box::new(Counter { hits: Rc::clone(&hits), service_time: SimDuration::ZERO }),
+        Box::new(Counter {
+            hits: Rc::clone(&hits),
+            service_time: SimDuration::ZERO,
+        }),
     );
     let server = world.add_node("s", server_ep);
     let out = drive_call(&mut world, client, server, "counter", "inc", vec![])
@@ -85,12 +91,18 @@ fn response_cache_eviction_is_bounded() {
     // grow without bound and must keep answering correctly.
     let hits = Rc::new(Cell::new(0));
     let mut world = World::new(5);
-    let cfg = Config { response_cache_size: 4, ..Config::zero_cost() };
+    let cfg = Config {
+        response_cache_size: 4,
+        ..Config::zero_cost()
+    };
     let client = world.add_node("c", client_endpoint(cfg));
     let mut server_ep: Endpoint<ServerOnly> = Endpoint::new(ServerOnly, cfg);
     server_ep.bind(
         "counter",
-        Box::new(Counter { hits: Rc::clone(&hits), service_time: SimDuration::ZERO }),
+        Box::new(Counter {
+            hits: Rc::clone(&hits),
+            service_time: SimDuration::ZERO,
+        }),
     );
     let server = world.add_node("s", server_ep);
     for i in 1..=50u64 {
@@ -112,7 +124,10 @@ fn malformed_wire_bytes_are_ignored_not_fatal() {
     let mut server_ep: Endpoint<ServerOnly> = Endpoint::new(ServerOnly, cfg);
     server_ep.bind(
         "counter",
-        Box::new(Counter { hits: Rc::clone(&hits), service_time: SimDuration::ZERO }),
+        Box::new(Counter {
+            hits: Rc::clone(&hits),
+            service_time: SimDuration::ZERO,
+        }),
     );
     let server = world.add_node("s", server_ep);
     // Driver payloads reach the app; ServerOnly ignores them. Then verify
@@ -134,5 +149,8 @@ fn remote_refs_survive_marshalling_between_layers() {
     let bytes = mage_codec::to_bytes(&stub).unwrap();
     let back: RemoteRef = mage_codec::from_bytes(&bytes).unwrap();
     assert_eq!(back, stub);
-    assert_eq!(back.moved_to(NodeId::from_raw(5)).node(), NodeId::from_raw(5));
+    assert_eq!(
+        back.moved_to(NodeId::from_raw(5)).node(),
+        NodeId::from_raw(5)
+    );
 }

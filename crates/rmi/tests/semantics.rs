@@ -6,8 +6,8 @@ use std::rc::Rc;
 
 use bytes::Bytes;
 use mage_rmi::{
-    client_endpoint, drive_call, encode_args, server_endpoint, App, CallOutcome, Config,
-    Endpoint, Env, Fault, InboundCall, ObjectEnv, RemoteObject, ReplyHandle, RmiError,
+    client_endpoint, drive_call, encode_args, server_endpoint, App, CallOutcome, Config, Endpoint,
+    Env, Fault, InboundCall, ObjectEnv, RemoteObject, ReplyHandle, RmiError,
 };
 use mage_sim::{LinkSpec, NodeId, OpId, SimDuration, World};
 
@@ -48,7 +48,13 @@ fn lossy_world(loss: f64, seed: u64) -> (World, NodeId, NodeId, Rc<Cell<u64>>) {
     let client = world.add_node("client", client_endpoint(cfg));
     let server = world.add_node(
         "server",
-        server_endpoint(cfg, "counter", Box::new(Counter { hits: Rc::clone(&hits) })),
+        server_endpoint(
+            cfg,
+            "counter",
+            Box::new(Counter {
+                hits: Rc::clone(&hits),
+            }),
+        ),
     );
     world.set_link_bidi(
         client,
@@ -175,12 +181,7 @@ struct DeferringApp {
 }
 
 impl App for DeferringApp {
-    fn on_call(
-        &mut self,
-        env: &mut Env<'_, '_>,
-        _from: NodeId,
-        call: InboundCall,
-    ) -> CallOutcome {
+    fn on_call(&mut self, env: &mut Env<'_, '_>, _from: NodeId, call: InboundCall) -> CallOutcome {
         self.queue.push(call.handle());
         env.set_timer(SimDuration::from_millis(5), 1);
         CallOutcome::Deferred
@@ -218,12 +219,7 @@ struct ProxyApp {
 }
 
 impl App for ProxyApp {
-    fn on_call(
-        &mut self,
-        env: &mut Env<'_, '_>,
-        _from: NodeId,
-        call: InboundCall,
-    ) -> CallOutcome {
+    fn on_call(&mut self, env: &mut Env<'_, '_>, _from: NodeId, call: InboundCall) -> CallOutcome {
         let backend = self.backend.expect("backend configured");
         let token = self.next_token;
         self.next_token += 1;
@@ -264,7 +260,13 @@ fn nested_calls_chain_through_a_proxy() {
     );
     let backend = world.add_node(
         "backend",
-        server_endpoint(cfg, "counter", Box::new(Counter { hits: Rc::clone(&hits) })),
+        server_endpoint(
+            cfg,
+            "counter",
+            Box::new(Counter {
+                hits: Rc::clone(&hits),
+            }),
+        ),
     );
     // Rebuild proxy with the backend id known (nodes are added in order, so
     // instead just drive through: the proxy needs its backend).

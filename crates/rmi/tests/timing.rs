@@ -14,7 +14,10 @@ fn minimal_object() -> Box<dyn mage_rmi::RemoteObject> {
                 value += 1;
                 Ok(encode_args(&value).expect("encodes"))
             } else {
-                Err(Fault::NoSuchMethod { object: "test".into(), method: method.into() })
+                Err(Fault::NoSuchMethod {
+                    object: "test".into(),
+                    method: method.into(),
+                })
             }
         },
     )

@@ -88,7 +88,13 @@ impl<'a> Context<'a> {
         rng: &'a mut StdRng,
         next_timer: &'a mut u64,
     ) -> Self {
-        Context { node, now, effects: Vec::new(), rng, next_timer }
+        Context {
+            node,
+            now,
+            effects: Vec::new(),
+            rng,
+            next_timer,
+        }
     }
 
     /// The node this actor runs on.
@@ -144,12 +150,18 @@ impl<'a> Context<'a> {
 
     /// Completes a driver operation successfully.
     pub fn complete(&mut self, op: OpId, result: Bytes) {
-        self.effects.push(Effect::CompleteOp { op, result: Ok(result) });
+        self.effects.push(Effect::CompleteOp {
+            op,
+            result: Ok(result),
+        });
     }
 
     /// Completes a driver operation with an application-level failure.
     pub fn fail(&mut self, op: OpId, message: impl Into<String>) {
-        self.effects.push(Effect::CompleteOp { op, result: Err(message.into()) });
+        self.effects.push(Effect::CompleteOp {
+            op,
+            result: Err(message.into()),
+        });
     }
 
     /// Records a free-form trace annotation attributed to this node.

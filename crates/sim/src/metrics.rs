@@ -141,7 +141,9 @@ impl Extend<f64> for Samples {
 
 impl FromIterator<f64> for Samples {
     fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
-        Samples { values: iter.into_iter().collect() }
+        Samples {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -147,7 +147,9 @@ mod tests {
     fn self_messages_bypass_fabric() {
         let mut net = Network::new(LinkSpec::ethernet_10mbps().with_loss(1.0));
         net.partition(n(0), n(1));
-        let d = net.delivery_delay(n(0), n(0), 1_000_000, &mut rng()).unwrap();
+        let d = net
+            .delivery_delay(n(0), n(0), 1_000_000, &mut rng())
+            .unwrap();
         assert_eq!(d, SimDuration::ZERO);
     }
 
@@ -207,14 +209,8 @@ mod tests {
             n(1),
             LinkSpec::ideal().with_latency(SimDuration::from_millis(3)),
         );
-        assert_eq!(
-            net.link(n(0), n(1)).latency,
-            SimDuration::from_millis(3)
-        );
-        assert_eq!(
-            net.link(n(1), n(0)).latency,
-            SimDuration::from_millis(3)
-        );
+        assert_eq!(net.link(n(0), n(1)).latency, SimDuration::from_millis(3));
+        assert_eq!(net.link(n(1), n(0)).latency, SimDuration::from_millis(3));
     }
 
     #[test]

@@ -146,9 +146,7 @@ pub fn transfer_time(bytes: u64, bits_per_sec: u64) -> SimDuration {
         return SimDuration::ZERO;
     }
     let bits = bytes.saturating_mul(8);
-    let micros = bits
-        .saturating_mul(1_000_000)
-        .div_ceil(bits_per_sec);
+    let micros = bits.saturating_mul(1_000_000).div_ceil(bits_per_sec);
     SimDuration(micros)
 }
 
@@ -168,10 +166,7 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
-        assert_eq!(
-            SimDuration::from_millis(1),
-            SimDuration::from_micros(1_000)
-        );
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
     }
 
     #[test]

@@ -110,7 +110,10 @@ pub struct TraceLog {
 impl TraceLog {
     /// Creates a log; recording is off until [`TraceLog::enable`] is called.
     pub fn new() -> Self {
-        TraceLog { events: Vec::new(), enabled: false }
+        TraceLog {
+            events: Vec::new(),
+            enabled: false,
+        }
     }
 
     /// Starts recording events.
@@ -150,9 +153,9 @@ impl TraceLog {
         &'a self,
         mut pred: impl FnMut(&str) -> bool + 'a,
     ) -> impl Iterator<Item = &'a TraceEvent> + 'a {
-        self.events.iter().filter(move |e| {
-            matches!(e, TraceEvent::Deliver { label, .. } if pred(label))
-        })
+        self.events
+            .iter()
+            .filter(move |e| matches!(e, TraceEvent::Deliver { label, .. } if pred(label)))
     }
 
     /// Number of send events with the given label.
@@ -189,7 +192,14 @@ pub fn render_message_sequence(log: &TraceLog, names: &[String]) -> String {
     ordered.sort_by_key(|e| e.at());
     for event in ordered {
         match event {
-            TraceEvent::Send { at, from, to, label, bytes, .. } => {
+            TraceEvent::Send {
+                at,
+                from,
+                to,
+                label,
+                bytes,
+                ..
+            } => {
                 msg_no += 1;
                 let _ = writeln!(
                     out,
@@ -198,7 +208,14 @@ pub fn render_message_sequence(log: &TraceLog, names: &[String]) -> String {
                     name_of(*to),
                 );
             }
-            TraceEvent::Drop { at, from, to, label, reason, .. } => {
+            TraceEvent::Drop {
+                at,
+                from,
+                to,
+                label,
+                reason,
+                ..
+            } => {
                 let _ = writeln!(
                     out,
                     "  x. [{at}] {:<12} -> {:<12} {label} DROPPED ({reason:?})",

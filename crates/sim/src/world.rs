@@ -2,7 +2,7 @@
 //! network fabric.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeSet, HashMap};
+use std::collections::{BTreeSet, BinaryHeap, HashMap};
 use std::error::Error;
 use std::fmt;
 
@@ -96,6 +96,9 @@ struct NodeSlot {
 enum OpSlot {
     Pending,
     Done(Result<Bytes, String>),
+    /// The driver abandoned the operation; its eventual result is
+    /// discarded instead of being retained forever.
+    Forgotten,
 }
 
 /// A deterministic simulated distributed system: a set of named nodes (the
@@ -261,6 +264,18 @@ impl World {
         }
     }
 
+    /// Abandons an operation the driver no longer cares about: any stored
+    /// result is dropped now, and an in-flight completion is dropped when
+    /// it arrives instead of being retained forever.
+    pub fn forget_op(&mut self, op: OpId) {
+        // Still running: leave a tombstone so the completion is discarded
+        // (and the tombstone with it). Done, already forgotten, or never
+        // begun: removal alone retains nothing.
+        if let Some(OpSlot::Pending) = self.ops.remove(&op) {
+            self.ops.insert(op, OpSlot::Forgotten);
+        }
+    }
+
     /// Injects a driver payload for delivery to `to` at the current instant.
     ///
     /// The receiving actor observes `from == NodeId::DRIVER`.
@@ -278,7 +293,13 @@ impl World {
         });
         self.push_event(
             self.clock,
-            EventKind::Deliver { from: NodeId::DRIVER, to, label, payload, msg_id },
+            EventKind::Deliver {
+                from: NodeId::DRIVER,
+                to,
+                label,
+                payload,
+                msg_id,
+            },
         );
     }
 
@@ -290,7 +311,13 @@ impl World {
         debug_assert!(event.at >= self.clock, "time must not run backwards");
         self.clock = event.at;
         match event.kind {
-            EventKind::Deliver { from, to, label, payload, msg_id } => {
+            EventKind::Deliver {
+                from,
+                to,
+                label,
+                payload,
+                msg_id,
+            } => {
                 self.metrics.record_delivery();
                 self.trace.push(TraceEvent::Deliver {
                     at: self.clock,
@@ -305,7 +332,11 @@ impl World {
                 if self.cancelled.remove(&id) {
                     return true;
                 }
-                self.trace.push(TraceEvent::Timer { at: self.clock, node, tag });
+                self.trace.push(TraceEvent::Timer {
+                    at: self.clock,
+                    node,
+                    tag,
+                });
                 self.with_actor(node, |actor, ctx| actor.on_timer(ctx, tag));
             }
         }
@@ -384,11 +415,7 @@ impl World {
         self.queue.push(Reverse(Scheduled { at, seq, kind }));
     }
 
-    fn with_actor(
-        &mut self,
-        node: NodeId,
-        run: impl FnOnce(&mut dyn Actor, &mut Context<'_>),
-    ) {
+    fn with_actor(&mut self, node: NodeId, run: impl FnOnce(&mut dyn Actor, &mut Context<'_>)) {
         let idx = node.index();
         let mut actor = self.nodes[idx]
             .actor
@@ -404,7 +431,12 @@ impl World {
     fn apply_effects(&mut self, node: NodeId, effects: Vec<Effect>) {
         for effect in effects {
             match effect {
-                Effect::Send { to, label, payload, local_delay } => {
+                Effect::Send {
+                    to,
+                    label,
+                    payload,
+                    local_delay,
+                } => {
                     let depart = self.clock + local_delay;
                     let msg_id = self.next_msg;
                     self.next_msg += 1;
@@ -422,7 +454,13 @@ impl World {
                         Ok(net_delay) => {
                             self.push_event(
                                 depart + net_delay,
-                                EventKind::Deliver { from: node, to, label, payload, msg_id },
+                                EventKind::Deliver {
+                                    from: node,
+                                    to,
+                                    label,
+                                    payload,
+                                    msg_id,
+                                },
                             );
                         }
                         Err(reason) => {
@@ -444,11 +482,19 @@ impl World {
                 Effect::CancelTimer(id) => {
                     self.cancelled.insert(id);
                 }
-                Effect::CompleteOp { op, result } => {
-                    self.ops.insert(op, OpSlot::Done(result));
-                }
+                Effect::CompleteOp { op, result } => match self.ops.remove(&op) {
+                    // Results of abandoned ops are dropped on the floor.
+                    Some(OpSlot::Forgotten) => {}
+                    _ => {
+                        self.ops.insert(op, OpSlot::Done(result));
+                    }
+                },
                 Effect::Note(text) => {
-                    self.trace.push(TraceEvent::Note { at: self.clock, node, text });
+                    self.trace.push(TraceEvent::Note {
+                        at: self.clock,
+                        node,
+                        text,
+                    });
                 }
             }
         }
@@ -504,12 +550,9 @@ mod tests {
         fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: Bytes) {
             if from.is_driver() {
                 // payload = op id (8 LE bytes) followed by target node.
-                let op = OpId::from_raw(u64::from_le_bytes(
-                    payload[..8].try_into().unwrap(),
-                ));
-                let target = NodeId::from_raw(u32::from_le_bytes(
-                    payload[8..12].try_into().unwrap(),
-                ));
+                let op = OpId::from_raw(u64::from_le_bytes(payload[..8].try_into().unwrap()));
+                let target =
+                    NodeId::from_raw(u32::from_le_bytes(payload[8..12].try_into().unwrap()));
                 let mut fwd = Vec::from(&payload[..8]);
                 fwd.push(b'!');
                 ctx.send(target, "ping", Bytes::from(fwd));
@@ -521,9 +564,7 @@ mod tests {
                 rsp.push(b'?');
                 ctx.send(from, "pong", Bytes::from(rsp));
             } else {
-                let op = OpId::from_raw(u64::from_le_bytes(
-                    payload[..8].try_into().unwrap(),
-                ));
+                let op = OpId::from_raw(u64::from_le_bytes(payload[..8].try_into().unwrap()));
                 ctx.complete(op, Bytes::from_static(b"done"));
             }
         }

@@ -2,9 +2,7 @@
 //! ordering and conservation of messages.
 
 use bytes::Bytes;
-use mage_sim::{
-    Actor, Context, LinkSpec, NodeId, SimDuration, SimTime, TraceEvent, World,
-};
+use mage_sim::{Actor, Context, LinkSpec, NodeId, SimDuration, SimTime, TraceEvent, World};
 use proptest::prelude::*;
 
 /// A gossiping actor: every received message is forwarded to the next node
@@ -31,7 +29,13 @@ impl Actor for Gossip {
 fn build_ring(seed: u64, nodes: u32, latency_us: u64, jitter_us: u64, stop_at: usize) -> World {
     let mut world = World::new(seed);
     for i in 0..nodes {
-        world.add_node(format!("n{i}"), Gossip { ring_size: nodes, stop_at });
+        world.add_node(
+            format!("n{i}"),
+            Gossip {
+                ring_size: nodes,
+                stop_at,
+            },
+        );
     }
     let spec = LinkSpec::ideal()
         .with_latency(SimDuration::from_micros(latency_us))
@@ -39,11 +43,9 @@ fn build_ring(seed: u64, nodes: u32, latency_us: u64, jitter_us: u64, stop_at: u
     for a in 0..nodes {
         for b in 0..nodes {
             if a != b {
-                world.network_mut().set_link(
-                    NodeId::from_raw(a),
-                    NodeId::from_raw(b),
-                    spec,
-                );
+                world
+                    .network_mut()
+                    .set_link(NodeId::from_raw(a), NodeId::from_raw(b), spec);
             }
         }
     }

@@ -14,7 +14,7 @@
 //! of invocations.
 
 use mage_core::attribute::{BindPlan, PolicyAttribute};
-use mage_core::workload_support::test_object_class;
+use mage_core::workload_support::{methods, test_object_class};
 use mage_core::{MageError, Runtime, Visibility};
 use mage_sim::SimDuration;
 use rand::rngs::StdRng;
@@ -104,7 +104,13 @@ pub fn run(config: &LoadBalConfig) -> Result<LoadBalReport, MageError> {
     }
     let mut rt = builder.build();
     rt.deploy_class("TestObject", "host0")?;
-    rt.create_object("TestObject", "worker", "host0", &(), Visibility::Public)?;
+    // One session per host: the epoch's client is whichever host currently
+    // runs the worker.
+    let sessions: Vec<_> = hosts
+        .iter()
+        .map(|name| rt.session(name))
+        .collect::<Result<Vec<_>, _>>()?;
+    sessions[0].create_object("TestObject", "worker", &(), Visibility::Public)?;
 
     let attr = load_threshold_attribute(config.threshold);
     let mut rng = StdRng::seed_from_u64(config.seed);
@@ -113,7 +119,7 @@ pub fn run(config: &LoadBalConfig) -> Result<LoadBalReport, MageError> {
     let mut migrations = 0usize;
     let mut hot_epochs = 0usize;
     let mut calls = 0u64;
-    let mut where_now = "host0".to_owned();
+    let mut here = 0usize;
 
     let mut current_loads: std::collections::BTreeMap<String, f64> = Default::default();
     for _ in 0..config.epochs {
@@ -123,23 +129,23 @@ pub fn run(config: &LoadBalConfig) -> Result<LoadBalReport, MageError> {
             rt.set_load(host, load)?;
             current_loads.insert(host.clone(), load);
         }
-        // The client re-binds: the attribute decides stay vs flee.
-        let stub = rt.bind(&where_now.clone(), &attr)?;
+        // The local client re-binds: the attribute decides stay vs flee.
+        let stub = sessions[here].bind(&attr)?;
         let placed = rt
             .node_name(stub.location())
             .expect("worker lives somewhere")
             .to_owned();
-        if placed != where_now {
+        if placed != hosts[here] {
             migrations += 1;
-            where_now = placed.clone();
+            here = hosts.iter().position(|h| *h == placed).expect("known host");
         }
         // Work for this epoch happens wherever the worker sits.
         for _ in 0..config.calls_per_epoch {
-            let _: i64 = rt.call(&stub, "inc", &())?;
+            let _ = sessions[here].call(&stub, methods::INC, &())?;
             calls += 1;
         }
-        placements.push(where_now.clone());
-        let load_here = current_loads.get(&where_now).copied().unwrap_or(0.0);
+        placements.push(hosts[here].clone());
+        let load_here = current_loads.get(&hosts[here]).copied().unwrap_or(0.0);
         hot_epochs += usize::from(load_here > config.threshold);
     }
 
@@ -168,7 +174,10 @@ mod tests {
         })
         .unwrap();
         assert_eq!(report.placements.len(), 16);
-        assert!(report.migrations > 0, "random loads must trigger at least one flight");
+        assert!(
+            report.migrations > 0,
+            "random loads must trigger at least one flight"
+        );
         assert_eq!(report.calls, 32);
     }
 
@@ -193,7 +202,11 @@ mod tests {
 
     #[test]
     fn deterministic_for_a_seed() {
-        let config = LoadBalConfig { seed: 9, fast: true, ..LoadBalConfig::default() };
+        let config = LoadBalConfig {
+            seed: 9,
+            fast: true,
+            ..LoadBalConfig::default()
+        };
         let a = run(&config).unwrap();
         let b = run(&config).unwrap();
         assert_eq!(a, b);

@@ -7,7 +7,7 @@
 //! accumulated results are processed locally.
 
 use mage_core::attribute::{BindPlan, Mode, PolicyAttribute, Target};
-use mage_core::workload_support::geo_data_filter_class;
+use mage_core::workload_support::{geo_data_filter_class, methods};
 use mage_core::{MageError, Runtime, Visibility};
 use mage_sim::SimDuration;
 
@@ -25,7 +25,11 @@ pub struct OilConfig {
 
 impl Default for OilConfig {
     fn default() -> Self {
-        OilConfig { sensors: 3, seed: 2001, fast: false }
+        OilConfig {
+            sensors: 3,
+            seed: 2001,
+            fast: false,
+        }
     }
 }
 
@@ -51,34 +55,29 @@ pub fn combined_ma(sensors: Vec<String>) -> PolicyAttribute {
     let mut remaining = sensors;
     remaining.reverse(); // pop from the back = visit in order
     let remaining = std::cell::RefCell::new(remaining);
-    PolicyAttribute::new(
-        "CombinedMA",
-        "GeoDataFilterImpl",
-        "geoData",
-        move |view| {
-            let next = remaining.borrow_mut().pop();
-            match next {
-                Some(sensor) => {
-                    // First hop instantiates at the sensor (REV semantics);
-                    // later hops move the existing filter (MA semantics).
-                    if view.location().is_none() {
-                        Ok(BindPlan {
-                            target: Target::Node(sensor),
-                            mode: Mode::Factory {
-                                state: Vec::new(),
-                                visibility: Visibility::Public,
-                            },
-                            guard: false,
-                        })
-                    } else {
-                        Ok(BindPlan::move_to(sensor))
-                    }
+    PolicyAttribute::new("CombinedMA", "GeoDataFilterImpl", "geoData", move |view| {
+        let next = remaining.borrow_mut().pop();
+        match next {
+            Some(sensor) => {
+                // First hop instantiates at the sensor (REV semantics);
+                // later hops move the existing filter (MA semantics).
+                if view.location().is_none() {
+                    Ok(BindPlan {
+                        target: Target::Node(sensor),
+                        mode: Mode::Factory {
+                            state: Vec::new(),
+                            visibility: Visibility::Public,
+                        },
+                        guard: false,
+                    })
+                } else {
+                    Ok(BindPlan::move_to(sensor))
                 }
-                // All sensors done: bring the results home (COD semantics).
-                None => Ok(BindPlan::move_to("lab")),
             }
-        },
-    )
+            // All sensors done: bring the results home (COD semantics).
+            None => Ok(BindPlan::move_to("lab")),
+        }
+    })
 }
 
 /// Runs the full campaign and reports what happened.
@@ -99,6 +98,7 @@ pub fn run(config: &OilConfig) -> Result<OilReport, MageError> {
     }
     let mut rt = builder.build();
     rt.deploy_class("GeoDataFilterImpl", "lab")?;
+    let lab = rt.session("lab")?;
 
     let attr = combined_ma(sensor_names.clone());
     let start = rt.now();
@@ -108,8 +108,7 @@ pub fn run(config: &OilConfig) -> Result<OilReport, MageError> {
 
     // while (iterator.moreSensors()) { bind; filterData; } (§3.6)
     for expected in &sensor_names {
-        let (stub, yielded): (_, Option<u64>) =
-            rt.bind_invoke("lab", &attr, "filterData", &())?;
+        let (stub, yielded) = lab.bind_invoke(&attr, methods::FILTER_DATA, &())?;
         per_sensor_yield.push(yielded.unwrap_or(0));
         let at = rt
             .node_name(stub.location())
@@ -120,7 +119,7 @@ pub fn run(config: &OilConfig) -> Result<OilReport, MageError> {
         migrations += 1;
     }
     // Final bind brings geoData home; process the results at the lab.
-    let (stub, total): (_, Option<u64>) = rt.bind_invoke("lab", &attr, "processData", &())?;
+    let (stub, total) = lab.bind_invoke(&attr, methods::PROCESS_DATA, &())?;
     migrations += 1;
     debug_assert_eq!(rt.node_name(stub.location()), Some("lab"));
 
@@ -139,10 +138,19 @@ mod tests {
 
     #[test]
     fn campaign_visits_every_sensor_and_returns_home() {
-        let report = run(&OilConfig { sensors: 3, seed: 1, fast: true }).unwrap();
+        let report = run(&OilConfig {
+            sensors: 3,
+            seed: 1,
+            fast: true,
+        })
+        .unwrap();
         assert_eq!(
             report.visited,
-            vec!["sensor1".to_owned(), "sensor2".to_owned(), "sensor3".to_owned()]
+            vec![
+                "sensor1".to_owned(),
+                "sensor2".to_owned(),
+                "sensor3".to_owned()
+            ]
         );
         assert_eq!(report.per_sensor_yield.len(), 3);
         // Yields are 110, 120, 130 (node ids 1..3) per the workload class.
@@ -153,15 +161,30 @@ mod tests {
 
     #[test]
     fn campaign_runs_on_the_paper_testbed_fabric() {
-        let report = run(&OilConfig { sensors: 2, seed: 7, fast: false }).unwrap();
+        let report = run(&OilConfig {
+            sensors: 2,
+            seed: 7,
+            fast: false,
+        })
+        .unwrap();
         assert_eq!(report.total, 110 + 120);
         assert!(report.elapsed > SimDuration::ZERO);
     }
 
     #[test]
     fn scaling_sensors_scales_yield() {
-        let small = run(&OilConfig { sensors: 2, seed: 3, fast: true }).unwrap();
-        let large = run(&OilConfig { sensors: 5, seed: 3, fast: true }).unwrap();
+        let small = run(&OilConfig {
+            sensors: 2,
+            seed: 3,
+            fast: true,
+        })
+        .unwrap();
+        let large = run(&OilConfig {
+            sensors: 5,
+            seed: 3,
+            fast: true,
+        })
+        .unwrap();
         assert!(large.total > small.total);
         assert_eq!(large.visited.len(), 5);
     }

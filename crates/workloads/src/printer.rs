@@ -51,6 +51,17 @@ impl MobileObject for PrintServer {
     }
 }
 
+pub mod methods {
+    //! Typed method descriptors for [`PrintServer`](super::PrintServer).
+
+    use mage_core::Method;
+
+    /// Submit a job; returns how many jobs have completed.
+    pub const PRINT: Method<String, usize> = Method::new("print");
+    /// The consolidated `(job, print room)` log.
+    pub const LOG: Method<(), Vec<(String, String)>> = Method::new("log");
+}
+
 /// Class definition for [`PrintServer`].
 pub fn print_server_class() -> ClassDef {
     ClassDef::new("PrintServerImpl", 6_144, |state| {
@@ -78,7 +89,12 @@ pub struct PrinterConfig {
 
 impl Default for PrinterConfig {
     fn default() -> Self {
-        PrinterConfig { printers: 3, jobs_per_epoch: 4, seed: 2001, fast: false }
+        PrinterConfig {
+            printers: 3,
+            jobs_per_epoch: 4,
+            seed: 2001,
+            fast: false,
+        }
     }
 }
 
@@ -101,7 +117,9 @@ pub struct PrinterReport {
 ///
 /// Propagates runtime failures.
 pub fn run(config: &PrinterConfig) -> Result<PrinterReport, MageError> {
-    let rooms: Vec<String> = (1..=config.printers).map(|i| format!("printroom{i}")).collect();
+    let rooms: Vec<String> = (1..=config.printers)
+        .map(|i| format!("printroom{i}"))
+        .collect();
     let mut builder = Runtime::builder()
         .seed(config.seed)
         .node("client")
@@ -113,10 +131,11 @@ pub fn run(config: &PrinterConfig) -> Result<PrinterReport, MageError> {
     }
     let mut rt = builder.build();
     rt.deploy_class("PrintServerImpl", "controller")?;
-    rt.create_object(
+    let controller = rt.session("controller")?;
+    let client = rt.session("client")?;
+    controller.create_object(
         "PrintServerImpl",
         "spooler",
-        "controller",
         &PrintServer::default(),
         Visibility::Public,
     )?;
@@ -128,25 +147,28 @@ pub fn run(config: &PrinterConfig) -> Result<PrinterReport, MageError> {
         // The job controller responds to "printer availability" by moving
         // the spooler into the newly available room.
         let relocate = Grev::new("PrintServerImpl", "spooler", room.clone());
-        rt.bind("controller", &relocate)?;
+        controller.bind(&relocate)?;
         // Clients submit jobs with CLE: they find the spooler wherever the
         // controller put it.
         for _ in 0..config.jobs_per_epoch {
             job_no += 1;
             let job = format!("job-{job_no}");
-            let (_stub, _count): (_, Option<usize>) =
-                rt.bind_invoke("client", &cle, "print", &job)?;
+            let (_stub, _count) = client.bind_invoke(&cle, methods::PRINT, &job)?;
         }
     }
 
     // Read the consolidated log through the same CLE attribute.
-    let (stub, _): (_, Option<usize>) = rt.bind_invoke("client", &cle, "print", &"final")?;
-    let jobs: Vec<(String, String)> = rt.call(&stub, "log", &())?;
+    let (stub, _) = client.bind_invoke(&cle, methods::PRINT, &"final".to_owned())?;
+    let jobs = client.call(&stub, methods::LOG, &())?;
     let per_room = rooms
         .iter()
         .map(|room| jobs.iter().filter(|(_, r)| r == room).count())
         .collect();
-    Ok(PrinterReport { jobs, per_room, elapsed: rt.now() - start })
+    Ok(PrinterReport {
+        jobs,
+        per_room,
+        elapsed: rt.now() - start,
+    })
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! corrupts the runtime") and the throughput sweeps.
 
 use mage_core::attribute::{Cle, Cod, Grev, MobileAgent, Rev};
-use mage_core::workload_support::test_object_class;
+use mage_core::workload_support::{methods, test_object_class};
 use mage_core::{MageError, Runtime, Visibility};
 use mage_sim::SimDuration;
 use rand::rngs::StdRng;
@@ -100,7 +100,12 @@ pub fn replay(seed: u64, hosts: usize, steps: &[Step]) -> Result<SynthReport, Ma
         .class(test_object_class())
         .build();
     rt.deploy_class("TestObject", "h0")?;
-    rt.create_object("TestObject", "shared", "h0", &(), Visibility::Public)?;
+    // One session per host, mirroring the paper's independent clients.
+    let sessions: Vec<_> = names
+        .iter()
+        .map(|name| rt.session(name))
+        .collect::<Result<_, _>>()?;
+    sessions[0].create_object("TestObject", "shared", &(), Visibility::Public)?;
 
     let start = rt.now();
     let mut completed = 0usize;
@@ -110,19 +115,27 @@ pub fn replay(seed: u64, hosts: usize, steps: &[Step]) -> Result<SynthReport, Ma
         let outcome: Result<Option<i64>, MageError> = match step {
             Step::Rev { client, to } => {
                 let attr = Rev::new("TestObject", "shared", names[*to].clone());
-                rt.bind_invoke(&names[*client], &attr, "inc", &()).map(|(_, r)| r)
+                sessions[*client]
+                    .bind_invoke(&attr, methods::INC, &())
+                    .map(|(_, r)| r)
             }
             Step::Cod { client } => {
                 let attr = Cod::new("TestObject", "shared");
-                rt.bind_invoke(&names[*client], &attr, "inc", &()).map(|(_, r)| r)
+                sessions[*client]
+                    .bind_invoke(&attr, methods::INC, &())
+                    .map(|(_, r)| r)
             }
             Step::Grev { client, to } => {
                 let attr = Grev::new("TestObject", "shared", names[*to].clone());
-                rt.bind_invoke(&names[*client], &attr, "inc", &()).map(|(_, r)| r)
+                sessions[*client]
+                    .bind_invoke(&attr, methods::INC, &())
+                    .map(|(_, r)| r)
             }
             Step::Agent { client, to } => {
                 let attr = MobileAgent::new("TestObject", "shared", names[*to].clone());
-                let r = rt.bind_invoke(&names[*client], &attr, "inc", &()).map(|(_, r)| r);
+                let r = sessions[*client]
+                    .bind_invoke(&attr, methods::INC, &())
+                    .map(|(_, r)| r);
                 // One-way invokes land after the bind returns; drain them so
                 // the count stays exact.
                 rt.run_until_idle()?;
@@ -130,7 +143,9 @@ pub fn replay(seed: u64, hosts: usize, steps: &[Step]) -> Result<SynthReport, Ma
             }
             Step::Cle { client } => {
                 let attr = Cle::new("TestObject", "shared");
-                rt.bind_invoke(&names[*client], &attr, "inc", &()).map(|(_, r)| r)
+                sessions[*client]
+                    .bind_invoke(&attr, methods::INC, &())
+                    .map(|(_, r)| r)
             }
         };
         match outcome {
@@ -146,7 +161,7 @@ pub fn replay(seed: u64, hosts: usize, steps: &[Step]) -> Result<SynthReport, Ma
     }
     // Read the final count wherever the object ended up.
     let cle = Cle::new("TestObject", "shared");
-    let (_, final_count): (_, Option<i64>) = rt.bind_invoke("h0", &cle, "get", &())?;
+    let (_, final_count) = sessions[0].bind_invoke(&cle, methods::GET, &())?;
     let final_count = final_count.unwrap_or(-1);
     debug_assert_eq!(final_count, expected);
     Ok(SynthReport {

@@ -7,13 +7,23 @@
 use mage::workloads::oil::{run, OilConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = OilConfig { sensors: 4, seed: 2001, fast: false };
-    println!("deploying GeoDataFilterImpl at the lab; {} sensors online\n", config.sensors);
+    let config = OilConfig {
+        sensors: 4,
+        seed: 2001,
+        fast: false,
+    };
+    println!(
+        "deploying GeoDataFilterImpl at the lab; {} sensors online\n",
+        config.sensors
+    );
     let report = run(&config)?;
     for (sensor, yielded) in report.visited.iter().zip(&report.per_sensor_yield) {
         println!("  filtered in place at {sensor}: {yielded} samples kept");
     }
-    println!("\nresults processed at the lab: {} samples total", report.total);
+    println!(
+        "\nresults processed at the lab: {} samples total",
+        report.total
+    );
     println!(
         "{} migrations, {:.1} ms of virtual time",
         report.migrations,

@@ -8,7 +8,12 @@
 use mage::workloads::printer::{run, PrinterConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = PrinterConfig { printers: 3, jobs_per_epoch: 3, seed: 7, fast: false };
+    let config = PrinterConfig {
+        printers: 3,
+        jobs_per_epoch: 3,
+        seed: 7,
+        fast: false,
+    };
     let report = run(&config)?;
     println!("jobs as completed (job, print room):");
     for (job, room) in &report.jobs {

@@ -3,7 +3,7 @@
 //! Run with `cargo run --example quickstart`.
 
 use mage::attribute::{Cod, Rev, Rpc};
-use mage::workload_support::test_object_class;
+use mage::workload_support::{methods, test_object_class};
 use mage::{Runtime, Visibility};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -13,25 +13,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .class(test_object_class())
         .build();
     rt.deploy_class("TestObject", "lab")?;
-    rt.create_object("TestObject", "counter", "lab", &(), Visibility::Public)?;
+
+    // Sessions are the client handles: one for the lab, one for field2.
+    let lab = rt.session("lab")?;
+    let field2 = rt.session("field2")?;
+    lab.create_object("TestObject", "counter", &(), Visibility::Public)?;
 
     // REV: push the counter to field1 and increment it there.
     let rev = Rev::new("TestObject", "counter", "field1");
-    let (stub, n): (_, Option<i64>) = rt.bind_invoke("lab", &rev, "inc", &())?;
+    let (stub, n) = lab.bind_invoke(&rev, methods::INC, &())?;
     println!(
         "REV moved counter to {} and incremented it to {:?}",
         rt.node_name(stub.location()).unwrap(),
         n
     );
 
-    // RPC through the stub keeps working wherever the object is.
-    let v: i64 = rt.call(&stub, "inc", &())?;
+    // A typed call through the stub keeps working wherever the object is.
+    let v = lab.call(&stub, methods::INC, &())?;
     println!("stub call incremented it to {v}");
 
     // COD: pull the counter home — its state travels with it.
     let cod = Cod::new("TestObject", "counter");
-    let (stub, _): (_, Option<i64>) = rt.bind_invoke("lab", &cod, "inc", &())?;
-    let v: i64 = rt.call(&stub, "get", &())?;
+    let (stub, _) = lab.bind_invoke(&cod, methods::INC, &())?;
+    let v = lab.call(&stub, methods::GET, &())?;
     println!(
         "COD brought it home to {} with value {v}",
         rt.node_name(stub.location()).unwrap()
@@ -40,7 +44,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // An RPC attribute pins it: applying it from field2 succeeds only if the
     // object really is at the named target.
     let rpc = Rpc::new("TestObject", "counter", "lab");
-    let (_, v): (_, Option<i64>) = rt.bind_invoke("field2", &rpc, "inc", &())?;
+    let (_, v) = field2.bind_invoke(&rpc, methods::INC, &())?;
     println!("RPC from field2 incremented it to {v:?} without moving it");
 
     println!(

@@ -5,7 +5,7 @@
 //! Run with `cargo run --example untrusted_domains`.
 
 use mage::attribute::Rev;
-use mage::workload_support::test_object_class;
+use mage::workload_support::{methods, test_object_class};
 use mage::{MageError, Runtime, Visibility};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -14,7 +14,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .class(test_object_class())
         .build();
     rt.deploy_class("TestObject", "campus")?;
-    rt.create_object("TestObject", "analysis", "campus", &(), Visibility::Public)?;
+    let campus = rt.session("campus")?;
+    campus.create_object("TestObject", "analysis", &(), Visibility::Public)?;
 
     // The rival domain accepts code only from its own infrastructure.
     rt.set_trust("rival", Some(&[]))?;
@@ -24,27 +25,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     rt.set_quota("partner", Some(1), None)?;
 
     let to_rival = Rev::new("TestObject", "analysis", "rival");
-    match rt.bind("campus", &to_rival) {
+    match campus.bind(&to_rival) {
         Err(MageError::Denied(why)) => println!("rival refused the migration: {why}"),
         other => panic!("expected denial, got {other:?}"),
     }
 
     let to_partner = Rev::new("TestObject", "analysis", "partner");
-    let stub = rt.bind("campus", &to_partner)?;
+    let stub = campus.bind(&to_partner)?;
     println!(
         "partner accepted the analysis object (now at {})",
         rt.node_name(stub.location()).unwrap()
     );
 
-    rt.create_object("TestObject", "second", "campus", &(), Visibility::Public)?;
+    campus.create_object("TestObject", "second", &(), Visibility::Public)?;
     let second = Rev::new("TestObject", "second", "partner");
-    match rt.bind("campus", &second) {
+    match campus.bind(&second) {
         Err(MageError::Denied(why)) => println!("partner's quota held: {why}"),
         other => panic!("expected quota denial, got {other:?}"),
     }
 
     // The object that did migrate still works — and can come home.
-    let v: i64 = rt.call(&stub, "inc", &())?;
+    let v = campus.call(&stub, methods::INC, &())?;
     println!("analysis object keeps serving across the domain boundary: {v}");
     Ok(())
 }

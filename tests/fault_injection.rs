@@ -5,7 +5,7 @@
 
 use mage::attribute::{Cle, Grev};
 use mage::sim::{LinkSpec, SimDuration};
-use mage::workload_support::test_object_class;
+use mage::workload_support::{methods, test_object_class};
 use mage::{MageError, Runtime, Visibility};
 
 fn lossy_runtime(loss: f64, seed: u64) -> Runtime {
@@ -26,29 +26,37 @@ fn lossy_runtime(loss: f64, seed: u64) -> Runtime {
         .class(test_object_class())
         .build();
     rt.deploy_class("TestObject", "a").unwrap();
-    rt.create_object("TestObject", "x", "a", &(), Visibility::Public).unwrap();
+    rt.session("a")
+        .unwrap()
+        .create_object("TestObject", "x", &(), Visibility::Public)
+        .unwrap();
     rt
 }
 
 #[test]
 fn migrations_survive_heavy_message_loss() {
-    let mut rt = lossy_runtime(0.3, 77);
+    let rt = lossy_runtime(0.3, 77);
+    let a = rt.session("a").unwrap();
     let hops = [("a", "b"), ("b", "c"), ("c", "a"), ("a", "c")];
     for (_from, to) in hops.iter() {
         let attr = Grev::new("TestObject", "x", *to);
-        let stub = rt.bind("a", &attr).unwrap();
+        let stub = a.bind(&attr).unwrap();
         assert_eq!(rt.node_name(stub.location()), Some(*to));
     }
-    assert!(rt.world().metrics().net.dropped > 0, "loss must have occurred");
+    assert!(
+        rt.world().metrics().net.dropped > 0,
+        "loss must have occurred"
+    );
 }
 
 #[test]
 fn invocations_are_exactly_once_under_loss() {
-    let mut rt = lossy_runtime(0.35, 123);
+    let rt = lossy_runtime(0.35, 123);
+    let b = rt.session("b").unwrap();
     let cle = Cle::new("TestObject", "x");
     let mut last = 0i64;
     for i in 1..=15 {
-        let (_s, v): (_, Option<i64>) = rt.bind_invoke("b", &cle, "inc", &()).unwrap();
+        let (_s, v) = b.bind_invoke(&cle, methods::INC, &()).unwrap();
         let v = v.unwrap();
         assert_eq!(v, i, "retransmissions must not double-apply inc");
         last = v;
@@ -63,34 +71,43 @@ fn partition_fails_the_bind_and_heal_recovers_it() {
     let a = rt.node_id("a").unwrap();
     let b = rt.node_id("b").unwrap();
     rt.world_mut().partition(a, b);
+    let sa = rt.session("a").unwrap();
+    let sc = rt.session("c").unwrap();
     let attr = Grev::new("TestObject", "x", "b");
-    let err = rt.bind("a", &attr).unwrap_err();
-    assert!(matches!(err, MageError::Rmi(_)), "timeout surfaces: {err:?}");
+    let err = sa.bind(&attr).unwrap_err();
+    assert!(
+        matches!(err, MageError::Rmi(_)),
+        "timeout surfaces: {err:?}"
+    );
     // The object must still be whole and usable at `a` after the abort.
     let cle = Cle::new("TestObject", "x");
-    let (_s, v): (_, Option<i64>) = rt.bind_invoke("a", &cle, "inc", &()).unwrap();
+    let (_s, v) = sa.bind_invoke(&cle, methods::INC, &()).unwrap();
     assert_eq!(v, Some(1));
     // After healing, the same attribute succeeds.
     rt.world_mut().heal(a, b);
-    let stub = rt.bind("a", &attr).unwrap();
+    let stub = sa.bind(&attr).unwrap();
     assert_eq!(rt.node_name(stub.location()), Some("b"));
-    let (_s, v): (_, Option<i64>) = rt.bind_invoke("c", &cle, "inc", &()).unwrap();
-    assert_eq!(v, Some(2), "state survived the failed and the successful move");
+    let (_s, v) = sc.bind_invoke(&cle, methods::INC, &()).unwrap();
+    assert_eq!(
+        v,
+        Some(2),
+        "state survived the failed and the successful move"
+    );
 }
 
 #[test]
 fn loss_runs_are_deterministic_per_seed() {
     let run = |seed: u64| {
-        let mut rt = lossy_runtime(0.25, seed);
+        let rt = lossy_runtime(0.25, seed);
+        let sa = rt.session("a").unwrap();
+        let sc = rt.session("c").unwrap();
         let attr = Grev::new("TestObject", "x", "b");
-        rt.bind("a", &attr).unwrap();
+        sa.bind(&attr).unwrap();
         let back = Grev::new("TestObject", "x", "a");
-        rt.bind("c", &back).unwrap();
-        (
-            rt.now(),
-            rt.world().metrics().net.sent,
-            rt.world().metrics().net.dropped,
-        )
+        sc.bind(&back).unwrap();
+        let sent = rt.world().metrics().net.sent;
+        let dropped = rt.world().metrics().net.dropped;
+        (rt.now(), sent, dropped)
     };
     assert_eq!(run(9), run(9));
     // Different seeds see different loss patterns (sanity that loss is on).

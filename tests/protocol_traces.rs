@@ -3,7 +3,7 @@
 
 use mage::attribute::{Grev, MobileAgent, Rpc};
 use mage::sim::TraceEvent;
-use mage::workload_support::test_object_class;
+use mage::workload_support::{methods, test_object_class};
 use mage::{Runtime, Visibility};
 
 fn wire_labels(rt: &Runtime) -> Vec<String> {
@@ -27,26 +27,30 @@ fn figure7_grev_protocol_message_sequence() {
         .trace(true)
         .build();
     rt.deploy_class("TestObject", "Y").unwrap();
-    rt.create_object("TestObject", "C", "Y", &(), Visibility::Public).unwrap();
+    rt.session("Y")
+        .unwrap()
+        .create_object("TestObject", "C", &(), Visibility::Public)
+        .unwrap();
     // Warm the class at Z so the measured run is the paper's exact diagram
     // (the paper elides class transfer).
     rt.deploy_class("TestObject", "Z").unwrap();
     rt.world_mut().trace_mut().clear();
 
+    let grev = rt.session("GREV").unwrap();
     let attr = Grev::new("TestObject", "C", "Z");
-    let (_stub, _r): (_, Option<i64>) = rt.bind_invoke("GREV", &attr, "inc", &()).unwrap();
+    let (_stub, _r) = grev.bind_invoke(&attr, methods::INC, &()).unwrap();
     let labels = wire_labels(&rt);
     assert_eq!(
         labels,
         vec![
-            "call:mage.find".to_owned(),   // 1 — locate C via the registry
-            "rsp:ok".to_owned(),           // 2 — C is at Y
-            "call:mage.moveTo".to_owned(), // 3 — ask Y to move C to Z
-            "call:mage.receive".to_owned(),// 4 — Y transfers C to Z
-            "rsp:ok".to_owned(),           //     (Z acks the transfer)
-            "rsp:ok".to_owned(),           // 5 — Y informs GREV
-            "call:mage.invoke".to_owned(), // 6 — invoke on Z
-            "rsp:ok".to_owned(),           // 7 — result to GREV
+            "call:mage.find".to_owned(),    // 1 — locate C via the registry
+            "rsp:ok".to_owned(),            // 2 — C is at Y
+            "call:mage.moveTo".to_owned(),  // 3 — ask Y to move C to Z
+            "call:mage.receive".to_owned(), // 4 — Y transfers C to Z
+            "rsp:ok".to_owned(),            //     (Z acks the transfer)
+            "rsp:ok".to_owned(),            // 5 — Y informs GREV
+            "call:mage.invoke".to_owned(),  // 6 — invoke on Z
+            "rsp:ok".to_owned(),            // 7 — result to GREV
         ],
         "GREV protocol must match Figure 7"
     );
@@ -61,12 +65,19 @@ fn figure1a_rpc_is_one_round_trip() {
         .trace(true)
         .build();
     rt.deploy_class("TestObject", "B").unwrap();
-    rt.create_object("TestObject", "C", "B", &(), Visibility::Private).unwrap();
-    rt.world_mut().trace_mut().clear();
+    rt.session("B")
+        .unwrap()
+        .create_object("TestObject", "C", &(), Visibility::Private)
+        .unwrap();
+    let a = rt.session("A").unwrap();
     let attr = Rpc::new("TestObject", "C", "B");
-    let (_s, _r): (_, Option<i64>) = rt.bind_invoke("A", &attr, "inc", &()).unwrap();
+    rt.world_mut().trace_mut().clear();
+    let (_s, _r) = a.bind_invoke(&attr, methods::INC, &()).unwrap();
     let labels = wire_labels(&rt);
-    assert_eq!(labels, vec!["call:mage.invoke".to_owned(), "rsp:ok".to_owned()]);
+    assert_eq!(
+        labels,
+        vec!["call:mage.invoke".to_owned(), "rsp:ok".to_owned()]
+    );
 }
 
 #[test]
@@ -79,10 +90,12 @@ fn figure1d_mobile_agent_sends_no_result_message() {
         .build();
     rt.deploy_class("TestObject", "A").unwrap();
     rt.deploy_class("TestObject", "B").unwrap();
-    rt.create_object("TestObject", "C", "A", &(), Visibility::Public).unwrap();
+    let a = rt.session("A").unwrap();
+    a.create_object("TestObject", "C", &(), Visibility::Public)
+        .unwrap();
     rt.world_mut().trace_mut().clear();
     let attr = MobileAgent::new("TestObject", "C", "B");
-    let (_s, r): (_, Option<i64>) = rt.bind_invoke("A", &attr, "inc", &()).unwrap();
+    let (_s, r) = a.bind_invoke(&attr, methods::INC, &()).unwrap();
     assert_eq!(r, None);
     // The bind completed before the invoke response: at completion time the
     // trace holds the transfer and the one-way invoke request, but the
@@ -102,15 +115,23 @@ fn class_transfer_happens_once_then_caches() {
         .trace(true)
         .build();
     rt.deploy_class("TestObject", "a").unwrap();
-    rt.create_object("TestObject", "x", "a", &(), Visibility::Public).unwrap();
+    let a = rt.session("a").unwrap();
+    a.create_object("TestObject", "x", &(), Visibility::Public)
+        .unwrap();
     let there = Grev::new("TestObject", "x", "b");
     let back = Grev::new("TestObject", "x", "a");
     for _ in 0..3 {
-        rt.bind("a", &there).unwrap();
-        rt.bind("a", &back).unwrap();
+        a.bind(&there).unwrap();
+        a.bind(&back).unwrap();
     }
-    let class_pushes = rt.world().trace().sends_with_label("call:mage.receiveClass");
+    let class_pushes = rt
+        .world()
+        .trace()
+        .sends_with_label("call:mage.receiveClass");
     assert_eq!(class_pushes, 1, "class moves once, objects move six times");
     let receives = rt.world().trace().sends_with_label("call:mage.receive");
-    assert_eq!(receives, 7, "six committed transfers plus the retried first");
+    assert_eq!(
+        receives, 7,
+        "six committed transfers plus the retried first"
+    );
 }

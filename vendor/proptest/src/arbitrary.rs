@@ -1,0 +1,134 @@
+//! `any::<T>()` — default strategies per type.
+
+use std::marker::PhantomData;
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+
+use crate::strategy::{random_char, Strategy};
+
+/// Types with a canonical "whole domain" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws one arbitrary value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+/// The canonical strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// Strategy returned by [`any`].
+#[derive(Clone, Copy, Debug)]
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {
+        $(
+            impl Arbitrary for $ty {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    // Bias towards boundary values the way upstream does, so
+                    // edge cases show up within a small case budget.
+                    match rng.gen_range(0u8..8) {
+                        0 => 0 as $ty,
+                        1 => <$ty>::MAX,
+                        2 => <$ty>::MIN,
+                        _ => rng.next_u64() as $ty,
+                    }
+                }
+            }
+        )*
+    };
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for u128 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64())
+    }
+}
+
+impl Arbitrary for i128 {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        u128::arbitrary(rng) as i128
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        rng.gen()
+    }
+}
+
+impl Arbitrary for f64 {
+    /// All bit patterns, including NaNs and infinities.
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        f64::from_bits(rng.next_u64())
+    }
+}
+
+impl Arbitrary for f32 {
+    /// All bit patterns, including NaNs and infinities.
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        f32::from_bits(rng.next_u32())
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        random_char(rng)
+    }
+}
+
+impl Arbitrary for String {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let len = rng.gen_range(0usize..32);
+        (0..len).map(|_| random_char(rng)).collect()
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Option<T> {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        if rng.gen() {
+            Some(T::arbitrary(rng))
+        } else {
+            None
+        }
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let len = rng.gen_range(0usize..16);
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+macro_rules! tuple_arbitrary {
+    ($(($($name:ident),+);)*) => {
+        $(
+            impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    ($($name::arbitrary(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_arbitrary! {
+    (T0);
+    (T0, T1);
+    (T0, T1, T2);
+    (T0, T1, T2, T3);
+    (T0, T1, T2, T3, T4);
+}

@@ -1,0 +1,134 @@
+//! Offline subset of [proptest](https://docs.rs/proptest).
+//!
+//! The build environment has no network access, so this vendored subset
+//! recreates the slice of proptest's API the MAGE test-suites use: the
+//! `proptest!` macro, `any::<T>()`, range and tuple strategies,
+//! `prop_map`/`prop_oneof!`, and the `collection` constructors. Inputs are
+//! drawn from a deterministic seeded RNG, so failures reproduce exactly;
+//! unlike upstream there is no shrinking — a failing case panics with the
+//! generated values visible in the assertion message.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub use arbitrary::{any, Arbitrary};
+pub use strategy::Strategy;
+
+// The `proptest!` expansion needs the RNG without requiring downstream
+// crates to depend on `rand` themselves.
+#[doc(hidden)]
+pub use rand as __rand;
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+    /// Namespace alias so `prop::collection::vec(...)` works.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::strategy;
+    }
+}
+
+/// Runs each test function against `cases` deterministic random inputs.
+///
+/// Mirrors upstream's surface syntax, including the optional
+/// `#![proptest_config(...)]` header. No shrinking is performed.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{
+            cfg = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = $cfg:expr;
+     $( $(#[$meta:meta])* fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                // A fixed seed keeps runs reproducible; vary per test name
+                // length so sibling tests don't share streams exactly.
+                let mut __rng = <$crate::__rand::rngs::StdRng as $crate::__rand::SeedableRng>::seed_from_u64(
+                    0x4d41_4745_u64 ^ (stringify!($name).len() as u64) << 32,
+                );
+                for __case in 0..__config.cases {
+                    let _ = __case;
+                    let ( $($pat,)+ ) =
+                        ( $( $crate::strategy::Strategy::sample(&($strat), &mut __rng), )+ );
+                    // The closure lets bodies use `?` with helper functions
+                    // returning `Result<_, TestCaseError>`, like upstream.
+                    let __outcome: ::std::result::Result<
+                        (),
+                        $crate::test_runner::TestCaseError,
+                    > = (|| {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(__err) = __outcome {
+                        panic!("{__err}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Skips the current case when an assumption fails.
+///
+/// Upstream retries with a fresh input; this subset simply returns from the
+/// case (the surrounding loop continues with the next one).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Ok(());
+        }
+    };
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![ $( $crate::strategy::Union::arm($arm) ),+ ])
+    };
+}

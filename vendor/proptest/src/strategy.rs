@@ -1,0 +1,198 @@
+//! Value-generation strategies.
+
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transforms generated values with a function.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            sample: Arc::new(move |rng| self.sample(rng)),
+        }
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A type-erased strategy.
+#[derive(Clone)]
+pub struct BoxedStrategy<V> {
+    sample: Arc<dyn Fn(&mut StdRng) -> V>,
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut StdRng) -> V {
+        (self.sample)(rng)
+    }
+}
+
+/// Uniform choice among several strategies (`prop_oneof!`).
+pub struct Union<V> {
+    arms: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union from type-erased arms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `arms` is empty.
+    pub fn new(arms: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+
+    /// Erases one arm (used by the `prop_oneof!` expansion).
+    pub fn arm<S>(strategy: S) -> BoxedStrategy<V>
+    where
+        S: Strategy<Value = V> + 'static,
+    {
+        strategy.boxed()
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut StdRng) -> V {
+        let index = rng.gen_range(0..self.arms.len());
+        self.arms[index].sample(rng)
+    }
+}
+
+macro_rules! range_strategy {
+    ($($ty:ty),*) => {
+        $(
+            impl Strategy for Range<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+
+            impl Strategy for RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn sample(&self, rng: &mut StdRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*
+    };
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident $idx:tt),+);)*) => {
+        $(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*
+    };
+}
+
+tuple_strategy! {
+    (T0 0);
+    (T0 0, T1 1);
+    (T0 0, T1 1, T2 2);
+    (T0 0, T1 1, T2 2, T3 3);
+    (T0 0, T1 1, T2 2, T3 3, T4 4);
+}
+
+/// String strategy from a regex-like pattern.
+///
+/// Upstream compiles full regexes; this subset understands the one shape
+/// the workspace uses — `.{lo,hi}` (any chars, length in `[lo, hi]`) — and
+/// treats any other pattern as `.{0,32}`.
+impl Strategy for &str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let (lo, hi) = parse_dot_repeat(self).unwrap_or((0, 32));
+        let len = rng.gen_range(lo..=hi);
+        (0..len).map(|_| random_char(rng)).collect()
+    }
+}
+
+fn parse_dot_repeat(pattern: &str) -> Option<(usize, usize)> {
+    let rest = pattern.strip_prefix(".{")?.strip_suffix('}')?;
+    let (lo, hi) = rest.split_once(',')?;
+    Some((lo.trim().parse().ok()?, hi.trim().parse().ok()?))
+}
+
+pub(crate) fn random_char(rng: &mut StdRng) -> char {
+    // Mostly ASCII with a sprinkling of multi-byte code points, so string
+    // tests exercise UTF-8 boundaries without being dominated by them.
+    match rng.gen_range(0u8..10) {
+        0 => char::from_u32(rng.gen_range(0x80u32..0xD800)).unwrap_or('\u{FFFD}'),
+        1 => char::from_u32(rng.gen_range(0x1_0000u32..0x1_1000)).unwrap_or('\u{FFFD}'),
+        _ => char::from(rng.gen_range(0x20u8..0x7F)),
+    }
+}

@@ -1,0 +1,285 @@
+//! Offline subset of the [rand](https://docs.rs/rand) crate (0.8 API).
+//!
+//! The MAGE simulator only needs deterministic, seedable randomness —
+//! `StdRng::seed_from_u64`, `gen`, and `gen_range` — so this vendored
+//! subset implements exactly that on top of xoshiro256++ seeded via
+//! splitmix64 (the same construction rand's `SmallRng` family uses).
+//! Streams are stable across runs and platforms, which the determinism
+//! test-suite relies on; they are NOT the same streams upstream `StdRng`
+//! produces, and nothing here is cryptographically secure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rngs;
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Types constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds an RNG from a 64-bit seed (deterministic).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// User-facing random value generation (the rand 0.8 `Rng` surface the
+/// workspace uses).
+pub trait Rng: RngCore {
+    /// Samples a uniform value of a [`Standard`]-distributed type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples a `bool` that is `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+
+    /// Samples uniformly from a range (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Types samplable uniformly from an RNG ("standard distribution").
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u16 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for i64 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for i32 {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision (rand's convention).
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: RngCore>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges samplable by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+/// Draws uniformly from `[0, bound)` without modulo bias (Lemire's method
+/// with a rejection loop).
+fn uniform_below<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0);
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let raw = rng.next_u64();
+        let (hi, lo) = {
+            let wide = u128::from(raw) * u128::from(bound);
+            ((wide >> 64) as u64, wide as u64)
+        };
+        if lo >= threshold {
+            return hi;
+        }
+    }
+}
+
+macro_rules! unsigned_sample_range {
+    ($($ty:ty),*) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_from<R: RngCore>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let span = u64::from(self.end - self.start);
+                    self.start + uniform_below(rng, span) as $ty
+                }
+            }
+
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_from<R: RngCore>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample from empty range");
+                    let span = u64::from(end - start);
+                    if span == u64::MAX {
+                        return rng.next_u64() as $ty;
+                    }
+                    start + uniform_below(rng, span + 1) as $ty
+                }
+            }
+        )*
+    };
+}
+
+unsigned_sample_range!(u8, u16, u32);
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + uniform_below(rng, self.end - self.start)
+    }
+}
+
+impl SampleRange<u64> for RangeInclusive<u64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> u64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample from empty range");
+        let span = end - start;
+        if span == u64::MAX {
+            return rng.next_u64();
+        }
+        start + uniform_below(rng, span + 1)
+    }
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + uniform_below(rng, (self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange<usize> for RangeInclusive<usize> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> usize {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "cannot sample from empty range");
+        start + uniform_below(rng, (end - start) as u64 + 1) as usize
+    }
+}
+
+macro_rules! signed_sample_range {
+    ($($ty:ty => $unsigned:ty),*) => {
+        $(
+            impl SampleRange<$ty> for Range<$ty> {
+                fn sample_from<R: RngCore>(self, rng: &mut R) -> $ty {
+                    assert!(self.start < self.end, "cannot sample from empty range");
+                    let span = (self.end as $unsigned).wrapping_sub(self.start as $unsigned);
+                    self.start.wrapping_add(uniform_below(rng, u64::from(span)) as $ty)
+                }
+            }
+
+            impl SampleRange<$ty> for RangeInclusive<$ty> {
+                fn sample_from<R: RngCore>(self, rng: &mut R) -> $ty {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample from empty range");
+                    let span = (end as $unsigned).wrapping_sub(start as $unsigned);
+                    start.wrapping_add(uniform_below(rng, u64::from(span) + 1) as $ty)
+                }
+            }
+        )*
+    };
+}
+
+signed_sample_range!(i8 => u8, i16 => u16, i32 => u32);
+
+impl SampleRange<i64> for Range<i64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> i64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        let span = (self.end as u64).wrapping_sub(self.start as u64);
+        self.start.wrapping_add(uniform_below(rng, span) as i64)
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample from empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3u32..9);
+            assert!((3..9).contains(&v));
+            let w = rng.gen_range(0u64..=5);
+            assert!(w <= 5);
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let s = rng.gen_range(-4i32..4);
+            assert!((-4..4).contains(&s));
+        }
+    }
+}

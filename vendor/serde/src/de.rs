@@ -1,0 +1,894 @@
+//! Deserialization half of the vendored serde subset.
+
+use std::fmt::{self, Display};
+use std::marker::PhantomData;
+
+/// Errors produced by a [`Deserializer`].
+pub trait Error: Sized + std::error::Error {
+    /// Raised by a `Deserialize` implementation on application-level failure.
+    fn custom<T: Display>(msg: T) -> Self;
+
+    /// A compound value held fewer elements than the type required.
+    fn invalid_length(len: usize, expected: &str) -> Self {
+        Error::custom(format_args!("invalid length {len}, expected {expected}"))
+    }
+
+    /// An enum payload carried an out-of-range variant index.
+    fn unknown_variant(index: u32, name: &str) -> Self {
+        Error::custom(format_args!(
+            "unknown variant index {index} for enum {name}"
+        ))
+    }
+}
+
+/// A value that can be deserialized from any serde data format.
+pub trait Deserialize<'de>: Sized {
+    /// Deserializes `Self` from the given deserializer.
+    fn deserialize<D>(deserializer: D) -> Result<Self, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+/// A value deserializable without borrowing from the input.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// A stateful `Deserialize` driver (serde's seed abstraction).
+pub trait DeserializeSeed<'de>: Sized {
+    /// The produced value.
+    type Value;
+    /// Deserializes the value using this seed's state.
+    fn deserialize<D>(self, deserializer: D) -> Result<Self::Value, D::Error>
+    where
+        D: Deserializer<'de>;
+}
+
+impl<'de, T: Deserialize<'de>> DeserializeSeed<'de> for PhantomData<T> {
+    type Value = T;
+
+    fn deserialize<D: Deserializer<'de>>(self, deserializer: D) -> Result<T, D::Error> {
+        T::deserialize(deserializer)
+    }
+}
+
+/// A data format that can deserialize the serde data model.
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Hints that the caller does not know the type (self-describing formats
+    /// only).
+    fn deserialize_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `bool`.
+    fn deserialize_bool<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i8`.
+    fn deserialize_i8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i16`.
+    fn deserialize_i16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i32`.
+    fn deserialize_i32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i64`.
+    fn deserialize_i64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `i128`.
+    fn deserialize_i128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        let _ = visitor;
+        Err(Error::custom("i128 is not supported"))
+    }
+    /// Deserializes a `u8`.
+    fn deserialize_u8<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u16`.
+    fn deserialize_u16<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u32`.
+    fn deserialize_u32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u64`.
+    fn deserialize_u64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `u128`.
+    fn deserialize_u128<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error> {
+        let _ = visitor;
+        Err(Error::custom("u128 is not supported"))
+    }
+    /// Deserializes an `f32`.
+    fn deserialize_f32<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `f64`.
+    fn deserialize_f64<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a `char`.
+    fn deserialize_char<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a string slice.
+    fn deserialize_str<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an owned string.
+    fn deserialize_string<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes borrowed bytes.
+    fn deserialize_bytes<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an owned byte buffer.
+    fn deserialize_byte_buf<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes an `Option`.
+    fn deserialize_option<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes `()`.
+    fn deserialize_unit<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a unit struct.
+    fn deserialize_unit_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a newtype struct.
+    fn deserialize_newtype_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a variable-length sequence.
+    fn deserialize_seq<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a fixed-length tuple.
+    fn deserialize_tuple<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a tuple struct.
+    fn deserialize_tuple_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a map.
+    fn deserialize_map<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes a struct with the given fields.
+    fn deserialize_struct<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes an enum with the given variants.
+    fn deserialize_enum<V: Visitor<'de>>(
+        self,
+        name: &'static str,
+        variants: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+    /// Deserializes a struct-field or enum-variant identifier.
+    fn deserialize_identifier<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Deserializes and discards a value (self-describing formats only).
+    fn deserialize_ignored_any<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, Self::Error>;
+    /// Whether this format is textual (JSON-like) rather than binary.
+    fn is_human_readable(&self) -> bool {
+        true
+    }
+}
+
+/// Drives construction of a value from deserializer callbacks.
+pub trait Visitor<'de>: Sized {
+    /// The produced value.
+    type Value;
+
+    /// Describes what this visitor expects, for error messages.
+    fn expecting(&self, formatter: &mut fmt::Formatter<'_>) -> fmt::Result;
+
+    /// Visits a `bool`.
+    fn visit_bool<E: Error>(self, v: bool) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(Unexpected(&self, "bool")))
+    }
+    /// Visits an `i8` (defaults to widening).
+    fn visit_i8<E: Error>(self, v: i8) -> Result<Self::Value, E> {
+        self.visit_i64(i64::from(v))
+    }
+    /// Visits an `i16` (defaults to widening).
+    fn visit_i16<E: Error>(self, v: i16) -> Result<Self::Value, E> {
+        self.visit_i64(i64::from(v))
+    }
+    /// Visits an `i32` (defaults to widening).
+    fn visit_i32<E: Error>(self, v: i32) -> Result<Self::Value, E> {
+        self.visit_i64(i64::from(v))
+    }
+    /// Visits an `i64`.
+    fn visit_i64<E: Error>(self, v: i64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(Unexpected(&self, "i64")))
+    }
+    /// Visits an `i128`.
+    fn visit_i128<E: Error>(self, v: i128) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(Unexpected(&self, "i128")))
+    }
+    /// Visits a `u8` (defaults to widening).
+    fn visit_u8<E: Error>(self, v: u8) -> Result<Self::Value, E> {
+        self.visit_u64(u64::from(v))
+    }
+    /// Visits a `u16` (defaults to widening).
+    fn visit_u16<E: Error>(self, v: u16) -> Result<Self::Value, E> {
+        self.visit_u64(u64::from(v))
+    }
+    /// Visits a `u32` (defaults to widening).
+    fn visit_u32<E: Error>(self, v: u32) -> Result<Self::Value, E> {
+        self.visit_u64(u64::from(v))
+    }
+    /// Visits a `u64`.
+    fn visit_u64<E: Error>(self, v: u64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(Unexpected(&self, "u64")))
+    }
+    /// Visits a `u128`.
+    fn visit_u128<E: Error>(self, v: u128) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(Unexpected(&self, "u128")))
+    }
+    /// Visits an `f32` (defaults to widening).
+    fn visit_f32<E: Error>(self, v: f32) -> Result<Self::Value, E> {
+        self.visit_f64(f64::from(v))
+    }
+    /// Visits an `f64`.
+    fn visit_f64<E: Error>(self, v: f64) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(Unexpected(&self, "f64")))
+    }
+    /// Visits a `char` (defaults to a one-char string).
+    fn visit_char<E: Error>(self, v: char) -> Result<Self::Value, E> {
+        self.visit_str(v.encode_utf8(&mut [0u8; 4]))
+    }
+    /// Visits a transient string slice.
+    fn visit_str<E: Error>(self, v: &str) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(Unexpected(&self, "str")))
+    }
+    /// Visits a string borrowed from the input.
+    fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<Self::Value, E> {
+        self.visit_str(v)
+    }
+    /// Visits an owned string.
+    fn visit_string<E: Error>(self, v: String) -> Result<Self::Value, E> {
+        self.visit_str(&v)
+    }
+    /// Visits transient bytes.
+    fn visit_bytes<E: Error>(self, v: &[u8]) -> Result<Self::Value, E> {
+        let _ = v;
+        Err(Error::custom(Unexpected(&self, "bytes")))
+    }
+    /// Visits bytes borrowed from the input.
+    fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<Self::Value, E> {
+        self.visit_bytes(v)
+    }
+    /// Visits an owned byte buffer.
+    fn visit_byte_buf<E: Error>(self, v: Vec<u8>) -> Result<Self::Value, E> {
+        self.visit_bytes(&v)
+    }
+    /// Visits `Option::None`.
+    fn visit_none<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom(Unexpected(&self, "none")))
+    }
+    /// Visits `Option::Some`.
+    fn visit_some<D: Deserializer<'de>>(self, deserializer: D) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::custom(Unexpected(&self, "some")))
+    }
+    /// Visits `()`.
+    fn visit_unit<E: Error>(self) -> Result<Self::Value, E> {
+        Err(Error::custom(Unexpected(&self, "unit")))
+    }
+    /// Visits a newtype struct's inner value.
+    fn visit_newtype_struct<D: Deserializer<'de>>(
+        self,
+        deserializer: D,
+    ) -> Result<Self::Value, D::Error> {
+        let _ = deserializer;
+        Err(Error::custom(Unexpected(&self, "newtype struct")))
+    }
+    /// Visits a sequence.
+    fn visit_seq<A: SeqAccess<'de>>(self, seq: A) -> Result<Self::Value, A::Error> {
+        let _ = seq;
+        Err(Error::custom(Unexpected(&self, "sequence")))
+    }
+    /// Visits a map.
+    fn visit_map<A: MapAccess<'de>>(self, map: A) -> Result<Self::Value, A::Error> {
+        let _ = map;
+        Err(Error::custom(Unexpected(&self, "map")))
+    }
+    /// Visits an enum.
+    fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+        let _ = data;
+        Err(Error::custom(Unexpected(&self, "enum")))
+    }
+}
+
+/// Formats "unexpected X, expected <visitor expectation>" lazily.
+struct Unexpected<'a, V>(&'a V, &'static str);
+
+impl<'de, V: Visitor<'de>> Display for Unexpected<'_, V> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        struct Expecting<'a, V>(&'a V);
+        impl<'de, V: Visitor<'de>> Display for Expecting<'_, V> {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                self.0.expecting(f)
+            }
+        }
+        write!(f, "unexpected {}, expected {}", self.1, Expecting(self.0))
+    }
+}
+
+/// Access to the elements of a sequence being deserialized.
+pub trait SeqAccess<'de> {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserializes the next element with a seed.
+    fn next_element_seed<T: DeserializeSeed<'de>>(
+        &mut self,
+        seed: T,
+    ) -> Result<Option<T::Value>, Self::Error>;
+
+    /// Deserializes the next element.
+    fn next_element<T: Deserialize<'de>>(&mut self) -> Result<Option<T>, Self::Error> {
+        self.next_element_seed(PhantomData)
+    }
+
+    /// Number of remaining elements, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the entries of a map being deserialized.
+pub trait MapAccess<'de> {
+    /// Error type.
+    type Error: Error;
+
+    /// Deserializes the next key with a seed.
+    fn next_key_seed<K: DeserializeSeed<'de>>(
+        &mut self,
+        seed: K,
+    ) -> Result<Option<K::Value>, Self::Error>;
+
+    /// Deserializes the next value with a seed.
+    fn next_value_seed<V: DeserializeSeed<'de>>(
+        &mut self,
+        seed: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes the next key.
+    fn next_key<K: Deserialize<'de>>(&mut self) -> Result<Option<K>, Self::Error> {
+        self.next_key_seed(PhantomData)
+    }
+
+    /// Deserializes the next value.
+    fn next_value<V: Deserialize<'de>>(&mut self) -> Result<V, Self::Error> {
+        self.next_value_seed(PhantomData)
+    }
+
+    /// Deserializes the next entry.
+    fn next_entry<K: Deserialize<'de>, V: Deserialize<'de>>(
+        &mut self,
+    ) -> Result<Option<(K, V)>, Self::Error> {
+        match self.next_key()? {
+            Some(key) => Ok(Some((key, self.next_value()?))),
+            None => Ok(None),
+        }
+    }
+
+    /// Number of remaining entries, when known.
+    fn size_hint(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Access to the variant tag of an enum being deserialized.
+pub trait EnumAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+    /// Continuation for the variant payload.
+    type Variant: VariantAccess<'de, Error = Self::Error>;
+
+    /// Deserializes the variant identifier with a seed.
+    fn variant_seed<V: DeserializeSeed<'de>>(
+        self,
+        seed: V,
+    ) -> Result<(V::Value, Self::Variant), Self::Error>;
+
+    /// Deserializes the variant identifier.
+    fn variant<V: Deserialize<'de>>(self) -> Result<(V, Self::Variant), Self::Error> {
+        self.variant_seed(PhantomData)
+    }
+}
+
+/// Access to the payload of an enum variant being deserialized.
+pub trait VariantAccess<'de>: Sized {
+    /// Error type.
+    type Error: Error;
+
+    /// Consumes a unit variant.
+    fn unit_variant(self) -> Result<(), Self::Error>;
+
+    /// Deserializes a newtype variant's payload with a seed.
+    fn newtype_variant_seed<T: DeserializeSeed<'de>>(
+        self,
+        seed: T,
+    ) -> Result<T::Value, Self::Error>;
+
+    /// Deserializes a newtype variant's payload.
+    fn newtype_variant<T: Deserialize<'de>>(self) -> Result<T, Self::Error> {
+        self.newtype_variant_seed(PhantomData)
+    }
+
+    /// Deserializes a tuple variant's payload.
+    fn tuple_variant<V: Visitor<'de>>(
+        self,
+        len: usize,
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+
+    /// Deserializes a struct variant's payload.
+    fn struct_variant<V: Visitor<'de>>(
+        self,
+        fields: &'static [&'static str],
+        visitor: V,
+    ) -> Result<V::Value, Self::Error>;
+}
+
+pub mod value {
+    //! Deserializers over plain Rust values (variant indices and the like).
+
+    use super::*;
+
+    /// A deserializer that yields a single `u32` (enum variant indices).
+    pub struct U32Deserializer<E> {
+        value: u32,
+        marker: PhantomData<E>,
+    }
+
+    impl<E> U32Deserializer<E> {
+        /// Wraps a `u32`.
+        pub fn new(value: u32) -> Self {
+            U32Deserializer {
+                value,
+                marker: PhantomData,
+            }
+        }
+    }
+
+    macro_rules! forward_to_visit_u32 {
+        ($($method:ident,)*) => {
+            $(
+                fn $method<V: Visitor<'de>>(self, visitor: V) -> Result<V::Value, E> {
+                    visitor.visit_u32(self.value)
+                }
+            )*
+        };
+    }
+
+    impl<'de, E: Error> Deserializer<'de> for U32Deserializer<E> {
+        type Error = E;
+
+        forward_to_visit_u32! {
+            deserialize_any,
+            deserialize_bool,
+            deserialize_i8,
+            deserialize_i16,
+            deserialize_i32,
+            deserialize_i64,
+            deserialize_i128,
+            deserialize_u8,
+            deserialize_u16,
+            deserialize_u32,
+            deserialize_u64,
+            deserialize_u128,
+            deserialize_f32,
+            deserialize_f64,
+            deserialize_char,
+            deserialize_str,
+            deserialize_string,
+            deserialize_bytes,
+            deserialize_byte_buf,
+            deserialize_option,
+            deserialize_unit,
+            deserialize_seq,
+            deserialize_map,
+            deserialize_identifier,
+            deserialize_ignored_any,
+        }
+
+        fn deserialize_unit_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_newtype_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_tuple<V: Visitor<'de>>(
+            self,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_tuple_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _len: usize,
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_struct<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _fields: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+
+        fn deserialize_enum<V: Visitor<'de>>(
+            self,
+            _name: &'static str,
+            _variants: &'static [&'static str],
+            visitor: V,
+        ) -> Result<V::Value, E> {
+            visitor.visit_u32(self.value)
+        }
+    }
+}
+
+/// Conversion of a plain value into a deserializer over it.
+pub trait IntoDeserializer<'de, E: Error> {
+    /// The deserializer type produced.
+    type Deserializer: Deserializer<'de, Error = E>;
+    /// Wraps `self` in its deserializer.
+    fn into_deserializer(self) -> Self::Deserializer;
+}
+
+impl<'de, E: Error> IntoDeserializer<'de, E> for u32 {
+    type Deserializer = value::U32Deserializer<E>;
+
+    fn into_deserializer(self) -> Self::Deserializer {
+        value::U32Deserializer::new(self)
+    }
+}
+
+// ---- impls for std types ----
+
+macro_rules! primitive_deserialize {
+    ($($ty:ty, $deserialize:ident, $visit:ident, $expecting:literal;)*) => {
+        $(
+            impl<'de> Deserialize<'de> for $ty {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct PrimitiveVisitor;
+                    impl<'de> Visitor<'de> for PrimitiveVisitor {
+                        type Value = $ty;
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            f.write_str($expecting)
+                        }
+                        fn $visit<E: Error>(self, v: $ty) -> Result<$ty, E> {
+                            Ok(v)
+                        }
+                    }
+                    deserializer.$deserialize(PrimitiveVisitor)
+                }
+            }
+        )*
+    };
+}
+
+primitive_deserialize! {
+    bool, deserialize_bool, visit_bool, "a bool";
+    i8, deserialize_i8, visit_i8, "an i8";
+    i16, deserialize_i16, visit_i16, "an i16";
+    i32, deserialize_i32, visit_i32, "an i32";
+    i64, deserialize_i64, visit_i64, "an i64";
+    i128, deserialize_i128, visit_i128, "an i128";
+    u8, deserialize_u8, visit_u8, "a u8";
+    u16, deserialize_u16, visit_u16, "a u16";
+    u32, deserialize_u32, visit_u32, "a u32";
+    u64, deserialize_u64, visit_u64, "a u64";
+    u128, deserialize_u128, visit_u128, "a u128";
+    f32, deserialize_f32, visit_f32, "an f32";
+    f64, deserialize_f64, visit_f64, "an f64";
+}
+
+impl<'de> Deserialize<'de> for usize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UsizeVisitor;
+        impl<'de> Visitor<'de> for UsizeVisitor {
+            type Value = usize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a usize")
+            }
+            fn visit_u64<E: Error>(self, v: u64) -> Result<usize, E> {
+                usize::try_from(v).map_err(|_| E::custom("usize out of range"))
+            }
+        }
+        deserializer.deserialize_u64(UsizeVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for isize {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct IsizeVisitor;
+        impl<'de> Visitor<'de> for IsizeVisitor {
+            type Value = isize;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an isize")
+            }
+            fn visit_i64<E: Error>(self, v: i64) -> Result<isize, E> {
+                isize::try_from(v).map_err(|_| E::custom("isize out of range"))
+            }
+        }
+        deserializer.deserialize_i64(IsizeVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for char {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct CharVisitor;
+        impl<'de> Visitor<'de> for CharVisitor {
+            type Value = char;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a char")
+            }
+            fn visit_char<E: Error>(self, v: char) -> Result<char, E> {
+                Ok(v)
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<char, E> {
+                let mut chars = v.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(E::custom("expected a single char")),
+                }
+            }
+        }
+        deserializer.deserialize_char(CharVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StringVisitor;
+        impl<'de> Visitor<'de> for StringVisitor {
+            type Value = String;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a string")
+            }
+            fn visit_str<E: Error>(self, v: &str) -> Result<String, E> {
+                Ok(v.to_owned())
+            }
+            fn visit_string<E: Error>(self, v: String) -> Result<String, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_string(StringVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for &'de str {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct StrVisitor;
+        impl<'de> Visitor<'de> for StrVisitor {
+            type Value = &'de str;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a borrowed string")
+            }
+            fn visit_borrowed_str<E: Error>(self, v: &'de str) -> Result<&'de str, E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_str(StrVisitor)
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct UnitVisitor;
+        impl<'de> Visitor<'de> for UnitVisitor {
+            type Value = ();
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("unit")
+            }
+            fn visit_unit<E: Error>(self) -> Result<(), E> {
+                Ok(())
+            }
+        }
+        deserializer.deserialize_unit(UnitVisitor)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct OptionVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for OptionVisitor<T> {
+            type Value = Option<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("an option")
+            }
+            fn visit_none<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_unit<E: Error>(self) -> Result<Option<T>, E> {
+                Ok(None)
+            }
+            fn visit_some<D: Deserializer<'de>>(
+                self,
+                deserializer: D,
+            ) -> Result<Option<T>, D::Error> {
+                T::deserialize(deserializer).map(Some)
+            }
+        }
+        deserializer.deserialize_option(OptionVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        T::deserialize(deserializer).map(Box::new)
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct VecVisitor<T>(PhantomData<T>);
+        impl<'de, T: Deserialize<'de>> Visitor<'de> for VecVisitor<T> {
+            type Value = Vec<T>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a sequence")
+            }
+            fn visit_seq<A: SeqAccess<'de>>(self, mut seq: A) -> Result<Vec<T>, A::Error> {
+                let mut values = Vec::with_capacity(seq.size_hint().unwrap_or(0).min(4096));
+                while let Some(value) = seq.next_element()? {
+                    values.push(value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_seq(VecVisitor(PhantomData))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for std::collections::VecDeque<T> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(std::collections::VecDeque::from)
+    }
+}
+
+impl<'de, K, V> Deserialize<'de> for std::collections::BTreeMap<K, V>
+where
+    K: Deserialize<'de> + Ord,
+    V: Deserialize<'de>,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct MapVisitor<K, V>(PhantomData<(K, V)>);
+        impl<'de, K, V> Visitor<'de> for MapVisitor<K, V>
+        where
+            K: Deserialize<'de> + Ord,
+            V: Deserialize<'de>,
+        {
+            type Value = std::collections::BTreeMap<K, V>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a map")
+            }
+            fn visit_map<A: MapAccess<'de>>(self, mut map: A) -> Result<Self::Value, A::Error> {
+                let mut values = std::collections::BTreeMap::new();
+                while let Some((key, value)) = map.next_entry()? {
+                    values.insert(key, value);
+                }
+                Ok(values)
+            }
+        }
+        deserializer.deserialize_map(MapVisitor(PhantomData))
+    }
+}
+
+impl<'de, T> Deserialize<'de> for std::collections::BTreeSet<T>
+where
+    T: Deserialize<'de> + Ord,
+{
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        Vec::<T>::deserialize(deserializer).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<'de, T: Deserialize<'de>, E: Deserialize<'de>> Deserialize<'de> for Result<T, E> {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct ResultVisitor<T, E>(PhantomData<(T, E)>);
+        impl<'de, T: Deserialize<'de>, E: Deserialize<'de>> Visitor<'de> for ResultVisitor<T, E> {
+            type Value = Result<T, E>;
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a Result")
+            }
+            fn visit_enum<A: EnumAccess<'de>>(self, data: A) -> Result<Self::Value, A::Error> {
+                let (index, variant): (u32, _) = data.variant()?;
+                match index {
+                    0 => variant.newtype_variant().map(Ok),
+                    1 => variant.newtype_variant().map(Err),
+                    other => Err(Error::unknown_variant(other, "Result")),
+                }
+            }
+        }
+        deserializer.deserialize_enum("Result", &["Ok", "Err"], ResultVisitor(PhantomData))
+    }
+}
+
+macro_rules! tuple_deserialize {
+    ($len:expr => $($name:ident)+) => {
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                struct TupleVisitor<$($name),+>(PhantomData<($($name,)+)>);
+                impl<'de, $($name: Deserialize<'de>),+> Visitor<'de> for TupleVisitor<$($name),+> {
+                    type Value = ($($name,)+);
+                    fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                        write!(f, "a tuple of length {}", $len)
+                    }
+                    #[allow(non_snake_case)]
+                    fn visit_seq<A: SeqAccess<'de>>(
+                        self,
+                        mut seq: A,
+                    ) -> Result<Self::Value, A::Error> {
+                        $(
+                            let $name = seq
+                                .next_element()?
+                                .ok_or_else(|| Error::invalid_length($len, "a tuple"))?;
+                        )+
+                        Ok(($($name,)+))
+                    }
+                }
+                deserializer.deserialize_tuple($len, TupleVisitor(PhantomData))
+            }
+        }
+    };
+}
+
+tuple_deserialize!(1 => T0);
+tuple_deserialize!(2 => T0 T1);
+tuple_deserialize!(3 => T0 T1 T2);
+tuple_deserialize!(4 => T0 T1 T2 T3);
+tuple_deserialize!(5 => T0 T1 T2 T3 T4);
+tuple_deserialize!(6 => T0 T1 T2 T3 T4 T5);
+tuple_deserialize!(7 => T0 T1 T2 T3 T4 T5 T6);
+tuple_deserialize!(8 => T0 T1 T2 T3 T4 T5 T6 T7);
+
+macro_rules! array_deserialize {
+    ($($len:expr => $($name:ident)+;)*) => {
+        $(
+            impl<'de, T: Deserialize<'de>> Deserialize<'de> for [T; $len] {
+                fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                    struct ArrayVisitor<T>(PhantomData<T>);
+                    impl<'de, T: Deserialize<'de>> Visitor<'de> for ArrayVisitor<T> {
+                        type Value = [T; $len];
+                        fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                            write!(f, "an array of length {}", $len)
+                        }
+                        #[allow(non_snake_case)]
+                        fn visit_seq<A: SeqAccess<'de>>(
+                            self,
+                            mut seq: A,
+                        ) -> Result<Self::Value, A::Error> {
+                            $(
+                                let $name = seq
+                                    .next_element()?
+                                    .ok_or_else(|| Error::invalid_length($len, "an array"))?;
+                            )+
+                            Ok([$($name),+])
+                        }
+                    }
+                    deserializer.deserialize_tuple($len, ArrayVisitor(PhantomData))
+                }
+            }
+        )*
+    };
+}
+
+array_deserialize! {
+    1 => A0;
+    2 => A0 A1;
+    3 => A0 A1 A2;
+    4 => A0 A1 A2 A3;
+}

@@ -1,0 +1,18 @@
+//! An offline, API-compatible subset of [serde](https://serde.rs).
+//!
+//! The build environment for this repository has no network access, so the
+//! workspace vendors the slice of serde's data-model API that the MAGE
+//! crates actually use: the `Serialize`/`Deserialize` traits, the
+//! `Serializer`/`Deserializer` driver traits with their compound helpers,
+//! visitor-based deserialization, and derive macros for plain (non-generic)
+//! structs and enums. Wire compatibility with real serde data formats is
+//! preserved for the constructs exercised here (field order, variant
+//! indices, sequence lengths).
+
+pub mod de;
+pub mod ser;
+
+pub use de::{Deserialize, Deserializer};
+pub use ser::{Serialize, Serializer};
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,547 @@
+//! Derive macros for the vendored serde subset.
+//!
+//! Implemented directly on `proc_macro` (the build environment has no
+//! network access, so `syn`/`quote` are unavailable). Supports plain,
+//! non-generic structs and enums — named fields, tuple fields, unit shapes,
+//! and all four enum variant kinds — which covers every derived type in the
+//! MAGE workspace. Container/field `#[serde(...)]` attributes and generic
+//! parameters are intentionally rejected rather than silently mishandled.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Body {
+    UnitStruct,
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    body: VariantBody,
+}
+
+#[derive(Debug)]
+enum VariantBody {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    body: Body,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_serialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => generate_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => error(&msg),
+    }
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens parse")
+}
+
+fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+fn is_ident(tok: &TokenTree, name: &str) -> bool {
+    matches!(tok, TokenTree::Ident(i) if i.to_string() == name)
+}
+
+/// Advances past leading `#[...]` attributes (including doc comments).
+fn skip_attrs(toks: &[TokenTree], i: &mut usize) {
+    while *i + 1 < toks.len() && is_punct(&toks[*i], '#') {
+        *i += 2;
+    }
+}
+
+/// Advances past `pub`, `pub(crate)`, `pub(super)`, etc.
+fn skip_visibility(toks: &[TokenTree], i: &mut usize) {
+    if *i < toks.len() && is_ident(&toks[*i], "pub") {
+        *i += 1;
+        if *i < toks.len() {
+            if let TokenTree::Group(g) = &toks[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs(&toks, &mut i);
+    skip_visibility(&toks, &mut i);
+
+    let kind = match toks.get(i) {
+        Some(tok) if is_ident(tok, "struct") => "struct",
+        Some(tok) if is_ident(tok, "enum") => "enum",
+        _ => return Err("serde derive supports only structs and enums".into()),
+    };
+    i += 1;
+
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("expected a type name".into()),
+    };
+    i += 1;
+
+    if toks.get(i).is_some_and(|tok| is_punct(tok, '<')) {
+        return Err("the vendored serde derive does not support generic types".into());
+    }
+
+    let body = if kind == "struct" {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::NamedStruct(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Body::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(tok) if is_punct(tok, ';') => Body::UnitStruct,
+            _ => return Err("unsupported struct body".into()),
+        }
+    } else {
+        match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Body::Enum(parse_variants(g.stream())?)
+            }
+            _ => return Err("expected enum body".into()),
+        }
+    };
+
+    Ok(Item { name, body })
+}
+
+/// Skips a type (or any token run) up to a top-level comma, which is also
+/// consumed. Tracks angle-bracket depth so commas inside generics don't
+/// terminate early.
+fn skip_past_comma(toks: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < toks.len() {
+        match &toks[*i] {
+            tok if is_punct(tok, '<') => depth += 1,
+            tok if is_punct(tok, '>') => depth -= 1,
+            tok if is_punct(tok, ',') && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            _ => return Err("expected a field name".into()),
+        };
+        i += 1;
+        if !toks.get(i).is_some_and(|tok| is_punct(tok, ':')) {
+            return Err(format!("expected `:` after field `{name}`"));
+        }
+        i += 1;
+        skip_past_comma(&toks, &mut i);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        skip_visibility(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        skip_past_comma(&toks, &mut i);
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs(&toks, &mut i);
+        let name = match toks.get(i) {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            _ => return Err("expected a variant name".into()),
+        };
+        i += 1;
+        let body = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantBody::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantBody::Tuple(count_tuple_fields(g.stream()))
+            }
+            _ => VariantBody::Unit,
+        };
+        if toks.get(i).is_some_and(|tok| is_punct(tok, '=')) {
+            return Err("explicit enum discriminants are not supported".into());
+        }
+        if toks.get(i).is_some_and(|tok| is_punct(tok, ',')) {
+            i += 1;
+        }
+        variants.push(Variant { name, body });
+    }
+    Ok(variants)
+}
+
+// ---- code generation ----
+
+fn generate_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!("__serializer.serialize_unit_struct({name:?})"),
+        Body::NamedStruct(fields) => {
+            let mut out = String::new();
+            out.push_str("use ::serde::ser::SerializeStruct as _;\n");
+            out.push_str(&format!(
+                "let mut __state = __serializer.serialize_struct({name:?}, {})?;\n",
+                fields.len()
+            ));
+            for field in fields {
+                out.push_str(&format!(
+                    "__state.serialize_field({field:?}, &self.{field})?;\n"
+                ));
+            }
+            out.push_str("__state.end()");
+            out
+        }
+        Body::TupleStruct(1) => {
+            format!("__serializer.serialize_newtype_struct({name:?}, &self.0)")
+        }
+        Body::TupleStruct(len) => {
+            let mut out = String::new();
+            out.push_str("use ::serde::ser::SerializeTupleStruct as _;\n");
+            out.push_str(&format!(
+                "let mut __state = __serializer.serialize_tuple_struct({name:?}, {len})?;\n"
+            ));
+            for idx in 0..*len {
+                out.push_str(&format!("__state.serialize_field(&self.{idx})?;\n"));
+            }
+            out.push_str("__state.end()");
+            out
+        }
+        Body::Enum(variants) => {
+            let mut arms = String::new();
+            for (index, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.body {
+                    VariantBody::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => \
+                         __serializer.serialize_unit_variant({name:?}, {index}u32, {vname:?}),\n"
+                    )),
+                    VariantBody::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(__f0) => __serializer\
+                         .serialize_newtype_variant({name:?}, {index}u32, {vname:?}, __f0),\n"
+                    )),
+                    VariantBody::Tuple(len) => {
+                        let binders: Vec<String> = (0..*len).map(|i| format!("__f{i}")).collect();
+                        let mut arm = format!(
+                            "{name}::{vname}({}) => {{\n\
+                             use ::serde::ser::SerializeTupleVariant as _;\n\
+                             let mut __state = __serializer.serialize_tuple_variant(\
+                             {name:?}, {index}u32, {vname:?}, {len})?;\n",
+                            binders.join(", ")
+                        );
+                        for binder in &binders {
+                            arm.push_str(&format!("__state.serialize_field({binder})?;\n"));
+                        }
+                        arm.push_str("__state.end()\n},\n");
+                        arms.push_str(&arm);
+                    }
+                    VariantBody::Named(fields) => {
+                        let mut arm = format!(
+                            "{name}::{vname} {{ {} }} => {{\n\
+                             use ::serde::ser::SerializeStructVariant as _;\n\
+                             let mut __state = __serializer.serialize_struct_variant(\
+                             {name:?}, {index}u32, {vname:?}, {})?;\n",
+                            fields.join(", "),
+                            fields.len()
+                        );
+                        for field in fields {
+                            arm.push_str(&format!(
+                                "__state.serialize_field({field:?}, {field})?;\n"
+                            ));
+                        }
+                        arm.push_str("__state.end()\n},\n");
+                        arms.push_str(&arm);
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn serialize<__S: ::serde::Serializer>(\n\
+         &self,\n\
+         __serializer: __S,\n\
+         ) -> ::std::result::Result<__S::Ok, __S::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
+
+/// A `visit_seq` body that reads `fields` in order and builds `ctor`.
+fn visit_seq_body(ctor_open: &str, ctor_close: &str, fields: &[String], what: &str) -> String {
+    let mut out = String::new();
+    for (idx, field) in fields.iter().enumerate() {
+        out.push_str(&format!(
+            "let __v{idx} = match ::serde::de::SeqAccess::next_element(&mut __seq)? {{\n\
+             ::std::option::Option::Some(__value) => __value,\n\
+             ::std::option::Option::None => return ::std::result::Result::Err(\n\
+             ::serde::de::Error::invalid_length({idx}, {what:?})),\n\
+             }};\n"
+        ));
+        let _ = field;
+    }
+    out.push_str("::std::result::Result::Ok(");
+    out.push_str(ctor_open);
+    let inits: Vec<String> = fields
+        .iter()
+        .enumerate()
+        .map(|(idx, field)| {
+            if field.is_empty() {
+                format!("__v{idx}")
+            } else {
+                format!("{field}: __v{idx}")
+            }
+        })
+        .collect();
+    out.push_str(&inits.join(", "));
+    out.push_str(ctor_close);
+    out.push_str(")\n");
+    out
+}
+
+fn seq_visitor(
+    visitor_name: &str,
+    value_ty: &str,
+    expecting: &str,
+    ctor_open: &str,
+    ctor_close: &str,
+    fields: &[String],
+) -> String {
+    format!(
+        "struct {visitor_name};\n\
+         impl<'de> ::serde::de::Visitor<'de> for {visitor_name} {{\n\
+         type Value = {value_ty};\n\
+         fn expecting(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+         __f.write_str({expecting:?})\n\
+         }}\n\
+         fn visit_seq<__A: ::serde::de::SeqAccess<'de>>(\n\
+         self,\n\
+         mut __seq: __A,\n\
+         ) -> ::std::result::Result<Self::Value, __A::Error> {{\n\
+         {}\n\
+         }}\n\
+         }}",
+        visit_seq_body(ctor_open, ctor_close, fields, expecting)
+    )
+}
+
+fn generate_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.body {
+        Body::UnitStruct => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+             __f.write_str(\"unit struct {name}\")\n\
+             }}\n\
+             fn visit_unit<__E: ::serde::de::Error>(\n\
+             self,\n\
+             ) -> ::std::result::Result<{name}, __E> {{\n\
+             ::std::result::Result::Ok({name})\n\
+             }}\n\
+             }}\n\
+             __deserializer.deserialize_unit_struct({name:?}, __Visitor)"
+        ),
+        Body::NamedStruct(fields) => {
+            let field_names: Vec<String> = fields.iter().map(|f| format!("{f:?}")).collect();
+            format!(
+                "{}\n\
+                 __deserializer.deserialize_struct({name:?}, &[{}], __Visitor)",
+                seq_visitor(
+                    "__Visitor",
+                    name,
+                    &format!("struct {name}"),
+                    &format!("{name} {{ "),
+                    " }",
+                    fields,
+                ),
+                field_names.join(", ")
+            )
+        }
+        Body::TupleStruct(1) => format!(
+            "struct __Visitor;\n\
+             impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+             type Value = {name};\n\
+             fn expecting(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+             __f.write_str(\"newtype struct {name}\")\n\
+             }}\n\
+             fn visit_newtype_struct<__D: ::serde::Deserializer<'de>>(\n\
+             self,\n\
+             __deserializer: __D,\n\
+             ) -> ::std::result::Result<{name}, __D::Error> {{\n\
+             ::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__deserializer)?))\n\
+             }}\n\
+             }}\n\
+             __deserializer.deserialize_newtype_struct({name:?}, __Visitor)"
+        ),
+        Body::TupleStruct(len) => {
+            let fields = vec![String::new(); *len];
+            format!(
+                "{}\n\
+                 __deserializer.deserialize_tuple_struct({name:?}, {len}, __Visitor)",
+                seq_visitor(
+                    "__Visitor",
+                    name,
+                    &format!("tuple struct {name}"),
+                    &format!("{name}("),
+                    ")",
+                    &fields,
+                )
+            )
+        }
+        Body::Enum(variants) => {
+            let variant_names: Vec<String> =
+                variants.iter().map(|v| format!("{:?}", v.name)).collect();
+            let mut arms = String::new();
+            for (index, variant) in variants.iter().enumerate() {
+                let vname = &variant.name;
+                match &variant.body {
+                    VariantBody::Unit => arms.push_str(&format!(
+                        "{index}u32 => {{\n\
+                         ::serde::de::VariantAccess::unit_variant(__variant)?;\n\
+                         ::std::result::Result::Ok({name}::{vname})\n\
+                         }},\n"
+                    )),
+                    VariantBody::Tuple(1) => arms.push_str(&format!(
+                        "{index}u32 => ::std::result::Result::Ok({name}::{vname}(\n\
+                         ::serde::de::VariantAccess::newtype_variant(__variant)?,\n\
+                         )),\n"
+                    )),
+                    VariantBody::Tuple(len) => {
+                        let fields = vec![String::new(); *len];
+                        arms.push_str(&format!(
+                            "{index}u32 => {{\n\
+                             {}\n\
+                             ::serde::de::VariantAccess::tuple_variant(\
+                             __variant, {len}, __Variant{index})\n\
+                             }},\n",
+                            seq_visitor(
+                                &format!("__Variant{index}"),
+                                name,
+                                &format!("tuple variant {name}::{vname}"),
+                                &format!("{name}::{vname}("),
+                                ")",
+                                &fields,
+                            )
+                        ));
+                    }
+                    VariantBody::Named(fields) => {
+                        let field_names: Vec<String> =
+                            fields.iter().map(|f| format!("{f:?}")).collect();
+                        arms.push_str(&format!(
+                            "{index}u32 => {{\n\
+                             {}\n\
+                             ::serde::de::VariantAccess::struct_variant(\
+                             __variant, &[{}], __Variant{index})\n\
+                             }},\n",
+                            seq_visitor(
+                                &format!("__Variant{index}"),
+                                name,
+                                &format!("struct variant {name}::{vname}"),
+                                &format!("{name}::{vname} {{ "),
+                                " }",
+                                fields,
+                            ),
+                            field_names.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "struct __Visitor;\n\
+                 impl<'de> ::serde::de::Visitor<'de> for __Visitor {{\n\
+                 type Value = {name};\n\
+                 fn expecting(&self, __f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+                 __f.write_str(\"enum {name}\")\n\
+                 }}\n\
+                 fn visit_enum<__A: ::serde::de::EnumAccess<'de>>(\n\
+                 self,\n\
+                 __data: __A,\n\
+                 ) -> ::std::result::Result<{name}, __A::Error> {{\n\
+                 let (__index, __variant): (u32, _) = ::serde::de::EnumAccess::variant(__data)?;\n\
+                 match __index {{\n\
+                 {arms}\
+                 __other => ::std::result::Result::Err(\
+                 ::serde::de::Error::unknown_variant(__other, {name:?})),\n\
+                 }}\n\
+                 }}\n\
+                 }}\n\
+                 __deserializer.deserialize_enum({name:?}, &[{}], __Visitor)",
+                variant_names.join(", ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+         fn deserialize<__D: ::serde::Deserializer<'de>>(\n\
+         __deserializer: __D,\n\
+         ) -> ::std::result::Result<Self, __D::Error> {{\n\
+         {body}\n\
+         }}\n\
+         }}"
+    )
+}
