@@ -3,7 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use mage_core::lock::LockTable;
+use mage_rmi::NameId;
 use mage_sim::NodeId;
+
+/// The object under contention (O), as an interned id.
+const O: NameId = NameId::from_raw(0);
 
 fn bench_locking(c: &mut Criterion) {
     let here = NodeId::from_raw(0);
@@ -12,8 +16,8 @@ fn bench_locking(c: &mut Criterion) {
     group.bench_function("uncontended_stay_cycle", |b| {
         let mut table: LockTable<u32> = LockTable::new();
         b.iter(|| {
-            table.request("o", NodeId::from_raw(9), here, here, 0);
-            table.release("o", NodeId::from_raw(9), here)
+            table.request(O, NodeId::from_raw(9), here, here, 0);
+            table.release(O, NodeId::from_raw(9), here)
         })
     });
     for (name, fair) in [("unfair", false), ("fair", true)] {
@@ -24,15 +28,15 @@ fn bench_locking(c: &mut Criterion) {
                 } else {
                     LockTable::new()
                 };
-                table.request("o", NodeId::from_raw(100), away, here, 0);
+                table.request(O, NodeId::from_raw(100), away, here, 0);
                 for i in 0..64u32 {
                     let target = if i % 2 == 0 { here } else { away };
-                    table.request("o", NodeId::from_raw(i), target, here, i);
+                    table.request(O, NodeId::from_raw(i), target, here, i);
                 }
-                let mut grants = table.release("o", NodeId::from_raw(100), here);
+                let mut grants = table.release(O, NodeId::from_raw(100), here);
                 let mut released: Vec<NodeId> = grants.iter().map(|g| g.client).collect();
                 while let Some(client) = released.pop() {
-                    grants = table.release("o", client, here);
+                    grants = table.release(O, client, here);
                     released.extend(grants.iter().map(|g| g.client));
                 }
             })

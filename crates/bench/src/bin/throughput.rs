@@ -1,0 +1,200 @@
+//! Steady-state message-path throughput and allocation tracking.
+//!
+//! Drives two hot paths and reports messages/second plus heap
+//! allocations per operation, measured with a counting global allocator:
+//!
+//! * `raw_rmi` — plain RMI round-trips through `drive_call` (client
+//!   endpoint → server endpoint → reply), the substrate every MAGE
+//!   operation rides on.
+//! * `mage_call` — full MAGE `session.call` invocations (driver command →
+//!   exec engine → `mage.invoke` RMI call → reply → completion).
+//!
+//! Output is `BENCH_PR2.json` in the current directory (also echoed to
+//! stdout) so CI can archive the perf trajectory. The `baseline` block
+//! holds the numbers measured on the tree immediately before the PR-2
+//! zero-copy/interning work, on the same machine class; `current` is this
+//! run. Run with `cargo run --release -p mage-bench --bin throughput`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use mage_core::attribute::Rpc;
+use mage_core::workload_support::{methods, test_object_class};
+use mage_core::{Runtime, Visibility};
+use mage_rmi::{client_endpoint, drive_call, server_endpoint, Config, Fault, ObjectEnv};
+use mage_sim::World;
+
+/// Global-allocator shim that counts every allocation (and realloc) so the
+/// harness can report allocs/op. Counting is the only extra work; all
+/// storage management is delegated to [`System`].
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter is
+// a relaxed atomic with no effect on allocation behaviour.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs_now() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+/// One measured scenario.
+struct Measure {
+    name: &'static str,
+    ops: u64,
+    allocs_per_op: f64,
+    ops_per_sec: f64,
+}
+
+/// Baseline measured on the pre-PR2 tree (commit 2c80732, same harness,
+/// release build): allocations per op on the two scenarios below. Kept
+/// in-source so every later run reports its delta against the same anchor.
+const BASELINE_RAW_RMI_ALLOCS_PER_OP: f64 = 30.0;
+const BASELINE_MAGE_CALL_ALLOCS_PER_OP: f64 = 46.0;
+
+const RAW_OPS: u64 = 20_000;
+const MAGE_OPS: u64 = 10_000;
+
+fn bench_raw_rmi() -> Measure {
+    let mut world = World::new(7);
+    let client = world.add_node("client", client_endpoint(Config::zero_cost()));
+    let server = world.add_node(
+        "server",
+        server_endpoint(
+            Config::zero_cost(),
+            "counter",
+            Box::new(|_m: &str, _args: &[u8], _e: &mut ObjectEnv<'_>| {
+                mage_rmi::encode_args(&1u64).map_err(|e| Fault::App(e.to_string()))
+            }),
+        ),
+    );
+    let args = mage_rmi::encode_args(&()).expect("unit encodes");
+    // Warm-up: prime the connection and fault in lazy structures.
+    for _ in 0..100 {
+        drive_call(&mut world, client, server, "counter", "get", args.clone())
+            .expect("sim ok")
+            .expect("call ok");
+    }
+    let before = allocs_now();
+    let start = Instant::now();
+    for _ in 0..RAW_OPS {
+        drive_call(&mut world, client, server, "counter", "get", args.clone())
+            .expect("sim ok")
+            .expect("call ok");
+    }
+    let elapsed = start.elapsed();
+    let allocs = allocs_now() - before;
+    Measure {
+        name: "raw_rmi",
+        ops: RAW_OPS,
+        allocs_per_op: allocs as f64 / RAW_OPS as f64,
+        ops_per_sec: RAW_OPS as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+fn bench_mage_call() -> Measure {
+    let mut rt = Runtime::builder()
+        .fast()
+        .nodes(["client", "server"])
+        .class(test_object_class())
+        .build();
+    rt.deploy_class("TestObject", "server").expect("deploy");
+    let server = rt.session("server").expect("session");
+    let client = rt.session("client").expect("session");
+    server
+        .create_object("TestObject", "counter", &(), Visibility::Public)
+        .expect("create");
+    let rpc = Rpc::new("TestObject", "counter", "server");
+    let stub = client.bind(&rpc).expect("bind");
+    // Warm-up.
+    for _ in 0..100 {
+        client.call(&stub, methods::INC, &()).expect("call ok");
+    }
+    let before = allocs_now();
+    let start = Instant::now();
+    for _ in 0..MAGE_OPS {
+        client.call(&stub, methods::INC, &()).expect("call ok");
+    }
+    let elapsed = start.elapsed();
+    let allocs = allocs_now() - before;
+    Measure {
+        name: "mage_call",
+        ops: MAGE_OPS,
+        allocs_per_op: allocs as f64 / MAGE_OPS as f64,
+        ops_per_sec: MAGE_OPS as f64 / elapsed.as_secs_f64(),
+    }
+}
+
+fn reduction_pct(baseline: f64, current: f64) -> f64 {
+    if baseline.is_nan() || baseline == 0.0 {
+        return 0.0;
+    }
+    (baseline - current) / baseline * 100.0
+}
+
+fn main() {
+    let raw = bench_raw_rmi();
+    let mage = bench_mage_call();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"PR2 zero-copy wire path\",");
+    let _ = writeln!(json, "  \"baseline\": {{");
+    let _ = writeln!(
+        json,
+        "    \"raw_rmi_allocs_per_op\": {BASELINE_RAW_RMI_ALLOCS_PER_OP:.2},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"mage_call_allocs_per_op\": {BASELINE_MAGE_CALL_ALLOCS_PER_OP:.2}"
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"current\": {{");
+    for (i, m) in [&raw, &mage].iter().enumerate() {
+        let comma = if i == 0 { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{name}\": {{ \"ops\": {ops}, \"allocs_per_op\": {apo:.2}, \"ops_per_sec\": {ops_s:.0} }}{comma}",
+            name = m.name,
+            ops = m.ops,
+            apo = m.allocs_per_op,
+            ops_s = m.ops_per_sec,
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"raw_rmi_alloc_reduction_pct\": {:.1},",
+        reduction_pct(BASELINE_RAW_RMI_ALLOCS_PER_OP, raw.allocs_per_op)
+    );
+    let _ = writeln!(
+        json,
+        "  \"mage_call_alloc_reduction_pct\": {:.1}",
+        reduction_pct(BASELINE_MAGE_CALL_ALLOCS_PER_OP, mage.allocs_per_op)
+    );
+    let _ = writeln!(json, "}}");
+
+    print!("{json}");
+    std::fs::write("BENCH_PR2.json", &json).expect("write BENCH_PR2.json");
+    eprintln!("wrote BENCH_PR2.json");
+}

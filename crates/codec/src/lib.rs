@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod error;
+pub mod frame;
 pub mod varint;
 
 mod de;
@@ -47,4 +48,5 @@ mod ser;
 
 pub use de::{from_bytes, from_bytes_prefix, Deserializer};
 pub use error::{DecodeError, EncodeError};
+pub use frame::FrameReader;
 pub use ser::{to_bytes, to_bytes_in};

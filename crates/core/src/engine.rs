@@ -10,19 +10,24 @@
 //!   (Figure 7's messages 4/5), shared by `moveTo` requests, client-local
 //!   moves and autonomous mobile-agent hops
 //! * forwarded finds — the registry's chain-walking with path compression
+//!
+//! Tasks carry interned [`NameId`]s / [`CompKey`]s; strings are resolved
+//! only on error paths.
 
-use mage_rmi::{Env, Fault, ReplyHandle, RmiError};
+use bytes::Bytes;
+use mage_rmi::{Env, Fault, NameId, ReplyHandle, RmiError};
 use mage_sim::{NodeId, OpId};
 
 use crate::error::MageError;
 use crate::lock::LockKind;
 use crate::node::{MageNode, TransitFindWaiter};
-use crate::proto::{self, methods, Outcome};
+use crate::proto::{self, Outcome};
+use crate::registry::CompKey;
 
 /// A continuation awaiting an RMI reply (keyed by its call token).
 pub(crate) enum Task {
     /// A driver-initiated find.
-    ClientFind { op: OpId, name: String },
+    ClientFind { op: OpId, key: CompKey },
     /// A driver-initiated lock acquisition.
     ClientLock(ClientLockTask),
     /// A driver-initiated unlock.
@@ -30,14 +35,14 @@ pub(crate) enum Task {
     /// A bind/invoke engine.
     Exec(Box<ExecTask>),
     /// A find being forwarded along the chain on behalf of a caller.
-    FwdFind { reply: ReplyHandle, name: String },
+    FwdFind { reply: ReplyHandle, key: CompKey },
     /// An object transfer out of this namespace.
     MoveOut(MoveOutTask),
 }
 
 pub(crate) struct ClientLockTask {
     pub op: OpId,
-    pub name: String,
+    pub name: NameId,
     pub target: NodeId,
     pub home_hint: Option<NodeId>,
     pub phase: LocatePhase,
@@ -46,7 +51,7 @@ pub(crate) struct ClientLockTask {
 
 pub(crate) struct ClientUnlockTask {
     pub op: OpId,
-    pub name: String,
+    pub name: NameId,
     pub home_hint: Option<NodeId>,
     pub phase: LocatePhase,
 }
@@ -73,7 +78,7 @@ pub(crate) enum MovePhase {
 }
 
 pub(crate) struct MoveOutTask {
-    pub name: String,
+    pub name: NameId,
     pub dest: NodeId,
     pub origin: MoveOrigin,
     pub phase: MovePhase,
@@ -107,6 +112,10 @@ pub(crate) enum ExecPhase {
 pub(crate) struct ExecTask {
     pub op: OpId,
     pub spec: proto::ExecSpec,
+    /// Interned id of `spec.object`, computed once at start.
+    pub object_id: Option<NameId>,
+    /// Interned id of `spec.class`, computed once at start.
+    pub class_id: NameId,
     pub phase: ExecPhase,
     pub cloc: Option<NodeId>,
     pub locked_at: Option<NodeId>,
@@ -147,20 +156,22 @@ impl MageNode {
         &mut self,
         env: &mut Env<'_, '_>,
         token: u64,
-        result: Result<Vec<u8>, RmiError>,
+        result: Result<Bytes, RmiError>,
     ) {
         let Some(task) = self.tasks.remove(&token) else {
             return;
         };
         match task {
-            Task::FwdFind { reply, name } => {
+            Task::FwdFind { reply, key } => {
                 match result {
                     Ok(bytes) => match decode::<u32>(&bytes) {
                         Ok(loc) => {
                             // Path compression: remember the final location,
                             // collapsing the forwarding chain (§4.1).
-                            self.registry.update(name, NodeId::from_raw(loc));
-                            env.reply(reply, Ok(bytes));
+                            self.registry.update(key, NodeId::from_raw(loc));
+                            // Forward the payload straight out of the
+                            // received frame — no copy.
+                            env.reply_with(reply, Ok(&bytes));
                         }
                         Err(e) => env.reply(reply, Err(Fault::App(e.to_string()))),
                     },
@@ -168,10 +179,10 @@ impl MageNode {
                     Err(other) => env.reply(reply, Err(Fault::App(other.to_string()))),
                 }
             }
-            Task::ClientFind { op, name } => match result {
+            Task::ClientFind { op, key } => match result {
                 Ok(bytes) => match decode::<u32>(&bytes) {
                     Ok(loc) => {
-                        self.registry.update(name, NodeId::from_raw(loc));
+                        self.registry.update(key, NodeId::from_raw(loc));
                         self.complete(
                             env,
                             op,
@@ -194,7 +205,7 @@ impl MageNode {
 
     // ---- locate helper ----
 
-    /// Tries to determine where `name` is without a network call.
+    /// Tries to determine where `key` is without a network call.
     ///
     /// Returns `Ok(Some(loc))` when known (possibly this node), `Ok(None)`
     /// after issuing a find with `token` (the caller parks its task), or an
@@ -202,16 +213,16 @@ impl MageNode {
     fn locate_step(
         &mut self,
         env: &mut Env<'_, '_>,
-        name: &str,
+        key: CompKey,
         location_hint: Option<NodeId>,
         home_hint: Option<NodeId>,
         token: u64,
     ) -> Result<Option<NodeId>, MageError> {
         let me = env.node();
-        if self.has_component(name) {
+        if self.has_component(key) {
             return Ok(Some(me));
         }
-        if let Some(loc) = self.registry.lookup(name) {
+        if let Some(loc) = self.registry.lookup(key) {
             if loc != me {
                 return Ok(Some(loc));
             }
@@ -225,19 +236,19 @@ impl MageNode {
         match start {
             Some(start) => {
                 let args = proto::FindArgs {
-                    name: name.to_owned(),
+                    key,
                     visited: vec![me.as_raw()],
                 };
                 env.call(
                     start,
-                    proto::SERVICE,
-                    methods::FIND,
+                    self.ids.service,
+                    self.ids.find,
                     mage_codec::to_bytes(&args).expect("find args encode"),
                     token,
                 );
                 Ok(None)
             }
-            None => Err(MageError::NotFound(name.to_owned())),
+            None => Err(MageError::NotFound(key.display(&self.syms))),
         }
     }
 
@@ -247,12 +258,12 @@ impl MageNode {
         &mut self,
         env: &mut Env<'_, '_>,
         op: OpId,
-        name: String,
+        key: CompKey,
         home_hint: Option<u32>,
     ) {
         env.charge(self.config.bind_overhead);
         let me = env.node();
-        if self.has_component(&name) {
+        if self.has_component(key) {
             self.complete(
                 env,
                 op,
@@ -263,15 +274,16 @@ impl MageNode {
             );
             return;
         }
-        if self
-            .objects
-            .get(&name)
-            .is_some_and(|hosted| hosted.in_transit)
+        if key.kind == crate::registry::Kind::Object
+            && self
+                .objects
+                .get(&key.id)
+                .is_some_and(|hosted| hosted.in_transit)
         {
             // Our own object is mid-move: park like a remote find and
             // answer when the transfer settles.
             self.transit_finds
-                .entry(name)
+                .entry(key.id)
                 .or_default()
                 .push(TransitFindWaiter::Op(op));
             return;
@@ -281,7 +293,7 @@ impl MageNode {
         // must walk the chain to the hosting server and verify (§4.1).
         let start = self
             .registry
-            .lookup(&name)
+            .lookup(key)
             .filter(|n| *n != me)
             .or_else(|| home_hint.map(NodeId::from_raw).filter(|h| *h != me));
         match start {
@@ -289,19 +301,22 @@ impl MageNode {
                 let token = self.next_task;
                 self.next_task += 1;
                 let args = proto::FindArgs {
-                    name: name.clone(),
+                    key,
                     visited: vec![me.as_raw()],
                 };
                 env.call(
                     start,
-                    proto::SERVICE,
-                    methods::FIND,
+                    self.ids.service,
+                    self.ids.find,
                     mage_codec::to_bytes(&args).expect("find args encode"),
                     token,
                 );
-                self.tasks.insert(token, Task::ClientFind { op, name });
+                self.tasks.insert(token, Task::ClientFind { op, key });
             }
-            None => self.complete(env, op, Err(MageError::NotFound(name))),
+            None => {
+                let err = MageError::NotFound(key.display(&self.syms));
+                self.complete(env, op, Err(err));
+            }
         }
     }
 
@@ -311,7 +326,7 @@ impl MageNode {
         &mut self,
         env: &mut Env<'_, '_>,
         op: OpId,
-        name: String,
+        name: NameId,
         target: u32,
         home_hint: Option<u32>,
     ) {
@@ -326,9 +341,9 @@ impl MageNode {
             phase: LocatePhase::Finding,
             retries: self.config.race_retries,
         };
-        match self.locate_step(env, &task.name.clone(), None, task.home_hint, token) {
+        match self.locate_step(env, CompKey::object(name), None, task.home_hint, token) {
             Ok(Some(loc)) => {
-                self.issue_lock_call(env, &task.name, task.target, loc, token);
+                self.issue_lock_call(env, task.name, task.target, loc, token);
                 task.phase = LocatePhase::Calling;
                 self.tasks.insert(token, Task::ClientLock(task));
             }
@@ -342,20 +357,20 @@ impl MageNode {
     fn issue_lock_call(
         &mut self,
         env: &mut Env<'_, '_>,
-        name: &str,
+        name: NameId,
         target: NodeId,
         at: NodeId,
         token: u64,
     ) {
         let args = proto::LockArgs {
-            name: name.to_owned(),
+            name,
             client: env.node().as_raw(),
             target: target.as_raw(),
         };
         env.call(
             at,
-            proto::SERVICE,
-            methods::LOCK,
+            self.ids.service,
+            self.ids.lock,
             mage_codec::to_bytes(&args).expect("lock args encode"),
             token,
         );
@@ -366,15 +381,15 @@ impl MageNode {
         env: &mut Env<'_, '_>,
         token: u64,
         mut task: ClientLockTask,
-        result: Result<Vec<u8>, RmiError>,
+        result: Result<Bytes, RmiError>,
     ) {
         match task.phase {
             LocatePhase::Finding => match result {
                 Ok(bytes) => match decode::<u32>(&bytes) {
                     Ok(loc) => {
                         let loc = NodeId::from_raw(loc);
-                        self.registry.update(task.name.clone(), loc);
-                        self.issue_lock_call(env, &task.name, task.target, loc, token);
+                        self.registry.update(CompKey::object(task.name), loc);
+                        self.issue_lock_call(env, task.name, task.target, loc, token);
                         task.phase = LocatePhase::Calling;
                         self.tasks.insert(token, Task::ClientLock(task));
                     }
@@ -399,10 +414,16 @@ impl MageNode {
                     // The object moved between find and lock; chase it.
                     task.retries -= 1;
                     task.phase = LocatePhase::Finding;
-                    self.registry.remove(&task.name);
-                    match self.locate_step(env, &task.name.clone(), None, task.home_hint, token) {
+                    self.registry.remove(CompKey::object(task.name));
+                    match self.locate_step(
+                        env,
+                        CompKey::object(task.name),
+                        None,
+                        task.home_hint,
+                        token,
+                    ) {
                         Ok(Some(loc)) => {
-                            self.issue_lock_call(env, &task.name, task.target, loc, token);
+                            self.issue_lock_call(env, task.name, task.target, loc, token);
                             task.phase = LocatePhase::Calling;
                             self.tasks.insert(token, Task::ClientLock(task));
                         }
@@ -421,7 +442,7 @@ impl MageNode {
         &mut self,
         env: &mut Env<'_, '_>,
         op: OpId,
-        name: String,
+        name: NameId,
         home_hint: Option<u32>,
     ) {
         env.charge(self.config.bind_overhead);
@@ -433,9 +454,9 @@ impl MageNode {
             home_hint: home_hint.map(NodeId::from_raw),
             phase: LocatePhase::Finding,
         };
-        match self.locate_step(env, &task.name.clone(), None, task.home_hint, token) {
+        match self.locate_step(env, CompKey::object(name), None, task.home_hint, token) {
             Ok(Some(loc)) => {
-                self.issue_unlock_call(env, &task.name, loc, token);
+                self.issue_unlock_call(env, task.name, loc, token);
                 task.phase = LocatePhase::Calling;
                 self.tasks.insert(token, Task::ClientUnlock(task));
             }
@@ -446,15 +467,15 @@ impl MageNode {
         }
     }
 
-    fn issue_unlock_call(&mut self, env: &mut Env<'_, '_>, name: &str, at: NodeId, token: u64) {
+    fn issue_unlock_call(&mut self, env: &mut Env<'_, '_>, name: NameId, at: NodeId, token: u64) {
         let args = proto::UnlockArgs {
-            name: name.to_owned(),
+            name,
             client: env.node().as_raw(),
         };
         env.call(
             at,
-            proto::SERVICE,
-            methods::UNLOCK,
+            self.ids.service,
+            self.ids.unlock,
             mage_codec::to_bytes(&args).expect("unlock args encode"),
             token,
         );
@@ -465,15 +486,15 @@ impl MageNode {
         env: &mut Env<'_, '_>,
         token: u64,
         mut task: ClientUnlockTask,
-        result: Result<Vec<u8>, RmiError>,
+        result: Result<Bytes, RmiError>,
     ) {
         match task.phase {
             LocatePhase::Finding => match result {
                 Ok(bytes) => match decode::<u32>(&bytes) {
                     Ok(loc) => {
                         let loc = NodeId::from_raw(loc);
-                        self.registry.update(task.name.clone(), loc);
-                        self.issue_unlock_call(env, &task.name, loc, token);
+                        self.registry.update(CompKey::object(task.name), loc);
+                        self.issue_unlock_call(env, task.name, loc, token);
                         task.phase = LocatePhase::Calling;
                         self.tasks.insert(token, Task::ClientUnlock(task));
                     }
@@ -503,21 +524,18 @@ impl MageNode {
     pub(crate) fn begin_move_out(
         &mut self,
         env: &mut Env<'_, '_>,
-        name: String,
+        name: NameId,
         dest: NodeId,
         origin: MoveOrigin,
     ) {
-        let me = env.node();
         let Some(hosted) = self.objects.get_mut(&name) else {
-            self.finish_move_failed(env, origin, MageError::NotFound(name));
+            let err = MageError::NotFound(self.name_str(name));
+            self.finish_move_failed(env, origin, err);
             return;
         };
         if hosted.in_transit {
-            self.finish_move_failed(
-                env,
-                origin,
-                MageError::BadPlan(format!("{name} is already in transit")),
-            );
+            let err = MageError::BadPlan(format!("{} is already in transit", self.name_str(name)));
+            self.finish_move_failed(env, origin, err);
             return;
         }
         let state = match hosted.object.snapshot() {
@@ -528,13 +546,13 @@ impl MageNode {
             }
         };
         hosted.in_transit = true;
-        let class = hosted.class.clone();
+        let class = hosted.class;
         let home = hosted.home;
         let visibility = hosted.visibility;
         let version = hosted.version + 1;
-        let (holders, parked_waiters) = self.locks.extract(&name);
+        let (holders, parked_waiters) = self.locks.extract(name);
         let receive_args = proto::ReceiveArgs {
-            name: name.clone(),
+            name,
             class,
             state,
             home: home.as_raw(),
@@ -546,12 +564,11 @@ impl MageNode {
         self.next_task += 1;
         env.call(
             dest,
-            proto::SERVICE,
-            methods::RECEIVE,
+            self.ids.service,
+            self.ids.receive,
             mage_codec::to_bytes(&receive_args).expect("receive args encode"),
             token,
         );
-        let _ = me;
         self.tasks.insert(
             token,
             Task::MoveOut(MoveOutTask {
@@ -572,7 +589,7 @@ impl MageNode {
         env: &mut Env<'_, '_>,
         token: u64,
         mut task: MoveOutTask,
-        result: Result<Vec<u8>, RmiError>,
+        result: Result<Bytes, RmiError>,
     ) {
         match task.phase {
             MovePhase::SentReceive { retried_class } => match result {
@@ -580,11 +597,12 @@ impl MageNode {
                     // Transfer acknowledged: drop the local copy and leave a
                     // forwarding address (§4.1).
                     self.objects.remove(&task.name);
-                    self.registry.update(task.name.clone(), task.dest);
+                    self.registry.update(CompKey::object(task.name), task.dest);
                     self.finish_move_ok(env, task);
                 }
                 Err(RmiError::Fault(Fault::ClassMissing(_))) if !retried_class => {
-                    let Some(def) = self.lib.get(&task.receive_args.class) else {
+                    let class_name = self.syms.resolve_lossy(task.receive_args.class);
+                    let Some(def) = self.lib.get(&class_name) else {
                         self.abort_move(
                             env,
                             task,
@@ -593,14 +611,14 @@ impl MageNode {
                         return;
                     };
                     let class_args = proto::ReceiveClassArgs {
-                        class: def.name().to_owned(),
+                        class: task.receive_args.class,
                         code: vec![0u8; def.code_size() as usize],
                         has_static_fields: def.has_static_fields(),
                     };
                     env.call(
                         task.dest,
-                        proto::SERVICE,
-                        methods::RECEIVE_CLASS,
+                        self.ids.service,
+                        self.ids.receive_class,
                         mage_codec::to_bytes(&class_args).expect("class args encode"),
                         token,
                     );
@@ -616,8 +634,8 @@ impl MageNode {
                 Ok(_) => {
                     env.call(
                         task.dest,
-                        proto::SERVICE,
-                        methods::RECEIVE,
+                        self.ids.service,
+                        self.ids.receive,
                         mage_codec::to_bytes(&task.receive_args).expect("receive args encode"),
                         token,
                     );
@@ -637,8 +655,8 @@ impl MageNode {
     /// Answers every find parked on `name` during its transit: remote
     /// calls get an RMI reply, driver ops complete locally, both with
     /// `location` (the destination on commit, this node on abort).
-    fn flush_transit_finds(&mut self, env: &mut Env<'_, '_>, name: &str, location: NodeId) {
-        for waiter in self.transit_finds.remove(name).unwrap_or_default() {
+    fn flush_transit_finds(&mut self, env: &mut Env<'_, '_>, name: NameId, location: NodeId) {
+        for waiter in self.transit_finds.remove(&name).unwrap_or_default() {
             match waiter {
                 TransitFindWaiter::Reply(handle) => {
                     let payload =
@@ -666,16 +684,16 @@ impl MageNode {
         }
         // Finds that arrived mid-move resolve right back here.
         let me = env.node();
-        self.flush_transit_finds(env, &task.name, me);
+        self.flush_transit_finds(env, task.name, me);
         self.locks
-            .install(&task.name, task.receive_args.locks.clone());
+            .install(task.name, task.receive_args.locks.clone());
         // Re-queue the waiters we parked; immediate grants are answered
         // directly (reply handles are Copy).
         for waiter in task.parked_waiters {
             let handle = waiter.payload;
             match self
                 .locks
-                .request(&task.name, waiter.client, waiter.target, me, waiter.payload)
+                .request(task.name, waiter.client, waiter.target, me, waiter.payload)
             {
                 crate::lock::Request::Granted(kind) => {
                     let payload = mage_codec::to_bytes(&kind).expect("lock kind encodes");
@@ -686,7 +704,8 @@ impl MageNode {
         }
         env.note(format!(
             "move of {} to {} failed: {err}",
-            task.name, task.dest
+            self.name_str(task.name),
+            task.dest
         ));
         self.finish_move_failed(env, task.origin, err);
     }
@@ -697,11 +716,14 @@ impl MageNode {
         for waiter in task.parked_waiters {
             env.reply(
                 waiter.payload,
-                Err(Fault::NotBound(format!("{} moved", task.name))),
+                Err(Fault::NotBound(format!(
+                    "{} moved",
+                    self.name_str(task.name)
+                ))),
             );
         }
         // Finds that arrived mid-move resolve to the destination.
-        self.flush_transit_finds(env, &task.name, task.dest);
+        self.flush_transit_finds(env, task.name, task.dest);
         match task.origin {
             MoveOrigin::Reply(handle) => {
                 let payload = mage_codec::to_bytes(&task.dest.as_raw()).expect("node id encodes");
@@ -713,7 +735,10 @@ impl MageNode {
                 }
             }
             MoveOrigin::Autonomous => {
-                env.note(format!("agent {} hopped to {}", task.name, task.dest));
+                if env.trace_enabled() {
+                    let name = self.name_str(task.name);
+                    env.note(format!("agent {} hopped to {}", name, task.dest));
+                }
             }
         }
     }

@@ -7,6 +7,7 @@
 //! instantiation from the class (traditional REV/COD factories), with class
 //! transfer slipped in on demand.
 
+use bytes::Bytes;
 use mage_rmi::{Env, Fault, RmiError};
 use mage_sim::{NodeId, OpId};
 
@@ -14,8 +15,8 @@ use crate::engine::{ExecPhase, ExecTask, MoveOrigin, Resume, Task};
 use crate::error::MageError;
 use crate::lock::LockKind;
 use crate::node::MageNode;
-use crate::proto::{self, methods, ActionSpec, Outcome};
-use crate::registry::class_key;
+use crate::proto::{self, ActionSpec, Outcome};
+use crate::registry::CompKey;
 
 fn rmi_error_to_mage(err: &RmiError) -> MageError {
     match err {
@@ -40,19 +41,20 @@ impl ExecTask {
             ActionSpec::Instantiate { node, .. } => NodeId::from_raw(*node),
         }
     }
-
-    fn object_name(&self) -> Option<&str> {
-        self.spec.object.as_deref()
-    }
 }
 
 impl MageNode {
     pub(crate) fn exec_start(&mut self, env: &mut Env<'_, '_>, op: OpId, spec: proto::ExecSpec) {
         let id = self.next_task;
         self.next_task += 1;
+        // Intern the plan's names once; every later step moves 4-byte ids.
+        let object_id = spec.object.as_deref().map(|n| self.syms.intern(n));
+        let class_id = self.syms.intern(&spec.class);
         let task = ExecTask {
             op,
             spec,
+            object_id,
+            class_id,
             phase: ExecPhase::AwaitFind {
                 resume: Resume::Guard,
             },
@@ -71,7 +73,7 @@ impl MageNode {
 
     fn exec_begin_guard(&mut self, env: &mut Env<'_, '_>, id: u64, mut task: ExecTask) {
         let needs_guard = task.spec.guard
-            && task.object_name().is_some()
+            && task.object_id.is_some()
             && !matches!(task.spec.action, ActionSpec::Instantiate { .. });
         if !needs_guard {
             self.exec_begin_action(env, id, task);
@@ -95,10 +97,7 @@ impl MageNode {
     fn exec_issue_lock(&mut self, env: &mut Env<'_, '_>, id: u64, mut task: ExecTask, at: NodeId) {
         let me = env.node();
         let target = task.lock_target(me);
-        let name = task
-            .object_name()
-            .expect("guard requires an object")
-            .to_owned();
+        let name = task.object_id.expect("guard requires an object");
         let args = proto::LockArgs {
             name,
             client: me.as_raw(),
@@ -106,8 +105,8 @@ impl MageNode {
         };
         env.call(
             at,
-            proto::SERVICE,
-            methods::LOCK,
+            self.ids.service,
+            self.ids.lock,
             mage_codec::to_bytes(&args).expect("lock args encode"),
             id,
         );
@@ -119,21 +118,18 @@ impl MageNode {
         let me = env.node();
         match task.spec.action.clone() {
             ActionSpec::Local => {
-                let name = match task.object_name() {
-                    Some(name) => name.to_owned(),
-                    None => {
-                        self.exec_fail(
-                            env,
-                            id,
-                            task,
-                            MageError::BadPlan("local action requires an object".into()),
-                        );
-                        return;
-                    }
+                let Some(name) = task.object_id else {
+                    self.exec_fail(
+                        env,
+                        id,
+                        task,
+                        MageError::BadPlan("local action requires an object".into()),
+                    );
+                    return;
                 };
                 task.invoke_at = Some(me);
                 if let Some(invoke) = task.spec.invoke.clone() {
-                    match self.invoke_local(env, &name, &invoke.method, &invoke.args) {
+                    match self.invoke_local(env, name, &invoke.method, &invoke.args) {
                         Ok(bytes) => {
                             task.result = Some(bytes);
                             self.exec_begin_unlock(env, id, task);
@@ -143,10 +139,11 @@ impl MageNode {
                             self.exec_fail(env, id, task, err);
                         }
                     }
-                } else if self.has_component(&name) {
+                } else if self.has_component(CompKey::object(name)) {
                     self.exec_begin_unlock(env, id, task);
                 } else {
-                    self.exec_fail(env, id, task, MageError::NotFound(name));
+                    let err = MageError::NotFound(self.name_str(name));
+                    self.exec_fail(env, id, task, err);
                 }
             }
             ActionSpec::InvokeAt { node } => {
@@ -202,28 +199,22 @@ impl MageNode {
                 } else if cloc == me {
                     // We host the object: run the transfer ourselves
                     // (Figure 7 without the moveTo hop).
-                    let name = task
-                        .object_name()
-                        .expect("move requires an object")
-                        .to_owned();
+                    let name = task.object_id.expect("move requires an object");
                     task.phase = ExecPhase::AwaitMove;
                     self.tasks.insert(id, Task::Exec(Box::new(task)));
                     self.begin_move_out(env, name, dest, MoveOrigin::Exec(id));
                 } else {
                     // Ask the hosting namespace to transfer the object
                     // (Figure 7, message 3).
-                    let name = task
-                        .object_name()
-                        .expect("move requires an object")
-                        .to_owned();
+                    let name = task.object_id.expect("move requires an object");
                     let args = proto::MoveToArgs {
                         name,
                         dest: dest.as_raw(),
                     };
                     env.call(
                         cloc,
-                        proto::SERVICE,
-                        methods::MOVE_TO,
+                        self.ids.service,
+                        self.ids.move_to,
                         mage_codec::to_bytes(&args).expect("move args encode"),
                         id,
                     );
@@ -237,23 +228,22 @@ impl MageNode {
                 visibility,
             } => {
                 let dest = NodeId::from_raw(node);
-                let object_name = match task.object_name() {
-                    Some(name) => name.to_owned(),
-                    None => {
-                        self.exec_fail(
-                            env,
-                            id,
-                            task,
-                            MageError::BadPlan("instantiate requires an object name".into()),
-                        );
-                        return;
-                    }
+                let Some(object_id) = task.object_id else {
+                    self.exec_fail(
+                        env,
+                        id,
+                        task,
+                        MageError::BadPlan("instantiate requires an object name".into()),
+                    );
+                    return;
                 };
                 if dest == me {
-                    if self.classes.contains(&task.spec.class) {
+                    if self.classes.contains(&task.class_id) {
+                        let (class_name, object_name) =
+                            (task.spec.class.clone(), self.name_str(object_id));
                         let created = self.create_local_object(
                             env,
-                            &task.spec.class.clone(),
+                            &class_name,
                             &object_name,
                             &state,
                             visibility,
@@ -271,15 +261,15 @@ impl MageNode {
                     }
                 } else {
                     let args = proto::InstantiateArgs {
-                        class: task.spec.class.clone(),
-                        name: object_name,
+                        class: task.class_id,
+                        name: object_id,
                         state,
                         visibility,
                     };
                     env.call(
                         dest,
-                        proto::SERVICE,
-                        methods::INSTANTIATE,
+                        self.ids.service,
+                        self.ids.instantiate,
                         mage_codec::to_bytes(&args).expect("instantiate args encode"),
                         id,
                     );
@@ -303,8 +293,8 @@ impl MageNode {
         dest: NodeId,
     ) {
         let me = env.node();
-        let key = class_key(&task.spec.class);
-        let source = self.registry.lookup(&key).filter(|n| *n != me).or_else(|| {
+        let key = CompKey::class(task.class_id);
+        let source = self.registry.lookup(key).filter(|n| *n != me).or_else(|| {
             task.spec
                 .home_hint
                 .map(NodeId::from_raw)
@@ -313,12 +303,12 @@ impl MageNode {
         match source {
             Some(src) => {
                 let args = proto::FetchClassArgs {
-                    class: task.spec.class.clone(),
+                    class: task.class_id,
                 };
                 env.call(
                     src,
-                    proto::SERVICE,
-                    methods::FETCH_CLASS,
+                    self.ids.service,
+                    self.ids.fetch_class,
                     mage_codec::to_bytes(&args).expect("fetch args encode"),
                     id,
                 );
@@ -338,21 +328,18 @@ impl MageNode {
             return;
         };
         let at = task.invoke_at.expect("invoke target resolved");
-        let name = match task.object_name() {
-            Some(name) => name.to_owned(),
-            None => {
-                self.exec_fail(
-                    env,
-                    id,
-                    task,
-                    MageError::BadPlan("invocation requires an object name".into()),
-                );
-                return;
-            }
+        let Some(name) = task.object_id else {
+            self.exec_fail(
+                env,
+                id,
+                task,
+                MageError::BadPlan("invocation requires an object name".into()),
+            );
+            return;
         };
         let args = proto::InvokeArgs {
             name,
-            method: invoke.method.clone(),
+            method: self.syms.intern(&invoke.method),
             args: invoke.args.clone(),
         };
         let payload = mage_codec::to_bytes(&args).expect("invoke args encode");
@@ -361,10 +348,10 @@ impl MageNode {
             // owns. The result "stays at the remote host" (§5).
             let noop = self.next_task;
             self.next_task += 1;
-            env.call(at, proto::SERVICE, methods::INVOKE, payload, noop);
+            env.call(at, self.ids.service, self.ids.invoke, payload, noop);
             self.exec_begin_unlock(env, id, task);
         } else {
-            env.call(at, proto::SERVICE, methods::INVOKE, payload, id);
+            env.call(at, self.ids.service, self.ids.invoke, payload, id);
             task.phase = ExecPhase::AwaitInvoke;
             self.tasks.insert(id, Task::Exec(Box::new(task)));
         }
@@ -382,18 +369,15 @@ impl MageNode {
             .or(task.cloc)
             .or(task.locked_at)
             .expect("somewhere");
-        let name = task
-            .object_name()
-            .expect("guarded ops have objects")
-            .to_owned();
+        let name = task.object_id.expect("guarded ops have objects");
         let args = proto::UnlockArgs {
             name,
             client: env.node().as_raw(),
         };
         env.call(
             at,
-            proto::SERVICE,
-            methods::UNLOCK,
+            self.ids.service,
+            self.ids.unlock,
             mage_codec::to_bytes(&args).expect("unlock args encode"),
             id,
         );
@@ -438,13 +422,14 @@ impl MageNode {
         task: &mut ExecTask,
     ) -> Result<Option<NodeId>, MageError> {
         let me = env.node();
-        let Some(name) = task.object_name().map(str::to_owned) else {
+        let Some(name) = task.object_id else {
             return Err(MageError::BadPlan("action requires an object".into()));
         };
-        if self.has_component(&name) {
+        let key = CompKey::object(name);
+        if self.has_component(key) {
             return Ok(Some(me));
         }
-        if let Some(loc) = self.registry.lookup(&name) {
+        if let Some(loc) = self.registry.lookup(key) {
             if loc != me {
                 return Ok(Some(loc));
             }
@@ -462,19 +447,19 @@ impl MageNode {
         match start {
             Some(start) => {
                 let args = proto::FindArgs {
-                    name,
+                    key,
                     visited: vec![me.as_raw()],
                 };
                 env.call(
                     start,
-                    proto::SERVICE,
-                    methods::FIND,
+                    self.ids.service,
+                    self.ids.find,
                     mage_codec::to_bytes(&args).expect("find args encode"),
                     id,
                 );
                 Ok(None)
             }
-            None => Err(MageError::NotFound(name)),
+            None => Err(MageError::NotFound(self.name_str(name))),
         }
     }
 
@@ -485,15 +470,15 @@ impl MageNode {
         env: &mut Env<'_, '_>,
         id: u64,
         mut task: ExecTask,
-        result: Result<Vec<u8>, RmiError>,
+        result: Result<Bytes, RmiError>,
     ) {
         match task.phase {
             ExecPhase::AwaitFind { resume } => match result {
                 Ok(bytes) => match decode::<u32>(&bytes) {
                     Ok(loc) => {
                         let loc = NodeId::from_raw(loc);
-                        if let Some(name) = task.object_name() {
-                            self.registry.update(name.to_owned(), loc);
+                        if let Some(name) = task.object_id {
+                            self.registry.update(CompKey::object(name), loc);
                         }
                         task.cloc = Some(loc);
                         match resume {
@@ -528,8 +513,8 @@ impl MageNode {
                     task.retries -= 1;
                     task.cloc = None;
                     task.spec.location_hint = None;
-                    if let Some(name) = task.object_name() {
-                        self.registry.remove(name);
+                    if let Some(name) = task.object_id {
+                        self.registry.remove(CompKey::object(name));
                     }
                     self.exec_begin_guard(env, id, task);
                 }
@@ -542,8 +527,8 @@ impl MageNode {
                 Ok(bytes) => match decode::<u32>(&bytes) {
                     Ok(dest) => {
                         let dest = NodeId::from_raw(dest);
-                        if let Some(name) = task.object_name() {
-                            self.registry.update(name.to_owned(), dest);
+                        if let Some(name) = task.object_id {
+                            self.registry.update(CompKey::object(name), dest);
                         }
                         task.cloc = Some(dest);
                         task.invoke_at = Some(dest);
@@ -555,8 +540,8 @@ impl MageNode {
                     task.retries -= 1;
                     task.cloc = None;
                     task.spec.location_hint = None;
-                    if let Some(name) = task.object_name() {
-                        self.registry.remove(name);
+                    if let Some(name) = task.object_id {
+                        self.registry.remove(CompKey::object(name));
                     }
                     self.exec_begin_action(env, id, task);
                 }
@@ -572,15 +557,15 @@ impl MageNode {
                         // §4.2), then instantiate or push onward.
                         let me = env.node();
                         env.charge(env.cost().class_load(class_args.code.len() as u64));
-                        self.classes.insert(class_args.class.clone());
-                        self.registry.update(class_key(&class_args.class), me);
+                        self.classes.insert(class_args.class);
+                        self.registry.update(CompKey::class(class_args.class), me);
                         if dest == me {
                             self.exec_begin_action(env, id, task);
                         } else {
                             env.call(
                                 dest,
-                                proto::SERVICE,
-                                methods::RECEIVE_CLASS,
+                                self.ids.service,
+                                self.ids.receive_class,
                                 mage_codec::to_bytes(&class_args).expect("class args encode"),
                                 id,
                             );
@@ -605,18 +590,15 @@ impl MageNode {
                         _ => (Vec::new(), crate::component::Visibility::Public),
                     };
                     let args = proto::InstantiateArgs {
-                        class: task.spec.class.clone(),
-                        name: task
-                            .object_name()
-                            .expect("instantiate has an object name")
-                            .to_owned(),
+                        class: task.class_id,
+                        name: task.object_id.expect("instantiate has an object name"),
                         state,
                         visibility,
                     };
                     env.call(
                         dest,
-                        proto::SERVICE,
-                        methods::INSTANTIATE,
+                        self.ids.service,
+                        self.ids.instantiate,
                         mage_codec::to_bytes(&args).expect("instantiate args encode"),
                         id,
                     );
@@ -636,15 +618,15 @@ impl MageNode {
                 retried_class,
             } => match result {
                 Ok(_) => {
-                    if let Some(name) = task.object_name() {
-                        self.registry.update(name.to_owned(), dest);
+                    if let Some(name) = task.object_id {
+                        self.registry.update(CompKey::object(name), dest);
                     }
                     task.cloc = Some(dest);
                     task.invoke_at = Some(dest);
                     self.exec_begin_invoke(env, id, task);
                 }
                 Err(RmiError::Fault(Fault::ClassMissing(_))) if !retried_class => {
-                    if self.classes.contains(&task.spec.class) {
+                    if self.classes.contains(&task.class_id) {
                         // We have the class: push it to the target
                         // (traditional REV ships local code to the server).
                         let def = self
@@ -652,14 +634,14 @@ impl MageNode {
                             .get(&task.spec.class)
                             .expect("cached class defined");
                         let class_args = proto::ReceiveClassArgs {
-                            class: def.name().to_owned(),
+                            class: task.class_id,
                             code: vec![0u8; def.code_size() as usize],
                             has_static_fields: def.has_static_fields(),
                         };
                         env.call(
                             dest,
-                            proto::SERVICE,
-                            methods::RECEIVE_CLASS,
+                            self.ids.service,
+                            self.ids.receive_class,
                             mage_codec::to_bytes(&class_args).expect("class args encode"),
                             id,
                         );
@@ -678,7 +660,7 @@ impl MageNode {
             },
             ExecPhase::AwaitInvoke => match result {
                 Ok(bytes) => {
-                    task.result = Some(bytes);
+                    task.result = Some(bytes.to_vec());
                     self.exec_begin_unlock(env, id, task);
                 }
                 Err(RmiError::Fault(Fault::NotBound(_))) if task.retries > 0 => {
@@ -688,8 +670,8 @@ impl MageNode {
                     task.retries -= 1;
                     task.cloc = None;
                     task.spec.location_hint = None;
-                    if let Some(name) = task.object_name() {
-                        self.registry.remove(name);
+                    if let Some(name) = task.object_id {
+                        self.registry.remove(CompKey::object(name));
                     }
                     match self.exec_resolve_location(env, id, &mut task) {
                         Ok(Some(loc)) => {

@@ -15,6 +15,7 @@ use std::collections::{BTreeMap, VecDeque};
 
 use serde::{Deserialize, Serialize};
 
+use mage_rmi::NameId;
 use mage_sim::NodeId;
 
 /// The kind of lock granted (§4.4: "stay and move locks are simply read
@@ -97,13 +98,15 @@ pub enum Request {
     Queued,
 }
 
-/// Per-object lock queues for all mobile objects hosted on one node.
+/// Per-object lock queues for all mobile objects hosted on one node,
+/// keyed by the object's interned [`NameId`] (no string handling on the
+/// lock path).
 ///
 /// Generic over the waiter payload `T` so the protocol layer can park reply
 /// handles while the data structure stays independently testable.
 #[derive(Debug)]
 pub struct LockTable<T> {
-    locks: BTreeMap<String, LockState<T>>,
+    locks: BTreeMap<NameId, LockState<T>>,
     fair: bool,
 }
 
@@ -137,16 +140,13 @@ impl<T> LockTable<T> {
     /// and later returned by [`LockTable::release`].
     pub fn request(
         &mut self,
-        name: &str,
+        name: NameId,
         client: NodeId,
         target: NodeId,
         here: NodeId,
         payload: T,
     ) -> Request {
-        let state = self
-            .locks
-            .entry(name.to_owned())
-            .or_insert_with(LockState::new);
+        let state = self.locks.entry(name).or_insert_with(LockState::new);
         let kind = if target == here {
             LockKind::Stay
         } else {
@@ -199,8 +199,8 @@ impl<T> LockTable<T> {
     /// host `here`) are granted before any move request; under the fair
     /// policy the queue drains strictly in order until a move request takes
     /// exclusivity.
-    pub fn release(&mut self, name: &str, client: NodeId, here: NodeId) -> Vec<Grant<T>> {
-        let Some(state) = self.locks.get_mut(name) else {
+    pub fn release(&mut self, name: NameId, client: NodeId, here: NodeId) -> Vec<Grant<T>> {
+        let Some(state) = self.locks.get_mut(&name) else {
             return Vec::new();
         };
         if let Some(pos) = state.stay_holders.iter().position(|c| *c == client) {
@@ -210,7 +210,7 @@ impl<T> LockTable<T> {
         }
         let grants = Self::drain(state, here, self.fair);
         if state.is_idle() {
-            self.locks.remove(name);
+            self.locks.remove(&name);
         }
         grants
     }
@@ -289,8 +289,8 @@ impl<T> LockTable<T> {
     /// waiters. If the move commits, waiters are bounced back to their
     /// clients (who re-find the object at its new host and retry); if it
     /// aborts, they can be re-queued via [`LockTable::request`].
-    pub fn extract(&mut self, name: &str) -> (HolderTransfer, Vec<QueuedWaiter<T>>) {
-        let Some(state) = self.locks.remove(name) else {
+    pub fn extract(&mut self, name: NameId) -> (HolderTransfer, Vec<QueuedWaiter<T>>) {
+        let Some(state) = self.locks.remove(&name) else {
             return (HolderTransfer::default(), Vec::new());
         };
         let holders = HolderTransfer {
@@ -310,14 +310,11 @@ impl<T> LockTable<T> {
     }
 
     /// Installs holders that arrived with a migrating object.
-    pub fn install(&mut self, name: &str, holders: HolderTransfer) {
+    pub fn install(&mut self, name: NameId, holders: HolderTransfer) {
         if holders.stay_holders.is_empty() && holders.move_holder.is_none() {
             return;
         }
-        let state = self
-            .locks
-            .entry(name.to_owned())
-            .or_insert_with(LockState::new);
+        let state = self.locks.entry(name).or_insert_with(LockState::new);
         state
             .stay_holders
             .extend(holders.stay_holders.iter().map(|r| NodeId::from_raw(*r)));
@@ -325,8 +322,8 @@ impl<T> LockTable<T> {
     }
 
     /// Whether `client` currently holds a lock on `name`.
-    pub fn holds(&self, name: &str, client: NodeId) -> Option<LockKind> {
-        let state = self.locks.get(name)?;
+    pub fn holds(&self, name: NameId, client: NodeId) -> Option<LockKind> {
+        let state = self.locks.get(&name)?;
         if state.stay_holders.contains(&client) {
             Some(LockKind::Stay)
         } else if state.move_holder == Some(client) {
@@ -337,8 +334,8 @@ impl<T> LockTable<T> {
     }
 
     /// Number of queued waiters for `name`.
-    pub fn queue_len(&self, name: &str) -> usize {
-        self.locks.get(name).map_or(0, |s| s.queue.len())
+    pub fn queue_len(&self, name: NameId) -> usize {
+        self.locks.get(&name).map_or(0, |s| s.queue.len())
     }
 }
 
@@ -354,6 +351,8 @@ mod tests {
 
     const HERE: NodeId = NodeId::from_raw(0);
     const ELSEWHERE: NodeId = NodeId::from_raw(9);
+    /// The object under test (O), as an interned id.
+    const O: NameId = NameId::from_raw(0);
 
     fn client(i: u32) -> NodeId {
         NodeId::from_raw(100 + i)
@@ -363,12 +362,12 @@ mod tests {
     fn stay_when_target_is_here_move_otherwise() {
         let mut t: LockTable<u32> = LockTable::new();
         assert_eq!(
-            t.request("o", client(1), HERE, HERE, 1),
+            t.request(O, client(1), HERE, HERE, 1),
             Request::Granted(LockKind::Stay)
         );
-        t.release("o", client(1), HERE);
+        t.release(O, client(1), HERE);
         assert_eq!(
-            t.request("o", client(2), ELSEWHERE, HERE, 2),
+            t.request(O, client(2), ELSEWHERE, HERE, 2),
             Request::Granted(LockKind::Move)
         );
     }
@@ -377,47 +376,44 @@ mod tests {
     fn stay_locks_are_shared() {
         let mut t: LockTable<u32> = LockTable::new();
         assert_eq!(
-            t.request("o", client(1), HERE, HERE, 1),
+            t.request(O, client(1), HERE, HERE, 1),
             Request::Granted(LockKind::Stay)
         );
         assert_eq!(
-            t.request("o", client(2), HERE, HERE, 2),
+            t.request(O, client(2), HERE, HERE, 2),
             Request::Granted(LockKind::Stay)
         );
-        assert_eq!(t.holds("o", client(1)), Some(LockKind::Stay));
-        assert_eq!(t.holds("o", client(2)), Some(LockKind::Stay));
+        assert_eq!(t.holds(O, client(1)), Some(LockKind::Stay));
+        assert_eq!(t.holds(O, client(2)), Some(LockKind::Stay));
     }
 
     #[test]
     fn move_lock_is_exclusive() {
         let mut t: LockTable<u32> = LockTable::new();
         assert_eq!(
-            t.request("o", client(1), ELSEWHERE, HERE, 1),
+            t.request(O, client(1), ELSEWHERE, HERE, 1),
             Request::Granted(LockKind::Move)
         );
-        assert_eq!(t.request("o", client(2), HERE, HERE, 2), Request::Queued);
-        assert_eq!(
-            t.request("o", client(3), ELSEWHERE, HERE, 3),
-            Request::Queued
-        );
-        let grants = t.release("o", client(1), HERE);
+        assert_eq!(t.request(O, client(2), HERE, HERE, 2), Request::Queued);
+        assert_eq!(t.request(O, client(3), ELSEWHERE, HERE, 3), Request::Queued);
+        let grants = t.release(O, client(1), HERE);
         // Unfair policy: the stay waiter (client 2) is granted first even
         // though the move waiter may have arrived earlier elsewhere in the
         // queue; then no move grant because a reader now holds the lock.
         assert_eq!(grants.len(), 1);
         assert_eq!(grants[0].client, client(2));
         assert_eq!(grants[0].kind, LockKind::Stay);
-        assert_eq!(t.queue_len("o"), 1);
+        assert_eq!(t.queue_len(O), 1);
     }
 
     #[test]
     fn unfair_policy_grants_all_stays_before_any_move() {
         let mut t: LockTable<u32> = LockTable::new();
-        t.request("o", client(1), ELSEWHERE, HERE, 1); // move, granted
-        t.request("o", client(2), ELSEWHERE, HERE, 2); // move, queued
-        t.request("o", client(3), HERE, HERE, 3); // stay, queued (behind move)
-        t.request("o", client(4), HERE, HERE, 4); // stay, queued
-        let grants = t.release("o", client(1), HERE);
+        t.request(O, client(1), ELSEWHERE, HERE, 1); // move, granted
+        t.request(O, client(2), ELSEWHERE, HERE, 2); // move, queued
+        t.request(O, client(3), HERE, HERE, 3); // stay, queued (behind move)
+        t.request(O, client(4), HERE, HERE, 4); // stay, queued
+        let grants = t.release(O, client(1), HERE);
         let kinds: Vec<_> = grants.iter().map(|g| g.kind).collect();
         assert_eq!(kinds, vec![LockKind::Stay, LockKind::Stay]);
         let clients: Vec<_> = grants.iter().map(|g| g.client).collect();
@@ -427,15 +423,15 @@ mod tests {
     #[test]
     fn fair_policy_respects_arrival_order() {
         let mut t: LockTable<u32> = LockTable::fair();
-        t.request("o", client(1), ELSEWHERE, HERE, 1); // move, granted
-        t.request("o", client(2), ELSEWHERE, HERE, 2); // move, queued
-        t.request("o", client(3), HERE, HERE, 3); // stay, queued behind it
-        let grants = t.release("o", client(1), HERE);
+        t.request(O, client(1), ELSEWHERE, HERE, 1); // move, granted
+        t.request(O, client(2), ELSEWHERE, HERE, 2); // move, queued
+        t.request(O, client(3), HERE, HERE, 3); // stay, queued behind it
+        let grants = t.release(O, client(1), HERE);
         // Fair: the earlier move request wins; the stay waits.
         assert_eq!(grants.len(), 1);
         assert_eq!(grants[0].client, client(2));
         assert_eq!(grants[0].kind, LockKind::Move);
-        let grants = t.release("o", client(2), HERE);
+        let grants = t.release(O, client(2), HERE);
         assert_eq!(grants.len(), 1);
         assert_eq!(grants[0].kind, LockKind::Stay);
     }
@@ -443,22 +439,22 @@ mod tests {
     #[test]
     fn fair_mode_arriving_stay_queues_behind_pending_move() {
         let mut t: LockTable<u32> = LockTable::fair();
-        t.request("o", client(1), HERE, HERE, 1); // stay granted
-        t.request("o", client(2), ELSEWHERE, HERE, 2); // move queued (stay holder)
-        assert_eq!(t.request("o", client(3), HERE, HERE, 3), Request::Queued);
-        let grants = t.release("o", client(1), HERE);
+        t.request(O, client(1), HERE, HERE, 1); // stay granted
+        t.request(O, client(2), ELSEWHERE, HERE, 2); // move queued (stay holder)
+        assert_eq!(t.request(O, client(3), HERE, HERE, 3), Request::Queued);
+        let grants = t.release(O, client(1), HERE);
         assert_eq!(grants[0].kind, LockKind::Move);
     }
 
     #[test]
     fn unfair_mode_arriving_stay_jumps_pending_move() {
         let mut t: LockTable<u32> = LockTable::new();
-        t.request("o", client(1), HERE, HERE, 1); // stay granted
-        t.request("o", client(2), ELSEWHERE, HERE, 2); // move queued
-                                                       // The paper's unfairness: a new stay request overtakes the queued
-                                                       // move because the object is already where it wants it.
+        t.request(O, client(1), HERE, HERE, 1); // stay granted
+        t.request(O, client(2), ELSEWHERE, HERE, 2); // move queued
+                                                     // The paper's unfairness: a new stay request overtakes the queued
+                                                     // move because the object is already where it wants it.
         assert_eq!(
-            t.request("o", client(3), HERE, HERE, 3),
+            t.request(O, client(3), HERE, HERE, 3),
             Request::Granted(LockKind::Stay)
         );
     }
@@ -466,11 +462,11 @@ mod tests {
     #[test]
     fn move_granted_once_all_stays_released() {
         let mut t: LockTable<u32> = LockTable::new();
-        t.request("o", client(1), HERE, HERE, 1);
-        t.request("o", client(2), HERE, HERE, 2);
-        t.request("o", client(3), ELSEWHERE, HERE, 3);
-        assert!(t.release("o", client(1), HERE).is_empty());
-        let grants = t.release("o", client(2), HERE);
+        t.request(O, client(1), HERE, HERE, 1);
+        t.request(O, client(2), HERE, HERE, 2);
+        t.request(O, client(3), ELSEWHERE, HERE, 3);
+        assert!(t.release(O, client(1), HERE).is_empty());
+        let grants = t.release(O, client(2), HERE);
         assert_eq!(grants.len(), 1);
         assert_eq!(grants[0].kind, LockKind::Move);
         assert_eq!(grants[0].client, client(3));
@@ -479,32 +475,32 @@ mod tests {
     #[test]
     fn extract_and_install_carry_holders() {
         let mut t: LockTable<u32> = LockTable::new();
-        t.request("o", client(1), HERE, HERE, 1);
-        t.request("o", client(2), ELSEWHERE, HERE, 2); // queued waiter
-        let (holders, waiters) = t.extract("o");
+        t.request(O, client(1), HERE, HERE, 1);
+        t.request(O, client(2), ELSEWHERE, HERE, 2); // queued waiter
+        let (holders, waiters) = t.extract(O);
         assert_eq!(holders.stay_holders, vec![client(1).as_raw()]);
         assert_eq!(waiters.len(), 1);
         assert_eq!(waiters[0].payload, 2);
         assert_eq!(waiters[0].client, client(2));
         assert_eq!(waiters[0].target, ELSEWHERE);
-        assert_eq!(t.holds("o", client(1)), None);
+        assert_eq!(t.holds(O, client(1)), None);
 
         let mut t2: LockTable<u32> = LockTable::new();
-        t2.install("o", holders);
-        assert_eq!(t2.holds("o", client(1)), Some(LockKind::Stay));
+        t2.install(O, holders);
+        assert_eq!(t2.holds(O, client(1)), Some(LockKind::Stay));
     }
 
     #[test]
     fn release_of_unheld_lock_is_harmless() {
         let mut t: LockTable<u32> = LockTable::new();
-        assert!(t.release("o", client(1), HERE).is_empty());
+        assert!(t.release(O, client(1), HERE).is_empty());
     }
 
     #[test]
     fn idle_entries_are_garbage_collected() {
         let mut t: LockTable<u32> = LockTable::new();
-        t.request("o", client(1), HERE, HERE, 1);
-        t.release("o", client(1), HERE);
+        t.request(O, client(1), HERE, HERE, 1);
+        t.release(O, client(1), HERE);
         assert!(t.locks.is_empty(), "no residual state");
     }
 }

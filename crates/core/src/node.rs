@@ -7,12 +7,17 @@
 //! binds are client-side protocol engines (see [`crate::engine`]) driven by
 //! RMI replies — exactly the paper's "mobility attributes boil down to RMI
 //! calls".
+//!
+//! The service and its method names are interned once at construction
+//! ([`ProtoIds`]); steady-state dispatch compares 4-byte [`NameId`]s, and
+//! every internal table (hosted objects, registry, locks, parked finds) is
+//! keyed by ids rather than strings.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
 use bytes::Bytes;
-use mage_rmi::{App, CallOutcome, Env, Fault, InboundCall, ReplyHandle};
+use mage_rmi::{App, CallOutcome, Env, Fault, InboundCall, NameId, ReplyHandle, SymbolTable};
 use mage_sim::{NodeId, OpId, SimDuration};
 
 use crate::admission::Quotas;
@@ -22,7 +27,7 @@ use crate::engine::{MoveOrigin, Task};
 use crate::lock::LockTable;
 use crate::object::{MobileEnv, MobileObject};
 use crate::proto::{self, methods, Outcome};
-use crate::registry::{class_key, Registry, CLASS_PREFIX};
+use crate::registry::{CompKey, Kind, Registry};
 use crate::security::TrustPolicy;
 
 /// Tuning knobs for one namespace's MAGE runtime.
@@ -61,10 +66,42 @@ impl Default for NodeConfig {
     }
 }
 
+/// Pre-interned ids of the system service and its methods, so the dispatch
+/// hot path never compares strings.
+pub(crate) struct ProtoIds {
+    pub service: NameId,
+    pub find: NameId,
+    pub lock: NameId,
+    pub unlock: NameId,
+    pub invoke: NameId,
+    pub move_to: NameId,
+    pub receive: NameId,
+    pub receive_class: NameId,
+    pub fetch_class: NameId,
+    pub instantiate: NameId,
+}
+
+impl ProtoIds {
+    fn new(syms: &SymbolTable) -> Self {
+        ProtoIds {
+            service: syms.intern(proto::SERVICE),
+            find: syms.intern(methods::FIND),
+            lock: syms.intern(methods::LOCK),
+            unlock: syms.intern(methods::UNLOCK),
+            invoke: syms.intern(methods::INVOKE),
+            move_to: syms.intern(methods::MOVE_TO),
+            receive: syms.intern(methods::RECEIVE),
+            receive_class: syms.intern(methods::RECEIVE_CLASS),
+            fetch_class: syms.intern(methods::FETCH_CLASS),
+            instantiate: syms.intern(methods::INSTANTIATE),
+        }
+    }
+}
+
 /// An object hosted in this namespace.
 pub(crate) struct Hosted {
     pub object: Box<dyn MobileObject>,
-    pub class: String,
+    pub class: NameId,
     pub visibility: Visibility,
     pub home: NodeId,
     pub version: u64,
@@ -77,10 +114,12 @@ pub(crate) struct Hosted {
 pub struct MageNode {
     pub(crate) name: String,
     pub(crate) lib: Arc<ClassLibrary>,
+    pub(crate) syms: Arc<SymbolTable>,
+    pub(crate) ids: ProtoIds,
     pub(crate) config: NodeConfig,
     pub(crate) peers: BTreeMap<String, NodeId>,
-    pub(crate) classes: BTreeSet<String>,
-    pub(crate) objects: BTreeMap<String, Hosted>,
+    pub(crate) classes: BTreeSet<NameId>,
+    pub(crate) objects: BTreeMap<NameId, Hosted>,
     pub(crate) registry: Registry,
     pub(crate) locks: LockTable<ReplyHandle>,
     pub(crate) tasks: HashMap<u64, Task>,
@@ -91,7 +130,7 @@ pub struct MageNode {
     /// move settles (with the destination) or aborts (with this node).
     /// Concurrent clients may legitimately look an object up mid-move —
     /// the pipelined session API makes that interleaving routine.
-    pub(crate) transit_finds: BTreeMap<String, Vec<TransitFindWaiter>>,
+    pub(crate) transit_finds: BTreeMap<NameId, Vec<TransitFindWaiter>>,
 }
 
 /// A find parked while its object is in transit: either a remote call to
@@ -104,7 +143,8 @@ pub(crate) enum TransitFindWaiter {
 }
 
 impl MageNode {
-    /// Creates a node named `name` over the world-wide class library.
+    /// Creates a node named `name` over the world-wide class library and
+    /// symbol table.
     ///
     /// `peers` maps namespace display names to node ids (used to resolve
     /// mobile-agent itinerary hops).
@@ -113,15 +153,19 @@ impl MageNode {
         lib: Arc<ClassLibrary>,
         peers: BTreeMap<String, NodeId>,
         config: NodeConfig,
+        syms: Arc<SymbolTable>,
     ) -> Self {
         let config_locks = if config.fair_locks {
             LockTable::fair()
         } else {
             LockTable::new()
         };
+        let ids = ProtoIds::new(&syms);
         MageNode {
             name: name.into(),
             lib,
+            syms,
+            ids,
             config,
             peers,
             classes: BTreeSet::new(),
@@ -136,15 +180,21 @@ impl MageNode {
         }
     }
 
-    /// Whether this namespace currently holds the named component (an
-    /// object not in transit, or a cached class under the `class:` prefix).
-    pub(crate) fn has_component(&self, name: &str) -> bool {
-        if let Some(class) = name.strip_prefix(CLASS_PREFIX) {
-            self.classes.contains(class)
-        } else {
-            self.objects
-                .get(name)
-                .is_some_and(|hosted| !hosted.in_transit)
+    /// Resolves an interned name for error messages and traces (allocates;
+    /// cold paths only).
+    pub(crate) fn name_str(&self, id: NameId) -> String {
+        self.syms.resolve_lossy(id).to_string()
+    }
+
+    /// Whether this namespace currently holds the keyed component (an
+    /// object not in transit, or a cached class).
+    pub(crate) fn has_component(&self, key: CompKey) -> bool {
+        match key.kind {
+            Kind::Class => self.classes.contains(&key.id),
+            Kind::Object => self
+                .objects
+                .get(&key.id)
+                .is_some_and(|hosted| !hosted.in_transit),
         }
     }
 
@@ -172,24 +222,25 @@ impl MageNode {
             Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
         };
         let me = env.node();
-        if self.has_component(&args.name) {
+        if self.has_component(args.key) {
             return reply_ok(&me.as_raw());
         }
-        if self
-            .objects
-            .get(&args.name)
-            .is_some_and(|hosted| hosted.in_transit)
+        if args.key.kind == Kind::Object
+            && self
+                .objects
+                .get(&args.key.id)
+                .is_some_and(|hosted| hosted.in_transit)
         {
             // Mid-move: park the find and answer once the transfer settles
             // (forwarding address is only valid after the receive ack).
             self.transit_finds
-                .entry(args.name)
+                .entry(args.key.id)
                 .or_default()
                 .push(TransitFindWaiter::Reply(call.handle()));
             return CallOutcome::Deferred;
         }
-        let Some(next) = self.registry.lookup(&args.name) else {
-            return CallOutcome::Reply(Err(Fault::NotBound(args.name)));
+        let Some(next) = self.registry.lookup(args.key) else {
+            return CallOutcome::Reply(Err(Fault::NotBound(args.key.display(&self.syms))));
         };
         if next == me
             || args.visited.contains(&next.as_raw())
@@ -197,20 +248,20 @@ impl MageNode {
         {
             // Stale self-pointing entry, a cycle, or an over-long chain:
             // the component is unreachable from here.
-            return CallOutcome::Reply(Err(Fault::NotBound(args.name)));
+            return CallOutcome::Reply(Err(Fault::NotBound(args.key.display(&self.syms))));
         }
         let mut visited = args.visited;
         visited.push(me.as_raw());
         let token = self.spawn_task(Task::FwdFind {
             reply: call.handle(),
-            name: args.name.clone(),
+            key: args.key,
         });
         env.call(
             next,
-            proto::SERVICE,
-            methods::FIND,
+            self.ids.service,
+            self.ids.find,
             mage_codec::to_bytes(&proto::FindArgs {
-                name: args.name,
+                key: args.key,
                 visited,
             })
             .expect("find args encode"),
@@ -224,15 +275,15 @@ impl MageNode {
             Ok(args) => args,
             Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
         };
-        if !self.has_component(&args.name) {
-            return CallOutcome::Reply(Err(Fault::NotBound(args.name)));
+        if !self.has_component(CompKey::object(args.name)) {
+            return CallOutcome::Reply(Err(Fault::NotBound(self.name_str(args.name))));
         }
         let me = env.node();
         let client = NodeId::from_raw(args.client);
         let target = NodeId::from_raw(args.target);
         match self
             .locks
-            .request(&args.name, client, target, me, call.handle())
+            .request(args.name, client, target, me, call.handle())
         {
             crate::lock::Request::Granted(kind) => reply_ok(&kind),
             crate::lock::Request::Queued => CallOutcome::Deferred,
@@ -247,7 +298,7 @@ impl MageNode {
         let me = env.node();
         let grants = self
             .locks
-            .release(&args.name, NodeId::from_raw(args.client), me);
+            .release(args.name, NodeId::from_raw(args.client), me);
         for grant in grants {
             let payload = mage_codec::to_bytes(&grant.kind).expect("lock kind encodes");
             env.reply(grant.waiter, Ok(payload));
@@ -261,7 +312,8 @@ impl MageNode {
             Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
         };
         env.charge(self.config.invoke_overhead);
-        let result = self.invoke_local(env, &args.name, &args.method, &args.args);
+        let method = self.syms.resolve_lossy(args.method);
+        let result = self.invoke_local(env, args.name, &method, &args.args);
         CallOutcome::Reply(result)
     }
 
@@ -270,17 +322,17 @@ impl MageNode {
     pub(crate) fn invoke_local(
         &mut self,
         env: &mut Env<'_, '_>,
-        name: &str,
+        name: NameId,
         method: &str,
         args: &[u8],
     ) -> Result<Vec<u8>, Fault> {
-        let Some(hosted) = self.objects.get(name) else {
-            return Err(Fault::NotBound(name.to_owned()));
+        let Some(hosted) = self.objects.get(&name) else {
+            return Err(Fault::NotBound(self.name_str(name)));
         };
         if hosted.in_transit {
-            return Err(Fault::NotBound(name.to_owned()));
+            return Err(Fault::NotBound(self.name_str(name)));
         }
-        let mut hosted = self.objects.remove(name).expect("checked above");
+        let mut hosted = self.objects.remove(&name).expect("checked above");
         let node_name = self.name.clone();
         let (result, consumed, hop) = {
             let mut menv = MobileEnv::new(env.node(), &node_name, env.now(), env.rng());
@@ -290,16 +342,19 @@ impl MageNode {
             (result, consumed, hop)
         };
         env.charge(consumed);
-        self.objects.insert(name.to_owned(), hosted);
+        self.objects.insert(name, hosted);
         if let Some(dest_name) = hop {
             match self.peers.get(&dest_name).copied() {
                 Some(dest) if dest != env.node() => {
-                    self.start_move(env, name.to_owned(), dest, MoveOrigin::Autonomous);
+                    self.start_move(env, name, dest, MoveOrigin::Autonomous);
                 }
                 Some(_) => {} // hop to self: nothing to do
-                None => env.note(format!(
-                    "agent {name} requested hop to unknown namespace {dest_name:?}"
-                )),
+                None => {
+                    let name = self.name_str(name);
+                    env.note(format!(
+                        "agent {name} requested hop to unknown namespace {dest_name:?}"
+                    ));
+                }
             }
         }
         result
@@ -312,16 +367,17 @@ impl MageNode {
         };
         let dest = NodeId::from_raw(args.dest);
         if dest == env.node() {
-            if self.has_component(&args.name) {
+            if self.has_component(CompKey::object(args.name)) {
                 return reply_ok(&args.dest);
             }
-            return CallOutcome::Reply(Err(Fault::NotBound(args.name)));
+            return CallOutcome::Reply(Err(Fault::NotBound(self.name_str(args.name))));
         }
         match self.objects.get(&args.name) {
-            None => CallOutcome::Reply(Err(Fault::NotBound(args.name))),
-            Some(hosted) if hosted.in_transit => {
-                CallOutcome::Reply(Err(Fault::App(format!("{} is in transit", args.name))))
-            }
+            None => CallOutcome::Reply(Err(Fault::NotBound(self.name_str(args.name)))),
+            Some(hosted) if hosted.in_transit => CallOutcome::Reply(Err(Fault::App(format!(
+                "{} is in transit",
+                self.name_str(args.name)
+            )))),
             Some(_) => {
                 self.start_move(env, args.name, dest, MoveOrigin::Reply(call.handle()));
                 CallOutcome::Deferred
@@ -352,11 +408,12 @@ impl MageNode {
             ))));
         }
         if !self.classes.contains(&args.class) {
-            return CallOutcome::Reply(Err(Fault::ClassMissing(args.class)));
+            return CallOutcome::Reply(Err(Fault::ClassMissing(self.name_str(args.class))));
         }
-        let def = match self.lib.get(&args.class) {
+        let class_name = self.syms.resolve_lossy(args.class);
+        let def = match self.lib.get(&class_name) {
             Some(def) => def,
-            None => return CallOutcome::Reply(Err(Fault::ClassMissing(args.class))),
+            None => return CallOutcome::Reply(Err(Fault::ClassMissing(class_name.to_string()))),
         };
         let object = match def.instantiate(&args.state) {
             Ok(object) => object,
@@ -364,7 +421,7 @@ impl MageNode {
         };
         env.charge(self.config.reify_cost);
         self.objects.insert(
-            args.name.clone(),
+            args.name,
             Hosted {
                 object,
                 class: args.class,
@@ -374,9 +431,9 @@ impl MageNode {
                 in_transit: false,
             },
         );
-        self.locks.install(&args.name, args.locks);
+        self.locks.install(args.name, args.locks);
         let me = env.node();
-        self.registry.update(args.name, me);
+        self.registry.update(CompKey::object(args.name), me);
         reply_ok(&())
     }
 
@@ -399,7 +456,7 @@ impl MageNode {
         if args.has_static_fields && !self.config.allow_static_classes {
             return CallOutcome::Reply(Err(Fault::AccessDenied(format!(
                 "class {} has static fields; replication would fork static state",
-                args.class
+                self.name_str(args.class)
             ))));
         }
         if self.classes.contains(&args.class) {
@@ -411,13 +468,14 @@ impl MageNode {
                 self.name
             ))));
         }
-        if !self.lib.contains(&args.class) {
-            return CallOutcome::Reply(Err(Fault::ClassMissing(args.class)));
+        let class_name = self.syms.resolve_lossy(args.class);
+        if !self.lib.contains(&class_name) {
+            return CallOutcome::Reply(Err(Fault::ClassMissing(class_name.to_string())));
         }
         env.charge(env.cost().class_load(args.code.len() as u64));
-        self.classes.insert(args.class.clone());
+        self.classes.insert(args.class);
         let me = env.node();
-        self.registry.update(class_key(&args.class), me);
+        self.registry.update(CompKey::class(args.class), me);
         reply_ok(&())
     }
 
@@ -427,13 +485,14 @@ impl MageNode {
             Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
         };
         if !self.classes.contains(&args.class) {
-            return CallOutcome::Reply(Err(Fault::ClassMissing(args.class)));
+            return CallOutcome::Reply(Err(Fault::ClassMissing(self.name_str(args.class))));
         }
-        let Some(def) = self.lib.get(&args.class) else {
-            return CallOutcome::Reply(Err(Fault::ClassMissing(args.class)));
+        let class_name = self.syms.resolve_lossy(args.class);
+        let Some(def) = self.lib.get(&class_name) else {
+            return CallOutcome::Reply(Err(Fault::ClassMissing(class_name.to_string())));
         };
         reply_ok(&proto::ReceiveClassArgs {
-            class: def.name().to_owned(),
+            class: args.class,
             code: vec![0u8; def.code_size() as usize],
             has_static_fields: def.has_static_fields(),
         })
@@ -462,7 +521,7 @@ impl MageNode {
             ))));
         }
         if !self.classes.contains(&args.class) {
-            return CallOutcome::Reply(Err(Fault::ClassMissing(args.class)));
+            return CallOutcome::Reply(Err(Fault::ClassMissing(self.name_str(args.class))));
         }
         // Factory rebind semantics: a fresh instance replaces any previous
         // object registered under this name (like an RMI registry rebind) —
@@ -470,12 +529,13 @@ impl MageNode {
         if self.objects.get(&args.name).is_some_and(|h| h.in_transit) {
             return CallOutcome::Reply(Err(Fault::App(format!(
                 "object {} is in transit",
-                args.name
+                self.name_str(args.name)
             ))));
         }
-        let def = match self.lib.get(&args.class) {
+        let class_name = self.syms.resolve_lossy(args.class);
+        let def = match self.lib.get(&class_name) {
             Some(def) => def,
-            None => return CallOutcome::Reply(Err(Fault::ClassMissing(args.class))),
+            None => return CallOutcome::Reply(Err(Fault::ClassMissing(class_name.to_string()))),
         };
         let object = match def.instantiate(&args.state) {
             Ok(object) => object,
@@ -484,7 +544,7 @@ impl MageNode {
         env.charge(self.config.reify_cost);
         let me = env.node();
         self.objects.insert(
-            args.name.clone(),
+            args.name,
             Hosted {
                 object,
                 class: args.class,
@@ -494,7 +554,7 @@ impl MageNode {
                 in_transit: false,
             },
         );
-        self.registry.update(args.name, me);
+        self.registry.update(CompKey::object(args.name), me);
         reply_ok(&())
     }
 
@@ -509,9 +569,10 @@ impl MageNode {
                     self.complete(env, op, Err(err));
                     return;
                 }
-                self.classes.insert(class.clone());
+                let class_id = self.syms.intern(&class);
+                self.classes.insert(class_id);
                 let me = env.node();
-                self.registry.update(class_key(&class), me);
+                self.registry.update(CompKey::class(class_id), me);
                 self.complete(
                     env,
                     op,
@@ -538,7 +599,8 @@ impl MageNode {
                 name,
                 home_hint,
             } => {
-                self.start_client_find(env, OpId::from_raw(op), name, home_hint);
+                let key = CompKey::parse(&self.syms, &name);
+                self.start_client_find(env, OpId::from_raw(op), key, home_hint);
             }
             proto::Command::Lock {
                 op,
@@ -546,6 +608,7 @@ impl MageNode {
                 target,
                 home_hint,
             } => {
+                let name = self.syms.intern(&name);
                 self.start_client_lock(env, OpId::from_raw(op), name, target, home_hint);
             }
             proto::Command::Unlock {
@@ -553,6 +616,7 @@ impl MageNode {
                 name,
                 home_hint,
             } => {
+                let name = self.syms.intern(&name);
                 self.start_client_unlock(env, OpId::from_raw(op), name, home_hint);
             }
             proto::Command::Execute { op, spec } => {
@@ -617,14 +681,16 @@ impl MageNode {
         visibility: Visibility,
         replace: bool,
     ) -> Result<Outcome, crate::error::MageError> {
-        if !self.classes.contains(class) {
+        let class_id = self.syms.intern(class);
+        if !self.classes.contains(&class_id) {
             return Err(crate::error::MageError::ClassUnavailable(class.to_owned()));
         }
         let def = self
             .lib
             .get(class)
             .ok_or_else(|| crate::error::MageError::ClassUnavailable(class.to_owned()))?;
-        if let Some(existing) = self.objects.get(name) {
+        let name_id = self.syms.intern(name);
+        if let Some(existing) = self.objects.get(&name_id) {
             if !replace {
                 return Err(crate::error::MageError::BadPlan(format!(
                     "object {name} already exists here"
@@ -641,17 +707,17 @@ impl MageNode {
             .map_err(|f| crate::error::MageError::Rmi(f.to_string()))?;
         let me = env.node();
         self.objects.insert(
-            name.to_owned(),
+            name_id,
             Hosted {
                 object,
-                class: class.to_owned(),
+                class: class_id,
                 visibility,
                 home: me,
                 version: 0,
                 in_transit: false,
             },
         );
-        self.registry.update(name.to_owned(), me);
+        self.registry.update(CompKey::object(name_id), me);
         Ok(Outcome {
             location: me.as_raw(),
             ..Outcome::default()
@@ -672,23 +738,33 @@ impl App for MageNode {
     }
 
     fn on_call(&mut self, env: &mut Env<'_, '_>, from: NodeId, call: InboundCall) -> CallOutcome {
-        if call.object() != proto::SERVICE {
+        if call.object_id() != self.ids.service {
             return CallOutcome::Unhandled;
         }
-        match call.method() {
-            methods::FIND => self.handle_find(env, call),
-            methods::LOCK => self.handle_lock(env, call),
-            methods::UNLOCK => self.handle_unlock(env, call),
-            methods::INVOKE => self.handle_invoke(env, call),
-            methods::MOVE_TO => self.handle_move_to(env, call),
-            methods::RECEIVE => self.handle_receive(env, from, call),
-            methods::RECEIVE_CLASS => self.handle_receive_class(env, from, call),
-            methods::FETCH_CLASS => self.handle_fetch_class(call),
-            methods::INSTANTIATE => self.handle_instantiate(env, from, call),
-            other => CallOutcome::Reply(Err(Fault::NoSuchMethod {
+        let method = call.method_id();
+        if method == self.ids.find {
+            self.handle_find(env, call)
+        } else if method == self.ids.lock {
+            self.handle_lock(env, call)
+        } else if method == self.ids.unlock {
+            self.handle_unlock(env, call)
+        } else if method == self.ids.invoke {
+            self.handle_invoke(env, call)
+        } else if method == self.ids.move_to {
+            self.handle_move_to(env, call)
+        } else if method == self.ids.receive {
+            self.handle_receive(env, from, call)
+        } else if method == self.ids.receive_class {
+            self.handle_receive_class(env, from, call)
+        } else if method == self.ids.fetch_class {
+            self.handle_fetch_class(call)
+        } else if method == self.ids.instantiate {
+            self.handle_instantiate(env, from, call)
+        } else {
+            CallOutcome::Reply(Err(Fault::NoSuchMethod {
                 object: proto::SERVICE.to_owned(),
-                method: other.to_owned(),
-            })),
+                method: call.method().to_owned(),
+            }))
         }
     }
 
@@ -696,7 +772,7 @@ impl App for MageNode {
         &mut self,
         env: &mut Env<'_, '_>,
         token: u64,
-        result: Result<Vec<u8>, mage_rmi::RmiError>,
+        result: Result<Bytes, mage_rmi::RmiError>,
     ) {
         self.step_task(env, token, result);
     }
@@ -718,7 +794,7 @@ impl MageNode {
     pub(crate) fn start_move(
         &mut self,
         env: &mut Env<'_, '_>,
-        name: String,
+        name: NameId,
         dest: NodeId,
         origin: MoveOrigin,
     ) {

@@ -5,11 +5,13 @@
 //! object, [`SERVICE`], reachable on every node. Mobility attributes
 //! "boil down to RMI calls" (§4.2) against these methods.
 
+use mage_rmi::NameId;
 use serde::{Deserialize, Serialize};
 
 use crate::component::Visibility;
 use crate::error::MageError;
 use crate::lock::{HolderTransfer, LockKind};
+use crate::registry::CompKey;
 
 /// The name every MAGE node binds its system service under.
 pub const SERVICE: &str = "mage";
@@ -39,8 +41,8 @@ pub mod methods {
 /// Arguments of [`methods::FIND`]. Reply: `u32` (raw node id).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FindArgs {
-    /// Component name (`class:`-prefixed for classes).
-    pub name: String,
+    /// Component key (kind tag + interned name id).
+    pub key: CompKey,
     /// Nodes already consulted, for cycle detection.
     pub visited: Vec<u32>,
 }
@@ -48,8 +50,8 @@ pub struct FindArgs {
 /// Arguments of [`methods::LOCK`]. Reply: [`LockKind`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LockArgs {
-    /// Object to lock.
-    pub name: String,
+    /// Interned name of the object to lock.
+    pub name: NameId,
     /// Raw id of the requesting client's namespace.
     pub client: u32,
     /// Raw id of the attribute's computation target (decides stay vs move).
@@ -59,8 +61,8 @@ pub struct LockArgs {
 /// Arguments of [`methods::UNLOCK`]. Reply: `()`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UnlockArgs {
-    /// Object to unlock.
-    pub name: String,
+    /// Interned name of the object to unlock.
+    pub name: NameId,
     /// Raw id of the releasing client's namespace.
     pub client: u32,
 }
@@ -68,10 +70,10 @@ pub struct UnlockArgs {
 /// Arguments of [`methods::INVOKE`]. Reply: `Vec<u8>` (marshalled result).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InvokeArgs {
-    /// Target object.
-    pub name: String,
-    /// Method to invoke.
-    pub method: String,
+    /// Interned name of the target object.
+    pub name: NameId,
+    /// Interned method name.
+    pub method: NameId,
     /// Marshalled arguments.
     pub args: Vec<u8>,
 }
@@ -79,8 +81,8 @@ pub struct InvokeArgs {
 /// Arguments of [`methods::MOVE_TO`]. Reply: `u32` (destination raw id).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MoveToArgs {
-    /// Object to migrate.
-    pub name: String,
+    /// Interned name of the object to migrate.
+    pub name: NameId,
     /// Raw id of the destination namespace.
     pub dest: u32,
 }
@@ -88,11 +90,12 @@ pub struct MoveToArgs {
 /// Arguments of [`methods::RECEIVE`]. Reply: `()`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReceiveArgs {
-    /// Object name.
-    pub name: String,
-    /// Its class (must already be cached at the receiver, else the receiver
-    /// faults `ClassMissing` and the sender pushes the class first).
-    pub class: String,
+    /// Interned object name.
+    pub name: NameId,
+    /// Its interned class name (must already be cached at the receiver,
+    /// else the receiver faults `ClassMissing` and the sender pushes the
+    /// class first).
+    pub class: NameId,
     /// Weak-migration snapshot of the object's heap state.
     pub state: Vec<u8>,
     /// Raw id of the object's origin server.
@@ -108,8 +111,8 @@ pub struct ReceiveArgs {
 /// Arguments of [`methods::RECEIVE_CLASS`]. Reply: `()`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ReceiveClassArgs {
-    /// Class name.
-    pub class: String,
+    /// Interned class name.
+    pub class: NameId,
     /// Simulated class file bytes (size drives transfer and load cost).
     pub code: Vec<u8>,
     /// Whether the class declares static fields (receivers refuse these by
@@ -120,17 +123,18 @@ pub struct ReceiveClassArgs {
 /// Arguments of [`methods::FETCH_CLASS`]. Reply: [`ReceiveClassArgs`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FetchClassArgs {
-    /// Class to pull.
-    pub class: String,
+    /// Interned name of the class to pull.
+    pub class: NameId,
 }
 
 /// Arguments of [`methods::INSTANTIATE`]. Reply: `()`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InstantiateArgs {
-    /// Class to instantiate (must be cached at the receiver).
-    pub class: String,
-    /// Name to register the new object under.
-    pub name: String,
+    /// Interned name of the class to instantiate (must be cached at the
+    /// receiver).
+    pub class: NameId,
+    /// Interned name to register the new object under.
+    pub name: NameId,
     /// Constructor state passed to the class factory.
     pub state: Vec<u8>,
     /// Visibility of the new object.
@@ -383,8 +387,8 @@ mod tests {
     #[test]
     fn receive_args_roundtrip_with_locks() {
         let args = ReceiveArgs {
-            name: "geoData".into(),
-            class: "GeoDataFilterImpl".into(),
+            name: NameId::from_raw(4),
+            class: NameId::from_raw(7),
             state: vec![1, 2, 3],
             home: 0,
             visibility: Visibility::Public,

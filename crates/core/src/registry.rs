@@ -7,27 +7,87 @@
 //! Together the per-node registries form "a global, system-wide namespace
 //! for both mobile objects and classes".
 //!
+//! Entries are keyed by a tagged [`CompKey`] — component kind plus interned
+//! [`NameId`] — so the steady-state lookup is an 8-byte comparison with no
+//! string handling at all. The old `"class:"`-prefixed string keys survive
+//! only at the driver boundary, where [`CompKey::parse`] interns them away.
+//!
 //! This module is the pure data structure; the chain-walking protocol lives
-//! in the node (`crate::node`). Class locations share the namespace under a
-//! `class:` prefix.
+//! in the node (`crate::node`).
 
 use std::collections::BTreeMap;
 
+use mage_rmi::{NameId, SymbolTable};
 use mage_sim::NodeId;
+use serde::{Deserialize, Serialize};
 
-/// Prefix distinguishing class entries from object entries in the shared
-/// namespace.
+/// Prefix distinguishing class entries from object entries in driver-facing
+/// name strings (e.g. `rt.session(..)?.find("class:Filter")`).
 pub const CLASS_PREFIX: &str = "class:";
 
-/// Builds the registry key for a class name.
-pub fn class_key(class: &str) -> String {
-    format!("{CLASS_PREFIX}{class}")
+/// What kind of component a registry entry describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Kind {
+    /// A mobile object.
+    Object,
+    /// A (replicable) class.
+    Class,
+}
+
+/// Tagged registry key: component kind plus interned name.
+///
+/// Replaces the former `class_key` scheme, which built a `"class:"`-
+/// prefixed `String` per lookup; a `CompKey` is `Copy` and costs nothing
+/// to build or compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CompKey {
+    /// Component kind.
+    pub kind: Kind,
+    /// Interned bare name (no prefix).
+    pub id: NameId,
+}
+
+impl CompKey {
+    /// Key for a mobile object.
+    pub fn object(id: NameId) -> Self {
+        CompKey {
+            kind: Kind::Object,
+            id,
+        }
+    }
+
+    /// Key for a class.
+    pub fn class(id: NameId) -> Self {
+        CompKey {
+            kind: Kind::Class,
+            id,
+        }
+    }
+
+    /// Parses a driver-facing name string (`"class:Foo"` or `"bar"`),
+    /// interning the bare name.
+    pub fn parse(syms: &SymbolTable, name: &str) -> Self {
+        match name.strip_prefix(CLASS_PREFIX) {
+            Some(class) => CompKey::class(syms.intern(class)),
+            None => CompKey::object(syms.intern(name)),
+        }
+    }
+
+    /// Renders the driver-facing string form (the inverse of
+    /// [`CompKey::parse`]). Allocates — error paths and display only.
+    pub fn display(&self, syms: &SymbolTable) -> String {
+        let name = syms.resolve_lossy(self.id);
+        match self.kind {
+            Kind::Object => name.to_string(),
+            Kind::Class => format!("{CLASS_PREFIX}{name}"),
+        }
+    }
 }
 
 /// Last-known-location table for mobile components.
 #[derive(Debug, Default, Clone)]
 pub struct Registry {
-    entries: BTreeMap<String, NodeId>,
+    entries: BTreeMap<CompKey, NodeId>,
 }
 
 impl Registry {
@@ -36,20 +96,20 @@ impl Registry {
         Registry::default()
     }
 
-    /// Records that `name` was last seen at `location`, returning the
+    /// Records that `key` was last seen at `location`, returning the
     /// previous entry if any.
-    pub fn update(&mut self, name: impl Into<String>, location: NodeId) -> Option<NodeId> {
-        self.entries.insert(name.into(), location)
+    pub fn update(&mut self, key: CompKey, location: NodeId) -> Option<NodeId> {
+        self.entries.insert(key, location)
     }
 
-    /// The last known location of `name`.
-    pub fn lookup(&self, name: &str) -> Option<NodeId> {
-        self.entries.get(name).copied()
+    /// The last known location of `key`.
+    pub fn lookup(&self, key: CompKey) -> Option<NodeId> {
+        self.entries.get(&key).copied()
     }
 
-    /// Removes the entry for `name`.
-    pub fn remove(&mut self, name: &str) -> Option<NodeId> {
-        self.entries.remove(name)
+    /// Removes the entry for `key`.
+    pub fn remove(&mut self, key: CompKey) -> Option<NodeId> {
+        self.entries.remove(&key)
     }
 
     /// Number of tracked components.
@@ -62,9 +122,9 @@ impl Registry {
         self.entries.is_empty()
     }
 
-    /// Iterates over `(name, location)` pairs in name order.
-    pub fn iter(&self) -> impl Iterator<Item = (&str, NodeId)> {
-        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    /// Iterates over `(key, location)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (CompKey, NodeId)> + '_ {
+        self.entries.iter().map(|(k, v)| (*k, *v))
     }
 }
 
@@ -78,40 +138,63 @@ mod tests {
 
     #[test]
     fn update_and_lookup() {
+        let syms = SymbolTable::new();
+        let geo = CompKey::object(syms.intern("geoData"));
         let mut reg = Registry::new();
-        assert_eq!(reg.lookup("geoData"), None);
-        assert_eq!(reg.update("geoData", n(2)), None);
-        assert_eq!(reg.lookup("geoData"), Some(n(2)));
+        assert_eq!(reg.lookup(geo), None);
+        assert_eq!(reg.update(geo, n(2)), None);
+        assert_eq!(reg.lookup(geo), Some(n(2)));
         // Forwarding address overwritten when the object moves on.
-        assert_eq!(reg.update("geoData", n(3)), Some(n(2)));
-        assert_eq!(reg.lookup("geoData"), Some(n(3)));
+        assert_eq!(reg.update(geo, n(3)), Some(n(2)));
+        assert_eq!(reg.lookup(geo), Some(n(3)));
     }
 
     #[test]
-    fn class_keys_share_the_namespace_without_collision() {
+    fn object_and_class_keys_do_not_collide() {
+        let syms = SymbolTable::new();
+        let id = syms.intern("Filter");
         let mut reg = Registry::new();
-        reg.update("Filter", n(1));
-        reg.update(class_key("Filter"), n(2));
-        assert_eq!(reg.lookup("Filter"), Some(n(1)));
-        assert_eq!(reg.lookup(&class_key("Filter")), Some(n(2)));
+        reg.update(CompKey::object(id), n(1));
+        reg.update(CompKey::class(id), n(2));
+        assert_eq!(reg.lookup(CompKey::object(id)), Some(n(1)));
+        assert_eq!(reg.lookup(CompKey::class(id)), Some(n(2)));
         assert_eq!(reg.len(), 2);
     }
 
     #[test]
+    fn parse_and_display_roundtrip() {
+        let syms = SymbolTable::new();
+        let obj = CompKey::parse(&syms, "geoData");
+        assert_eq!(obj.kind, Kind::Object);
+        assert_eq!(obj.display(&syms), "geoData");
+        let class = CompKey::parse(&syms, "class:Filter");
+        assert_eq!(class.kind, Kind::Class);
+        assert_eq!(class.display(&syms), "class:Filter");
+        // The bare name is interned without the prefix.
+        assert_eq!(syms.lookup("Filter"), Some(class.id));
+        assert_eq!(syms.lookup("class:Filter"), None);
+    }
+
+    #[test]
     fn remove_forgets() {
+        let syms = SymbolTable::new();
+        let x = CompKey::object(syms.intern("x"));
         let mut reg = Registry::new();
-        reg.update("x", n(1));
-        assert_eq!(reg.remove("x"), Some(n(1)));
-        assert_eq!(reg.remove("x"), None);
+        reg.update(x, n(1));
+        assert_eq!(reg.remove(x), Some(n(1)));
+        assert_eq!(reg.remove(x), None);
         assert!(reg.is_empty());
     }
 
     #[test]
-    fn iteration_is_name_ordered() {
+    fn iteration_is_key_ordered() {
+        let syms = SymbolTable::new();
+        let a = CompKey::object(syms.intern("a"));
+        let b = CompKey::object(syms.intern("b"));
         let mut reg = Registry::new();
-        reg.update("b", n(1));
-        reg.update("a", n(2));
-        let names: Vec<_> = reg.iter().map(|(k, _)| k.to_owned()).collect();
-        assert_eq!(names, vec!["a".to_owned(), "b".to_owned()]);
+        reg.update(b, n(1));
+        reg.update(a, n(2));
+        let keys: Vec<_> = reg.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![a, b]);
     }
 }

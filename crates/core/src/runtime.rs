@@ -40,7 +40,7 @@ use std::rc::Rc;
 use std::sync::Arc;
 
 use bytes::Bytes;
-use mage_rmi::{Config as RmiConfig, Endpoint};
+use mage_rmi::{Config as RmiConfig, Endpoint, NameId, SymbolTable};
 use mage_sim::{LinkSpec, Network, NodeId, SimDuration, SimTime, World};
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -53,17 +53,19 @@ use crate::lock::LockKind;
 use crate::node::{MageNode, NodeConfig};
 use crate::pending::Pending;
 use crate::proto::{self, Command, Outcome};
-use crate::registry::class_key;
+use crate::registry::CompKey;
 use crate::session::{BindReceipt, Session, Stub};
 
 /// World-wide deployment knowledge shared by every session: where classes
 /// and objects originate, their visibility, and published load figures.
+/// Keyed by interned component keys / name ids — no string lookups on the
+/// session hot path.
 #[derive(Debug, Default)]
 pub(crate) struct Directory {
-    /// Origin server of each object / `class:`-keyed class.
-    pub homes: BTreeMap<String, NodeId>,
-    /// Declared visibility of each object.
-    pub visibility: BTreeMap<String, Visibility>,
+    /// Origin server of each object or class component.
+    pub homes: BTreeMap<CompKey, NodeId>,
+    /// Declared visibility of each object (by interned name).
+    pub visibility: BTreeMap<NameId, Visibility>,
     /// Synthetic per-node load figures (read by custom attributes).
     pub loads: BTreeMap<NodeId, f64>,
 }
@@ -75,6 +77,8 @@ pub(crate) struct Inner {
     pub world: World,
     pub ids: Arc<BTreeMap<String, NodeId>>,
     pub dir: Directory,
+    /// The world-wide symbol table shared with every node and endpoint.
+    pub syms: Arc<SymbolTable>,
 }
 
 impl Inner {
@@ -200,9 +204,10 @@ impl RuntimeBuilder {
             "a runtime needs at least one namespace"
         );
         let lib = Arc::new(self.lib);
+        let syms = SymbolTable::shared();
         let mut world = World::with_network(self.seed, Network::new(self.link));
         if self.trace {
-            world.trace_mut().enable();
+            world.set_trace_mode(mage_sim::TraceMode::Full);
         }
         let mut ids = BTreeMap::new();
         for (i, name) in self.nodes.iter().enumerate() {
@@ -213,8 +218,17 @@ impl RuntimeBuilder {
             );
         }
         for name in &self.nodes {
-            let node = MageNode::new(name.clone(), Arc::clone(&lib), ids.clone(), self.node);
-            let id = world.add_node(name.clone(), Endpoint::new(node, self.rmi));
+            let node = MageNode::new(
+                name.clone(),
+                Arc::clone(&lib),
+                ids.clone(),
+                self.node,
+                Arc::clone(&syms),
+            );
+            let id = world.add_node(
+                name.clone(),
+                Endpoint::with_symbols(node, self.rmi, Arc::clone(&syms)),
+            );
             debug_assert_eq!(Some(id), ids.get(name).copied());
         }
         let ids = Arc::new(ids);
@@ -226,6 +240,7 @@ impl RuntimeBuilder {
                 world,
                 ids: Arc::clone(&ids),
                 dir: Directory::default(),
+                syms,
             })),
             ids,
             names,
@@ -320,7 +335,8 @@ impl Runtime {
             op,
             class: class_owned,
         })?;
-        inner.dir.homes.insert(class_key(class), id);
+        let key = CompKey::class(inner.syms.intern(class));
+        inner.dir.homes.insert(key, id);
         Ok(())
     }
 

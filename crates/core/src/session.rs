@@ -37,7 +37,9 @@
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
 
+use mage_rmi::{NameId, SymbolTable};
 use mage_sim::NodeId;
 use serde::de::DeserializeOwned;
 use serde::Serialize;
@@ -50,7 +52,7 @@ use crate::error::MageError;
 use crate::lock::LockKind;
 use crate::pending::{DecodeFn, Pending};
 use crate::proto::{ActionSpec, Command, ExecSpec, InvokeSpec, Outcome};
-use crate::registry::class_key;
+use crate::registry::CompKey;
 use crate::runtime::{Directory, Inner};
 
 /// A client-side reference to a bound component: which namespace bound it,
@@ -60,6 +62,7 @@ pub struct Stub {
     pub(crate) client: NodeId,
     pub(crate) at: NodeId,
     pub(crate) object: String,
+    pub(crate) object_id: NameId,
     pub(crate) class: String,
     pub(crate) home: Option<NodeId>,
 }
@@ -99,11 +102,13 @@ pub struct BindReceipt {
     pub result: Option<Vec<u8>>,
 }
 
-/// The per-client cache a session owns (§3.5).
+/// The per-client cache a session owns (§3.5), keyed by interned
+/// component keys — a lookup is an 8-byte comparison, no hashing of
+/// strings.
 #[derive(Debug, Default)]
 pub(crate) struct SessionState {
-    /// Where this client last saw each object.
-    pub cached_loc: BTreeMap<String, NodeId>,
+    /// Where this client last saw each component.
+    pub cached_loc: BTreeMap<CompKey, NodeId>,
 }
 
 /// Everything a bind plan resolved before execution; carried into the
@@ -111,6 +116,7 @@ pub(crate) struct SessionState {
 struct BindContext {
     client: NodeId,
     object: String,
+    object_id: NameId,
     class: String,
     coerced: Coerced,
     is_factory: bool,
@@ -123,17 +129,19 @@ fn receipt_from(
     state: &mut SessionState,
 ) -> BindReceipt {
     let at = NodeId::from_raw(outcome.location);
-    state.cached_loc.insert(ctx.object.clone(), at);
+    let key = CompKey::object(ctx.object_id);
+    state.cached_loc.insert(key, at);
     if ctx.is_factory {
-        dir.homes.insert(ctx.object.clone(), at);
+        dir.homes.insert(key, at);
     }
     BindReceipt {
         stub: Stub {
             client: ctx.client,
             at,
             object: ctx.object.clone(),
+            object_id: ctx.object_id,
             class: ctx.class,
-            home: dir.homes.get(&ctx.object).copied(),
+            home: dir.homes.get(&key).copied(),
         },
         coerced: ctx.coerced,
         lock_kind: outcome.lock_kind,
@@ -152,15 +160,18 @@ pub struct Session {
     client: NodeId,
     inner: Rc<RefCell<Inner>>,
     state: Rc<RefCell<SessionState>>,
+    syms: Arc<SymbolTable>,
 }
 
 impl Session {
     pub(crate) fn new(name: String, client: NodeId, inner: Rc<RefCell<Inner>>) -> Self {
+        let syms = Arc::clone(&inner.borrow().syms);
         Session {
             name,
             client,
             inner,
             state: Rc::new(RefCell::new(SessionState::default())),
+            syms,
         }
     }
 
@@ -177,12 +188,15 @@ impl Session {
     /// This client's view of where every known object lives (for system
     /// snapshots like the paper's Figure 6).
     pub fn directory(&self) -> Vec<(String, NodeId)> {
-        self.state
+        let mut entries: Vec<(String, NodeId)> = self
+            .state
             .borrow()
             .cached_loc
             .iter()
-            .map(|(name, loc)| (name.clone(), *loc))
-            .collect()
+            .map(|(key, loc)| (key.display(&self.syms), *loc))
+            .collect();
+        entries.sort();
+        entries
     }
 
     // ---- internals ----
@@ -231,18 +245,18 @@ impl Session {
             state: encoded,
             visibility,
         })?;
+        let object_id = self.syms.intern(name);
+        let key = CompKey::object(object_id);
         let mut inner = self.inner.borrow_mut();
-        inner.dir.homes.insert(name.to_owned(), self.client);
-        inner.dir.visibility.insert(name.to_owned(), visibility);
+        inner.dir.homes.insert(key, self.client);
+        inner.dir.visibility.insert(object_id, visibility);
         drop(inner);
-        self.state
-            .borrow_mut()
-            .cached_loc
-            .insert(name.to_owned(), self.client);
+        self.state.borrow_mut().cached_loc.insert(key, self.client);
         Ok(Stub {
             client: self.client,
             at: self.client,
             object: name.to_owned(),
+            object_id,
             class: class.to_owned(),
             home: Some(self.client),
         })
@@ -266,9 +280,9 @@ impl Session {
     /// Never fails at issue time today; kept fallible for symmetry with
     /// the other `_async` forms.
     pub fn find_async(&self, name: &str) -> Result<Pending<NodeId>, MageError> {
-        let home_hint = self.inner.borrow().dir.homes.get(name).map(|n| n.as_raw());
+        let key = CompKey::parse(&self.syms, name);
+        let home_hint = self.inner.borrow().dir.homes.get(&key).map(|n| n.as_raw());
         let name_owned = name.to_owned();
-        let cache_key = name.to_owned();
         Ok(self.issue(
             move |op| Command::Find {
                 op,
@@ -277,7 +291,7 @@ impl Session {
             },
             Box::new(move |outcome, _dir, state| {
                 let loc = NodeId::from_raw(outcome.location);
-                state.cached_loc.insert(cache_key, loc);
+                state.cached_loc.insert(key, loc);
                 Ok(loc)
             }),
         ))
@@ -457,6 +471,9 @@ impl Session {
             .ok_or_else(|| MageError::BadPlan("attribute has no object name".into()))?
             .to_owned();
         let class = component.class_name().to_owned();
+        let base_id = self.syms.intern(&base_name);
+        let base_key = CompKey::object(base_id);
+        let class_id = self.syms.intern(&class);
 
         // Preliminary plan using cached knowledge (private objects'
         // cached location is authoritative, §3.5). A fresh session falls
@@ -468,12 +485,12 @@ impl Session {
             .state
             .borrow()
             .cached_loc
-            .get(&base_name)
+            .get(&base_key)
             .copied()
             .or_else(|| {
                 let inner = self.inner.borrow();
-                match inner.dir.visibility.get(&base_name) {
-                    Some(Visibility::Private) => inner.dir.homes.get(&base_name).copied(),
+                match inner.dir.visibility.get(&base_id) {
+                    Some(Visibility::Private) => inner.dir.homes.get(&base_key).copied(),
                     _ => None,
                 }
             });
@@ -494,7 +511,7 @@ impl Session {
             Err(err) => return Err(err),
         };
         let located = if did_find {
-            self.state.borrow().cached_loc.get(&base_name).copied()
+            self.state.borrow().cached_loc.get(&base_key).copied()
         } else {
             cached
         };
@@ -508,7 +525,7 @@ impl Session {
                 .borrow()
                 .dir
                 .visibility
-                .get(&base_name)
+                .get(&base_id)
                 .copied()
                 .unwrap_or(Visibility::Public)
                 == Visibility::Public;
@@ -583,7 +600,7 @@ impl Session {
                         .borrow_mut()
                         .dir
                         .visibility
-                        .insert(object_name.clone(), visibility);
+                        .insert(base_id, visibility);
                     ActionSpec::Instantiate {
                         node: target.unwrap_or(client_id).as_raw(),
                         state,
@@ -601,8 +618,8 @@ impl Session {
             home_hint: inner
                 .dir
                 .homes
-                .get(&object_name)
-                .or_else(|| inner.dir.homes.get(&class_key(&class)))
+                .get(&base_key)
+                .or_else(|| inner.dir.homes.get(&CompKey::class(class_id)))
                 .map(|n| n.as_raw()),
             action,
             invoke,
@@ -613,6 +630,7 @@ impl Session {
             BindContext {
                 client: client_id,
                 object: object_name,
+                object_id: base_id,
                 class,
                 coerced,
                 is_factory,
@@ -628,7 +646,7 @@ impl Session {
             .state
             .borrow()
             .cached_loc
-            .get(&stub.object)
+            .get(&CompKey::object(stub.object_id))
             .copied()
             .unwrap_or(stub.at);
         ExecSpec {
@@ -676,13 +694,13 @@ impl Session {
         R: DeserializeOwned,
     {
         let spec = self.invoke_spec(stub, method.name(), mage_codec::to_bytes(args)?, false);
-        let object = stub.object.clone();
+        let object_key = CompKey::object(stub.object_id);
         Ok(self.issue(
             move |op| Command::Execute { op, spec },
             Box::new(move |outcome, _dir, state| {
                 state
                     .cached_loc
-                    .insert(object, NodeId::from_raw(outcome.location));
+                    .insert(object_key, NodeId::from_raw(outcome.location));
                 let bytes = outcome
                     .result
                     .ok_or_else(|| MageError::Rmi("invocation returned no result".into()))?;
@@ -699,10 +717,10 @@ impl Session {
     pub fn call_raw(&self, stub: &Stub, method: &str, args: Vec<u8>) -> Result<Vec<u8>, MageError> {
         let spec = self.invoke_spec(stub, method, args, false);
         let outcome = self.command(move |op| Command::Execute { op, spec })?;
-        self.state
-            .borrow_mut()
-            .cached_loc
-            .insert(stub.object.clone(), NodeId::from_raw(outcome.location));
+        self.state.borrow_mut().cached_loc.insert(
+            CompKey::object(stub.object_id),
+            NodeId::from_raw(outcome.location),
+        );
         outcome
             .result
             .ok_or_else(|| MageError::Rmi("invocation returned no result".into()))
@@ -781,7 +799,8 @@ impl Session {
     /// Fails on unknown namespace names.
     pub fn lock_async(&self, name: &str, target: &str) -> Result<Pending<LockKind>, MageError> {
         let target = self.node_id(target)?;
-        let home_hint = self.inner.borrow().dir.homes.get(name).map(|n| n.as_raw());
+        let key = CompKey::object(self.syms.intern(name));
+        let home_hint = self.inner.borrow().dir.homes.get(&key).map(|n| n.as_raw());
         let name_owned = name.to_owned();
         Ok(self.issue(
             move |op| Command::Lock {
@@ -813,7 +832,8 @@ impl Session {
     ///
     /// Never fails at issue time today; kept fallible for symmetry.
     pub fn unlock_async(&self, name: &str) -> Result<Pending<()>, MageError> {
-        let home_hint = self.inner.borrow().dir.homes.get(name).map(|n| n.as_raw());
+        let key = CompKey::object(self.syms.intern(name));
+        let home_hint = self.inner.borrow().dir.homes.get(&key).map(|n| n.as_raw());
         let name_owned = name.to_owned();
         Ok(self.issue(
             move |op| Command::Unlock {

@@ -2,11 +2,14 @@
 //! request/release interleavings never violate the locking invariants.
 
 use mage_core::lock::{LockKind, LockTable, Request};
+use mage_rmi::NameId;
 use mage_sim::NodeId;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
 const HERE: NodeId = NodeId::from_raw(0);
+/// The object under test ("o"), as an interned id.
+const O: NameId = NameId::from_raw(0);
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -48,7 +51,7 @@ fn run_ops(fair: bool, ops: &[Op]) -> Result<(), TestCaseError> {
                 }
                 let target = if stay { HERE } else { NodeId::from_raw(99) };
                 let c = NodeId::from_raw(client);
-                match table.request("o", c, target, HERE, client) {
+                match table.request(O, c, target, HERE, client) {
                     Request::Granted(kind) => {
                         shadow.outstanding.insert(client);
                         match kind {
@@ -78,9 +81,7 @@ fn run_ops(fair: bool, ops: &[Op]) -> Result<(), TestCaseError> {
             Op::Release { client } => {
                 if !shadow.outstanding.contains(&client) {
                     // Releasing an unheld lock must be harmless.
-                    prop_assert!(table
-                        .release("o", NodeId::from_raw(client), HERE)
-                        .is_empty());
+                    prop_assert!(table.release(O, NodeId::from_raw(client), HERE).is_empty());
                     continue;
                 }
                 // Only release if actually holding (queued waiters keep
@@ -93,7 +94,7 @@ fn run_ops(fair: bool, ops: &[Op]) -> Result<(), TestCaseError> {
                     shadow.mover = None;
                 }
                 shadow.outstanding.remove(&client);
-                let grants = table.release("o", NodeId::from_raw(client), HERE);
+                let grants = table.release(O, NodeId::from_raw(client), HERE);
                 for grant in grants {
                     let c = grant.client.as_raw();
                     match grant.kind {
@@ -149,15 +150,15 @@ proptest! {
     fn extract_install_roundtrip(stays in proptest::collection::btree_set(1u32..20, 0..5)) {
         let mut table: LockTable<u32> = LockTable::new();
         for &c in &stays {
-            let got = table.request("o", NodeId::from_raw(c), HERE, HERE, c);
+            let got = table.request(O, NodeId::from_raw(c), HERE, HERE, c);
             prop_assert_eq!(got, Request::Granted(LockKind::Stay));
         }
-        let (holders, waiters) = table.extract("o");
+        let (holders, waiters) = table.extract(O);
         prop_assert!(waiters.is_empty());
         let mut other: LockTable<u32> = LockTable::new();
-        other.install("o", holders);
+        other.install(O, holders);
         for &c in &stays {
-            prop_assert_eq!(other.holds("o", NodeId::from_raw(c)), Some(LockKind::Stay));
+            prop_assert_eq!(other.holds(O, NodeId::from_raw(c)), Some(LockKind::Stay));
         }
     }
 }

@@ -49,8 +49,8 @@ impl App for DriverClient {
         }
     }
 
-    fn on_reply(&mut self, env: &mut Env<'_, '_>, token: u64, result: Result<Vec<u8>, RmiError>) {
-        let outcome: DriveOutcome = result.map_err(|e| e.to_string());
+    fn on_reply(&mut self, env: &mut Env<'_, '_>, token: u64, result: Result<Bytes, RmiError>) {
+        let outcome: DriveOutcome = result.map(|b| b.to_vec()).map_err(|e| e.to_string());
         let bytes = mage_codec::to_bytes(&outcome).expect("outcome encodes");
         env.complete_op(OpId::from_raw(token), Bytes::from(bytes));
     }
@@ -64,7 +64,7 @@ pub fn client_endpoint(cfg: Config) -> Endpoint<DriverClient> {
 /// Builds a server endpoint hosting one object bound under `name`.
 pub fn server_endpoint(
     cfg: Config,
-    name: impl Into<String>,
+    name: &str,
     object: Box<dyn RemoteObject>,
 ) -> Endpoint<DriverClient> {
     let mut endpoint = Endpoint::new(DriverClient, cfg);

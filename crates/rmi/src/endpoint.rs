@@ -11,20 +11,29 @@
 //! * CPU cost accounting for marshalling and dispatch, charged as node-local
 //!   compute delay before messages reach the wire
 //!
+//! The steady-state message path is allocation-free beyond the frame
+//! buffer itself: object/method names travel as interned [`NameId`]s (the
+//! backing string rides along until the peer acknowledges it — see
+//! [`crate::symbols`]), encoding goes through a reusable per-endpoint
+//! scratch buffer, responses are cached as ready-to-resend frames, and
+//! retransmissions clone the original frame instead of re-encoding.
+//!
 //! Higher layers (the MAGE runtime) plug in as an [`App`]: a protocol state
 //! machine that can originate calls, answer calls not handled by the local
 //! object registry, and defer replies while it performs nested calls.
 
-use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::sync::Arc;
 
 use bytes::Bytes;
-use mage_sim::{Actor, Context, NodeId, OpId, SimDuration, SimTime, TimerId};
+use mage_sim::{Actor, Context, Label, NodeId, OpId, SimDuration, SimTime, TimerId};
 use rand::rngs::StdRng;
 
 use crate::cost::CostModel;
 use crate::error::{Fault, RmiError};
 use crate::object::{ObjectEnv, RemoteObject};
-use crate::wire::Message;
+use crate::symbols::{IntoName, NameId, SymbolTable};
+use crate::wire::{call_label, encode_call_req, encode_call_rsp, WireMsg};
 
 /// Timer tags with this bit set are endpoint-internal (retransmission).
 const RETX_FLAG: u64 = 1 << 63;
@@ -65,26 +74,43 @@ impl Config {
 }
 
 /// An inbound call offered to the [`App`] (no local object matched).
+///
+/// Names arrive as interned ids (already translated to this endpoint's
+/// symbol table); the resolved strings are carried along so error paths
+/// and generic apps can still read them without a table in hand.
 #[derive(Debug)]
 pub struct InboundCall {
-    object: String,
-    method: String,
-    args: Vec<u8>,
+    object: NameId,
+    method: NameId,
+    object_name: Arc<str>,
+    method_name: Arc<str>,
+    args: Bytes,
     handle: ReplyHandle,
 }
 
 impl InboundCall {
+    /// Interned id of the name the call was addressed to — compare against
+    /// pre-interned ids instead of strings on hot paths.
+    pub fn object_id(&self) -> NameId {
+        self.object
+    }
+
+    /// Interned id of the requested method.
+    pub fn method_id(&self) -> NameId {
+        self.method
+    }
+
     /// Name the call was addressed to.
     pub fn object(&self) -> &str {
-        &self.object
+        &self.object_name
     }
 
     /// Requested method.
     pub fn method(&self) -> &str {
-        &self.method
+        &self.method_name
     }
 
-    /// Marshalled arguments.
+    /// Marshalled arguments (a zero-copy slice of the received frame).
     pub fn args(&self) -> &[u8] {
         &self.args
     }
@@ -95,13 +121,13 @@ impl InboundCall {
     }
 
     /// Consumes the call, returning its argument buffer without copying.
-    pub fn into_args(self) -> Vec<u8> {
+    pub fn into_args(self) -> Bytes {
         self.args
     }
 }
 
 /// Identifies a deferred inbound call so the app can answer it later.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ReplyHandle {
     caller: NodeId,
     call_id: u64,
@@ -137,14 +163,9 @@ pub trait App {
 
     /// Called when an outgoing call completes (successfully or not).
     ///
-    /// `token` is the correlation value passed to [`Env::call`].
-    fn on_reply(
-        &mut self,
-        _env: &mut Env<'_, '_>,
-        _token: u64,
-        _result: Result<Vec<u8>, RmiError>,
-    ) {
-    }
+    /// `token` is the correlation value passed to [`Env::call`]. A
+    /// successful result is a zero-copy slice of the response frame.
+    fn on_reply(&mut self, _env: &mut Env<'_, '_>, _token: u64, _result: Result<Bytes, RmiError>) {}
 
     /// Called when an app timer set via [`Env::set_timer`] fires.
     fn on_timer(&mut self, _env: &mut Env<'_, '_>, _tag: u64) {}
@@ -159,46 +180,111 @@ impl App for ServerOnly {}
 struct PendingCall {
     to: NodeId,
     token: u64,
-    message: Message,
+    /// The encoded frame, kept for retransmission (cloning shares the
+    /// allocation; nothing is re-encoded).
+    frame: Bytes,
+    object: NameId,
+    method: NameId,
+    /// Whether the request carried first-use name strings; a response
+    /// acknowledges them (the peer has learned the ids).
+    named: bool,
     attempts: u32,
     max_retries: u32,
     timeout: SimDuration,
 }
 
+/// Whether a peer has acknowledged learning one of our interned names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum NameState {
+    /// Shipped at least once, no response seen yet — keep attaching the
+    /// string so a lossy or partitioned link cannot strand the binding.
+    Pending,
+    /// A response to a name-carrying call arrived; the id alone suffices.
+    Acked,
+}
+
 /// Shared endpoint state (everything except the app itself).
 pub struct EndpointState {
     cfg: Config,
-    objects: BTreeMap<String, Box<dyn RemoteObject>>,
+    syms: Arc<SymbolTable>,
+    objects: HashMap<NameId, Box<dyn RemoteObject>>,
     next_call: u64,
     pending: HashMap<u64, PendingCall>,
     primed: BTreeSet<NodeId>,
+    /// Sender side of first-use name shipment: per peer, which of our ids
+    /// the peer has (or is about to have) learned.
+    shipped: HashMap<NodeId, HashMap<NameId, NameState>>,
+    /// Receiver side: translation of a peer's wire ids to our local ids,
+    /// learned from first-use strings.
+    learned: HashMap<(NodeId, u32), NameId>,
     deferred: BTreeSet<(NodeId, u64)>,
-    response_cache: HashMap<(NodeId, u64), Result<Vec<u8>, Fault>>,
+    /// At-most-once dedup cache: responses stored as ready-to-resend
+    /// frames with their static label.
+    response_cache: HashMap<(NodeId, u64), (Bytes, &'static str)>,
     cache_order: VecDeque<(NodeId, u64)>,
+    /// Reusable encode buffer for every outgoing frame.
+    scratch: Vec<u8>,
 }
 
 impl EndpointState {
-    fn new(cfg: Config) -> Self {
+    fn new(cfg: Config, syms: Arc<SymbolTable>) -> Self {
         EndpointState {
             cfg,
-            objects: BTreeMap::new(),
+            syms,
+            objects: HashMap::new(),
             next_call: 0,
             pending: HashMap::new(),
             primed: BTreeSet::new(),
+            shipped: HashMap::new(),
+            learned: HashMap::new(),
             deferred: BTreeSet::new(),
             response_cache: HashMap::new(),
             cache_order: VecDeque::new(),
+            scratch: Vec::with_capacity(256),
         }
     }
 
-    fn cache_response(&mut self, key: (NodeId, u64), result: Result<Vec<u8>, Fault>) {
+    fn cache_response(&mut self, key: (NodeId, u64), frame: Bytes, label: &'static str) {
         if self.response_cache.len() >= self.cfg.response_cache_size {
             if let Some(evicted) = self.cache_order.pop_front() {
                 self.response_cache.remove(&evicted);
             }
         }
-        self.response_cache.insert(key, result);
+        self.response_cache.insert(key, (frame, label));
         self.cache_order.push_back(key);
+    }
+
+    /// Translates a wire id from `from` to a local id, learning the
+    /// binding when a first-use string is attached.
+    fn translate(&mut self, from: NodeId, wire_id: u32, name: Option<&str>) -> Option<NameId> {
+        if let Some(name) = name {
+            let local = self.syms.intern(name);
+            self.learned.insert((from, wire_id), local);
+            return Some(local);
+        }
+        self.learned.get(&(from, wire_id)).copied()
+    }
+
+    /// Marks `id` as acknowledged by `to` (stop attaching the string).
+    fn ack_name(&mut self, to: NodeId, id: NameId) {
+        if let Some(states) = self.shipped.get_mut(&to) {
+            if let Some(state) = states.get_mut(&id) {
+                *state = NameState::Acked;
+            }
+        }
+    }
+
+    /// Whether the string for `id` must ride along to `to`, registering
+    /// the shipment.
+    fn needs_name(&mut self, to: NodeId, id: NameId) -> bool {
+        let states = self.shipped.entry(to).or_default();
+        match states.get(&id) {
+            Some(NameState::Acked) => false,
+            _ => {
+                states.insert(id, NameState::Pending);
+                true
+            }
+        }
     }
 }
 
@@ -233,6 +319,17 @@ impl<'a, 'c> Env<'a, 'c> {
         &self.state.cfg.cost
     }
 
+    /// The endpoint's symbol table (shared world-wide by the harness).
+    pub fn symbols(&self) -> &Arc<SymbolTable> {
+        &self.state.syms
+    }
+
+    /// Whether the world records a trace (rich labels are only worth
+    /// building when it does).
+    pub fn trace_enabled(&self) -> bool {
+        self.ctx.trace_enabled()
+    }
+
     /// Deterministic random number generator.
     pub fn rng(&mut self) -> &mut StdRng {
         self.ctx.rng()
@@ -251,31 +348,38 @@ impl<'a, 'c> Env<'a, 'c> {
     /// the previous binding if any.
     pub fn bind(
         &mut self,
-        name: impl Into<String>,
+        name: impl IntoName,
         object: Box<dyn RemoteObject>,
     ) -> Option<Box<dyn RemoteObject>> {
-        self.state.objects.insert(name.into(), object)
+        let id = name.into_name(&self.state.syms);
+        self.state.objects.insert(id, object)
     }
 
     /// Removes the binding for `name`, returning the object if it existed.
-    pub fn unbind(&mut self, name: &str) -> Option<Box<dyn RemoteObject>> {
-        self.state.objects.remove(name)
+    pub fn unbind(&mut self, name: impl IntoName) -> Option<Box<dyn RemoteObject>> {
+        let id = name.into_name(&self.state.syms);
+        self.state.objects.remove(&id)
     }
 
     /// Whether `name` is bound locally.
     pub fn is_bound(&self, name: &str) -> bool {
-        self.state.objects.contains_key(name)
+        self.state
+            .syms
+            .lookup(name)
+            .is_some_and(|id| self.state.objects.contains_key(&id))
     }
 
     /// Originates a call with the endpoint's default timeout and retries.
     ///
-    /// `token` correlates the eventual [`App::on_reply`].
+    /// `object`/`method` accept pre-interned [`NameId`]s (free) or strings
+    /// (one interning lookup). `token` correlates the eventual
+    /// [`App::on_reply`].
     pub fn call(
         &mut self,
         to: NodeId,
-        object: impl Into<String>,
-        method: impl Into<String>,
-        args: Vec<u8>,
+        object: impl IntoName,
+        method: impl IntoName,
+        args: impl AsRef<[u8]>,
         token: u64,
     ) {
         let (timeout, retries) = (self.state.cfg.call_timeout, self.state.cfg.max_retries);
@@ -287,34 +391,68 @@ impl<'a, 'c> Env<'a, 'c> {
     pub fn call_with(
         &mut self,
         to: NodeId,
-        object: impl Into<String>,
-        method: impl Into<String>,
-        args: Vec<u8>,
+        object: impl IntoName,
+        method: impl IntoName,
+        args: impl AsRef<[u8]>,
         token: u64,
         timeout: SimDuration,
         max_retries: u32,
     ) {
+        let object = object.into_name(&self.state.syms);
+        let method = method.into_name(&self.state.syms);
+        let args = args.as_ref();
         let call_id = self.state.next_call;
         self.state.next_call += 1;
-        let args_len = args.len() as u64;
-        let message = Message::CallReq {
-            call_id,
-            object: object.into(),
-            method: method.into(),
-            args,
+
+        let ship_object = self.state.needs_name(to, object);
+        let ship_method = self.state.needs_name(to, method);
+        let named = ship_object || ship_method;
+        let tracing = self.ctx.trace_enabled();
+        // Steady state (names acked, tracing off): skip name resolution
+        // entirely — the ids alone go on the wire under a static label.
+        let resolved = (named || tracing).then(|| {
+            (
+                self.state.syms.resolve_lossy(object),
+                self.state.syms.resolve_lossy(method),
+            )
+        });
+        let (object_str, method_str) = match &resolved {
+            Some((o, m)) => (Some(&**o), Some(&**m)),
+            None => (None, None),
         };
-        let mut delay = self.surcharge + self.state.cfg.cost.marshal(args_len);
+        let frame = encode_call_req(
+            &mut self.state.scratch,
+            call_id,
+            object,
+            if ship_object { object_str } else { None },
+            method,
+            if ship_method { method_str } else { None },
+            args,
+        );
+
+        let mut delay = self.surcharge + self.state.cfg.cost.marshal(args.len() as u64);
         if self.state.primed.insert(to) {
             delay += self.state.cfg.cost.connect;
         }
-        self.ctx
-            .send_after(delay, to, message.trace_label(), message.encode());
+        let label: Label = if tracing {
+            call_label(
+                object_str.unwrap_or_default(),
+                method_str.unwrap_or_default(),
+            )
+            .into()
+        } else {
+            "call".into()
+        };
+        self.ctx.send_after(delay, to, label, frame.clone());
         self.state.pending.insert(
             call_id,
             PendingCall {
                 to,
                 token,
-                message,
+                frame,
+                object,
+                method,
+                named,
                 attempts: 1,
                 max_retries,
                 timeout,
@@ -330,19 +468,31 @@ impl<'a, 'c> Env<'a, 'c> {
     /// Panics if `handle` does not correspond to a deferred call (answering
     /// twice, or fabricating a handle, is a protocol bug).
     pub fn reply(&mut self, handle: ReplyHandle, result: Result<Vec<u8>, Fault>) {
+        self.reply_with(handle, result.as_ref().map(|v| v.as_slice()));
+    }
+
+    /// Borrowed-view form of [`Env::reply`]: answers a deferred call
+    /// without taking ownership of the payload (no copy beyond the
+    /// response frame itself). Useful when forwarding a payload that
+    /// already lives in a received frame.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Env::reply`].
+    pub fn reply_with(&mut self, handle: ReplyHandle, result: Result<&[u8], &Fault>) {
         let key = (handle.caller, handle.call_id);
         assert!(
             self.state.deferred.remove(&key),
             "reply to unknown or already-answered call {key:?}"
         );
-        self.state.cache_response(key, result.clone());
-        let rsp = Message::CallRsp {
-            call_id: handle.call_id,
-            result,
+        let label = match &result {
+            Ok(_) => "rsp:ok",
+            Err(_) => "rsp:fault",
         };
+        let frame = encode_call_rsp(&mut self.state.scratch, handle.call_id, result);
+        self.state.cache_response(key, frame.clone(), label);
         let delay = self.surcharge;
-        self.ctx
-            .send_after(delay, handle.caller, rsp.trace_label(), rsp.encode());
+        self.ctx.send_after(delay, handle.caller, label, frame);
     }
 
     /// Sets an application timer. `tag` must not use the top bit, which is
@@ -388,22 +538,33 @@ pub struct Endpoint<A> {
 }
 
 impl<A: App> Endpoint<A> {
-    /// Creates an endpoint with the given app and configuration.
+    /// Creates an endpoint with the given app and configuration, and a
+    /// private symbol table.
+    ///
+    /// Endpoints with private tables interoperate through first-use name
+    /// shipment **at the RMI envelope level only** (the object/method ids
+    /// of each frame are translated on receipt). Apps that embed
+    /// [`NameId`]s inside their *own* payloads — the MAGE runtime's
+    /// service arguments do — bypass that translation and therefore
+    /// require every node to share one table: construct those endpoints
+    /// with [`Endpoint::with_symbols`], as `mage-core`'s runtime builder
+    /// does.
     pub fn new(app: A, cfg: Config) -> Self {
+        Endpoint::with_symbols(app, cfg, SymbolTable::shared())
+    }
+
+    /// Creates an endpoint sharing the world-wide symbol table.
+    pub fn with_symbols(app: A, cfg: Config, syms: Arc<SymbolTable>) -> Self {
         Endpoint {
             app,
-            state: EndpointState::new(cfg),
+            state: EndpointState::new(cfg, syms),
         }
     }
 
-    /// Creates an endpoint with default (JDK 1.2.2) configuration.
-    pub fn with_defaults(app: A) -> Self {
-        Endpoint::new(app, Config::default())
-    }
-
     /// Binds `object` under `name` before the world starts.
-    pub fn bind(&mut self, name: impl Into<String>, object: Box<dyn RemoteObject>) {
-        self.state.objects.insert(name.into(), object);
+    pub fn bind(&mut self, name: impl IntoName, object: Box<dyn RemoteObject>) {
+        let id = name.into_name(&self.state.syms);
+        self.state.objects.insert(id, object);
     }
 
     /// Shared access to the app (for post-run inspection in tests).
@@ -416,19 +577,16 @@ impl<A: App> Endpoint<A> {
         ctx: &mut Context<'_>,
         from: NodeId,
         call_id: u64,
-        object: String,
-        method: String,
-        args: Vec<u8>,
+        object: NameId,
+        method: NameId,
+        args: Bytes,
     ) {
         let key = (from, call_id);
         // At-most-once: duplicate of an answered call re-sends the cached
-        // response without re-executing.
-        if let Some(cached) = self.state.response_cache.get(&key) {
-            let rsp = Message::CallRsp {
-                call_id,
-                result: cached.clone(),
-            };
-            ctx.send(from, rsp.trace_label(), rsp.encode());
+        // response frame without re-executing or re-encoding.
+        if let Some((frame, label)) = self.state.response_cache.get(&key) {
+            let (frame, label) = (frame.clone(), *label);
+            ctx.send(from, label, frame);
             return;
         }
         // Duplicate of a call still being processed (deferred): drop it;
@@ -436,22 +594,34 @@ impl<A: App> Endpoint<A> {
         if self.state.deferred.contains(&key) {
             return;
         }
-        let req_bytes = (args.len() + object.len() + method.len()) as u64;
+        let (object_str, method_str) = (
+            self.state.syms.resolve_lossy(object),
+            self.state.syms.resolve_lossy(method),
+        );
+        // Dispatch cost parity with the string-shipping format: names count
+        // toward request size whether or not they rode this frame. Network
+        // transfer time, by contrast, deliberately reflects the real
+        // (smaller) v2 frame — saving wire bytes in the steady state is the
+        // point of interning, exactly as a production RPC stack would.
+        let req_bytes = (args.len() + object_str.len() + method_str.len()) as u64;
         let dispatch_cost = self.state.cfg.cost.dispatch(req_bytes);
         // Local registry first (plain RMI skeletons)...
         if let Some(mut obj) = self.state.objects.remove(&object) {
             let mut oenv = ObjectEnv::new(ctx.node(), ctx.now(), ctx.rng());
-            let result = obj.invoke(&method, &args, &mut oenv);
+            let result = obj.invoke(&method_str, &args, &mut oenv);
             let service = oenv.consumed();
             self.state.objects.insert(object, obj);
-            self.state.cache_response(key, result.clone());
-            let rsp = Message::CallRsp { call_id, result };
-            ctx.send_after(
-                dispatch_cost + service,
-                from,
-                rsp.trace_label(),
-                rsp.encode(),
+            let label = match &result {
+                Ok(_) => "rsp:ok",
+                Err(_) => "rsp:fault",
+            };
+            let frame = encode_call_rsp(
+                &mut self.state.scratch,
+                call_id,
+                result.as_ref().map(|v| v.as_slice()),
             );
+            self.state.cache_response(key, frame.clone(), label);
+            ctx.send_after(dispatch_cost + service, from, label, frame);
             return;
         }
         // ...then the app layer (e.g. MAGE system services).
@@ -459,6 +629,8 @@ impl<A: App> Endpoint<A> {
         let call = InboundCall {
             object,
             method,
+            object_name: object_str,
+            method_name: method_str,
             args,
             handle: ReplyHandle {
                 caller: from,
@@ -489,11 +661,17 @@ impl<A: App> Endpoint<A> {
         &mut self,
         ctx: &mut Context<'_>,
         call_id: u64,
-        result: Result<Vec<u8>, Fault>,
+        result: Result<Bytes, Fault>,
     ) {
         let Some(pending) = self.state.pending.remove(&call_id) else {
             return; // late duplicate after a retransmitted call already completed
         };
+        if pending.named {
+            // The peer has processed a request that carried the strings;
+            // from now on the ids travel alone.
+            self.state.ack_name(pending.to, pending.object);
+            self.state.ack_name(pending.to, pending.method);
+        }
         let outcome = result.map_err(RmiError::Fault);
         let mut env = Env::new(ctx, &mut self.state, SimDuration::ZERO);
         self.app.on_reply(&mut env, pending.token, outcome);
@@ -507,9 +685,15 @@ impl<A: App> Endpoint<A> {
             pending.attempts += 1;
             let to = pending.to;
             let timeout = pending.timeout;
-            let encoded = pending.message.encode();
-            let label = pending.message.trace_label();
-            ctx.send(to, label, encoded);
+            let frame = pending.frame.clone();
+            let label: Label = if ctx.trace_enabled() {
+                let object = self.state.syms.resolve_lossy(pending.object);
+                let method = self.state.syms.resolve_lossy(pending.method);
+                call_label(&object, &method).into()
+            } else {
+                "call".into()
+            };
+            ctx.send(to, label, frame);
             ctx.set_timer(timeout, RETX_FLAG | call_id);
         } else {
             let pending = self.state.pending.remove(&call_id).expect("checked above");
@@ -537,16 +721,31 @@ impl<A: App> Actor for Endpoint<A> {
             self.app.on_driver(&mut env, payload);
             return;
         }
-        match Message::decode(&payload) {
-            Ok(Message::CallReq {
+        match WireMsg::decode(&payload) {
+            Ok(WireMsg::CallReq {
                 call_id,
                 object,
                 method,
                 args,
             }) => {
+                let object = self
+                    .state
+                    .translate(from, object.id.as_raw(), object.name.as_deref());
+                let method = self
+                    .state
+                    .translate(from, method.id.as_raw(), method.name.as_deref());
+                let (Some(object), Some(method)) = (object, method) else {
+                    // A bare id whose first-use string we never saw (its
+                    // carrier frame was lost). Drop the request: the
+                    // client retransmits, and name-carrying requests keep
+                    // shipping strings until acknowledged, so the binding
+                    // eventually arrives.
+                    ctx.note("dropping call with unknown name id (first-use frame lost)");
+                    return;
+                };
                 self.handle_call_req(ctx, from, call_id, object, method, args);
             }
-            Ok(Message::CallRsp { call_id, result }) => {
+            Ok(WireMsg::CallRsp { call_id, result }) => {
                 self.handle_call_rsp(ctx, call_id, result);
             }
             Err(err) => {

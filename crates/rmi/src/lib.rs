@@ -56,6 +56,7 @@ mod endpoint;
 mod error;
 mod object;
 mod stub;
+pub mod symbols;
 pub mod wire;
 
 pub use cost::CostModel;
@@ -64,3 +65,4 @@ pub use endpoint::{App, CallOutcome, Config, Endpoint, Env, InboundCall, ReplyHa
 pub use error::{Fault, RmiError};
 pub use object::{ObjectEnv, RemoteObject};
 pub use stub::{decode_result, encode_args, RemoteRef};
+pub use symbols::{IntoName, NameId, SymbolTable};

@@ -1,0 +1,213 @@
+//! World-wide name interning.
+//!
+//! Object, method and class names cross the simulated wire on every RMI
+//! message; shipping (and re-allocating) the strings per message is the
+//! dominant steady-state cost. A [`SymbolTable`] assigns each distinct
+//! name a dense [`NameId`] once; after that the hot path moves and compares
+//! 4-byte ids. The v2 wire format ships the backing string only the first
+//! time an id travels to a given peer (see [`crate::wire`]), mirroring how
+//! real RPC systems negotiate per-connection string tables.
+//!
+//! One table is shared per world/deployment: the harness creates it and
+//! hands an `Arc` to every endpoint, so ids are globally consistent.
+
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// Dense identifier for an interned name.
+///
+/// Ids are allocated in interning order and are stable for the lifetime of
+/// the table. They serialize as plain `u32`s.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NameId(u32);
+
+impl NameId {
+    /// The raw id, for embedding in wire payloads.
+    pub const fn as_raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds an id from its wire form.
+    pub const fn from_raw(raw: u32) -> Self {
+        NameId(raw)
+    }
+}
+
+impl std::fmt::Display for NameId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+impl serde::Serialize for NameId {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u32(self.0)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for NameId {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        u32::deserialize(deserializer).map(NameId)
+    }
+}
+
+#[derive(Debug, Default)]
+struct Tables {
+    ids: HashMap<Arc<str>, u32>,
+    names: Vec<Arc<str>>,
+}
+
+/// Append-only, thread-safe name interner.
+///
+/// Interning an already-known name is a shared-lock hash lookup with no
+/// allocation; resolving an id is a shared-lock index plus an `Arc` clone.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    inner: RwLock<Tables>,
+}
+
+impl SymbolTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        SymbolTable::default()
+    }
+
+    /// Creates an empty table behind an `Arc`, ready to share between
+    /// endpoints.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(SymbolTable::new())
+    }
+
+    /// Interns `name`, returning its stable id. Allocates only the first
+    /// time a given name is seen.
+    pub fn intern(&self, name: &str) -> NameId {
+        if let Some(&id) = self.inner.read().expect("symbol table").ids.get(name) {
+            return NameId(id);
+        }
+        let mut tables = self.inner.write().expect("symbol table");
+        if let Some(&id) = tables.ids.get(name) {
+            return NameId(id);
+        }
+        let id = u32::try_from(tables.names.len()).expect("fewer than 2^32 names");
+        let shared: Arc<str> = Arc::from(name);
+        tables.names.push(Arc::clone(&shared));
+        tables.ids.insert(shared, id);
+        NameId(id)
+    }
+
+    /// The string behind `id`, if the id was minted by this table.
+    pub fn resolve(&self, id: NameId) -> Option<Arc<str>> {
+        self.inner
+            .read()
+            .expect("symbol table")
+            .names
+            .get(id.0 as usize)
+            .cloned()
+    }
+
+    /// The string behind `id`, or a placeholder for foreign ids — for
+    /// error messages and traces, where a lossy answer beats a panic.
+    pub fn resolve_lossy(&self, id: NameId) -> Arc<str> {
+        self.resolve(id)
+            .unwrap_or_else(|| Arc::from(format!("<unknown name {id}>").as_str()))
+    }
+
+    /// The id of `name` if it has been interned already (does not intern).
+    pub fn lookup(&self, name: &str) -> Option<NameId> {
+        self.inner
+            .read()
+            .expect("symbol table")
+            .ids
+            .get(name)
+            .map(|&id| NameId(id))
+    }
+
+    /// Number of interned names.
+    pub fn len(&self) -> usize {
+        self.inner.read().expect("symbol table").names.len()
+    }
+
+    /// Whether no names have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Anything that names a remote object or method in an [`Env`] call:
+/// a pre-interned [`NameId`] (free) or a string (one hash lookup).
+///
+/// [`Env`]: crate::Env
+pub trait IntoName {
+    /// Resolves to an id against `syms`.
+    fn into_name(self, syms: &SymbolTable) -> NameId;
+}
+
+impl IntoName for NameId {
+    fn into_name(self, _syms: &SymbolTable) -> NameId {
+        self
+    }
+}
+
+impl IntoName for &str {
+    fn into_name(self, syms: &SymbolTable) -> NameId {
+        syms.intern(self)
+    }
+}
+
+impl IntoName for &String {
+    fn into_name(self, syms: &SymbolTable) -> NameId {
+        syms.intern(self)
+    }
+}
+
+impl IntoName for String {
+    fn into_name(self, syms: &SymbolTable) -> NameId {
+        syms.intern(&self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let syms = SymbolTable::new();
+        let a = syms.intern("geoData");
+        let b = syms.intern("geoData");
+        assert_eq!(a, b);
+        assert_eq!(syms.len(), 1);
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_ids() {
+        let syms = SymbolTable::new();
+        let a = syms.intern("a");
+        let b = syms.intern("b");
+        assert_ne!(a, b);
+        assert_eq!(syms.resolve(a).unwrap().as_ref(), "a");
+        assert_eq!(syms.resolve(b).unwrap().as_ref(), "b");
+    }
+
+    #[test]
+    fn foreign_ids_resolve_lossy() {
+        let syms = SymbolTable::new();
+        assert!(syms.resolve(NameId::from_raw(7)).is_none());
+        assert!(syms.resolve_lossy(NameId::from_raw(7)).contains("unknown"));
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let syms = SymbolTable::new();
+        assert_eq!(syms.lookup("x"), None);
+        let id = syms.intern("x");
+        assert_eq!(syms.lookup("x"), Some(id));
+    }
+
+    #[test]
+    fn raw_roundtrip() {
+        let id = NameId::from_raw(9);
+        assert_eq!(NameId::from_raw(id.as_raw()), id);
+        assert_eq!(id.to_string(), "#9");
+    }
+}

@@ -1,11 +1,257 @@
 //! Wire messages exchanged by RMI endpoints.
+//!
+//! Two formats coexist:
+//!
+//! * [`Message`] — the original (v1) serde-derived format, kept for
+//!   compatibility tests and offline tooling. Its frames begin with the
+//!   enum variant index (`0`/`1`), so a v1 decoder cleanly rejects v2
+//!   frames (whose first byte is [`MAGIC_V2`]) with an unknown-variant
+//!   error instead of misparsing them.
+//! * [`WireMsg`] — the v2 hot-path format. `object` and `method` travel as
+//!   interned [`NameId`]s with the backing string attached only on first
+//!   use per peer ([`NameRef`]), `args`/results are ref-counted [`Bytes`]
+//!   slices of the received frame (zero copy on decode), and encoding goes
+//!   through a caller-supplied scratch buffer (zero steady-state
+//!   allocation beyond the frame itself).
 
 use bytes::Bytes;
+use mage_codec::frame::{write_bytes, write_str, write_u64};
+use mage_codec::{DecodeError, FrameReader};
 use serde::{Deserialize, Serialize};
 
 use crate::error::Fault;
+use crate::symbols::NameId;
 
-/// Every datagram between two endpoints is one encoded [`Message`].
+/// First byte of every v2 frame. Chosen well above any v1 enum variant
+/// index so the two formats cannot be confused.
+pub const MAGIC_V2: u8 = 0xA2;
+
+const KIND_CALL_REQ: u8 = 0;
+const KIND_CALL_RSP: u8 = 1;
+
+/// An interned name on the wire: the id always, the string only the first
+/// time this id travels to a given peer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NameRef {
+    /// The interned id.
+    pub id: NameId,
+    /// The backing string, present on first use per (sender, receiver)
+    /// pair so the receiver can learn the binding.
+    pub name: Option<String>,
+}
+
+impl NameRef {
+    /// A bare id (the steady-state form).
+    pub fn id(id: NameId) -> Self {
+        NameRef { id, name: None }
+    }
+
+    /// An id with its first-use string attached.
+    pub fn first_use(id: NameId, name: &str) -> Self {
+        NameRef {
+            id,
+            name: Some(name.to_owned()),
+        }
+    }
+
+    fn decode(r: &mut FrameReader<'_>) -> Result<Self, DecodeError> {
+        let id = NameId::from_raw(r.read_u32()?);
+        let name = match r.read_u8()? {
+            0 => None,
+            1 => Some(r.read_str()?.to_owned()),
+            other => return Err(DecodeError::InvalidOptionTag(other)),
+        };
+        Ok(NameRef { id, name })
+    }
+}
+
+/// A v2 datagram between two endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WireMsg {
+    /// A method invocation request.
+    CallReq {
+        /// Client-unique call id (also the dedup key on the server).
+        call_id: u64,
+        /// Interned name the target object is bound under.
+        object: NameRef,
+        /// Interned method name.
+        method: NameRef,
+        /// Marshalled arguments; on decode, a zero-copy slice of the frame.
+        args: Bytes,
+    },
+    /// The response to a [`WireMsg::CallReq`].
+    CallRsp {
+        /// Echoed call id.
+        call_id: u64,
+        /// Marshalled result (zero-copy slice on decode) or server fault.
+        result: Result<Bytes, Fault>,
+    },
+}
+
+/// Encodes a v2 call request from borrowed parts into `scratch` (cleared
+/// first) and returns the finished frame — the frame buffer is the only
+/// allocation. `object_name`/`method_name` ride along only on first use.
+#[allow(clippy::too_many_arguments)]
+pub fn encode_call_req(
+    scratch: &mut Vec<u8>,
+    call_id: u64,
+    object: NameId,
+    object_name: Option<&str>,
+    method: NameId,
+    method_name: Option<&str>,
+    args: &[u8],
+) -> Bytes {
+    scratch.clear();
+    scratch.push(MAGIC_V2);
+    scratch.push(KIND_CALL_REQ);
+    write_u64(scratch, call_id);
+    encode_name(scratch, object, object_name);
+    encode_name(scratch, method, method_name);
+    write_bytes(scratch, args);
+    Bytes::copy_from_slice(scratch)
+}
+
+/// Encodes a v2 call response from borrowed parts (see
+/// [`encode_call_req`]).
+pub fn encode_call_rsp(
+    scratch: &mut Vec<u8>,
+    call_id: u64,
+    result: Result<&[u8], &Fault>,
+) -> Bytes {
+    scratch.clear();
+    scratch.push(MAGIC_V2);
+    scratch.push(KIND_CALL_RSP);
+    write_u64(scratch, call_id);
+    match result {
+        Ok(payload) => {
+            scratch.push(0);
+            write_bytes(scratch, payload);
+        }
+        Err(fault) => {
+            scratch.push(1);
+            let fault_bytes = mage_codec::to_bytes(fault).expect("faults always encode");
+            write_bytes(scratch, &fault_bytes);
+        }
+    }
+    Bytes::copy_from_slice(scratch)
+}
+
+fn encode_name(out: &mut Vec<u8>, id: NameId, name: Option<&str>) {
+    write_u64(out, u64::from(id.as_raw()));
+    match name {
+        Some(name) => {
+            out.push(1);
+            write_str(out, name);
+        }
+        None => out.push(0),
+    }
+}
+
+impl WireMsg {
+    /// Encodes this message into `scratch` (cleared first) and returns the
+    /// finished frame. The only allocation is the frame's own buffer;
+    /// reusing `scratch` across calls amortises everything else.
+    pub fn encode_with(&self, scratch: &mut Vec<u8>) -> Bytes {
+        match self {
+            WireMsg::CallReq {
+                call_id,
+                object,
+                method,
+                args,
+            } => encode_call_req(
+                scratch,
+                *call_id,
+                object.id,
+                object.name.as_deref(),
+                method.id,
+                method.name.as_deref(),
+                args,
+            ),
+            WireMsg::CallRsp { call_id, result } => {
+                encode_call_rsp(scratch, *call_id, result.as_ref().map(|b| b.as_slice()))
+            }
+        }
+    }
+
+    /// Encodes into a fresh scratch buffer (tests and cold paths).
+    pub fn encode(&self) -> Bytes {
+        self.encode_with(&mut Vec::with_capacity(64))
+    }
+
+    /// Decodes a v2 frame. Argument and result payloads are returned as
+    /// ref-counted slices of `frame` — no bytes are copied.
+    ///
+    /// # Errors
+    ///
+    /// Returns a codec error for truncated, malformed or non-v2 frames.
+    pub fn decode(frame: &Bytes) -> Result<Self, DecodeError> {
+        let mut r = FrameReader::new(frame);
+        let magic = r.read_u8()?;
+        if magic != MAGIC_V2 {
+            return Err(DecodeError::Message(format!(
+                "not a v2 frame (leading byte {magic:#04x}, expected {MAGIC_V2:#04x})"
+            )));
+        }
+        let msg = match r.read_u8()? {
+            KIND_CALL_REQ => WireMsg::CallReq {
+                call_id: r.read_u64()?,
+                object: NameRef::decode(&mut r)?,
+                method: NameRef::decode(&mut r)?,
+                args: r.read_bytes()?,
+            },
+            KIND_CALL_RSP => {
+                let call_id = r.read_u64()?;
+                let result = match r.read_u8()? {
+                    0 => Ok(r.read_bytes()?),
+                    1 => {
+                        let fault_bytes = r.read_bytes()?;
+                        Err(mage_codec::from_bytes::<Fault>(&fault_bytes)?)
+                    }
+                    other => return Err(DecodeError::InvalidOptionTag(other)),
+                };
+                WireMsg::CallRsp { call_id, result }
+            }
+            other => {
+                return Err(DecodeError::Message(format!(
+                    "unknown v2 message kind {other:#04x}"
+                )))
+            }
+        };
+        if r.is_empty() {
+            Ok(msg)
+        } else {
+            Err(DecodeError::TrailingBytes(r.remaining()))
+        }
+    }
+
+    /// The call id carried by this message.
+    pub fn call_id(&self) -> u64 {
+        match self {
+            WireMsg::CallReq { call_id, .. } | WireMsg::CallRsp { call_id, .. } => *call_id,
+        }
+    }
+
+    /// A static label for metrics — free to produce. Rich labels (with
+    /// object/method names) are only materialised when tracing is on; see
+    /// [`Message::display_label`] for the v1 analogue.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WireMsg::CallReq { .. } => "call",
+            WireMsg::CallRsp { result: Ok(_), .. } => "rsp:ok",
+            WireMsg::CallRsp { result: Err(_), .. } => "rsp:fault",
+        }
+    }
+}
+
+/// Builds the rich trace label for a call: `"call:<object>.<method>"`.
+/// Only worth its allocation when the world is tracing.
+pub fn call_label(object: &str, method: &str) -> String {
+    format!("call:{object}.{method}")
+}
+
+/// Every datagram between two endpoints used to be one encoded v1
+/// [`Message`]; the endpoint hot path now speaks [`WireMsg`], and this type
+/// remains for compatibility tooling and format tests.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Message {
     /// A method invocation request.
@@ -33,8 +279,8 @@ impl Message {
     ///
     /// # Panics
     ///
-    /// Panics only if the codec rejects the message, which cannot happen for
-    /// well-formed [`Message`] values (all fields have known lengths).
+    /// Panics only if the codec rejects the message, which cannot happen
+    /// for well-formed [`Message`] values (all fields have known lengths).
     pub fn encode(&self) -> Bytes {
         Bytes::from(mage_codec::to_bytes(self).expect("wire messages always encode"))
     }
@@ -43,7 +289,9 @@ impl Message {
     ///
     /// # Errors
     ///
-    /// Returns the codec error when the payload is malformed.
+    /// Returns the codec error when the payload is malformed — including
+    /// v2 frames, whose [`MAGIC_V2`] leading byte is not a valid v1
+    /// variant index.
     pub fn decode(bytes: &[u8]) -> Result<Self, mage_codec::DecodeError> {
         mage_codec::from_bytes(bytes)
     }
@@ -55,12 +303,22 @@ impl Message {
         }
     }
 
-    /// A short label for traces: `"call:<method>"` or `"rsp"`.
-    pub fn trace_label(&self) -> String {
+    /// A static label for metrics: `"call"`, `"rsp:ok"` or `"rsp:fault"`.
+    /// Free to produce — use [`Message::display_label`] only when tracing.
+    pub fn label(&self) -> &'static str {
         match self {
-            Message::CallReq { object, method, .. } => format!("call:{object}.{method}"),
-            Message::CallRsp { result: Ok(_), .. } => "rsp:ok".to_owned(),
-            Message::CallRsp { result: Err(_), .. } => "rsp:fault".to_owned(),
+            Message::CallReq { .. } => "call",
+            Message::CallRsp { result: Ok(_), .. } => "rsp:ok",
+            Message::CallRsp { result: Err(_), .. } => "rsp:fault",
+        }
+    }
+
+    /// The rich trace label: `"call:<object>.<method>"` for requests,
+    /// [`Message::label`] otherwise. Allocates; call only when tracing.
+    pub fn display_label(&self) -> String {
+        match self {
+            Message::CallReq { object, method, .. } => call_label(object, method),
+            other => other.label().to_owned(),
         }
     }
 }
@@ -70,7 +328,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn call_req_roundtrips() {
+    fn v1_call_req_roundtrips() {
         let msg = Message::CallReq {
             call_id: 9,
             object: "geoData".into(),
@@ -82,7 +340,7 @@ mod tests {
     }
 
     #[test]
-    fn call_rsp_roundtrips_both_arms() {
+    fn v1_call_rsp_roundtrips_both_arms() {
         let ok = Message::CallRsp {
             call_id: 1,
             result: Ok(vec![7]),
@@ -105,28 +363,125 @@ mod tests {
     }
 
     #[test]
-    fn trace_labels() {
+    fn static_labels_are_free_and_stable() {
         let req = Message::CallReq {
             call_id: 0,
             object: "o".into(),
             method: "m".into(),
             args: vec![],
         };
-        assert_eq!(req.trace_label(), "call:o.m");
+        assert_eq!(req.label(), "call");
+        assert_eq!(req.display_label(), "call:o.m");
         let rsp = Message::CallRsp {
             call_id: 0,
             result: Ok(vec![]),
         };
-        assert_eq!(rsp.trace_label(), "rsp:ok");
+        assert_eq!(rsp.label(), "rsp:ok");
+        assert_eq!(rsp.display_label(), "rsp:ok");
         let fault = Message::CallRsp {
             call_id: 0,
             result: Err(Fault::App("e".into())),
         };
-        assert_eq!(fault.trace_label(), "rsp:fault");
+        assert_eq!(fault.label(), "rsp:fault");
     }
 
     #[test]
     fn malformed_bytes_are_rejected() {
         assert!(Message::decode(&[0xFF, 0xFF, 0xFF]).is_err());
+    }
+
+    #[test]
+    fn v2_call_req_roundtrips_with_first_use_names() {
+        let msg = WireMsg::CallReq {
+            call_id: 42,
+            object: NameRef::first_use(NameId::from_raw(3), "geoData"),
+            method: NameRef::id(NameId::from_raw(9)),
+            args: Bytes::from(vec![1, 2, 3]),
+        };
+        let frame = msg.encode();
+        assert_eq!(WireMsg::decode(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn v2_args_decode_zero_copy() {
+        let msg = WireMsg::CallReq {
+            call_id: 1,
+            object: NameRef::id(NameId::from_raw(0)),
+            method: NameRef::id(NameId::from_raw(1)),
+            args: Bytes::from(vec![5; 32]),
+        };
+        let frame = msg.encode();
+        let WireMsg::CallReq { args, .. } = WireMsg::decode(&frame).unwrap() else {
+            panic!("wrong kind");
+        };
+        // The decoded args point into the frame's allocation.
+        let frame_slice = frame.as_slice();
+        let args_ptr = args.as_slice().as_ptr() as usize;
+        let frame_range =
+            frame_slice.as_ptr() as usize..frame_slice.as_ptr() as usize + frame_slice.len();
+        assert!(
+            frame_range.contains(&args_ptr),
+            "args must borrow the frame"
+        );
+    }
+
+    #[test]
+    fn v2_rsp_roundtrips_both_arms() {
+        let ok = WireMsg::CallRsp {
+            call_id: 7,
+            result: Ok(Bytes::from(vec![9])),
+        };
+        let fault = WireMsg::CallRsp {
+            call_id: 8,
+            result: Err(Fault::ClassMissing("C".into())),
+        };
+        assert_eq!(WireMsg::decode(&ok.encode()).unwrap(), ok);
+        assert_eq!(WireMsg::decode(&fault.encode()).unwrap(), fault);
+    }
+
+    #[test]
+    fn v1_decoder_rejects_v2_frames_cleanly() {
+        let frame = WireMsg::CallReq {
+            call_id: 3,
+            object: NameRef::id(NameId::from_raw(0)),
+            method: NameRef::id(NameId::from_raw(1)),
+            args: Bytes::new(),
+        }
+        .encode();
+        let err = Message::decode(&frame).expect_err("v1 must reject v2");
+        // A clean decode error naming the bogus variant, not a panic or a
+        // silently misparsed message.
+        assert!(matches!(err, DecodeError::Message(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn v2_decoder_rejects_v1_frames_cleanly() {
+        let frame = Message::CallReq {
+            call_id: 3,
+            object: "o".into(),
+            method: "m".into(),
+            args: vec![],
+        }
+        .encode();
+        let err = WireMsg::decode(&frame).expect_err("v2 must reject v1");
+        assert!(matches!(err, DecodeError::Message(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn v2_truncated_frames_error_not_panic() {
+        let frame = WireMsg::CallReq {
+            call_id: 3,
+            object: NameRef::first_use(NameId::from_raw(0), "obj"),
+            method: NameRef::id(NameId::from_raw(1)),
+            args: Bytes::from(vec![1, 2, 3, 4]),
+        }
+        .encode();
+        for cut in 0..frame.len() {
+            let truncated = frame.slice(..cut);
+            assert!(
+                WireMsg::decode(&truncated).is_err(),
+                "truncation at {cut} must error"
+            );
+        }
     }
 }

@@ -234,9 +234,11 @@ impl App for ProxyApp {
         CallOutcome::Deferred
     }
 
-    fn on_reply(&mut self, env: &mut Env<'_, '_>, token: u64, result: Result<Vec<u8>, RmiError>) {
+    fn on_reply(&mut self, env: &mut Env<'_, '_>, token: u64, result: Result<Bytes, RmiError>) {
         let handle = self.waiting.remove(&token).expect("token known");
-        let result = result.map_err(|e| Fault::App(e.to_string()));
+        let result = result
+            .map(|b| b.to_vec())
+            .map_err(|e| Fault::App(e.to_string()));
         env.reply(handle, result);
     }
 }

@@ -1,11 +1,53 @@
 //! The actor abstraction: per-node protocol logic driven by messages and
 //! timers.
 
+use std::borrow::Cow;
+
 use bytes::Bytes;
 use rand::rngs::StdRng;
 
 use crate::time::{SimDuration, SimTime};
 use crate::topology::NodeId;
+
+/// A message label for traces and metrics.
+///
+/// Labels ride on every send, so they must cost nothing on the hot path:
+/// a `&'static str` label ("call", "rsp") never allocates. Rich, formatted
+/// labels (`"call:mage.find"`) are only worth building when the world is
+/// tracing — check [`Context::trace_enabled`] first.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Label(Cow<'static, str>);
+
+impl Label {
+    /// The label text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// Consumes the label, yielding an owned string (no copy for owned
+    /// labels, one copy for static ones).
+    pub fn into_string(self) -> String {
+        self.0.into_owned()
+    }
+}
+
+impl From<&'static str> for Label {
+    fn from(s: &'static str) -> Self {
+        Label(Cow::Borrowed(s))
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Label(Cow::Owned(s))
+    }
+}
+
+impl From<Cow<'static, str>> for Label {
+    fn from(s: Cow<'static, str>) -> Self {
+        Label(s)
+    }
+}
 
 /// Identifies a pending timer so it can be cancelled.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -54,7 +96,7 @@ pub trait Actor {
 pub(crate) enum Effect {
     Send {
         to: NodeId,
-        label: String,
+        label: Label,
         payload: Bytes,
         local_delay: SimDuration,
     },
@@ -79,6 +121,7 @@ pub struct Context<'a> {
     pub(crate) effects: Vec<Effect>,
     pub(crate) rng: &'a mut StdRng,
     pub(crate) next_timer: &'a mut u64,
+    pub(crate) trace_on: bool,
 }
 
 impl<'a> Context<'a> {
@@ -87,6 +130,7 @@ impl<'a> Context<'a> {
         now: SimTime,
         rng: &'a mut StdRng,
         next_timer: &'a mut u64,
+        trace_on: bool,
     ) -> Self {
         Context {
             node,
@@ -94,6 +138,7 @@ impl<'a> Context<'a> {
             effects: Vec::new(),
             rng,
             next_timer,
+            trace_on,
         }
     }
 
@@ -107,11 +152,20 @@ impl<'a> Context<'a> {
         self.now
     }
 
+    /// Whether the world is recording a trace.
+    ///
+    /// Rich message labels (`format!`-built) are only worth their
+    /// allocation when this returns `true`; otherwise pass a cheap static
+    /// label.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_on
+    }
+
     /// Sends `payload` to `to` immediately (network delays still apply).
     ///
     /// `label` names the message for traces and metrics; pick stable,
     /// protocol-level names such as `"find-req"`.
-    pub fn send(&mut self, to: NodeId, label: impl Into<String>, payload: Bytes) {
+    pub fn send(&mut self, to: NodeId, label: impl Into<Label>, payload: Bytes) {
         self.send_after(SimDuration::ZERO, to, label, payload);
     }
 
@@ -124,7 +178,7 @@ impl<'a> Context<'a> {
         &mut self,
         local_delay: SimDuration,
         to: NodeId,
-        label: impl Into<String>,
+        label: impl Into<Label>,
         payload: Bytes,
     ) {
         self.effects.push(Effect::Send {
@@ -189,6 +243,7 @@ mod tests {
             SimTime::ZERO,
             &mut rng,
             &mut next_timer,
+            false,
         );
         ctx.send(NodeId::from_raw(1), "a", Bytes::from_static(b"x"));
         let t = ctx.set_timer(SimDuration::from_millis(1), 7);
@@ -215,6 +270,7 @@ mod tests {
             SimTime::ZERO,
             &mut rng,
             &mut next_timer,
+            false,
         );
         let a = ctx.set_timer(SimDuration::ZERO, 0);
         let b = ctx.set_timer(SimDuration::ZERO, 0);

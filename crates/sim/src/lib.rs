@@ -47,10 +47,10 @@ mod topology;
 pub mod trace;
 mod world;
 
-pub use actor::{Actor, Context, OpId, TimerId};
+pub use actor::{Actor, Context, Label, OpId, TimerId};
 pub use metrics::{Metrics, NetCounters, Samples};
 pub use network::{DropReason, Network};
 pub use time::{transfer_time, SimDuration, SimTime};
 pub use topology::{LinkSpec, NodeId};
-pub use trace::{render_message_sequence, TraceEvent, TraceLog};
+pub use trace::{render_message_sequence, TraceEvent, TraceLog, TraceMode};
 pub use world::{SimError, World};

@@ -31,10 +31,17 @@ impl Metrics {
     }
 
     /// Records one send of a message labelled `label`.
+    ///
+    /// The per-label map only allocates the first time a label is seen;
+    /// steady-state sends are a lookup plus an increment.
     pub fn record_send(&mut self, label: &str, bytes: u64) {
         self.net.sent += 1;
         self.net.bytes_sent += bytes;
-        *self.per_label.entry(label.to_owned()).or_insert(0) += 1;
+        if let Some(count) = self.per_label.get_mut(label) {
+            *count += 1;
+        } else {
+            self.per_label.insert(label.to_owned(), 1);
+        }
     }
 
     /// Records one delivery.

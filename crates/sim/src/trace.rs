@@ -11,6 +11,20 @@ use crate::network::DropReason;
 use crate::time::SimTime;
 use crate::topology::NodeId;
 
+/// How much the world records as it runs.
+///
+/// Recording costs an allocation per event (labels are materialised into
+/// owned strings), so steady-state benchmarks run with [`TraceMode::Off`]
+/// — the default — and protocol-figure runs switch to [`TraceMode::Full`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TraceMode {
+    /// Record nothing; message sends cost no trace allocations at all.
+    #[default]
+    Off,
+    /// Record every send, delivery, drop, timer and note.
+    Full,
+}
+
 /// One recorded simulator event.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TraceEvent {

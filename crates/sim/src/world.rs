@@ -10,12 +10,12 @@ use bytes::Bytes;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::actor::{Actor, Context, Effect, OpId, TimerId};
+use crate::actor::{Actor, Context, Effect, Label, OpId, TimerId};
 use crate::metrics::Metrics;
 use crate::network::Network;
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkSpec, NodeId};
-use crate::trace::{TraceEvent, TraceLog};
+use crate::trace::{TraceEvent, TraceLog, TraceMode};
 
 /// Safety cap on events processed by a single blocking call, to turn
 /// accidental protocol livelock into a reported error instead of a hang.
@@ -51,7 +51,7 @@ enum EventKind {
     Deliver {
         from: NodeId,
         to: NodeId,
-        label: String,
+        label: Label,
         payload: Bytes,
         msg_id: u64,
     },
@@ -233,6 +233,25 @@ impl World {
         &mut self.trace
     }
 
+    /// Sets the trace mode. [`TraceMode::Off`] (the default) makes message
+    /// recording — and the rich labels actors build for it — cost nothing
+    /// on the steady-state path; [`TraceMode::Full`] records every event.
+    pub fn set_trace_mode(&mut self, mode: TraceMode) {
+        match mode {
+            TraceMode::Off => self.trace.disable(),
+            TraceMode::Full => self.trace.enable(),
+        }
+    }
+
+    /// The current trace mode.
+    pub fn trace_mode(&self) -> TraceMode {
+        if self.trace.is_enabled() {
+            TraceMode::Full
+        } else {
+            TraceMode::Off
+        }
+    }
+
     /// Experiment metrics accumulated so far.
     pub fn metrics(&self) -> &Metrics {
         &self.metrics
@@ -279,18 +298,20 @@ impl World {
     /// Injects a driver payload for delivery to `to` at the current instant.
     ///
     /// The receiving actor observes `from == NodeId::DRIVER`.
-    pub fn inject(&mut self, to: NodeId, label: impl Into<String>, payload: Bytes) {
+    pub fn inject(&mut self, to: NodeId, label: impl Into<Label>, payload: Bytes) {
         let msg_id = self.next_msg;
         self.next_msg += 1;
         let label = label.into();
-        self.trace.push(TraceEvent::Send {
-            at: self.clock,
-            from: NodeId::DRIVER,
-            to,
-            label: label.clone(),
-            bytes: payload.len() as u64,
-            msg_id,
-        });
+        if self.trace.is_enabled() {
+            self.trace.push(TraceEvent::Send {
+                at: self.clock,
+                from: NodeId::DRIVER,
+                to,
+                label: label.as_str().to_owned(),
+                bytes: payload.len() as u64,
+                msg_id,
+            });
+        }
         self.push_event(
             self.clock,
             EventKind::Deliver {
@@ -319,24 +340,28 @@ impl World {
                 msg_id,
             } => {
                 self.metrics.record_delivery();
-                self.trace.push(TraceEvent::Deliver {
-                    at: self.clock,
-                    from,
-                    to,
-                    label,
-                    msg_id,
-                });
+                if self.trace.is_enabled() {
+                    self.trace.push(TraceEvent::Deliver {
+                        at: self.clock,
+                        from,
+                        to,
+                        label: label.into_string(),
+                        msg_id,
+                    });
+                }
                 self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, payload));
             }
             EventKind::Timer { node, id, tag } => {
                 if self.cancelled.remove(&id) {
                     return true;
                 }
-                self.trace.push(TraceEvent::Timer {
-                    at: self.clock,
-                    node,
-                    tag,
-                });
+                if self.trace.is_enabled() {
+                    self.trace.push(TraceEvent::Timer {
+                        at: self.clock,
+                        node,
+                        tag,
+                    });
+                }
                 self.with_actor(node, |actor, ctx| actor.on_timer(ctx, tag));
             }
         }
@@ -421,7 +446,14 @@ impl World {
             .actor
             .take()
             .unwrap_or_else(|| panic!("actor for {node} is re-entered"));
-        let mut ctx = Context::new(node, self.clock, &mut self.rng, &mut self.next_timer);
+        let trace_on = self.trace.is_enabled();
+        let mut ctx = Context::new(
+            node,
+            self.clock,
+            &mut self.rng,
+            &mut self.next_timer,
+            trace_on,
+        );
         run(actor.as_mut(), &mut ctx);
         let effects = std::mem::take(&mut ctx.effects);
         self.nodes[idx].actor = Some(actor);
@@ -441,15 +473,17 @@ impl World {
                     let msg_id = self.next_msg;
                     self.next_msg += 1;
                     let bytes = payload.len() as u64;
-                    self.metrics.record_send(&label, bytes);
-                    self.trace.push(TraceEvent::Send {
-                        at: depart,
-                        from: node,
-                        to,
-                        label: label.clone(),
-                        bytes,
-                        msg_id,
-                    });
+                    self.metrics.record_send(label.as_str(), bytes);
+                    if self.trace.is_enabled() {
+                        self.trace.push(TraceEvent::Send {
+                            at: depart,
+                            from: node,
+                            to,
+                            label: label.as_str().to_owned(),
+                            bytes,
+                            msg_id,
+                        });
+                    }
                     match self.net.delivery_delay(node, to, bytes, &mut self.rng) {
                         Ok(net_delay) => {
                             self.push_event(
@@ -465,14 +499,16 @@ impl World {
                         }
                         Err(reason) => {
                             self.metrics.record_drop();
-                            self.trace.push(TraceEvent::Drop {
-                                at: depart,
-                                from: node,
-                                to,
-                                label,
-                                reason,
-                                msg_id,
-                            });
+                            if self.trace.is_enabled() {
+                                self.trace.push(TraceEvent::Drop {
+                                    at: depart,
+                                    from: node,
+                                    to,
+                                    label: label.into_string(),
+                                    reason,
+                                    msg_id,
+                                });
+                            }
                         }
                     }
                 }

@@ -22,8 +22,14 @@ pub struct Bytes {
 enum Inner {
     /// Borrowed from static storage; no allocation at all.
     Static(&'static [u8]),
-    /// Shared heap allocation.
-    Shared(Arc<[u8]>),
+    /// A view into a shared heap allocation. `start..end` delimit the
+    /// visible window, so subranges ([`Bytes::slice`]) share the same
+    /// allocation instead of copying.
+    Shared {
+        buf: Arc<[u8]>,
+        start: usize,
+        end: usize,
+    },
 }
 
 impl Default for Inner {
@@ -50,7 +56,49 @@ impl Bytes {
     /// Copies a slice into a new shared buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
         Bytes {
-            inner: Inner::Shared(Arc::from(data)),
+            inner: Inner::Shared {
+                start: 0,
+                end: data.len(),
+                buf: Arc::from(data),
+            },
+        }
+    }
+
+    /// Returns a view of `range` within this buffer without copying: the
+    /// returned `Bytes` shares the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or decreasing.
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
+        use std::ops::Bound;
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let finish = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(begin <= finish, "slice range decreasing: {begin}..{finish}");
+        assert!(
+            finish <= len,
+            "slice range {begin}..{finish} out of bounds (len {len})"
+        );
+        match &self.inner {
+            Inner::Static(s) => Bytes {
+                inner: Inner::Static(&s[begin..finish]),
+            },
+            Inner::Shared { buf, start, .. } => Bytes {
+                inner: Inner::Shared {
+                    buf: Arc::clone(buf),
+                    start: start + begin,
+                    end: start + finish,
+                },
+            },
         }
     }
 
@@ -68,7 +116,7 @@ impl Bytes {
     pub fn as_slice(&self) -> &[u8] {
         match &self.inner {
             Inner::Static(s) => s,
-            Inner::Shared(s) => s,
+            Inner::Shared { buf, start, end } => &buf[*start..*end],
         }
     }
 
@@ -95,7 +143,11 @@ impl AsRef<[u8]> for Bytes {
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
         Bytes {
-            inner: Inner::Shared(Arc::from(v)),
+            inner: Inner::Shared {
+                start: 0,
+                end: v.len(),
+                buf: Arc::from(v),
+            },
         }
     }
 }
@@ -169,5 +221,29 @@ mod tests {
     fn static_and_empty() {
         assert!(Bytes::new().is_empty());
         assert_eq!(Bytes::from_static(b"xy").to_vec(), vec![b'x', b'y']);
+    }
+
+    #[test]
+    fn slice_shares_allocation() {
+        let a = Bytes::from(vec![1u8, 2, 3, 4, 5]);
+        let b = a.slice(1..4);
+        assert_eq!(b.as_slice(), &[2, 3, 4]);
+        assert_eq!(a.as_slice()[1..4].as_ptr(), b.as_slice().as_ptr());
+        let c = b.slice(1..);
+        assert_eq!(c.as_slice(), &[3, 4]);
+    }
+
+    #[test]
+    fn slice_of_static_is_static() {
+        let a = Bytes::from_static(b"hello");
+        let b = a.slice(..2);
+        assert_eq!(b.as_slice(), b"he");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_out_of_bounds_panics() {
+        let a = Bytes::from(vec![1u8, 2]);
+        let _ = a.slice(0..3);
     }
 }

@@ -686,6 +686,22 @@ impl<'de> Deserialize<'de> for &'de str {
     }
 }
 
+impl<'de> Deserialize<'de> for &'de [u8] {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BytesVisitor;
+        impl<'de> Visitor<'de> for BytesVisitor {
+            type Value = &'de [u8];
+            fn expecting(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str("a borrowed byte slice")
+            }
+            fn visit_borrowed_bytes<E: Error>(self, v: &'de [u8]) -> Result<&'de [u8], E> {
+                Ok(v)
+            }
+        }
+        deserializer.deserialize_bytes(BytesVisitor)
+    }
+}
+
 impl<'de> Deserialize<'de> for () {
     fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
         struct UnitVisitor;
