@@ -1,0 +1,130 @@
+//! Chaos soak smoke: 10k mixed-model operations under seeded crashes,
+//! restarts and partitions, run twice to prove determinism.
+//!
+//! Asserts the fault-tolerance tentpole invariant — every operation
+//! resolves to success or a typed error, zero hangs — and that two runs
+//! with the same seed produce identical reports (the digest folds every
+//! fault event and per-operation outcome in order, so equality means the
+//! runs behaved identically event-for-event). Writes `CHAOS.json` for CI
+//! to archive. Run with `cargo run --release -p mage-bench --bin chaos`.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use mage_workloads::chaos::{run, ChaosConfig};
+
+fn main() {
+    mage_bench::banner("Chaos soak — crash/restart/partition fault tolerance");
+
+    let cfg = ChaosConfig {
+        seed: 2001,
+        hosts: 6,
+        ops: 10_000,
+        fault_percent: 12,
+    };
+    println!(
+        "{} ops over {} hosts, seed {}, {}% fault actions\n",
+        cfg.ops, cfg.hosts, cfg.seed, cfg.fault_percent
+    );
+
+    let wall = Instant::now();
+    let report = run(&cfg).expect("chaos run completes");
+    let first_ms = wall.elapsed().as_millis();
+    let wall = Instant::now();
+    let replay = run(&cfg).expect("chaos replay completes");
+    let replay_ms = wall.elapsed().as_millis();
+
+    assert_eq!(
+        report.resolved(),
+        report.ops,
+        "tentpole invariant violated: an operation failed to resolve"
+    );
+    // A hang or livelock surfaces as a budget-bounded Sim error counted
+    // in `stalled` — zero for this seed is the non-tautological check.
+    assert_eq!(
+        report.stalled, 0,
+        "tentpole invariant violated: an operation stalled instead of resolving typed"
+    );
+    assert_eq!(
+        report.other_errors, 0,
+        "unexpected error class under chaos: {report:?}"
+    );
+    assert_eq!(
+        report, replay,
+        "determinism violated: same seed, different event trace"
+    );
+
+    println!("outcomes:");
+    println!("  ok            {:>6}", report.ok);
+    println!(
+        "  unreachable   {:>6}  (typed: crashed/partitioned peer)",
+        report.unreachable
+    );
+    println!(
+        "  not_found     {:>6}  (typed: object died with its host)",
+        report.not_found
+    );
+    println!(
+        "  coercion      {:>6}  (typed: Table 2 rejection)",
+        report.coercion
+    );
+    println!(
+        "  stalled       {:>6}  (typed: command lost to a crash)",
+        report.stalled
+    );
+    println!("  other_errors  {:>6}", report.other_errors);
+    println!(
+        "  hung          {:>6}  (must be 0)",
+        report.ops - report.resolved()
+    );
+    println!("faults injected:");
+    println!(
+        "  crashes {} · restarts {} · partitions {} · heals {} · recreates {}",
+        report.crashes, report.restarts, report.partitions, report.heals, report.recreated
+    );
+    println!(
+        "fabric: {} sent, {} dropped · virtual {:.1} s · real {} ms (+{} ms replay)",
+        report.sent,
+        report.dropped,
+        report.elapsed_us as f64 / 1e6,
+        first_ms,
+        replay_ms
+    );
+    println!("digest: {:#018x} (replay identical)", report.digest);
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"bench\": \"PR3 chaos soak\",");
+    let _ = writeln!(
+        json,
+        "  \"config\": {{ \"seed\": {}, \"hosts\": {}, \"ops\": {}, \"fault_percent\": {} }},",
+        cfg.seed, cfg.hosts, cfg.ops, cfg.fault_percent
+    );
+    let _ = writeln!(
+        json,
+        "  \"outcomes\": {{ \"ok\": {}, \"unreachable\": {}, \"not_found\": {}, \"coercion\": {}, \"stalled\": {}, \"other_errors\": {}, \"hung\": {} }},",
+        report.ok,
+        report.unreachable,
+        report.not_found,
+        report.coercion,
+        report.stalled,
+        report.other_errors,
+        report.ops - report.resolved()
+    );
+    let _ = writeln!(
+        json,
+        "  \"faults\": {{ \"crashes\": {}, \"restarts\": {}, \"partitions\": {}, \"heals\": {}, \"recreated\": {} }},",
+        report.crashes, report.restarts, report.partitions, report.heals, report.recreated
+    );
+    let _ = writeln!(
+        json,
+        "  \"fabric\": {{ \"sent\": {}, \"dropped\": {} }},",
+        report.sent, report.dropped
+    );
+    let _ = writeln!(json, "  \"virtual_us\": {},", report.elapsed_us);
+    let _ = writeln!(json, "  \"digest\": \"{:#018x}\",", report.digest);
+    let _ = writeln!(json, "  \"replay_identical\": true");
+    let _ = writeln!(json, "}}");
+    std::fs::write("CHAOS.json", &json).expect("CHAOS.json written");
+    println!("\nwrote CHAOS.json");
+}

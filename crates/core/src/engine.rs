@@ -27,7 +27,14 @@ use crate::registry::CompKey;
 /// A continuation awaiting an RMI reply (keyed by its call token).
 pub(crate) enum Task {
     /// A driver-initiated find.
-    ClientFind { op: OpId, key: CompKey },
+    ClientFind {
+        op: OpId,
+        key: CompKey,
+        /// Origin-server hint for the once-only dead-hop retry.
+        home: Option<u32>,
+        /// Whether the dead-hop retry has been spent.
+        retried: bool,
+    },
     /// A driver-initiated lock acquisition.
     ClientLock(ClientLockTask),
     /// A driver-initiated unlock.
@@ -35,7 +42,14 @@ pub(crate) enum Task {
     /// A bind/invoke engine.
     Exec(Box<ExecTask>),
     /// A find being forwarded along the chain on behalf of a caller.
-    FwdFind { reply: ReplyHandle, key: CompKey },
+    FwdFind {
+        reply: ReplyHandle,
+        key: CompKey,
+        /// Origin-server hint riding with the walk.
+        home: Option<u32>,
+        /// Whether this walk is already the once-only home retry.
+        retried: bool,
+    },
     /// An object transfer out of this namespace.
     MoveOut(MoveOutTask),
 }
@@ -129,8 +143,21 @@ pub(crate) struct ExecTask {
 fn rmi_error_to_mage(err: &RmiError) -> MageError {
     match err {
         RmiError::Fault(fault) => proto::fault_to_error(fault),
+        RmiError::PeerUnreachable { peer, .. } => MageError::Unreachable {
+            peer: peer.as_raw(),
+        },
         other => MageError::Rmi(other.to_string()),
     }
+}
+
+/// Whether an RMI failure means the hop we talked to (or a hop it talked
+/// to) is unreachable — the signal that a forwarding-chain entry is dead
+/// and worth repairing.
+pub(crate) fn is_unreachable(err: &RmiError) -> bool {
+    matches!(
+        err,
+        RmiError::PeerUnreachable { .. } | RmiError::Fault(Fault::Unreachable { .. })
+    )
 }
 
 fn error_to_fault(err: &MageError) -> Fault {
@@ -147,6 +174,39 @@ fn decode<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T, MageError> 
 }
 
 impl MageNode {
+    /// Issues the once-only home retry of a find walk that dead-ended: a
+    /// fresh walk from `home` with the visited set reset, parking the
+    /// task built by `make_task` under a new token. Returns `false`
+    /// without side effects when the hint is absent or points here (the
+    /// caller surfaces its error instead).
+    pub(crate) fn retry_find_from_home(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        key: CompKey,
+        home: Option<u32>,
+        make_task: impl FnOnce() -> Task,
+    ) -> bool {
+        let me = env.node();
+        let Some(h) = home.map(NodeId::from_raw).filter(|h| *h != me) else {
+            return false;
+        };
+        let token = self.spawn_task(make_task());
+        let args = proto::FindArgs {
+            key,
+            visited: vec![me.as_raw()],
+            home,
+            retried: true,
+        };
+        env.call(
+            h,
+            self.ids.service,
+            self.ids.find,
+            mage_codec::to_bytes(&args).expect("find args encode"),
+            token,
+        );
+        true
+    }
+
     /// Routes an RMI reply to the task that issued the call.
     ///
     /// Unknown tokens are ignored: they belong to fire-and-forget calls
@@ -162,7 +222,12 @@ impl MageNode {
             return;
         };
         match task {
-            Task::FwdFind { reply, key } => {
+            Task::FwdFind {
+                reply,
+                key,
+                home,
+                retried,
+            } => {
                 match result {
                     Ok(bytes) => match decode::<u32>(&bytes) {
                         Ok(loc) => {
@@ -175,11 +240,42 @@ impl MageNode {
                         }
                         Err(e) => env.reply(reply, Err(Fault::App(e.to_string()))),
                     },
-                    Err(RmiError::Fault(fault)) => env.reply(reply, Err(fault)),
-                    Err(other) => env.reply(reply, Err(Fault::App(other.to_string()))),
+                    Err(err) => {
+                        // The hop we followed failed: the entry that led
+                        // there is stale — repair it so the bad chain dies
+                        // with this walk. A dead hop earns the once-only
+                        // retry from the component's home.
+                        self.registry.remove(key);
+                        if is_unreachable(&err)
+                            && !retried
+                            && self.retry_find_from_home(env, key, home, || Task::FwdFind {
+                                reply,
+                                key,
+                                home,
+                                retried: true,
+                            })
+                        {
+                            return;
+                        }
+                        match err {
+                            RmiError::Fault(fault) => env.reply(reply, Err(fault)),
+                            RmiError::PeerUnreachable { peer, .. } => env.reply(
+                                reply,
+                                Err(Fault::Unreachable {
+                                    peer: peer.as_raw(),
+                                }),
+                            ),
+                            other => env.reply(reply, Err(Fault::App(other.to_string()))),
+                        }
+                    }
                 }
             }
-            Task::ClientFind { op, key } => match result {
+            Task::ClientFind {
+                op,
+                key,
+                home,
+                retried,
+            } => match result {
                 Ok(bytes) => match decode::<u32>(&bytes) {
                     Ok(loc) => {
                         self.registry.update(key, NodeId::from_raw(loc));
@@ -194,7 +290,24 @@ impl MageNode {
                     }
                     Err(e) => self.complete(env, op, Err(e)),
                 },
-                Err(e) => self.complete(env, op, Err(rmi_error_to_mage(&e))),
+                Err(e) => {
+                    if is_unreachable(&e) {
+                        // The first hop (or one behind it) is dead; our
+                        // entry pointing there is stale.
+                        self.registry.remove(key);
+                        if !retried
+                            && self.retry_find_from_home(env, key, home, || Task::ClientFind {
+                                op,
+                                key,
+                                home,
+                                retried: true,
+                            })
+                        {
+                            return;
+                        }
+                    }
+                    self.complete(env, op, Err(rmi_error_to_mage(&e)));
+                }
             },
             Task::ClientLock(t) => self.step_client_lock(env, token, t, result),
             Task::ClientUnlock(t) => self.step_client_unlock(env, token, t, result),
@@ -238,6 +351,8 @@ impl MageNode {
                 let args = proto::FindArgs {
                     key,
                     visited: vec![me.as_raw()],
+                    home: home_hint.map(|h| h.as_raw()),
+                    retried: false,
                 };
                 env.call(
                     start,
@@ -303,6 +418,8 @@ impl MageNode {
                 let args = proto::FindArgs {
                     key,
                     visited: vec![me.as_raw()],
+                    home: home_hint,
+                    retried: false,
                 };
                 env.call(
                     start,
@@ -311,7 +428,15 @@ impl MageNode {
                     mage_codec::to_bytes(&args).expect("find args encode"),
                     token,
                 );
-                self.tasks.insert(token, Task::ClientFind { op, key });
+                self.tasks.insert(
+                    token,
+                    Task::ClientFind {
+                        op,
+                        key,
+                        home: home_hint,
+                        retried: false,
+                    },
+                );
             }
             None => {
                 let err = MageError::NotFound(key.display(&self.syms));
@@ -684,6 +809,10 @@ impl MageNode {
         }
         // Finds that arrived mid-move resolve right back here.
         let me = env.node();
+        // Re-home: the aborted transfer (e.g. to a crashed target) must
+        // leave the registry pointing at the surviving copy, not at
+        // whatever the chain said before the move started.
+        self.registry.update(CompKey::object(task.name), me);
         self.flush_transit_finds(env, task.name, me);
         self.locks
             .install(task.name, task.receive_args.locks.clone());

@@ -11,7 +11,7 @@ use bytes::Bytes;
 use mage_rmi::{Env, Fault, RmiError};
 use mage_sim::{NodeId, OpId};
 
-use crate::engine::{ExecPhase, ExecTask, MoveOrigin, Resume, Task};
+use crate::engine::{is_unreachable, ExecPhase, ExecTask, MoveOrigin, Resume, Task};
 use crate::error::MageError;
 use crate::lock::LockKind;
 use crate::node::MageNode;
@@ -21,8 +21,18 @@ use crate::registry::CompKey;
 fn rmi_error_to_mage(err: &RmiError) -> MageError {
     match err {
         RmiError::Fault(fault) => proto::fault_to_error(fault),
+        RmiError::PeerUnreachable { peer, .. } => MageError::Unreachable {
+            peer: peer.as_raw(),
+        },
         other => MageError::Rmi(other.to_string()),
     }
+}
+
+/// Whether a failed step is worth re-finding the object over: either the
+/// object moved out from under us (`NotBound` race) or the host we spoke
+/// to is gone (unreachable) — both mean our location knowledge is stale.
+fn stale_location(err: &RmiError) -> bool {
+    matches!(err, RmiError::Fault(Fault::NotBound(_))) || is_unreachable(err)
 }
 
 fn decode<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T, MageError> {
@@ -449,6 +459,8 @@ impl MageNode {
                 let args = proto::FindArgs {
                     key,
                     visited: vec![me.as_raw()],
+                    home: task.spec.home_hint,
+                    retried: false,
                 };
                 env.call(
                     start,
@@ -492,6 +504,35 @@ impl MageNode {
                     }
                     Err(e) => self.exec_fail(env, id, task, e),
                 },
+                Err(ref e) if is_unreachable(e) && task.retries > 0 => {
+                    // The hop we asked is dead; forget the stale location
+                    // knowledge and re-resolve (the home hint survives in
+                    // the spec, so the retry can start a fresh walk).
+                    task.retries -= 1;
+                    task.cloc = None;
+                    task.spec.location_hint = None;
+                    if let Some(name) = task.object_id {
+                        self.registry.remove(CompKey::object(name));
+                    }
+                    match resume {
+                        Resume::Guard => self.exec_begin_guard(env, id, task),
+                        Resume::Action => self.exec_begin_action(env, id, task),
+                        Resume::Invoke => match self.exec_resolve_location(env, id, &mut task) {
+                            Ok(Some(loc)) => {
+                                task.cloc = Some(loc);
+                                task.invoke_at = Some(loc);
+                                self.exec_begin_invoke(env, id, task);
+                            }
+                            Ok(None) => {
+                                task.phase = ExecPhase::AwaitFind {
+                                    resume: Resume::Invoke,
+                                };
+                                self.tasks.insert(id, Task::Exec(Box::new(task)));
+                            }
+                            Err(e) => self.exec_fail(env, id, task, e),
+                        },
+                    }
+                }
                 Err(e) => {
                     let err = rmi_error_to_mage(&e);
                     self.exec_fail(env, id, task, err);
@@ -506,10 +547,11 @@ impl MageNode {
                     }
                     Err(e) => self.exec_fail(env, id, task, e),
                 },
-                Err(RmiError::Fault(Fault::NotBound(_))) if task.retries > 0 => {
-                    // Raced a migration: chase the object and lock again.
-                    // The driver's location hint is stale by definition
-                    // here; drop it so the retry re-finds from the home.
+                Err(ref e) if stale_location(e) && task.retries > 0 => {
+                    // Raced a migration, or the host we asked is gone:
+                    // chase the object and lock again. The driver's
+                    // location hint is stale by definition here; drop it
+                    // so the retry re-finds from the home.
                     task.retries -= 1;
                     task.cloc = None;
                     task.spec.location_hint = None;
@@ -536,7 +578,7 @@ impl MageNode {
                     }
                     Err(e) => self.exec_fail(env, id, task, e),
                 },
-                Err(RmiError::Fault(Fault::NotBound(_))) if task.retries > 0 => {
+                Err(ref e) if stale_location(e) && task.retries > 0 => {
                     task.retries -= 1;
                     task.cloc = None;
                     task.spec.location_hint = None;
@@ -663,10 +705,10 @@ impl MageNode {
                     task.result = Some(bytes.to_vec());
                     self.exec_begin_unlock(env, id, task);
                 }
-                Err(RmiError::Fault(Fault::NotBound(_))) if task.retries > 0 => {
-                    // The object moved under us; find it again (public
-                    // objects "must be found before the current thread
-                    // invokes", §3.5).
+                Err(ref e) if stale_location(e) && task.retries > 0 => {
+                    // The object moved under us (or its host died); find
+                    // it again (public objects "must be found before the
+                    // current thread invokes", §3.5).
                     task.retries -= 1;
                     task.cloc = None;
                     task.spec.location_hint = None;

@@ -43,6 +43,13 @@ pub enum MageError {
     BadPlan(String),
     /// The remote side denied the operation (trust or quota policy).
     Denied(String),
+    /// A peer needed by the operation never answered within the retry
+    /// budget: it crashed, is partitioned away, or is silently dropping
+    /// traffic. The operation did *not* hang — this is its typed outcome.
+    Unreachable {
+        /// Raw node id of the unreachable peer.
+        peer: u32,
+    },
     /// An underlying RMI call failed.
     Rmi(String),
     /// The simulation could not complete the operation.
@@ -68,6 +75,9 @@ impl fmt::Display for MageError {
             ),
             MageError::BadPlan(msg) => write!(f, "invalid bind plan: {msg}"),
             MageError::Denied(msg) => write!(f, "denied: {msg}"),
+            MageError::Unreachable { peer } => {
+                write!(f, "peer n{peer} unreachable (crashed or partitioned)")
+            }
             MageError::Rmi(msg) => write!(f, "rmi failure: {msg}"),
             MageError::Sim(msg) => write!(f, "simulation failure: {msg}"),
             MageError::Codec(msg) => write!(f, "marshalling failure: {msg}"),
@@ -79,7 +89,12 @@ impl Error for MageError {}
 
 impl From<RmiError> for MageError {
     fn from(err: RmiError) -> Self {
-        MageError::Rmi(err.to_string())
+        match err {
+            RmiError::PeerUnreachable { peer, .. } => MageError::Unreachable {
+                peer: peer.as_raw(),
+            },
+            other => MageError::Rmi(other.to_string()),
+        }
     }
 }
 
@@ -119,6 +134,12 @@ mod tests {
     fn conversions_from_substrate_errors() {
         let rmi: MageError = RmiError::Timeout { attempts: 4 }.into();
         assert!(matches!(rmi, MageError::Rmi(_)));
+        let dead: MageError = RmiError::PeerUnreachable {
+            peer: mage_sim::NodeId::from_raw(3),
+            attempts: 4,
+        }
+        .into();
+        assert_eq!(dead, MageError::Unreachable { peer: 3 });
         let sim: MageError = SimError::Stalled.into();
         assert!(matches!(sim, MageError::Sim(_)));
     }

@@ -283,6 +283,30 @@ impl<T> LockTable<T> {
         grants
     }
 
+    /// Removes every trace of `client` across all lock queues — its held
+    /// locks release and its queued requests are dropped — returning the
+    /// grants that become runnable. Used when `client`'s node is observed
+    /// to have crashed/restarted: a dead incarnation can never send the
+    /// unlock, so waiters queued behind it must be drained rather than
+    /// left to starve.
+    pub fn purge_client(&mut self, client: NodeId, here: NodeId) -> Vec<Grant<T>> {
+        let names: Vec<NameId> = self.locks.keys().copied().collect();
+        let mut grants = Vec::new();
+        for name in names {
+            let state = self.locks.get_mut(&name).expect("key collected above");
+            state.stay_holders.retain(|c| *c != client);
+            if state.move_holder == Some(client) {
+                state.move_holder = None;
+            }
+            state.queue.retain(|w| w.client != client);
+            grants.extend(Self::drain(state, here, self.fair));
+            if state.is_idle() {
+                self.locks.remove(&name);
+            }
+        }
+        grants
+    }
+
     /// Removes all lock state for `name` (the object is migrating away).
     ///
     /// Returns the holders (to travel with the object) and the queued
@@ -494,6 +518,31 @@ mod tests {
     fn release_of_unheld_lock_is_harmless() {
         let mut t: LockTable<u32> = LockTable::new();
         assert!(t.release(O, client(1), HERE).is_empty());
+    }
+
+    #[test]
+    fn purge_client_releases_holds_and_drains_waiters() {
+        let mut t: LockTable<u32> = LockTable::new();
+        t.request(O, client(1), ELSEWHERE, HERE, 1); // move lock granted to 1
+        assert_eq!(t.request(O, client(2), HERE, HERE, 2), Request::Queued);
+        assert_eq!(t.request(O, client(1), ELSEWHERE, HERE, 3), Request::Queued);
+        // Client 1's node crashed: its held move lock releases, its queued
+        // request vanishes, and the stay waiter behind it is granted.
+        let grants = t.purge_client(client(1), HERE);
+        assert_eq!(grants.len(), 1);
+        assert_eq!(grants[0].client, client(2));
+        assert_eq!(grants[0].kind, LockKind::Stay);
+        assert_eq!(t.holds(O, client(1)), None);
+        assert_eq!(t.queue_len(O), 0);
+    }
+
+    #[test]
+    fn purge_client_without_state_is_harmless() {
+        let mut t: LockTable<u32> = LockTable::new();
+        assert!(t.purge_client(client(9), HERE).is_empty());
+        t.request(O, client(1), HERE, HERE, 1);
+        assert!(t.purge_client(client(9), HERE).is_empty());
+        assert_eq!(t.holds(O, client(1)), Some(LockKind::Stay));
     }
 
     #[test]

@@ -240,21 +240,26 @@ impl MageNode {
             return CallOutcome::Deferred;
         }
         let Some(next) = self.registry.lookup(args.key) else {
-            return CallOutcome::Reply(Err(Fault::NotBound(args.key.display(&self.syms))));
+            return self.find_dead_end(env, call.handle(), &args);
         };
         if next == me
             || args.visited.contains(&next.as_raw())
             || args.visited.len() as u32 >= self.config.find_hop_limit
         {
             // Stale self-pointing entry, a cycle, or an over-long chain:
-            // the component is unreachable from here.
-            return CallOutcome::Reply(Err(Fault::NotBound(args.key.display(&self.syms))));
+            // the entry provably leads nowhere from here. Repair it (so
+            // the bad chain does not survive this walk), then retry once
+            // from the component's home before surfacing an error.
+            self.registry.remove(args.key);
+            return self.find_dead_end(env, call.handle(), &args);
         }
         let mut visited = args.visited;
         visited.push(me.as_raw());
         let token = self.spawn_task(Task::FwdFind {
             reply: call.handle(),
             key: args.key,
+            home: args.home,
+            retried: args.retried,
         });
         env.call(
             next,
@@ -263,11 +268,36 @@ impl MageNode {
             mage_codec::to_bytes(&proto::FindArgs {
                 key: args.key,
                 visited,
+                home: args.home,
+                retried: args.retried,
             })
             .expect("find args encode"),
             token,
         );
         CallOutcome::Deferred
+    }
+
+    /// A find walk dead-ended here (no registry entry, or a repaired
+    /// stale/cyclic one): retry once from the component's home node if the
+    /// hint is usable, otherwise answer with a typed `NotBound`.
+    fn find_dead_end(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        reply: ReplyHandle,
+        args: &proto::FindArgs,
+    ) -> CallOutcome {
+        let (key, home) = (args.key, args.home);
+        if !args.retried
+            && self.retry_find_from_home(env, key, home, || Task::FwdFind {
+                reply,
+                key,
+                home,
+                retried: true,
+            })
+        {
+            return CallOutcome::Deferred;
+        }
+        CallOutcome::Reply(Err(Fault::NotBound(args.key.display(&self.syms))))
     }
 
     fn handle_lock(&mut self, env: &mut Env<'_, '_>, call: InboundCall) -> CallOutcome {
@@ -669,6 +699,19 @@ impl MageNode {
                     }),
                 );
             }
+            proto::Command::SeedRegistry { op, name, loc } => {
+                let key = CompKey::parse(&self.syms, &name);
+                self.registry.update(key, NodeId::from_raw(loc));
+                let me = env.node().as_raw();
+                self.complete(
+                    env,
+                    OpId::from_raw(op),
+                    Ok(Outcome {
+                        location: me,
+                        ..Outcome::default()
+                    }),
+                );
+            }
         }
     }
 
@@ -775,6 +818,35 @@ impl App for MageNode {
         result: Result<Bytes, mage_rmi::RmiError>,
     ) {
         self.step_task(env, token, result);
+    }
+
+    fn on_peer_restart(&mut self, env: &mut Env<'_, '_>, peer: NodeId) {
+        let me = env.node();
+        // Crash-stop: everything the previous incarnation of `peer` held
+        // here is dead knowledge. Locks it held release, and waiters that
+        // become runnable are granted; requests the dead incarnation had
+        // queued are dropped (their reply paths died with it).
+        let grants = self.locks.purge_client(peer, me);
+        for grant in grants {
+            let payload = mage_codec::to_bytes(&grant.kind).expect("lock kind encodes");
+            env.reply(grant.waiter, Ok(payload));
+        }
+        // Registry entries pointing at the dead incarnation are stale —
+        // the components it hosted died with it; finds must rediscover.
+        let stale = self.registry.purge_location(peer);
+        // Parked transit finds whose reply path died with the peer.
+        for waiters in self.transit_finds.values_mut() {
+            waiters.retain(|w| match w {
+                TransitFindWaiter::Reply(handle) => handle.caller() != peer,
+                TransitFindWaiter::Op(_) => true,
+            });
+        }
+        self.transit_finds.retain(|_, waiters| !waiters.is_empty());
+        if env.trace_enabled() {
+            env.note(format!(
+                "peer {peer} restarted: drained its locks, dropped {stale} stale registry entries"
+            ));
+        }
     }
 }
 

@@ -45,6 +45,12 @@ pub struct FindArgs {
     pub key: CompKey,
     /// Nodes already consulted, for cycle detection.
     pub visited: Vec<u32>,
+    /// Origin-server hint: a walk that dead-ends (stale self-pointer,
+    /// cycle, hop bound, unreachable hop) retries once from here before
+    /// giving up.
+    pub home: Option<u32>,
+    /// Whether this walk *is* the once-only home retry.
+    pub retried: bool,
 }
 
 /// Arguments of [`methods::LOCK`]. Reply: [`LockKind`].
@@ -289,6 +295,17 @@ pub enum Command {
         /// Whether to allow them.
         allow: bool,
     },
+    /// Admin/fault-injection hook: overwrite this node's registry entry
+    /// for a component, so tests can construct pathological forwarding
+    /// chains (stale self-pointers, cycles) deliberately.
+    SeedRegistry {
+        /// Raw op id to complete.
+        op: u64,
+        /// Component name (`"class:"` prefix for classes).
+        name: String,
+        /// Raw node id the entry should point at.
+        loc: u32,
+    },
 }
 
 /// Successful completion payload for driver operations.
@@ -323,6 +340,7 @@ pub fn fault_to_error(fault: &mage_rmi::Fault) -> MageError {
         mage_rmi::Fault::NotBound(name) => MageError::NotFound(name.clone()),
         mage_rmi::Fault::ClassMissing(class) => MageError::ClassUnavailable(class.clone()),
         mage_rmi::Fault::AccessDenied(why) => MageError::Denied(why.clone()),
+        mage_rmi::Fault::Unreachable { peer } => MageError::Unreachable { peer: *peer },
         other => MageError::Rmi(other.to_string()),
     }
 }

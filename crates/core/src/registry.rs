@@ -112,6 +112,16 @@ impl Registry {
         self.entries.remove(&key)
     }
 
+    /// Removes every entry pointing at `location`, returning how many
+    /// were dropped. Used when a node is observed to have crashed: the
+    /// components its previous incarnation hosted died with it, so the
+    /// forwarding addresses are stale.
+    pub fn purge_location(&mut self, location: NodeId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|_, loc| *loc != location);
+        before - self.entries.len()
+    }
+
     /// Number of tracked components.
     pub fn len(&self) -> usize {
         self.entries.len()
@@ -184,6 +194,22 @@ mod tests {
         assert_eq!(reg.remove(x), Some(n(1)));
         assert_eq!(reg.remove(x), None);
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn purge_location_drops_only_matching_entries() {
+        let syms = SymbolTable::new();
+        let a = CompKey::object(syms.intern("a"));
+        let b = CompKey::object(syms.intern("b"));
+        let c = CompKey::class(syms.intern("C"));
+        let mut reg = Registry::new();
+        reg.update(a, n(1));
+        reg.update(b, n(2));
+        reg.update(c, n(1));
+        assert_eq!(reg.purge_location(n(1)), 2);
+        assert_eq!(reg.lookup(a), None);
+        assert_eq!(reg.lookup(c), None);
+        assert_eq!(reg.lookup(b), Some(n(2)));
     }
 
     #[test]

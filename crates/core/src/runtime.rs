@@ -218,17 +218,29 @@ impl RuntimeBuilder {
             );
         }
         for name in &self.nodes {
-            let node = MageNode::new(
-                name.clone(),
-                Arc::clone(&lib),
-                ids.clone(),
-                self.node,
-                Arc::clone(&syms),
-            );
-            let id = world.add_node(
-                name.clone(),
-                Endpoint::with_symbols(node, self.rmi, Arc::clone(&syms)),
-            );
+            // Nodes are added through a factory so the world can restart
+            // them after a crash with a fresh (empty) runtime — crash-stop
+            // semantics: hosted objects, cached classes, registry entries
+            // and lock state do not survive.
+            let node_name = name.clone();
+            let node_lib = Arc::clone(&lib);
+            let node_ids = ids.clone();
+            let node_cfg = self.node;
+            let rmi_cfg = self.rmi;
+            let node_syms = Arc::clone(&syms);
+            let id = world.add_node_with(name.clone(), move || {
+                Box::new(Endpoint::with_symbols(
+                    MageNode::new(
+                        node_name.clone(),
+                        Arc::clone(&node_lib),
+                        node_ids.clone(),
+                        node_cfg,
+                        Arc::clone(&node_syms),
+                    ),
+                    rmi_cfg,
+                    Arc::clone(&node_syms),
+                ))
+            });
             debug_assert_eq!(Some(id), ids.get(name).copied());
         }
         let ids = Arc::new(ids);
@@ -412,6 +424,92 @@ impl Runtime {
         self.inner
             .borrow_mut()
             .command_sync(id, move |op| Command::AllowStaticClasses { op, allow })?;
+        Ok(())
+    }
+
+    // ---- fault injection (crash-stop) ----
+
+    /// Crashes namespace `node`: its hosted objects, cached classes,
+    /// registry entries and lock state are lost, in-flight messages to or
+    /// from it are dropped, and its epoch is bumped so peers can tell the
+    /// next incarnation apart. Returns `false` if it was already down.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown namespace names.
+    pub fn crash(&mut self, node: &str) -> Result<bool, MageError> {
+        let id = self.node_id(node)?;
+        Ok(self.inner.borrow_mut().world.crash(id))
+    }
+
+    /// Restarts a crashed namespace with a fresh, empty MAGE runtime (the
+    /// crash-stop model: no state survives). Returns `false` if the node
+    /// was not down.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown namespace names.
+    pub fn restart(&mut self, node: &str) -> Result<bool, MageError> {
+        let id = self.node_id(node)?;
+        Ok(self.inner.borrow_mut().world.restart(id))
+    }
+
+    /// Whether namespace `node` is currently running.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown namespace names.
+    pub fn is_up(&self, node: &str) -> Result<bool, MageError> {
+        let id = self.node_id(node)?;
+        Ok(self.inner.borrow().world.is_up(id))
+    }
+
+    /// Severs the links between two namespaces in both directions.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown namespace names.
+    pub fn partition_between(&mut self, a: &str, b: &str) -> Result<(), MageError> {
+        let (a, b) = (self.node_id(a)?, self.node_id(b)?);
+        self.inner.borrow_mut().world.partition(a, b);
+        Ok(())
+    }
+
+    /// Heals a partition between two namespaces.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown namespace names.
+    pub fn heal_between(&mut self, a: &str, b: &str) -> Result<(), MageError> {
+        let (a, b) = (self.node_id(a)?, self.node_id(b)?);
+        self.inner.borrow_mut().world.heal(a, b);
+        Ok(())
+    }
+
+    /// Fault-injection hook: overwrites `node`'s registry entry for
+    /// `component` (`"class:"` prefix for classes) to point at `at`, so
+    /// tests can construct pathological forwarding chains — stale
+    /// self-pointers and cycles — deliberately.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown namespace names.
+    pub fn seed_registry_entry(
+        &mut self,
+        node: &str,
+        component: &str,
+        at: &str,
+    ) -> Result<(), MageError> {
+        let id = self.node_id(node)?;
+        let loc = self.node_id(at)?.as_raw();
+        let component = component.to_owned();
+        self.inner
+            .borrow_mut()
+            .command_sync(id, move |op| Command::SeedRegistry {
+                op,
+                name: component,
+                loc,
+            })?;
         Ok(())
     }
 

@@ -1,0 +1,204 @@
+//! Crash/restart and partition fault tolerance of the MAGE runtime.
+//!
+//! Every scenario here asserts the tentpole invariant: operations under
+//! partial failure *resolve* — to success or to a typed [`MageError`] —
+//! instead of hanging, and the system stays usable afterwards (chains
+//! repaired, locks drained, objects re-creatable).
+
+use mage_core::attribute::{Cle, Grev};
+use mage_core::workload_support::{methods, test_object_class};
+use mage_core::{LockKind, MageError, Runtime, Visibility};
+use mage_sim::SimDuration;
+
+fn runtime(nodes: &[&str]) -> Runtime {
+    let mut rt = Runtime::builder()
+        .fast()
+        .seed(77)
+        .nodes(nodes.iter().copied())
+        .class(test_object_class())
+        .build();
+    rt.deploy_class("TestObject", nodes[0]).unwrap();
+    rt
+}
+
+/// Regression: a self-pointing/cyclic forwarding chain must terminate in
+/// a typed error (never a hang or a panic), repair every stale entry it
+/// walked, and leave the system healthy for a re-create.
+#[test]
+fn cyclic_forwarding_chain_is_repaired_and_reported() {
+    let mut rt = runtime(&["h0", "a", "b", "c"]);
+    let s0 = rt.session("h0").unwrap();
+    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+        .unwrap();
+    // Move the object to `a`, then lose it (crash-stop wipes a's state).
+    let sa = rt.session("a").unwrap();
+    sa.bind_invoke(&Grev::new("TestObject", "obj", "a"), methods::INC, &())
+        .unwrap();
+    rt.crash("a").unwrap();
+    rt.restart("a").unwrap();
+    // Poison the registries into a cycle: a → b → a, object nowhere.
+    rt.seed_registry_entry("a", "obj", "b").unwrap();
+    rt.seed_registry_entry("b", "obj", "a").unwrap();
+    // A find from a bystander must walk h0 → a → b, detect the cycle,
+    // retry once from home and surface a typed NotFound.
+    let sc = rt.session("c").unwrap();
+    let err = sc.find("obj").unwrap_err();
+    assert!(
+        matches!(err, MageError::NotFound(_)),
+        "expected typed NotFound, got {err:?}"
+    );
+    // The walk must have repaired the poisoned entries: re-creating the
+    // object at its home makes it findable again immediately.
+    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+        .unwrap();
+    let loc = sc.find("obj").unwrap();
+    assert_eq!(loc, rt.node_id("h0").unwrap());
+}
+
+/// A call whose target namespace crashed resolves to a typed
+/// `Unreachable`; after a restart (and re-deploy, crash-stop lost the
+/// class) the system serves again.
+#[test]
+fn crashed_peer_yields_unreachable_then_restart_recovers() {
+    let mut rt = runtime(&["home", "edge"]);
+    let home = rt.session("home").unwrap();
+    home.create_object("TestObject", "obj", &(), Visibility::Public)
+        .unwrap();
+    rt.crash("home").unwrap();
+
+    let edge = rt.session("edge").unwrap();
+    let err = edge.find("obj").unwrap_err();
+    assert!(
+        matches!(err, MageError::Unreachable { .. }),
+        "expected typed Unreachable, got {err:?}"
+    );
+
+    rt.restart("home").unwrap();
+    // Crash-stop: the class and object died with the old incarnation.
+    rt.deploy_class("TestObject", "home").unwrap();
+    let home = rt.session("home").unwrap();
+    home.create_object("TestObject", "obj", &(), Visibility::Public)
+        .unwrap();
+    let loc = edge.find("obj").unwrap();
+    assert_eq!(loc, rt.node_id("home").unwrap());
+}
+
+/// Lock queues drain waiters whose lock holder died: once the host
+/// observes the holder's new incarnation, the dead incarnation's
+/// exclusive lock releases and the queued waiter is granted.
+#[test]
+fn lock_queue_drains_when_holder_dies() {
+    let mut rt = runtime(&["host", "holder", "waiter"]);
+    let host = rt.session("host").unwrap();
+    host.create_object("TestObject", "obj", &(), Visibility::Public)
+        .unwrap();
+
+    // The holder takes an exclusive move lock (its target is elsewhere)…
+    let holder = rt.session("holder").unwrap();
+    let kind = holder.lock("obj", "holder").unwrap();
+    assert_eq!(kind, LockKind::Move);
+
+    // …and a waiter queues behind it.
+    let waiter = rt.session("waiter").unwrap();
+    let pending = waiter.lock_async("obj", "host").unwrap();
+    rt.advance(SimDuration::from_millis(1)).unwrap();
+    assert!(
+        !pending.is_done(),
+        "waiter must be queued behind the holder"
+    );
+
+    // The holder's node dies and comes back empty; the unlock will never
+    // arrive. The host notices the new incarnation on its next message…
+    rt.crash("holder").unwrap();
+    rt.restart("holder").unwrap();
+    let holder2 = rt.session("holder").unwrap();
+    let _ = holder2.find("obj").unwrap();
+
+    // …and the drained queue grants the waiter a stay lock.
+    let kind = pending.wait().unwrap();
+    assert_eq!(kind, LockKind::Stay);
+}
+
+/// Regression: the holder's restart can be observed on the host's *send*
+/// path first (the host talks to the restarted node before it speaks).
+/// The `on_peer_restart` repair — here, draining the dead holder's lock —
+/// must still run, at the host's next dispatch, even though the epoch
+/// was already recorded when the send happened.
+#[test]
+fn lock_queue_drains_when_host_only_sends_to_restarted_holder() {
+    let mut rt = runtime(&["host", "holder", "waiter"]);
+    let host = rt.session("host").unwrap();
+    host.create_object("TestObject", "obj", &(), Visibility::Public)
+        .unwrap();
+
+    let holder = rt.session("holder").unwrap();
+    assert_eq!(holder.lock("obj", "holder").unwrap(), LockKind::Move);
+    let waiter = rt.session("waiter").unwrap();
+    let pending = waiter.lock_async("obj", "host").unwrap();
+    rt.advance(SimDuration::from_millis(1)).unwrap();
+    assert!(
+        !pending.is_done(),
+        "waiter must be queued behind the holder"
+    );
+
+    rt.crash("holder").unwrap();
+    rt.restart("holder").unwrap();
+    // The restarted holder stays silent. Instead, the host *sends* to it:
+    // a seeded registry entry makes the host forward a find there. The
+    // epoch bump is detected on that send; the reply coming back triggers
+    // the deferred on_peer_restart, which drains the dead lock.
+    rt.seed_registry_entry("host", "ghost", "holder").unwrap();
+    let err = host.find("ghost").unwrap_err();
+    assert!(matches!(err, MageError::NotFound(_)), "got {err:?}");
+
+    let kind = pending.wait().unwrap();
+    assert_eq!(kind, LockKind::Stay);
+}
+
+/// A call across an active partition exhausts its retries and yields a
+/// typed `Unreachable` (no hang); healing the partition lets a fresh
+/// call succeed.
+#[test]
+fn partitioned_call_fails_typed_and_heals() {
+    let mut rt = runtime(&["home", "far"]);
+    let home = rt.session("home").unwrap();
+    home.create_object("TestObject", "obj", &(), Visibility::Public)
+        .unwrap();
+
+    rt.partition_between("home", "far").unwrap();
+    let far = rt.session("far").unwrap();
+    let err = far.find("obj").unwrap_err();
+    assert!(
+        matches!(err, MageError::Unreachable { .. }),
+        "expected typed Unreachable, got {err:?}"
+    );
+
+    rt.heal_between("home", "far").unwrap();
+    let loc = far.find("obj").unwrap();
+    assert_eq!(loc, rt.node_id("home").unwrap());
+}
+
+/// A migration whose target crashed aborts cleanly: the bind resolves to
+/// a typed error, the object re-homes at the source and stays usable.
+#[test]
+fn migration_to_crashed_target_aborts_and_rehomes() {
+    let mut rt = runtime(&["home", "dead"]);
+    let home = rt.session("home").unwrap();
+    home.create_object("TestObject", "obj", &(), Visibility::Public)
+        .unwrap();
+    rt.crash("dead").unwrap();
+
+    let err = home
+        .bind_invoke(&Grev::new("TestObject", "obj", "dead"), methods::INC, &())
+        .unwrap_err();
+    assert!(
+        matches!(err, MageError::Unreachable { .. }),
+        "expected typed Unreachable, got {err:?}"
+    );
+
+    // The aborted move left the object in service at the source.
+    let (_stub, count) = home
+        .bind_invoke(&Cle::new("TestObject", "obj"), methods::INC, &())
+        .unwrap();
+    assert_eq!(count, Some(1), "object must still be usable at its home");
+}

@@ -131,6 +131,17 @@ impl InboundCall {
 pub struct ReplyHandle {
     caller: NodeId,
     call_id: u64,
+    /// Caller incarnation when the call arrived; a reply to a caller that
+    /// has since restarted is silently dropped instead of confusing its
+    /// fresh call-id space.
+    caller_epoch: u64,
+}
+
+impl ReplyHandle {
+    /// The node that originated the deferred call.
+    pub fn caller(&self) -> NodeId {
+        self.caller
+    }
 }
 
 /// The app's verdict on an inbound call it was offered.
@@ -169,6 +180,17 @@ pub trait App {
 
     /// Called when an app timer set via [`Env::set_timer`] fires.
     fn on_timer(&mut self, _env: &mut Env<'_, '_>, _tag: u64) {}
+
+    /// Called when the endpoint detects that `peer` has restarted into a
+    /// new incarnation (its epoch changed since we last interacted).
+    ///
+    /// By the time this runs the endpoint has already invalidated its own
+    /// per-peer state — symbol-ack tracking, connection priming, learned
+    /// name translations, the response dedup cache and deferred-call
+    /// bookkeeping for that peer. Apps use the hook for *their* per-peer
+    /// state: draining lock queues whose holder died, repairing registry
+    /// entries that point at the lost incarnation, and so on.
+    fn on_peer_restart(&mut self, _env: &mut Env<'_, '_>, _peer: NodeId) {}
 }
 
 /// A no-op app for endpoints that only serve bound objects.
@@ -217,6 +239,14 @@ pub struct EndpointState {
     /// Receiver side: translation of a peer's wire ids to our local ids,
     /// learned from first-use strings.
     learned: HashMap<(NodeId, u32), NameId>,
+    /// Last observed incarnation of each peer; a change invalidates every
+    /// per-peer table above and below (the old incarnation's acks, learned
+    /// ids, primed connection and cached responses died with it).
+    peer_epochs: HashMap<NodeId, u64>,
+    /// Peers whose restart was detected on the *send* path (inside an app
+    /// callback, where the app cannot be re-entered); the notification is
+    /// delivered at the endpoint's next dispatch.
+    pending_restart_hooks: Vec<NodeId>,
     deferred: BTreeSet<(NodeId, u64)>,
     /// At-most-once dedup cache: responses stored as ready-to-resend
     /// frames with their static label.
@@ -237,6 +267,8 @@ impl EndpointState {
             primed: BTreeSet::new(),
             shipped: HashMap::new(),
             learned: HashMap::new(),
+            peer_epochs: HashMap::new(),
+            pending_restart_hooks: Vec::new(),
             deferred: BTreeSet::new(),
             response_cache: HashMap::new(),
             cache_order: VecDeque::new(),
@@ -245,13 +277,48 @@ impl EndpointState {
     }
 
     fn cache_response(&mut self, key: (NodeId, u64), frame: Bytes, label: &'static str) {
-        if self.response_cache.len() >= self.cfg.response_cache_size {
-            if let Some(evicted) = self.cache_order.pop_front() {
-                self.response_cache.remove(&evicted);
+        // Re-caching an existing key must not duplicate its order entry:
+        // a duplicate makes a later eviction pop a stale entry, dropping a
+        // *live* cached response while the map stays over budget.
+        if self.response_cache.insert(key, (frame, label)).is_none() {
+            self.cache_order.push_back(key);
+        }
+        while self.response_cache.len() > self.cfg.response_cache_size {
+            // Entries purged out of band (peer restarts) leave stale order
+            // slots behind; skip them until the map actually shrinks.
+            match self.cache_order.pop_front() {
+                Some(evicted) => {
+                    self.response_cache.remove(&evicted);
+                }
+                None => break,
             }
         }
-        self.response_cache.insert(key, (frame, label));
-        self.cache_order.push_back(key);
+    }
+
+    /// Records `peer`'s current incarnation. Returns `true` — after
+    /// invalidating all per-peer state — when the peer has restarted
+    /// since we last interacted with it.
+    fn note_peer_epoch(&mut self, peer: NodeId, epoch: u64) -> bool {
+        match self.peer_epochs.insert(peer, epoch) {
+            Some(old) if old != epoch => {
+                self.purge_peer(peer);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Forgets everything tied to a dead incarnation of `peer`: name-ack
+    /// state (strings must ship again), the primed connection, learned id
+    /// translations, cached responses (the fresh incarnation reuses call
+    /// ids from zero) and deferred-call bookkeeping.
+    fn purge_peer(&mut self, peer: NodeId) {
+        self.primed.remove(&peer);
+        self.shipped.remove(&peer);
+        self.learned.retain(|(node, _), _| *node != peer);
+        self.response_cache.retain(|(node, _), _| *node != peer);
+        self.cache_order.retain(|(node, _)| *node != peer);
+        self.deferred.retain(|(node, _)| *node != peer);
     }
 
     /// Translates a wire id from `from` to a local id, learning the
@@ -404,6 +471,16 @@ impl<'a, 'c> Env<'a, 'c> {
         let call_id = self.state.next_call;
         self.state.next_call += 1;
 
+        // A restarted peer lost its learned name table and its dedup
+        // cache; refresh our view of its incarnation before deciding
+        // whether the name strings must ride along. The app hook cannot
+        // run here (we are *inside* an app callback), so the detection is
+        // queued and delivered at the endpoint's next dispatch.
+        let to_epoch = self.ctx.node_epoch(to);
+        if self.state.note_peer_epoch(to, to_epoch) {
+            self.state.pending_restart_hooks.push(to);
+        }
+
         let ship_object = self.state.needs_name(to, object);
         let ship_method = self.state.needs_name(to, method);
         let named = ship_object || ship_method;
@@ -481,10 +558,16 @@ impl<'a, 'c> Env<'a, 'c> {
     /// Same as [`Env::reply`].
     pub fn reply_with(&mut self, handle: ReplyHandle, result: Result<&[u8], &Fault>) {
         let key = (handle.caller, handle.call_id);
-        assert!(
-            self.state.deferred.remove(&key),
-            "reply to unknown or already-answered call {key:?}"
-        );
+        if !self.state.deferred.remove(&key) {
+            // The caller restarted while its call was deferred: its entry
+            // was purged with the dead incarnation, and the fresh
+            // incarnation reuses call ids from zero — answering would
+            // corrupt an unrelated call. Drop the reply.
+            if self.ctx.node_epoch(handle.caller) != handle.caller_epoch {
+                return;
+            }
+            panic!("reply to unknown or already-answered call {key:?}");
+        }
         let label = match &result {
             Ok(_) => "rsp:ok",
             Err(_) => "rsp:fault",
@@ -582,6 +665,11 @@ impl<A: App> Endpoint<A> {
         args: Bytes,
     ) {
         let key = (from, call_id);
+        let handle = ReplyHandle {
+            caller: from,
+            call_id,
+            caller_epoch: ctx.node_epoch(from),
+        };
         // At-most-once: duplicate of an answered call re-sends the cached
         // response frame without re-executing or re-encoding.
         if let Some((frame, label)) = self.state.response_cache.get(&key) {
@@ -632,26 +720,15 @@ impl<A: App> Endpoint<A> {
             object_name: object_str,
             method_name: method_str,
             args,
-            handle: ReplyHandle {
-                caller: from,
-                call_id,
-            },
+            handle,
         };
         let mut env = Env::new(ctx, &mut self.state, dispatch_cost);
         match self.app.on_call(&mut env, from, call) {
             CallOutcome::Reply(result) => {
-                let handle = ReplyHandle {
-                    caller: from,
-                    call_id,
-                };
                 env.reply(handle, result);
             }
             CallOutcome::Deferred => {}
             CallOutcome::Unhandled => {
-                let handle = ReplyHandle {
-                    caller: from,
-                    call_id,
-                };
                 env.reply(handle, Err(Fault::NotBound("<unhandled>".into())));
             }
         }
@@ -677,6 +754,17 @@ impl<A: App> Endpoint<A> {
         self.app.on_reply(&mut env, pending.token, outcome);
     }
 
+    /// Delivers queued [`App::on_peer_restart`] notifications (restarts
+    /// first observed on the send path, where the app was mid-callback
+    /// and could not be re-entered).
+    fn drain_restart_hooks(&mut self, ctx: &mut Context<'_>) {
+        while !self.state.pending_restart_hooks.is_empty() {
+            let peer = self.state.pending_restart_hooks.remove(0);
+            let mut env = Env::new(ctx, &mut self.state, SimDuration::ZERO);
+            self.app.on_peer_restart(&mut env, peer);
+        }
+    }
+
     fn handle_retx(&mut self, ctx: &mut Context<'_>, call_id: u64) {
         let Some(pending) = self.state.pending.get_mut(&call_id) else {
             return; // answered already
@@ -696,12 +784,17 @@ impl<A: App> Endpoint<A> {
             ctx.send(to, label, frame);
             ctx.set_timer(timeout, RETX_FLAG | call_id);
         } else {
+            // Retry budget exhausted with no response at all: the peer is
+            // unreachable from here (crashed, partitioned, or silent).
+            // Fail the call with a typed error instead of leaving the
+            // token pending forever.
             let pending = self.state.pending.remove(&call_id).expect("checked above");
             let mut env = Env::new(ctx, &mut self.state, SimDuration::ZERO);
             self.app.on_reply(
                 &mut env,
                 pending.token,
-                Err(RmiError::Timeout {
+                Err(RmiError::PeerUnreachable {
+                    peer: pending.to,
                     attempts: pending.attempts,
                 }),
             );
@@ -721,6 +814,14 @@ impl<A: App> Actor for Endpoint<A> {
             self.app.on_driver(&mut env, payload);
             return;
         }
+        // First contact with a fresh incarnation of a known peer: purge
+        // every per-peer table, then let the app repair its own state
+        // (lock queues, registry entries) before the message dispatches.
+        // Restarts first detected on the send path drain here too.
+        if self.state.note_peer_epoch(from, ctx.node_epoch(from)) {
+            self.state.pending_restart_hooks.push(from);
+        }
+        self.drain_restart_hooks(ctx);
         match WireMsg::decode(&payload) {
             Ok(WireMsg::CallReq {
                 call_id,
@@ -755,6 +856,10 @@ impl<A: App> Actor for Endpoint<A> {
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+        // A node that only *sends* still gets timer dispatches (its
+        // retransmission timers), so send-path restart detections are
+        // guaranteed to drain even if the restarted peer stays silent.
+        self.drain_restart_hooks(ctx);
         if tag & RETX_FLAG != 0 {
             self.handle_retx(ctx, tag & !RETX_FLAG);
         } else {
@@ -770,5 +875,104 @@ impl<A> std::fmt::Debug for Endpoint<A> {
             .field("bound_objects", &self.state.objects.len())
             .field("pending_calls", &self.state.pending.len())
             .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(cache_size: usize) -> EndpointState {
+        EndpointState::new(
+            Config {
+                response_cache_size: cache_size,
+                ..Config::default()
+            },
+            SymbolTable::shared(),
+        )
+    }
+
+    fn key(node: u32, call: u64) -> (NodeId, u64) {
+        (NodeId::from_raw(node), call)
+    }
+
+    fn frame(tag: u8) -> Bytes {
+        Bytes::from(vec![tag])
+    }
+
+    /// Regression: re-caching an existing `(peer, token)` key used to push
+    /// a duplicate entry into `cache_order`, so a later eviction popped the
+    /// stale order entry and could drop a *live* cached response while the
+    /// map stayed over budget.
+    #[test]
+    fn recaching_a_key_does_not_corrupt_eviction_order() {
+        let mut st = state(2);
+        st.cache_response(key(0, 1), frame(1), "rsp:ok");
+        st.cache_response(key(0, 2), frame(2), "rsp:ok");
+        // Re-cache the first key: the map entry updates in place and the
+        // order queue must not grow a duplicate.
+        st.cache_response(key(0, 1), frame(11), "rsp:ok");
+        assert_eq!(st.response_cache.get(&key(0, 1)).unwrap().0, frame(11));
+        assert_eq!(st.cache_order.len(), 2);
+        // Keep inserting: the budget must hold and the newest entries
+        // must survive every eviction.
+        st.cache_response(key(0, 3), frame(3), "rsp:ok");
+        st.cache_response(key(0, 4), frame(4), "rsp:ok");
+        st.cache_response(key(0, 5), frame(5), "rsp:ok");
+        assert_eq!(st.response_cache.len(), 2, "cache must stay within budget");
+        assert!(st.response_cache.contains_key(&key(0, 4)));
+        assert!(st.response_cache.contains_key(&key(0, 5)));
+    }
+
+    /// Out-of-band purges (peer restarts) may leave stale order entries
+    /// behind; eviction must skip them rather than under-evict.
+    #[test]
+    fn eviction_survives_out_of_band_purges() {
+        let mut st = state(2);
+        st.cache_response(key(1, 1), frame(1), "rsp:ok");
+        st.cache_response(key(2, 1), frame(2), "rsp:ok");
+        st.purge_peer(NodeId::from_raw(1));
+        assert_eq!(st.response_cache.len(), 1);
+        st.cache_response(key(2, 2), frame(3), "rsp:ok");
+        st.cache_response(key(2, 3), frame(4), "rsp:ok");
+        assert_eq!(st.response_cache.len(), 2);
+        assert!(st.response_cache.contains_key(&key(2, 2)));
+        assert!(st.response_cache.contains_key(&key(2, 3)));
+    }
+
+    /// A peer-epoch change must invalidate every per-peer table: symbol
+    /// acks (strings ship again), priming, learned translations, cached
+    /// responses and deferred bookkeeping — and only for that peer.
+    #[test]
+    fn epoch_change_purges_all_per_peer_state() {
+        let mut st = state(8);
+        let peer = NodeId::from_raw(1);
+        let other = NodeId::from_raw(2);
+        let name = st.syms.intern("geoData");
+        for node in [peer, other] {
+            assert!(st.needs_name(node, name), "first use ships the string");
+            st.ack_name(node, name);
+            assert!(!st.needs_name(node, name), "acked ids travel alone");
+            st.primed.insert(node);
+            st.learned.insert((node, 7), name);
+            st.cache_response((node, 1), frame(9), "rsp:ok");
+            st.deferred.insert((node, 2));
+        }
+        assert!(!st.note_peer_epoch(peer, 0), "first sighting records only");
+        assert!(st.note_peer_epoch(peer, 1), "epoch bump detected");
+        assert!(
+            st.needs_name(peer, name),
+            "restarted peer must be re-sent the string"
+        );
+        assert!(!st.primed.contains(&peer));
+        assert!(!st.learned.contains_key(&(peer, 7)));
+        assert!(!st.response_cache.contains_key(&(peer, 1)));
+        assert!(!st.deferred.contains(&(peer, 2)));
+        // The other peer's state is untouched.
+        assert!(!st.needs_name(other, name));
+        assert!(st.primed.contains(&other));
+        assert!(st.learned.contains_key(&(other, 7)));
+        assert!(st.response_cache.contains_key(&(other, 1)));
+        assert!(st.deferred.contains(&(other, 2)));
     }
 }

@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use mage_sim::NodeId;
 use serde::{Deserialize, Serialize};
 
 /// A failure raised on the *server* side of a call and marshalled back to
@@ -23,6 +24,13 @@ pub enum Fault {
     ClassMissing(String),
     /// The server's policy refused the request.
     AccessDenied(String),
+    /// While serving the request the server had to contact another peer
+    /// and exhausted its retry budget doing so (the peer crashed, is
+    /// partitioned away, or is silently discarding traffic).
+    Unreachable {
+        /// Raw node id of the peer the server could not reach.
+        peer: u32,
+    },
     /// Application-level failure raised by the object implementation.
     App(String),
 }
@@ -36,6 +44,9 @@ impl fmt::Display for Fault {
             }
             Fault::ClassMissing(name) => write!(f, "class {name:?} not present"),
             Fault::AccessDenied(why) => write!(f, "access denied: {why}"),
+            Fault::Unreachable { peer } => {
+                write!(f, "server could not reach peer n{peer}")
+            }
             Fault::App(msg) => write!(f, "application fault: {msg}"),
         }
     }
@@ -49,8 +60,21 @@ impl Error for Fault {}
 pub enum RmiError {
     /// The server answered with a fault.
     Fault(Fault),
-    /// No response arrived within the retry budget.
+    /// A single transmission went unanswered within its timeout (only
+    /// surfaced by callers that opt out of retransmission).
     Timeout {
+        /// Number of transmissions attempted (1 + retries).
+        attempts: u32,
+    },
+    /// The whole retry budget was exhausted without any response: the
+    /// peer crashed, is partitioned away, or is silently dropping our
+    /// traffic. Crash-stop peers cannot be told apart from partitioned
+    /// ones from here — both surface as this error, delivered to
+    /// [`App::on_reply`](crate::App::on_reply) instead of leaving the
+    /// call pending forever.
+    PeerUnreachable {
+        /// The peer that never answered.
+        peer: NodeId,
         /// Number of transmissions attempted (1 + retries).
         attempts: u32,
     },
@@ -66,6 +90,9 @@ impl fmt::Display for RmiError {
             RmiError::Fault(fault) => write!(f, "remote fault: {fault}"),
             RmiError::Timeout { attempts } => {
                 write!(f, "call timed out after {attempts} attempts")
+            }
+            RmiError::PeerUnreachable { peer, attempts } => {
+                write!(f, "peer {peer} unreachable after {attempts} attempts")
             }
             RmiError::Decode(msg) => write!(f, "response decode failed: {msg}"),
             RmiError::Encode(msg) => write!(f, "argument encode failed: {msg}"),
@@ -95,6 +122,7 @@ mod tests {
             },
             Fault::ClassMissing("C".into()),
             Fault::AccessDenied("untrusted".into()),
+            Fault::Unreachable { peer: 3 },
             Fault::App("boom".into()),
         ];
         for fault in faults {
@@ -108,6 +136,13 @@ mod tests {
     fn display_messages_are_informative() {
         assert!(Fault::NotBound("x".into()).to_string().contains("x"));
         assert!(RmiError::Timeout { attempts: 3 }.to_string().contains('3'));
+        let unreachable = RmiError::PeerUnreachable {
+            peer: NodeId::from_raw(7),
+            attempts: 4,
+        };
+        assert!(unreachable.to_string().contains("n7"));
+        assert!(unreachable.to_string().contains("unreachable"));
+        assert!(Fault::Unreachable { peer: 7 }.to_string().contains("n7"));
         let err: RmiError = Fault::App("bad".into()).into();
         assert!(err.to_string().contains("bad"));
     }

@@ -10,6 +10,14 @@
 //!
 //! One table is shared per world/deployment: the harness creates it and
 //! hands an `Arc` to every endpoint, so ids are globally consistent.
+//!
+//! **Fault tolerance.** Whether a *peer* can resolve a bare id is
+//! per-connection state, not table state: each endpoint tracks which of
+//! its ids a peer has acknowledged, keyed by that peer's incarnation
+//! epoch. A crash-restarted peer lost its learned translations, so the
+//! endpoint's ack state for it is invalidated on the epoch bump and the
+//! backing strings ship again on next use (see `crate::endpoint`; the
+//! post-restart re-shipment test lives in `tests/wire_v2.rs`).
 
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};

@@ -136,13 +136,13 @@ fn retransmissions_preserve_responses_across_seeds() {
 }
 
 #[test]
-fn timeout_after_partition() {
+fn unreachable_after_partition() {
     let (mut world, client, server, _) = lossy_world(0.0, 1);
     world.partition(client, server);
     let err = drive_call(&mut world, client, server, "counter", "inc", vec![])
         .unwrap()
         .unwrap_err();
-    assert!(err.contains("timed out"), "{err}");
+    assert!(err.contains("unreachable"), "{err}");
 }
 
 #[test]

@@ -114,3 +114,62 @@ proptest! {
         prop_assert!(WireMsg::decode(&v1).is_err(), "v2 must reject v1 frames");
     }
 }
+
+/// Post-restart re-shipment: a restarted peer lost its learned name
+/// table, so the next request to it must carry the first-use strings
+/// again — observable on the wire as the frame growing back to its
+/// first-contact size — and the call must succeed against the fresh
+/// incarnation.
+#[test]
+fn post_restart_requests_reship_name_strings() {
+    use mage_rmi::{client_endpoint, drive_call, server_endpoint, Config, Fault, ObjectEnv};
+    use mage_sim::{TraceEvent, TraceMode, World};
+
+    let cfg = Config::zero_cost();
+    let mut world = World::new(11);
+    world.set_trace_mode(TraceMode::Full);
+    let client = world.add_node("client", client_endpoint(cfg));
+    let server = world.add_node_with("server", move || {
+        Box::new(server_endpoint(
+            cfg,
+            "echo",
+            Box::new(
+                |_m: &str, _a: &[u8], _e: &mut ObjectEnv<'_>| -> Result<Vec<u8>, Fault> {
+                    Ok(vec![1])
+                },
+            ),
+        ))
+    });
+
+    let call = |world: &mut World| {
+        drive_call(world, client, server, "echo", "poke", vec![])
+            .expect("world healthy")
+            .expect("call succeeds")
+    };
+    call(&mut world); // first contact: strings ship, reply acks them
+    call(&mut world); // steady state: bare ids only
+    world.crash(server);
+    world.restart(server);
+    call(&mut world); // fresh incarnation: strings must ship again
+
+    let request_sizes: Vec<u64> = world
+        .trace()
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::Send {
+                from, label, bytes, ..
+            } if *from == client && label.starts_with("call") => Some(*bytes),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(request_sizes.len(), 3, "{request_sizes:?}");
+    assert!(
+        request_sizes[1] < request_sizes[0],
+        "steady-state frame must shed the strings: {request_sizes:?}"
+    );
+    assert_eq!(
+        request_sizes[2], request_sizes[0],
+        "post-restart frame must carry first-use strings again: {request_sizes:?}"
+    );
+}

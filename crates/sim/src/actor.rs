@@ -122,6 +122,8 @@ pub struct Context<'a> {
     pub(crate) rng: &'a mut StdRng,
     pub(crate) next_timer: &'a mut u64,
     pub(crate) trace_on: bool,
+    /// Per-node incarnation numbers (bumped on crash), indexed by node id.
+    pub(crate) epochs: &'a [u64],
 }
 
 impl<'a> Context<'a> {
@@ -131,6 +133,7 @@ impl<'a> Context<'a> {
         rng: &'a mut StdRng,
         next_timer: &'a mut u64,
         trace_on: bool,
+        epochs: &'a [u64],
     ) -> Self {
         Context {
             node,
@@ -139,6 +142,7 @@ impl<'a> Context<'a> {
             rng,
             next_timer,
             trace_on,
+            epochs,
         }
     }
 
@@ -159,6 +163,21 @@ impl<'a> Context<'a> {
     /// label.
     pub fn trace_enabled(&self) -> bool {
         self.trace_on
+    }
+
+    /// The current incarnation number of `node` (bumped every time it
+    /// crashes; see [`World::crash`](crate::World::crash)).
+    ///
+    /// This models what a connection-oriented transport learns about peer
+    /// restarts (a reset connection implies a new incarnation); protocol
+    /// layers use it to invalidate per-peer state such as negotiated name
+    /// tables or response caches. Returns `0` for the driver sentinel and
+    /// unknown ids.
+    pub fn node_epoch(&self, node: NodeId) -> u64 {
+        if node.is_driver() {
+            return 0;
+        }
+        self.epochs.get(node.index()).copied().unwrap_or(0)
     }
 
     /// Sends `payload` to `to` immediately (network delays still apply).
@@ -244,6 +263,7 @@ mod tests {
             &mut rng,
             &mut next_timer,
             false,
+            &[],
         );
         ctx.send(NodeId::from_raw(1), "a", Bytes::from_static(b"x"));
         let t = ctx.set_timer(SimDuration::from_millis(1), 7);
@@ -271,6 +291,7 @@ mod tests {
             &mut rng,
             &mut next_timer,
             false,
+            &[],
         );
         let a = ctx.set_timer(SimDuration::ZERO, 0);
         let b = ctx.set_timer(SimDuration::ZERO, 0);

@@ -9,11 +9,16 @@ use crate::topology::{LinkSpec, NodeId};
 
 /// Why a message never arrived.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum DropReason {
     /// The link's random loss model discarded the message.
     RandomLoss,
     /// The sender and receiver are in different partitions.
     Partitioned,
+    /// One end of the exchange crashed (or restarted into a new
+    /// incarnation) while the message was in flight — crash-stop
+    /// semantics drop it.
+    NodeDown,
 }
 
 /// The network fabric connecting all namespaces in a world.

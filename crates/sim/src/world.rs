@@ -12,7 +12,7 @@ use rand::SeedableRng;
 
 use crate::actor::{Actor, Context, Effect, Label, OpId, TimerId};
 use crate::metrics::Metrics;
-use crate::network::Network;
+use crate::network::{DropReason, Network};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkSpec, NodeId};
 use crate::trace::{TraceEvent, TraceLog, TraceMode};
@@ -54,11 +54,20 @@ enum EventKind {
         label: Label,
         payload: Bytes,
         msg_id: u64,
+        /// Sender incarnation at send time; a mismatch at delivery means
+        /// the sender crashed while the message was in flight.
+        from_epoch: u64,
+        /// Receiver incarnation at send time; a mismatch at delivery means
+        /// the message was addressed to a previous incarnation.
+        to_epoch: u64,
     },
     Timer {
         node: NodeId,
         id: TimerId,
         tag: u64,
+        /// Incarnation that armed the timer; timers never fire into a
+        /// later incarnation of the node.
+        epoch: u64,
     },
 }
 
@@ -91,6 +100,12 @@ impl Ord for Scheduled {
 struct NodeSlot {
     name: String,
     actor: Option<Box<dyn Actor>>,
+    /// Rebuilds a fresh actor after a crash; nodes added without a factory
+    /// cannot be restarted.
+    factory: Option<Box<dyn Fn() -> Box<dyn Actor>>>,
+    /// Whether the node is currently running (crash-stop: `false` between
+    /// [`World::crash`] and [`World::restart`]).
+    up: bool,
 }
 
 enum OpSlot {
@@ -130,6 +145,9 @@ pub struct World {
     seq: u64,
     queue: BinaryHeap<Reverse<Scheduled>>,
     nodes: Vec<NodeSlot>,
+    /// Per-node incarnation numbers, parallel to `nodes` (a separate
+    /// vector so actor dispatch can borrow it alongside the RNG).
+    epochs: Vec<u64>,
     net: Network,
     rng: StdRng,
     trace: TraceLog,
@@ -158,6 +176,7 @@ impl World {
             seq: 0,
             queue: BinaryHeap::new(),
             nodes: Vec::new(),
+            epochs: Vec::new(),
             net,
             rng: StdRng::seed_from_u64(seed),
             trace: TraceLog::new(),
@@ -179,15 +198,112 @@ impl World {
     ///
     /// Panics if more than `u32::MAX - 1` nodes are added.
     pub fn add_node(&mut self, name: impl Into<String>, actor: impl Actor + 'static) -> NodeId {
+        self.push_node(name.into(), Box::new(actor), None)
+    }
+
+    /// Adds a node whose actor is built by `factory`, so the node can be
+    /// [`restart`](World::restart)ed after a [`crash`](World::crash) with
+    /// a fresh actor (crash-stop: volatile state does not survive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX - 1` nodes are added.
+    pub fn add_node_with(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> Box<dyn Actor> + 'static,
+    ) -> NodeId {
+        let actor = factory();
+        self.push_node(name.into(), actor, Some(Box::new(factory)))
+    }
+
+    fn push_node(
+        &mut self,
+        name: String,
+        actor: Box<dyn Actor>,
+        factory: Option<Box<dyn Fn() -> Box<dyn Actor>>>,
+    ) -> NodeId {
         let idx = u32::try_from(self.nodes.len()).expect("node count fits u32");
         assert!(idx < u32::MAX - 1, "too many nodes");
         let id = NodeId::from_raw(idx);
         self.nodes.push(NodeSlot {
-            name: name.into(),
-            actor: Some(Box::new(actor)),
+            name,
+            actor: Some(actor),
+            factory,
+            up: true,
         });
+        self.epochs.push(0);
         self.with_actor(id, |actor, ctx| actor.on_start(ctx));
         id
+    }
+
+    // ---- crash-stop fault injection ----
+
+    /// Crashes `node`: its actor state is discarded, its pending timers
+    /// will never fire, and every message to or from it still in flight is
+    /// dropped ([`DropReason::NodeDown`]). Bumps the node's epoch so later
+    /// incarnations are distinguishable. Returns `false` if the node was
+    /// already down.
+    pub fn crash(&mut self, node: NodeId) -> bool {
+        let idx = node.index();
+        let slot = &mut self.nodes[idx];
+        if !slot.up {
+            return false;
+        }
+        slot.up = false;
+        slot.actor = None;
+        self.epochs[idx] += 1;
+        if self.trace.is_enabled() {
+            self.trace.push(TraceEvent::Note {
+                at: self.clock,
+                node,
+                text: format!("crashed (epoch {})", self.epochs[idx]),
+            });
+        }
+        true
+    }
+
+    /// Restarts a crashed `node` with a fresh actor from its factory (its
+    /// [`Actor::on_start`] runs again). The node keeps its id and the
+    /// epoch bumped at crash time, so stale in-flight traffic addressed to
+    /// the previous incarnation is still dropped. Returns `false` if the
+    /// node was not down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the node was added without a factory (see
+    /// [`World::add_node_with`]).
+    pub fn restart(&mut self, node: NodeId) -> bool {
+        let idx = node.index();
+        let slot = &mut self.nodes[idx];
+        if slot.up {
+            return false;
+        }
+        let factory = slot
+            .factory
+            .as_ref()
+            .unwrap_or_else(|| panic!("{node} has no actor factory; use add_node_with"));
+        slot.actor = Some(factory());
+        slot.up = true;
+        if self.trace.is_enabled() {
+            self.trace.push(TraceEvent::Note {
+                at: self.clock,
+                node,
+                text: format!("restarted (epoch {})", self.epochs[idx]),
+            });
+        }
+        self.with_actor(node, |actor, ctx| actor.on_start(ctx));
+        true
+    }
+
+    /// Whether `node` is currently running.
+    pub fn is_up(&self, node: NodeId) -> bool {
+        self.nodes[node.index()].up
+    }
+
+    /// The current incarnation number of `node` (bumped on every crash).
+    pub fn node_epoch(&self, node: NodeId) -> u64 {
+        self.epochs[node.index()]
     }
 
     /// Current virtual time.
@@ -312,6 +428,7 @@ impl World {
                 msg_id,
             });
         }
+        let to_epoch = self.epochs.get(to.index()).copied().unwrap_or(0);
         self.push_event(
             self.clock,
             EventKind::Deliver {
@@ -320,6 +437,8 @@ impl World {
                 label,
                 payload,
                 msg_id,
+                from_epoch: 0,
+                to_epoch,
             },
         );
     }
@@ -338,7 +457,35 @@ impl World {
                 label,
                 payload,
                 msg_id,
+                from_epoch,
+                to_epoch,
             } => {
+                // Crash-stop: a message is lost if either endpoint crashed
+                // (or restarted into a new incarnation) while it was in
+                // flight, or if the receiver is currently down.
+                let sender_ok = from.is_driver()
+                    || self
+                        .nodes
+                        .get(from.index())
+                        .is_some_and(|slot| slot.up && self.epochs[from.index()] == from_epoch);
+                let receiver_ok = self
+                    .nodes
+                    .get(to.index())
+                    .is_some_and(|slot| slot.up && self.epochs[to.index()] == to_epoch);
+                if !sender_ok || !receiver_ok {
+                    self.metrics.record_drop();
+                    if self.trace.is_enabled() {
+                        self.trace.push(TraceEvent::Drop {
+                            at: self.clock,
+                            from,
+                            to,
+                            label: label.into_string(),
+                            reason: DropReason::NodeDown,
+                            msg_id,
+                        });
+                    }
+                    return true;
+                }
                 self.metrics.record_delivery();
                 if self.trace.is_enabled() {
                     self.trace.push(TraceEvent::Deliver {
@@ -351,8 +498,17 @@ impl World {
                 }
                 self.with_actor(to, |actor, ctx| actor.on_message(ctx, from, payload));
             }
-            EventKind::Timer { node, id, tag } => {
+            EventKind::Timer {
+                node,
+                id,
+                tag,
+                epoch,
+            } => {
                 if self.cancelled.remove(&id) {
+                    return true;
+                }
+                // Timers armed by a previous incarnation die with it.
+                if !self.nodes[node.index()].up || self.epochs[node.index()] != epoch {
                     return true;
                 }
                 if self.trace.is_enabled() {
@@ -442,6 +598,9 @@ impl World {
 
     fn with_actor(&mut self, node: NodeId, run: impl FnOnce(&mut dyn Actor, &mut Context<'_>)) {
         let idx = node.index();
+        if !self.nodes[idx].up {
+            return; // crashed nodes process nothing
+        }
         let mut actor = self.nodes[idx]
             .actor
             .take()
@@ -453,6 +612,7 @@ impl World {
             &mut self.rng,
             &mut self.next_timer,
             trace_on,
+            &self.epochs,
         );
         run(actor.as_mut(), &mut ctx);
         let effects = std::mem::take(&mut ctx.effects);
@@ -486,6 +646,8 @@ impl World {
                     }
                     match self.net.delivery_delay(node, to, bytes, &mut self.rng) {
                         Ok(net_delay) => {
+                            let from_epoch = self.epochs[node.index()];
+                            let to_epoch = self.epochs.get(to.index()).copied().unwrap_or(0);
                             self.push_event(
                                 depart + net_delay,
                                 EventKind::Deliver {
@@ -494,6 +656,8 @@ impl World {
                                     label,
                                     payload,
                                     msg_id,
+                                    from_epoch,
+                                    to_epoch,
                                 },
                             );
                         }
@@ -513,7 +677,16 @@ impl World {
                     }
                 }
                 Effect::SetTimer { id, after, tag } => {
-                    self.push_event(self.clock + after, EventKind::Timer { node, id, tag });
+                    let epoch = self.epochs[node.index()];
+                    self.push_event(
+                        self.clock + after,
+                        EventKind::Timer {
+                            node,
+                            id,
+                            tag,
+                            epoch,
+                        },
+                    );
                 }
                 Effect::CancelTimer(id) => {
                     self.cancelled.insert(id);
@@ -767,5 +940,155 @@ mod tests {
     fn sim_error_display() {
         assert!(SimError::Stalled.to_string().contains("stalled"));
         assert!(SimError::Op("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn crash_drops_in_flight_messages_to_dead_node() {
+        let mut world = World::new(1);
+        let a = world.add_node("a", Ponger);
+        let b = world.add_node_with("b", || Box::new(Ponger));
+        world.set_link_bidi(
+            a,
+            b,
+            LinkSpec::ideal().with_latency(SimDuration::from_millis(10)),
+        );
+        let op = world.begin_op();
+        world.inject(a, "cmd", driver_payload(op, b));
+        // Ping departs immediately; crash b while it is on the wire.
+        world.crash(b);
+        assert_eq!(world.block_on(op), Err(SimError::Stalled));
+        assert_eq!(world.metrics().net.dropped, 1);
+    }
+
+    #[test]
+    fn crash_drops_in_flight_messages_from_dead_node() {
+        let mut world = World::new(1);
+        let a = world.add_node_with("a", || Box::new(Ponger));
+        let b = world.add_node("b", Ponger);
+        world.set_link_bidi(
+            a,
+            b,
+            LinkSpec::ideal().with_latency(SimDuration::from_millis(10)),
+        );
+        let op = world.begin_op();
+        world.inject(a, "cmd", driver_payload(op, b));
+        // Let the ping depart, then crash the sender: crash-stop also
+        // invalidates its in-flight output.
+        world.crash(a);
+        assert_eq!(world.block_on(op), Err(SimError::Stalled));
+        assert!(world.metrics().net.dropped >= 1);
+    }
+
+    struct CountingActor {
+        seen: u64,
+    }
+
+    impl Actor for CountingActor {
+        fn on_message(&mut self, ctx: &mut Context<'_>, from: NodeId, payload: Bytes) {
+            if !from.is_driver() {
+                return;
+            }
+            self.seen += 1;
+            let op = OpId::from_raw(u64::from_le_bytes(payload[..8].try_into().unwrap()));
+            ctx.complete(op, Bytes::from(self.seen.to_le_bytes().to_vec()));
+        }
+    }
+
+    #[test]
+    fn restart_resets_actor_state_and_bumps_epoch() {
+        let mut world = World::new(1);
+        let a = world.add_node_with("a", || Box::new(CountingActor { seen: 0 }));
+        let ask = |world: &mut World| -> u64 {
+            let op = world.begin_op();
+            world.inject(a, "ask", Bytes::from(op.as_raw().to_le_bytes().to_vec()));
+            let out = world.block_on(op).unwrap();
+            u64::from_le_bytes(out[..].try_into().unwrap())
+        };
+        assert_eq!(ask(&mut world), 1);
+        assert_eq!(ask(&mut world), 2);
+        assert_eq!(world.node_epoch(a), 0);
+        assert!(world.crash(a));
+        assert!(!world.crash(a), "second crash is a no-op");
+        assert!(!world.is_up(a));
+        assert_eq!(world.node_epoch(a), 1);
+        assert!(world.restart(a));
+        assert!(!world.restart(a), "restart of an up node is a no-op");
+        assert!(world.is_up(a));
+        // Fresh actor: the counter restarted from zero.
+        assert_eq!(ask(&mut world), 1);
+    }
+
+    #[test]
+    fn driver_injection_to_down_node_is_dropped() {
+        let mut world = World::new(1);
+        let a = world.add_node_with("a", || Box::new(CountingActor { seen: 0 }));
+        world.crash(a);
+        let op = world.begin_op();
+        world.inject(a, "ask", Bytes::from(op.as_raw().to_le_bytes().to_vec()));
+        assert_eq!(world.block_on(op), Err(SimError::Stalled));
+        assert_eq!(world.metrics().net.dropped, 1);
+    }
+
+    struct OldTimer;
+
+    impl Actor for OldTimer {
+        fn on_start(&mut self, ctx: &mut Context<'_>) {
+            ctx.set_timer(SimDuration::from_millis(5), 42);
+        }
+
+        fn on_message(&mut self, _ctx: &mut Context<'_>, _from: NodeId, _payload: Bytes) {}
+
+        fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
+            ctx.note(format!("fired {tag}"));
+        }
+    }
+
+    #[test]
+    fn timers_from_previous_incarnation_do_not_fire() {
+        let mut world = World::new(1);
+        world.trace_mut().enable();
+        let a = world.add_node_with("t", || Box::new(OldTimer));
+        // Crash + restart before the epoch-0 timer is due: only the fresh
+        // incarnation's on_start timer (set at restart time) may fire.
+        world.crash(a);
+        world.restart(a);
+        world.run_until_idle().unwrap();
+        let fired: Vec<_> = world
+            .trace()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Timer { .. }))
+            .collect();
+        assert_eq!(fired.len(), 1, "only the new incarnation's timer fires");
+    }
+
+    #[test]
+    fn crashes_replay_deterministically() {
+        let run = |seed: u64| -> (SimTime, u64, u64) {
+            let mut world = World::new(seed);
+            let a = world.add_node_with("a", || Box::new(Ponger));
+            let b = world.add_node_with("b", || Box::new(Ponger));
+            world.set_link_bidi(
+                a,
+                b,
+                LinkSpec::ideal()
+                    .with_latency(SimDuration::from_millis(1))
+                    .with_jitter(SimDuration::from_micros(500)),
+            );
+            let op = world.begin_op();
+            world.inject(a, "cmd", driver_payload(op, b));
+            world.crash(b);
+            let _ = world.block_on(op);
+            world.restart(b);
+            let op = world.begin_op();
+            world.inject(a, "cmd", driver_payload(op, b));
+            world.block_on(op).unwrap();
+            (
+                world.now(),
+                world.metrics().net.sent,
+                world.metrics().net.dropped,
+            )
+        };
+        assert_eq!(run(7), run(7));
     }
 }

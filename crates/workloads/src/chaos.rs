@@ -1,0 +1,381 @@
+//! Chaos soak workload: mixed-model migrations under seeded crashes,
+//! restarts and partitions.
+//!
+//! The tentpole invariant of the fault-tolerance subsystem is *typed
+//! partial failure*: under arbitrary crash/restart/partition schedules,
+//! every driver operation either completes or resolves to a typed
+//! [`MageError`] — it never hangs. This workload drives thousands of
+//! REV/GREV/COD/CLE/mobile-agent operations against a deployment while a
+//! seeded adversary crashes nodes (losing their objects, classes,
+//! registries and locks — crash-stop), restarts them empty, and cuts and
+//! heals links. It classifies every outcome and folds the whole run into
+//! a digest, so two runs with the same seed can be checked for identical
+//! behaviour event-for-event.
+//!
+//! Conventions:
+//!
+//! * `h0` is the protected home namespace: it is never crashed, so the
+//!   class library stays deployed and lost objects can be re-created.
+//! * When an operation reports [`MageError::NotFound`] the shared object
+//!   is presumed dead with its host; the driver re-creates it at `h0`
+//!   (counted in [`ChaosReport::recreated`]).
+//! * [`MageError::Unreachable`] is *not* grounds for re-creation — the
+//!   object may be alive on the far side of a partition.
+
+use std::collections::BTreeSet;
+
+use mage_core::attribute::{Cle, Cod, Grev, MobileAgent, Rev};
+use mage_core::workload_support::{methods, test_object_class};
+use mage_core::{MageError, Runtime, Session, Visibility};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of one chaos run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Seed for both the runtime world and the fault schedule.
+    pub seed: u64,
+    /// Number of namespaces (`h0` … `h{hosts-1}`); at least 3.
+    pub hosts: usize,
+    /// Number of driver operations to run.
+    pub ops: usize,
+    /// Percent chance (0–100) that a fault action precedes an operation.
+    pub fault_percent: u8,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 2001,
+            hosts: 5,
+            ops: 1_000,
+            fault_percent: 15,
+        }
+    }
+}
+
+/// Outcome of a chaos run. Two runs with the same [`ChaosConfig`] must
+/// produce equal reports (including [`ChaosReport::digest`], which folds
+/// every per-operation outcome and fault event in order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaosReport {
+    /// Operations driven.
+    pub ops: usize,
+    /// Operations that completed successfully.
+    pub ok: usize,
+    /// Typed `Unreachable` outcomes (crashed or partitioned peers).
+    pub unreachable: usize,
+    /// Typed `NotFound` outcomes (object died with its host).
+    pub not_found: usize,
+    /// Typed coercion rejections (expected for some attribute mixes).
+    pub coercion: usize,
+    /// Typed simulation outcomes (operation stalled because its own
+    /// namespace lost the command to a crash).
+    pub stalled: usize,
+    /// Every other typed error.
+    pub other_errors: usize,
+    /// Times the shared object was re-created at `h0` after being lost.
+    pub recreated: usize,
+    /// Fault actions applied.
+    pub crashes: usize,
+    /// Nodes brought back.
+    pub restarts: usize,
+    /// Links cut.
+    pub partitions: usize,
+    /// Links healed.
+    pub heals: usize,
+    /// Messages sent / dropped by the fabric (trace equivalence check).
+    pub sent: u64,
+    /// Messages dropped (loss, partitions, dead nodes).
+    pub dropped: u64,
+    /// Virtual time consumed, in microseconds.
+    pub elapsed_us: u64,
+    /// FNV-1a fold of every fault event and operation outcome in order.
+    pub digest: u64,
+}
+
+impl ChaosReport {
+    /// Operations that resolved (success or typed error).
+    ///
+    /// Hang-protection is *enforced*, not merely counted: every blocking
+    /// wait runs under the world's bounded event budget, so a protocol
+    /// that stops making progress (queue drained, op unresolved) or
+    /// livelocks (budget exhausted) surfaces as [`MageError::Sim`] and
+    /// lands in [`ChaosReport::stalled`]. A healthy run therefore shows
+    /// `resolved() == ops` **and** `stalled == 0` — the second condition
+    /// is the one a hang regression would break.
+    pub fn resolved(&self) -> usize {
+        self.ok
+            + self.unreachable
+            + self.not_found
+            + self.coercion
+            + self.stalled
+            + self.other_errors
+    }
+}
+
+fn fold(digest: &mut u64, value: u64) {
+    // FNV-1a over 8-byte words: cheap, deterministic, order-sensitive.
+    for byte in value.to_le_bytes() {
+        *digest ^= u64::from(byte);
+        *digest = digest.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+}
+
+/// Classification codes folded into the digest (stable across runs).
+fn outcome_code(result: &Result<Option<i64>, MageError>) -> (u64, u64) {
+    match result {
+        Ok(v) => (0, v.unwrap_or(-1) as u64),
+        Err(MageError::Unreachable { peer }) => (1, u64::from(*peer)),
+        Err(MageError::NotFound(_)) => (2, 0),
+        Err(MageError::Coercion { .. } | MageError::NotApplicable { .. }) => (3, 0),
+        Err(MageError::Sim(_)) => (4, 0),
+        Err(MageError::ClassUnavailable(_)) => (5, 0),
+        Err(MageError::Denied(_)) => (6, 0),
+        Err(MageError::BadPlan(_)) => (7, 0),
+        Err(MageError::Rmi(_)) => (8, 0),
+        Err(MageError::Codec(_)) => (9, 0),
+        Err(_) => (10, 0),
+    }
+}
+
+fn pair(a: usize, b: usize) -> (usize, usize) {
+    if a < b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+/// Runs the chaos workload.
+///
+/// # Errors
+///
+/// Returns only infrastructure failures (bad configuration); operation
+/// failures under fault injection are *outcomes* counted in the report.
+///
+/// # Panics
+///
+/// Panics if `cfg.hosts < 3`.
+pub fn run(cfg: &ChaosConfig) -> Result<ChaosReport, MageError> {
+    assert!(cfg.hosts >= 3, "chaos needs at least three hosts");
+    let names: Vec<String> = (0..cfg.hosts).map(|i| format!("h{i}")).collect();
+    let mut rt = Runtime::builder()
+        .fast()
+        .seed(cfg.seed)
+        .nodes(names.iter().cloned())
+        .class(test_object_class())
+        .build();
+    rt.deploy_class("TestObject", "h0")?;
+    let sessions: Vec<Session> = names
+        .iter()
+        .map(|name| rt.session(name))
+        .collect::<Result<_, _>>()?;
+    sessions[0].create_object("TestObject", "shared", &(), Visibility::Public)?;
+
+    // The fault schedule draws from its own RNG so op mix and fault mix
+    // are independent of each other but both derived from the seed.
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xC4A0_5EED);
+    let mut down: BTreeSet<usize> = BTreeSet::new();
+    let mut cut: BTreeSet<(usize, usize)> = BTreeSet::new();
+
+    let start = rt.now();
+    let mut report = ChaosReport {
+        ops: cfg.ops,
+        ok: 0,
+        unreachable: 0,
+        not_found: 0,
+        coercion: 0,
+        stalled: 0,
+        other_errors: 0,
+        recreated: 0,
+        crashes: 0,
+        restarts: 0,
+        partitions: 0,
+        heals: 0,
+        sent: 0,
+        dropped: 0,
+        elapsed_us: 0,
+        digest: 0xcbf2_9ce4_8422_2325,
+    };
+
+    for op_index in 0..cfg.ops {
+        // ---- maybe inject a fault before this operation ----
+        if rng.gen_range(0..100u8) < cfg.fault_percent {
+            match rng.gen_range(0..4u8) {
+                0 => {
+                    // Crash a non-home node (bounded so a quorum stays up).
+                    let victim = rng.gen_range(1..cfg.hosts);
+                    if !down.contains(&victim) && down.len() < cfg.hosts / 2 {
+                        rt.crash(&names[victim])?;
+                        down.insert(victim);
+                        report.crashes += 1;
+                        fold(&mut report.digest, 100 + victim as u64);
+                    }
+                }
+                1 => {
+                    // Restart a crashed node (fresh, empty incarnation).
+                    if !down.is_empty() {
+                        let nth = rng.gen_range(0..down.len());
+                        let victim = *down.iter().nth(nth).expect("nth < len");
+                        rt.restart(&names[victim])?;
+                        down.remove(&victim);
+                        report.restarts += 1;
+                        fold(&mut report.digest, 200 + victim as u64);
+                    }
+                }
+                2 => {
+                    // Cut a link (bounded to keep the run interesting).
+                    let a = rng.gen_range(0..cfg.hosts);
+                    let b = rng.gen_range(0..cfg.hosts);
+                    if a != b && cut.len() < cfg.hosts && cut.insert(pair(a, b)) {
+                        rt.partition_between(&names[a], &names[b])?;
+                        report.partitions += 1;
+                        fold(&mut report.digest, 300 + (a * cfg.hosts + b) as u64);
+                    }
+                }
+                _ => {
+                    // Heal a cut link.
+                    if !cut.is_empty() {
+                        let nth = rng.gen_range(0..cut.len());
+                        let (a, b) = *cut.iter().nth(nth).expect("nth < len");
+                        cut.remove(&(a, b));
+                        rt.heal_between(&names[a], &names[b])?;
+                        report.heals += 1;
+                        fold(&mut report.digest, 400 + (a * cfg.hosts + b) as u64);
+                    }
+                }
+            }
+        }
+
+        // ---- run one mixed-model operation from a live client ----
+        let ups: Vec<usize> = (0..cfg.hosts).filter(|i| !down.contains(i)).collect();
+        let client = ups[rng.gen_range(0..ups.len())];
+        let to = rng.gen_range(0..cfg.hosts); // possibly down: that's the point
+        let session = &sessions[client];
+        let result: Result<Option<i64>, MageError> = match rng.gen_range(0..5u8) {
+            0 => session
+                .bind_invoke(
+                    &Rev::new("TestObject", "shared", names[to].clone()),
+                    methods::INC,
+                    &(),
+                )
+                .map(|(_, v)| v),
+            1 => session
+                .bind_invoke(&Cod::new("TestObject", "shared"), methods::INC, &())
+                .map(|(_, v)| v),
+            2 => session
+                .bind_invoke(
+                    &Grev::new("TestObject", "shared", names[to].clone()),
+                    methods::INC,
+                    &(),
+                )
+                .map(|(_, v)| v),
+            3 => session
+                .bind_invoke(
+                    &MobileAgent::new("TestObject", "shared", names[to].clone()),
+                    methods::INC,
+                    &(),
+                )
+                .map(|(_, v)| v),
+            _ => session
+                .bind_invoke(&Cle::new("TestObject", "shared"), methods::INC, &())
+                .map(|(_, v)| v),
+        };
+
+        let (code, detail) = outcome_code(&result);
+        fold(&mut report.digest, op_index as u64);
+        fold(&mut report.digest, code);
+        fold(&mut report.digest, detail);
+        match &result {
+            Ok(_) => report.ok += 1,
+            Err(MageError::Unreachable { .. }) => report.unreachable += 1,
+            Err(MageError::NotFound(_)) => {
+                report.not_found += 1;
+                // The object died with its host; re-home it so the soak
+                // keeps exercising migrations rather than failing forever.
+                if sessions[0]
+                    .create_object("TestObject", "shared", &(), Visibility::Public)
+                    .is_ok()
+                {
+                    report.recreated += 1;
+                    fold(&mut report.digest, 0x5EED);
+                }
+            }
+            Err(MageError::Coercion { .. } | MageError::NotApplicable { .. }) => {
+                report.coercion += 1;
+            }
+            Err(MageError::Sim(_)) => report.stalled += 1,
+            Err(_) => report.other_errors += 1,
+        }
+    }
+
+    // Drain stragglers (one-way agent invokes, late retransmissions);
+    // a bounded budget turns any livelock into an error, not a hang.
+    rt.run_until_idle()?;
+
+    report.sent = rt.world().metrics().net.sent;
+    report.dropped = rt.world().metrics().net.dropped;
+    report.elapsed_us = (rt.now() - start).as_micros();
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ChaosConfig {
+        ChaosConfig {
+            seed: 9,
+            hosts: 4,
+            ops: 150,
+            fault_percent: 25,
+        }
+    }
+
+    #[test]
+    fn every_operation_resolves() {
+        let report = run(&small()).unwrap();
+        assert_eq!(
+            report.resolved(),
+            report.ops,
+            "no operation may hang: {report:?}"
+        );
+        // The non-tautological half of the invariant: a hang or livelock
+        // would surface as a budget-bounded Sim error in `stalled`.
+        assert_eq!(report.stalled, 0, "{report:?}");
+        assert_eq!(report.other_errors, 0, "{report:?}");
+        assert!(report.ok > 0, "some operations must succeed: {report:?}");
+    }
+
+    #[test]
+    fn faults_actually_happen() {
+        let report = run(&small()).unwrap();
+        assert!(report.crashes > 0, "{report:?}");
+        assert!(report.restarts > 0, "{report:?}");
+        assert!(report.partitions > 0, "{report:?}");
+        assert!(report.dropped > 0, "{report:?}");
+        assert!(
+            report.unreachable + report.not_found + report.stalled > 0,
+            "faults must surface as typed errors: {report:?}"
+        );
+    }
+
+    #[test]
+    fn same_seed_replays_identically() {
+        let a = run(&small()).unwrap();
+        let b = run(&small()).unwrap();
+        assert_eq!(a, b, "chaos runs must be deterministic per seed");
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let a = run(&small()).unwrap();
+        let b = run(&ChaosConfig {
+            seed: 10,
+            ..small()
+        })
+        .unwrap();
+        assert_ne!(a.digest, b.digest);
+    }
+}

@@ -76,8 +76,8 @@ fn partition_fails_the_bind_and_heal_recovers_it() {
     let attr = Grev::new("TestObject", "x", "b");
     let err = sa.bind(&attr).unwrap_err();
     assert!(
-        matches!(err, MageError::Rmi(_)),
-        "timeout surfaces: {err:?}"
+        matches!(err, MageError::Unreachable { .. }),
+        "partition surfaces as typed Unreachable: {err:?}"
     );
     // The object must still be whole and usable at `a` after the abort.
     let cle = Cle::new("TestObject", "x");
