@@ -106,6 +106,7 @@ fn bench_wire_formats(c: &mut Criterion) {
         let v1_frame = v1.encode();
         let v2 = WireMsg::CallReq {
             call_id: 42,
+            sender_epoch: 1,
             object: NameRef::id(NameId::from_raw(3)),
             method: NameRef::id(NameId::from_raw(9)),
             args: Bytes::from(vec![7u8; size]),

@@ -1,130 +1,214 @@
-//! Chaos soak smoke: 10k mixed-model operations under seeded crashes,
-//! restarts and partitions, run twice to prove determinism.
+//! Chaos soak smoke: mixed-model operations, lock cycles and stub
+//! invocations under seeded crashes, restarts and partitions — run on
+//! two fixed seeds, each twice (replay) with full trace-invariant
+//! checking.
 //!
-//! Asserts the fault-tolerance tentpole invariant — every operation
-//! resolves to success or a typed error, zero hangs — and that two runs
-//! with the same seed produce identical reports (the digest folds every
-//! fault event and per-operation outcome in order, so equality means the
-//! runs behaved identically event-for-event). Writes `CHAOS.json` for CI
-//! to archive. Run with `cargo run --release -p mage-bench --bin chaos`.
+//! Asserts the fault-tolerance tentpole invariants:
+//!
+//! * every operation resolves to success or a typed error — zero hangs;
+//! * zero silent rebinds: stale-stub invocations resolve to typed
+//!   `StaleIdentity` (counted, with explicit rebinds recovering);
+//! * zero trace-invariant violations: at-most-once execution per call
+//!   id, no response accepted by a dead incarnation, no lock grant to a
+//!   purged waiter;
+//! * per-seed determinism: the replay digest matches event-for-event.
+//!
+//! Writes `CHAOS.json` for CI to archive; CI fails the job if any
+//! invariant trips or a replay digest differs (the assertions below
+//! abort the process). Run with
+//! `cargo run --release -p mage-bench --bin chaos`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
-use mage_workloads::chaos::{run, ChaosConfig};
+use mage_workloads::chaos::{run_checked, ChaosConfig, ChaosReport, InvariantReport};
 
-fn main() {
-    mage_bench::banner("Chaos soak — crash/restart/partition fault tolerance");
+const SEEDS: [u64; 2] = [2001, 777];
 
+struct SeedOutcome {
+    cfg: ChaosConfig,
+    report: ChaosReport,
+    invariants: InvariantReport,
+    first_ms: u128,
+    replay_ms: u128,
+}
+
+fn soak(seed: u64) -> SeedOutcome {
     let cfg = ChaosConfig {
-        seed: 2001,
+        seed,
         hosts: 6,
-        ops: 10_000,
+        ops: 5_000,
         fault_percent: 12,
+        check_invariants: true,
+        ..ChaosConfig::default()
     };
-    println!(
-        "{} ops over {} hosts, seed {}, {}% fault actions\n",
-        cfg.ops, cfg.hosts, cfg.seed, cfg.fault_percent
-    );
-
     let wall = Instant::now();
-    let report = run(&cfg).expect("chaos run completes");
+    let (report, invariants) = run_checked(&cfg).expect("chaos run completes");
     let first_ms = wall.elapsed().as_millis();
     let wall = Instant::now();
-    let replay = run(&cfg).expect("chaos replay completes");
+    let (replay, replay_inv) = run_checked(&cfg).expect("chaos replay completes");
     let replay_ms = wall.elapsed().as_millis();
 
     assert_eq!(
         report.resolved(),
         report.ops,
-        "tentpole invariant violated: an operation failed to resolve"
+        "tentpole invariant violated (seed {seed}): an operation failed to resolve"
     );
     // A hang or livelock surfaces as a budget-bounded Sim error counted
-    // in `stalled` — zero for this seed is the non-tautological check.
+    // in `stalled` — zero for these seeds is the non-tautological check.
     assert_eq!(
         report.stalled, 0,
-        "tentpole invariant violated: an operation stalled instead of resolving typed"
+        "tentpole invariant violated (seed {seed}): an operation stalled instead of resolving typed"
     );
     assert_eq!(
         report.other_errors, 0,
-        "unexpected error class under chaos: {report:?}"
+        "unexpected error class under chaos (seed {seed}): {report:?}"
     );
     assert_eq!(
         report, replay,
-        "determinism violated: same seed, different event trace"
+        "determinism violated (seed {seed}): same seed, different event trace"
+    );
+    let invariants = invariants.expect("invariant checking was on");
+    let replay_inv = replay_inv.expect("invariant checking was on");
+    assert_eq!(
+        invariants.violations(),
+        0,
+        "trace invariant violated (seed {seed}): {invariants:?}"
+    );
+    assert_eq!(
+        invariants, replay_inv,
+        "invariant observations must replay identically (seed {seed})"
+    );
+    assert!(
+        report.stale_identity > 0 && report.rebinds > 0,
+        "seed {seed} must exercise the stale-identity surface: {report:?}"
     );
 
-    println!("outcomes:");
-    println!("  ok            {:>6}", report.ok);
-    println!(
-        "  unreachable   {:>6}  (typed: crashed/partitioned peer)",
-        report.unreachable
-    );
-    println!(
-        "  not_found     {:>6}  (typed: object died with its host)",
-        report.not_found
-    );
-    println!(
-        "  coercion      {:>6}  (typed: Table 2 rejection)",
-        report.coercion
-    );
-    println!(
-        "  stalled       {:>6}  (typed: command lost to a crash)",
-        report.stalled
-    );
-    println!("  other_errors  {:>6}", report.other_errors);
-    println!(
-        "  hung          {:>6}  (must be 0)",
-        report.ops - report.resolved()
-    );
-    println!("faults injected:");
-    println!(
-        "  crashes {} · restarts {} · partitions {} · heals {} · recreates {}",
-        report.crashes, report.restarts, report.partitions, report.heals, report.recreated
-    );
-    println!(
-        "fabric: {} sent, {} dropped · virtual {:.1} s · real {} ms (+{} ms replay)",
-        report.sent,
-        report.dropped,
-        report.elapsed_us as f64 / 1e6,
+    SeedOutcome {
+        cfg,
+        report,
+        invariants,
         first_ms,
-        replay_ms
-    );
-    println!("digest: {:#018x} (replay identical)", report.digest);
+        replay_ms,
+    }
+}
+
+fn main() {
+    mage_bench::banner("Chaos soak — message-driven epochs, incarnations, invariants");
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"PR3 chaos soak\",");
-    let _ = writeln!(
-        json,
-        "  \"config\": {{ \"seed\": {}, \"hosts\": {}, \"ops\": {}, \"fault_percent\": {} }},",
-        cfg.seed, cfg.hosts, cfg.ops, cfg.fault_percent
-    );
-    let _ = writeln!(
-        json,
-        "  \"outcomes\": {{ \"ok\": {}, \"unreachable\": {}, \"not_found\": {}, \"coercion\": {}, \"stalled\": {}, \"other_errors\": {}, \"hung\": {} }},",
-        report.ok,
-        report.unreachable,
-        report.not_found,
-        report.coercion,
-        report.stalled,
-        report.other_errors,
-        report.ops - report.resolved()
-    );
-    let _ = writeln!(
-        json,
-        "  \"faults\": {{ \"crashes\": {}, \"restarts\": {}, \"partitions\": {}, \"heals\": {}, \"recreated\": {} }},",
-        report.crashes, report.restarts, report.partitions, report.heals, report.recreated
-    );
-    let _ = writeln!(
-        json,
-        "  \"fabric\": {{ \"sent\": {}, \"dropped\": {} }},",
-        report.sent, report.dropped
-    );
-    let _ = writeln!(json, "  \"virtual_us\": {},", report.elapsed_us);
-    let _ = writeln!(json, "  \"digest\": \"{:#018x}\",", report.digest);
-    let _ = writeln!(json, "  \"replay_identical\": true");
+    let _ = writeln!(json, "  \"bench\": \"PR4 chaos soak (invariant-checked)\",");
+    let _ = writeln!(json, "  \"seeds\": [");
+
+    for (i, seed) in SEEDS.into_iter().enumerate() {
+        let out = soak(seed);
+        let (cfg, report, inv) = (&out.cfg, &out.report, &out.invariants);
+        println!(
+            "seed {seed}: {} ops over {} hosts, {}% faults, {}% locks, {}% mid-flight\n",
+            cfg.ops, cfg.hosts, cfg.fault_percent, cfg.lock_percent, cfg.midflight_percent
+        );
+        println!("  outcomes:");
+        println!("    ok              {:>6}", report.ok);
+        println!(
+            "    unreachable     {:>6}  (typed: crashed/partitioned peer)",
+            report.unreachable
+        );
+        println!(
+            "    not_found       {:>6}  (typed: object died with its host)",
+            report.not_found
+        );
+        println!(
+            "    stale_identity  {:>6}  (typed: stale stub refused, {} rebinds)",
+            report.stale_identity, report.rebinds
+        );
+        println!("    coercion        {:>6}", report.coercion);
+        println!(
+            "    hung            {:>6}  (must be 0)",
+            report.ops - report.resolved()
+        );
+        println!(
+            "  faults: {} crashes ({} mid-flight) · {} restarts · {} partitions · {} heals · {} recreates",
+            report.crashes,
+            report.midflight_faults,
+            report.restarts,
+            report.partitions,
+            report.heals,
+            report.recreated
+        );
+        println!(
+            "  locks: {} cycles completed under the adversary",
+            report.lock_cycles
+        );
+        println!(
+            "  invariants: {} execs (0 dup) · {} rsp accepts (0 stale) · {} stale rsp dropped · {} grants (0 to purged)",
+            inv.execs, inv.rsp_accepts, inv.stale_rsp_dropped, inv.grants
+        );
+        println!(
+            "  fabric: {} sent, {} dropped · virtual {:.1} s · real {} ms (+{} ms replay)",
+            report.sent,
+            report.dropped,
+            report.elapsed_us as f64 / 1e6,
+            out.first_ms,
+            out.replay_ms
+        );
+        println!("  digest: {:#018x} (replay identical)\n", report.digest);
+
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(
+            json,
+            "      \"config\": {{ \"seed\": {}, \"hosts\": {}, \"ops\": {}, \"fault_percent\": {}, \"lock_percent\": {}, \"stub_percent\": {}, \"midflight_percent\": {} }},",
+            cfg.seed, cfg.hosts, cfg.ops, cfg.fault_percent, cfg.lock_percent, cfg.stub_percent, cfg.midflight_percent
+        );
+        let _ = writeln!(
+            json,
+            "      \"outcomes\": {{ \"ok\": {}, \"unreachable\": {}, \"not_found\": {}, \"stale_identity\": {}, \"rebinds\": {}, \"coercion\": {}, \"stalled\": {}, \"other_errors\": {}, \"hung\": {} }},",
+            report.ok,
+            report.unreachable,
+            report.not_found,
+            report.stale_identity,
+            report.rebinds,
+            report.coercion,
+            report.stalled,
+            report.other_errors,
+            report.ops - report.resolved()
+        );
+        let _ = writeln!(
+            json,
+            "      \"faults\": {{ \"crashes\": {}, \"midflight\": {}, \"restarts\": {}, \"partitions\": {}, \"heals\": {}, \"recreated\": {}, \"lock_cycles\": {} }},",
+            report.crashes,
+            report.midflight_faults,
+            report.restarts,
+            report.partitions,
+            report.heals,
+            report.recreated,
+            report.lock_cycles
+        );
+        let _ = writeln!(
+            json,
+            "      \"invariants\": {{ \"execs\": {}, \"duplicate_execs\": {}, \"rsp_accepts\": {}, \"stale_rsp_accepts\": {}, \"stale_rsp_dropped\": {}, \"grants\": {}, \"stale_grants\": {}, \"violations\": {} }},",
+            inv.execs,
+            inv.duplicate_execs,
+            inv.rsp_accepts,
+            inv.stale_rsp_accepts,
+            inv.stale_rsp_dropped,
+            inv.grants,
+            inv.stale_grants,
+            inv.violations()
+        );
+        let _ = writeln!(
+            json,
+            "      \"fabric\": {{ \"sent\": {}, \"dropped\": {} }},",
+            report.sent, report.dropped
+        );
+        let _ = writeln!(json, "      \"virtual_us\": {},", report.elapsed_us);
+        let _ = writeln!(json, "      \"digest\": \"{:#018x}\",", report.digest);
+        let _ = writeln!(json, "      \"replay_identical\": true");
+        let _ = writeln!(json, "    }}{}", if i + 1 < SEEDS.len() { "," } else { "" });
+    }
+
+    let _ = writeln!(json, "  ]");
     let _ = writeln!(json, "}}");
     std::fs::write("CHAOS.json", &json).expect("CHAOS.json written");
-    println!("\nwrote CHAOS.json");
+    println!("wrote CHAOS.json");
 }

@@ -21,8 +21,8 @@ use mage_sim::{NodeId, OpId};
 use crate::error::MageError;
 use crate::lock::LockKind;
 use crate::node::{MageNode, TransitFindWaiter};
-use crate::proto::{self, Outcome};
-use crate::registry::CompKey;
+use crate::proto::{self, FindReply, Outcome};
+use crate::registry::{CompKey, Incarnation, Located};
 
 /// A continuation awaiting an RMI reply (keyed by its call token).
 pub(crate) enum Task {
@@ -132,6 +132,9 @@ pub(crate) struct ExecTask {
     pub class_id: NameId,
     pub phase: ExecPhase,
     pub cloc: Option<NodeId>,
+    /// Incarnation believed to live at `cloc` (updated by every find,
+    /// move and instantiate reply); invocations carry it as `expected`.
+    pub cinc: Option<Incarnation>,
     pub locked_at: Option<NodeId>,
     pub lock_kind: Option<LockKind>,
     pub invoke_at: Option<NodeId>,
@@ -229,16 +232,21 @@ impl MageNode {
                 retried,
             } => {
                 match result {
-                    Ok(bytes) => match decode::<u32>(&bytes) {
-                        Ok(loc) => {
-                            // Path compression: remember the final location,
-                            // collapsing the forwarding chain (§4.1).
-                            self.registry.update(key, NodeId::from_raw(loc));
+                    Ok(bytes) => match decode::<FindReply>(&bytes) {
+                        Ok(found) => {
+                            // Path compression: remember the final location
+                            // and incarnation, collapsing the chain (§4.1).
+                            self.registry.update(
+                                key,
+                                Located::new(NodeId::from_raw(found.location), found.incarnation),
+                            );
                             // Forward the payload straight out of the
                             // received frame — no copy.
                             env.reply_with(reply, Ok(&bytes));
                         }
-                        Err(e) => env.reply(reply, Err(Fault::App(e.to_string()))),
+                        Err(e) => {
+                            env.reply(reply, Err(Fault::App(e.to_string())));
+                        }
                     },
                     Err(err) => {
                         // The hop we followed failed: the entry that led
@@ -266,7 +274,7 @@ impl MageNode {
                                 }),
                             ),
                             other => env.reply(reply, Err(Fault::App(other.to_string()))),
-                        }
+                        };
                     }
                 }
             }
@@ -276,14 +284,18 @@ impl MageNode {
                 home,
                 retried,
             } => match result {
-                Ok(bytes) => match decode::<u32>(&bytes) {
-                    Ok(loc) => {
-                        self.registry.update(key, NodeId::from_raw(loc));
+                Ok(bytes) => match decode::<FindReply>(&bytes) {
+                    Ok(found) => {
+                        self.registry.update(
+                            key,
+                            Located::new(NodeId::from_raw(found.location), found.incarnation),
+                        );
                         self.complete(
                             env,
                             op,
                             Ok(Outcome {
-                                location: loc,
+                                location: found.location,
+                                incarnation: found.incarnation,
                                 ..Outcome::default()
                             }),
                         );
@@ -335,9 +347,9 @@ impl MageNode {
         if self.has_component(key) {
             return Ok(Some(me));
         }
-        if let Some(loc) = self.registry.lookup(key) {
-            if loc != me {
-                return Ok(Some(loc));
+        if let Some(entry) = self.registry.lookup(key) {
+            if entry.node != me {
+                return Ok(Some(entry.node));
             }
         }
         if let Some(hint) = location_hint {
@@ -379,11 +391,13 @@ impl MageNode {
         env.charge(self.config.bind_overhead);
         let me = env.node();
         if self.has_component(key) {
+            let reply = self.local_find_reply(key, me);
             self.complete(
                 env,
                 op,
                 Ok(Outcome {
-                    location: me.as_raw(),
+                    location: reply.location,
+                    incarnation: reply.incarnation,
                     ..Outcome::default()
                 }),
             );
@@ -409,6 +423,7 @@ impl MageNode {
         let start = self
             .registry
             .lookup(key)
+            .map(|entry| entry.node)
             .filter(|n| *n != me)
             .or_else(|| home_hint.map(NodeId::from_raw).filter(|h| *h != me));
         match start {
@@ -510,10 +525,13 @@ impl MageNode {
     ) {
         match task.phase {
             LocatePhase::Finding => match result {
-                Ok(bytes) => match decode::<u32>(&bytes) {
-                    Ok(loc) => {
-                        let loc = NodeId::from_raw(loc);
-                        self.registry.update(CompKey::object(task.name), loc);
+                Ok(bytes) => match decode::<FindReply>(&bytes) {
+                    Ok(found) => {
+                        let loc = NodeId::from_raw(found.location);
+                        self.registry.update(
+                            CompKey::object(task.name),
+                            Located::new(loc, found.incarnation),
+                        );
                         self.issue_lock_call(env, task.name, task.target, loc, token);
                         task.phase = LocatePhase::Calling;
                         self.tasks.insert(token, Task::ClientLock(task));
@@ -529,8 +547,8 @@ impl MageNode {
                         task.op,
                         Ok(Outcome {
                             location: task.target.as_raw(),
-                            result: None,
                             lock_kind: Some(kind),
+                            ..Outcome::default()
                         }),
                     ),
                     Err(e) => self.complete(env, task.op, Err(e)),
@@ -615,10 +633,13 @@ impl MageNode {
     ) {
         match task.phase {
             LocatePhase::Finding => match result {
-                Ok(bytes) => match decode::<u32>(&bytes) {
-                    Ok(loc) => {
-                        let loc = NodeId::from_raw(loc);
-                        self.registry.update(CompKey::object(task.name), loc);
+                Ok(bytes) => match decode::<FindReply>(&bytes) {
+                    Ok(found) => {
+                        let loc = NodeId::from_raw(found.location);
+                        self.registry.update(
+                            CompKey::object(task.name),
+                            Located::new(loc, found.incarnation),
+                        );
                         self.issue_unlock_call(env, task.name, loc, token);
                         task.phase = LocatePhase::Calling;
                         self.tasks.insert(token, Task::ClientUnlock(task));
@@ -675,6 +696,7 @@ impl MageNode {
         let home = hosted.home;
         let visibility = hosted.visibility;
         let version = hosted.version + 1;
+        let incarnation = hosted.incarnation;
         let (holders, parked_waiters) = self.locks.extract(name);
         let receive_args = proto::ReceiveArgs {
             name,
@@ -683,6 +705,7 @@ impl MageNode {
             home: home.as_raw(),
             visibility,
             version,
+            incarnation,
             locks: holders,
         };
         let token = self.next_task;
@@ -720,9 +743,13 @@ impl MageNode {
             MovePhase::SentReceive { retried_class } => match result {
                 Ok(_) => {
                     // Transfer acknowledged: drop the local copy and leave a
-                    // forwarding address (§4.1).
+                    // forwarding address (§4.1) carrying the incarnation —
+                    // a move is the same identity at a new home.
                     self.objects.remove(&task.name);
-                    self.registry.update(CompKey::object(task.name), task.dest);
+                    self.registry.update(
+                        CompKey::object(task.name),
+                        Located::new(task.dest, task.receive_args.incarnation),
+                    );
                     self.finish_move_ok(env, task);
                 }
                 Err(RmiError::Fault(Fault::ClassMissing(_))) if !retried_class => {
@@ -779,13 +806,23 @@ impl MageNode {
 
     /// Answers every find parked on `name` during its transit: remote
     /// calls get an RMI reply, driver ops complete locally, both with
-    /// `location` (the destination on commit, this node on abort).
-    fn flush_transit_finds(&mut self, env: &mut Env<'_, '_>, name: NameId, location: NodeId) {
+    /// `location` (the destination on commit, this node on abort) and
+    /// the moved object's incarnation.
+    fn flush_transit_finds(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        name: NameId,
+        location: NodeId,
+        incarnation: Incarnation,
+    ) {
+        let reply = FindReply {
+            location: location.as_raw(),
+            incarnation,
+        };
         for waiter in self.transit_finds.remove(&name).unwrap_or_default() {
             match waiter {
                 TransitFindWaiter::Reply(handle) => {
-                    let payload =
-                        mage_codec::to_bytes(&location.as_raw()).expect("node id encodes");
+                    let payload = mage_codec::to_bytes(&reply).expect("find reply encodes");
                     env.reply(handle, Ok(payload));
                 }
                 TransitFindWaiter::Op(op) => {
@@ -793,7 +830,8 @@ impl MageNode {
                         env,
                         op,
                         Ok(Outcome {
-                            location: location.as_raw(),
+                            location: reply.location,
+                            incarnation,
                             ..Outcome::default()
                         }),
                     );
@@ -812,21 +850,30 @@ impl MageNode {
         // Re-home: the aborted transfer (e.g. to a crashed target) must
         // leave the registry pointing at the surviving copy, not at
         // whatever the chain said before the move started.
-        self.registry.update(CompKey::object(task.name), me);
-        self.flush_transit_finds(env, task.name, me);
+        self.registry.update(
+            CompKey::object(task.name),
+            Located::new(me, task.receive_args.incarnation),
+        );
+        self.flush_transit_finds(env, task.name, me, task.receive_args.incarnation);
         self.locks
             .install(task.name, task.receive_args.locks.clone());
         // Re-queue the waiters we parked; immediate grants are answered
         // directly (reply handles are Copy).
         for waiter in task.parked_waiters {
-            let handle = waiter.payload;
             match self
                 .locks
                 .request(task.name, waiter.client, waiter.target, me, waiter.payload)
             {
                 crate::lock::Request::Granted(kind) => {
-                    let payload = mage_codec::to_bytes(&kind).expect("lock kind encodes");
-                    env.reply(handle, Ok(payload));
+                    self.deliver_grant(
+                        env,
+                        crate::lock::Grant {
+                            name: task.name,
+                            waiter: waiter.payload,
+                            client: waiter.client,
+                            kind,
+                        },
+                    );
                 }
                 crate::lock::Request::Queued => {}
             }
@@ -852,15 +899,24 @@ impl MageNode {
             );
         }
         // Finds that arrived mid-move resolve to the destination.
-        self.flush_transit_finds(env, task.name, task.dest);
+        self.flush_transit_finds(env, task.name, task.dest, task.receive_args.incarnation);
         match task.origin {
             MoveOrigin::Reply(handle) => {
-                let payload = mage_codec::to_bytes(&task.dest.as_raw()).expect("node id encodes");
+                let payload = mage_codec::to_bytes(&FindReply {
+                    location: task.dest.as_raw(),
+                    incarnation: task.receive_args.incarnation,
+                })
+                .expect("find reply encodes");
                 env.reply(handle, Ok(payload));
             }
             MoveOrigin::Exec(exec_id) => {
                 if let Some(Task::Exec(t)) = self.tasks.remove(&exec_id) {
-                    self.exec_move_done(env, exec_id, *t, Ok(task.dest));
+                    self.exec_move_done(
+                        env,
+                        exec_id,
+                        *t,
+                        Ok((task.dest, task.receive_args.incarnation)),
+                    );
                 }
             }
             MoveOrigin::Autonomous => {
@@ -874,7 +930,9 @@ impl MageNode {
 
     fn finish_move_failed(&mut self, env: &mut Env<'_, '_>, origin: MoveOrigin, err: MageError) {
         match origin {
-            MoveOrigin::Reply(handle) => env.reply(handle, Err(error_to_fault(&err))),
+            MoveOrigin::Reply(handle) => {
+                env.reply(handle, Err(error_to_fault(&err)));
+            }
             MoveOrigin::Exec(exec_id) => {
                 if let Some(Task::Exec(t)) = self.tasks.remove(&exec_id) {
                     self.exec_move_done(env, exec_id, *t, Err(err));

@@ -15,8 +15,8 @@ use crate::engine::{is_unreachable, ExecPhase, ExecTask, MoveOrigin, Resume, Tas
 use crate::error::MageError;
 use crate::lock::LockKind;
 use crate::node::MageNode;
-use crate::proto::{self, ActionSpec, Outcome};
-use crate::registry::CompKey;
+use crate::proto::{self, ActionSpec, FindReply, Outcome};
+use crate::registry::{CompKey, Incarnation, Located};
 
 fn rmi_error_to_mage(err: &RmiError) -> MageError {
     match err {
@@ -33,6 +33,14 @@ fn rmi_error_to_mage(err: &RmiError) -> MageError {
 /// to is gone (unreachable) — both mean our location knowledge is stale.
 fn stale_location(err: &RmiError) -> bool {
     matches!(err, RmiError::Fault(Fault::NotBound(_))) || is_unreachable(err)
+}
+
+/// Whether a `StaleIdentity` refusal may be resolved by re-finding: only
+/// for plans whose identity expectation is *advisory* (a bind with a
+/// stale cached incarnation — binding is the explicit rebind act, so the
+/// retry re-resolves identity). Pinned stub invocations surface it.
+fn rebindable_identity(spec: &proto::ExecSpec, err: &RmiError) -> bool {
+    !spec.identity_pinned && matches!(err, RmiError::Fault(Fault::StaleIdentity { .. }))
 }
 
 fn decode<T: serde::de::DeserializeOwned>(bytes: &[u8]) -> Result<T, MageError> {
@@ -60,6 +68,7 @@ impl MageNode {
         // Intern the plan's names once; every later step moves 4-byte ids.
         let object_id = spec.object.as_deref().map(|n| self.syms.intern(n));
         let class_id = self.syms.intern(&spec.class);
+        let cinc = spec.expected_incarnation;
         let task = ExecTask {
             op,
             spec,
@@ -69,6 +78,7 @@ impl MageNode {
                 resume: Resume::Guard,
             },
             cloc: None,
+            cinc,
             locked_at: None,
             lock_kind: None,
             invoke_at: None,
@@ -139,6 +149,20 @@ impl MageNode {
                 };
                 task.invoke_at = Some(me);
                 if let Some(invoke) = task.spec.invoke.clone() {
+                    // A bind (advisory identity) re-resolves against the
+                    // object actually hosted here; only pinned stubs keep
+                    // their expectation.
+                    if !task.spec.identity_pinned {
+                        task.cinc = Some(self.local_incarnation(CompKey::object(name)));
+                    }
+                    // Same identity gate as the remote invoke path: a
+                    // locally re-created impostor must not serve a stale
+                    // stub's call.
+                    if let Err(fault) = self.check_identity(name, task.cinc) {
+                        let err = proto::fault_to_error(&fault);
+                        self.exec_fail(env, id, task, err);
+                        return;
+                    }
                     match self.invoke_local(env, name, &invoke.method, &invoke.args) {
                         Ok(bytes) => {
                             task.result = Some(bytes);
@@ -260,7 +284,9 @@ impl MageNode {
                             true,
                         );
                         match created {
-                            Ok(_) => {
+                            Ok(outcome) => {
+                                task.cloc = Some(me);
+                                task.cinc = Some(outcome.incarnation);
                                 task.invoke_at = Some(me);
                                 self.exec_begin_invoke(env, id, task);
                             }
@@ -304,12 +330,17 @@ impl MageNode {
     ) {
         let me = env.node();
         let key = CompKey::class(task.class_id);
-        let source = self.registry.lookup(key).filter(|n| *n != me).or_else(|| {
-            task.spec
-                .home_hint
-                .map(NodeId::from_raw)
-                .filter(|n| *n != me)
-        });
+        let source = self
+            .registry
+            .lookup(key)
+            .map(|entry| entry.node)
+            .filter(|n| *n != me)
+            .or_else(|| {
+                task.spec
+                    .home_hint
+                    .map(NodeId::from_raw)
+                    .filter(|n| *n != me)
+            });
         match source {
             Some(src) => {
                 let args = proto::FetchClassArgs {
@@ -351,6 +382,7 @@ impl MageNode {
             name,
             method: self.syms.intern(&invoke.method),
             args: invoke.args.clone(),
+            expected: task.cinc.filter(|inc| !inc.is_none()),
         };
         let payload = mage_codec::to_bytes(&args).expect("invoke args encode");
         if invoke.one_way {
@@ -407,6 +439,7 @@ impl MageNode {
             task.op,
             Ok(Outcome {
                 location,
+                incarnation: task.cinc.unwrap_or(Incarnation::NONE),
                 result: task.result,
                 lock_kind: task.lock_kind,
             }),
@@ -437,15 +470,24 @@ impl MageNode {
         };
         let key = CompKey::object(name);
         if self.has_component(key) {
+            if !task.spec.identity_pinned {
+                task.cinc = Some(self.local_incarnation(key));
+            }
             return Ok(Some(me));
         }
-        if let Some(loc) = self.registry.lookup(key) {
-            if loc != me {
-                return Ok(Some(loc));
+        if let Some(entry) = self.registry.lookup(key) {
+            if entry.node != me {
+                if !task.spec.identity_pinned {
+                    task.cinc = Some(entry.incarnation).filter(|inc| !inc.is_none());
+                }
+                return Ok(Some(entry.node));
             }
         }
         if let Some(hint) = task.spec.location_hint.map(NodeId::from_raw) {
             if hint != me {
+                if !task.spec.identity_pinned {
+                    task.cinc = task.spec.expected_incarnation;
+                }
                 return Ok(Some(hint));
             }
         }
@@ -486,13 +528,19 @@ impl MageNode {
     ) {
         match task.phase {
             ExecPhase::AwaitFind { resume } => match result {
-                Ok(bytes) => match decode::<u32>(&bytes) {
-                    Ok(loc) => {
-                        let loc = NodeId::from_raw(loc);
+                Ok(bytes) => match decode::<FindReply>(&bytes) {
+                    Ok(found) => {
+                        let loc = NodeId::from_raw(found.location);
                         if let Some(name) = task.object_id {
-                            self.registry.update(CompKey::object(name), loc);
+                            self.registry.update(
+                                CompKey::object(name),
+                                Located::new(loc, found.incarnation),
+                            );
                         }
                         task.cloc = Some(loc);
+                        if !task.spec.identity_pinned {
+                            task.cinc = Some(found.incarnation).filter(|inc| !inc.is_none());
+                        }
                         match resume {
                             Resume::Guard => self.exec_issue_lock(env, id, task, loc),
                             Resume::Action => self.exec_begin_action(env, id, task),
@@ -511,6 +559,10 @@ impl MageNode {
                     task.retries -= 1;
                     task.cloc = None;
                     task.spec.location_hint = None;
+                    if !task.spec.identity_pinned {
+                        task.cinc = None;
+                        task.spec.expected_incarnation = None;
+                    }
                     if let Some(name) = task.object_id {
                         self.registry.remove(CompKey::object(name));
                     }
@@ -555,6 +607,10 @@ impl MageNode {
                     task.retries -= 1;
                     task.cloc = None;
                     task.spec.location_hint = None;
+                    if !task.spec.identity_pinned {
+                        task.cinc = None;
+                        task.spec.expected_incarnation = None;
+                    }
                     if let Some(name) = task.object_id {
                         self.registry.remove(CompKey::object(name));
                     }
@@ -566,13 +622,19 @@ impl MageNode {
                 }
             },
             ExecPhase::AwaitMove => match result {
-                Ok(bytes) => match decode::<u32>(&bytes) {
-                    Ok(dest) => {
-                        let dest = NodeId::from_raw(dest);
+                Ok(bytes) => match decode::<FindReply>(&bytes) {
+                    Ok(found) => {
+                        let dest = NodeId::from_raw(found.location);
                         if let Some(name) = task.object_id {
-                            self.registry.update(CompKey::object(name), dest);
+                            self.registry.update(
+                                CompKey::object(name),
+                                Located::new(dest, found.incarnation),
+                            );
                         }
                         task.cloc = Some(dest);
+                        if !task.spec.identity_pinned {
+                            task.cinc = Some(found.incarnation).filter(|inc| !inc.is_none());
+                        }
                         task.invoke_at = Some(dest);
                         self.exec_begin_invoke(env, id, task);
                     }
@@ -582,6 +644,10 @@ impl MageNode {
                     task.retries -= 1;
                     task.cloc = None;
                     task.spec.location_hint = None;
+                    if !task.spec.identity_pinned {
+                        task.cinc = None;
+                        task.spec.expected_incarnation = None;
+                    }
                     if let Some(name) = task.object_id {
                         self.registry.remove(CompKey::object(name));
                     }
@@ -600,7 +666,8 @@ impl MageNode {
                         let me = env.node();
                         env.charge(env.cost().class_load(class_args.code.len() as u64));
                         self.classes.insert(class_args.class);
-                        self.registry.update(CompKey::class(class_args.class), me);
+                        self.registry
+                            .update(CompKey::class(class_args.class), Located::untracked(me));
                         if dest == me {
                             self.exec_begin_action(env, id, task);
                         } else {
@@ -659,11 +726,23 @@ impl MageNode {
                 dest,
                 retried_class,
             } => match result {
-                Ok(_) => {
+                Ok(bytes) => {
+                    // A malformed reply must surface, not silently yield
+                    // Incarnation::NONE — that would disable the identity
+                    // check for the fresh object.
+                    let incarnation = match decode::<Incarnation>(&bytes) {
+                        Ok(incarnation) => incarnation,
+                        Err(e) => {
+                            self.exec_fail(env, id, task, e);
+                            return;
+                        }
+                    };
                     if let Some(name) = task.object_id {
-                        self.registry.update(CompKey::object(name), dest);
+                        self.registry
+                            .update(CompKey::object(name), Located::new(dest, incarnation));
                     }
                     task.cloc = Some(dest);
+                    task.cinc = Some(incarnation).filter(|inc| !inc.is_none());
                     task.invoke_at = Some(dest);
                     self.exec_begin_invoke(env, id, task);
                 }
@@ -705,13 +784,24 @@ impl MageNode {
                     task.result = Some(bytes.to_vec());
                     self.exec_begin_unlock(env, id, task);
                 }
-                Err(ref e) if stale_location(e) && task.retries > 0 => {
+                Err(ref e)
+                    if (stale_location(e) || rebindable_identity(&task.spec, e))
+                        && task.retries > 0 =>
+                {
                     // The object moved under us (or its host died); find
                     // it again (public objects "must be found before the
-                    // current thread invokes", §3.5).
+                    // current thread invokes", §3.5). A StaleIdentity
+                    // refusal joins the class only for *advisory* identity
+                    // (a bind holding a stale cached incarnation — the
+                    // re-find resolves the current one); a pinned stub's
+                    // StaleIdentity surfaces typed, never silently rebound.
                     task.retries -= 1;
                     task.cloc = None;
                     task.spec.location_hint = None;
+                    if !task.spec.identity_pinned {
+                        task.cinc = None;
+                        task.spec.expected_incarnation = None;
+                    }
                     if let Some(name) = task.object_id {
                         self.registry.remove(CompKey::object(name));
                     }
@@ -752,11 +842,12 @@ impl MageNode {
         env: &mut Env<'_, '_>,
         id: u64,
         mut task: ExecTask,
-        outcome: Result<NodeId, MageError>,
+        outcome: Result<(NodeId, Incarnation), MageError>,
     ) {
         match outcome {
-            Ok(dest) => {
+            Ok((dest, incarnation)) => {
                 task.cloc = Some(dest);
+                task.cinc = Some(incarnation).filter(|inc| !inc.is_none());
                 task.invoke_at = Some(dest);
                 self.exec_begin_invoke(env, id, task);
             }

@@ -50,6 +50,21 @@ pub enum MageError {
         /// Raw node id of the unreachable peer.
         peer: u32,
     },
+    /// The invocation reached an object that answers to the right *name*
+    /// but is a different *incarnation* than the stub or cache expected:
+    /// the original died with a crash (or was replaced) and something
+    /// else now holds the name — including a re-created copy coexisting
+    /// with a partitioned-away original after a heal. The fresh
+    /// incarnation rides along so the session can explicitly rebind; the
+    /// runtime never silently rebinds a stale stub.
+    StaleIdentity {
+        /// Name the stub was bound to.
+        object: String,
+        /// Incarnation the caller expected.
+        expected: u64,
+        /// Incarnation actually hosted under the name now.
+        fresh: u64,
+    },
     /// An underlying RMI call failed.
     Rmi(String),
     /// The simulation could not complete the operation.
@@ -78,6 +93,15 @@ impl fmt::Display for MageError {
             MageError::Unreachable { peer } => {
                 write!(f, "peer n{peer} unreachable (crashed or partitioned)")
             }
+            MageError::StaleIdentity {
+                object,
+                expected,
+                fresh,
+            } => write!(
+                f,
+                "stale stub: {object:?} is now incarnation {fresh} (stub expected {expected}); \
+                 rebind to talk to the current object"
+            ),
             MageError::Rmi(msg) => write!(f, "rmi failure: {msg}"),
             MageError::Sim(msg) => write!(f, "simulation failure: {msg}"),
             MageError::Codec(msg) => write!(f, "marshalling failure: {msg}"),

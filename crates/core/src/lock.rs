@@ -32,6 +32,8 @@ pub enum LockKind {
 /// A lock grant handed back when a queued request becomes runnable.
 #[derive(Debug, PartialEq, Eq)]
 pub struct Grant<T> {
+    /// The interned name of the object the lock is on.
+    pub name: NameId,
     /// The waiter's payload (e.g. a reply handle).
     pub waiter: T,
     /// The requesting client.
@@ -208,14 +210,14 @@ impl<T> LockTable<T> {
         } else if state.move_holder == Some(client) {
             state.move_holder = None;
         }
-        let grants = Self::drain(state, here, self.fair);
+        let grants = Self::drain(name, state, here, self.fair);
         if state.is_idle() {
             self.locks.remove(&name);
         }
         grants
     }
 
-    fn drain(state: &mut LockState<T>, here: NodeId, fair: bool) -> Vec<Grant<T>> {
+    fn drain(name: NameId, state: &mut LockState<T>, here: NodeId, fair: bool) -> Vec<Grant<T>> {
         let mut grants = Vec::new();
         if state.move_holder.is_some() {
             return grants;
@@ -233,6 +235,7 @@ impl<T> LockTable<T> {
                         let w = state.queue.pop_front().expect("front exists");
                         state.stay_holders.push(w.client);
                         grants.push(Grant {
+                            name,
                             waiter: w.payload,
                             client: w.client,
                             kind,
@@ -243,6 +246,7 @@ impl<T> LockTable<T> {
                             let w = state.queue.pop_front().expect("front exists");
                             state.move_holder = Some(w.client);
                             grants.push(Grant {
+                                name,
                                 waiter: w.payload,
                                 client: w.client,
                                 kind,
@@ -260,6 +264,7 @@ impl<T> LockTable<T> {
             if w.target == here {
                 state.stay_holders.push(w.client);
                 grants.push(Grant {
+                    name,
                     waiter: w.payload,
                     client: w.client,
                     kind: LockKind::Stay,
@@ -274,6 +279,7 @@ impl<T> LockTable<T> {
             if let Some(w) = state.queue.pop_front() {
                 state.move_holder = Some(w.client);
                 grants.push(Grant {
+                    name,
                     waiter: w.payload,
                     client: w.client,
                     kind: LockKind::Move,
@@ -299,7 +305,7 @@ impl<T> LockTable<T> {
                 state.move_holder = None;
             }
             state.queue.retain(|w| w.client != client);
-            grants.extend(Self::drain(state, here, self.fair));
+            grants.extend(Self::drain(name, state, here, self.fair));
             if state.is_idle() {
                 self.locks.remove(&name);
             }

@@ -27,7 +27,7 @@ use crate::engine::{MoveOrigin, Task};
 use crate::lock::LockTable;
 use crate::object::{MobileEnv, MobileObject};
 use crate::proto::{self, methods, Outcome};
-use crate::registry::{CompKey, Kind, Registry};
+use crate::registry::{CompKey, Incarnation, IncarnationMinter, Kind, Located, Registry};
 use crate::security::TrustPolicy;
 
 /// Tuning knobs for one namespace's MAGE runtime.
@@ -105,6 +105,10 @@ pub(crate) struct Hosted {
     pub visibility: Visibility,
     pub home: NodeId,
     pub version: u64,
+    /// World-unique identity of this object instance: minted at creation,
+    /// preserved across migrations, re-minted when a same-named object is
+    /// re-created. Invocations carry the incarnation they expect.
+    pub incarnation: Incarnation,
     /// Set while a migration is in flight; the object is unusable and a
     /// second move is refused (movement is not atomic, §4.4).
     pub in_transit: bool,
@@ -115,6 +119,8 @@ pub struct MageNode {
     pub(crate) name: String,
     pub(crate) lib: Arc<ClassLibrary>,
     pub(crate) syms: Arc<SymbolTable>,
+    /// World-shared incarnation mint (see [`IncarnationMinter`]).
+    pub(crate) minter: Arc<IncarnationMinter>,
     pub(crate) ids: ProtoIds,
     pub(crate) config: NodeConfig,
     pub(crate) peers: BTreeMap<String, NodeId>,
@@ -154,6 +160,7 @@ impl MageNode {
         peers: BTreeMap<String, NodeId>,
         config: NodeConfig,
         syms: Arc<SymbolTable>,
+        minter: Arc<IncarnationMinter>,
     ) -> Self {
         let config_locks = if config.fair_locks {
             LockTable::fair()
@@ -165,6 +172,7 @@ impl MageNode {
             name: name.into(),
             lib,
             syms,
+            minter,
             ids,
             config,
             peers,
@@ -198,6 +206,27 @@ impl MageNode {
         }
     }
 
+    /// The incarnation this namespace hosts for `key`
+    /// ([`Incarnation::NONE`] for classes and absent objects).
+    pub(crate) fn local_incarnation(&self, key: CompKey) -> Incarnation {
+        match key.kind {
+            Kind::Class => Incarnation::NONE,
+            Kind::Object => self
+                .objects
+                .get(&key.id)
+                .map(|hosted| hosted.incarnation)
+                .unwrap_or(Incarnation::NONE),
+        }
+    }
+
+    /// The find answer for a component hosted here.
+    pub(crate) fn local_find_reply(&self, key: CompKey, me: NodeId) -> proto::FindReply {
+        proto::FindReply {
+            location: me.as_raw(),
+            incarnation: self.local_incarnation(key),
+        }
+    }
+
     pub(crate) fn spawn_task(&mut self, task: Task) -> u64 {
         let id = self.next_task;
         self.next_task += 1;
@@ -223,7 +252,7 @@ impl MageNode {
         };
         let me = env.node();
         if self.has_component(args.key) {
-            return reply_ok(&me.as_raw());
+            return reply_ok(&self.local_find_reply(args.key, me));
         }
         if args.key.kind == Kind::Object
             && self
@@ -239,7 +268,7 @@ impl MageNode {
                 .push(TransitFindWaiter::Reply(call.handle()));
             return CallOutcome::Deferred;
         }
-        let Some(next) = self.registry.lookup(args.key) else {
+        let Some(next) = self.registry.lookup(args.key).map(|l| l.node) else {
             return self.find_dead_end(env, call.handle(), &args);
         };
         if next == me
@@ -330,10 +359,56 @@ impl MageNode {
             .locks
             .release(args.name, NodeId::from_raw(args.client), me);
         for grant in grants {
-            let payload = mage_codec::to_bytes(&grant.kind).expect("lock kind encodes");
-            env.reply(grant.waiter, Ok(payload));
+            self.deliver_grant(env, grant);
         }
         reply_ok(&())
+    }
+
+    /// Answers a lock waiter whose turn came up. The reply is dropped by
+    /// the endpoint when the waiter's incarnation died while queued; the
+    /// invariant marker is only emitted for grants that actually go out.
+    pub(crate) fn deliver_grant(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        grant: crate::lock::Grant<ReplyHandle>,
+    ) {
+        let payload = mage_codec::to_bytes(&grant.kind).expect("lock kind encodes");
+        let handle = grant.waiter;
+        if env.reply(handle, Ok(payload)) && env.trace_enabled() {
+            env.note(format!(
+                "invariant:grant:{}:{}:{}",
+                grant.name.as_raw(),
+                handle.caller().as_raw(),
+                handle.caller_epoch()
+            ));
+        }
+    }
+
+    /// Verifies that the hosted object under `name` is the incarnation
+    /// the caller expected (`None` skips the check — untyped legacy
+    /// callers and class invocations).
+    pub(crate) fn check_identity(
+        &self,
+        name: NameId,
+        expected: Option<Incarnation>,
+    ) -> Result<(), Fault> {
+        let Some(expected) = expected.filter(|inc| !inc.is_none()) else {
+            return Ok(());
+        };
+        // Absent objects fall through to the NotBound path; in-transit
+        // ones to the transit path — identity only matters when a live
+        // object would otherwise answer.
+        let Some(hosted) = self.objects.get(&name) else {
+            return Ok(());
+        };
+        if hosted.incarnation != expected {
+            return Err(Fault::StaleIdentity {
+                object: self.name_str(name),
+                expected: expected.as_raw(),
+                actual: hosted.incarnation.as_raw(),
+            });
+        }
+        Ok(())
     }
 
     fn handle_invoke(&mut self, env: &mut Env<'_, '_>, call: InboundCall) -> CallOutcome {
@@ -342,6 +417,12 @@ impl MageNode {
             Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
         };
         env.charge(self.config.invoke_overhead);
+        // Identity gate: a same-name/different-incarnation object must
+        // not silently execute a stale stub's call (§ROADMAP: stable
+        // object identity across restarts).
+        if let Err(fault) = self.check_identity(args.name, args.expected) {
+            return CallOutcome::Reply(Err(fault));
+        }
         let method = self.syms.resolve_lossy(args.method);
         let result = self.invoke_local(env, args.name, &method, &args.args);
         CallOutcome::Reply(result)
@@ -397,8 +478,9 @@ impl MageNode {
         };
         let dest = NodeId::from_raw(args.dest);
         if dest == env.node() {
-            if self.has_component(CompKey::object(args.name)) {
-                return reply_ok(&args.dest);
+            let key = CompKey::object(args.name);
+            if self.has_component(key) {
+                return reply_ok(&self.local_find_reply(key, dest));
             }
             return CallOutcome::Reply(Err(Fault::NotBound(self.name_str(args.name))));
         }
@@ -458,12 +540,17 @@ impl MageNode {
                 visibility: args.visibility,
                 home: NodeId::from_raw(args.home),
                 version: args.version,
+                // Migration preserves identity: same incarnation, new home.
+                incarnation: args.incarnation,
                 in_transit: false,
             },
         );
         self.locks.install(args.name, args.locks);
         let me = env.node();
-        self.registry.update(CompKey::object(args.name), me);
+        self.registry.update(
+            CompKey::object(args.name),
+            Located::new(me, args.incarnation),
+        );
         reply_ok(&())
     }
 
@@ -505,7 +592,8 @@ impl MageNode {
         env.charge(env.cost().class_load(args.code.len() as u64));
         self.classes.insert(args.class);
         let me = env.node();
-        self.registry.update(CompKey::class(args.class), me);
+        self.registry
+            .update(CompKey::class(args.class), Located::untracked(me));
         reply_ok(&())
     }
 
@@ -573,6 +661,9 @@ impl MageNode {
         };
         env.charge(self.config.reify_cost);
         let me = env.node();
+        // A fresh instance is a fresh identity — even under a name that
+        // existed before (factory rebind, or re-creation after a crash).
+        let incarnation = self.minter.mint();
         self.objects.insert(
             args.name,
             Hosted {
@@ -581,11 +672,13 @@ impl MageNode {
                 visibility: args.visibility,
                 home: me,
                 version: 0,
+                incarnation,
                 in_transit: false,
             },
         );
-        self.registry.update(CompKey::object(args.name), me);
-        reply_ok(&())
+        self.registry
+            .update(CompKey::object(args.name), Located::new(me, incarnation));
+        reply_ok(&incarnation)
     }
 
     // ---- driver commands ----
@@ -602,7 +695,8 @@ impl MageNode {
                 let class_id = self.syms.intern(&class);
                 self.classes.insert(class_id);
                 let me = env.node();
-                self.registry.update(CompKey::class(class_id), me);
+                self.registry
+                    .update(CompKey::class(class_id), Located::untracked(me));
                 self.complete(
                     env,
                     op,
@@ -701,7 +795,10 @@ impl MageNode {
             }
             proto::Command::SeedRegistry { op, name, loc } => {
                 let key = CompKey::parse(&self.syms, &name);
-                self.registry.update(key, NodeId::from_raw(loc));
+                // Admin seeds construct pathological chains on purpose;
+                // they carry no identity knowledge.
+                self.registry
+                    .update(key, Located::untracked(NodeId::from_raw(loc)));
                 let me = env.node().as_raw();
                 self.complete(
                     env,
@@ -749,6 +846,9 @@ impl MageNode {
             .instantiate(state)
             .map_err(|f| crate::error::MageError::Rmi(f.to_string()))?;
         let me = env.node();
+        // A new object (or a re-created one under a reused name) is a new
+        // incarnation: stale stubs to a predecessor become detectable.
+        let incarnation = self.minter.mint();
         self.objects.insert(
             name_id,
             Hosted {
@@ -757,12 +857,15 @@ impl MageNode {
                 visibility,
                 home: me,
                 version: 0,
+                incarnation,
                 in_transit: false,
             },
         );
-        self.registry.update(CompKey::object(name_id), me);
+        self.registry
+            .update(CompKey::object(name_id), Located::new(me, incarnation));
         Ok(Outcome {
             location: me.as_raw(),
+            incarnation,
             ..Outcome::default()
         })
     }
@@ -828,8 +931,7 @@ impl App for MageNode {
         // queued are dropped (their reply paths died with it).
         let grants = self.locks.purge_client(peer, me);
         for grant in grants {
-            let payload = mage_codec::to_bytes(&grant.kind).expect("lock kind encodes");
-            env.reply(grant.waiter, Ok(payload));
+            self.deliver_grant(env, grant);
         }
         // Registry entries pointing at the dead incarnation are stale —
         // the components it hosted died with it; finds must rediscover.
@@ -843,6 +945,14 @@ impl App for MageNode {
         }
         self.transit_finds.retain(|_, waiters| !waiters.is_empty());
         if env.trace_enabled() {
+            // Invariant marker: this node has purged everything belonging
+            // to incarnations of `peer` older than the learned epoch — no
+            // later lock grant may go to a waiter from below it.
+            env.note(format!(
+                "invariant:purged:{}:{}",
+                peer.as_raw(),
+                env.peer_epoch(peer).unwrap_or(0)
+            ));
             env.note(format!(
                 "peer {peer} restarted: drained its locks, dropped {stale} stale registry entries"
             ));

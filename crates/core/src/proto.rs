@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 use crate::component::Visibility;
 use crate::error::MageError;
 use crate::lock::{HolderTransfer, LockKind};
-use crate::registry::CompKey;
+use crate::registry::{CompKey, Incarnation};
 
 /// The name every MAGE node binds its system service under.
 pub const SERVICE: &str = "mage";
@@ -38,7 +38,19 @@ pub mod methods {
     pub const INSTANTIATE: &str = "instantiate";
 }
 
-/// Arguments of [`methods::FIND`]. Reply: `u32` (raw node id).
+/// Reply payload of [`methods::FIND`] (also [`methods::MOVE_TO`]): where
+/// the component is, and which incarnation of it lives there. Carrying
+/// the incarnation in every location answer is what lets stubs and
+/// caches hold `(NameId, Incarnation)` pairs instead of bare names.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FindReply {
+    /// Raw id of the hosting node.
+    pub location: u32,
+    /// Incarnation hosted there ([`Incarnation::NONE`] for classes).
+    pub incarnation: Incarnation,
+}
+
+/// Arguments of [`methods::FIND`]. Reply: [`FindReply`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FindArgs {
     /// Component key (kind tag + interned name id).
@@ -82,9 +94,15 @@ pub struct InvokeArgs {
     pub method: NameId,
     /// Marshalled arguments.
     pub args: Vec<u8>,
+    /// Incarnation the caller believes it is invoking (`None` skips the
+    /// check). A same-name/different-incarnation object answers with a
+    /// typed `StaleIdentity` fault carrying the fresh incarnation instead
+    /// of silently executing against the impostor.
+    pub expected: Option<Incarnation>,
 }
 
-/// Arguments of [`methods::MOVE_TO`]. Reply: `u32` (destination raw id).
+/// Arguments of [`methods::MOVE_TO`]. Reply: [`FindReply`] (destination
+/// plus the moved object's incarnation).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct MoveToArgs {
     /// Interned name of the object to migrate.
@@ -110,6 +128,9 @@ pub struct ReceiveArgs {
     pub visibility: Visibility,
     /// Monotonic move counter (debugging aid; also detects stale receives).
     pub version: u64,
+    /// The object's incarnation: identity travels with the object — a
+    /// migration is the same incarnation at a new home, not a re-creation.
+    pub incarnation: Incarnation,
     /// Lock holders travelling with the object.
     pub locks: HolderTransfer,
 }
@@ -133,7 +154,8 @@ pub struct FetchClassArgs {
     pub class: NameId,
 }
 
-/// Arguments of [`methods::INSTANTIATE`]. Reply: `()`.
+/// Arguments of [`methods::INSTANTIATE`]. Reply: [`Incarnation`] (the
+/// fresh instance's identity, so the creator's caches start correct).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InstantiateArgs {
     /// Interned name of the class to instantiate (must be cached at the
@@ -200,6 +222,15 @@ pub struct ExecSpec {
     /// Where the runtime believes the object currently is (from the find
     /// step); lets the engine skip a second lookup.
     pub location_hint: Option<u32>,
+    /// Which incarnation the client believes it is operating on (paired
+    /// with `location_hint`; from the stub or the session cache).
+    /// Invocations carry it so a same-name impostor is detected.
+    pub expected_incarnation: Option<Incarnation>,
+    /// Whether `expected_incarnation` is *pinned* (a stub invocation:
+    /// location retries may chase the object, but the identity invoked
+    /// never changes) or advisory (a bind plan: finds legitimately
+    /// re-resolve identity — binding *is* the explicit rebind act).
+    pub identity_pinned: bool,
     /// Origin server hint for finds (clients "share the name of the mobile
     /// object's origin server", §7).
     pub home_hint: Option<u32>,
@@ -314,6 +345,9 @@ pub struct Outcome {
     /// Raw id of the namespace where the component ended up (or was
     /// invoked).
     pub location: u32,
+    /// Incarnation of the object acted upon ([`Incarnation::NONE`] when
+    /// the operation tracked no object identity).
+    pub incarnation: Incarnation,
     /// Invocation result, if the operation invoked something and waited.
     pub result: Option<Vec<u8>>,
     /// Lock kind, for lock operations.
@@ -341,6 +375,15 @@ pub fn fault_to_error(fault: &mage_rmi::Fault) -> MageError {
         mage_rmi::Fault::ClassMissing(class) => MageError::ClassUnavailable(class.clone()),
         mage_rmi::Fault::AccessDenied(why) => MageError::Denied(why.clone()),
         mage_rmi::Fault::Unreachable { peer } => MageError::Unreachable { peer: *peer },
+        mage_rmi::Fault::StaleIdentity {
+            object,
+            expected,
+            actual,
+        } => MageError::StaleIdentity {
+            object: object.clone(),
+            expected: *expected,
+            fresh: *actual,
+        },
         other => MageError::Rmi(other.to_string()),
     }
 }
@@ -355,6 +398,8 @@ mod tests {
             class: "GeoDataFilterImpl".into(),
             object: Some("geoData".into()),
             location_hint: Some(1),
+            expected_incarnation: Some(Incarnation::from_raw(6)),
+            identity_pinned: true,
             home_hint: Some(0),
             action: ActionSpec::MoveTo { node: 2 },
             invoke: Some(InvokeSpec {
@@ -373,6 +418,7 @@ mod tests {
     fn completion_roundtrips_both_arms() {
         let ok: Result<Outcome, MageError> = Ok(Outcome {
             location: 3,
+            incarnation: Incarnation::from_raw(4),
             result: Some(vec![9]),
             lock_kind: Some(LockKind::Stay),
         });
@@ -400,6 +446,18 @@ mod tests {
             fault_to_error(&Fault::App("x".into())),
             MageError::Rmi(_)
         ));
+        assert_eq!(
+            fault_to_error(&Fault::StaleIdentity {
+                object: "shared".into(),
+                expected: 3,
+                actual: 8,
+            }),
+            MageError::StaleIdentity {
+                object: "shared".into(),
+                expected: 3,
+                fresh: 8,
+            }
+        );
     }
 
     #[test]
@@ -411,6 +469,7 @@ mod tests {
             home: 0,
             visibility: Visibility::Public,
             version: 4,
+            incarnation: Incarnation::from_raw(11),
             locks: HolderTransfer {
                 stay_holders: vec![5],
                 move_holder: None,

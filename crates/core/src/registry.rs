@@ -16,6 +16,8 @@
 //! in the node (`crate::node`).
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use mage_rmi::{NameId, SymbolTable};
 use mage_sim::NodeId;
@@ -84,10 +86,96 @@ impl CompKey {
     }
 }
 
+/// Incarnation id of a hosted object: minted when the object is created
+/// (bound) and minted afresh when a same-named object is re-created —
+/// after a crash, or by a factory rebind. Identity on the wire is the
+/// pair `(NameId, Incarnation)`: a stub holding a stale incarnation is
+/// *detected* (typed `StaleIdentity`) instead of silently rebinding to
+/// whatever now answers to the name. Classes — immutable, replicable
+/// code — carry [`Incarnation::NONE`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Incarnation(u64);
+
+impl Incarnation {
+    /// "No identity tracked": classes, and registry entries seeded by the
+    /// fault-injection admin hook. Invocation checks skip it.
+    pub const NONE: Incarnation = Incarnation(0);
+
+    /// The raw id, for wire payloads and error reporting.
+    pub const fn as_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an incarnation from its wire form.
+    pub const fn from_raw(raw: u64) -> Self {
+        Incarnation(raw)
+    }
+
+    /// Whether this is the untracked sentinel.
+    pub fn is_none(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl std::fmt::Display for Incarnation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+/// World-shared mint for object incarnations, handed (like the symbol
+/// table) to every node at construction. Ids are unique across the whole
+/// deployment and across re-creations, so a re-created `"shared"` can
+/// never collide with the original — even when a partition heal makes
+/// both copies reachable at once. Allocation is a single atomic
+/// increment; determinism follows from the deterministic event order.
+#[derive(Debug)]
+pub struct IncarnationMinter(AtomicU64);
+
+impl IncarnationMinter {
+    /// Creates a shared minter (ids start at 1; 0 is [`Incarnation::NONE`]).
+    pub fn shared() -> Arc<Self> {
+        Arc::new(IncarnationMinter(AtomicU64::new(1)))
+    }
+
+    /// Mints the next incarnation id.
+    pub fn mint(&self) -> Incarnation {
+        Incarnation(self.0.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// A registry entry's value: where the component was last seen, and which
+/// incarnation was seen there.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Located {
+    /// Last known hosting node.
+    pub node: NodeId,
+    /// Incarnation observed there ([`Incarnation::NONE`] for classes and
+    /// admin-seeded entries).
+    pub incarnation: Incarnation,
+}
+
+impl Located {
+    /// Builds an entry value.
+    pub fn new(node: NodeId, incarnation: Incarnation) -> Self {
+        Located { node, incarnation }
+    }
+
+    /// An entry with no identity knowledge (classes, admin seeds).
+    pub fn untracked(node: NodeId) -> Self {
+        Located {
+            node,
+            incarnation: Incarnation::NONE,
+        }
+    }
+}
+
 /// Last-known-location table for mobile components.
 #[derive(Debug, Default, Clone)]
 pub struct Registry {
-    entries: BTreeMap<CompKey, NodeId>,
+    entries: BTreeMap<CompKey, Located>,
 }
 
 impl Registry {
@@ -96,19 +184,19 @@ impl Registry {
         Registry::default()
     }
 
-    /// Records that `key` was last seen at `location`, returning the
-    /// previous entry if any.
-    pub fn update(&mut self, key: CompKey, location: NodeId) -> Option<NodeId> {
-        self.entries.insert(key, location)
+    /// Records that `key` was last seen at `entry.node` as
+    /// `entry.incarnation`, returning the previous entry if any.
+    pub fn update(&mut self, key: CompKey, entry: Located) -> Option<Located> {
+        self.entries.insert(key, entry)
     }
 
-    /// The last known location of `key`.
-    pub fn lookup(&self, key: CompKey) -> Option<NodeId> {
+    /// The last known location (and incarnation) of `key`.
+    pub fn lookup(&self, key: CompKey) -> Option<Located> {
         self.entries.get(&key).copied()
     }
 
     /// Removes the entry for `key`.
-    pub fn remove(&mut self, key: CompKey) -> Option<NodeId> {
+    pub fn remove(&mut self, key: CompKey) -> Option<Located> {
         self.entries.remove(&key)
     }
 
@@ -118,7 +206,7 @@ impl Registry {
     /// forwarding addresses are stale.
     pub fn purge_location(&mut self, location: NodeId) -> usize {
         let before = self.entries.len();
-        self.entries.retain(|_, loc| *loc != location);
+        self.entries.retain(|_, loc| loc.node != location);
         before - self.entries.len()
     }
 
@@ -132,8 +220,8 @@ impl Registry {
         self.entries.is_empty()
     }
 
-    /// Iterates over `(key, location)` pairs in key order.
-    pub fn iter(&self) -> impl Iterator<Item = (CompKey, NodeId)> + '_ {
+    /// Iterates over `(key, entry)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (CompKey, Located)> + '_ {
         self.entries.iter().map(|(k, v)| (*k, *v))
     }
 }
@@ -142,8 +230,8 @@ impl Registry {
 mod tests {
     use super::*;
 
-    fn n(i: u32) -> NodeId {
-        NodeId::from_raw(i)
+    fn n(i: u32) -> Located {
+        Located::untracked(NodeId::from_raw(i))
     }
 
     #[test]
@@ -157,6 +245,31 @@ mod tests {
         // Forwarding address overwritten when the object moves on.
         assert_eq!(reg.update(geo, n(3)), Some(n(2)));
         assert_eq!(reg.lookup(geo), Some(n(3)));
+    }
+
+    #[test]
+    fn entries_track_incarnations() {
+        let syms = SymbolTable::new();
+        let geo = CompKey::object(syms.intern("geoData"));
+        let mut reg = Registry::new();
+        let first = Located::new(NodeId::from_raw(2), Incarnation::from_raw(5));
+        reg.update(geo, first);
+        assert_eq!(reg.lookup(geo), Some(first));
+        // A re-created object under the same name replaces the entry with
+        // the fresh incarnation.
+        let fresh = Located::new(NodeId::from_raw(4), Incarnation::from_raw(9));
+        assert_eq!(reg.update(geo, fresh), Some(first));
+        assert_eq!(reg.lookup(geo).unwrap().incarnation.as_raw(), 9);
+    }
+
+    #[test]
+    fn minter_is_monotonic_and_never_none() {
+        let minter = IncarnationMinter::shared();
+        let a = minter.mint();
+        let b = minter.mint();
+        assert!(!a.is_none());
+        assert!(b > a);
+        assert!(Incarnation::NONE.is_none());
     }
 
     #[test]
@@ -206,7 +319,7 @@ mod tests {
         reg.update(a, n(1));
         reg.update(b, n(2));
         reg.update(c, n(1));
-        assert_eq!(reg.purge_location(n(1)), 2);
+        assert_eq!(reg.purge_location(NodeId::from_raw(1)), 2);
         assert_eq!(reg.lookup(a), None);
         assert_eq!(reg.lookup(c), None);
         assert_eq!(reg.lookup(b), Some(n(2)));

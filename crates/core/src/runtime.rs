@@ -53,7 +53,7 @@ use crate::lock::LockKind;
 use crate::node::{MageNode, NodeConfig};
 use crate::pending::Pending;
 use crate::proto::{self, Command, Outcome};
-use crate::registry::CompKey;
+use crate::registry::{CompKey, IncarnationMinter};
 use crate::session::{BindReceipt, Session, Stub};
 
 /// World-wide deployment knowledge shared by every session: where classes
@@ -205,6 +205,9 @@ impl RuntimeBuilder {
         );
         let lib = Arc::new(self.lib);
         let syms = SymbolTable::shared();
+        // World-shared identity mint: incarnation ids are unique across
+        // the deployment, so re-creations never collide with originals.
+        let minter = IncarnationMinter::shared();
         let mut world = World::with_network(self.seed, Network::new(self.link));
         if self.trace {
             world.set_trace_mode(mage_sim::TraceMode::Full);
@@ -228,6 +231,7 @@ impl RuntimeBuilder {
             let node_cfg = self.node;
             let rmi_cfg = self.rmi;
             let node_syms = Arc::clone(&syms);
+            let node_minter = Arc::clone(&minter);
             let id = world.add_node_with(name.clone(), move || {
                 Box::new(Endpoint::with_symbols(
                     MageNode::new(
@@ -236,6 +240,7 @@ impl RuntimeBuilder {
                         node_ids.clone(),
                         node_cfg,
                         Arc::clone(&node_syms),
+                        Arc::clone(&node_minter),
                     ),
                     rmi_cfg,
                     Arc::clone(&node_syms),

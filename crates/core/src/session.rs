@@ -52,7 +52,7 @@ use crate::error::MageError;
 use crate::lock::LockKind;
 use crate::pending::{DecodeFn, Pending};
 use crate::proto::{ActionSpec, Command, ExecSpec, InvokeSpec, Outcome};
-use crate::registry::CompKey;
+use crate::registry::{CompKey, Incarnation, Located};
 use crate::runtime::{Directory, Inner};
 
 /// A client-side reference to a bound component: which namespace bound it,
@@ -65,6 +65,12 @@ pub struct Stub {
     pub(crate) object_id: NameId,
     pub(crate) class: String,
     pub(crate) home: Option<NodeId>,
+    /// Incarnation of the object this stub was bound against. Invocations
+    /// carry it; if the name has since been re-bound to a different
+    /// instance, the call resolves to [`MageError::StaleIdentity`] instead
+    /// of silently reaching the impostor — rebind with
+    /// [`Session::rebind`] to talk to the current object.
+    pub(crate) incarnation: Incarnation,
 }
 
 impl Stub {
@@ -87,6 +93,11 @@ impl Stub {
     pub fn class(&self) -> &str {
         &self.class
     }
+
+    /// The incarnation this stub is bound to (raw id; `0` = untracked).
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation.as_raw()
+    }
 }
 
 /// Everything a bind produced: the stub plus how coercion resolved it.
@@ -107,8 +118,9 @@ pub struct BindReceipt {
 /// strings.
 #[derive(Debug, Default)]
 pub(crate) struct SessionState {
-    /// Where this client last saw each component.
-    pub cached_loc: BTreeMap<CompKey, NodeId>,
+    /// Where this client last saw each component — and which incarnation
+    /// it saw there. Identity rides with location knowledge everywhere.
+    pub cached_loc: BTreeMap<CompKey, Located>,
 }
 
 /// Everything a bind plan resolved before execution; carried into the
@@ -130,7 +142,9 @@ fn receipt_from(
 ) -> BindReceipt {
     let at = NodeId::from_raw(outcome.location);
     let key = CompKey::object(ctx.object_id);
-    state.cached_loc.insert(key, at);
+    state
+        .cached_loc
+        .insert(key, Located::new(at, outcome.incarnation));
     if ctx.is_factory {
         dir.homes.insert(key, at);
     }
@@ -142,6 +156,7 @@ fn receipt_from(
             object_id: ctx.object_id,
             class: ctx.class,
             home: dir.homes.get(&key).copied(),
+            incarnation: outcome.incarnation,
         },
         coerced: ctx.coerced,
         lock_kind: outcome.lock_kind,
@@ -193,7 +208,7 @@ impl Session {
             .borrow()
             .cached_loc
             .iter()
-            .map(|(key, loc)| (key.display(&self.syms), *loc))
+            .map(|(key, loc)| (key.display(&self.syms), loc.node))
             .collect();
         entries.sort();
         entries
@@ -238,7 +253,7 @@ impl Session {
     ) -> Result<Stub, MageError> {
         let encoded = mage_codec::to_bytes(state)?;
         let (class_owned, name_owned) = (class.to_owned(), name.to_owned());
-        self.command(move |op| Command::CreateObject {
+        let outcome = self.command(move |op| Command::CreateObject {
             op,
             class: class_owned,
             name: name_owned,
@@ -251,7 +266,10 @@ impl Session {
         inner.dir.homes.insert(key, self.client);
         inner.dir.visibility.insert(object_id, visibility);
         drop(inner);
-        self.state.borrow_mut().cached_loc.insert(key, self.client);
+        self.state
+            .borrow_mut()
+            .cached_loc
+            .insert(key, Located::new(self.client, outcome.incarnation));
         Ok(Stub {
             client: self.client,
             at: self.client,
@@ -259,6 +277,7 @@ impl Session {
             object_id,
             class: class.to_owned(),
             home: Some(self.client),
+            incarnation: outcome.incarnation,
         })
     }
 
@@ -291,10 +310,45 @@ impl Session {
             },
             Box::new(move |outcome, _dir, state| {
                 let loc = NodeId::from_raw(outcome.location);
-                state.cached_loc.insert(key, loc);
+                state
+                    .cached_loc
+                    .insert(key, Located::new(loc, outcome.incarnation));
                 Ok(loc)
             }),
         ))
+    }
+
+    /// Explicitly re-binds a stale stub to whatever incarnation currently
+    /// answers to its name: runs a fresh find (which learns the current
+    /// location *and* incarnation) and returns an updated stub.
+    ///
+    /// This is the recovery path for [`MageError::StaleIdentity`]: the
+    /// runtime never silently rebinds — re-creation after a crash, or a
+    /// re-created copy surviving next to a partitioned-away original, is
+    /// something the session must acknowledge by calling this.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MageError::NotFound`] when nothing answers to the name.
+    pub fn rebind(&self, stub: &Stub) -> Result<Stub, MageError> {
+        let loc = self.find(&stub.object)?;
+        let key = CompKey::object(stub.object_id);
+        let entry = self
+            .state
+            .borrow()
+            .cached_loc
+            .get(&key)
+            .copied()
+            .unwrap_or(Located::untracked(loc));
+        Ok(Stub {
+            client: self.client,
+            at: entry.node,
+            object: stub.object.clone(),
+            object_id: stub.object_id,
+            class: stub.class.clone(),
+            home: stub.home,
+            incarnation: entry.incarnation,
+        })
     }
 
     // ---- bind ----
@@ -486,7 +540,7 @@ impl Session {
             .borrow()
             .cached_loc
             .get(&base_key)
-            .copied()
+            .map(|entry| entry.node)
             .or_else(|| {
                 let inner = self.inner.borrow();
                 match inner.dir.visibility.get(&base_id) {
@@ -511,7 +565,11 @@ impl Session {
             Err(err) => return Err(err),
         };
         let located = if did_find {
-            self.state.borrow().cached_loc.get(&base_key).copied()
+            self.state
+                .borrow()
+                .cached_loc
+                .get(&base_key)
+                .map(|entry| entry.node)
         } else {
             cached
         };
@@ -610,11 +668,27 @@ impl Session {
             },
         };
 
+        // Identity expectation: whatever location this plan settled on,
+        // if the session's cache agrees on the node it also knows which
+        // incarnation it expects to find there. An invocation reaching a
+        // different incarnation resolves to `StaleIdentity`.
+        let expected_incarnation = location.and_then(|loc| {
+            self.state
+                .borrow()
+                .cached_loc
+                .get(&base_key)
+                .copied()
+                .filter(|entry| entry.node == loc)
+                .map(|entry| entry.incarnation)
+                .filter(|inc| !inc.is_none())
+        });
         let inner = self.inner.borrow();
         let spec = ExecSpec {
             class: class.clone(),
             object: Some(object_name.clone()),
             location_hint: location.map(|n| n.as_raw()),
+            expected_incarnation,
+            identity_pinned: false,
             home_hint: inner
                 .dir
                 .homes
@@ -641,18 +715,28 @@ impl Session {
     // ---- invocation ----
 
     /// Builds the spec for a plain invocation through a stub.
+    ///
+    /// Location and identity separate here: the session cache advises
+    /// *where* to send the call (objects move behind a stub's back, §3.5),
+    /// but the *identity* invoked is pinned by the stub itself — a stub
+    /// either reaches the object it was bound to or resolves to
+    /// `StaleIdentity`, even when the session already knows about a
+    /// replacement. Rebinding to the replacement is an explicit act
+    /// ([`Session::rebind`]), never a side effect of a cache refresh.
     fn invoke_spec(&self, stub: &Stub, method: &str, args: Vec<u8>, one_way: bool) -> ExecSpec {
         let at = self
             .state
             .borrow()
             .cached_loc
             .get(&CompKey::object(stub.object_id))
-            .copied()
+            .map(|entry| entry.node)
             .unwrap_or(stub.at);
         ExecSpec {
             class: stub.class.clone(),
             object: Some(stub.object.clone()),
             location_hint: Some(at.as_raw()),
+            expected_incarnation: Some(stub.incarnation).filter(|inc| !inc.is_none()),
+            identity_pinned: true,
             home_hint: stub.home.map(|n| n.as_raw()),
             action: ActionSpec::InvokeAt { node: at.as_raw() },
             invoke: Some(InvokeSpec {
@@ -698,9 +782,10 @@ impl Session {
         Ok(self.issue(
             move |op| Command::Execute { op, spec },
             Box::new(move |outcome, _dir, state| {
-                state
-                    .cached_loc
-                    .insert(object_key, NodeId::from_raw(outcome.location));
+                state.cached_loc.insert(
+                    object_key,
+                    Located::new(NodeId::from_raw(outcome.location), outcome.incarnation),
+                );
                 let bytes = outcome
                     .result
                     .ok_or_else(|| MageError::Rmi("invocation returned no result".into()))?;
@@ -719,7 +804,7 @@ impl Session {
         let outcome = self.command(move |op| Command::Execute { op, spec })?;
         self.state.borrow_mut().cached_loc.insert(
             CompKey::object(stub.object_id),
-            NodeId::from_raw(outcome.location),
+            Located::new(NodeId::from_raw(outcome.location), outcome.incarnation),
         );
         outcome
             .result

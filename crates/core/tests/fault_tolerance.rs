@@ -202,3 +202,172 @@ fn migration_to_crashed_target_aborts_and_rehomes() {
         .unwrap();
     assert_eq!(count, Some(1), "object must still be usable at its home");
 }
+
+/// The stale-identity tentpole: an object dies with its host and is
+/// re-created under the same name elsewhere. A stub bound to the dead
+/// incarnation must *not* silently reach the impostor — its invocation
+/// resolves to a typed `StaleIdentity` carrying the fresh incarnation,
+/// and an explicit [`Session::rebind`] recovers.
+#[test]
+fn stale_stub_is_refused_and_explicit_rebind_recovers() {
+    let mut rt = runtime(&["h0", "a", "c"]);
+    let s0 = rt.session("h0").unwrap();
+    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+        .unwrap();
+    // Host the object at `a`, and bind a stub from bystander `c`.
+    let sa = rt.session("a").unwrap();
+    sa.bind_invoke(&Grev::new("TestObject", "obj", "a"), methods::INC, &())
+        .unwrap();
+    let sc = rt.session("c").unwrap();
+    let stub = sc.bind(&Cle::new("TestObject", "obj")).unwrap();
+    let first = stub.incarnation();
+    assert_ne!(first, 0, "binds must learn a real incarnation");
+    assert_eq!(sc.call(&stub, methods::INC, &()).unwrap(), 2);
+
+    // The object dies with `a`; the driver re-creates it at `h0`.
+    rt.crash("a").unwrap();
+    rt.restart("a").unwrap();
+    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+        .unwrap();
+
+    // The stale stub's call finds its way to the re-created object — and
+    // is refused with the fresh incarnation attached, never silently run.
+    let err = sc.call(&stub, methods::INC, &()).unwrap_err();
+    let MageError::StaleIdentity {
+        object,
+        expected,
+        fresh,
+    } = err
+    else {
+        panic!("expected typed StaleIdentity, got {err:?}");
+    };
+    assert_eq!(object, "obj");
+    assert_eq!(expected, first);
+    assert!(fresh > first, "re-creation mints a later incarnation");
+
+    // Explicit rebind: acknowledge the new identity and proceed.
+    let fresh_stub = sc.rebind(&stub).unwrap();
+    assert_eq!(fresh_stub.incarnation(), fresh);
+    // Fresh instance: crash-stop lost the old count, INC restarts at 1.
+    assert_eq!(sc.call(&fresh_stub, methods::INC, &()).unwrap(), 1);
+}
+
+/// Identity is pinned by the *stub*, not by the session's location
+/// cache: even after the session has found (and cached) the re-created
+/// object, an old stub must still be refused with `StaleIdentity` —
+/// rebinding is an explicit act, never a cache side effect.
+#[test]
+fn session_cache_refresh_does_not_silently_rebind_a_stale_stub() {
+    let mut rt = runtime(&["h0", "a", "c"]);
+    let s0 = rt.session("h0").unwrap();
+    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+        .unwrap();
+    let sa = rt.session("a").unwrap();
+    sa.bind_invoke(&Grev::new("TestObject", "obj", "a"), methods::INC, &())
+        .unwrap();
+    let sc = rt.session("c").unwrap();
+    let stub = sc.bind(&Cle::new("TestObject", "obj")).unwrap();
+
+    rt.crash("a").unwrap();
+    rt.restart("a").unwrap();
+    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+        .unwrap();
+
+    // The session now knows exactly where the replacement lives…
+    let loc = sc.find("obj").unwrap();
+    assert_eq!(loc, rt.node_id("h0").unwrap());
+    // …and the old stub is still refused.
+    let err = sc.call(&stub, methods::INC, &()).unwrap_err();
+    assert!(
+        matches!(err, MageError::StaleIdentity { .. }),
+        "expected typed StaleIdentity, got {err:?}"
+    );
+}
+
+/// A *bind* whose cached identity went stale must recover by itself:
+/// identity in a bind plan is advisory (binding is the explicit rebind
+/// act), so the engine treats the `StaleIdentity` refusal like stale
+/// location knowledge — re-find, learn the fresh incarnation, proceed.
+/// Private objects are the sharp case: their cached location is
+/// authoritative (§3.5), so no find precedes the first attempt.
+#[test]
+fn bind_with_stale_cached_identity_refinds_and_recovers() {
+    let mut rt = runtime(&["h0", "a", "c"]);
+    let s0 = rt.session("h0").unwrap();
+    s0.create_object("TestObject", "obj", &(), Visibility::Private)
+        .unwrap();
+    let sa = rt.session("a").unwrap();
+    sa.bind_invoke(&Grev::new("TestObject", "obj", "a"), methods::INC, &())
+        .unwrap();
+    // `c` binds once: its cache now holds (a, first incarnation).
+    let sc = rt.session("c").unwrap();
+    sc.bind_invoke(&Cle::new("TestObject", "obj"), methods::INC, &())
+        .unwrap();
+
+    // The object dies with `a` and is re-created there (same location,
+    // new incarnation) — the sharpest staleness: c's cached *node* is
+    // right, only its cached *identity* is dead.
+    rt.crash("a").unwrap();
+    rt.restart("a").unwrap();
+    rt.deploy_class("TestObject", "a").unwrap();
+    let sa = rt.session("a").unwrap();
+    sa.create_object("TestObject", "obj", &(), Visibility::Private)
+        .unwrap();
+
+    // A fresh bind from `c` must not wedge on StaleIdentity forever: the
+    // advisory-identity retry re-finds and reaches the new object.
+    let (stub, count) = sc
+        .bind_invoke(&Cle::new("TestObject", "obj"), methods::INC, &())
+        .unwrap();
+    assert_eq!(count, Some(1), "fresh instance serves the re-bound call");
+    assert_ne!(stub.incarnation(), 0);
+}
+
+/// Partition-heal coexistence: the original survives on the far side of
+/// a partition while a same-name copy is re-created on the near side.
+/// After the heal both are reachable — and incarnations keep them apart:
+/// the old stub still reaches exactly the original, a fresh bind on the
+/// near side reaches exactly the copy, and neither is confused for the
+/// other.
+#[test]
+fn partition_heal_coexistence_is_disambiguated_by_incarnation() {
+    let mut rt = runtime(&["h0", "far", "c"]);
+    let s0 = rt.session("h0").unwrap();
+    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+        .unwrap();
+    // Move the original to `far`; pin a stub to it from `c`.
+    let sfar = rt.session("far").unwrap();
+    sfar.bind_invoke(&Grev::new("TestObject", "obj", "far"), methods::INC, &())
+        .unwrap();
+    let sc = rt.session("c").unwrap();
+    let original = sc.bind(&Cle::new("TestObject", "obj")).unwrap();
+    assert_eq!(sc.call(&original, methods::INC, &()).unwrap(), 2);
+
+    // Partition `far` away from both h0 and c; the original is alive but
+    // unreachable, so h0 re-creates a same-name copy.
+    rt.partition_between("h0", "far").unwrap();
+    rt.partition_between("c", "far").unwrap();
+    let err = sc.call(&original, methods::INC, &()).unwrap_err();
+    assert!(
+        matches!(err, MageError::Unreachable { .. } | MageError::NotFound(_)),
+        "partitioned original must resolve typed (direct Unreachable, or \
+         NotFound after the repair walk also dead-ends), got {err:?}"
+    );
+    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+        .unwrap();
+    let copy = s0.bind(&Cle::new("TestObject", "obj")).unwrap();
+    assert_ne!(
+        copy.incarnation(),
+        original.incarnation(),
+        "the re-created copy is a distinct incarnation"
+    );
+
+    // Heal: both same-name objects are now reachable at once.
+    rt.heal_between("h0", "far").unwrap();
+    rt.heal_between("c", "far").unwrap();
+
+    // The pinned stub reaches exactly the original (its count continues)…
+    assert_eq!(sc.call(&original, methods::INC, &()).unwrap(), 3);
+    // …and the copy's stub reaches exactly the copy (its own count).
+    assert_eq!(s0.call(&copy, methods::INC, &()).unwrap(), 1);
+}

@@ -18,11 +18,25 @@
 //! scratch buffer, responses are cached as ready-to-resend frames, and
 //! retransmissions clone the original frame instead of re-encoding.
 //!
+//! **Failure detection is purely message-driven.** Every frame carries its
+//! sender's incarnation epoch (a boot counter); an endpoint learns that a
+//! peer restarted the moment the first frame from the fresh incarnation
+//! arrives, and only then — no out-of-band oracle. Responses additionally
+//! echo the epoch the request claimed, so a reply addressed to a dead
+//! incarnation of the caller is discarded on receipt instead of colliding
+//! with the fresh incarnation's call-id space. A request naming an
+//! interned id the receiver never learned (its table died with a crash,
+//! or the first-use carrier frame was lost) is answered with a
+//! [`Fault::UnknownName`] NACK, and the caller re-sends the request with
+//! the backing strings attached. The simulator's epoch oracle
+//! (`Context::node_epoch`) survives only inside `debug_assert!`s that the
+//! wire-learned view agrees with ground truth.
+//!
 //! Higher layers (the MAGE runtime) plug in as an [`App`]: a protocol state
 //! machine that can originate calls, answer calls not handled by the local
 //! object registry, and defer replies while it performs nested calls.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -131,9 +145,9 @@ impl InboundCall {
 pub struct ReplyHandle {
     caller: NodeId,
     call_id: u64,
-    /// Caller incarnation when the call arrived; a reply to a caller that
-    /// has since restarted is silently dropped instead of confusing its
-    /// fresh call-id space.
+    /// Caller incarnation as stamped in the request frame; a reply to a
+    /// caller that has since restarted is silently dropped instead of
+    /// confusing its fresh call-id space.
     caller_epoch: u64,
 }
 
@@ -141,6 +155,11 @@ impl ReplyHandle {
     /// The node that originated the deferred call.
     pub fn caller(&self) -> NodeId {
         self.caller
+    }
+
+    /// The caller incarnation stamped in the request frame.
+    pub fn caller_epoch(&self) -> u64 {
+        self.caller_epoch
     }
 }
 
@@ -210,6 +229,9 @@ struct PendingCall {
     /// Whether the request carried first-use name strings; a response
     /// acknowledges them (the peer has learned the ids).
     named: bool,
+    /// Whether an [`Fault::UnknownName`] NACK already forced a re-encode
+    /// with strings attached (once per call; a second NACK is surfaced).
+    reshipped: bool,
     attempts: u32,
     max_retries: u32,
     timeout: SimDuration,
@@ -239,18 +261,19 @@ pub struct EndpointState {
     /// Receiver side: translation of a peer's wire ids to our local ids,
     /// learned from first-use strings.
     learned: HashMap<(NodeId, u32), NameId>,
-    /// Last observed incarnation of each peer; a change invalidates every
-    /// per-peer table above and below (the old incarnation's acks, learned
-    /// ids, primed connection and cached responses died with it).
+    /// Last incarnation of each peer learned from a received frame's
+    /// sender-epoch field; a change invalidates every per-peer table above
+    /// and below (the old incarnation's acks, learned ids, primed
+    /// connection and cached responses died with it).
     peer_epochs: HashMap<NodeId, u64>,
-    /// Peers whose restart was detected on the *send* path (inside an app
-    /// callback, where the app cannot be re-entered); the notification is
-    /// delivered at the endpoint's next dispatch.
-    pending_restart_hooks: Vec<NodeId>,
-    deferred: BTreeSet<(NodeId, u64)>,
+    /// Calls handed to the app and awaiting a deferred reply, keyed by
+    /// `(caller, call_id)` with the caller epoch stamped in the request —
+    /// so a purge can drop exactly the entries belonging to a dead
+    /// incarnation, even when the peer was never in `peer_epochs`.
+    deferred: BTreeMap<(NodeId, u64), u64>,
     /// At-most-once dedup cache: responses stored as ready-to-resend
-    /// frames with their static label.
-    response_cache: HashMap<(NodeId, u64), (Bytes, &'static str)>,
+    /// frames with their static label and the caller epoch they answer.
+    response_cache: HashMap<(NodeId, u64), (Bytes, &'static str, u64)>,
     cache_order: VecDeque<(NodeId, u64)>,
     /// Reusable encode buffer for every outgoing frame.
     scratch: Vec<u8>,
@@ -268,19 +291,28 @@ impl EndpointState {
             shipped: HashMap::new(),
             learned: HashMap::new(),
             peer_epochs: HashMap::new(),
-            pending_restart_hooks: Vec::new(),
-            deferred: BTreeSet::new(),
+            deferred: BTreeMap::new(),
             response_cache: HashMap::new(),
             cache_order: VecDeque::new(),
             scratch: Vec::with_capacity(256),
         }
     }
 
-    fn cache_response(&mut self, key: (NodeId, u64), frame: Bytes, label: &'static str) {
+    fn cache_response(
+        &mut self,
+        key: (NodeId, u64),
+        frame: Bytes,
+        label: &'static str,
+        caller_epoch: u64,
+    ) {
         // Re-caching an existing key must not duplicate its order entry:
         // a duplicate makes a later eviction pop a stale entry, dropping a
         // *live* cached response while the map stays over budget.
-        if self.response_cache.insert(key, (frame, label)).is_none() {
+        if self
+            .response_cache
+            .insert(key, (frame, label, caller_epoch))
+            .is_none()
+        {
             self.cache_order.push_back(key);
         }
         while self.response_cache.len() > self.cfg.response_cache_size {
@@ -295,16 +327,26 @@ impl EndpointState {
         }
     }
 
-    /// Records `peer`'s current incarnation. Returns `true` — after
-    /// invalidating all per-peer state — when the peer has restarted
-    /// since we last interacted with it.
+    /// Records `peer`'s incarnation as learned from a received frame.
+    /// Returns `true` — after invalidating all per-peer state — when the
+    /// peer has restarted since we last heard from it.
     fn note_peer_epoch(&mut self, peer: NodeId, epoch: u64) -> bool {
         match self.peer_epochs.insert(peer, epoch) {
             Some(old) if old != epoch => {
                 self.purge_peer(peer);
                 true
             }
-            _ => false,
+            Some(_) => false,
+            None => {
+                // First sighting of this peer's epoch. Dedup-cache and
+                // deferred entries normally imply a prior sighting, but an
+                // entry can outlive the tracking map's knowledge (first
+                // contact after a restart); any entry stamped with a
+                // different caller epoch belongs to a dead incarnation and
+                // must not answer — or block — the fresh one's calls.
+                self.purge_stale_epoch_entries(peer, epoch);
+                false
+            }
         }
     }
 
@@ -318,7 +360,23 @@ impl EndpointState {
         self.learned.retain(|(node, _), _| *node != peer);
         self.response_cache.retain(|(node, _), _| *node != peer);
         self.cache_order.retain(|(node, _)| *node != peer);
-        self.deferred.retain(|(node, _)| *node != peer);
+        self.deferred.retain(|(node, _), _| *node != peer);
+    }
+
+    /// Drops dedup-cache and deferred entries for `peer` whose recorded
+    /// caller epoch differs from `epoch`. The dropped keys' `cache_order`
+    /// slots go too: the fresh incarnation reuses call ids from zero, and
+    /// re-caching a key whose stale order slot survived would duplicate
+    /// it — making a later eviction pop the stale slot and drop a *live*
+    /// cached response (the PR 3 eviction-corruption regression).
+    fn purge_stale_epoch_entries(&mut self, peer: NodeId, epoch: u64) {
+        self.response_cache
+            .retain(|(node, _), (_, _, e)| *node != peer || *e == epoch);
+        self.deferred
+            .retain(|(node, _), e| *node != peer || *e == epoch);
+        let cache = &self.response_cache;
+        self.cache_order
+            .retain(|key| key.0 != peer || cache.contains_key(key));
     }
 
     /// Translates a wire id from `from` to a local id, learning the
@@ -389,6 +447,13 @@ impl<'a, 'c> Env<'a, 'c> {
     /// The endpoint's symbol table (shared world-wide by the harness).
     pub fn symbols(&self) -> &Arc<SymbolTable> {
         &self.state.syms
+    }
+
+    /// The last incarnation of `peer` learned from received frames
+    /// (`None` before the first frame). Purely message-driven — this is
+    /// the endpoint's *belief*, not the simulator's ground truth.
+    pub fn peer_epoch(&self, peer: NodeId) -> Option<u64> {
+        self.state.peer_epochs.get(&peer).copied()
     }
 
     /// Whether the world records a trace (rich labels are only worth
@@ -471,16 +536,11 @@ impl<'a, 'c> Env<'a, 'c> {
         let call_id = self.state.next_call;
         self.state.next_call += 1;
 
-        // A restarted peer lost its learned name table and its dedup
-        // cache; refresh our view of its incarnation before deciding
-        // whether the name strings must ride along. The app hook cannot
-        // run here (we are *inside* an app callback), so the detection is
-        // queued and delivered at the endpoint's next dispatch.
-        let to_epoch = self.ctx.node_epoch(to);
-        if self.state.note_peer_epoch(to, to_epoch) {
-            self.state.pending_restart_hooks.push(to);
-        }
-
+        // No oracle consulted here: if the peer restarted and lost its
+        // learned name table since we last heard from it, the bare-id
+        // request is answered with a `Fault::UnknownName` NACK (stamped
+        // with the fresh incarnation's epoch, which purges our per-peer
+        // state) and re-sent with the strings attached.
         let ship_object = self.state.needs_name(to, object);
         let ship_method = self.state.needs_name(to, method);
         let named = ship_object || ship_method;
@@ -500,6 +560,7 @@ impl<'a, 'c> Env<'a, 'c> {
         let frame = encode_call_req(
             &mut self.state.scratch,
             call_id,
+            self.ctx.self_epoch(),
             object,
             if ship_object { object_str } else { None },
             method,
@@ -530,6 +591,7 @@ impl<'a, 'c> Env<'a, 'c> {
                 object,
                 method,
                 named,
+                reshipped: false,
                 attempts: 1,
                 max_retries,
                 timeout,
@@ -538,14 +600,18 @@ impl<'a, 'c> Env<'a, 'c> {
         self.ctx.set_timer(delay + timeout, RETX_FLAG | call_id);
     }
 
-    /// Answers a deferred inbound call.
+    /// Answers a deferred inbound call. Returns `true` when the reply was
+    /// sent, `false` when it was dropped because the caller's incarnation
+    /// died while the call was deferred (answering would corrupt the fresh
+    /// incarnation's reused call-id space).
     ///
     /// # Panics
     ///
-    /// Panics if `handle` does not correspond to a deferred call (answering
-    /// twice, or fabricating a handle, is a protocol bug).
-    pub fn reply(&mut self, handle: ReplyHandle, result: Result<Vec<u8>, Fault>) {
-        self.reply_with(handle, result.as_ref().map(|v| v.as_slice()));
+    /// Panics if `handle` does not correspond to a deferred call of a
+    /// still-live caller incarnation (answering twice, or fabricating a
+    /// handle, is a protocol bug).
+    pub fn reply(&mut self, handle: ReplyHandle, result: Result<Vec<u8>, Fault>) -> bool {
+        self.reply_with(handle, result.as_ref().map(|v| v.as_slice()))
     }
 
     /// Borrowed-view form of [`Env::reply`]: answers a deferred call
@@ -556,26 +622,47 @@ impl<'a, 'c> Env<'a, 'c> {
     /// # Panics
     ///
     /// Same as [`Env::reply`].
-    pub fn reply_with(&mut self, handle: ReplyHandle, result: Result<&[u8], &Fault>) {
+    pub fn reply_with(&mut self, handle: ReplyHandle, result: Result<&[u8], &Fault>) -> bool {
         let key = (handle.caller, handle.call_id);
-        if !self.state.deferred.remove(&key) {
-            // The caller restarted while its call was deferred: its entry
-            // was purged with the dead incarnation, and the fresh
-            // incarnation reuses call ids from zero — answering would
-            // corrupt an unrelated call. Drop the reply.
-            if self.ctx.node_epoch(handle.caller) != handle.caller_epoch {
-                return;
+        match self.state.deferred.get(&key) {
+            // The entry belongs to this handle's incarnation: answer it.
+            Some(&epoch) if epoch == handle.caller_epoch => {
+                self.state.deferred.remove(&key);
             }
-            panic!("reply to unknown or already-answered call {key:?}");
+            // A *fresh* incarnation's call reused the id while this
+            // handle's caller is dead: the entry is not ours to answer.
+            Some(_) => return false,
+            None => {
+                // The caller restarted while its call was deferred: the
+                // entry was purged with the dead incarnation (our learned
+                // view of the peer's epoch has moved past the handle's).
+                // Drop the reply.
+                if self.state.peer_epochs.get(&handle.caller).copied() != Some(handle.caller_epoch)
+                {
+                    return false;
+                }
+                panic!("reply to unknown or already-answered call {key:?}");
+            }
         }
         let label = match &result {
             Ok(_) => "rsp:ok",
             Err(_) => "rsp:fault",
         };
-        let frame = encode_call_rsp(&mut self.state.scratch, handle.call_id, result);
-        self.state.cache_response(key, frame.clone(), label);
+        // The response echoes the caller epoch from the request, so a
+        // restarted caller discards it instead of matching it against a
+        // reused call id.
+        let frame = encode_call_rsp(
+            &mut self.state.scratch,
+            handle.call_id,
+            self.ctx.self_epoch(),
+            handle.caller_epoch,
+            result,
+        );
+        self.state
+            .cache_response(key, frame.clone(), label, handle.caller_epoch);
         let delay = self.surcharge;
         self.ctx.send_after(delay, handle.caller, label, frame);
+        true
     }
 
     /// Sets an application timer. `tag` must not use the top bit, which is
@@ -655,11 +742,13 @@ impl<A: App> Endpoint<A> {
         &self.app
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_call_req(
         &mut self,
         ctx: &mut Context<'_>,
         from: NodeId,
         call_id: u64,
+        caller_epoch: u64,
         object: NameId,
         method: NameId,
         args: Bytes,
@@ -668,19 +757,27 @@ impl<A: App> Endpoint<A> {
         let handle = ReplyHandle {
             caller: from,
             call_id,
-            caller_epoch: ctx.node_epoch(from),
+            caller_epoch,
         };
         // At-most-once: duplicate of an answered call re-sends the cached
         // response frame without re-executing or re-encoding.
-        if let Some((frame, label)) = self.state.response_cache.get(&key) {
+        if let Some((frame, label, _)) = self.state.response_cache.get(&key) {
             let (frame, label) = (frame.clone(), *label);
             ctx.send(from, label, frame);
             return;
         }
         // Duplicate of a call still being processed (deferred): drop it;
         // the eventual reply satisfies the client's retransmission.
-        if self.state.deferred.contains(&key) {
+        if self.state.deferred.contains_key(&key) {
             return;
+        }
+        if ctx.trace_enabled() {
+            // Invariant marker for the chaos harness: one per *execution*
+            // of a call (dedup hits above re-send without re-emitting).
+            ctx.note(format!(
+                "invariant:exec:{}:{call_id}:{caller_epoch}",
+                from.as_raw()
+            ));
         }
         let (object_str, method_str) = (
             self.state.syms.resolve_lossy(object),
@@ -706,14 +803,17 @@ impl<A: App> Endpoint<A> {
             let frame = encode_call_rsp(
                 &mut self.state.scratch,
                 call_id,
+                ctx.self_epoch(),
+                caller_epoch,
                 result.as_ref().map(|v| v.as_slice()),
             );
-            self.state.cache_response(key, frame.clone(), label);
+            self.state
+                .cache_response(key, frame.clone(), label, caller_epoch);
             ctx.send_after(dispatch_cost + service, from, label, frame);
             return;
         }
         // ...then the app layer (e.g. MAGE system services).
-        self.state.deferred.insert(key);
+        self.state.deferred.insert(key, caller_epoch);
         let call = InboundCall {
             object,
             method,
@@ -738,12 +838,42 @@ impl<A: App> Endpoint<A> {
         &mut self,
         ctx: &mut Context<'_>,
         call_id: u64,
+        req_epoch: u64,
         result: Result<Bytes, Fault>,
     ) {
+        // A reply addressed to a previous incarnation of this node: the
+        // call it answers died with that incarnation, and this
+        // incarnation's call ids restart from zero — matching it against
+        // `pending` would complete an unrelated call. Discard.
+        if req_epoch != ctx.self_epoch() {
+            if ctx.trace_enabled() {
+                ctx.note(format!(
+                    "invariant:stale-rsp-dropped:{call_id}:{req_epoch}:{}",
+                    ctx.self_epoch()
+                ));
+            }
+            return;
+        }
+        // Transport-level NACK: the peer never learned one of the bare
+        // interned ids this request carried (its table died in a crash, or
+        // the first-use carrier frame was lost). Re-send the same call —
+        // same call id, the NACK is never cached — with both strings
+        // attached. Once per call: a second NACK surfaces to the app.
+        if let Err(Fault::UnknownName { .. }) = &result {
+            if self.reship_with_names(ctx, call_id) {
+                return;
+            }
+        }
         let Some(pending) = self.state.pending.remove(&call_id) else {
             return; // late duplicate after a retransmitted call already completed
         };
-        if pending.named {
+        if ctx.trace_enabled() {
+            ctx.note(format!(
+                "invariant:rsp-accepted:{call_id}:{req_epoch}:{}",
+                ctx.self_epoch()
+            ));
+        }
+        if pending.named && !matches!(result, Err(Fault::UnknownName { .. })) {
             // The peer has processed a request that carried the strings;
             // from now on the ids travel alone.
             self.state.ack_name(pending.to, pending.object);
@@ -754,15 +884,58 @@ impl<A: App> Endpoint<A> {
         self.app.on_reply(&mut env, pending.token, outcome);
     }
 
-    /// Delivers queued [`App::on_peer_restart`] notifications (restarts
-    /// first observed on the send path, where the app was mid-callback
-    /// and could not be re-entered).
-    fn drain_restart_hooks(&mut self, ctx: &mut Context<'_>) {
-        while !self.state.pending_restart_hooks.is_empty() {
-            let peer = self.state.pending_restart_hooks.remove(0);
-            let mut env = Env::new(ctx, &mut self.state, SimDuration::ZERO);
-            self.app.on_peer_restart(&mut env, peer);
+    /// Re-encodes a pending call with both name strings attached and
+    /// re-sends it (the answer to a [`Fault::UnknownName`] NACK). Returns
+    /// `false` when the call is unknown or already re-shipped once — the
+    /// caller then surfaces the NACK instead of looping.
+    fn reship_with_names(&mut self, ctx: &mut Context<'_>, call_id: u64) -> bool {
+        let Some(pending) = self.state.pending.get(&call_id) else {
+            return true; // late duplicate; nothing to surface either
+        };
+        if pending.reshipped {
+            return false;
         }
+        let (to, object, method) = (pending.to, pending.object, pending.method);
+        // The original args live inside the kept frame; borrow them
+        // zero-copy rather than storing a second copy per call.
+        let args = match WireMsg::decode(&pending.frame) {
+            Ok(WireMsg::CallReq { args, .. }) => args,
+            _ => return false, // not a request frame; surface the NACK
+        };
+        // Register the shipment so the ack machinery keeps attaching the
+        // strings until a non-NACK response confirms them.
+        self.state.needs_name(to, object);
+        self.state.needs_name(to, method);
+        let (object_str, method_str) = (
+            self.state.syms.resolve_lossy(object),
+            self.state.syms.resolve_lossy(method),
+        );
+        let frame = encode_call_req(
+            &mut self.state.scratch,
+            call_id,
+            ctx.self_epoch(),
+            object,
+            Some(&object_str),
+            method,
+            Some(&method_str),
+            &args,
+        );
+        let label: Label = if ctx.trace_enabled() {
+            call_label(&object_str, &method_str).into()
+        } else {
+            "call".into()
+        };
+        // Resend immediately, but do NOT arm a second retransmission
+        // timer: the chain started at send time is still live (each
+        // firing re-arms itself) and now retransmits the updated frame —
+        // a second chain would double-count attempts and exhaust the
+        // retry budget at half its configured depth.
+        ctx.send(to, label, frame.clone());
+        let pending = self.state.pending.get_mut(&call_id).expect("checked above");
+        pending.frame = frame;
+        pending.named = true;
+        pending.reshipped = true;
+        true
     }
 
     fn handle_retx(&mut self, ctx: &mut Context<'_>, call_id: u64) {
@@ -814,52 +987,80 @@ impl<A: App> Actor for Endpoint<A> {
             self.app.on_driver(&mut env, payload);
             return;
         }
-        // First contact with a fresh incarnation of a known peer: purge
-        // every per-peer table, then let the app repair its own state
-        // (lock queues, registry entries) before the message dispatches.
-        // Restarts first detected on the send path drain here too.
-        if self.state.note_peer_epoch(from, ctx.node_epoch(from)) {
-            self.state.pending_restart_hooks.push(from);
+        let msg = match WireMsg::decode(&payload) {
+            Ok(msg) => msg,
+            Err(err) => {
+                ctx.note(format!("dropping malformed message: {err}"));
+                return;
+            }
+        };
+        // Message-driven restart detection: the frame states its sender's
+        // incarnation. First contact with a fresh incarnation purges every
+        // per-peer table, then the app repairs its own state (lock queues,
+        // registry entries) before the message dispatches. The simulator's
+        // epoch oracle survives only as a ground-truth cross-check.
+        let sender_epoch = msg.sender_epoch();
+        debug_assert_eq!(
+            sender_epoch,
+            ctx.node_epoch(from),
+            "wire-carried epoch must agree with the simulator oracle for a delivered frame"
+        );
+        if self.state.note_peer_epoch(from, sender_epoch) {
+            let mut env = Env::new(ctx, &mut self.state, SimDuration::ZERO);
+            self.app.on_peer_restart(&mut env, from);
         }
-        self.drain_restart_hooks(ctx);
-        match WireMsg::decode(&payload) {
-            Ok(WireMsg::CallReq {
+        match msg {
+            WireMsg::CallReq {
                 call_id,
+                sender_epoch,
                 object,
                 method,
                 args,
-            }) => {
+            } => {
+                let object_wire = object.id.as_raw();
+                let method_wire = method.id.as_raw();
                 let object = self
                     .state
-                    .translate(from, object.id.as_raw(), object.name.as_deref());
+                    .translate(from, object_wire, object.name.as_deref());
                 let method = self
                     .state
-                    .translate(from, method.id.as_raw(), method.name.as_deref());
+                    .translate(from, method_wire, method.name.as_deref());
                 let (Some(object), Some(method)) = (object, method) else {
-                    // A bare id whose first-use string we never saw (its
-                    // carrier frame was lost). Drop the request: the
-                    // client retransmits, and name-carrying requests keep
-                    // shipping strings until acknowledged, so the binding
-                    // eventually arrives.
-                    ctx.note("dropping call with unknown name id (first-use frame lost)");
+                    // A bare id we never learned: the first-use carrier
+                    // frame was lost, or this endpoint restarted and its
+                    // learned table died. NACK with the offending wire id
+                    // (never cached — it is not an execution outcome); the
+                    // caller re-sends with the strings attached.
+                    let unknown = if object.is_none() {
+                        object_wire
+                    } else {
+                        method_wire
+                    };
+                    let fault = Fault::UnknownName { id: unknown };
+                    let frame = encode_call_rsp(
+                        &mut self.state.scratch,
+                        call_id,
+                        ctx.self_epoch(),
+                        sender_epoch,
+                        Err(&fault),
+                    );
+                    ctx.send(from, "rsp:unknown-name", frame);
                     return;
                 };
-                self.handle_call_req(ctx, from, call_id, object, method, args);
+                self.handle_call_req(ctx, from, call_id, sender_epoch, object, method, args);
             }
-            Ok(WireMsg::CallRsp { call_id, result }) => {
-                self.handle_call_rsp(ctx, call_id, result);
-            }
-            Err(err) => {
-                ctx.note(format!("dropping malformed message: {err}"));
+            WireMsg::CallRsp {
+                call_id,
+                req_epoch,
+                result,
+                ..
+            } => {
+                self.handle_call_rsp(ctx, call_id, req_epoch, result);
             }
         }
     }
 
     fn on_timer(&mut self, ctx: &mut Context<'_>, tag: u64) {
-        // A node that only *sends* still gets timer dispatches (its
-        // retransmission timers), so send-path restart detections are
-        // guaranteed to drain even if the restarted peer stays silent.
-        self.drain_restart_hooks(ctx);
         if tag & RETX_FLAG != 0 {
             self.handle_retx(ctx, tag & !RETX_FLAG);
         } else {
@@ -907,18 +1108,18 @@ mod tests {
     #[test]
     fn recaching_a_key_does_not_corrupt_eviction_order() {
         let mut st = state(2);
-        st.cache_response(key(0, 1), frame(1), "rsp:ok");
-        st.cache_response(key(0, 2), frame(2), "rsp:ok");
+        st.cache_response(key(0, 1), frame(1), "rsp:ok", 0);
+        st.cache_response(key(0, 2), frame(2), "rsp:ok", 0);
         // Re-cache the first key: the map entry updates in place and the
         // order queue must not grow a duplicate.
-        st.cache_response(key(0, 1), frame(11), "rsp:ok");
+        st.cache_response(key(0, 1), frame(11), "rsp:ok", 0);
         assert_eq!(st.response_cache.get(&key(0, 1)).unwrap().0, frame(11));
         assert_eq!(st.cache_order.len(), 2);
         // Keep inserting: the budget must hold and the newest entries
         // must survive every eviction.
-        st.cache_response(key(0, 3), frame(3), "rsp:ok");
-        st.cache_response(key(0, 4), frame(4), "rsp:ok");
-        st.cache_response(key(0, 5), frame(5), "rsp:ok");
+        st.cache_response(key(0, 3), frame(3), "rsp:ok", 0);
+        st.cache_response(key(0, 4), frame(4), "rsp:ok", 0);
+        st.cache_response(key(0, 5), frame(5), "rsp:ok", 0);
         assert_eq!(st.response_cache.len(), 2, "cache must stay within budget");
         assert!(st.response_cache.contains_key(&key(0, 4)));
         assert!(st.response_cache.contains_key(&key(0, 5)));
@@ -929,12 +1130,12 @@ mod tests {
     #[test]
     fn eviction_survives_out_of_band_purges() {
         let mut st = state(2);
-        st.cache_response(key(1, 1), frame(1), "rsp:ok");
-        st.cache_response(key(2, 1), frame(2), "rsp:ok");
+        st.cache_response(key(1, 1), frame(1), "rsp:ok", 0);
+        st.cache_response(key(2, 1), frame(2), "rsp:ok", 0);
         st.purge_peer(NodeId::from_raw(1));
         assert_eq!(st.response_cache.len(), 1);
-        st.cache_response(key(2, 2), frame(3), "rsp:ok");
-        st.cache_response(key(2, 3), frame(4), "rsp:ok");
+        st.cache_response(key(2, 2), frame(3), "rsp:ok", 0);
+        st.cache_response(key(2, 3), frame(4), "rsp:ok", 0);
         assert_eq!(st.response_cache.len(), 2);
         assert!(st.response_cache.contains_key(&key(2, 2)));
         assert!(st.response_cache.contains_key(&key(2, 3)));
@@ -955,8 +1156,8 @@ mod tests {
             assert!(!st.needs_name(node, name), "acked ids travel alone");
             st.primed.insert(node);
             st.learned.insert((node, 7), name);
-            st.cache_response((node, 1), frame(9), "rsp:ok");
-            st.deferred.insert((node, 2));
+            st.cache_response((node, 1), frame(9), "rsp:ok", 0);
+            st.deferred.insert((node, 2), 0);
         }
         assert!(!st.note_peer_epoch(peer, 0), "first sighting records only");
         assert!(st.note_peer_epoch(peer, 1), "epoch bump detected");
@@ -967,12 +1168,65 @@ mod tests {
         assert!(!st.primed.contains(&peer));
         assert!(!st.learned.contains_key(&(peer, 7)));
         assert!(!st.response_cache.contains_key(&(peer, 1)));
-        assert!(!st.deferred.contains(&(peer, 2)));
+        assert!(!st.deferred.contains_key(&(peer, 2)));
         // The other peer's state is untouched.
         assert!(!st.needs_name(other, name));
         assert!(st.primed.contains(&other));
         assert!(st.learned.contains_key(&(other, 7)));
         assert!(st.response_cache.contains_key(&(other, 1)));
-        assert!(st.deferred.contains(&(other, 2)));
+        assert!(st.deferred.contains_key(&(other, 2)));
+    }
+
+    /// The first-contact-after-restart edge: dedup-cache and deferred
+    /// entries can exist for a peer that was never recorded in
+    /// `peer_epochs`. The first sighting of that peer's epoch must still
+    /// drop every entry stamped with a *different* caller epoch — they
+    /// belong to a dead incarnation and must neither answer nor block the
+    /// fresh incarnation's calls.
+    #[test]
+    fn first_sighting_purges_entries_with_stale_caller_epochs() {
+        let mut st = state(8);
+        let peer = NodeId::from_raw(3);
+        // Entries from epoch 0 and epoch 2, installed without the peer
+        // ever being noted in `peer_epochs`.
+        st.cache_response((peer, 1), frame(1), "rsp:ok", 0);
+        st.cache_response((peer, 2), frame(2), "rsp:ok", 2);
+        st.deferred.insert((peer, 3), 0);
+        st.deferred.insert((peer, 4), 2);
+        assert!(!st.peer_epochs.contains_key(&peer), "precondition");
+        // First sighting at epoch 2: stale-epoch entries go, current stay.
+        assert!(
+            !st.note_peer_epoch(peer, 2),
+            "first sighting is not a restart"
+        );
+        assert!(!st.response_cache.contains_key(&(peer, 1)));
+        assert!(st.response_cache.contains_key(&(peer, 2)));
+        assert!(!st.deferred.contains_key(&(peer, 3)));
+        assert!(st.deferred.contains_key(&(peer, 4)));
+    }
+
+    /// The epoch-purge must also drop the purged keys' `cache_order`
+    /// slots: the fresh incarnation reuses call ids, and a surviving
+    /// stale slot would duplicate on re-cache — making a later eviction
+    /// pop the stale slot and drop a *live* response while the map stays
+    /// over budget (the PR 3 eviction-corruption regression class).
+    #[test]
+    fn epoch_purge_cleans_cache_order_so_reused_ids_do_not_corrupt_eviction() {
+        let mut st = state(2);
+        let peer = NodeId::from_raw(1);
+        st.cache_response((peer, 0), frame(1), "rsp:ok", 0);
+        // First sighting at epoch 1 purges the epoch-0 entry…
+        assert!(!st.note_peer_epoch(peer, 1));
+        assert!(st.response_cache.is_empty());
+        // …including its order slot, so re-caching the reused id does not
+        // duplicate it.
+        st.cache_response((peer, 0), frame(2), "rsp:ok", 1);
+        assert_eq!(st.cache_order.len(), 1);
+        // Evictions stay coherent: the newest entries always survive.
+        st.cache_response((peer, 1), frame(3), "rsp:ok", 1);
+        st.cache_response((peer, 2), frame(4), "rsp:ok", 1);
+        assert_eq!(st.response_cache.len(), 2);
+        assert!(st.response_cache.contains_key(&(peer, 1)));
+        assert!(st.response_cache.contains_key(&(peer, 2)));
     }
 }

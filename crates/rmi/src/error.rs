@@ -31,6 +31,28 @@ pub enum Fault {
         /// Raw node id of the peer the server could not reach.
         peer: u32,
     },
+    /// The call named an object that exists under the requested name but
+    /// is a different incarnation than the caller expected: the original
+    /// died (or was replaced) and something else now answers to the name.
+    /// Carries the incarnation actually hosted so the caller can decide to
+    /// rebind explicitly instead of silently talking to the impostor.
+    StaleIdentity {
+        /// Object name the call was addressed to.
+        object: String,
+        /// Incarnation the caller expected (from its stub or cache).
+        expected: u64,
+        /// Incarnation actually hosted under the name right now.
+        actual: u64,
+    },
+    /// Transport-level NACK: the request carried a bare interned name id
+    /// this endpoint has never learned (the first-use carrier frame was
+    /// lost, or this endpoint restarted and lost its learned table). The
+    /// caller re-sends the request with the backing strings attached.
+    /// Never cached in the dedup cache — it is not an execution outcome.
+    UnknownName {
+        /// The raw wire id that failed to translate.
+        id: u32,
+    },
     /// Application-level failure raised by the object implementation.
     App(String),
 }
@@ -46,6 +68,20 @@ impl fmt::Display for Fault {
             Fault::AccessDenied(why) => write!(f, "access denied: {why}"),
             Fault::Unreachable { peer } => {
                 write!(f, "server could not reach peer n{peer}")
+            }
+            Fault::StaleIdentity {
+                object,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "object {object:?} is incarnation {actual}, caller expected {expected}"
+            ),
+            Fault::UnknownName { id } => {
+                write!(
+                    f,
+                    "interned name id {id} unknown here (re-send with string)"
+                )
             }
             Fault::App(msg) => write!(f, "application fault: {msg}"),
         }
@@ -123,6 +159,12 @@ mod tests {
             Fault::ClassMissing("C".into()),
             Fault::AccessDenied("untrusted".into()),
             Fault::Unreachable { peer: 3 },
+            Fault::StaleIdentity {
+                object: "shared".into(),
+                expected: 4,
+                actual: 9,
+            },
+            Fault::UnknownName { id: 17 },
             Fault::App("boom".into()),
         ];
         for fault in faults {

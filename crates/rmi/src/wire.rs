@@ -13,6 +13,15 @@
 //!   slices of the received frame (zero copy on decode), and encoding goes
 //!   through a caller-supplied scratch buffer (zero steady-state
 //!   allocation beyond the frame itself).
+//!
+//! The current v2 revision ([`MAGIC_V2_EPOCH`]) carries incarnation
+//! epochs in every frame header: each message states its sender's epoch
+//! (a boot counter bumped on every crash), and responses additionally
+//! echo the epoch the request claimed, so a reply addressed to a previous
+//! incarnation of the caller is discarded instead of colliding with the
+//! fresh incarnation's call-id space. Endpoints learn peer restarts from
+//! these fields alone — no out-of-band failure oracle. The epoch-less v2
+//! header ([`MAGIC_V2`]) is rejected with a version error.
 
 use bytes::Bytes;
 use mage_codec::frame::{write_bytes, write_str, write_u64};
@@ -22,9 +31,17 @@ use serde::{Deserialize, Serialize};
 use crate::error::Fault;
 use crate::symbols::NameId;
 
-/// First byte of every v2 frame. Chosen well above any v1 enum variant
-/// index so the two formats cannot be confused.
+/// First byte of the original (epoch-less) v2 frame revision. No longer
+/// produced or accepted: decoding a frame with this header yields a
+/// version error, so mixed deployments fail fast instead of misreading
+/// epoch fields as payload.
 pub const MAGIC_V2: u8 = 0xA2;
+
+/// First byte of every current v2 frame (the epoch-carrying revision).
+/// Chosen well above any v1 enum variant index so the formats cannot be
+/// confused, and distinct from [`MAGIC_V2`] so the epoch-less revision is
+/// rejected by version, not by misparse.
+pub const MAGIC_V2_EPOCH: u8 = 0xA3;
 
 const KIND_CALL_REQ: u8 = 0;
 const KIND_CALL_RSP: u8 = 1;
@@ -72,6 +89,9 @@ pub enum WireMsg {
     CallReq {
         /// Client-unique call id (also the dedup key on the server).
         call_id: u64,
+        /// Sender incarnation at send time. Receivers learn peer restarts
+        /// from this field alone.
+        sender_epoch: u64,
         /// Interned name the target object is bound under.
         object: NameRef,
         /// Interned method name.
@@ -83,6 +103,12 @@ pub enum WireMsg {
     CallRsp {
         /// Echoed call id.
         call_id: u64,
+        /// Responder incarnation at send time.
+        sender_epoch: u64,
+        /// Echo of the request's `sender_epoch`: lets the caller discard a
+        /// reply addressed to a previous incarnation of itself (whose
+        /// call-id space the fresh incarnation reuses from zero).
+        req_epoch: u64,
         /// Marshalled result (zero-copy slice on decode) or server fault.
         result: Result<Bytes, Fault>,
     },
@@ -95,6 +121,7 @@ pub enum WireMsg {
 pub fn encode_call_req(
     scratch: &mut Vec<u8>,
     call_id: u64,
+    sender_epoch: u64,
     object: NameId,
     object_name: Option<&str>,
     method: NameId,
@@ -102,9 +129,10 @@ pub fn encode_call_req(
     args: &[u8],
 ) -> Bytes {
     scratch.clear();
-    scratch.push(MAGIC_V2);
+    scratch.push(MAGIC_V2_EPOCH);
     scratch.push(KIND_CALL_REQ);
     write_u64(scratch, call_id);
+    write_u64(scratch, sender_epoch);
     encode_name(scratch, object, object_name);
     encode_name(scratch, method, method_name);
     write_bytes(scratch, args);
@@ -116,12 +144,16 @@ pub fn encode_call_req(
 pub fn encode_call_rsp(
     scratch: &mut Vec<u8>,
     call_id: u64,
+    sender_epoch: u64,
+    req_epoch: u64,
     result: Result<&[u8], &Fault>,
 ) -> Bytes {
     scratch.clear();
-    scratch.push(MAGIC_V2);
+    scratch.push(MAGIC_V2_EPOCH);
     scratch.push(KIND_CALL_RSP);
     write_u64(scratch, call_id);
+    write_u64(scratch, sender_epoch);
+    write_u64(scratch, req_epoch);
     match result {
         Ok(payload) => {
             scratch.push(0);
@@ -155,21 +187,32 @@ impl WireMsg {
         match self {
             WireMsg::CallReq {
                 call_id,
+                sender_epoch,
                 object,
                 method,
                 args,
             } => encode_call_req(
                 scratch,
                 *call_id,
+                *sender_epoch,
                 object.id,
                 object.name.as_deref(),
                 method.id,
                 method.name.as_deref(),
                 args,
             ),
-            WireMsg::CallRsp { call_id, result } => {
-                encode_call_rsp(scratch, *call_id, result.as_ref().map(|b| b.as_slice()))
-            }
+            WireMsg::CallRsp {
+                call_id,
+                sender_epoch,
+                req_epoch,
+                result,
+            } => encode_call_rsp(
+                scratch,
+                *call_id,
+                *sender_epoch,
+                *req_epoch,
+                result.as_ref().map(|b| b.as_slice()),
+            ),
         }
     }
 
@@ -187,20 +230,29 @@ impl WireMsg {
     pub fn decode(frame: &Bytes) -> Result<Self, DecodeError> {
         let mut r = FrameReader::new(frame);
         let magic = r.read_u8()?;
-        if magic != MAGIC_V2 {
+        if magic == MAGIC_V2 {
             return Err(DecodeError::Message(format!(
-                "not a v2 frame (leading byte {magic:#04x}, expected {MAGIC_V2:#04x})"
+                "unsupported wire version: epoch-less v2 header {MAGIC_V2:#04x} \
+                 (this endpoint requires the epoch-carrying revision {MAGIC_V2_EPOCH:#04x})"
+            )));
+        }
+        if magic != MAGIC_V2_EPOCH {
+            return Err(DecodeError::Message(format!(
+                "not a v2 frame (leading byte {magic:#04x}, expected {MAGIC_V2_EPOCH:#04x})"
             )));
         }
         let msg = match r.read_u8()? {
             KIND_CALL_REQ => WireMsg::CallReq {
                 call_id: r.read_u64()?,
+                sender_epoch: r.read_u64()?,
                 object: NameRef::decode(&mut r)?,
                 method: NameRef::decode(&mut r)?,
                 args: r.read_bytes()?,
             },
             KIND_CALL_RSP => {
                 let call_id = r.read_u64()?;
+                let sender_epoch = r.read_u64()?;
+                let req_epoch = r.read_u64()?;
                 let result = match r.read_u8()? {
                     0 => Ok(r.read_bytes()?),
                     1 => {
@@ -209,7 +261,12 @@ impl WireMsg {
                     }
                     other => return Err(DecodeError::InvalidOptionTag(other)),
                 };
-                WireMsg::CallRsp { call_id, result }
+                WireMsg::CallRsp {
+                    call_id,
+                    sender_epoch,
+                    req_epoch,
+                    result,
+                }
             }
             other => {
                 return Err(DecodeError::Message(format!(
@@ -228,6 +285,15 @@ impl WireMsg {
     pub fn call_id(&self) -> u64 {
         match self {
             WireMsg::CallReq { call_id, .. } | WireMsg::CallRsp { call_id, .. } => *call_id,
+        }
+    }
+
+    /// The sender incarnation stamped into this frame.
+    pub fn sender_epoch(&self) -> u64 {
+        match self {
+            WireMsg::CallReq { sender_epoch, .. } | WireMsg::CallRsp { sender_epoch, .. } => {
+                *sender_epoch
+            }
         }
     }
 
@@ -394,18 +460,21 @@ mod tests {
     fn v2_call_req_roundtrips_with_first_use_names() {
         let msg = WireMsg::CallReq {
             call_id: 42,
+            sender_epoch: 7,
             object: NameRef::first_use(NameId::from_raw(3), "geoData"),
             method: NameRef::id(NameId::from_raw(9)),
             args: Bytes::from(vec![1, 2, 3]),
         };
         let frame = msg.encode();
         assert_eq!(WireMsg::decode(&frame).unwrap(), msg);
+        assert_eq!(msg.sender_epoch(), 7);
     }
 
     #[test]
     fn v2_args_decode_zero_copy() {
         let msg = WireMsg::CallReq {
             call_id: 1,
+            sender_epoch: 0,
             object: NameRef::id(NameId::from_raw(0)),
             method: NameRef::id(NameId::from_raw(1)),
             args: Bytes::from(vec![5; 32]),
@@ -429,10 +498,14 @@ mod tests {
     fn v2_rsp_roundtrips_both_arms() {
         let ok = WireMsg::CallRsp {
             call_id: 7,
+            sender_epoch: 2,
+            req_epoch: 5,
             result: Ok(Bytes::from(vec![9])),
         };
         let fault = WireMsg::CallRsp {
             call_id: 8,
+            sender_epoch: 0,
+            req_epoch: 0,
             result: Err(Fault::ClassMissing("C".into())),
         };
         assert_eq!(WireMsg::decode(&ok.encode()).unwrap(), ok);
@@ -440,9 +513,27 @@ mod tests {
     }
 
     #[test]
+    fn epoch_less_v2_header_is_rejected_by_version() {
+        let mut frame = WireMsg::CallReq {
+            call_id: 3,
+            sender_epoch: 0,
+            object: NameRef::id(NameId::from_raw(0)),
+            method: NameRef::id(NameId::from_raw(1)),
+            args: Bytes::new(),
+        }
+        .encode()
+        .to_vec();
+        frame[0] = MAGIC_V2;
+        let err = WireMsg::decode(&Bytes::from(frame)).expect_err("old header must be rejected");
+        let msg = err.to_string();
+        assert!(msg.contains("unsupported wire version"), "got {msg}");
+    }
+
+    #[test]
     fn v1_decoder_rejects_v2_frames_cleanly() {
         let frame = WireMsg::CallReq {
             call_id: 3,
+            sender_epoch: 1,
             object: NameRef::id(NameId::from_raw(0)),
             method: NameRef::id(NameId::from_raw(1)),
             args: Bytes::new(),
@@ -471,6 +562,7 @@ mod tests {
     fn v2_truncated_frames_error_not_panic() {
         let frame = WireMsg::CallReq {
             call_id: 3,
+            sender_epoch: u64::MAX,
             object: NameRef::first_use(NameId::from_raw(0), "obj"),
             method: NameRef::id(NameId::from_raw(1)),
             args: Bytes::from(vec![1, 2, 3, 4]),

@@ -1,9 +1,10 @@
 //! Property tests of the v2 wire format: round-trips over arbitrary
-//! messages (interned ids, first-use string shipment, payloads), clean
-//! rejection of truncated/hostile frames, and v1/v2 cross-rejection.
+//! messages (interned ids, first-use string shipment, epochs, payloads),
+//! clean rejection of truncated/hostile frames, version rejection of the
+//! epoch-less v2 header, and v1/v2 cross-rejection.
 
 use bytes::Bytes;
-use mage_rmi::wire::{Message, NameRef, WireMsg, MAGIC_V2};
+use mage_rmi::wire::{Message, NameRef, WireMsg, MAGIC_V2, MAGIC_V2_EPOCH};
 use mage_rmi::{Fault, NameId};
 use proptest::prelude::*;
 
@@ -15,11 +16,12 @@ fn name_ref(id: u32, name: Option<String>) -> NameRef {
 }
 
 proptest! {
-    /// Any CallReq — with or without first-use strings — round-trips
-    /// exactly, and the decoded args match byte-for-byte.
+    /// Any CallReq — with or without first-use strings, any sender epoch —
+    /// round-trips exactly, and the decoded args match byte-for-byte.
     #[test]
     fn prop_call_req_roundtrips(
         call_id in any::<u64>(),
+        sender_epoch in any::<u64>(),
         object_id in any::<u32>(),
         object_name in any::<Option<String>>(),
         method_id in any::<u32>(),
@@ -28,18 +30,24 @@ proptest! {
     ) {
         let msg = WireMsg::CallReq {
             call_id,
+            sender_epoch,
             object: name_ref(object_id, object_name),
             method: name_ref(method_id, method_name),
             args: Bytes::from(args),
         };
         let frame = msg.encode();
-        prop_assert_eq!(WireMsg::decode(&frame).unwrap(), msg);
+        let decoded = WireMsg::decode(&frame).unwrap();
+        prop_assert_eq!(decoded.sender_epoch(), sender_epoch);
+        prop_assert_eq!(decoded, msg);
     }
 
-    /// Both response arms round-trip.
+    /// Both response arms round-trip, with both epoch fields (the
+    /// responder's own and the echoed request epoch) intact.
     #[test]
     fn prop_call_rsp_roundtrips(
         call_id in any::<u64>(),
+        sender_epoch in any::<u64>(),
+        req_epoch in any::<u64>(),
         payload in proptest::collection::vec(any::<u8>(), 0..256),
         is_fault in any::<bool>(),
         fault_text in any::<String>(),
@@ -49,21 +57,26 @@ proptest! {
         } else {
             Ok(Bytes::from(payload))
         };
-        let msg = WireMsg::CallRsp { call_id, result };
+        let msg = WireMsg::CallRsp { call_id, sender_epoch, req_epoch, result };
         let frame = msg.encode();
-        prop_assert_eq!(WireMsg::decode(&frame).unwrap(), msg);
+        let decoded = WireMsg::decode(&frame).unwrap();
+        prop_assert_eq!(decoded.sender_epoch(), sender_epoch);
+        prop_assert_eq!(decoded, msg);
     }
 
     /// Every strict prefix of a valid frame errors instead of panicking
-    /// or misdecoding.
+    /// or misdecoding — including prefixes that cut through the epoch
+    /// fields in the header.
     #[test]
     fn prop_truncated_frames_error(
         call_id in any::<u64>(),
+        sender_epoch in any::<u64>(),
         object_name in any::<Option<String>>(),
         args in proptest::collection::vec(any::<u8>(), 0..64),
     ) {
         let frame = WireMsg::CallReq {
             call_id,
+            sender_epoch,
             object: name_ref(7, object_name),
             method: NameRef::id(NameId::from_raw(9)),
             args: Bytes::from(args),
@@ -72,10 +85,21 @@ proptest! {
         for cut in 0..frame.len() {
             prop_assert!(WireMsg::decode(&frame.slice(..cut)).is_err(), "cut at {}", cut);
         }
+        let rsp = WireMsg::CallRsp {
+            call_id,
+            sender_epoch,
+            req_epoch: sender_epoch.wrapping_add(1),
+            result: Ok(Bytes::from_static(b"x")),
+        }
+        .encode();
+        for cut in 0..rsp.len() {
+            prop_assert!(WireMsg::decode(&rsp.slice(..cut)).is_err(), "rsp cut at {}", cut);
+        }
     }
 
     /// Hostile random bytes never panic the v2 decoder; anything that
-    /// happens to start with the magic byte either decodes or errors.
+    /// happens to start with the magic byte either decodes or errors —
+    /// including frames whose epoch fields are garbage varints.
     #[test]
     fn prop_hostile_frames_never_panic(
         mut noise in proptest::collection::vec(any::<u8>(), 0..128),
@@ -83,12 +107,56 @@ proptest! {
     ) {
         if force_magic {
             if noise.is_empty() {
-                noise.push(MAGIC_V2);
+                noise.push(MAGIC_V2_EPOCH);
             } else {
-                noise[0] = MAGIC_V2;
+                noise[0] = MAGIC_V2_EPOCH;
             }
         }
         let _ = WireMsg::decode(&Bytes::from(noise));
+    }
+
+    /// Corrupting the epoch region of a valid frame must never let a
+    /// frame decode with *trailing* garbage accepted: either it decodes
+    /// as a (different) well-formed message or it errors — no panics.
+    #[test]
+    fn prop_mangled_epoch_bytes_never_panic(
+        call_id in any::<u64>(),
+        sender_epoch in any::<u64>(),
+        at_byte in 2usize..12,
+        value in any::<u8>(),
+    ) {
+        let mut frame = WireMsg::CallReq {
+            call_id,
+            sender_epoch,
+            object: NameRef::id(NameId::from_raw(1)),
+            method: NameRef::id(NameId::from_raw(2)),
+            args: Bytes::from_static(b"abc"),
+        }
+        .encode()
+        .to_vec();
+        if at_byte < frame.len() {
+            frame[at_byte] = value;
+        }
+        let _ = WireMsg::decode(&Bytes::from(frame));
+    }
+
+    /// A frame with the epoch-less v2 magic byte is rejected with a
+    /// *version* error, whatever its body claims to contain.
+    #[test]
+    fn prop_old_v2_header_is_rejected_by_version(
+        mut body in proptest::collection::vec(any::<u8>(), 0..96),
+    ) {
+        if body.is_empty() {
+            body.push(0);
+        }
+        body[0] = MAGIC_V2;
+        let err = WireMsg::decode(&Bytes::from(body))
+            .expect_err("epoch-less v2 header must be rejected");
+        prop_assert!(
+            err.to_string().contains("unsupported wire version"),
+            "want a version error, got: {}",
+            err
+        );
     }
 
     /// The v1 serde decoder rejects every v2 frame with a clean error
@@ -97,12 +165,14 @@ proptest! {
     #[test]
     fn prop_v1_and_v2_reject_each_other(
         call_id in any::<u64>(),
+        sender_epoch in any::<u64>(),
         object in any::<String>(),
         method in any::<String>(),
         args in proptest::collection::vec(any::<u8>(), 0..64),
     ) {
         let v2 = WireMsg::CallReq {
             call_id,
+            sender_epoch,
             object: NameRef::first_use(NameId::from_raw(0), &object),
             method: NameRef::first_use(NameId::from_raw(1), &method),
             args: Bytes::from(args.clone()),
@@ -115,11 +185,14 @@ proptest! {
     }
 }
 
-/// Post-restart re-shipment: a restarted peer lost its learned name
-/// table, so the next request to it must carry the first-use strings
-/// again — observable on the wire as the frame growing back to its
-/// first-contact size — and the call must succeed against the fresh
-/// incarnation.
+/// Post-restart re-shipment, now purely message-driven: the client has no
+/// oracle telling it the server restarted, so its first post-restart
+/// request goes out with bare ids; the fresh incarnation answers with an
+/// `UnknownName` NACK (stamped with its new epoch, which purges the
+/// client's per-peer state), and the client re-sends the same call with
+/// the first-use strings attached — observable on the wire as one extra
+/// request whose frame grows back to first-contact size. The call still
+/// succeeds against the fresh incarnation.
 #[test]
 fn post_restart_requests_reship_name_strings() {
     use mage_rmi::{client_endpoint, drive_call, server_endpoint, Config, Fault, ObjectEnv};
@@ -150,7 +223,7 @@ fn post_restart_requests_reship_name_strings() {
     call(&mut world); // steady state: bare ids only
     world.crash(server);
     world.restart(server);
-    call(&mut world); // fresh incarnation: strings must ship again
+    call(&mut world); // bare ids → UnknownName NACK → re-ship → success
 
     let request_sizes: Vec<u64> = world
         .trace()
@@ -163,13 +236,27 @@ fn post_restart_requests_reship_name_strings() {
             _ => None,
         })
         .collect();
-    assert_eq!(request_sizes.len(), 3, "{request_sizes:?}");
+    // Four requests: the post-restart call costs one NACKed bare-id
+    // attempt plus the string-carrying re-send.
+    assert_eq!(request_sizes.len(), 4, "{request_sizes:?}");
     assert!(
         request_sizes[1] < request_sizes[0],
         "steady-state frame must shed the strings: {request_sizes:?}"
     );
     assert_eq!(
-        request_sizes[2], request_sizes[0],
-        "post-restart frame must carry first-use strings again: {request_sizes:?}"
+        request_sizes[2], request_sizes[1],
+        "first post-restart attempt is still bare ids: {request_sizes:?}"
     );
+    assert_eq!(
+        request_sizes[3], request_sizes[0],
+        "the NACKed call must be re-sent with first-use strings: {request_sizes:?}"
+    );
+    // The NACK itself is visible on the wire.
+    let nacks = world
+        .trace()
+        .events()
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Send { label, .. } if label == "rsp:unknown-name"))
+        .count();
+    assert_eq!(nacks, 1, "exactly one UnknownName NACK expected");
 }

@@ -165,13 +165,26 @@ impl<'a> Context<'a> {
         self.trace_on
     }
 
+    /// This node's own incarnation number (bumped every time it crashes;
+    /// see [`World::crash`](crate::World::crash)).
+    ///
+    /// This models the one piece of incarnation knowledge a real node
+    /// legitimately has: its own boot counter, read from stable storage at
+    /// startup. Protocol layers stamp it into outgoing messages so *peers*
+    /// can learn about restarts purely from received traffic.
+    pub fn self_epoch(&self) -> u64 {
+        self.epochs.get(self.node.index()).copied().unwrap_or(0)
+    }
+
     /// The current incarnation number of `node` (bumped every time it
     /// crashes; see [`World::crash`](crate::World::crash)).
     ///
-    /// This models what a connection-oriented transport learns about peer
-    /// restarts (a reset connection implies a new incarnation); protocol
-    /// layers use it to invalidate per-peer state such as negotiated name
-    /// tables or response caches. Returns `0` for the driver sentinel and
+    /// **Simulator oracle — debug assertions only.** A real node cannot
+    /// observe a peer's incarnation without a message from it; protocol
+    /// layers must learn peer epochs from wire-carried incarnation fields
+    /// (see [`Context::self_epoch`]) and may consult this oracle only to
+    /// `debug_assert!` that the message-driven view agrees with the
+    /// simulator's ground truth. Returns `0` for the driver sentinel and
     /// unknown ids.
     pub fn node_epoch(&self, node: NodeId) -> u64 {
         if node.is_driver() {
