@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use mage_core::attribute::{Cle, Grev, Rpc};
 use mage_core::workload_support::{methods, test_object_class};
-use mage_core::{Runtime, Visibility};
+use mage_core::{ObjectSpec, Runtime};
 use mage_rmi::CostModel;
 
 fn runtime() -> Runtime {
@@ -16,7 +16,7 @@ fn runtime() -> Runtime {
     rt.deploy_class("TestObject", "host1").unwrap();
     rt.session("host1")
         .unwrap()
-        .create_object("TestObject", "obj", &(), Visibility::Public)
+        .create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
     rt
 }

@@ -8,7 +8,7 @@
 //! releases.
 
 use mage_core::workload_support::test_object_class;
-use mage_core::{NodeConfig, Runtime, Visibility};
+use mage_core::{NodeConfig, ObjectSpec, Runtime};
 use mage_sim::SimDuration;
 
 struct Outcome {
@@ -32,7 +32,7 @@ fn scenario(fair: bool) -> Outcome {
     rt.deploy_class("TestObject", "host").unwrap();
     rt.session("host")
         .unwrap()
-        .create_object("TestObject", "C", &(), Visibility::Public)
+        .create(ObjectSpec::new("C").class("TestObject"))
         .unwrap();
 
     let holder = rt.session("holder").unwrap();

@@ -1,6 +1,7 @@
-//! Chaos soak smoke: mixed-model operations, lock cycles and stub
-//! invocations under seeded crashes, restarts and partitions — run on
-//! two fixed seeds, each twice (replay) with full trace-invariant
+//! Chaos soak smoke: mixed-model operations, lock cycles, stub
+//! invocations and replicated-object traffic under seeded crashes,
+//! restarts and partitions — run on three fixed seeds (the third with a
+//! replication-heavy mix), each twice (replay) with full trace-invariant
 //! checking.
 //!
 //! Asserts the fault-tolerance tentpole invariants:
@@ -8,9 +9,13 @@
 //! * every operation resolves to success or a typed error — zero hangs;
 //! * zero silent rebinds: stale-stub invocations resolve to typed
 //!   `StaleIdentity` (counted, with explicit rebinds recovering);
+//! * durability: every seed observes at least one full
+//!   crash→restore→rebind recovery of the `Durability::Replicated`
+//!   object, backed by real checkpoint/restore traffic;
 //! * zero trace-invariant violations: at-most-once execution per call
 //!   id, no response accepted by a dead incarnation, no lock grant to a
-//!   purged waiter;
+//!   purged waiter, snapshot epochs monotone per backup, no restore
+//!   serving state older than the last acknowledged checkpoint;
 //! * per-seed determinism: the replay digest matches event-for-event.
 //!
 //! Writes `CHAOS.json` for CI to archive; CI fails the job if any
@@ -23,7 +28,30 @@ use std::time::Instant;
 
 use mage_workloads::chaos::{run_checked, ChaosConfig, ChaosReport, InvariantReport};
 
-const SEEDS: [u64; 2] = [2001, 777];
+/// Two inherited seeds with the default mix, plus a replication-heavy
+/// seed that leans on the durable object and its crash-recovery path.
+fn seed_configs() -> Vec<ChaosConfig> {
+    let base = ChaosConfig {
+        hosts: 6,
+        ops: 5_000,
+        fault_percent: 12,
+        check_invariants: true,
+        ..ChaosConfig::default()
+    };
+    vec![
+        ChaosConfig { seed: 2001, ..base },
+        ChaosConfig { seed: 777, ..base },
+        // Replication-enabled seed: more durable-handle traffic, more
+        // crashes — the restore machinery has to carry the run.
+        ChaosConfig {
+            seed: 4242,
+            fault_percent: 18,
+            durable_percent: 30,
+            stub_percent: 10,
+            ..base
+        },
+    ]
+}
 
 struct SeedOutcome {
     cfg: ChaosConfig,
@@ -33,15 +61,8 @@ struct SeedOutcome {
     replay_ms: u128,
 }
 
-fn soak(seed: u64) -> SeedOutcome {
-    let cfg = ChaosConfig {
-        seed,
-        hosts: 6,
-        ops: 5_000,
-        fault_percent: 12,
-        check_invariants: true,
-        ..ChaosConfig::default()
-    };
+fn soak(cfg: ChaosConfig) -> SeedOutcome {
+    let seed = cfg.seed;
     let wall = Instant::now();
     let (report, invariants) = run_checked(&cfg).expect("chaos run completes");
     let first_ms = wall.elapsed().as_millis();
@@ -83,6 +104,12 @@ fn soak(seed: u64) -> SeedOutcome {
         report.stale_identity > 0 && report.rebinds > 0,
         "seed {seed} must exercise the stale-identity surface: {report:?}"
     );
+    // Durability tentpole: the replicated object must actually have been
+    // checkpointed, crashed, restored from its backup home and rebound.
+    assert!(
+        report.snapshots > 0 && report.restores > 0 && report.durable_recoveries > 0,
+        "seed {seed} must exercise crash→restore→rebind recovery: {report:?}"
+    );
 
     SeedOutcome {
         cfg,
@@ -94,19 +121,31 @@ fn soak(seed: u64) -> SeedOutcome {
 }
 
 fn main() {
-    mage_bench::banner("Chaos soak — message-driven epochs, incarnations, invariants");
+    mage_bench::banner("Chaos soak — epochs, incarnations, durable homes, invariants");
 
+    let configs = seed_configs();
     let mut json = String::new();
     let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"bench\": \"PR4 chaos soak (invariant-checked)\",");
+    let _ = writeln!(
+        json,
+        "  \"bench\": \"PR5 chaos soak (invariant-checked, replication-enabled)\","
+    );
     let _ = writeln!(json, "  \"seeds\": [");
 
-    for (i, seed) in SEEDS.into_iter().enumerate() {
-        let out = soak(seed);
+    let count = configs.len();
+    for (i, cfg) in configs.into_iter().enumerate() {
+        let out = soak(cfg);
         let (cfg, report, inv) = (&out.cfg, &out.report, &out.invariants);
+        let seed = cfg.seed;
         println!(
-            "seed {seed}: {} ops over {} hosts, {}% faults, {}% locks, {}% mid-flight\n",
-            cfg.ops, cfg.hosts, cfg.fault_percent, cfg.lock_percent, cfg.midflight_percent
+            "seed {seed}: {} ops over {} hosts, {}% faults, {}% locks, {}% stubs, {}% durable, {}% mid-flight\n",
+            cfg.ops,
+            cfg.hosts,
+            cfg.fault_percent,
+            cfg.lock_percent,
+            cfg.stub_percent,
+            cfg.durable_percent,
+            cfg.midflight_percent
         );
         println!("  outcomes:");
         println!("    ok              {:>6}", report.ok);
@@ -137,12 +176,25 @@ fn main() {
             report.recreated
         );
         println!(
-            "  locks: {} cycles completed under the adversary",
-            report.lock_cycles
+            "  durability: {} durable ops · {} snapshots stored · {} restores · {} recoveries · {} re-creates",
+            report.durable_ops,
+            report.snapshots,
+            report.restores,
+            report.durable_recoveries,
+            report.durable_recreates
         );
         println!(
-            "  invariants: {} execs (0 dup) · {} rsp accepts (0 stale) · {} stale rsp dropped · {} grants (0 to purged)",
-            inv.execs, inv.rsp_accepts, inv.stale_rsp_dropped, inv.grants
+            "  locks: {} cycles completed under the adversary ({} stale-identity refusals)",
+            report.lock_cycles, report.stale_lock_refusals
+        );
+        println!(
+            "  invariants: {} execs (0 dup) · {} rsp accepts (0 stale) · {} stale rsp dropped · {} grants (0 to purged) · {} ckpts (0 regress) · {} restores (0 stale)",
+            inv.execs,
+            inv.rsp_accepts,
+            inv.stale_rsp_dropped,
+            inv.grants,
+            inv.checkpoints,
+            inv.restores
         );
         println!(
             "  fabric: {} sent, {} dropped · virtual {:.1} s · real {} ms (+{} ms replay)",
@@ -157,8 +209,8 @@ fn main() {
         let _ = writeln!(json, "    {{");
         let _ = writeln!(
             json,
-            "      \"config\": {{ \"seed\": {}, \"hosts\": {}, \"ops\": {}, \"fault_percent\": {}, \"lock_percent\": {}, \"stub_percent\": {}, \"midflight_percent\": {} }},",
-            cfg.seed, cfg.hosts, cfg.ops, cfg.fault_percent, cfg.lock_percent, cfg.stub_percent, cfg.midflight_percent
+            "      \"config\": {{ \"seed\": {}, \"hosts\": {}, \"ops\": {}, \"fault_percent\": {}, \"lock_percent\": {}, \"stub_percent\": {}, \"durable_percent\": {}, \"midflight_percent\": {} }},",
+            cfg.seed, cfg.hosts, cfg.ops, cfg.fault_percent, cfg.lock_percent, cfg.stub_percent, cfg.durable_percent, cfg.midflight_percent
         );
         let _ = writeln!(
             json,
@@ -186,7 +238,20 @@ fn main() {
         );
         let _ = writeln!(
             json,
-            "      \"invariants\": {{ \"execs\": {}, \"duplicate_execs\": {}, \"rsp_accepts\": {}, \"stale_rsp_accepts\": {}, \"stale_rsp_dropped\": {}, \"grants\": {}, \"stale_grants\": {}, \"violations\": {} }},",
+            "      \"durability\": {{ \"durable_ops\": {}, \"snapshots\": {}, \"restores\": {}, \"recoveries\": {}, \"durable_recreates\": {}, \"stale_refusals\": {}, \"stale_lock_refusals\": {}, \"stale_replies_dropped\": {}, \"world_rebinds\": {} }},",
+            report.durable_ops,
+            report.snapshots,
+            report.restores,
+            report.durable_recoveries,
+            report.durable_recreates,
+            report.stale_refusals,
+            report.stale_lock_refusals,
+            report.stale_replies_dropped,
+            report.world_rebinds
+        );
+        let _ = writeln!(
+            json,
+            "      \"invariants\": {{ \"execs\": {}, \"duplicate_execs\": {}, \"rsp_accepts\": {}, \"stale_rsp_accepts\": {}, \"stale_rsp_dropped\": {}, \"grants\": {}, \"stale_grants\": {}, \"checkpoints\": {}, \"ckpt_regressions\": {}, \"restores\": {}, \"stale_restores\": {}, \"violations\": {} }},",
             inv.execs,
             inv.duplicate_execs,
             inv.rsp_accepts,
@@ -194,6 +259,10 @@ fn main() {
             inv.stale_rsp_dropped,
             inv.grants,
             inv.stale_grants,
+            inv.checkpoints,
+            inv.ckpt_regressions,
+            inv.restores,
+            inv.stale_restores,
             inv.violations()
         );
         let _ = writeln!(
@@ -204,7 +273,7 @@ fn main() {
         let _ = writeln!(json, "      \"virtual_us\": {},", report.elapsed_us);
         let _ = writeln!(json, "      \"digest\": \"{:#018x}\",", report.digest);
         let _ = writeln!(json, "      \"replay_identical\": true");
-        let _ = writeln!(json, "    }}{}", if i + 1 < SEEDS.len() { "," } else { "" });
+        let _ = writeln!(json, "    }}{}", if i + 1 < count { "," } else { "" });
     }
 
     let _ = writeln!(json, "  ]");

@@ -4,7 +4,7 @@
 
 use mage_core::attribute::{Cod, MobileAgent, Rev, Rpc};
 use mage_core::workload_support::{methods, test_object_class};
-use mage_core::{Runtime, Visibility};
+use mage_core::{ObjectSpec, Runtime, Visibility};
 
 fn fresh() -> Runtime {
     Runtime::builder()
@@ -22,7 +22,11 @@ fn main() {
         rt.deploy_class("TestObject", "B").unwrap();
         rt.session("B")
             .unwrap()
-            .create_object("TestObject", "C", &(), Visibility::Private)
+            .create(
+                ObjectSpec::new("C")
+                    .class("TestObject")
+                    .visibility(Visibility::Private),
+            )
             .unwrap();
         let a = rt.session("A").unwrap();
         let attr = Rpc::new("TestObject", "C", "B");
@@ -64,8 +68,7 @@ fn main() {
         let mut rt = fresh();
         rt.deploy_class("TestObject", "A").unwrap();
         let a = rt.session("A").unwrap();
-        a.create_object("TestObject", "C", &(), Visibility::Public)
-            .unwrap();
+        a.create(ObjectSpec::new("C").class("TestObject")).unwrap();
         rt.world_mut().trace_mut().clear();
         let attr = MobileAgent::new("TestObject", "C", "B");
         let (_s, _r) = a.bind_invoke(&attr, methods::INC, &()).unwrap();

@@ -4,7 +4,7 @@
 
 use mage_core::attribute::Grev;
 use mage_core::workload_support::{methods, test_object_class};
-use mage_core::{Runtime, Visibility};
+use mage_core::{ObjectSpec, Runtime};
 
 fn main() {
     mage_bench::banner("Figure 2 — Generalized Remote Evaluation");
@@ -17,7 +17,7 @@ fn main() {
     rt.deploy_class("TestObject", "D").unwrap();
     rt.session("D")
         .unwrap()
-        .create_object("TestObject", "C", &(), Visibility::Public)
+        .create(ObjectSpec::new("C").class("TestObject"))
         .unwrap();
     rt.world_mut().trace_mut().clear();
     let attr = Grev::new("TestObject", "C", "B");

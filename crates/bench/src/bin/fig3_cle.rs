@@ -3,7 +3,7 @@
 
 use mage_core::attribute::{Cle, Grev};
 use mage_core::workload_support::{methods, test_object_class};
-use mage_core::{Runtime, Visibility};
+use mage_core::{ObjectSpec, Runtime};
 
 fn main() {
     mage_bench::banner("Figure 3 — Current Location Evaluation");
@@ -16,7 +16,7 @@ fn main() {
     rt.deploy_class("TestObject", "X").unwrap();
     rt.session("X")
         .unwrap()
-        .create_object("TestObject", "C", &(), Visibility::Public)
+        .create(ObjectSpec::new("C").class("TestObject"))
         .unwrap();
     let p = rt.session("P").unwrap();
     // The controller moves C while P is not looking.

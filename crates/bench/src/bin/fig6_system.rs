@@ -4,7 +4,7 @@
 
 use mage_core::attribute::{Cle, Rev};
 use mage_core::workload_support::{geo_data_filter_class, test_object_class};
-use mage_core::{Runtime, Visibility};
+use mage_core::{ObjectSpec, Runtime};
 
 fn main() {
     mage_bench::banner("Figure 6 — The MAGE System");
@@ -17,9 +17,9 @@ fn main() {
     rt.deploy_class("TestObject", "jvm1").unwrap();
     rt.deploy_class("GeoDataFilterImpl", "jvm1").unwrap();
     let jvm1 = rt.session("jvm1").unwrap();
-    jvm1.create_object("TestObject", "a", &(), Visibility::Public)
+    jvm1.create(ObjectSpec::new("a").class("TestObject"))
         .unwrap();
-    jvm1.create_object("TestObject", "b", &(), Visibility::Public)
+    jvm1.create(ObjectSpec::new("b").class("TestObject"))
         .unwrap();
     // Scatter objects with attributes, as in the figure.
     let rev = Rev::new("TestObject", "a", "jvm2");

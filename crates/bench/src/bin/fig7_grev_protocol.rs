@@ -7,7 +7,7 @@
 
 use mage_core::attribute::Grev;
 use mage_core::workload_support::{methods, test_object_class};
-use mage_core::{Runtime, Visibility};
+use mage_core::{ObjectSpec, Runtime};
 
 fn main() {
     mage_bench::banner("Figure 7 — The GREV Protocol");
@@ -20,7 +20,7 @@ fn main() {
     rt.deploy_class("TestObject", "Y").unwrap();
     rt.session("Y")
         .unwrap()
-        .create_object("TestObject", "C", &(), Visibility::Public)
+        .create(ObjectSpec::new("C").class("TestObject"))
         .unwrap();
     rt.world_mut().trace_mut().clear();
     let attr = Grev::new("TestObject", "C", "Z");

@@ -4,7 +4,7 @@
 //! stay locks ahead of move locks.
 
 use mage_core::workload_support::test_object_class;
-use mage_core::{LockKind, Runtime, Visibility};
+use mage_core::{LockKind, ObjectSpec, Runtime};
 use mage_sim::SimDuration;
 
 fn main() {
@@ -17,7 +17,7 @@ fn main() {
     rt.deploy_class("TestObject", "host").unwrap();
     rt.session("host")
         .unwrap()
-        .create_object("TestObject", "C", &(), Visibility::Public)
+        .create(ObjectSpec::new("C").class("TestObject"))
         .unwrap();
     let a = rt.session("A").unwrap();
     let b = rt.session("B").unwrap();

@@ -22,7 +22,7 @@ use std::time::Instant;
 
 use mage_core::attribute::Rpc;
 use mage_core::workload_support::{methods, test_object_class};
-use mage_core::{Runtime, Visibility};
+use mage_core::{ObjectSpec, Runtime};
 use mage_rmi::{client_endpoint, drive_call, server_endpoint, Config, Fault, ObjectEnv};
 use mage_sim::World;
 
@@ -122,7 +122,7 @@ fn bench_mage_call() -> Measure {
     let server = rt.session("server").expect("session");
     let client = rt.session("client").expect("session");
     server
-        .create_object("TestObject", "counter", &(), Visibility::Public)
+        .create(ObjectSpec::new("counter").class("TestObject"))
         .expect("create");
     let rpc = Rpc::new("TestObject", "counter", "server");
     let stub = client.bind(&rpc).expect("bind");

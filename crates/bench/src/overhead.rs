@@ -14,7 +14,7 @@
 
 use mage_core::attribute::{Cod, Grev, MobileAgent, Rev, Rpc};
 use mage_core::workload_support::{methods, test_object_class};
-use mage_core::{Runtime, Visibility};
+use mage_core::{ObjectSpec, Runtime, Visibility};
 use mage_rmi::{client_endpoint, drive_call, server_endpoint, Config as RmiConfig, CostModel};
 use mage_sim::{LinkSpec, World};
 
@@ -106,7 +106,11 @@ pub fn mage_rmi(cost: CostModel, iterations: usize) -> Row {
     rt.deploy_class("TestObject", "host2").unwrap();
     rt.session("host2")
         .unwrap()
-        .create_object("TestObject", "test", &(), Visibility::Private)
+        .create(
+            ObjectSpec::new("test")
+                .class("TestObject")
+                .visibility(Visibility::Private),
+        )
         .unwrap();
     let client = rt.session("host1").unwrap();
     let attr = Rpc::new("TestObject", "test", "host2");
@@ -147,7 +151,7 @@ pub fn trev(cost: CostModel, iterations: usize) -> Row {
     rt.deploy_class("TestObject", "host1").unwrap();
     let client = rt.session("host1").unwrap();
     client
-        .create_object("TestObject", "test", &(), Visibility::Public)
+        .create(ObjectSpec::new("test").class("TestObject"))
         .unwrap();
     let attr = Rev::new("TestObject", "test", "host2").guarded();
     let reset = Grev::new("TestObject", "test", "host1");
@@ -170,7 +174,7 @@ pub fn mobile_agent(cost: CostModel, iterations: usize) -> Row {
     rt.deploy_class("TestObject", "host1").unwrap();
     let client = rt.session("host1").unwrap();
     client
-        .create_object("TestObject", "test", &(), Visibility::Public)
+        .create(ObjectSpec::new("test").class("TestObject"))
         .unwrap();
     let attr = MobileAgent::new("TestObject", "test", "host2").guarded();
     let reset = Grev::new("TestObject", "test", "host1");

@@ -9,7 +9,7 @@
 
 use mage_core::attribute::{Rev, Rpc};
 use mage_core::object::{args_as, result_from, MobileEnv, MobileObject};
-use mage_core::{ClassDef, Method, Runtime, Visibility};
+use mage_core::{ClassDef, Method, ObjectSpec, Runtime, Visibility};
 use mage_rmi::Fault;
 use mage_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -106,7 +106,11 @@ pub fn run_sweep(block_sizes: &[usize], calls: usize) -> Vec<SweepPoint> {
                 rt.deploy_class("Analyzer", "lab").unwrap();
                 rt.session("lab")
                     .unwrap()
-                    .create_object("Analyzer", "an", &(), Visibility::Private)
+                    .create(
+                        ObjectSpec::new("an")
+                            .class("Analyzer")
+                            .visibility(Visibility::Private),
+                    )
                     .unwrap();
                 // The data is at the sensor: a client there invokes the
                 // remote analyzer, shipping one block per call.
@@ -126,8 +130,12 @@ pub fn run_sweep(block_sizes: &[usize], calls: usize) -> Vec<SweepPoint> {
                 let mut rt = base_runtime();
                 rt.deploy_class("Analyzer", "lab").unwrap();
                 let lab = rt.session("lab").unwrap();
-                lab.create_object("Analyzer", "an", &(), Visibility::Private)
-                    .unwrap();
+                lab.create(
+                    ObjectSpec::new("an")
+                        .class("Analyzer")
+                        .visibility(Visibility::Private),
+                )
+                .unwrap();
                 let start = rt.now();
                 let attr = Rev::new("Analyzer", "an", "sensor");
                 let stub = lab.bind(&attr).unwrap();

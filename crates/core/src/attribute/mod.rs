@@ -12,6 +12,26 @@
 //! [`Cod`], [`Rev`], [`Grev`], [`MobileAgent`] and [`Cle`], plus
 //! [`PolicyAttribute`] for user-defined policies like the paper's
 //! `CombinedMA` (§3.6) or the load-threshold example (§3.1).
+//!
+//! # Mobility vs. durability policies
+//!
+//! Mobility attributes are **per-bind placement policy**: consulted every
+//! time a client binds, deciding where *this* computation runs and
+//! whether the component moves first. They own no object state and any
+//! number of them can bind the same component over its lifetime.
+//!
+//! [`Durability`](crate::Durability) is **per-object lifecycle policy**:
+//! declared once at creation through an
+//! [`ObjectSpec`](crate::ObjectSpec), attached to the object itself, and
+//! enforced by whichever node currently hosts it — a
+//! [`Durability::Replicated`](crate::Durability::Replicated) object
+//! checkpoints a snapshot to its fixed backup home at creation and after
+//! every move and completed invocation, and a crash of its host is
+//! repaired by restoring from that snapshot under a fresh incarnation.
+//! The two compose: mobility decides where the object *is*, durability
+//! decides what survives when that place dies. Both generalise the same
+//! idea — policy as a first-class object handed to the runtime, not code
+//! scattered through call sites.
 
 mod builtin;
 

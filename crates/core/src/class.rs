@@ -43,14 +43,14 @@ use crate::object::MobileObject;
 ///
 /// ```compile_fail
 /// use mage_core::workload_support::{methods, test_object_class};
-/// use mage_core::{Runtime, Visibility};
+/// use mage_core::{ObjectSpec, Runtime};
 ///
 /// let mut rt = Runtime::builder().nodes(["a"]).class(test_object_class()).build();
 /// rt.deploy_class("TestObject", "a").unwrap();
 /// let a = rt.session("a").unwrap();
-/// let stub = a.create_object("TestObject", "x", &(), Visibility::Public).unwrap();
+/// let handle = a.create(ObjectSpec::new("x").class("TestObject")).unwrap();
 /// // `methods::INC` takes no arguments: passing a String must not compile.
-/// let _ = a.call(&stub, methods::INC, &"wrong".to_owned());
+/// let _ = a.call(handle.stub(), methods::INC, &"wrong".to_owned());
 /// ```
 pub struct Method<Args, Ret> {
     name: &'static str,

@@ -9,6 +9,58 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+/// Per-object durability policy, declared at creation through an
+/// [`ObjectSpec`](crate::ObjectSpec) and enforced by the hosting runtime
+/// for the object's whole lifetime (across migrations and re-homings).
+///
+/// This is the first *non-mobility* object policy: mobility attributes
+/// (§3) decide *where* a component executes per bind; durability decides
+/// what survives a host crash. A [`Durability::Replicated`] object
+/// checkpoints a snapshot to a fixed backup home at creation and after
+/// every move and completed invocation; when its host crashes, the
+/// engine's `NotFound`/`Unreachable` path consults the backup, restores
+/// the object there under a **fresh incarnation**, repairs the registry
+/// and retries — the APGAS relocatable-collections model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum Durability {
+    /// The object's state lives only on its current host and dies with it
+    /// (the paper's behaviour; the default).
+    #[default]
+    Volatile,
+    /// Checkpoint to backup home(s); today exactly one backup is
+    /// maintained regardless of the requested count (the field records
+    /// intent for a future multi-backup policy).
+    ///
+    /// Replication is **asynchronous**: the invocation reply does not
+    /// wait for the checkpoint ack, so a crash can lose mutations since
+    /// the last *acknowledged* checkpoint — a restore serves the newest
+    /// snapshot the backup holds, never older (and the chaos harness
+    /// checks exactly that invariant). A synchronous mode is a ROADMAP
+    /// follow-on.
+    ///
+    /// Crashes and partitions are deliberately indistinguishable (no
+    /// failure-detector oracle), so a restore triggered by an
+    /// `Unreachable` outcome may fork a live-but-partitioned primary:
+    /// both copies stay individually consistent and detectable (distinct
+    /// incarnations — stale stubs resolve typed), and the backup's
+    /// lineage ordering makes the *younger* incarnation's checkpoints
+    /// authoritative, but mutations applied to the older lineage after
+    /// the fork are not merged. The same trade-off every
+    /// primary/backup-with-failover design makes without consensus.
+    Replicated {
+        /// Requested number of backup homes (≥ 1; only the first is
+        /// honoured today).
+        backups: u32,
+    },
+}
+
+impl Durability {
+    /// Whether this policy checkpoints state off-host.
+    pub fn is_replicated(self) -> bool {
+        matches!(self, Durability::Replicated { .. })
+    }
+}
+
 /// Placement of a component or computation target relative to the invoking
 /// namespace (Table 1's `{remote, local, not specified}`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]

@@ -52,6 +52,22 @@ pub(crate) enum Task {
     },
     /// An object transfer out of this namespace.
     MoveOut(MoveOutTask),
+    /// A durability snapshot in flight to a backup home.
+    Checkpoint(CheckpointTask),
+}
+
+/// Whether a checkpoint task awaits the snapshot ack or an interposed
+/// class push (the backup must hold the class to be able to restore).
+pub(crate) enum CkptPhase {
+    SentCheckpoint { retried_class: bool },
+    SentClass,
+}
+
+pub(crate) struct CheckpointTask {
+    pub name: NameId,
+    pub dest: NodeId,
+    pub args: proto::CheckpointArgs,
+    pub phase: CkptPhase,
 }
 
 pub(crate) struct ClientLockTask {
@@ -61,6 +77,10 @@ pub(crate) struct ClientLockTask {
     pub home_hint: Option<NodeId>,
     pub phase: LocatePhase,
     pub retries: u8,
+    /// Incarnation the lock expects to apply to (learned from the find or
+    /// the registry); a re-creation racing the lock resolves to typed
+    /// `StaleIdentity`, and a retry re-resolves before locking again.
+    pub expected: Option<Incarnation>,
 }
 
 pub(crate) struct ClientUnlockTask {
@@ -113,14 +133,31 @@ pub(crate) enum Resume {
 
 #[allow(clippy::enum_variant_names)] // every phase awaits a reply; the prefix is the point
 pub(crate) enum ExecPhase {
-    AwaitFind { resume: Resume },
-    AwaitLock { at: NodeId },
+    AwaitFind {
+        resume: Resume,
+    },
+    AwaitLock {
+        at: NodeId,
+    },
     AwaitMove,
-    AwaitFetchClass { dest: NodeId },
-    AwaitPushClass { dest: NodeId },
-    AwaitInstantiate { dest: NodeId, retried_class: bool },
+    AwaitFetchClass {
+        dest: NodeId,
+    },
+    AwaitPushClass {
+        dest: NodeId,
+    },
+    AwaitInstantiate {
+        dest: NodeId,
+        retried_class: bool,
+    },
     AwaitInvoke,
     AwaitUnlock,
+    /// Consulting the backup home of a replicated object after a
+    /// `NotFound`/`Unreachable` outcome; `original` is the error that
+    /// surfaces if no restore is possible.
+    AwaitRestore {
+        original: MageError,
+    },
 }
 
 pub(crate) struct ExecTask {
@@ -141,6 +178,9 @@ pub(crate) struct ExecTask {
     pub result: Option<Vec<u8>>,
     pub retries: u8,
     pub failure: Option<MageError>,
+    /// Whether the once-only backup consultation has been spent (the
+    /// durability mirror of the find walk's once-only home retry).
+    pub restore_tried: bool,
 }
 
 fn rmi_error_to_mage(err: &RmiError) -> MageError {
@@ -325,6 +365,83 @@ impl MageNode {
             Task::ClientUnlock(t) => self.step_client_unlock(env, token, t, result),
             Task::Exec(t) => self.step_exec_reply(env, token, *t, result),
             Task::MoveOut(t) => self.step_move(env, token, t, result),
+            Task::Checkpoint(t) => self.step_checkpoint(env, token, t, result),
+        }
+    }
+
+    // ---- durability checkpoint shipping ----
+
+    /// Drives one checkpoint to its backup home. Failures other than a
+    /// recoverable `ClassMissing` are abandoned: the next mutation ships a
+    /// strictly fresher snapshot, and a dead backup cannot be helped by
+    /// retrying into it.
+    fn step_checkpoint(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        token: u64,
+        mut task: CheckpointTask,
+        result: Result<Bytes, RmiError>,
+    ) {
+        match task.phase {
+            CkptPhase::SentCheckpoint { retried_class } => match result {
+                Ok(_) => {} // stored, or refused as stale; either way done
+                Err(RmiError::Fault(Fault::ClassMissing(_))) if !retried_class => {
+                    let class_name = self.syms.resolve_lossy(task.args.class);
+                    let Some(def) = self.lib.get(&class_name) else {
+                        env.note(format!(
+                            "checkpoint of {} dropped: class {class_name} undefined",
+                            self.name_str(task.name)
+                        ));
+                        return;
+                    };
+                    let class_args = proto::ReceiveClassArgs {
+                        class: task.args.class,
+                        code: vec![0u8; def.code_size() as usize],
+                        has_static_fields: def.has_static_fields(),
+                    };
+                    env.call(
+                        task.dest,
+                        self.ids.service,
+                        self.ids.receive_class,
+                        mage_codec::to_bytes(&class_args).expect("class args encode"),
+                        token,
+                    );
+                    task.phase = CkptPhase::SentClass;
+                    self.tasks.insert(token, Task::Checkpoint(task));
+                }
+                Err(e) => {
+                    if env.trace_enabled() {
+                        env.note(format!(
+                            "checkpoint of {} to {} dropped: {e}",
+                            self.name_str(task.name),
+                            task.dest
+                        ));
+                    }
+                }
+            },
+            CkptPhase::SentClass => match result {
+                Ok(_) => {
+                    env.call(
+                        task.dest,
+                        self.ids.service,
+                        self.ids.checkpoint,
+                        mage_codec::to_bytes(&task.args).expect("checkpoint args encode"),
+                        token,
+                    );
+                    task.phase = CkptPhase::SentCheckpoint {
+                        retried_class: true,
+                    };
+                    self.tasks.insert(token, Task::Checkpoint(task));
+                }
+                Err(e) => {
+                    if env.trace_enabled() {
+                        env.note(format!(
+                            "checkpoint class push to {} dropped: {e}",
+                            task.dest
+                        ));
+                    }
+                }
+            },
         }
     }
 
@@ -480,10 +597,14 @@ impl MageNode {
             home_hint: home_hint.map(NodeId::from_raw),
             phase: LocatePhase::Finding,
             retries: self.config.race_retries,
+            expected: None,
         };
         match self.locate_step(env, CompKey::object(name), None, task.home_hint, token) {
             Ok(Some(loc)) => {
-                self.issue_lock_call(env, task.name, task.target, loc, token);
+                // Identity rides with location knowledge: whatever told us
+                // where the object is also told us which incarnation.
+                task.expected = self.known_incarnation(CompKey::object(name), loc);
+                self.issue_lock_call(env, task.name, task.target, loc, task.expected, token);
                 task.phase = LocatePhase::Calling;
                 self.tasks.insert(token, Task::ClientLock(task));
             }
@@ -494,18 +615,36 @@ impl MageNode {
         }
     }
 
+    /// The incarnation this node believes lives at `loc` for `key`: its
+    /// own hosted object when local, else the registry entry (if it agrees
+    /// on the node). `None` when nothing identity-bearing is known.
+    fn known_incarnation(&self, key: CompKey, loc: NodeId) -> Option<Incarnation> {
+        let inc = if self.has_component(key) {
+            self.local_incarnation(key)
+        } else {
+            self.registry
+                .lookup(key)
+                .filter(|entry| entry.node == loc)
+                .map(|entry| entry.incarnation)
+                .unwrap_or(Incarnation::NONE)
+        };
+        Some(inc).filter(|inc| !inc.is_none())
+    }
+
     fn issue_lock_call(
         &mut self,
         env: &mut Env<'_, '_>,
         name: NameId,
         target: NodeId,
         at: NodeId,
+        expected: Option<Incarnation>,
         token: u64,
     ) {
         let args = proto::LockArgs {
             name,
             client: env.node().as_raw(),
             target: target.as_raw(),
+            expected,
         };
         env.call(
             at,
@@ -532,7 +671,15 @@ impl MageNode {
                             CompKey::object(task.name),
                             Located::new(loc, found.incarnation),
                         );
-                        self.issue_lock_call(env, task.name, task.target, loc, token);
+                        task.expected = Some(found.incarnation).filter(|inc| !inc.is_none());
+                        self.issue_lock_call(
+                            env,
+                            task.name,
+                            task.target,
+                            loc,
+                            task.expected,
+                            token,
+                        );
                         task.phase = LocatePhase::Calling;
                         self.tasks.insert(token, Task::ClientLock(task));
                     }
@@ -553,10 +700,18 @@ impl MageNode {
                     ),
                     Err(e) => self.complete(env, task.op, Err(e)),
                 },
-                Err(RmiError::Fault(Fault::NotBound(_))) if task.retries > 0 => {
-                    // The object moved between find and lock; chase it.
+                Err(RmiError::Fault(Fault::NotBound(_) | Fault::StaleIdentity { .. }))
+                    if task.retries > 0 =>
+                {
+                    // The object moved — or was re-created — between find
+                    // and lock; chase it. A name-keyed lock request is
+                    // advisory about identity (like a bind), so the retry
+                    // re-resolves the current incarnation and locks that
+                    // knowingly; it never silently applies to a successor
+                    // under stale knowledge.
                     task.retries -= 1;
                     task.phase = LocatePhase::Finding;
+                    task.expected = None;
                     self.registry.remove(CompKey::object(task.name));
                     match self.locate_step(
                         env,
@@ -566,7 +721,15 @@ impl MageNode {
                         token,
                     ) {
                         Ok(Some(loc)) => {
-                            self.issue_lock_call(env, task.name, task.target, loc, token);
+                            task.expected = self.known_incarnation(CompKey::object(task.name), loc);
+                            self.issue_lock_call(
+                                env,
+                                task.name,
+                                task.target,
+                                loc,
+                                task.expected,
+                                token,
+                            );
                             task.phase = LocatePhase::Calling;
                             self.tasks.insert(token, Task::ClientLock(task));
                         }
@@ -697,6 +860,9 @@ impl MageNode {
         let visibility = hosted.visibility;
         let version = hosted.version + 1;
         let incarnation = hosted.incarnation;
+        let durability = hosted.durability;
+        let backup = hosted.backup;
+        let snapshot_epoch = hosted.snapshot_epoch;
         let (holders, parked_waiters) = self.locks.extract(name);
         let receive_args = proto::ReceiveArgs {
             name,
@@ -707,6 +873,9 @@ impl MageNode {
             version,
             incarnation,
             locks: holders,
+            durability,
+            backup: backup.map(|n| n.as_raw()),
+            snapshot_epoch,
         };
         let token = self.next_task;
         self.next_task += 1;

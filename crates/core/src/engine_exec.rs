@@ -85,6 +85,7 @@ impl MageNode {
             result: None,
             retries: self.config.race_retries,
             failure: None,
+            restore_tried: false,
         };
         self.exec_begin_guard(env, id, task);
     }
@@ -122,6 +123,10 @@ impl MageNode {
             name,
             client: me.as_raw(),
             target: target.as_raw(),
+            // The lock applies to the incarnation this plan resolved; a
+            // re-creation racing the request is refused typed, not
+            // silently locked.
+            expected: task.cinc.filter(|inc| !inc.is_none()),
         };
         env.call(
             at,
@@ -159,6 +164,7 @@ impl MageNode {
                     // locally re-created impostor must not serve a stale
                     // stub's call.
                     if let Err(fault) = self.check_identity(name, task.cinc) {
+                        env.count("stale_identity_refusals");
                         let err = proto::fault_to_error(&fault);
                         self.exec_fail(env, id, task, err);
                         return;
@@ -260,6 +266,9 @@ impl MageNode {
                 node,
                 state,
                 visibility,
+                durability,
+                backup,
+                replace,
             } => {
                 let dest = NodeId::from_raw(node);
                 let Some(object_id) = task.object_id else {
@@ -275,13 +284,18 @@ impl MageNode {
                     if self.classes.contains(&task.class_id) {
                         let (class_name, object_name) =
                             (task.spec.class.clone(), self.name_str(object_id));
+                        let policy = crate::node::HostPolicy {
+                            visibility,
+                            durability,
+                            backup: backup.map(NodeId::from_raw),
+                        };
                         let created = self.create_local_object(
                             env,
                             &class_name,
                             &object_name,
                             &state,
-                            visibility,
-                            true,
+                            policy,
+                            replace,
                         );
                         match created {
                             Ok(outcome) => {
@@ -301,6 +315,9 @@ impl MageNode {
                         name: object_id,
                         state,
                         visibility,
+                        durability,
+                        backup,
+                        replace,
                     };
                     env.call(
                         dest,
@@ -446,13 +463,106 @@ impl MageNode {
         );
     }
 
-    fn exec_fail(&mut self, env: &mut Env<'_, '_>, id: u64, mut task: ExecTask, err: MageError) {
+    fn exec_fail(&mut self, env: &mut Env<'_, '_>, id: u64, task: ExecTask, err: MageError) {
+        // Durability hook: before a crash-shaped failure surfaces, a
+        // replicated object gets one consultation of its backup home. A
+        // stored snapshot restores the object there (fresh incarnation),
+        // the registry entry is repaired, and the operation retries; no
+        // snapshot (or a dead backup) lets the original error through.
+        let Some(mut task) = self.exec_try_restore(env, id, task, &err) else {
+            return;
+        };
         if task.locked_at.is_some() {
             // Release the lock before reporting the failure.
             task.failure = Some(err);
             self.exec_begin_unlock(env, id, task);
         } else {
             self.complete(env, task.op, Err(err));
+        }
+    }
+
+    /// Starts the once-only backup consultation when `err` is a
+    /// crash-shaped failure of a replicated object. Returns `None` when
+    /// the task was parked (or resumed) on the restore path, or gives the
+    /// task back for the ordinary failure path.
+    fn exec_try_restore(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        id: u64,
+        mut task: ExecTask,
+        err: &MageError,
+    ) -> Option<ExecTask> {
+        if task.restore_tried
+            || task.locked_at.is_some()
+            || !matches!(err, MageError::NotFound(_) | MageError::Unreachable { .. })
+            || matches!(task.spec.action, ActionSpec::Instantiate { .. })
+        {
+            return Some(task);
+        }
+        let (Some(name), Some(backup)) = (task.object_id, task.spec.backup_hint) else {
+            return Some(task);
+        };
+        task.restore_tried = true;
+        let backup = NodeId::from_raw(backup);
+        if backup == env.node() {
+            // This node *is* the backup home: restore in place.
+            return match self.restore_local(env, name) {
+                Ok(found) => {
+                    self.exec_resume_after_restore(env, id, task, found);
+                    None
+                }
+                Err(_) => Some(task), // no snapshot: the original error surfaces
+            };
+        }
+        let args = proto::RestoreArgs { name };
+        env.call(
+            backup,
+            self.ids.service,
+            self.ids.restore,
+            mage_codec::to_bytes(&args).expect("restore args encode"),
+            id,
+        );
+        task.phase = ExecPhase::AwaitRestore {
+            original: err.clone(),
+        };
+        self.tasks.insert(id, Task::Exec(Box::new(task)));
+        None
+    }
+
+    /// Resumes the ladder after a successful restore: the object now lives
+    /// at `found.location` under a fresh incarnation. Invoke-shaped
+    /// actions go straight to the invocation (mirroring the stale-location
+    /// retry path); move-shaped actions re-run the placement from the
+    /// restored location.
+    fn exec_resume_after_restore(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        id: u64,
+        mut task: ExecTask,
+        found: FindReply,
+    ) {
+        let loc = NodeId::from_raw(found.location);
+        if let Some(name) = task.object_id {
+            self.registry
+                .update(CompKey::object(name), Located::new(loc, found.incarnation));
+        }
+        task.cloc = Some(loc);
+        task.spec.location_hint = Some(loc.as_raw());
+        if !task.spec.identity_pinned {
+            // Advisory identity re-resolves to the restored incarnation —
+            // recovery is fully transparent. Pinned stubs keep their
+            // expectation: the retry resolves to typed `StaleIdentity`
+            // and the session's explicit (or handle-level auto) rebind is
+            // the observable trace the recovery leaves.
+            task.cinc = Some(found.incarnation).filter(|inc| !inc.is_none());
+            task.spec.expected_incarnation = task.cinc;
+        }
+        match task.spec.action {
+            ActionSpec::MoveTo { .. } => self.exec_begin_action(env, id, task),
+            _ => {
+                task.invoke_at = Some(loc);
+                self.exec_begin_invoke(env, id, task);
+            }
         }
     }
 
@@ -599,11 +709,15 @@ impl MageNode {
                     }
                     Err(e) => self.exec_fail(env, id, task, e),
                 },
-                Err(ref e) if stale_location(e) && task.retries > 0 => {
-                    // Raced a migration, or the host we asked is gone:
-                    // chase the object and lock again. The driver's
-                    // location hint is stale by definition here; drop it
-                    // so the retry re-finds from the home.
+                Err(ref e)
+                    if (stale_location(e) || rebindable_identity(&task.spec, e))
+                        && task.retries > 0 =>
+                {
+                    // Raced a migration (or, for advisory-identity plans,
+                    // a re-creation), or the host we asked is gone: chase
+                    // the object and lock again. The driver's location
+                    // hint is stale by definition here; drop it so the
+                    // retry re-finds from the home.
                     task.retries -= 1;
                     task.cloc = None;
                     task.spec.location_hint = None;
@@ -692,17 +806,31 @@ impl MageNode {
             ExecPhase::AwaitPushClass { dest } => match result {
                 Ok(_) => {
                     // Class is in place; retry the instantiation.
-                    let (state, visibility) = match &task.spec.action {
+                    let (state, visibility, durability, backup, replace) = match &task.spec.action {
                         ActionSpec::Instantiate {
-                            state, visibility, ..
-                        } => (state.clone(), *visibility),
-                        _ => (Vec::new(), crate::component::Visibility::Public),
+                            state,
+                            visibility,
+                            durability,
+                            backup,
+                            replace,
+                            ..
+                        } => (state.clone(), *visibility, *durability, *backup, *replace),
+                        _ => (
+                            Vec::new(),
+                            crate::component::Visibility::Public,
+                            crate::component::Durability::Volatile,
+                            None,
+                            true,
+                        ),
                     };
                     let args = proto::InstantiateArgs {
                         class: task.class_id,
                         name: task.object_id.expect("instantiate has an object name"),
                         state,
                         visibility,
+                        durability,
+                        backup,
+                        replace,
                     };
                     env.call(
                         dest,
@@ -831,6 +959,24 @@ impl MageNode {
                 }
                 task.locked_at = None;
                 self.exec_finish(env, task);
+            }
+            ExecPhase::AwaitRestore { ref mut original } => {
+                // The phase owns the original error; take it out before
+                // the task moves on.
+                let original = std::mem::replace(original, MageError::NotFound(String::new()));
+                match result {
+                    Ok(bytes) => match decode::<FindReply>(&bytes) {
+                        Ok(found) => self.exec_resume_after_restore(env, id, task, found),
+                        Err(e) => self.exec_fail(env, id, task, e),
+                    },
+                    Err(_) => {
+                        // The backup had no snapshot, or is itself dead:
+                        // the crash-shaped failure that sent us here
+                        // surfaces typed (restore_tried blocks a second
+                        // consultation).
+                        self.exec_fail(env, id, task, original);
+                    }
+                }
             }
         }
     }

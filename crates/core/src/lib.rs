@@ -75,10 +75,11 @@ pub mod registry;
 mod runtime;
 pub mod security;
 mod session;
+pub mod spec;
 pub mod workload_support;
 
 pub use class::{ClassDef, ClassLibrary, Method};
-pub use component::{Component, DesignTriple, ModelKind, Placement, Visibility};
+pub use component::{Component, DesignTriple, Durability, ModelKind, Placement, Visibility};
 pub use error::MageError;
 pub use lock::LockKind;
 pub use node::{MageNode, NodeConfig};
@@ -86,3 +87,4 @@ pub use object::{MobileEnv, MobileObject};
 pub use pending::Pending;
 pub use runtime::{Runtime, RuntimeBuilder};
 pub use session::{BindReceipt, Session, Stub};
+pub use spec::{ObjectHandle, ObjectSpec};

@@ -22,7 +22,7 @@ use mage_sim::{NodeId, OpId, SimDuration};
 
 use crate::admission::Quotas;
 use crate::class::ClassLibrary;
-use crate::component::Visibility;
+use crate::component::{Durability, Visibility};
 use crate::engine::{MoveOrigin, Task};
 use crate::lock::LockTable;
 use crate::object::{MobileEnv, MobileObject};
@@ -79,6 +79,8 @@ pub(crate) struct ProtoIds {
     pub receive_class: NameId,
     pub fetch_class: NameId,
     pub instantiate: NameId,
+    pub checkpoint: NameId,
+    pub restore: NameId,
 }
 
 impl ProtoIds {
@@ -94,6 +96,8 @@ impl ProtoIds {
             receive_class: syms.intern(methods::RECEIVE_CLASS),
             fetch_class: syms.intern(methods::FETCH_CLASS),
             instantiate: syms.intern(methods::INSTANTIATE),
+            checkpoint: syms.intern(methods::CHECKPOINT),
+            restore: syms.intern(methods::RESTORE),
         }
     }
 }
@@ -112,6 +116,35 @@ pub(crate) struct Hosted {
     /// Set while a migration is in flight; the object is unusable and a
     /// second move is refused (movement is not atomic, §4.4).
     pub in_transit: bool,
+    /// Durability policy declared at creation; travels with the object.
+    pub durability: Durability,
+    /// Fixed backup home of a replicated object. Chosen once at creation
+    /// and never re-pointed, so every client's shared backup hint stays
+    /// valid; when the object is (or comes to be) hosted *at* its backup
+    /// home, checkpoints become local stores.
+    pub backup: Option<NodeId>,
+    /// Monotonic snapshot epoch: bumped before every checkpoint, carried
+    /// across moves, so the backup can refuse stale snapshots.
+    pub snapshot_epoch: u64,
+}
+
+/// A durability snapshot held for a replicated object whose primary lives
+/// (or lived) elsewhere. Keyed by object name in [`MageNode::backups`];
+/// monotone in `epoch`.
+pub(crate) struct BackupSnapshot {
+    pub class: NameId,
+    pub state: Vec<u8>,
+    pub visibility: Visibility,
+    /// Incarnation of the primary that shipped this snapshot. Ordering
+    /// between snapshots is lexicographic over `(incarnation, epoch)`:
+    /// incarnation ids are minted from one monotone world counter, so a
+    /// higher incarnation is by construction the *younger* lineage of
+    /// the name (a re-creation after total loss, or the surviving side
+    /// of a partition fork) and its checkpoints supersede the old
+    /// lineage's regardless of epoch.
+    pub incarnation: Incarnation,
+    pub epoch: u64,
+    pub durability: Durability,
 }
 
 /// The MAGE runtime for one namespace.
@@ -137,6 +170,10 @@ pub struct MageNode {
     /// Concurrent clients may legitimately look an object up mid-move —
     /// the pipelined session API makes that interleaving routine.
     pub(crate) transit_finds: BTreeMap<NameId, Vec<TransitFindWaiter>>,
+    /// Durability snapshots this namespace keeps as the backup home of
+    /// replicated objects hosted elsewhere (crash-stop: these die with
+    /// this node too — replication is one backup, not consensus).
+    pub(crate) backups: BTreeMap<NameId, BackupSnapshot>,
 }
 
 /// A find parked while its object is in transit: either a remote call to
@@ -185,6 +222,7 @@ impl MageNode {
             trust: TrustPolicy::default(),
             quotas: Quotas::unlimited(),
             transit_finds: BTreeMap::new(),
+            backups: BTreeMap::new(),
         }
     }
 
@@ -337,6 +375,13 @@ impl MageNode {
         if !self.has_component(CompKey::object(args.name)) {
             return CallOutcome::Reply(Err(Fault::NotBound(self.name_str(args.name))));
         }
+        // Identity gate: a lock issued against an incarnation that has
+        // since been replaced must not silently apply to the successor
+        // (the locking mirror of the invocation check).
+        if let Err(fault) = self.check_identity(args.name, args.expected) {
+            env.count("stale_lock_refusals");
+            return CallOutcome::Reply(Err(fault));
+        }
         let me = env.node();
         let client = NodeId::from_raw(args.client);
         let target = NodeId::from_raw(args.target);
@@ -421,6 +466,7 @@ impl MageNode {
         // not silently execute a stale stub's call (§ROADMAP: stable
         // object identity across restarts).
         if let Err(fault) = self.check_identity(args.name, args.expected) {
+            env.count("stale_identity_refusals");
             return CallOutcome::Reply(Err(fault));
         }
         let method = self.syms.resolve_lossy(args.method);
@@ -454,6 +500,12 @@ impl MageNode {
         };
         env.charge(consumed);
         self.objects.insert(name, hosted);
+        // Durability: a completed invocation may have mutated the object;
+        // ship a fresh snapshot to the backup home before anything else
+        // observes the new state's loss.
+        if result.is_ok() {
+            self.ship_checkpoint(env, name);
+        }
         if let Some(dest_name) = hop {
             match self.peers.get(&dest_name).copied() {
                 Some(dest) if dest != env.node() => {
@@ -543,6 +595,9 @@ impl MageNode {
                 // Migration preserves identity: same incarnation, new home.
                 incarnation: args.incarnation,
                 in_transit: false,
+                durability: args.durability,
+                backup: args.backup.map(NodeId::from_raw),
+                snapshot_epoch: args.snapshot_epoch,
             },
         );
         self.locks.install(args.name, args.locks);
@@ -551,6 +606,9 @@ impl MageNode {
             CompKey::object(args.name),
             Located::new(me, args.incarnation),
         );
+        // Durability: the post-move checkpoint — the backup must learn the
+        // object survived the move before the new host can crash on it.
+        self.ship_checkpoint(env, args.name);
         reply_ok(&())
     }
 
@@ -643,10 +701,18 @@ impl MageNode {
         }
         // Factory rebind semantics: a fresh instance replaces any previous
         // object registered under this name (like an RMI registry rebind) —
-        // unless that object is mid-migration.
+        // unless that object is mid-migration, or the caller asked for
+        // create-not-replace semantics (`Session::create` fails on a taken
+        // name, exactly like local creation).
         if self.objects.get(&args.name).is_some_and(|h| h.in_transit) {
             return CallOutcome::Reply(Err(Fault::App(format!(
                 "object {} is in transit",
+                self.name_str(args.name)
+            ))));
+        }
+        if !args.replace && self.objects.contains_key(&args.name) {
+            return CallOutcome::Reply(Err(Fault::App(format!(
+                "object {} already exists here",
                 self.name_str(args.name)
             ))));
         }
@@ -674,10 +740,15 @@ impl MageNode {
                 version: 0,
                 incarnation,
                 in_transit: false,
+                durability: args.durability,
+                backup: args.backup.map(NodeId::from_raw),
+                snapshot_epoch: 0,
             },
         );
         self.registry
             .update(CompKey::object(args.name), Located::new(me, incarnation));
+        // Durability: the creation checkpoint.
+        self.ship_checkpoint(env, args.name);
         reply_ok(&incarnation)
     }
 
@@ -712,10 +783,16 @@ impl MageNode {
                 name,
                 state,
                 visibility,
+                durability,
+                backup,
             } => {
                 let op = OpId::from_raw(op);
-                let result =
-                    self.create_local_object(env, &class, &name, &state, visibility, false);
+                let policy = HostPolicy {
+                    visibility,
+                    durability,
+                    backup: backup.map(NodeId::from_raw),
+                };
+                let result = self.create_local_object(env, &class, &name, &state, policy, false);
                 self.complete(env, op, result);
             }
             proto::Command::Find {
@@ -818,7 +895,7 @@ impl MageNode {
         class: &str,
         name: &str,
         state: &[u8],
-        visibility: Visibility,
+        policy: HostPolicy,
         replace: bool,
     ) -> Result<Outcome, crate::error::MageError> {
         let class_id = self.syms.intern(class);
@@ -854,21 +931,251 @@ impl MageNode {
             Hosted {
                 object,
                 class: class_id,
-                visibility,
+                visibility: policy.visibility,
                 home: me,
                 version: 0,
                 incarnation,
                 in_transit: false,
+                durability: policy.durability,
+                backup: policy.backup,
+                snapshot_epoch: 0,
             },
         );
         self.registry
             .update(CompKey::object(name_id), Located::new(me, incarnation));
+        // Durability: the creation checkpoint establishes the backup copy
+        // before the object serves anything.
+        self.ship_checkpoint(env, name_id);
         Ok(Outcome {
             location: me.as_raw(),
             incarnation,
             ..Outcome::default()
         })
     }
+
+    // ---- durability: checkpoint & restore ----
+
+    /// Ships a durability snapshot of `name` to its fixed backup home (a
+    /// no-op for volatile objects and objects hosted *at* their backup,
+    /// where the snapshot is stored locally instead). Bumps the object's
+    /// snapshot epoch; delivery failures are abandoned — the next
+    /// mutation ships a strictly fresher snapshot anyway.
+    pub(crate) fn ship_checkpoint(&mut self, env: &mut Env<'_, '_>, name: NameId) {
+        let me = env.node();
+        let Some(hosted) = self.objects.get_mut(&name) else {
+            return;
+        };
+        if !hosted.durability.is_replicated() {
+            return;
+        }
+        let Some(backup) = hosted.backup else {
+            return;
+        };
+        let state = match hosted.object.snapshot() {
+            Ok(state) => state,
+            Err(fault) => {
+                env.note(format!("checkpoint snapshot failed: {fault}"));
+                return;
+            }
+        };
+        hosted.snapshot_epoch += 1;
+        let args = proto::CheckpointArgs {
+            name,
+            class: hosted.class,
+            state,
+            incarnation: hosted.incarnation,
+            epoch: hosted.snapshot_epoch,
+            home: hosted.home.as_raw(),
+            visibility: hosted.visibility,
+            durability: hosted.durability,
+        };
+        if backup == me {
+            // Hosted at the backup home: the snapshot is a local store
+            // (no wire, but the same monotonicity discipline).
+            self.store_backup(env, args);
+            return;
+        }
+        let token = self.spawn_task(Task::Checkpoint(crate::engine::CheckpointTask {
+            name,
+            dest: backup,
+            args: args.clone(),
+            phase: crate::engine::CkptPhase::SentCheckpoint {
+                retried_class: false,
+            },
+        }));
+        env.call(
+            backup,
+            self.ids.service,
+            self.ids.checkpoint,
+            mage_codec::to_bytes(&args).expect("checkpoint args encode"),
+            token,
+        );
+    }
+
+    /// Accepts (or refuses as stale) a durability snapshot. Returns
+    /// whether the snapshot was stored; acceptance is strictly monotone
+    /// per object name over `(incarnation, epoch)` — a younger lineage
+    /// (re-creation after total loss, fork winner) supersedes an older
+    /// one outright, and within a lineage epochs must increase. Without
+    /// the lineage ordering, a re-created object's early checkpoints
+    /// would be refused against its dead predecessor's high epochs, and
+    /// a later restore would resurrect the predecessor's state.
+    pub(crate) fn store_backup(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        args: proto::CheckpointArgs,
+    ) -> bool {
+        if self
+            .backups
+            .get(&args.name)
+            .is_some_and(|held| (held.incarnation, held.epoch) >= (args.incarnation, args.epoch))
+        {
+            return false;
+        }
+        if env.trace_enabled() {
+            // Invariant marker: `(incarnation, epoch)` pairs accepted at
+            // this backup are strictly increasing per object name.
+            env.note(format!(
+                "invariant:ckpt:{}:{}:{}",
+                args.name.as_raw(),
+                args.incarnation.as_raw(),
+                args.epoch
+            ));
+        }
+        env.count("snapshots_stored");
+        self.backups.insert(
+            args.name,
+            BackupSnapshot {
+                class: args.class,
+                state: args.state,
+                visibility: args.visibility,
+                incarnation: args.incarnation,
+                epoch: args.epoch,
+                durability: args.durability,
+            },
+        );
+        true
+    }
+
+    fn handle_checkpoint(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        from: NodeId,
+        call: InboundCall,
+    ) -> CallOutcome {
+        let args: proto::CheckpointArgs = match mage_codec::from_bytes(call.args()) {
+            Ok(args) => args,
+            Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
+        };
+        if !self.trust.admits(from) {
+            return CallOutcome::Reply(Err(Fault::AccessDenied(format!(
+                "namespace {} does not accept checkpoints from {from}",
+                self.name
+            ))));
+        }
+        // The backup must be able to *restore* — it needs the class. The
+        // primary pushes it on this fault, exactly like a move would.
+        if !self.classes.contains(&args.class) {
+            return CallOutcome::Reply(Err(Fault::ClassMissing(self.name_str(args.class))));
+        }
+        let stored = self.store_backup(env, args);
+        reply_ok(&stored)
+    }
+
+    /// Restores `name` from this node's backup snapshot, hosting it here
+    /// under a **fresh incarnation**. Shared by the remote `restore`
+    /// handler and the engine's local fast path (the client *is* the
+    /// backup home).
+    pub(crate) fn restore_local(
+        &mut self,
+        env: &mut Env<'_, '_>,
+        name: NameId,
+    ) -> Result<proto::FindReply, Fault> {
+        let me = env.node();
+        let key = CompKey::object(name);
+        if self.has_component(key) {
+            // Already hosting (an earlier restore won the race, or the
+            // object legitimately lives here): idempotent answer.
+            return Ok(self.local_find_reply(key, me));
+        }
+        if self.objects.get(&name).is_some_and(|h| h.in_transit) {
+            return Err(Fault::App(format!("{} is in transit", self.name_str(name))));
+        }
+        let Some(snap) = self.backups.get(&name) else {
+            return Err(Fault::NotBound(self.name_str(name)));
+        };
+        let class_name = self.syms.resolve_lossy(snap.class);
+        let Some(def) = self.lib.get(&class_name) else {
+            return Err(Fault::ClassMissing(class_name.to_string()));
+        };
+        let object = def.instantiate(&snap.state)?;
+        env.charge(self.config.reify_cost);
+        // A restore is a re-creation, not a migration: the crashed
+        // incarnation is dead, so the survivor gets a fresh identity and
+        // stale stubs resolve to typed `StaleIdentity` (then rebind).
+        let incarnation = self.minter.mint();
+        let (class, visibility, snap_inc, epoch, durability) = (
+            snap.class,
+            snap.visibility,
+            snap.incarnation,
+            snap.epoch,
+            snap.durability,
+        );
+        if env.trace_enabled() {
+            // Invariant marker: a restore must serve the newest snapshot
+            // this backup ever acknowledged for the name.
+            env.note(format!(
+                "invariant:restore:{}:{}:{epoch}",
+                name.as_raw(),
+                snap_inc.as_raw()
+            ));
+        }
+        env.count("snapshot_restores");
+        self.objects.insert(
+            name,
+            Hosted {
+                object,
+                class,
+                visibility,
+                // The backup home adopts the object: it is the new origin.
+                home: me,
+                version: 0,
+                incarnation,
+                in_transit: false,
+                durability,
+                // The backup home stays fixed — which is now this node, so
+                // further checkpoints are local stores until the object
+                // moves away again.
+                backup: Some(me),
+                snapshot_epoch: epoch,
+            },
+        );
+        self.registry.update(key, Located::new(me, incarnation));
+        Ok(proto::FindReply {
+            location: me.as_raw(),
+            incarnation,
+        })
+    }
+
+    fn handle_restore(&mut self, env: &mut Env<'_, '_>, call: InboundCall) -> CallOutcome {
+        let args: proto::RestoreArgs = match mage_codec::from_bytes(call.args()) {
+            Ok(args) => args,
+            Err(e) => return CallOutcome::Reply(Err(Fault::App(e.to_string()))),
+        };
+        match self.restore_local(env, args.name) {
+            Ok(reply) => reply_ok(&reply),
+            Err(fault) => CallOutcome::Reply(Err(fault)),
+        }
+    }
+}
+
+/// The non-mobility policy set an object is hosted under: visibility plus
+/// the durability policy and its resolved backup home.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HostPolicy {
+    pub visibility: Visibility,
+    pub durability: Durability,
+    pub backup: Option<NodeId>,
 }
 
 pub(crate) fn reply_ok<T: serde::Serialize>(value: &T) -> CallOutcome {
@@ -906,6 +1213,10 @@ impl App for MageNode {
             self.handle_fetch_class(call)
         } else if method == self.ids.instantiate {
             self.handle_instantiate(env, from, call)
+        } else if method == self.ids.checkpoint {
+            self.handle_checkpoint(env, from, call)
+        } else if method == self.ids.restore {
+            self.handle_restore(env, call)
         } else {
             CallOutcome::Reply(Err(Fault::NoSuchMethod {
                 object: proto::SERVICE.to_owned(),

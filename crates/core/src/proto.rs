@@ -8,7 +8,7 @@
 use mage_rmi::NameId;
 use serde::{Deserialize, Serialize};
 
-use crate::component::Visibility;
+use crate::component::{Durability, Visibility};
 use crate::error::MageError;
 use crate::lock::{HolderTransfer, LockKind};
 use crate::registry::{CompKey, Incarnation};
@@ -36,6 +36,12 @@ pub mod methods {
     pub const FETCH_CLASS: &str = "fetchClass";
     /// Instantiate an object from a locally cached class (MageExternalServer).
     pub const INSTANTIATE: &str = "instantiate";
+    /// Store a durability snapshot of a replicated object at its backup
+    /// home (MageExternalServer; durability policy).
+    pub const CHECKPOINT: &str = "checkpoint";
+    /// Restore a crashed replicated object from this node's backup
+    /// snapshot (MageExternalServer; durability policy).
+    pub const RESTORE: &str = "restore";
 }
 
 /// Reply payload of [`methods::FIND`] (also [`methods::MOVE_TO`]): where
@@ -74,6 +80,11 @@ pub struct LockArgs {
     pub client: u32,
     /// Raw id of the attribute's computation target (decides stay vs move).
     pub target: u32,
+    /// Incarnation the requester believes it is locking (`None` skips the
+    /// check). A lock issued just before a re-creation resolves to a typed
+    /// `StaleIdentity` fault instead of silently applying to the
+    /// successor — the same stale-identity story invocation has.
+    pub expected: Option<Incarnation>,
 }
 
 /// Arguments of [`methods::UNLOCK`]. Reply: `()`.
@@ -133,6 +144,14 @@ pub struct ReceiveArgs {
     pub incarnation: Incarnation,
     /// Lock holders travelling with the object.
     pub locks: HolderTransfer,
+    /// Durability policy travelling with the object (a move never changes
+    /// the policy set declared at creation).
+    pub durability: Durability,
+    /// Raw id of the object's fixed backup home, when replicated.
+    pub backup: Option<u32>,
+    /// Monotonic snapshot epoch: the new host continues checkpointing
+    /// from here, so backups can refuse stale snapshots after races.
+    pub snapshot_epoch: u64,
 }
 
 /// Arguments of [`methods::RECEIVE_CLASS`]. Reply: `()`.
@@ -167,6 +186,47 @@ pub struct InstantiateArgs {
     pub state: Vec<u8>,
     /// Visibility of the new object.
     pub visibility: Visibility,
+    /// Durability policy of the new object.
+    pub durability: Durability,
+    /// Raw id of the fixed backup home, when replicated.
+    pub backup: Option<u32>,
+    /// Whether a live same-named object is replaced (attribute factories
+    /// keep RMI-style rebind semantics) or refused (`Session::create`
+    /// fails on a taken name, like local creation does).
+    pub replace: bool,
+}
+
+/// Arguments of [`methods::CHECKPOINT`]. Reply: `bool` (`true` when the
+/// snapshot was stored, `false` when it was refused as stale — the
+/// backup's snapshot epochs are monotone per object name).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointArgs {
+    /// Interned name of the replicated object.
+    pub name: NameId,
+    /// Its interned class name (must be cached at the backup, else the
+    /// backup faults `ClassMissing` and the primary pushes the class).
+    pub class: NameId,
+    /// Snapshot of the object's heap state.
+    pub state: Vec<u8>,
+    /// Incarnation of the primary at snapshot time.
+    pub incarnation: Incarnation,
+    /// Monotonic snapshot epoch (per object name; the backup refuses
+    /// anything not strictly newer than what it holds).
+    pub epoch: u64,
+    /// Raw id of the object's origin server.
+    pub home: u32,
+    /// Visibility the restored object would have.
+    pub visibility: Visibility,
+    /// Durability policy the restored object inherits.
+    pub durability: Durability,
+}
+
+/// Arguments of [`methods::RESTORE`]. Reply: [`FindReply`] — where the
+/// restored object lives (the backup home) and its **fresh** incarnation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RestoreArgs {
+    /// Interned name of the object to restore from this node's backup.
+    pub name: NameId,
 }
 
 /// How an `Execute` command acts on the component before any invocation.
@@ -197,6 +257,13 @@ pub enum ActionSpec {
         state: Vec<u8>,
         /// Visibility of the new object.
         visibility: Visibility,
+        /// Durability policy of the new object.
+        durability: Durability,
+        /// Raw id of the fixed backup home, when replicated.
+        backup: Option<u32>,
+        /// Whether a live same-named object is replaced (factory rebind)
+        /// or refused (spec-driven creation).
+        replace: bool,
     },
 }
 
@@ -234,6 +301,12 @@ pub struct ExecSpec {
     /// Origin server hint for finds (clients "share the name of the mobile
     /// object's origin server", §7).
     pub home_hint: Option<u32>,
+    /// Fixed backup home of a replicated object (shared deployment
+    /// knowledge, like `home_hint`). When a `NotFound`/`Unreachable`
+    /// outcome would otherwise surface, the engine consults this node
+    /// once: a stored snapshot restores the object there under a fresh
+    /// incarnation and the operation retries.
+    pub backup_hint: Option<u32>,
     /// The placement action.
     pub action: ActionSpec,
     /// Optional invocation after placement.
@@ -264,6 +337,10 @@ pub enum Command {
         state: Vec<u8>,
         /// Object visibility.
         visibility: Visibility,
+        /// Durability policy of the new object.
+        durability: Durability,
+        /// Raw id of the fixed backup home, when replicated.
+        backup: Option<u32>,
     },
     /// Locate a component.
     Find {
@@ -401,6 +478,7 @@ mod tests {
             expected_incarnation: Some(Incarnation::from_raw(6)),
             identity_pinned: true,
             home_hint: Some(0),
+            backup_hint: Some(3),
             action: ActionSpec::MoveTo { node: 2 },
             invoke: Some(InvokeSpec {
                 method: "filterData".into(),
@@ -474,8 +552,50 @@ mod tests {
                 stay_holders: vec![5],
                 move_holder: None,
             },
+            durability: Durability::Replicated { backups: 1 },
+            backup: Some(2),
+            snapshot_epoch: 9,
         };
         let bytes = mage_codec::to_bytes(&args).unwrap();
         assert_eq!(mage_codec::from_bytes::<ReceiveArgs>(&bytes).unwrap(), args);
+    }
+
+    #[test]
+    fn checkpoint_and_restore_args_roundtrip() {
+        let ckpt = CheckpointArgs {
+            name: NameId::from_raw(4),
+            class: NameId::from_raw(7),
+            state: vec![9, 9],
+            incarnation: Incarnation::from_raw(3),
+            epoch: 12,
+            home: 1,
+            visibility: Visibility::Public,
+            durability: Durability::Replicated { backups: 1 },
+        };
+        let bytes = mage_codec::to_bytes(&ckpt).unwrap();
+        assert_eq!(
+            mage_codec::from_bytes::<CheckpointArgs>(&bytes).unwrap(),
+            ckpt
+        );
+        let restore = RestoreArgs {
+            name: NameId::from_raw(4),
+        };
+        let bytes = mage_codec::to_bytes(&restore).unwrap();
+        assert_eq!(
+            mage_codec::from_bytes::<RestoreArgs>(&bytes).unwrap(),
+            restore
+        );
+    }
+
+    #[test]
+    fn lock_args_carry_identity() {
+        let args = LockArgs {
+            name: NameId::from_raw(8),
+            client: 1,
+            target: 2,
+            expected: Some(Incarnation::from_raw(5)),
+        };
+        let bytes = mage_codec::to_bytes(&args).unwrap();
+        assert_eq!(mage_codec::from_bytes::<LockArgs>(&bytes).unwrap(), args);
     }
 }

@@ -12,7 +12,7 @@
 //! ```
 //! use mage_core::attribute::Rev;
 //! use mage_core::workload_support::{methods, test_object_class};
-//! use mage_core::{Runtime, Visibility};
+//! use mage_core::{ObjectSpec, Runtime};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut rt = Runtime::builder()
@@ -24,7 +24,7 @@
 //! // Two independent sessions interleave against one world.
 //! let lab = rt.session("lab")?;
 //! let sensor = rt.session("sensor1")?;
-//! lab.create_object("TestObject", "counter", &(), Visibility::Public)?;
+//! lab.create(ObjectSpec::new("counter").class("TestObject"))?;
 //!
 //! let a = lab.bind_async(&Rev::new("TestObject", "counter", "sensor1"))?;
 //! let stub = a.wait()?;
@@ -42,19 +42,14 @@ use std::sync::Arc;
 use bytes::Bytes;
 use mage_rmi::{Config as RmiConfig, Endpoint, NameId, SymbolTable};
 use mage_sim::{LinkSpec, Network, NodeId, SimDuration, SimTime, World};
-use serde::de::DeserializeOwned;
-use serde::Serialize;
 
-use crate::attribute::MobilityAttribute;
 use crate::class::{ClassDef, ClassLibrary};
 use crate::component::Visibility;
 use crate::error::MageError;
-use crate::lock::LockKind;
 use crate::node::{MageNode, NodeConfig};
-use crate::pending::Pending;
 use crate::proto::{self, Command, Outcome};
 use crate::registry::{CompKey, IncarnationMinter};
-use crate::session::{BindReceipt, Session, Stub};
+use crate::session::Session;
 
 /// World-wide deployment knowledge shared by every session: where classes
 /// and objects originate, their visibility, and published load figures.
@@ -66,6 +61,10 @@ pub(crate) struct Directory {
     pub homes: BTreeMap<CompKey, NodeId>,
     /// Declared visibility of each object (by interned name).
     pub visibility: BTreeMap<NameId, Visibility>,
+    /// Fixed backup home of each replicated object (durability policy) —
+    /// shared deployment knowledge, like `homes`: the engine consults it
+    /// when a crash-shaped failure would otherwise surface.
+    pub backups: BTreeMap<CompKey, NodeId>,
     /// Synthetic per-node load figures (read by custom attributes).
     pub loads: BTreeMap<NodeId, f64>,
 }
@@ -262,7 +261,6 @@ impl RuntimeBuilder {
             ids,
             names,
             lib,
-            legacy_sessions: BTreeMap::new(),
         }
     }
 }
@@ -277,9 +275,6 @@ pub struct Runtime {
     ids: Arc<BTreeMap<String, NodeId>>,
     names: Arc<Vec<String>>,
     lib: Arc<ClassLibrary>,
-    /// Sessions backing the deprecated string-keyed facade, one per
-    /// client name, created on first use.
-    legacy_sessions: BTreeMap<String, Session>,
 }
 
 impl Runtime {
@@ -578,239 +573,6 @@ impl Runtime {
     pub fn trace_rendered(&self) -> String {
         let inner = self.inner.borrow();
         mage_sim::render_message_sequence(inner.world.trace(), &inner.world.node_names())
-    }
-
-    // ---- deprecated string-keyed facade (one release of grace) ----
-
-    /// Returns the implicit session backing the deprecated facade for
-    /// `client`, creating it on first use.
-    fn legacy_session(&mut self, client: &str) -> Result<Session, MageError> {
-        if let Some(session) = self.legacy_sessions.get(client) {
-            return Ok(session.clone());
-        }
-        let session = self.session(client)?;
-        self.legacy_sessions
-            .insert(client.to_owned(), session.clone());
-        Ok(session)
-    }
-
-    /// Creates an object of `class` named `name` in namespace `node`.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the class is not deployed there or the name is taken.
-    #[deprecated(since = "0.2.0", note = "use `rt.session(node)?.create_object(...)`")]
-    pub fn create_object<T: Serialize>(
-        &mut self,
-        class: &str,
-        name: &str,
-        node: &str,
-        state: &T,
-        visibility: Visibility,
-    ) -> Result<Stub, MageError> {
-        self.legacy_session(node)?
-            .create_object(class, name, state, visibility)
-    }
-
-    /// Locates a component from `client`'s point of view.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`MageError::NotFound`] when no forwarding chain reaches it.
-    #[deprecated(since = "0.2.0", note = "use `rt.session(client)?.find(name)`")]
-    pub fn find(&mut self, client: &str, name: &str) -> Result<NodeId, MageError> {
-        self.legacy_session(client)?.find(name)
-    }
-
-    /// Binds a mobility attribute from `client`, returning a stub.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Session::bind`].
-    #[deprecated(since = "0.2.0", note = "use `rt.session(client)?.bind(attr)`")]
-    pub fn bind(&mut self, client: &str, attr: &dyn MobilityAttribute) -> Result<Stub, MageError> {
-        self.legacy_session(client)?.bind(attr)
-    }
-
-    /// Binds and returns the full receipt (coercion outcome, lock kind).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Session::bind_full`].
-    #[deprecated(since = "0.2.0", note = "use `rt.session(client)?.bind_full(attr)`")]
-    pub fn bind_full(
-        &mut self,
-        client: &str,
-        attr: &dyn MobilityAttribute,
-    ) -> Result<BindReceipt, MageError> {
-        self.legacy_session(client)?.bind_full(attr)
-    }
-
-    /// Binds and invokes in a single bracketed engine operation.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Session::bind_invoke`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `rt.session(client)?.bind_invoke(attr, METHOD, args)` with a typed descriptor"
-    )]
-    pub fn bind_invoke<T: Serialize, R: DeserializeOwned>(
-        &mut self,
-        client: &str,
-        attr: &dyn MobilityAttribute,
-        method: &str,
-        args: &T,
-    ) -> Result<(Stub, Option<R>), MageError> {
-        let session = self.legacy_session(client)?;
-        let (stub, bytes) = session.bind_invoke_raw(attr, method, mage_codec::to_bytes(args)?)?;
-        let result = match bytes {
-            Some(bytes) => Some(mage_codec::from_bytes(&bytes)?),
-            None => None,
-        };
-        Ok((stub, result))
-    }
-
-    /// Invokes `method` through a stub and decodes the result.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Session::call`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `rt.session(...)?.call(stub, METHOD, args)` with a typed descriptor"
-    )]
-    pub fn call<T: Serialize, R: DeserializeOwned>(
-        &mut self,
-        stub: &Stub,
-        method: &str,
-        args: &T,
-    ) -> Result<R, MageError> {
-        let client = self.client_name_of(stub)?;
-        let bytes =
-            self.legacy_session(&client)?
-                .call_raw(stub, method, mage_codec::to_bytes(args)?)?;
-        mage_codec::from_bytes(&bytes).map_err(MageError::from)
-    }
-
-    /// Invokes `method` through a stub with pre-marshalled arguments.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Session::call_raw`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `rt.session(...)?.call_raw(stub, method, args)`"
-    )]
-    pub fn call_raw(
-        &mut self,
-        stub: &Stub,
-        method: &str,
-        args: Vec<u8>,
-    ) -> Result<Vec<u8>, MageError> {
-        let client = self.client_name_of(stub)?;
-        self.legacy_session(&client)?.call_raw(stub, method, args)
-    }
-
-    /// Fire-and-forget invocation through a stub.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Session::send`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `rt.session(...)?.send(stub, METHOD, args)` with a typed descriptor"
-    )]
-    pub fn send<T: Serialize>(
-        &mut self,
-        stub: &Stub,
-        method: &str,
-        args: &T,
-    ) -> Result<(), MageError> {
-        let client = self.client_name_of(stub)?;
-        self.legacy_session(&client)?
-            .send_raw(stub, method, mage_codec::to_bytes(args)?)
-    }
-
-    /// Acquires a stay/move lock on `name` from `client`.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Session::lock`].
-    #[deprecated(since = "0.2.0", note = "use `rt.session(client)?.lock(name, target)`")]
-    pub fn lock(&mut self, client: &str, name: &str, target: &str) -> Result<LockKind, MageError> {
-        self.legacy_session(client)?.lock(name, target)
-    }
-
-    /// Starts a lock acquisition without blocking.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Session::lock_async`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `rt.session(client)?.lock_async(name, target)`"
-    )]
-    pub fn lock_async(
-        &mut self,
-        client: &str,
-        name: &str,
-        target: &str,
-    ) -> Result<Pending<LockKind>, MageError> {
-        self.legacy_session(client)?.lock_async(name, target)
-    }
-
-    /// Releases `client`'s lock on `name`.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Session::unlock`].
-    #[deprecated(since = "0.2.0", note = "use `rt.session(client)?.unlock(name)`")]
-    pub fn unlock(&mut self, client: &str, name: &str) -> Result<(), MageError> {
-        self.legacy_session(client)?.unlock(name)
-    }
-
-    /// Starts an unlock without blocking.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Session::unlock_async`].
-    #[deprecated(since = "0.2.0", note = "use `rt.session(client)?.unlock_async(name)`")]
-    pub fn unlock_async(&mut self, client: &str, name: &str) -> Result<Pending<()>, MageError> {
-        self.legacy_session(client)?.unlock_async(name)
-    }
-
-    /// Blocks until a pending operation completes.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Pending::wait`].
-    #[deprecated(since = "0.2.0", note = "use `pending.wait()`")]
-    pub fn wait<T>(&mut self, pending: Pending<T>) -> Result<T, MageError> {
-        pending.wait()
-    }
-
-    /// Whether a pending operation has completed (without running the
-    /// world further).
-    #[deprecated(since = "0.2.0", note = "use `pending.is_done()`")]
-    pub fn is_done<T>(&self, pending: &Pending<T>) -> bool {
-        pending.is_done()
-    }
-
-    /// The deprecated facade's merged view of where known objects live.
-    #[deprecated(since = "0.2.0", note = "use `session.directory()`")]
-    pub fn directory(&self) -> Vec<(String, NodeId)> {
-        let mut merged = BTreeMap::new();
-        for session in self.legacy_sessions.values() {
-            merged.extend(session.directory());
-        }
-        merged.into_iter().collect()
-    }
-
-    fn client_name_of(&self, stub: &Stub) -> Result<String, MageError> {
-        self.node_name(stub.client())
-            .map(str::to_owned)
-            .ok_or_else(|| MageError::BadPlan("stub's client namespace is unknown".into()))
     }
 }
 

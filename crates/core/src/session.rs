@@ -12,7 +12,7 @@
 //! ```
 //! use mage_core::attribute::Rev;
 //! use mage_core::workload_support::{methods, test_object_class};
-//! use mage_core::{Runtime, Visibility};
+//! use mage_core::{ObjectSpec, Runtime};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut rt = Runtime::builder()
@@ -23,7 +23,7 @@
 //! rt.deploy_class("TestObject", "lab")?;
 //!
 //! let lab = rt.session("lab")?;
-//! lab.create_object("TestObject", "counter", &(), Visibility::Public)?;
+//! lab.create(ObjectSpec::new("counter").class("TestObject"))?;
 //!
 //! // Typed descriptor: argument and result types check at compile time.
 //! let rev = Rev::new("TestObject", "counter", "sensor1");
@@ -47,13 +47,14 @@ use serde::Serialize;
 use crate::attribute::{BindView, MobilityAttribute, Mode, Target};
 use crate::class::Method;
 use crate::coercion::{coerce, Coerced, Situation};
-use crate::component::Visibility;
+use crate::component::{Durability, Visibility};
 use crate::error::MageError;
 use crate::lock::LockKind;
 use crate::pending::{DecodeFn, Pending};
 use crate::proto::{ActionSpec, Command, ExecSpec, InvokeSpec, Outcome};
 use crate::registry::{CompKey, Incarnation, Located};
 use crate::runtime::{Directory, Inner};
+use crate::spec::{ObjectHandle, ObjectSpec};
 
 /// A client-side reference to a bound component: which namespace bound it,
 /// and where the object was last known to live.
@@ -239,11 +240,154 @@ impl Session {
 
     // ---- object creation ----
 
+    /// Creates an object from a declarative [`ObjectSpec`]: name, class,
+    /// initial state, visibility, an optional mobility attribute deciding
+    /// the birthplace, and the durability policy. Returns a typed
+    /// [`ObjectHandle`] carrying `(name, incarnation)` plus the policy
+    /// set, so policy-aware operations like
+    /// [`call_handle`](Session::call_handle) know how to react to
+    /// crash-induced identity changes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the class is unresolvable or not deployed at the
+    /// birthplace, the name is taken there, a replicated spec cannot
+    /// resolve a backup home, or the initial state failed to marshal.
+    pub fn create(&self, spec: ObjectSpec) -> Result<ObjectHandle, MageError> {
+        let class = spec.resolve_class()?;
+        let ObjectSpec {
+            name,
+            state,
+            visibility,
+            mobility,
+            durability,
+            backup,
+            pinned,
+            ..
+        } = spec;
+        let state = state?;
+
+        // Birthplace: the mobility attribute's plan target, or here.
+        let target = match &mobility {
+            None => self.client,
+            Some(attr) => {
+                let plan = self.plan_with(attr.as_ref(), None)?;
+                match plan.target {
+                    Target::Client | Target::Current => self.client,
+                    Target::Node(ref node) => self.node_id(node)?,
+                }
+            }
+        };
+
+        // Backup home of a replicated object: explicit, or the namespace
+        // after the birthplace in id order. Fixed for the object's life.
+        let backup_node = match durability {
+            Durability::Volatile => None,
+            Durability::Replicated { .. } => Some(match backup {
+                Some(node) => self.node_id(&node)?,
+                None => {
+                    let count = self.inner.borrow().ids.len() as u32;
+                    if count < 2 {
+                        return Err(MageError::BadPlan(
+                            "replication needs at least two namespaces".into(),
+                        ));
+                    }
+                    NodeId::from_raw((target.as_raw() + 1) % count)
+                }
+            }),
+        };
+
+        let (class_owned, name_owned, state_owned) = (class.clone(), name.clone(), state);
+        let backup_raw = backup_node.map(|n| n.as_raw());
+        let outcome = if target == self.client {
+            self.command(move |op| Command::CreateObject {
+                op,
+                class: class_owned,
+                name: name_owned,
+                state: state_owned,
+                visibility,
+                durability,
+                backup: backup_raw,
+            })?
+        } else {
+            // Remote birth: the ordinary instantiate ladder (with class
+            // logistics) places the object at the attribute's target.
+            let class_key = CompKey::class(self.syms.intern(&class));
+            let home_hint = self
+                .inner
+                .borrow()
+                .dir
+                .homes
+                .get(&class_key)
+                .map(|n| n.as_raw());
+            let exec = ExecSpec {
+                class: class_owned,
+                object: Some(name_owned),
+                location_hint: None,
+                expected_incarnation: None,
+                identity_pinned: false,
+                home_hint,
+                backup_hint: backup_raw,
+                action: ActionSpec::Instantiate {
+                    node: target.as_raw(),
+                    state: state_owned,
+                    visibility,
+                    durability,
+                    backup: backup_raw,
+                    // Creation, not factory rebind: a taken name errors.
+                    replace: false,
+                },
+                invoke: None,
+                guard: false,
+            };
+            self.command(move |op| Command::Execute { op, spec: exec })?
+        };
+
+        let at = NodeId::from_raw(outcome.location);
+        let object_id = self.syms.intern(&name);
+        let key = CompKey::object(object_id);
+        let mut inner = self.inner.borrow_mut();
+        inner.dir.homes.insert(key, at);
+        inner.dir.visibility.insert(object_id, visibility);
+        match backup_node {
+            Some(backup) => {
+                inner.dir.backups.insert(key, backup);
+            }
+            None => {
+                // A volatile re-creation under a previously replicated
+                // name must not leave a stale backup hint behind.
+                inner.dir.backups.remove(&key);
+            }
+        }
+        drop(inner);
+        self.state
+            .borrow_mut()
+            .cached_loc
+            .insert(key, Located::new(at, outcome.incarnation));
+        Ok(ObjectHandle {
+            stub: Stub {
+                client: self.client,
+                at,
+                object: name,
+                object_id,
+                class,
+                home: Some(at),
+                incarnation: outcome.incarnation,
+            },
+            durability,
+            pinned,
+        })
+    }
+
     /// Creates an object of `class` named `name` in this namespace.
     ///
     /// # Errors
     ///
     /// Fails if the class is not deployed here or the name is taken.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `session.create(ObjectSpec::new(name).class(class).state(state).visibility(v))`"
+    )]
     pub fn create_object<T: Serialize>(
         &self,
         class: &str,
@@ -251,34 +395,13 @@ impl Session {
         state: &T,
         visibility: Visibility,
     ) -> Result<Stub, MageError> {
-        let encoded = mage_codec::to_bytes(state)?;
-        let (class_owned, name_owned) = (class.to_owned(), name.to_owned());
-        let outcome = self.command(move |op| Command::CreateObject {
-            op,
-            class: class_owned,
-            name: name_owned,
-            state: encoded,
-            visibility,
-        })?;
-        let object_id = self.syms.intern(name);
-        let key = CompKey::object(object_id);
-        let mut inner = self.inner.borrow_mut();
-        inner.dir.homes.insert(key, self.client);
-        inner.dir.visibility.insert(object_id, visibility);
-        drop(inner);
-        self.state
-            .borrow_mut()
-            .cached_loc
-            .insert(key, Located::new(self.client, outcome.incarnation));
-        Ok(Stub {
-            client: self.client,
-            at: self.client,
-            object: name.to_owned(),
-            object_id,
-            class: class.to_owned(),
-            home: Some(self.client),
-            incarnation: outcome.incarnation,
-        })
+        self.create(
+            ObjectSpec::new(name)
+                .class(class)
+                .state(state)
+                .visibility(visibility),
+        )
+        .map(ObjectHandle::into_stub)
     }
 
     // ---- find ----
@@ -331,6 +454,7 @@ impl Session {
     ///
     /// Returns [`MageError::NotFound`] when nothing answers to the name.
     pub fn rebind(&self, stub: &Stub) -> Result<Stub, MageError> {
+        self.inner.borrow_mut().world.bump_metric("rebinds");
         let loc = self.find(&stub.object)?;
         let key = CompKey::object(stub.object_id);
         let entry = self
@@ -659,10 +783,17 @@ impl Session {
                         .dir
                         .visibility
                         .insert(base_id, visibility);
+                    // Attribute factories declare no durability policy of
+                    // their own (policy-bearing creation goes through
+                    // `Session::create`) and keep RMI-style rebind
+                    // semantics: a fresh instance replaces a predecessor.
                     ActionSpec::Instantiate {
                         node: target.unwrap_or(client_id).as_raw(),
                         state,
                         visibility,
+                        durability: Durability::Volatile,
+                        backup: None,
+                        replace: true,
                     }
                 }
             },
@@ -695,6 +826,7 @@ impl Session {
                 .get(&base_key)
                 .or_else(|| inner.dir.homes.get(&CompKey::class(class_id)))
                 .map(|n| n.as_raw()),
+            backup_hint: inner.dir.backups.get(&base_key).map(|n| n.as_raw()),
             action,
             invoke,
             guard: plan.guard,
@@ -724,6 +856,20 @@ impl Session {
     /// replacement. Rebinding to the replacement is an explicit act
     /// ([`Session::rebind`]), never a side effect of a cache refresh.
     fn invoke_spec(&self, stub: &Stub, method: &str, args: Vec<u8>, one_way: bool) -> ExecSpec {
+        self.invoke_spec_with(stub, method, args, one_way, true)
+    }
+
+    /// [`invoke_spec`](Session::invoke_spec) with the identity pinning
+    /// made explicit: unpinned handles let the engine re-resolve identity
+    /// (recovery of a replicated object becomes invisible to the caller).
+    fn invoke_spec_with(
+        &self,
+        stub: &Stub,
+        method: &str,
+        args: Vec<u8>,
+        one_way: bool,
+        pinned: bool,
+    ) -> ExecSpec {
         let at = self
             .state
             .borrow()
@@ -736,8 +882,15 @@ impl Session {
             object: Some(stub.object.clone()),
             location_hint: Some(at.as_raw()),
             expected_incarnation: Some(stub.incarnation).filter(|inc| !inc.is_none()),
-            identity_pinned: true,
+            identity_pinned: pinned,
             home_hint: stub.home.map(|n| n.as_raw()),
+            backup_hint: self
+                .inner
+                .borrow()
+                .dir
+                .backups
+                .get(&CompKey::object(stub.object_id))
+                .map(|n| n.as_raw()),
             action: ActionSpec::InvokeAt { node: at.as_raw() },
             invoke: Some(InvokeSpec {
                 method: method.to_owned(),
@@ -800,7 +953,19 @@ impl Session {
     ///
     /// Propagates invocation faults.
     pub fn call_raw(&self, stub: &Stub, method: &str, args: Vec<u8>) -> Result<Vec<u8>, MageError> {
-        let spec = self.invoke_spec(stub, method, args, false);
+        self.invoke_through(stub, method, args, true)
+    }
+
+    /// Shared blocking-invocation core: runs the invoke ladder with the
+    /// given identity pinning and refreshes the session cache.
+    fn invoke_through(
+        &self,
+        stub: &Stub,
+        method: &str,
+        args: Vec<u8>,
+        pinned: bool,
+    ) -> Result<Vec<u8>, MageError> {
+        let spec = self.invoke_spec_with(stub, method, args, false, pinned);
         let outcome = self.command(move |op| Command::Execute { op, spec })?;
         self.state.borrow_mut().cached_loc.insert(
             CompKey::object(stub.object_id),
@@ -809,6 +974,65 @@ impl Session {
         outcome
             .result
             .ok_or_else(|| MageError::Rmi("invocation returned no result".into()))
+    }
+
+    /// Invokes a typed method through an [`ObjectHandle`], applying its
+    /// policy set.
+    ///
+    /// For a [`Durability::Replicated`] handle, a typed
+    /// [`MageError::StaleIdentity`] — the trace a crash-restore (or a
+    /// re-creation) leaves on pinned stubs — triggers one automatic
+    /// rebind-and-retry: the handle re-binds to the incarnation now
+    /// answering to the name (the restored object, state intact) and the
+    /// call repeats. Unpinned handles never see the stale identity at all
+    /// — the engine re-resolves identity in place. Volatile pinned
+    /// handles surface `StaleIdentity` exactly like a bare stub, because
+    /// a volatile successor shares only the name, not the state.
+    ///
+    /// The handle's location and incarnation are refreshed from whatever
+    /// the call learned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates invocation faults and marshalling failures; the rebind
+    /// path surfaces [`MageError::NotFound`] when nothing answers to the
+    /// name anymore (e.g. the backup home died too).
+    pub fn call_handle<A, R>(
+        &self,
+        handle: &mut ObjectHandle,
+        method: Method<A, R>,
+        args: &A,
+    ) -> Result<R, MageError>
+    where
+        A: Serialize,
+        R: DeserializeOwned,
+    {
+        let bytes = mage_codec::to_bytes(args)?;
+        let first = self.invoke_through(&handle.stub, method.name(), bytes.clone(), handle.pinned);
+        let out = match first {
+            Err(MageError::StaleIdentity { .. }) if handle.durability.is_replicated() => {
+                let fresh = self.rebind(&handle.stub)?;
+                handle.stub = fresh;
+                self.inner.borrow_mut().world.bump_metric("auto_rebinds");
+                self.invoke_through(&handle.stub, method.name(), bytes, handle.pinned)?
+            }
+            other => other?,
+        };
+        self.refresh_handle(handle);
+        mage_codec::from_bytes(&out).map_err(MageError::from)
+    }
+
+    /// Updates a handle's stub from the session cache (location always;
+    /// incarnation only for unpinned handles, where identity tracking is
+    /// the engine's job, not the caller's).
+    fn refresh_handle(&self, handle: &mut ObjectHandle) {
+        let key = CompKey::object(handle.stub.object_id);
+        if let Some(entry) = self.state.borrow().cached_loc.get(&key) {
+            handle.stub.at = entry.node;
+            if !handle.pinned && !entry.incarnation.is_none() {
+                handle.stub.incarnation = entry.incarnation;
+            }
+        }
     }
 
     /// Fire-and-forget invocation through a stub.

@@ -4,7 +4,7 @@
 
 use mage_core::attribute::{Cle, Cod, Grev, Rev, Rpc};
 use mage_core::workload_support::{geo_data_filter_class, methods, test_object_class};
-use mage_core::{LockKind, Runtime, Visibility};
+use mage_core::{LockKind, ObjectSpec, Runtime, Visibility};
 use mage_sim::{SimDuration, TraceEvent};
 
 fn runtime(nodes: &[&str]) -> Runtime {
@@ -25,7 +25,7 @@ fn two_guarded_movers_racing_both_eventually_succeed() {
     let mut rt = runtime(&["host", "c1", "c2"]);
     rt.deploy_class("TestObject", "host").unwrap();
     let host = rt.session("host").unwrap();
-    host.create_object("TestObject", "shared", &(), Visibility::Public)
+    host.create(ObjectSpec::new("shared").class("TestObject"))
         .unwrap();
 
     let c1 = rt.session("c1").unwrap();
@@ -50,7 +50,7 @@ fn queued_mover_waits_for_migration_triggered_by_lock_holder() {
     rt.deploy_class("TestObject", "host").unwrap();
     rt.session("host")
         .unwrap()
-        .create_object("TestObject", "obj", &(), Visibility::Public)
+        .create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
     let m1 = rt.session("m1").unwrap();
     let m2 = rt.session("m2").unwrap();
@@ -82,7 +82,11 @@ fn private_objects_skip_the_find_on_every_bind() {
     rt.deploy_class("TestObject", "server").unwrap();
     rt.session("server")
         .unwrap()
-        .create_object("TestObject", "priv", &(), Visibility::Private)
+        .create(
+            ObjectSpec::new("priv")
+                .class("TestObject")
+                .visibility(Visibility::Private),
+        )
         .unwrap();
     let client = rt.session("client").unwrap();
     let attr = Rpc::new("TestObject", "priv", "server");
@@ -108,7 +112,7 @@ fn public_objects_are_found_before_each_bind() {
     rt.deploy_class("TestObject", "server").unwrap();
     rt.session("server")
         .unwrap()
-        .create_object("TestObject", "pub", &(), Visibility::Public)
+        .create(ObjectSpec::new("pub").class("TestObject"))
         .unwrap();
     let client = rt.session("client").unwrap();
     rt.world_mut().trace_mut().clear();
@@ -153,7 +157,7 @@ fn guarded_cle_takes_a_stay_lock() {
     rt.deploy_class("TestObject", "host").unwrap();
     rt.session("host")
         .unwrap()
-        .create_object("TestObject", "obj", &(), Visibility::Public)
+        .create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
     let attr = Cle::new("TestObject", "obj").guarded();
     let receipt = rt.session("client").unwrap().bind_full(&attr).unwrap();
@@ -185,7 +189,7 @@ fn rebinding_attributes_dynamically_switches_distribution_pattern() {
     let mut rt = runtime(&["edge", "core1", "core2"]);
     rt.deploy_class("TestObject", "edge").unwrap();
     let edge = rt.session("edge").unwrap();
-    edge.create_object("TestObject", "svc", &(), Visibility::Public)
+    edge.create(ObjectSpec::new("svc").class("TestObject"))
         .unwrap();
     // Phase 1: REV to core1 while it is preferred.
     let phase1 = Rev::new("TestObject", "svc", "core1");
@@ -211,8 +215,7 @@ fn trace_send_and_deliver_pair_for_every_wire_message() {
         .build();
     rt.deploy_class("TestObject", "a").unwrap();
     let a = rt.session("a").unwrap();
-    a.create_object("TestObject", "x", &(), Visibility::Public)
-        .unwrap();
+    a.create(ObjectSpec::new("x").class("TestObject")).unwrap();
     let attr = Grev::new("TestObject", "x", "b");
     a.bind(&attr).unwrap();
     let world = rt.world();

@@ -7,7 +7,7 @@
 
 use mage_core::attribute::{Cle, Grev};
 use mage_core::workload_support::{methods, test_object_class};
-use mage_core::{LockKind, MageError, Runtime, Visibility};
+use mage_core::{LockKind, MageError, ObjectSpec, Runtime, Visibility};
 use mage_sim::SimDuration;
 
 fn runtime(nodes: &[&str]) -> Runtime {
@@ -28,7 +28,7 @@ fn runtime(nodes: &[&str]) -> Runtime {
 fn cyclic_forwarding_chain_is_repaired_and_reported() {
     let mut rt = runtime(&["h0", "a", "b", "c"]);
     let s0 = rt.session("h0").unwrap();
-    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+    s0.create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
     // Move the object to `a`, then lose it (crash-stop wipes a's state).
     let sa = rt.session("a").unwrap();
@@ -49,7 +49,7 @@ fn cyclic_forwarding_chain_is_repaired_and_reported() {
     );
     // The walk must have repaired the poisoned entries: re-creating the
     // object at its home makes it findable again immediately.
-    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+    s0.create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
     let loc = sc.find("obj").unwrap();
     assert_eq!(loc, rt.node_id("h0").unwrap());
@@ -62,7 +62,7 @@ fn cyclic_forwarding_chain_is_repaired_and_reported() {
 fn crashed_peer_yields_unreachable_then_restart_recovers() {
     let mut rt = runtime(&["home", "edge"]);
     let home = rt.session("home").unwrap();
-    home.create_object("TestObject", "obj", &(), Visibility::Public)
+    home.create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
     rt.crash("home").unwrap();
 
@@ -77,7 +77,7 @@ fn crashed_peer_yields_unreachable_then_restart_recovers() {
     // Crash-stop: the class and object died with the old incarnation.
     rt.deploy_class("TestObject", "home").unwrap();
     let home = rt.session("home").unwrap();
-    home.create_object("TestObject", "obj", &(), Visibility::Public)
+    home.create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
     let loc = edge.find("obj").unwrap();
     assert_eq!(loc, rt.node_id("home").unwrap());
@@ -90,7 +90,7 @@ fn crashed_peer_yields_unreachable_then_restart_recovers() {
 fn lock_queue_drains_when_holder_dies() {
     let mut rt = runtime(&["host", "holder", "waiter"]);
     let host = rt.session("host").unwrap();
-    host.create_object("TestObject", "obj", &(), Visibility::Public)
+    host.create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
 
     // The holder takes an exclusive move lock (its target is elsewhere)…
@@ -128,7 +128,7 @@ fn lock_queue_drains_when_holder_dies() {
 fn lock_queue_drains_when_host_only_sends_to_restarted_holder() {
     let mut rt = runtime(&["host", "holder", "waiter"]);
     let host = rt.session("host").unwrap();
-    host.create_object("TestObject", "obj", &(), Visibility::Public)
+    host.create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
 
     let holder = rt.session("holder").unwrap();
@@ -162,7 +162,7 @@ fn lock_queue_drains_when_host_only_sends_to_restarted_holder() {
 fn partitioned_call_fails_typed_and_heals() {
     let mut rt = runtime(&["home", "far"]);
     let home = rt.session("home").unwrap();
-    home.create_object("TestObject", "obj", &(), Visibility::Public)
+    home.create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
 
     rt.partition_between("home", "far").unwrap();
@@ -184,7 +184,7 @@ fn partitioned_call_fails_typed_and_heals() {
 fn migration_to_crashed_target_aborts_and_rehomes() {
     let mut rt = runtime(&["home", "dead"]);
     let home = rt.session("home").unwrap();
-    home.create_object("TestObject", "obj", &(), Visibility::Public)
+    home.create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
     rt.crash("dead").unwrap();
 
@@ -212,7 +212,7 @@ fn migration_to_crashed_target_aborts_and_rehomes() {
 fn stale_stub_is_refused_and_explicit_rebind_recovers() {
     let mut rt = runtime(&["h0", "a", "c"]);
     let s0 = rt.session("h0").unwrap();
-    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+    s0.create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
     // Host the object at `a`, and bind a stub from bystander `c`.
     let sa = rt.session("a").unwrap();
@@ -227,7 +227,7 @@ fn stale_stub_is_refused_and_explicit_rebind_recovers() {
     // The object dies with `a`; the driver re-creates it at `h0`.
     rt.crash("a").unwrap();
     rt.restart("a").unwrap();
-    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+    s0.create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
 
     // The stale stub's call finds its way to the re-created object — and
@@ -260,7 +260,7 @@ fn stale_stub_is_refused_and_explicit_rebind_recovers() {
 fn session_cache_refresh_does_not_silently_rebind_a_stale_stub() {
     let mut rt = runtime(&["h0", "a", "c"]);
     let s0 = rt.session("h0").unwrap();
-    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+    s0.create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
     let sa = rt.session("a").unwrap();
     sa.bind_invoke(&Grev::new("TestObject", "obj", "a"), methods::INC, &())
@@ -270,7 +270,7 @@ fn session_cache_refresh_does_not_silently_rebind_a_stale_stub() {
 
     rt.crash("a").unwrap();
     rt.restart("a").unwrap();
-    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+    s0.create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
 
     // The session now knows exactly where the replacement lives…
@@ -294,8 +294,12 @@ fn session_cache_refresh_does_not_silently_rebind_a_stale_stub() {
 fn bind_with_stale_cached_identity_refinds_and_recovers() {
     let mut rt = runtime(&["h0", "a", "c"]);
     let s0 = rt.session("h0").unwrap();
-    s0.create_object("TestObject", "obj", &(), Visibility::Private)
-        .unwrap();
+    s0.create(
+        ObjectSpec::new("obj")
+            .class("TestObject")
+            .visibility(Visibility::Private),
+    )
+    .unwrap();
     let sa = rt.session("a").unwrap();
     sa.bind_invoke(&Grev::new("TestObject", "obj", "a"), methods::INC, &())
         .unwrap();
@@ -311,8 +315,12 @@ fn bind_with_stale_cached_identity_refinds_and_recovers() {
     rt.restart("a").unwrap();
     rt.deploy_class("TestObject", "a").unwrap();
     let sa = rt.session("a").unwrap();
-    sa.create_object("TestObject", "obj", &(), Visibility::Private)
-        .unwrap();
+    sa.create(
+        ObjectSpec::new("obj")
+            .class("TestObject")
+            .visibility(Visibility::Private),
+    )
+    .unwrap();
 
     // A fresh bind from `c` must not wedge on StaleIdentity forever: the
     // advisory-identity retry re-finds and reaches the new object.
@@ -333,7 +341,7 @@ fn bind_with_stale_cached_identity_refinds_and_recovers() {
 fn partition_heal_coexistence_is_disambiguated_by_incarnation() {
     let mut rt = runtime(&["h0", "far", "c"]);
     let s0 = rt.session("h0").unwrap();
-    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+    s0.create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
     // Move the original to `far`; pin a stub to it from `c`.
     let sfar = rt.session("far").unwrap();
@@ -353,7 +361,7 @@ fn partition_heal_coexistence_is_disambiguated_by_incarnation() {
         "partitioned original must resolve typed (direct Unreachable, or \
          NotFound after the repair walk also dead-ends), got {err:?}"
     );
-    s0.create_object("TestObject", "obj", &(), Visibility::Public)
+    s0.create(ObjectSpec::new("obj").class("TestObject"))
         .unwrap();
     let copy = s0.bind(&Cle::new("TestObject", "obj")).unwrap();
     assert_ne!(
@@ -370,4 +378,65 @@ fn partition_heal_coexistence_is_disambiguated_by_incarnation() {
     assert_eq!(sc.call(&original, methods::INC, &()).unwrap(), 3);
     // …and the copy's stub reaches exactly the copy (its own count).
     assert_eq!(s0.call(&copy, methods::INC, &()).unwrap(), 1);
+}
+
+/// Incarnation-aware locks: a lock request that resolved the object's
+/// identity before a crash-driven re-creation is refused with a typed
+/// `StaleIdentity` (never silently applied to the successor). With
+/// retries enabled the request re-resolves and locks the successor
+/// knowingly.
+#[test]
+fn lock_racing_a_recreation_resolves_to_stale_identity() {
+    // race_retries = 0 exposes the raw refusal instead of the retry.
+    let strict = mage_core::NodeConfig {
+        race_retries: 0,
+        ..Default::default()
+    };
+    let mut rt = Runtime::builder()
+        .fast()
+        .seed(77)
+        .nodes(["h0", "c"])
+        .node_config(strict)
+        .class(test_object_class())
+        .build();
+    rt.deploy_class("TestObject", "h0").unwrap();
+    let s0 = rt.session("h0").unwrap();
+    s0.create(ObjectSpec::new("obj").class("TestObject"))
+        .unwrap();
+
+    // `c` learns (location, incarnation) of the original…
+    let sc = rt.session("c").unwrap();
+    sc.find("obj").unwrap();
+
+    // …then the original dies and a successor takes its name.
+    rt.crash("h0").unwrap();
+    rt.restart("h0").unwrap();
+    rt.deploy_class("TestObject", "h0").unwrap();
+    s0.create(ObjectSpec::new("obj").class("TestObject"))
+        .unwrap();
+
+    // The lock carries the stale incarnation and is refused typed.
+    let err = sc.lock("obj", "c").unwrap_err();
+    assert!(
+        matches!(err, MageError::StaleIdentity { .. }),
+        "expected StaleIdentity, got {err:?}"
+    );
+    assert!(rt.world().metrics().counter("stale_lock_refusals") >= 1);
+
+    // The default retry budget turns the refusal into a knowing re-lock
+    // of the successor (identity re-resolved through a fresh find).
+    let mut rt = runtime(&["h0", "c"]);
+    let s0 = rt.session("h0").unwrap();
+    s0.create(ObjectSpec::new("obj").class("TestObject"))
+        .unwrap();
+    let sc = rt.session("c").unwrap();
+    sc.find("obj").unwrap();
+    rt.crash("h0").unwrap();
+    rt.restart("h0").unwrap();
+    rt.deploy_class("TestObject", "h0").unwrap();
+    s0.create(ObjectSpec::new("obj").class("TestObject"))
+        .unwrap();
+    let kind = sc.lock("obj", "c").unwrap();
+    assert_eq!(kind, LockKind::Move);
+    sc.unlock("obj").unwrap();
 }

@@ -8,7 +8,7 @@ use mage_core::workload_support::{
     geo_data_filter_class, itinerary_agent_class, itinerary_state, methods, static_field_class,
     test_object_class,
 };
-use mage_core::{LockKind, MageError, Runtime, Visibility};
+use mage_core::{LockKind, MageError, ObjectSpec, Runtime};
 use mage_sim::SimDuration;
 
 fn fast_runtime(nodes: &[&str]) -> Runtime {
@@ -27,7 +27,7 @@ fn with_object(rt: &mut Runtime, node: &str, name: &str) {
     rt.deploy_class("TestObject", node).unwrap();
     rt.session(node)
         .unwrap()
-        .create_object("TestObject", name, &(), Visibility::Public)
+        .create(ObjectSpec::new(name).class("TestObject"))
         .unwrap();
 }
 
@@ -365,9 +365,9 @@ fn quota_refuses_excess_objects() {
     rt.deploy_class("TestObject", "lab").unwrap();
     rt.set_quota("tiny", Some(1), None).unwrap();
     let lab = rt.session("lab").unwrap();
-    lab.create_object("TestObject", "a", &(), Visibility::Public)
+    lab.create(ObjectSpec::new("a").class("TestObject"))
         .unwrap();
-    lab.create_object("TestObject", "b", &(), Visibility::Public)
+    lab.create(ObjectSpec::new("b").class("TestObject"))
         .unwrap();
     let ok = Rev::new("TestObject", "a", "tiny");
     lab.bind(&ok).unwrap();

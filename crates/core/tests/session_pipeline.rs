@@ -4,7 +4,7 @@
 
 use mage_core::attribute::{Grev, Rpc};
 use mage_core::workload_support::{methods, test_object_class};
-use mage_core::{LockKind, Method, Runtime, Visibility};
+use mage_core::{LockKind, Method, ObjectSpec, Runtime};
 
 fn runtime() -> Runtime {
     let mut rt = Runtime::builder()
@@ -14,7 +14,7 @@ fn runtime() -> Runtime {
     rt.deploy_class("TestObject", "host").unwrap();
     rt.session("host")
         .unwrap()
-        .create_object("TestObject", "shared", &(), Visibility::Public)
+        .create(ObjectSpec::new("shared").class("TestObject"))
         .unwrap();
     rt
 }

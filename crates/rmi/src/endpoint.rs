@@ -699,6 +699,12 @@ impl<'a, 'c> Env<'a, 'c> {
     pub fn note(&mut self, text: impl Into<String>) {
         self.ctx.note(text);
     }
+
+    /// Bumps a named world metric counter (see
+    /// [`Context::count`](mage_sim::Context::count)).
+    pub fn count(&mut self, name: &'static str) {
+        self.ctx.count(name);
+    }
 }
 
 /// An RMI endpoint actor parameterised by its [`App`].
@@ -846,6 +852,7 @@ impl<A: App> Endpoint<A> {
         // incarnation's call ids restart from zero — matching it against
         // `pending` would complete an unrelated call. Discard.
         if req_epoch != ctx.self_epoch() {
+            ctx.count("stale_replies_dropped");
             if ctx.trace_enabled() {
                 ctx.note(format!(
                     "invariant:stale-rsp-dropped:{call_id}:{req_epoch}:{}",

@@ -111,6 +111,7 @@ pub(crate) enum Effect {
         result: Result<Bytes, String>,
     },
     Note(String),
+    Count(&'static str),
 }
 
 /// Handle through which an actor interacts with the world during one
@@ -253,6 +254,13 @@ impl<'a> Context<'a> {
     /// Records a free-form trace annotation attributed to this node.
     pub fn note(&mut self, text: impl Into<String>) {
         self.effects.push(Effect::Note(text.into()));
+    }
+
+    /// Bumps a named world metric counter (see
+    /// [`Metrics::counter`](crate::Metrics::counter)). Static names only,
+    /// so counting costs no allocation on the steady-state path.
+    pub fn count(&mut self, name: &'static str) {
+        self.effects.push(Effect::Count(name));
     }
 
     /// The world's deterministic random number generator.

@@ -16,12 +16,15 @@ pub struct NetCounters {
 }
 
 /// Aggregated experiment metrics: global counters plus per-label message
-/// counts (labels are the protocol-level message names, e.g. `"invoke-req"`).
+/// counts (labels are the protocol-level message names, e.g. `"invoke-req"`)
+/// and free-form named event counters bumped by actors (e.g.
+/// `"stale_identity_refusals"`, `"snapshot_restores"`).
 #[derive(Debug, Default)]
 pub struct Metrics {
     /// Network-level counters.
     pub net: NetCounters,
     per_label: BTreeMap<String, u64>,
+    counters: BTreeMap<&'static str, u64>,
 }
 
 impl Metrics {
@@ -57,6 +60,23 @@ impl Metrics {
     /// Number of sends recorded for `label`.
     pub fn sends_for(&self, label: &str) -> u64 {
         self.per_label.get(label).copied().unwrap_or(0)
+    }
+
+    /// Increments the named event counter (static names only, so the
+    /// steady-state cost is one map lookup — no allocation).
+    pub fn bump(&mut self, name: &'static str) {
+        *self.counters.entry(name).or_insert(0) += 1;
+    }
+
+    /// The current value of a named event counter (`0` if never bumped).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Iterates over `(name, count)` pairs of the named event counters in
+    /// name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
     }
 
     /// Iterates over `(label, send count)` pairs in label order.
@@ -179,9 +199,24 @@ mod tests {
     fn reset_clears_everything() {
         let mut m = Metrics::new();
         m.record_send("x", 1);
+        m.bump("events");
         m.reset();
         assert_eq!(m.net.sent, 0);
         assert_eq!(m.sends_for("x"), 0);
+        assert_eq!(m.counter("events"), 0);
+    }
+
+    #[test]
+    fn named_counters_accumulate_independently() {
+        let mut m = Metrics::new();
+        m.bump("restores");
+        m.bump("restores");
+        m.bump("rebinds");
+        assert_eq!(m.counter("restores"), 2);
+        assert_eq!(m.counter("rebinds"), 1);
+        assert_eq!(m.counter("never"), 0);
+        let all: Vec<_> = m.counters().collect();
+        assert_eq!(all, vec![("rebinds", 1), ("restores", 2)]);
     }
 
     #[test]

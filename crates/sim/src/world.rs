@@ -378,6 +378,13 @@ impl World {
         self.metrics.reset();
     }
 
+    /// Bumps a named metric counter from the driver side (actors use
+    /// [`Context::count`]; client-library code that sits outside the world
+    /// — e.g. an explicit stub rebind — records through this).
+    pub fn bump_metric(&mut self, name: &'static str) {
+        self.metrics.bump(name);
+    }
+
     /// Replaces the per-call event budget used by the blocking runners.
     pub fn set_event_budget(&mut self, budget: u64) {
         self.event_budget = budget;
@@ -704,6 +711,9 @@ impl World {
                         node,
                         text,
                     });
+                }
+                Effect::Count(name) => {
+                    self.metrics.bump(name);
                 }
             }
         }

@@ -11,11 +11,19 @@
 //!   either reaches *that* object or resolves to
 //!   [`MageError::StaleIdentity`]; a re-created same-name object never
 //!   silently serves a stale stub's calls. Rebinding is an explicit act
-//!   ([`Session::rebind`]), and this workload performs (and counts) it.
+//!   ([`Session::rebind`] — or the policy-aware automatic rebind of
+//!   [`Session::call_handle`] on replicated handles), and this workload
+//!   performs (and counts) both.
+//! * **Durable recovery** — the `Durability::Replicated` object survives
+//!   crashes of whatever node hosts it: its state is restored from the
+//!   backup home's snapshot, and the soak counts full
+//!   crash→restore→rebind recoveries
+//!   ([`ChaosReport::durable_recoveries`]).
 //!
 //! The run drives thousands of REV/GREV/COD/CLE/mobile-agent operations
-//! (some guarded with §4.4 locks), explicit lock/unlock cycles, and
-//! stub-pinned invocations against two shared objects, while a seeded
+//! (some guarded with §4.4 locks), explicit lock/unlock cycles,
+//! stub-pinned invocations against two volatile shared objects, and
+//! policy-handle invocations of a replicated object, while a seeded
 //! adversary crashes nodes, restarts them empty, cuts and heals links —
 //! and, for a slice of the operations, injects the fault *while the
 //! protocol is mid-flight* (crash during `receive`/`receiveClass`, cuts
@@ -26,16 +34,20 @@
 //! With [`ChaosConfig::check_invariants`] the run records a full trace
 //! and checks protocol invariants *over the event trace* (not just op
 //! resolution): at-most-once execution per call id, no response accepted
-//! by a dead incarnation of its caller, and no lock grant to a waiter
-//! from an incarnation the granting node had already purged.
+//! by a dead incarnation of its caller, no lock grant to a waiter from
+//! an incarnation the granting node had already purged, snapshot epochs
+//! strictly monotone per backup home, and no restore serving a snapshot
+//! older than the newest one that backup acknowledged.
 //!
 //! Conventions:
 //!
 //! * `h0` is the protected home namespace: it is never crashed, so the
-//!   class library stays deployed and lost objects can be re-created.
+//!   class library stays deployed, lost objects can be re-created, and
+//!   the replicated object's fixed backup home survives.
 //! * When an operation reports [`MageError::NotFound`] the shared object
 //!   is presumed dead with its host; the driver re-creates it at `h0`
-//!   (counted in [`ChaosReport::recreated`]).
+//!   (counted in [`ChaosReport::recreated`]; the replicated object is
+//!   re-created replicated, in [`ChaosReport::durable_recreates`]).
 //! * [`MageError::Unreachable`] is *not* grounds for re-creation — the
 //!   object may be alive on the far side of a partition.
 
@@ -43,7 +55,7 @@ use std::collections::{BTreeMap, BTreeSet};
 
 use mage_core::attribute::{Cle, Cod, Grev, MobileAgent, MobilityAttribute, Rev};
 use mage_core::workload_support::{methods, test_object_class};
-use mage_core::{MageError, Runtime, Session, Stub, Visibility};
+use mage_core::{Durability, MageError, ObjectHandle, ObjectSpec, Runtime, Session, Stub};
 use mage_sim::TraceEvent;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -69,6 +81,10 @@ pub struct ChaosConfig {
     /// with a fault injected mid-protocol (crash during
     /// `receive`/`receiveClass`, cuts during find walks).
     pub midflight_percent: u8,
+    /// Percent of operations that are policy-handle invocations of the
+    /// `Durability::Replicated` object (the crash-recovery surface:
+    /// checkpoints, restores, auto-rebinds).
+    pub durable_percent: u8,
     /// Record a full trace and check protocol invariants over it.
     pub check_invariants: bool,
 }
@@ -83,6 +99,7 @@ impl Default for ChaosConfig {
             lock_percent: 15,
             stub_percent: 15,
             midflight_percent: 10,
+            durable_percent: 15,
             check_invariants: false,
         }
     }
@@ -121,6 +138,27 @@ pub struct ChaosReport {
     pub midflight_faults: usize,
     /// Times a shared object was re-created at `h0` after being lost.
     pub recreated: usize,
+    /// Policy-handle invocations of the replicated object driven.
+    pub durable_ops: usize,
+    /// Crash→restore→rebind recoveries observed through a durable
+    /// handle: the call succeeded after an automatic rebind to a fresh
+    /// incarnation (state served from the backup snapshot).
+    pub durable_recoveries: usize,
+    /// Times the replicated object was truly lost (primary *and* backup
+    /// gone) and re-created replicated.
+    pub durable_recreates: usize,
+    /// World metric: durability snapshots accepted at backup homes.
+    pub snapshots: u64,
+    /// World metric: objects restored from a backup snapshot.
+    pub restores: u64,
+    /// World metric: invocations refused with a typed `StaleIdentity`.
+    pub stale_refusals: u64,
+    /// World metric: lock requests refused with a typed `StaleIdentity`.
+    pub stale_lock_refusals: u64,
+    /// World metric: responses to a dead incarnation dropped on receipt.
+    pub stale_replies_dropped: u64,
+    /// World metric: stub rebinds (explicit and handle-automatic).
+    pub world_rebinds: u64,
     /// Fault actions applied.
     pub crashes: usize,
     /// Nodes brought back.
@@ -184,12 +222,28 @@ pub struct InvariantReport {
     /// VIOLATION: a grant went to a waiter from an incarnation the
     /// granting node had already purged.
     pub stale_grants: usize,
+    /// Durability snapshots accepted at backup homes.
+    pub checkpoints: usize,
+    /// Objects restored from a backup snapshot.
+    pub restores: usize,
+    /// VIOLATION: a backup accepted a snapshot epoch not strictly newer
+    /// than the one it already held for the name (monotonicity broke).
+    pub ckpt_regressions: usize,
+    /// VIOLATION: a restore served a snapshot older than the newest one
+    /// that backup had acknowledged for the name — a restored object must
+    /// never serve state older than the last acked (checkpointed)
+    /// mutation.
+    pub stale_restores: usize,
 }
 
 impl InvariantReport {
     /// Total invariant violations (must be zero).
     pub fn violations(&self) -> usize {
-        self.duplicate_execs + self.stale_rsp_accepts + self.stale_grants
+        self.duplicate_execs
+            + self.stale_rsp_accepts
+            + self.stale_grants
+            + self.ckpt_regressions
+            + self.stale_restores
     }
 }
 
@@ -217,6 +271,24 @@ fn outcome_code(result: &Result<Option<i64>, MageError>) -> (u64, u64) {
         Err(MageError::StaleIdentity { fresh, .. }) => (11, *fresh),
         Err(_) => (10, 0),
     }
+}
+
+/// Volatile shared objects of the soak.
+const OBJECTS: [&str; 2] = ["shared", "shared2"];
+/// The `Durability::Replicated` object of the soak.
+const DURABLE: &str = "durable";
+/// Every object an attribute or lock operation may target.
+const POOL: [&str; 3] = ["shared", "shared2", DURABLE];
+
+/// The replicated object's creation spec: born on crashable `h1` (the
+/// attribute mix keeps moving it), checkpointed to the protected home
+/// `h0` — so a crash of its current host is recoverable, repeatedly.
+fn durable_spec(names: &[String]) -> ObjectSpec {
+    ObjectSpec::new(DURABLE)
+        .class("TestObject")
+        .durability(Durability::Replicated { backups: 1 })
+        .mobility(Rev::new("TestObject", DURABLE, names[1].clone()))
+        .backup(names[0].clone())
 }
 
 fn pair(a: usize, b: usize) -> (usize, usize) {
@@ -255,7 +327,6 @@ pub fn run(cfg: &ChaosConfig) -> Result<ChaosReport, MageError> {
 #[allow(clippy::too_many_lines)]
 pub fn run_checked(cfg: &ChaosConfig) -> Result<(ChaosReport, Option<InvariantReport>), MageError> {
     assert!(cfg.hosts >= 3, "chaos needs at least three hosts");
-    const OBJECTS: [&str; 2] = ["shared", "shared2"];
     let names: Vec<String> = (0..cfg.hosts).map(|i| format!("h{i}")).collect();
     let mut rt = Runtime::builder()
         .fast()
@@ -270,13 +341,20 @@ pub fn run_checked(cfg: &ChaosConfig) -> Result<(ChaosReport, Option<InvariantRe
         .map(|name| rt.session(name))
         .collect::<Result<_, _>>()?;
     for obj in OBJECTS {
-        sessions[0].create_object("TestObject", obj, &(), Visibility::Public)?;
+        sessions[0].create(ObjectSpec::new(obj).class("TestObject"))?;
     }
+    // The replicated object: born on a crashable node (h1), with the
+    // protected home h0 as its fixed backup — so a crash of whatever
+    // node currently hosts it is recoverable from h0, and the attribute
+    // mix keeps moving it back onto crashable nodes.
+    sessions[0].create(durable_spec(&names))?;
 
     // Stub-pinned invocation surface: one lazily bound stub per
     // (session, object). A stub outlives re-creations of its object on
     // purpose — that is exactly the stale-identity scenario.
     let mut stubs: Vec<[Option<Stub>; 2]> = (0..cfg.hosts).map(|_| [None, None]).collect();
+    // Policy-handle surface for the replicated object, one per client.
+    let mut handles: Vec<Option<ObjectHandle>> = (0..cfg.hosts).map(|_| None).collect();
 
     // The fault schedule draws from its own RNG so op mix and fault mix
     // are independent of each other but both derived from the seed.
@@ -298,6 +376,15 @@ pub fn run_checked(cfg: &ChaosConfig) -> Result<(ChaosReport, Option<InvariantRe
         lock_cycles: 0,
         midflight_faults: 0,
         recreated: 0,
+        durable_ops: 0,
+        durable_recoveries: 0,
+        durable_recreates: 0,
+        snapshots: 0,
+        restores: 0,
+        stale_refusals: 0,
+        stale_lock_refusals: 0,
+        stale_replies_dropped: 0,
+        world_rebinds: 0,
         crashes: 0,
         restarts: 0,
         partitions: 0,
@@ -361,12 +448,21 @@ pub fn run_checked(cfg: &ChaosConfig) -> Result<(ChaosReport, Option<InvariantRe
         let ups: Vec<usize> = (0..cfg.hosts).filter(|i| !down.contains(i)).collect();
         let client = ups[rng.gen_range(0..ups.len())];
         let to = rng.gen_range(0..cfg.hosts); // possibly down: that's the point
-        let obj_idx = rng.gen_range(0..OBJECTS.len());
-        let obj = OBJECTS[obj_idx];
+        let mut obj_idx = rng.gen_range(0..POOL.len());
         let session = &sessions[client];
         let kind = rng.gen_range(0..100u8);
+        let (lock_hi, stub_hi) = (cfg.lock_percent, cfg.lock_percent + cfg.stub_percent);
+        let dur_hi = stub_hi + cfg.durable_percent;
+        if kind >= lock_hi && kind < stub_hi {
+            // Stub-pinned ops target the volatile objects; the durable
+            // object's pinned surface is the policy-handle op below.
+            obj_idx %= OBJECTS.len();
+        } else if kind >= stub_hi && kind < dur_hi {
+            obj_idx = POOL.len() - 1;
+        }
+        let obj = POOL[obj_idx];
 
-        let result: Result<Option<i64>, MageError> = if kind < cfg.lock_percent {
+        let result: Result<Option<i64>, MageError> = if kind < lock_hi {
             // Lock-heavy schedule: an explicit §4.4 lock/unlock cycle
             // racing the crash adversary — the queue may sit on a node
             // that dies mid-cycle, the holder may lose reachability
@@ -382,7 +478,7 @@ pub fn run_checked(cfg: &ChaosConfig) -> Result<(ChaosReport, Option<InvariantRe
                 },
                 Err(e) => Err(e),
             }
-        } else if kind < cfg.lock_percent + cfg.stub_percent {
+        } else if kind < stub_hi {
             // Stub-pinned invocation: the stale-identity surface. The
             // stub deliberately survives re-creations of its object.
             if stubs[client][obj_idx].is_none() {
@@ -391,6 +487,43 @@ pub fn run_checked(cfg: &ChaosConfig) -> Result<(ChaosReport, Option<InvariantRe
             match &stubs[client][obj_idx] {
                 Some(stub) => session.call(stub, methods::INC, &()).map(Some),
                 None => Err(MageError::NotFound(obj.to_owned())),
+            }
+        } else if kind < dur_hi {
+            // Policy-handle invocation of the replicated object: the
+            // crash-recovery surface. A crash of its host shows up as a
+            // StaleIdentity that `call_handle` resolves by automatic
+            // rebind — the restored object serves its checkpointed state.
+            report.durable_ops += 1;
+            if handles[client].is_none() {
+                handles[client] = session
+                    .bind(&Cle::new("TestObject", DURABLE))
+                    .ok()
+                    .map(|stub| {
+                        ObjectHandle::new(stub, Durability::Replicated { backups: 1 }, true)
+                    });
+            }
+            match handles[client].as_mut() {
+                Some(handle) => {
+                    let before = handle.incarnation();
+                    match session.call_handle(handle, methods::INC, &()) {
+                        Ok(v) => {
+                            if handle.incarnation() != before {
+                                // The call outlived a crash of the
+                                // object's host: restore + auto-rebind.
+                                report.durable_recoveries += 1;
+                                fold(&mut report.digest, 0xD0B1);
+                            }
+                            Ok(Some(v))
+                        }
+                        Err(e) => {
+                            // Dead handle: drop it so the next durable op
+                            // re-binds from scratch.
+                            handles[client] = None;
+                            Err(e)
+                        }
+                    }
+                }
+                None => Err(MageError::NotFound(DURABLE.to_owned())),
             }
         } else {
             // Mixed-model attribute operation; REV/GREV are sometimes
@@ -465,14 +598,22 @@ pub fn run_checked(cfg: &ChaosConfig) -> Result<(ChaosReport, Option<InvariantRe
             Err(MageError::Unreachable { .. }) => report.unreachable += 1,
             Err(MageError::NotFound(_)) => {
                 report.not_found += 1;
-                // The object died with its host; re-home it so the soak
-                // keeps exercising migrations rather than failing forever.
-                // Stubs bound to the dead incarnation stay stale on
-                // purpose — their next call must surface StaleIdentity.
-                if sessions[0]
-                    .create_object("TestObject", obj, &(), Visibility::Public)
+                if obj == DURABLE {
+                    // Even the backup could not help (or the restore
+                    // chain dead-ended): re-create replicated.
+                    if sessions[0].create(durable_spec(&names)).is_ok() {
+                        report.durable_recreates += 1;
+                        fold(&mut report.digest, 0xD5ED);
+                    }
+                } else if sessions[0]
+                    .create(ObjectSpec::new(obj).class("TestObject"))
                     .is_ok()
                 {
+                    // The volatile object died with its host; re-home it
+                    // so the soak keeps exercising migrations rather than
+                    // failing forever. Stubs bound to the dead
+                    // incarnation stay stale on purpose — their next call
+                    // must surface StaleIdentity.
                     report.recreated += 1;
                     fold(&mut report.digest, 0x5EED);
                 }
@@ -480,17 +621,22 @@ pub fn run_checked(cfg: &ChaosConfig) -> Result<(ChaosReport, Option<InvariantRe
             Err(MageError::StaleIdentity { .. }) => {
                 report.stale_identity += 1;
                 // The typed refusal arrived; recovery is an *explicit*
-                // rebind to whatever answers to the name now.
-                if let Some(stub) = stubs[client][obj_idx].take() {
-                    match session.rebind(&stub) {
-                        Ok(fresh) => {
-                            stubs[client][obj_idx] = Some(fresh);
-                            report.rebinds += 1;
-                            fold(&mut report.digest, 0xB1D);
-                        }
-                        Err(_) => {
-                            // Nothing answers right now; a later stub op
-                            // re-binds from scratch.
+                // rebind to whatever answers to the name now. (Durable
+                // handle ops auto-rebind inside call_handle; a
+                // StaleIdentity escaping one has already dropped the
+                // handle above.)
+                if obj_idx < OBJECTS.len() {
+                    if let Some(stub) = stubs[client][obj_idx].take() {
+                        match session.rebind(&stub) {
+                            Ok(fresh) => {
+                                stubs[client][obj_idx] = Some(fresh);
+                                report.rebinds += 1;
+                                fold(&mut report.digest, 0xB1D);
+                            }
+                            Err(_) => {
+                                // Nothing answers right now; a later stub
+                                // op re-binds from scratch.
+                            }
                         }
                     }
                 }
@@ -507,8 +653,18 @@ pub fn run_checked(cfg: &ChaosConfig) -> Result<(ChaosReport, Option<InvariantRe
     // a bounded budget turns any livelock into an error, not a hang.
     rt.run_until_idle()?;
 
-    report.sent = rt.world().metrics().net.sent;
-    report.dropped = rt.world().metrics().net.dropped;
+    {
+        let world = rt.world();
+        let metrics = world.metrics();
+        report.sent = metrics.net.sent;
+        report.dropped = metrics.net.dropped;
+        report.snapshots = metrics.counter("snapshots_stored");
+        report.restores = metrics.counter("snapshot_restores");
+        report.stale_refusals = metrics.counter("stale_identity_refusals");
+        report.stale_lock_refusals = metrics.counter("stale_lock_refusals");
+        report.stale_replies_dropped = metrics.counter("stale_replies_dropped");
+        report.world_rebinds = metrics.counter("rebinds") + metrics.counter("auto_rebinds");
+    }
     report.elapsed_us = (rt.now() - start).as_micros();
 
     let invariants = cfg.check_invariants.then(|| check_trace(&rt, cfg.hosts));
@@ -527,6 +683,10 @@ fn check_trace(rt: &Runtime, hosts: usize) -> InvariantReport {
     let mut execs: BTreeSet<(u64, u64, u64)> = BTreeSet::new();
     // (host, client) -> epochs below this are purged at `host`
     let mut purged: BTreeMap<(usize, u64), u64> = BTreeMap::new();
+    // (backup host, object name) -> newest (incarnation, epoch) accepted
+    // there; ordering is lexicographic — a younger lineage supersedes an
+    // older one, epochs increase within a lineage.
+    let mut ckpt_epochs: BTreeMap<(usize, u64), (u64, u64)> = BTreeMap::new();
 
     let world = rt.world();
     for event in world.trace().events() {
@@ -577,6 +737,34 @@ fn check_trace(rt: &Runtime, hosts: usize) -> InvariantReport {
                     .is_some_and(|&floor| epoch < floor)
                 {
                     inv.stale_grants += 1;
+                }
+            }
+        } else if let Some(rest) = text.strip_prefix("invariant:ckpt:") {
+            let mut it = rest.split(':').filter_map(|f| f.parse::<u64>().ok());
+            if let (Some(name), Some(inc), Some(epoch)) = (it.next(), it.next(), it.next()) {
+                inv.checkpoints += 1;
+                // Monotonicity: a backup only ever accepts snapshots
+                // strictly newer (by lineage, then epoch) than what it
+                // already holds.
+                let held = ckpt_epochs.entry((at, name)).or_insert((0, 0));
+                if (inc, epoch) <= *held {
+                    inv.ckpt_regressions += 1;
+                }
+                *held = (*held).max((inc, epoch));
+            }
+        } else if let Some(rest) = text.strip_prefix("invariant:restore:") {
+            let mut it = rest.split(':').filter_map(|f| f.parse::<u64>().ok());
+            if let (Some(name), Some(inc), Some(epoch)) = (it.next(), it.next(), it.next()) {
+                inv.restores += 1;
+                // Freshness: a restored object must serve exactly the
+                // newest snapshot this backup acknowledged for the name —
+                // never state older than the last checkpointed mutation
+                // of the newest lineage.
+                if ckpt_epochs
+                    .get(&(at, name))
+                    .is_some_and(|&newest| (inc, epoch) < newest)
+                {
+                    inv.stale_restores += 1;
                 }
             }
         }
@@ -655,6 +843,48 @@ mod tests {
             "re-creations must be detected by stale stubs: {report:?}"
         );
         assert!(report.rebinds > 0, "{report:?}");
+    }
+
+    #[test]
+    fn durable_object_recovers_through_crashes() {
+        // Enough ops and faults that the replicated object's host dies
+        // while handles are live: the soak must observe at least one
+        // full crash→restore→rebind recovery, and the world metrics must
+        // show real checkpoint/restore traffic.
+        let report = run(&ChaosConfig {
+            seed: 11,
+            hosts: 5,
+            ops: 800,
+            fault_percent: 30,
+            ..ChaosConfig::default()
+        })
+        .unwrap();
+        assert!(report.durable_ops > 0, "{report:?}");
+        assert!(report.snapshots > 0, "{report:?}");
+        assert!(report.restores > 0, "{report:?}");
+        assert!(
+            report.durable_recoveries > 0,
+            "a crash of the replicated object's host must recover: {report:?}"
+        );
+        assert!(report.world_rebinds > 0, "{report:?}");
+    }
+
+    #[test]
+    fn replication_invariants_hold_over_the_trace() {
+        let (report, inv) = run_checked(&ChaosConfig {
+            seed: 11,
+            hosts: 5,
+            ops: 800,
+            fault_percent: 30,
+            check_invariants: true,
+            ..ChaosConfig::default()
+        })
+        .unwrap();
+        let inv = inv.expect("invariant checking was requested");
+        assert_eq!(inv.violations(), 0, "{inv:?}");
+        assert!(inv.checkpoints > 0, "{inv:?}");
+        assert!(inv.restores > 0, "{inv:?}");
+        assert!(report.restores >= inv.restores as u64);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use mage_core::attribute::{BindPlan, PolicyAttribute};
 use mage_core::workload_support::{methods, test_object_class};
-use mage_core::{MageError, Runtime, Visibility};
+use mage_core::{MageError, ObjectSpec, Runtime};
 use mage_sim::SimDuration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -110,7 +110,7 @@ pub fn run(config: &LoadBalConfig) -> Result<LoadBalReport, MageError> {
         .iter()
         .map(|name| rt.session(name))
         .collect::<Result<Vec<_>, _>>()?;
-    sessions[0].create_object("TestObject", "worker", &(), Visibility::Public)?;
+    sessions[0].create(ObjectSpec::new("worker").class("TestObject"))?;
 
     let attr = load_threshold_attribute(config.threshold);
     let mut rng = StdRng::seed_from_u64(config.seed);

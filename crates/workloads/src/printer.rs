@@ -8,7 +8,7 @@
 
 use mage_core::attribute::{Cle, Grev};
 use mage_core::object::{args_as, result_from, MobileEnv, MobileObject};
-use mage_core::{ClassDef, MageError, Runtime, Visibility};
+use mage_core::{ClassDef, MageError, ObjectSpec, Runtime};
 use mage_rmi::Fault;
 use mage_sim::SimDuration;
 use serde::{Deserialize, Serialize};
@@ -133,11 +133,10 @@ pub fn run(config: &PrinterConfig) -> Result<PrinterReport, MageError> {
     rt.deploy_class("PrintServerImpl", "controller")?;
     let controller = rt.session("controller")?;
     let client = rt.session("client")?;
-    controller.create_object(
-        "PrintServerImpl",
-        "spooler",
-        &PrintServer::default(),
-        Visibility::Public,
+    controller.create(
+        ObjectSpec::new("spooler")
+            .class("PrintServerImpl")
+            .state(&PrintServer::default()),
     )?;
 
     let start = rt.now();

@@ -7,7 +7,7 @@
 
 use mage_core::attribute::{Cle, Cod, Grev, MobileAgent, Rev};
 use mage_core::workload_support::{methods, test_object_class};
-use mage_core::{MageError, Runtime, Visibility};
+use mage_core::{MageError, ObjectSpec, Runtime};
 use mage_sim::SimDuration;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -105,7 +105,7 @@ pub fn replay(seed: u64, hosts: usize, steps: &[Step]) -> Result<SynthReport, Ma
         .iter()
         .map(|name| rt.session(name))
         .collect::<Result<_, _>>()?;
-    sessions[0].create_object("TestObject", "shared", &(), Visibility::Public)?;
+    sessions[0].create(ObjectSpec::new("shared").class("TestObject"))?;
 
     let start = rt.now();
     let mut completed = 0usize;

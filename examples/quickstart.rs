@@ -4,7 +4,7 @@
 
 use mage::attribute::{Cod, Rev, Rpc};
 use mage::workload_support::{methods, test_object_class};
-use mage::{Runtime, Visibility};
+use mage::{ObjectSpec, Runtime};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A lab and two field hosts on the paper's 10 Mb/s Ethernet testbed.
@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sessions are the client handles: one for the lab, one for field2.
     let lab = rt.session("lab")?;
     let field2 = rt.session("field2")?;
-    lab.create_object("TestObject", "counter", &(), Visibility::Public)?;
+    lab.create(ObjectSpec::new("counter").class("TestObject"))?;
 
     // REV: push the counter to field1 and increment it there.
     let rev = Rev::new("TestObject", "counter", "field1");

@@ -6,7 +6,7 @@
 
 use mage::attribute::Rev;
 use mage::workload_support::{methods, test_object_class};
-use mage::{MageError, Runtime, Visibility};
+use mage::{MageError, ObjectSpec, Runtime};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut rt = Runtime::builder()
@@ -15,7 +15,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build();
     rt.deploy_class("TestObject", "campus")?;
     let campus = rt.session("campus")?;
-    campus.create_object("TestObject", "analysis", &(), Visibility::Public)?;
+    campus.create(ObjectSpec::new("analysis").class("TestObject"))?;
 
     // The rival domain accepts code only from its own infrastructure.
     rt.set_trust("rival", Some(&[]))?;
@@ -37,7 +37,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rt.node_name(stub.location()).unwrap()
     );
 
-    campus.create_object("TestObject", "second", &(), Visibility::Public)?;
+    campus.create(ObjectSpec::new("second").class("TestObject"))?;
     let second = Rev::new("TestObject", "second", "partner");
     match campus.bind(&second) {
         Err(MageError::Denied(why)) => println!("partner's quota held: {why}"),

@@ -19,7 +19,7 @@
 //! ```
 //! use mage::attribute::Rev;
 //! use mage::workload_support::{methods, test_object_class};
-//! use mage::{Runtime, Visibility};
+//! use mage::{ObjectSpec, Runtime};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! // Two namespaces joined by the paper's 10 Mb/s Ethernet.
@@ -31,7 +31,7 @@
 //!
 //! // A session is the client handle to one namespace.
 //! let lab = rt.session("lab")?;
-//! lab.create_object("TestObject", "counter", &(), Visibility::Public)?;
+//! lab.create(ObjectSpec::new("counter").class("TestObject"))?;
 //!
 //! // Bind a REV mobility attribute: move the counter to sensor1, run there.
 //! // `methods::INC` is a typed descriptor — args and result check at
@@ -53,7 +53,7 @@
 //! ```
 //! use mage::attribute::Rpc;
 //! use mage::workload_support::{methods, test_object_class};
-//! use mage::{Runtime, Visibility};
+//! use mage::{ObjectSpec, Runtime};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let mut rt = Runtime::builder()
@@ -61,7 +61,7 @@
 //!     .class(test_object_class())
 //!     .build();
 //! rt.deploy_class("TestObject", "host")?;
-//! rt.session("host")?.create_object("TestObject", "svc", &(), Visibility::Public)?;
+//! rt.session("host")?.create(ObjectSpec::new("svc").class("TestObject"))?;
 //!
 //! let (c1, c2) = (rt.session("c1")?, rt.session("c2")?);
 //! let attr = Rpc::new("TestObject", "svc", "host");
@@ -85,7 +85,8 @@ pub use mage_workloads as workloads;
 
 pub use mage_core::{
     admission, attribute, class, coercion, component, error, lock, object, proto, registry,
-    security, workload_support, BindReceipt, ClassDef, ClassLibrary, Component, DesignTriple,
-    LockKind, MageError, MageNode, Method, MobileEnv, MobileObject, ModelKind, NodeConfig, Pending,
-    Placement, Runtime, RuntimeBuilder, Session, Stub, Visibility,
+    security, spec, workload_support, BindReceipt, ClassDef, ClassLibrary, Component, DesignTriple,
+    Durability, LockKind, MageError, MageNode, Method, MobileEnv, MobileObject, ModelKind,
+    NodeConfig, ObjectHandle, ObjectSpec, Pending, Placement, Runtime, RuntimeBuilder, Session,
+    Stub, Visibility,
 };

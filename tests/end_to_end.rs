@@ -80,7 +80,7 @@ fn facade_reexports_compose() {
     // Exercise the facade's re-exported layers together in one program.
     use mage::attribute::Grev;
     use mage::workload_support::test_object_class;
-    use mage::{Runtime, Visibility};
+    use mage::{ObjectSpec, Runtime};
 
     let mut rt = Runtime::builder()
         .fast()
@@ -89,8 +89,7 @@ fn facade_reexports_compose() {
         .build();
     rt.deploy_class("TestObject", "a").unwrap();
     let a = rt.session("a").unwrap();
-    a.create_object("TestObject", "x", &(), Visibility::Public)
-        .unwrap();
+    a.create(ObjectSpec::new("x").class("TestObject")).unwrap();
     let attr = Grev::new("TestObject", "x", "b");
     let stub = a.bind(&attr).unwrap();
     let wire = mage::codec::to_bytes(&42u32).unwrap();

@@ -6,7 +6,7 @@
 use mage::attribute::{Cle, Grev};
 use mage::sim::{LinkSpec, SimDuration};
 use mage::workload_support::{methods, test_object_class};
-use mage::{MageError, Runtime, Visibility};
+use mage::{MageError, ObjectSpec, Runtime};
 
 fn lossy_runtime(loss: f64, seed: u64) -> Runtime {
     let mut rt = Runtime::builder()
@@ -28,7 +28,7 @@ fn lossy_runtime(loss: f64, seed: u64) -> Runtime {
     rt.deploy_class("TestObject", "a").unwrap();
     rt.session("a")
         .unwrap()
-        .create_object("TestObject", "x", &(), Visibility::Public)
+        .create(ObjectSpec::new("x").class("TestObject"))
         .unwrap();
     rt
 }

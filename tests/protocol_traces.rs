@@ -4,7 +4,7 @@
 use mage::attribute::{Grev, MobileAgent, Rpc};
 use mage::sim::TraceEvent;
 use mage::workload_support::{methods, test_object_class};
-use mage::{Runtime, Visibility};
+use mage::{ObjectSpec, Runtime, Visibility};
 
 fn wire_labels(rt: &Runtime) -> Vec<String> {
     rt.world()
@@ -29,7 +29,7 @@ fn figure7_grev_protocol_message_sequence() {
     rt.deploy_class("TestObject", "Y").unwrap();
     rt.session("Y")
         .unwrap()
-        .create_object("TestObject", "C", &(), Visibility::Public)
+        .create(ObjectSpec::new("C").class("TestObject"))
         .unwrap();
     // Warm the class at Z so the measured run is the paper's exact diagram
     // (the paper elides class transfer).
@@ -67,7 +67,11 @@ fn figure1a_rpc_is_one_round_trip() {
     rt.deploy_class("TestObject", "B").unwrap();
     rt.session("B")
         .unwrap()
-        .create_object("TestObject", "C", &(), Visibility::Private)
+        .create(
+            ObjectSpec::new("C")
+                .class("TestObject")
+                .visibility(Visibility::Private),
+        )
         .unwrap();
     let a = rt.session("A").unwrap();
     let attr = Rpc::new("TestObject", "C", "B");
@@ -91,8 +95,7 @@ fn figure1d_mobile_agent_sends_no_result_message() {
     rt.deploy_class("TestObject", "A").unwrap();
     rt.deploy_class("TestObject", "B").unwrap();
     let a = rt.session("A").unwrap();
-    a.create_object("TestObject", "C", &(), Visibility::Public)
-        .unwrap();
+    a.create(ObjectSpec::new("C").class("TestObject")).unwrap();
     rt.world_mut().trace_mut().clear();
     let attr = MobileAgent::new("TestObject", "C", "B");
     let (_s, r) = a.bind_invoke(&attr, methods::INC, &()).unwrap();
@@ -116,8 +119,7 @@ fn class_transfer_happens_once_then_caches() {
         .build();
     rt.deploy_class("TestObject", "a").unwrap();
     let a = rt.session("a").unwrap();
-    a.create_object("TestObject", "x", &(), Visibility::Public)
-        .unwrap();
+    a.create(ObjectSpec::new("x").class("TestObject")).unwrap();
     let there = Grev::new("TestObject", "x", "b");
     let back = Grev::new("TestObject", "x", "a");
     for _ in 0..3 {
